@@ -1,0 +1,43 @@
+//! OPT1 — DVFS optimizer: decision cost and FSM transition planning.
+//! Prints the energy sweep once per run.
+
+use bench::{dvfs_sweep, xeon_fsm};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use xpdl_power::{DvfsOptimizer, Workload};
+
+fn report_sweep_once() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        eprintln!("OPT1 DVFS sweep (2.4 Gcycles, 6 W idle):");
+        for r in dvfs_sweep(2.4e9, 6.0) {
+            eprintln!("  slack {:>4.1}x -> best {}", r.slack, r.best);
+        }
+    });
+}
+
+fn bench_optimizer(c: &mut Criterion) {
+    report_sweep_once();
+    let fsm = xeon_fsm();
+    let opt = DvfsOptimizer::new(&fsm, "P3").unwrap();
+    let w = Workload { cycles: 2.4e9, deadline_s: 2.0, idle_power_w: 6.0 };
+    c.bench_function("dvfs_best_choice", |b| {
+        b.iter(|| opt.best(black_box(&w)).unwrap())
+    });
+    c.bench_function("dvfs_evaluate_all", |b| {
+        b.iter(|| opt.evaluate_all(black_box(&w)))
+    });
+}
+
+fn bench_transition_planning(c: &mut Criterion) {
+    let fsm = xeon_fsm();
+    c.bench_function("fsm_transition_cost_multihop", |b| {
+        b.iter(|| fsm.transition_cost(black_box("P3"), black_box("P1")).unwrap())
+    });
+    c.bench_function("fsm_check_complete", |b| {
+        b.iter(|| fsm.check_complete().unwrap())
+    });
+}
+
+criterion_group!(benches, bench_optimizer, bench_transition_planning);
+criterion_main!(benches);

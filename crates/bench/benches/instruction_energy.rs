@@ -1,0 +1,57 @@
+//! T14 — microbenchmark measurement and bootstrap costs. Reports the
+//! paper-vs-measured divsd values once per run (visible in bench output).
+
+use bench::{divsd_fsm, library_bootstrap, table14};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use xpdl_hwsim::{GroundTruth, SimMachine};
+use xpdl_mb::{measure_instruction, MeasureConfig};
+
+fn report_table14_once() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        eprintln!("T14 divsd (paper vs measured, 0.2% noise, median-of-9):");
+        for r in table14(9, 0.002, 2015) {
+            eprintln!(
+                "  {:.1} GHz: paper {:>7} nJ, measured {:>7.3} nJ{}",
+                r.freq_ghz,
+                r.paper_nj.map(|p| format!("{p:.3}")).unwrap_or_else(|| "   -  ".into()),
+                r.measured_nj,
+                r.rel_err.map(|e| format!("  ({:.2}% err)", e * 100.0)).unwrap_or_default(),
+            );
+        }
+    });
+}
+
+fn bench_measure_instruction(c: &mut Criterion) {
+    report_table14_once();
+    let mut g = c.benchmark_group("measure_instruction");
+    for reps in [1u32, 9] {
+        g.bench_with_input(BenchmarkId::new("divsd", reps), &reps, |b, &reps| {
+            let mut m =
+                SimMachine::new(GroundTruth::x86_default(), divsd_fsm(), 1, "P0", 3).unwrap();
+            m.noise = 0.002;
+            b.iter(|| {
+                measure_instruction(
+                    &mut m,
+                    black_box("divsd"),
+                    &MeasureConfig { repetitions: reps, ..Default::default() },
+                )
+                .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_full_bootstrap(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bootstrap");
+    g.sample_size(10);
+    g.bench_function("library_isa_8_insts_x_3_states", |b| {
+        b.iter(|| library_bootstrap(black_box(0.002), 3))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_measure_instruction, bench_full_bootstrap);
+criterion_main!(benches);

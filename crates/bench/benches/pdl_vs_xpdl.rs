@@ -1,0 +1,48 @@
+//! BL1 — the PDL baseline: parse cost, conversion cost, and the modularity
+//! table (printed once per run).
+
+use bench::modularity_comparison;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use pdl_compat::{pdl_to_xpdl, PdlPlatform};
+
+fn report_modularity_once() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        eprintln!("BL1 modularity (bytes to describe N systems sharing a CPU):");
+        for r in modularity_comparison(&[1, 4, 16, 32]) {
+            eprintln!(
+                "  N={:<3} PDL {:>7} B  XPDL {:>7} B  ({:.2}x)",
+                r.systems,
+                r.pdl_bytes,
+                r.xpdl_bytes,
+                r.pdl_bytes as f64 / r.xpdl_bytes as f64
+            );
+        }
+    });
+}
+
+fn bench_pdl(c: &mut Criterion) {
+    report_modularity_once();
+    let src = pdl_compat::model::EXAMPLE_GPU_SERVER;
+    c.bench_function("pdl_parse", |b| {
+        b.iter(|| PdlPlatform::parse(black_box(src)).unwrap())
+    });
+    let platform = PdlPlatform::parse(src).unwrap();
+    c.bench_function("pdl_to_xpdl_convert", |b| {
+        b.iter(|| pdl_to_xpdl(black_box(&platform)))
+    });
+    c.bench_function("pdl_property_query", |b| {
+        b.iter(|| platform.query(black_box("cpu0"), black_box("x86_MAX_CLOCK_FREQUENCY")))
+    });
+}
+
+fn bench_xpdl_equivalent(c: &mut Criterion) {
+    let src = xpdl_models::library::LIU_GPU_SERVER;
+    c.bench_function("xpdl_parse_equivalent_system", |b| {
+        b.iter(|| xpdl_core::XpdlDocument::parse_str(black_box(src)).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_pdl, bench_xpdl_equivalent);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Runtime-format ablation: loading the binary runtime model vs re-parsing
+//! the XML at startup — the reason the paper writes "a light-weight
+//! run-time data structure … finally written into a file".
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_startup(c: &mut Criterion) {
+    let mut g = c.benchmark_group("startup");
+    g.sample_size(30);
+    for key in ["liu_gpu_server", "XScluster"] {
+        let model = xpdl_models::loader::elaborate_system(key).unwrap();
+        let rt = xpdl_runtime::RuntimeModel::from_element(&model.root);
+        let bytes = xpdl_runtime::encode(&rt);
+        let xml =
+            xpdl_xml::write_element(&model.root.to_xml(), &xpdl_xml::WriteOptions::compact());
+        eprintln!(
+            "{key}: {} nodes, binary {} KiB vs XML {} KiB",
+            rt.len(),
+            bytes.len() / 1024,
+            xml.len() / 1024
+        );
+        g.bench_with_input(BenchmarkId::new("binary_decode", key), &bytes, |b, bytes| {
+            b.iter(|| xpdl_runtime::decode(black_box(bytes)).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("xml_reparse", key), &xml, |b, xml| {
+            b.iter(|| xpdl_core::XpdlDocument::parse_str(black_box(xml)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let model = xpdl_models::loader::elaborate_system("liu_gpu_server").unwrap();
+    let rt = xpdl_runtime::RuntimeModel::from_element(&model.root);
+    c.bench_function("binary_encode_gpu_server", |b| {
+        b.iter(|| xpdl_runtime::encode(black_box(&rt)))
+    });
+}
+
+criterion_group!(benches, bench_startup, bench_encode);
+criterion_main!(benches);

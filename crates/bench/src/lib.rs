@@ -1,0 +1,9 @@
+//! Shared experiment logic for the reproduction binaries and the Criterion
+//! benches. Every table/figure row in `EXPERIMENTS.md` is produced by a
+//! function here, so the binaries, the benches and the tests all agree.
+
+pub mod experiments;
+pub mod synth;
+
+pub use experiments::*;
+pub use synth::synthetic_system;

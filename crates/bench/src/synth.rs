@@ -1,0 +1,67 @@
+//! Synthetic platform model generator for scaling experiments (TC1).
+
+/// Generate a synthetic system descriptor with approximately
+/// `target_elements` elements once expanded: `nodes` nodes, each with one
+/// CPU of `cores` cores (plus caches) and one memory.
+///
+/// Returns `(key, source)` pairs: one system descriptor plus the shared
+/// CPU meta-model — the reuse pattern XPDL is designed around.
+pub fn synthetic_system(nodes: usize, cores: usize) -> Vec<(String, String)> {
+    let cpu = format!(
+        r#"<cpu name="SynthCpu" static_power="10" static_power_unit="W">
+  <group prefix="core" quantity="{cores}">
+    <core frequency="2.4" frequency_unit="GHz"/>
+    <cache name="L1" size="32" unit="KiB" replacement="LRU"/>
+  </group>
+  <cache name="LLC" size="20" unit="MiB" replacement="LRU"/>
+</cpu>"#
+    );
+    let mut sys = String::from(r#"<system id="synth">"#);
+    sys.push_str("<cluster>");
+    sys.push_str(&format!(r#"<group prefix="n" quantity="{nodes}"><node>"#));
+    sys.push_str(r#"<socket><cpu type="SynthCpu"/></socket>"#);
+    sys.push_str(
+        r#"<memory size="32" unit="GB" static_power="3" static_power_unit="W"/>"#,
+    );
+    sys.push_str("</node></group>");
+    sys.push_str("</cluster>");
+    sys.push_str(
+        r#"<software><installed type="SynthLib_1.0" path="/opt/synth"/></software>"#,
+    );
+    sys.push_str("</system>");
+    vec![
+        ("synth".to_string(), sys),
+        ("SynthCpu".to_string(), cpu),
+        (
+            "SynthLib_1.0".to_string(),
+            r#"<installed name="SynthLib_1.0" version="1.0"/>"#.to_string(),
+        ),
+    ]
+}
+
+/// Build a repository over generated descriptors.
+pub fn synthetic_repository(nodes: usize, cores: usize) -> xpdl_repo::Repository {
+    let mut store = xpdl_repo::MemoryStore::new();
+    for (k, v) in synthetic_system(nodes, cores) {
+        store.insert(k, v);
+    }
+    xpdl_repo::Repository::new().with_store(store)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xpdl_core::ElementKind;
+
+    #[test]
+    fn synthetic_models_elaborate_with_expected_size() {
+        for (nodes, cores) in [(1, 2), (4, 8), (16, 4)] {
+            let repo = synthetic_repository(nodes, cores);
+            let set = repo.resolve_recursive("synth").unwrap();
+            let model = xpdl_elab::elaborate(&set).unwrap();
+            assert!(model.is_clean(), "{:?}", model.diagnostics);
+            assert_eq!(model.count_kind(ElementKind::Core), nodes * cores);
+            assert_eq!(model.count_kind(ElementKind::Node), nodes);
+        }
+    }
+}

@@ -1,0 +1,229 @@
+//! PDL → XPDL conversion (the migration path §II motivates).
+//!
+//! Mapping choices follow the paper's critique: the hardware-structural
+//! organization becomes primary (PUs become `cpu`/`device` under the
+//! system), the control relation is demoted to `role=` attributes, and
+//! recognizable free-form properties are lifted into first-class XPDL
+//! attributes (`x86_MAX_CLOCK_FREQUENCY` "should better be specified as a
+//! predefined attribute"); everything unrecognized lands in a
+//! `<properties>` block so no information is lost.
+
+use crate::model::{ControlRole, PdlPlatform};
+use xpdl_core::{ElementKind, XpdlElement};
+
+/// Convert a validated PDL platform to an XPDL system model.
+pub fn pdl_to_xpdl(p: &PdlPlatform) -> XpdlElement {
+    let mut system = XpdlElement::new(ElementKind::System).with_id(p.name.clone());
+
+    for pu in &p.pus {
+        let is_accel = pu.role == ControlRole::Worker || pu.pu_type.eq_ignore_ascii_case("gpu");
+        let kind = if is_accel { ElementKind::Device } else { ElementKind::Cpu };
+        let mut e = XpdlElement::new(kind.clone()).with_id(pu.id.clone());
+        e.set_attr(
+            "role",
+            match pu.role {
+                ControlRole::Master => "master",
+                ControlRole::Hybrid => "hybrid",
+                ControlRole::Worker => "worker",
+            },
+        );
+        let mut leftovers = XpdlElement::new(ElementKind::Properties);
+        for (k, v) in &pu.properties {
+            match k.as_str() {
+                // The paper's own example of a property that should be a
+                // predefined attribute.
+                "x86_MAX_CLOCK_FREQUENCY" => {
+                    e.set_attr("frequency", v.clone());
+                    e.set_attr("frequency_unit", "Hz");
+                }
+                "NUM_CORES" => {
+                    if let Ok(n) = v.parse::<usize>() {
+                        let mut g = XpdlElement::new(ElementKind::Group)
+                            .with_attr("prefix", format!("{}_core", pu.id))
+                            .with_attr("quantity", n.to_string());
+                        g.children.push(XpdlElement::new(ElementKind::Core));
+                        e.children.push(g);
+                    }
+                }
+                "GLOBAL_MEM_BYTES" => {
+                    let mem = XpdlElement::new(ElementKind::Memory)
+                        .with_attr("size", v.clone())
+                        .with_attr("unit", "B");
+                    e.children.push(mem);
+                }
+                "CUDA_COMPUTE_CAPABILITY" => {
+                    e.set_attr("compute_capability", v.clone());
+                    let pm = XpdlElement::new(ElementKind::ProgrammingModel).with_type("cuda");
+                    e.children.push(pm);
+                }
+                _ if k.starts_with("INSTALLED_") => {
+                    // Software modeled ad hoc in PDL becomes first-class.
+                    let name = k.trim_start_matches("INSTALLED_");
+                    let inst = XpdlElement::new(ElementKind::Installed)
+                        .with_type(format!("{name}_{v}"));
+                    let software = ensure_software(&mut system);
+                    software.children.push(inst);
+                }
+                _ => {
+                    let prop = XpdlElement::new(ElementKind::Property)
+                        .with_name(k.clone())
+                        .with_attr("value", v.clone());
+                    leftovers.children.push(prop);
+                }
+            }
+        }
+        if !leftovers.children.is_empty() {
+            e.children.push(leftovers);
+        }
+        if kind == ElementKind::Cpu {
+            let socket = XpdlElement::new(ElementKind::Socket).with_child(e);
+            system.children.push(socket);
+        } else {
+            system.children.push(e);
+        }
+    }
+
+    for m in &p.memories {
+        let mut mem = XpdlElement::new(ElementKind::Memory).with_id(m.id.clone());
+        if let Some(sz) = m.properties.get("SIZE_BYTES") {
+            mem.set_attr("size", sz.clone());
+            mem.set_attr("unit", "B");
+        }
+        mem.set_attr("scope", m.scope.clone());
+        system.children.push(mem);
+    }
+
+    if !p.interconnects.is_empty() {
+        let mut ics = XpdlElement::new(ElementKind::Interconnects);
+        for i in &p.interconnects {
+            let mut ic = XpdlElement::new(ElementKind::Interconnect).with_id(i.id.clone());
+            if i.endpoints.len() >= 2 {
+                ic.set_attr("head", i.endpoints[0].clone());
+                ic.set_attr("tail", i.endpoints[1].clone());
+            }
+            if let Some(bw) = i.properties.get("BANDWIDTH_BYTES_PER_S") {
+                ic.set_attr("max_bandwidth", bw.clone());
+                ic.set_attr("max_bandwidth_unit", "B/s");
+            }
+            ics.children.push(ic);
+        }
+        system.children.push(ics);
+    }
+
+    if !p.properties.is_empty() {
+        let mut props = XpdlElement::new(ElementKind::Properties);
+        for (k, v) in &p.properties {
+            props.children.push(
+                XpdlElement::new(ElementKind::Property)
+                    .with_name(k.clone())
+                    .with_attr("value", v.clone()),
+            );
+        }
+        system.children.push(props);
+    }
+    system
+}
+
+fn ensure_software(system: &mut XpdlElement) -> &mut XpdlElement {
+    let idx = system
+        .children
+        .iter()
+        .position(|c| c.kind == ElementKind::Software)
+        .unwrap_or_else(|| {
+            system.children.push(XpdlElement::new(ElementKind::Software));
+            system.children.len() - 1
+        });
+    &mut system.children[idx]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::EXAMPLE_GPU_SERVER;
+
+    fn converted() -> XpdlElement {
+        pdl_to_xpdl(&PdlPlatform::parse(EXAMPLE_GPU_SERVER).unwrap())
+    }
+
+    #[test]
+    fn system_shape() {
+        let s = converted();
+        assert_eq!(s.kind, ElementKind::System);
+        assert_eq!(s.instance_id(), Some("liu_gpu_server"));
+        // CPU inside a socket; GPU as a device.
+        let socket = s.child_of_kind(ElementKind::Socket).unwrap();
+        let cpu = socket.child_of_kind(ElementKind::Cpu).unwrap();
+        assert_eq!(cpu.instance_id(), Some("cpu0"));
+        assert_eq!(cpu.attr("role"), Some("master"));
+        let dev = s.child_of_kind(ElementKind::Device).unwrap();
+        assert_eq!(dev.instance_id(), Some("gpu0"));
+        assert_eq!(dev.attr("role"), Some("worker"));
+    }
+
+    #[test]
+    fn recognized_properties_become_attributes() {
+        let s = converted();
+        let cpu = s.find_ident("cpu0").unwrap();
+        assert_eq!(cpu.attr("frequency"), Some("2000000000"));
+        assert_eq!(cpu.attr("frequency_unit"), Some("Hz"));
+        // NUM_CORES became an expandable group of 4 cores.
+        let g = cpu.child_of_kind(ElementKind::Group).unwrap();
+        assert_eq!(g.attr("quantity"), Some("4"));
+        let dev = s.find_ident("gpu0").unwrap();
+        assert_eq!(dev.attr("compute_capability"), Some("3.5"));
+        assert!(dev.child_of_kind(ElementKind::ProgrammingModel).is_some());
+        let mem = dev.child_of_kind(ElementKind::Memory).unwrap();
+        assert_eq!(mem.attr("size"), Some("5000000000"));
+    }
+
+    #[test]
+    fn installed_software_lifted_to_software_block() {
+        let s = converted();
+        let sw = s.child_of_kind(ElementKind::Software).unwrap();
+        let inst = sw.child_of_kind(ElementKind::Installed).unwrap();
+        assert_eq!(inst.type_ref.as_deref(), Some("CUBLAS_6.0"));
+    }
+
+    #[test]
+    fn interconnect_with_endpoints_and_bandwidth() {
+        let s = converted();
+        let ics = s.child_of_kind(ElementKind::Interconnects).unwrap();
+        let ic = ics.child_of_kind(ElementKind::Interconnect).unwrap();
+        assert_eq!(ic.attr("head"), Some("cpu0"));
+        assert_eq!(ic.attr("tail"), Some("gpu0"));
+        assert_eq!(ic.attr("max_bandwidth"), Some("6442450944"));
+    }
+
+    #[test]
+    fn memory_regions_preserved() {
+        let s = converted();
+        let mems: Vec<_> = s.children_of_kind(ElementKind::Memory).collect();
+        assert_eq!(mems.len(), 2);
+        assert_eq!(mems[0].attr("size"), Some("17179869184"));
+        assert_eq!(mems[1].attr("scope"), Some("device"));
+    }
+
+    #[test]
+    fn converted_model_parses_as_valid_xpdl() {
+        use xpdl_core::XpdlDocument;
+        use xpdl_schema::{validate_document, Schema};
+        let s = converted();
+        let xml = xpdl_xml::write_element(&s.to_xml(), &xpdl_xml::WriteOptions::pretty());
+        let doc = XpdlDocument::parse_str(&xml).unwrap();
+        let diags = validate_document(&doc, &Schema::core());
+        assert!(diags.iter().all(|d| !d.is_error()), "{diags:#?}");
+    }
+
+    #[test]
+    fn unrecognized_properties_survive_in_properties_block() {
+        let src = r#"<Platform name="p"><ProcessingUnits>
+            <PU id="m" role="Master"><Property name="WEIRD_KNOB" value="7"/></PU>
+            </ProcessingUnits></Platform>"#;
+        let s = pdl_to_xpdl(&PdlPlatform::parse(src).unwrap());
+        let cpu = s.find_ident("m").unwrap();
+        let props = cpu.child_of_kind(ElementKind::Properties).unwrap();
+        let prop = props.child_of_kind(ElementKind::Property).unwrap();
+        assert_eq!(prop.meta_name(), Some("WEIRD_KNOB"));
+        assert_eq!(prop.attr("value"), Some("7"));
+    }
+}

@@ -1,0 +1,26 @@
+//! PEPPHER PDL compatibility — the baseline language of the paper's §II.
+//!
+//! PDL (Sandrieser, Benkner & Pllana 2012) is the XML platform description
+//! language XPDL replaces. Its design points, as reviewed in the paper:
+//!
+//! * the document structure follows the **control relation** — a logic
+//!   tree of Master / Hybrid / Worker processing units — rather than the
+//!   hardware structure;
+//! * besides PUs, only **memory regions** and **interconnects** are
+//!   first-class; everything else (installed software!) is free-form
+//!   string key/value **properties**;
+//! * properties are looked up via a basic query interface;
+//! * descriptors tend to be monolithic (no reference/reuse mechanism).
+//!
+//! This crate implements a faithful reconstruction: [`model`] parses and
+//! validates PDL documents (exactly one Master; Workers must be leaves of
+//! the control tree), [`model::PdlPlatform::query`] is the property query,
+//! and [`convert`] maps PDL onto XPDL (the migration path), preserving
+//! the control relation as `role=` attributes as §II suggests. The
+//! `pdl_vs_xpdl` benchmark uses both to quantify the modularity gap.
+
+pub mod convert;
+pub mod model;
+
+pub use convert::pdl_to_xpdl;
+pub use model::{ControlRole, PdlError, PdlPlatform, ProcessingUnit};

@@ -1,0 +1,395 @@
+//! The PDL document model, parser and validator.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use xpdl_xml::{parse_with, Element, ParseOptions};
+
+/// PDL control roles (paper §II-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ControlRole {
+    /// "A feature-rich general purpose PU that marks a possible starting
+    /// point for execution" — the root of the control hierarchy.
+    Master,
+    /// Can act both as master and worker (inner node).
+    Hybrid,
+    /// "Specialized processing units (such as GPUs) that cannot themselves
+    /// launch computations on other PUs" — leaves.
+    Worker,
+}
+
+impl ControlRole {
+    fn parse(s: &str) -> Option<ControlRole> {
+        match s {
+            "Master" | "master" => Some(ControlRole::Master),
+            "Hybrid" | "hybrid" => Some(ControlRole::Hybrid),
+            "Worker" | "worker" => Some(ControlRole::Worker),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ControlRole {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ControlRole::Master => write!(f, "Master"),
+            ControlRole::Hybrid => write!(f, "Hybrid"),
+            ControlRole::Worker => write!(f, "Worker"),
+        }
+    }
+}
+
+/// PDL errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PdlError {
+    /// XML syntax error.
+    Xml(String),
+    /// Root element is not `<Platform>`.
+    NotAPlatform(String),
+    /// A PU lacks an id or role.
+    BadPu(String),
+    /// The control hierarchy must have exactly one Master.
+    MasterCount(usize),
+    /// A Worker appears as an inner node of the control tree.
+    WorkerControlsOthers(String),
+    /// A control edge references an unknown PU.
+    UnknownPu(String),
+}
+
+impl fmt::Display for PdlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PdlError::Xml(e) => write!(f, "PDL XML error: {e}"),
+            PdlError::NotAPlatform(t) => write!(f, "expected <Platform>, got <{t}>"),
+            PdlError::BadPu(m) => write!(f, "bad processing unit: {m}"),
+            PdlError::MasterCount(n) => {
+                write!(f, "a PDL platform needs exactly one Master PU, found {n}")
+            }
+            PdlError::WorkerControlsOthers(id) => {
+                write!(f, "Worker PU '{id}' cannot control other PUs")
+            }
+            PdlError::UnknownPu(id) => write!(f, "control relation references unknown PU '{id}'"),
+        }
+    }
+}
+
+impl std::error::Error for PdlError {}
+
+/// One processing unit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProcessingUnit {
+    /// PU id.
+    pub id: String,
+    /// Control role.
+    pub role: ControlRole,
+    /// Hardware type hint (`CPU`, `GPU`, …), free-form in PDL.
+    pub pu_type: String,
+    /// Free-form string properties (both keys and values are strings).
+    pub properties: BTreeMap<String, String>,
+    /// PUs this unit controls (control-relation children).
+    pub controls: Vec<String>,
+}
+
+/// A memory region.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemoryRegion {
+    /// Region id.
+    pub id: String,
+    /// Scope (`global`, `device`, …).
+    pub scope: String,
+    /// Properties.
+    pub properties: BTreeMap<String, String>,
+}
+
+/// An interconnect between PUs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PdlInterconnect {
+    /// Interconnect id.
+    pub id: String,
+    /// Endpoint PU ids.
+    pub endpoints: Vec<String>,
+    /// Properties.
+    pub properties: BTreeMap<String, String>,
+}
+
+/// A parsed, validated PDL platform.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PdlPlatform {
+    /// Platform name.
+    pub name: String,
+    /// Processing units in document order.
+    pub pus: Vec<ProcessingUnit>,
+    /// Memory regions.
+    pub memories: Vec<MemoryRegion>,
+    /// Interconnects.
+    pub interconnects: Vec<PdlInterconnect>,
+    /// Platform-level properties.
+    pub properties: BTreeMap<String, String>,
+}
+
+fn collect_properties(e: &Element) -> BTreeMap<String, String> {
+    let mut out = BTreeMap::new();
+    for p in e.children_named("Property") {
+        if let (Some(k), Some(v)) = (p.attr("name"), p.attr("value")) {
+            out.insert(k.to_string(), v.to_string());
+        }
+    }
+    out
+}
+
+impl PdlPlatform {
+    /// Parse and validate PDL text.
+    pub fn parse(src: &str) -> Result<PdlPlatform, PdlError> {
+        let doc = parse_with(src, ParseOptions::strict())
+            .map_err(|e| PdlError::Xml(e.to_string()))?;
+        let root = doc.root();
+        if root.name() != "Platform" {
+            return Err(PdlError::NotAPlatform(root.name().to_string()));
+        }
+        let name = root.attr("name").unwrap_or("platform").to_string();
+        let mut pus = Vec::new();
+        for pu in root
+            .children_named("ProcessingUnits")
+            .flat_map(|c| c.children_named("PU"))
+        {
+            let id = pu
+                .attr("id")
+                .ok_or_else(|| PdlError::BadPu("PU without id".to_string()))?
+                .to_string();
+            let role_raw = pu
+                .attr("role")
+                .ok_or_else(|| PdlError::BadPu(format!("PU '{id}' without role")))?;
+            let role = ControlRole::parse(role_raw)
+                .ok_or_else(|| PdlError::BadPu(format!("PU '{id}': unknown role '{role_raw}'")))?;
+            pus.push(ProcessingUnit {
+                id,
+                role,
+                pu_type: pu.attr("type").unwrap_or("CPU").to_string(),
+                properties: collect_properties(pu),
+                controls: Vec::new(),
+            });
+        }
+        let mut memories = Vec::new();
+        for m in root
+            .children_named("MemoryRegions")
+            .flat_map(|c| c.children_named("Memory"))
+        {
+            memories.push(MemoryRegion {
+                id: m.attr("id").unwrap_or("memory").to_string(),
+                scope: m.attr("scope").unwrap_or("global").to_string(),
+                properties: collect_properties(m),
+            });
+        }
+        let mut interconnects = Vec::new();
+        for i in root
+            .children_named("Interconnects")
+            .flat_map(|c| c.children_named("Interconnect"))
+        {
+            let endpoints = i
+                .attr("connects")
+                .map(|s| s.split(',').map(|t| t.trim().to_string()).collect())
+                .unwrap_or_default();
+            interconnects.push(PdlInterconnect {
+                id: i.attr("id").unwrap_or("interconnect").to_string(),
+                endpoints,
+                properties: collect_properties(i),
+            });
+        }
+        // Control relation edges.
+        let mut edges: Vec<(String, String)> = Vec::new();
+        for cr in root.children_named("ControlRelation") {
+            let master = cr.attr("master").unwrap_or_default().to_string();
+            for c in cr.children_named("Controls") {
+                if let Some(w) = c.attr("pu") {
+                    edges.push((master.clone(), w.to_string()));
+                }
+            }
+        }
+        let mut platform = PdlPlatform {
+            name,
+            pus,
+            memories,
+            interconnects,
+            properties: collect_properties(root),
+        };
+        for (m, w) in edges {
+            if !platform.pus.iter().any(|p| p.id == w) {
+                return Err(PdlError::UnknownPu(w));
+            }
+            let Some(mp) = platform.pus.iter_mut().find(|p| p.id == m) else {
+                return Err(PdlError::UnknownPu(m));
+            };
+            mp.controls.push(w);
+        }
+        platform.validate()?;
+        Ok(platform)
+    }
+
+    /// Structural validation of the control hierarchy.
+    pub fn validate(&self) -> Result<(), PdlError> {
+        let masters = self.pus.iter().filter(|p| p.role == ControlRole::Master).count();
+        if masters != 1 {
+            return Err(PdlError::MasterCount(masters));
+        }
+        for p in &self.pus {
+            if p.role == ControlRole::Worker && !p.controls.is_empty() {
+                return Err(PdlError::WorkerControlsOthers(p.id.clone()));
+            }
+        }
+        Ok(())
+    }
+
+    /// Find a PU.
+    pub fn pu(&self, id: &str) -> Option<&ProcessingUnit> {
+        self.pus.iter().find(|p| p.id == id)
+    }
+
+    /// The Master PU.
+    pub fn master(&self) -> &ProcessingUnit {
+        self.pus
+            .iter()
+            .find(|p| p.role == ControlRole::Master)
+            .expect("validated platform has a master")
+    }
+
+    /// The basic property query of PDL: look up a property on a PU, falling
+    /// back to platform-level properties.
+    pub fn query(&self, pu_id: &str, key: &str) -> Option<&str> {
+        if let Some(pu) = self.pu(pu_id) {
+            if let Some(v) = pu.properties.get(key) {
+                return Some(v);
+            }
+        }
+        self.properties.get(key).map(String::as_str)
+    }
+
+    /// Whether a property exists anywhere.
+    pub fn property_exists(&self, key: &str) -> bool {
+        self.properties.contains_key(key)
+            || self.pus.iter().any(|p| p.properties.contains_key(key))
+    }
+}
+
+/// A PDL source for the paper's GPU server, in the reconstructed syntax.
+pub const EXAMPLE_GPU_SERVER: &str = r#"<Platform name="liu_gpu_server">
+  <ProcessingUnits>
+    <PU id="cpu0" role="Master" type="CPU">
+      <Property name="x86_MAX_CLOCK_FREQUENCY" value="2000000000"/>
+      <Property name="NUM_CORES" value="4"/>
+      <Property name="INSTALLED_CUBLAS" value="6.0"/>
+    </PU>
+    <PU id="gpu0" role="Worker" type="GPU">
+      <Property name="CUDA_COMPUTE_CAPABILITY" value="3.5"/>
+      <Property name="GLOBAL_MEM_BYTES" value="5000000000"/>
+    </PU>
+  </ProcessingUnits>
+  <MemoryRegions>
+    <Memory id="main" scope="global">
+      <Property name="SIZE_BYTES" value="17179869184"/>
+    </Memory>
+    <Memory id="devmem" scope="device"/>
+  </MemoryRegions>
+  <Interconnects>
+    <Interconnect id="pcie" connects="cpu0, gpu0">
+      <Property name="BANDWIDTH_BYTES_PER_S" value="6442450944"/>
+    </Interconnect>
+  </Interconnects>
+  <ControlRelation master="cpu0">
+    <Controls pu="gpu0"/>
+  </ControlRelation>
+</Platform>"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_example_platform() {
+        let p = PdlPlatform::parse(EXAMPLE_GPU_SERVER).unwrap();
+        assert_eq!(p.name, "liu_gpu_server");
+        assert_eq!(p.pus.len(), 2);
+        assert_eq!(p.master().id, "cpu0");
+        assert_eq!(p.pu("gpu0").unwrap().role, ControlRole::Worker);
+        assert_eq!(p.pu("gpu0").unwrap().pu_type, "GPU");
+        assert_eq!(p.memories.len(), 2);
+        assert_eq!(p.interconnects[0].endpoints, vec!["cpu0", "gpu0"]);
+        assert_eq!(p.master().controls, vec!["gpu0"]);
+    }
+
+    #[test]
+    fn property_query() {
+        let p = PdlPlatform::parse(EXAMPLE_GPU_SERVER).unwrap();
+        assert_eq!(p.query("cpu0", "x86_MAX_CLOCK_FREQUENCY"), Some("2000000000"));
+        assert_eq!(p.query("gpu0", "CUDA_COMPUTE_CAPABILITY"), Some("3.5"));
+        assert_eq!(p.query("cpu0", "NONEXISTENT"), None);
+        assert!(p.property_exists("INSTALLED_CUBLAS"));
+        assert!(!p.property_exists("INSTALLED_MKL"));
+    }
+
+    #[test]
+    fn exactly_one_master_required() {
+        let no_master = r#"<Platform name="p"><ProcessingUnits>
+            <PU id="a" role="Worker"/></ProcessingUnits></Platform>"#;
+        assert_eq!(PdlPlatform::parse(no_master).unwrap_err(), PdlError::MasterCount(0));
+        let two = r#"<Platform name="p"><ProcessingUnits>
+            <PU id="a" role="Master"/><PU id="b" role="Master"/>
+            </ProcessingUnits></Platform>"#;
+        assert_eq!(PdlPlatform::parse(two).unwrap_err(), PdlError::MasterCount(2));
+    }
+
+    #[test]
+    fn workers_must_be_leaves() {
+        let bad = r#"<Platform name="p"><ProcessingUnits>
+            <PU id="m" role="Master"/><PU id="w" role="Worker"/><PU id="x" role="Worker"/>
+            </ProcessingUnits>
+            <ControlRelation master="w"><Controls pu="x"/></ControlRelation></Platform>"#;
+        assert_eq!(
+            PdlPlatform::parse(bad).unwrap_err(),
+            PdlError::WorkerControlsOthers("w".into())
+        );
+    }
+
+    #[test]
+    fn hybrid_may_control() {
+        let ok = r#"<Platform name="p"><ProcessingUnits>
+            <PU id="m" role="Master"/><PU id="h" role="Hybrid"/><PU id="w" role="Worker"/>
+            </ProcessingUnits>
+            <ControlRelation master="m"><Controls pu="h"/></ControlRelation>
+            <ControlRelation master="h"><Controls pu="w"/></ControlRelation></Platform>"#;
+        let p = PdlPlatform::parse(ok).unwrap();
+        assert_eq!(p.pu("h").unwrap().controls, vec!["w"]);
+    }
+
+    #[test]
+    fn unknown_pu_in_control_relation() {
+        let bad = r#"<Platform name="p"><ProcessingUnits><PU id="m" role="Master"/></ProcessingUnits>
+            <ControlRelation master="m"><Controls pu="ghost"/></ControlRelation></Platform>"#;
+        assert_eq!(PdlPlatform::parse(bad).unwrap_err(), PdlError::UnknownPu("ghost".into()));
+    }
+
+    #[test]
+    fn pu_requires_id_and_role() {
+        let no_id = r#"<Platform name="p"><ProcessingUnits><PU role="Master"/></ProcessingUnits></Platform>"#;
+        assert!(matches!(PdlPlatform::parse(no_id).unwrap_err(), PdlError::BadPu(_)));
+        let no_role = r#"<Platform name="p"><ProcessingUnits><PU id="a"/></ProcessingUnits></Platform>"#;
+        assert!(matches!(PdlPlatform::parse(no_role).unwrap_err(), PdlError::BadPu(_)));
+        let bad_role = r#"<Platform name="p"><ProcessingUnits><PU id="a" role="Boss"/></ProcessingUnits></Platform>"#;
+        assert!(matches!(PdlPlatform::parse(bad_role).unwrap_err(), PdlError::BadPu(_)));
+    }
+
+    #[test]
+    fn non_platform_root_rejected() {
+        assert_eq!(
+            PdlPlatform::parse("<system id=\"x\"/>").unwrap_err(),
+            PdlError::NotAPlatform("system".into())
+        );
+        assert!(matches!(PdlPlatform::parse("<oops").unwrap_err(), PdlError::Xml(_)));
+    }
+
+    #[test]
+    fn roles_parse_case_insensitively() {
+        assert_eq!(ControlRole::parse("master"), Some(ControlRole::Master));
+        assert_eq!(ControlRole::parse("Hybrid"), Some(ControlRole::Hybrid));
+        assert_eq!(ControlRole::parse("WORKER"), None);
+        assert_eq!(ControlRole::Master.to_string(), "Master");
+    }
+}

@@ -1,0 +1,70 @@
+//! Property test: every valid random PDL platform converts to XPDL that
+//! validates against the core metamodel with zero errors.
+
+use proptest::prelude::*;
+use pdl_compat::{pdl_to_xpdl, PdlPlatform};
+
+fn arb_platform_src() -> impl Strategy<Value = String> {
+    (
+        1usize..5,                      // workers
+        0usize..3,                      // memories
+        proptest::collection::vec((0usize..5, 0u64..1_000_000), 0..4), // master props
+    )
+        .prop_map(|(workers, memories, props)| {
+            let prop_names =
+                ["x86_MAX_CLOCK_FREQUENCY", "NUM_CORES", "GLOBAL_MEM_BYTES", "INSTALLED_MKL", "CUSTOM_KNOB"];
+            let mut s = String::from(r#"<Platform name="gen"><ProcessingUnits>"#);
+            s.push_str(r#"<PU id="m0" role="Master" type="CPU">"#);
+            let mut seen = std::collections::BTreeSet::new();
+            for (p, v) in &props {
+                let name = prop_names[*p];
+                if seen.insert(name) {
+                    s.push_str(&format!(r#"<Property name="{name}" value="{v}"/>"#));
+                }
+            }
+            s.push_str("</PU>");
+            for w in 0..workers {
+                s.push_str(&format!(
+                    r#"<PU id="w{w}" role="Worker" type="GPU"><Property name="CUDA_COMPUTE_CAPABILITY" value="3.5"/></PU>"#
+                ));
+            }
+            s.push_str("</ProcessingUnits><MemoryRegions>");
+            for m in 0..memories {
+                s.push_str(&format!(r#"<Memory id="mem{m}" scope="global"/>"#));
+            }
+            s.push_str("</MemoryRegions>");
+            s.push_str(r#"<ControlRelation master="m0">"#);
+            for w in 0..workers {
+                s.push_str(&format!(r#"<Controls pu="w{w}"/>"#));
+            }
+            s.push_str("</ControlRelation></Platform>");
+            s
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn conversion_always_schema_valid(src in arb_platform_src()) {
+        let platform = PdlPlatform::parse(&src).unwrap();
+        let converted = pdl_to_xpdl(&platform);
+        let xml = xpdl_xml::write_element(&converted.to_xml(), &xpdl_xml::WriteOptions::pretty());
+        let doc = xpdl_core::XpdlDocument::parse_str(&xml).unwrap();
+        let errors: Vec<_> = xpdl_schema::validate_document(&doc, &xpdl_schema::Schema::core())
+            .into_iter()
+            .filter(|d| d.is_error())
+            .collect();
+        prop_assert!(errors.is_empty(), "{errors:#?}\n{xml}");
+        // No information category lost: same PU count, control roles kept.
+        let pus = platform.pus.len();
+        let converted_pus = doc.root().find_kind(xpdl_core::ElementKind::Cpu).count()
+            + doc.root().find_kind(xpdl_core::ElementKind::Device).count();
+        prop_assert_eq!(pus, converted_pus);
+    }
+
+    #[test]
+    fn pdl_parser_is_total(junk in "[ -~]{0,200}") {
+        let _ = PdlPlatform::parse(&junk);
+    }
+}

@@ -1,0 +1,566 @@
+//! Library backing the `xpdlc` command-line tool.
+//!
+//! The paper's §IV describes a processing tool that "runs statically to
+//! build a run-time data structure based on the XPDL descriptor files":
+//! browse the repository, parse, compose, analyze, generate drivers, run
+//! microbenchmarks, write the runtime file. `xpdlc` packages that pipeline
+//! as subcommands:
+//!
+//! | subcommand | paper stage |
+//! |---|---|
+//! | `validate <file>` | parse + schema check |
+//! | `compose <key> [--models DIR]` | repository browse + composition + static analysis |
+//! | `dump <key>` | print the composed model as XML |
+//! | `build <key> -o FILE` | write the runtime data structure file |
+//! | `query <file> <ident> [attr]` | runtime query API demo (`xpdl_init` + getters) |
+//! | `bootstrap <key>` | generate drivers + run microbenchmarks on the simulator |
+//! | `codegen [rust\|c]` | generate the query API from the core schema |
+//! | `uml [schema\|<key>]` | the UML view (PlantUML) of the metamodel or a composed model |
+//! | `export <dir>` | write the built-in library as `.xpdl` files (a local model search path) |
+//! | `keys` | list the built-in model library |
+//!
+//! All commands default to the built-in model library; `--models DIR` adds
+//! a local directory of `.xpdl` files to the front of the search path.
+
+use std::path::PathBuf;
+use xpdl_core::XpdlDocument;
+use xpdl_repo::{DirStore, Repository};
+use xpdl_schema::{validate_document, Schema};
+
+/// Exit status of a command (0 = success).
+pub type ExitCode = i32;
+
+/// Run the CLI with the given arguments (excluding argv[0]); output goes
+/// to the writers so tests can capture it.
+pub fn run(args: &[String], out: &mut dyn std::io::Write) -> ExitCode {
+    match dispatch(args, out) {
+        Ok(code) => code,
+        Err(e) => {
+            let _ = writeln!(out, "error: {e}");
+            1
+        }
+    }
+}
+
+fn dispatch(args: &[String], out: &mut dyn std::io::Write) -> Result<ExitCode, Box<dyn std::error::Error>> {
+    let Some(cmd) = args.first() else {
+        write_usage(out)?;
+        return Ok(2);
+    };
+    let rest = &args[1..];
+    match cmd.as_str() {
+        "help" | "--help" | "-h" => {
+            write_usage(out)?;
+            Ok(0)
+        }
+        "keys" => {
+            for key in repository(rest).keys() {
+                writeln!(out, "{key}")?;
+            }
+            Ok(0)
+        }
+        "validate" => {
+            let path = arg_at(rest, 0, "validate <file.xpdl>")?;
+            let src = std::fs::read_to_string(&path)?;
+            let doc = XpdlDocument::parse_named(&src, &path)?;
+            let diags = validate_document(&doc, &Schema::core());
+            let mut errors = 0;
+            for d in &diags {
+                writeln!(out, "{d}")?;
+                errors += usize::from(d.is_error());
+            }
+            writeln!(out, "{}: {} diagnostics, {} errors", path, diags.len(), errors)?;
+            Ok(if errors == 0 { 0 } else { 1 })
+        }
+        "compose" => {
+            let key = arg_at(rest, 0, "compose <key>")?;
+            let model = compose(&key, rest)?;
+            writeln!(
+                out,
+                "composed '{key}': {} elements, {} cores, {} links, default-domain power {}",
+                model.root.subtree_size(),
+                model.count_kind(xpdl_core::ElementKind::Core),
+                model.links.len(),
+                model.default_domain_power,
+            )?;
+            for d in &model.diagnostics {
+                writeln!(out, "{d}")?;
+            }
+            for link in &model.links {
+                if let (Some(bw), Some(by)) = (link.effective_bandwidth, link.limited_by.as_ref()) {
+                    writeln!(
+                        out,
+                        "link {}: effective bandwidth {:.3} GiB/s (limited by {by})",
+                        link.id,
+                        bw / 1024f64.powi(3),
+                    )?;
+                }
+            }
+            Ok(if model.is_clean() { 0 } else { 1 })
+        }
+        "dump" => {
+            let key = arg_at(rest, 0, "dump <key>")?;
+            let model = compose(&key, rest)?;
+            let xml = xpdl_xml::write_element(&model.root.to_xml(), &xpdl_xml::WriteOptions::pretty());
+            writeln!(out, "{xml}")?;
+            Ok(0)
+        }
+        "build" => {
+            let key = arg_at(rest, 0, "build <key> -o <file> [--filter deployment]")?;
+            let out_path = flag_value(rest, "-o")
+                .map(PathBuf::from)
+                .unwrap_or_else(|| PathBuf::from(format!("{key}.xpdlrt")));
+            let mut model = compose(&key, rest)?;
+            if let Some(profile) = flag_value(rest, "--filter") {
+                let filter = match profile.as_str() {
+                    "deployment" => xpdl_elab::ModelFilter::deployment(),
+                    "deployment-strict" => {
+                        xpdl_elab::ModelFilter::deployment().drop_unknowns()
+                    }
+                    other => {
+                        writeln!(out, "unknown filter profile '{other}'")?;
+                        return Ok(2);
+                    }
+                };
+                let (elems, attrs) = filter.apply(&mut model.root);
+                writeln!(out, "filter '{profile}': dropped {elems} elements, {attrs} attributes")?;
+            }
+            let rt = xpdl_runtime::RuntimeModel::from_element(&model.root);
+            xpdl_runtime::format::save_file(&rt, &out_path)?;
+            writeln!(
+                out,
+                "wrote {} ({} nodes, {} bytes)",
+                out_path.display(),
+                rt.len(),
+                std::fs::metadata(&out_path)?.len()
+            )?;
+            Ok(0)
+        }
+        "query" => {
+            let file = arg_at(rest, 0, "query <file.xpdlrt> [ident [attr]]")?;
+            let handle = xpdl_runtime::XpdlHandle::init(std::path::Path::new(&file))?;
+            match (rest.get(1), rest.get(2)) {
+                (None, _) => {
+                    writeln!(out, "root: {}", handle.root().kind())?;
+                    writeln!(out, "num_cores: {}", handle.num_cores())?;
+                    writeln!(out, "num_cuda_devices: {}", handle.num_cuda_devices())?;
+                    writeln!(out, "total_static_power_w: {}", handle.total_static_power_w())?;
+                }
+                (Some(ident), None) => match handle.find(ident) {
+                    Some(node) => {
+                        writeln!(out, "{}[{}]", node.kind(), ident)?;
+                        for (k, v) in node.attrs() {
+                            writeln!(out, "  {k} = {v}")?;
+                        }
+                    }
+                    None => {
+                        writeln!(out, "'{ident}' not found")?;
+                        return Ok(1);
+                    }
+                },
+                (Some(ident), Some(attr)) => match handle.get_attr(ident, attr) {
+                    Some(v) => writeln!(out, "{v}")?,
+                    None => {
+                        writeln!(out, "(none)")?;
+                        return Ok(1);
+                    }
+                },
+            }
+            Ok(0)
+        }
+        "bootstrap" => {
+            let key = if rest.is_empty() { "x86_base_isa".to_string() } else { rest[0].clone() };
+            bootstrap(&key, rest, out)
+        }
+        "diff" => {
+            let a = arg_at(rest, 0, "diff <old.xpdl> <new.xpdl>")?;
+            let b = arg_at(rest, 1, "diff <old.xpdl> <new.xpdl>")?;
+            let old = XpdlDocument::parse_named(&std::fs::read_to_string(&a)?, &a)?;
+            let new = XpdlDocument::parse_named(&std::fs::read_to_string(&b)?, &b)?;
+            let entries = xpdl_core::diff_models(old.root(), new.root());
+            for e in &entries {
+                writeln!(out, "{e}")?;
+            }
+            writeln!(out, "{} difference(s)", entries.len())?;
+            Ok(if entries.is_empty() { 0 } else { 1 })
+        }
+        "route" => {
+            let key = arg_at(rest, 0, "route <key> <from> <to> [bytes]")?;
+            let from = arg_at(rest, 1, "route <key> <from> <to> [bytes]")?;
+            let to = arg_at(rest, 2, "route <key> <from> <to> [bytes]")?;
+            let bytes: u64 = rest.get(3).and_then(|b| b.parse().ok()).unwrap_or(1 << 20);
+            let model = compose(&key, rest)?;
+            let graph = xpdl_elab::LinkGraph::build(&model.root);
+            match graph.route(&model.root, &from, &to) {
+                Some(r) => {
+                    for h in &r.hops {
+                        writeln!(out, "  {} -> {} via {}", h.from, h.to, h.link)?;
+                    }
+                    writeln!(
+                        out,
+                        "bottleneck: {}; latency {:.3} us; {} bytes in {}",
+                        r.bottleneck_bps
+                            .map(|b| format!("{:.2} GiB/s", b / 1024f64.powi(3)))
+                            .unwrap_or_else(|| "unknown".into()),
+                        r.latency_s * 1e6,
+                        bytes,
+                        r.transfer_time(bytes)
+                            .map(|t| format!("{:.3} ms", t * 1e3))
+                            .unwrap_or_else(|| "unknown".into()),
+                    )?;
+                    Ok(0)
+                }
+                None => {
+                    writeln!(out, "no route from '{from}' to '{to}'")?;
+                    Ok(1)
+                }
+            }
+        }
+        "uml" => {
+            let what = rest.first().map(String::as_str).unwrap_or("schema");
+            if what == "schema" {
+                writeln!(out, "{}", xpdl_codegen::schema_to_plantuml(&Schema::core()))?;
+            } else {
+                let model = compose(what, rest)?;
+                let cap = flag_value(rest, "--max")
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(200);
+                writeln!(out, "{}", xpdl_codegen::model_to_plantuml(&model.root, cap))?;
+            }
+            Ok(0)
+        }
+        "export" => {
+            let dir = PathBuf::from(arg_at(rest, 0, "export <dir>")?);
+            std::fs::create_dir_all(&dir)?;
+            let mut n = 0;
+            for (key, src) in xpdl_models::library::LIBRARY {
+                // Keys double as file names; path separators never occur.
+                std::fs::write(dir.join(format!("{key}.xpdl")), src)?;
+                n += 1;
+            }
+            writeln!(out, "exported {n} descriptors to {}", dir.display())?;
+            Ok(0)
+        }
+        "codegen" => {
+            let lang = rest.first().map(String::as_str).unwrap_or("rust");
+            let schema = Schema::core();
+            match lang {
+                "rust" => writeln!(out, "{}", xpdl_codegen::generate_rust_api(&schema))?,
+                "c" => writeln!(out, "{}", xpdl_codegen::generate_c_header(&schema))?,
+                other => {
+                    writeln!(out, "unknown codegen language '{other}' (rust|c)")?;
+                    return Ok(2);
+                }
+            }
+            Ok(0)
+        }
+        other => {
+            writeln!(out, "unknown subcommand '{other}'")?;
+            write_usage(out)?;
+            Ok(2)
+        }
+    }
+}
+
+fn repository(args: &[String]) -> Repository {
+    let mut repo = xpdl_models::paper_repository();
+    if let Some(dir) = flag_value(args, "--models") {
+        // User-provided models take precedence: rebuild with the dir first.
+        let mut fresh = Repository::new().with_store(DirStore::new(dir));
+        let mut lib = xpdl_repo::MemoryStore::new();
+        for (k, v) in xpdl_models::library::LIBRARY {
+            lib.insert(*k, *v);
+        }
+        fresh.push_store(Box::new(lib));
+        repo = fresh;
+    }
+    repo
+}
+
+fn compose(key: &str, args: &[String]) -> Result<xpdl_elab::Elaborated, Box<dyn std::error::Error>> {
+    let repo = repository(args);
+    let set = repo.resolve_recursive(key)?;
+    Ok(xpdl_elab::elaborate(&set)?)
+}
+
+fn bootstrap(
+    key: &str,
+    args: &[String],
+    out: &mut dyn std::io::Write,
+) -> Result<ExitCode, Box<dyn std::error::Error>> {
+    use xpdl_hwsim::{GroundTruth, SimMachine};
+    use xpdl_power::{InstructionEnergyTable, PowerStateMachine};
+
+    let repo = repository(args);
+    let isa_doc = repo.load(key)?;
+    let mut table = InstructionEnergyTable::from_element(isa_doc.root())?;
+    let suite_key = table.suite_mb.clone().ok_or("instruction set has no mb= suite reference")?;
+    let suite_doc = repo.load(&suite_key)?;
+    let suite = xpdl_mb::MicrobenchmarkSuite::from_element(suite_doc.root())?;
+
+    // The deployment target: the Xeon's power model drives the simulator.
+    let pm_doc = repo.load("power_model_E5_2630L")?;
+    let psm_elem = pm_doc
+        .root()
+        .children_of_kind(xpdl_core::ElementKind::PowerStateMachine)
+        .next()
+        .ok_or("power model has no power_state_machine")?;
+    let fsm = PowerStateMachine::from_element(psm_elem)?;
+    let initial = fsm.states[0].name.clone();
+    let mut machine = SimMachine::new(GroundTruth::x86_default(), fsm, 1, &initial, 0xBEEF)
+        .ok_or("cannot build simulated machine")?;
+    machine.noise = 0.002;
+
+    writeln!(out, "pending before bootstrap: {:?}", table.pending())?;
+    // Generated driver sources (the paper's driver generator output).
+    for entry in &suite.entries {
+        let src = xpdl_mb::generate_benchmark_source(entry, 1_000_000, xpdl_mb::DriverLanguage::C);
+        writeln!(out, "generated {} ({} lines)", entry.file, src.lines().count())?;
+    }
+    let report = xpdl_mb::bootstrap_energy_table(&mut table, &suite, &mut machine, 5);
+    for (inst, points) in &report.filled {
+        writeln!(out, "measured {inst}: {points} frequency points")?;
+    }
+    for inst in &report.skipped {
+        writeln!(out, "skipped {inst}: no microbenchmark")?;
+    }
+    writeln!(
+        out,
+        "bootstrap: {} filled, {} skipped, {} runs; pending after: {:?}",
+        report.filled.len(),
+        report.skipped.len(),
+        report.total_runs,
+        table.pending()
+    )?;
+    Ok(if report.complete() { 0 } else { 1 })
+}
+
+fn arg_at(args: &[String], i: usize, usage: &str) -> Result<String, String> {
+    args.get(i).cloned().ok_or_else(|| format!("usage: xpdlc {usage}"))
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
+}
+
+fn write_usage(out: &mut dyn std::io::Write) -> std::io::Result<()> {
+    writeln!(
+        out,
+        "xpdlc — the XPDL toolchain\n\
+         \n\
+         USAGE: xpdlc <subcommand> [args]\n\
+         \n\
+         SUBCOMMANDS:\n\
+         \x20 validate <file.xpdl>           parse + schema-check a descriptor\n\
+         \x20 compose <key> [--models DIR]   resolve + elaborate a system model\n\
+         \x20 dump <key>                     print the composed model as XML\n\
+         \x20 build <key> -o <file>          write the runtime data structure\n\
+         \x20 query <file.xpdlrt> [id [at]]  runtime query API\n\
+         \x20 bootstrap [isa-key]            run microbenchmarks, fill '?' entries\n\
+         \x20 codegen [rust|c]               generate the query API from the schema\n\
+         \x20 uml [schema|<key>] [--max N]   PlantUML view of metamodel / composed model\n\
+         \x20 export <dir>                   write the library as .xpdl files\n\
+         \x20 route <key> <from> <to> [B]    interconnect route + transfer estimate\n\
+         \x20 diff <old.xpdl> <new.xpdl>     structural model diff\n\
+         \x20 keys                           list built-in model library keys"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_cli(args: &[&str]) -> (ExitCode, String) {
+        let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        let mut buf = Vec::new();
+        let code = run(&args, &mut buf);
+        (code, String::from_utf8(buf).expect("utf8 output"))
+    }
+
+    #[test]
+    fn no_args_prints_usage() {
+        let (code, out) = run_cli(&[]);
+        assert_eq!(code, 2);
+        assert!(out.contains("USAGE"));
+    }
+
+    #[test]
+    fn help_exits_zero() {
+        let (code, out) = run_cli(&["help"]);
+        assert_eq!(code, 0);
+        assert!(out.contains("bootstrap"));
+    }
+
+    #[test]
+    fn keys_lists_library() {
+        let (code, out) = run_cli(&["keys"]);
+        assert_eq!(code, 0);
+        assert!(out.contains("liu_gpu_server"));
+        assert!(out.contains("Nvidia_K20c"));
+    }
+
+    #[test]
+    fn compose_gpu_server() {
+        let (code, out) = run_cli(&["compose", "liu_gpu_server"]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("2500 cores"), "{out}");
+        assert!(out.contains("effective bandwidth"), "{out}");
+    }
+
+    #[test]
+    fn compose_unknown_key_fails() {
+        let (code, out) = run_cli(&["compose", "ghost_server"]);
+        assert_eq!(code, 1);
+        assert!(out.contains("not found"));
+    }
+
+    #[test]
+    fn dump_produces_xml() {
+        let (code, out) = run_cli(&["dump", "myriad_server"]);
+        assert_eq!(code, 0);
+        // The composed root also carries the synthesized derived_* attrs.
+        assert!(out.contains("<system id=\"myriad_server\""));
+        assert!(out.contains("derived_num_cores=\"22\""));
+        assert!(out.contains("shave0"));
+    }
+
+    #[test]
+    fn validate_file_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("xpdlc_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ok.xpdl");
+        std::fs::write(&path, r#"<cache name="L1" size="32" unit="KiB"/>"#).unwrap();
+        let (code, out) = run_cli(&["validate", path.to_str().unwrap()]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("0 errors"));
+        let bad = dir.join("bad.xpdl");
+        std::fs::write(&bad, r#"<cache name="L1" size="32" unit="XYZ"/>"#).unwrap();
+        let (code, out) = run_cli(&["validate", bad.to_str().unwrap()]);
+        assert_eq!(code, 1);
+        assert!(out.contains("error"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn build_and_query() {
+        let dir = std::env::temp_dir().join(format!("xpdlc_rt_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let rt = dir.join("srv.xpdlrt");
+        let (code, out) = run_cli(&["build", "liu_gpu_server", "-o", rt.to_str().unwrap()]);
+        assert_eq!(code, 0, "{out}");
+        assert!(rt.exists());
+        let (code, out) = run_cli(&["query", rt.to_str().unwrap()]);
+        assert_eq!(code, 0);
+        assert!(out.contains("num_cores: 2500"), "{out}");
+        assert!(out.contains("num_cuda_devices: 1"), "{out}");
+        let (code, out) = run_cli(&["query", rt.to_str().unwrap(), "gpu1"]);
+        assert_eq!(code, 0);
+        assert!(out.contains("device[gpu1]"), "{out}");
+        let (code, _) = run_cli(&["query", rt.to_str().unwrap(), "nope"]);
+        assert_eq!(code, 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bootstrap_fills_isa() {
+        let (code, out) = run_cli(&["bootstrap"]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("measured fadd"), "{out}");
+        assert!(out.contains("pending after: []"), "{out}");
+    }
+
+    #[test]
+    fn codegen_both_languages() {
+        let (code, out) = run_cli(&["codegen", "rust"]);
+        assert_eq!(code, 0);
+        assert!(out.contains("pub struct Cpu<'m>"));
+        let (code, out) = run_cli(&["codegen", "c"]);
+        assert_eq!(code, 0);
+        assert!(out.contains("xpdl_init"));
+        let (code, _) = run_cli(&["codegen", "cobol"]);
+        assert_eq!(code, 2);
+    }
+
+    #[test]
+    fn uml_schema_and_model() {
+        let (code, out) = run_cli(&["uml"]);
+        assert_eq!(code, 0);
+        assert!(out.contains("@startuml"));
+        assert!(out.contains("class Cpu"));
+        let (code, out) = run_cli(&["uml", "myriad_server", "--max", "40"]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("object"), "{out}");
+        assert!(out.contains("elided"), "{out}");
+    }
+
+    #[test]
+    fn export_then_compose_from_directory() {
+        let dir = std::env::temp_dir().join(format!("xpdlc_export_{}", std::process::id()));
+        let dir_s = dir.to_str().unwrap().to_string();
+        let (code, out) = run_cli(&["export", &dir_s]);
+        assert_eq!(code, 0, "{out}");
+        assert!(dir.join("Intel_Xeon_E5_2630L.xpdl").exists());
+        // Shadow the library's GPU server with an on-disk variant and make
+        // sure --models picks it up (user dir wins over built-ins).
+        std::fs::write(
+            dir.join("liu_gpu_server.xpdl"),
+            r#"<system id="liu_gpu_server"><socket><cpu id="h" type="Xeon1"/></socket></system>"#,
+        )
+        .unwrap();
+        let (code, out) = run_cli(&["compose", "liu_gpu_server", "--models", &dir_s]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("4 cores"), "{out}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn route_across_cluster() {
+        let (code, out) = run_cli(&["route", "XScluster", "n0.gpu1", "n3", "1048576"]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("conn3"), "{out}");
+        assert!(out.contains("bottleneck"), "{out}");
+        let (code, _) = run_cli(&["route", "XScluster", "ghost", "n3"]);
+        assert_eq!(code, 1);
+    }
+
+    #[test]
+    fn build_with_deployment_filter() {
+        let dir = std::env::temp_dir().join(format!("xpdlc_filter_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let rt = dir.join("f.xpdlrt");
+        let (code, out) =
+            run_cli(&["build", "liu_gpu_server", "-o", rt.to_str().unwrap(), "--filter", "deployment"]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("dropped"), "{out}");
+        let h = xpdl_runtime::XpdlHandle::init(&rt).unwrap();
+        assert!(h.elements_of_kind("microbenchmarks").is_empty());
+        assert_eq!(h.num_cores(), 2500);
+        let (code, _) = run_cli(&["build", "liu_gpu_server", "--filter", "bogus"]);
+        assert_eq!(code, 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn diff_descriptor_files() {
+        let dir = std::env::temp_dir().join(format!("xpdlc_diff_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let a = dir.join("a.xpdl");
+        let b = dir.join("b.xpdl");
+        std::fs::write(&a, r#"<cache name="L1" size="32" unit="KiB"/>"#).unwrap();
+        std::fs::write(&b, r#"<cache name="L1" size="64" unit="KiB"/>"#).unwrap();
+        let (code, out) = run_cli(&["diff", a.to_str().unwrap(), b.to_str().unwrap()]);
+        assert_eq!(code, 1);
+        assert!(out.contains("@size"), "{out}");
+        let (code, out) = run_cli(&["diff", a.to_str().unwrap(), a.to_str().unwrap()]);
+        assert_eq!(code, 0);
+        assert!(out.contains("0 difference(s)"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn unknown_subcommand() {
+        let (code, out) = run_cli(&["frobnicate"]);
+        assert_eq!(code, 2);
+        assert!(out.contains("unknown subcommand"));
+    }
+}

@@ -1,0 +1,8 @@
+//! `xpdlc` entry point.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let stdout = std::io::stdout();
+    let mut lock = stdout.lock();
+    std::process::exit(xpdl_cli::run(&args, &mut lock));
+}

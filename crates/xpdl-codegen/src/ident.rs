@@ -1,0 +1,113 @@
+//! Identifier conversion for generated code.
+
+/// Rust keywords that must be escaped in generated identifiers.
+const RUST_KEYWORDS: &[&str] = &[
+    "as", "break", "const", "continue", "crate", "dyn", "else", "enum", "extern", "false", "fn",
+    "for", "if", "impl", "in", "let", "loop", "match", "mod", "move", "mut", "pub", "ref",
+    "return", "self", "static", "struct", "super", "trait", "true", "type", "unsafe", "use",
+    "where", "while", "async", "await", "box", "final", "macro", "override", "priv", "try",
+    "typeof", "unsized", "virtual", "yield",
+];
+
+/// Convert a tag name to CamelCase (`power_state_machine` →
+/// `PowerStateMachine`, `hostOS` → `HostOs`).
+pub fn camel_case(tag: &str) -> String {
+    let mut out = String::with_capacity(tag.len());
+    let mut upper_next = true;
+    let mut prev_upper = false;
+    for c in tag.chars() {
+        if matches!(c, '_' | '-' | '.' | ' ') {
+            upper_next = true;
+            prev_upper = false;
+            continue;
+        }
+        if upper_next {
+            out.extend(c.to_uppercase());
+            upper_next = false;
+            prev_upper = true;
+        } else if c.is_uppercase() {
+            // Collapse runs of capitals: hostOS -> HostOs.
+            if prev_upper {
+                out.extend(c.to_lowercase());
+            } else {
+                out.push(c);
+            }
+            prev_upper = true;
+        } else {
+            out.push(c);
+            prev_upper = false;
+        }
+    }
+    if out.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        out.insert(0, 'X');
+    }
+    out
+}
+
+/// Convert an attribute name to a safe snake_case identifier.
+pub fn sanitize_snake(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 4);
+    for (i, c) in name.chars().enumerate() {
+        if c.is_uppercase() {
+            if i > 0 && !out.ends_with('_') {
+                out.push('_');
+            }
+            out.extend(c.to_lowercase());
+        } else if c.is_alphanumeric() || c == '_' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    if RUST_KEYWORDS.contains(&out.as_str()) {
+        out.push('_');
+    }
+    out
+}
+
+/// The getter name for an attribute (`get_static_power`), matching the
+/// paper's `m.get_id()` convention.
+pub fn getter_name(attr: &str) -> String {
+    format!("get_{}", sanitize_snake(attr))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn camel_case_paper_tags() {
+        assert_eq!(camel_case("cpu"), "Cpu");
+        assert_eq!(camel_case("power_state_machine"), "PowerStateMachine");
+        assert_eq!(camel_case("hostOS"), "HostOs");
+        assert_eq!(camel_case("programming_model"), "ProgrammingModel");
+        assert_eq!(camel_case("microbenchmarks"), "Microbenchmarks");
+    }
+
+    #[test]
+    fn camel_case_edge_cases() {
+        assert_eq!(camel_case("usb_2.0"), "Usb20");
+        assert_eq!(camel_case("3dfx"), "X3dfx");
+        assert_eq!(camel_case(""), "");
+    }
+
+    #[test]
+    fn snake_sanitization() {
+        assert_eq!(sanitize_snake("enableSwitchOff"), "enable_switch_off");
+        assert_eq!(sanitize_snake("switchoffCondition"), "switchoff_condition");
+        assert_eq!(sanitize_snake("max_bandwidth"), "max_bandwidth");
+        assert_eq!(sanitize_snake("type"), "type_");
+        assert_eq!(sanitize_snake("3d"), "_3d");
+        assert_eq!(sanitize_snake("a-b"), "a_b");
+    }
+
+    #[test]
+    fn getters_follow_paper_convention() {
+        assert_eq!(getter_name("id"), "get_id");
+        assert_eq!(getter_name("static_power"), "get_static_power");
+        assert_eq!(getter_name("enableSwitchOff"), "get_enable_switch_off");
+    }
+}

@@ -1,0 +1,323 @@
+//! Generic multi-variant components with platform-guided selection.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+use xpdl_runtime::XpdlHandle;
+
+/// A static requirement a variant places on the platform — the paper's
+/// "selectability constraints that depend on static property values",
+/// checked once against the runtime model.
+#[derive(Clone)]
+pub enum Requirement {
+    /// Some installed software whose `type` starts with the prefix
+    /// (`CUBLAS`, `cusparse`, `StarPU`…).
+    InstalledLib(&'static str),
+    /// At least one CUDA-capable device.
+    CudaDevice,
+    /// At least `n` cores in the model.
+    MinCores(usize),
+    /// An element with this identifier exists.
+    HasElement(&'static str),
+    /// Arbitrary predicate over the handle.
+    Custom(Arc<dyn Fn(&XpdlHandle) -> bool + Send + Sync>),
+}
+
+impl fmt::Debug for Requirement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Requirement::InstalledLib(p) => write!(f, "InstalledLib({p})"),
+            Requirement::CudaDevice => write!(f, "CudaDevice"),
+            Requirement::MinCores(n) => write!(f, "MinCores({n})"),
+            Requirement::HasElement(e) => write!(f, "HasElement({e})"),
+            Requirement::Custom(_) => write!(f, "Custom(..)"),
+        }
+    }
+}
+
+impl Requirement {
+    /// Evaluate against a platform model.
+    pub fn holds(&self, platform: &XpdlHandle) -> bool {
+        match self {
+            Requirement::InstalledLib(prefix) => {
+                platform.has_installed(|t| t.starts_with(prefix))
+            }
+            Requirement::CudaDevice => platform.num_cuda_devices() > 0,
+            Requirement::MinCores(n) => platform.num_cores() >= *n,
+            Requirement::HasElement(id) => platform.find(id).is_some(),
+            Requirement::Custom(f) => f(platform),
+        }
+    }
+}
+
+/// Dynamic call-site properties (problem size, density, …) — the paper's
+/// "constraints that involve dynamic properties or property values".
+#[derive(Debug, Clone, Default)]
+pub struct CallContext {
+    props: BTreeMap<String, f64>,
+}
+
+impl CallContext {
+    /// Empty context.
+    pub fn new() -> CallContext {
+        CallContext::default()
+    }
+
+    /// Builder: set a property.
+    pub fn with(mut self, key: &str, value: f64) -> CallContext {
+        self.props.insert(key.to_string(), value);
+        self
+    }
+
+    /// Read a property.
+    pub fn get(&self, key: &str) -> Option<f64> {
+        self.props.get(key).copied()
+    }
+}
+
+/// Cost model signature: estimated cost (seconds or joules, dispatcher
+/// just minimizes it) of running this variant in this context.
+pub type CostModel = Arc<dyn Fn(&XpdlHandle, &CallContext) -> f64 + Send + Sync>;
+
+/// One implementation variant.
+#[derive(Clone)]
+pub struct Variant {
+    /// Variant name.
+    pub name: String,
+    /// Static selectability requirements (all must hold).
+    pub requirements: Vec<Requirement>,
+    /// Cost model guiding tuned selection among selectable variants.
+    pub cost: CostModel,
+}
+
+impl fmt::Debug for Variant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Variant")
+            .field("name", &self.name)
+            .field("requirements", &self.requirements)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Variant {
+    /// Create a variant.
+    pub fn new(
+        name: impl Into<String>,
+        requirements: Vec<Requirement>,
+        cost: impl Fn(&XpdlHandle, &CallContext) -> f64 + Send + Sync + 'static,
+    ) -> Variant {
+        Variant { name: name.into(), requirements, cost: Arc::new(cost) }
+    }
+
+    /// Whether the variant is selectable on a platform.
+    pub fn selectable(&self, platform: &XpdlHandle) -> bool {
+        self.requirements.iter().all(|r| r.holds(platform))
+    }
+}
+
+/// A multi-variant component.
+#[derive(Debug, Clone)]
+pub struct Component {
+    /// Component name.
+    pub name: String,
+    /// Its implementation variants.
+    pub variants: Vec<Variant>,
+}
+
+impl Component {
+    /// Create a component.
+    pub fn new(name: impl Into<String>) -> Component {
+        Component { name: name.into(), variants: Vec::new() }
+    }
+
+    /// Builder: add a variant.
+    pub fn with_variant(mut self, v: Variant) -> Component {
+        self.variants.push(v);
+        self
+    }
+}
+
+/// Selection failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SelectError {
+    /// No variant's requirements hold on this platform.
+    NoSelectableVariant {
+        /// The component.
+        component: String,
+    },
+}
+
+impl fmt::Display for SelectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SelectError::NoSelectableVariant { component } => {
+                write!(f, "component '{component}': no variant is selectable on this platform")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SelectError {}
+
+/// The composition-time + run-time dispatcher: filters variants by their
+/// static requirements once (composition time), then picks the
+/// cheapest-by-cost-model variant per call (runtime).
+pub struct Dispatcher {
+    component: Component,
+    platform: XpdlHandle,
+    selectable: Vec<usize>,
+}
+
+impl fmt::Debug for Dispatcher {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Dispatcher")
+            .field("component", &self.component.name)
+            .field("selectable", &self.selectable_variants())
+            .finish()
+    }
+}
+
+impl Dispatcher {
+    /// Build the dispatch table for a platform (composition time).
+    pub fn build(component: Component, platform: XpdlHandle) -> Result<Dispatcher, SelectError> {
+        let selectable: Vec<usize> = component
+            .variants
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.selectable(&platform))
+            .map(|(i, _)| i)
+            .collect();
+        if selectable.is_empty() {
+            return Err(SelectError::NoSelectableVariant { component: component.name.clone() });
+        }
+        Ok(Dispatcher { component, platform, selectable })
+    }
+
+    /// Names of the selectable variants.
+    pub fn selectable_variants(&self) -> Vec<&str> {
+        self.selectable.iter().map(|&i| self.component.variants[i].name.as_str()).collect()
+    }
+
+    /// Select the tuned variant for a call (runtime).
+    pub fn select(&self, ctx: &CallContext) -> &Variant {
+        self.selectable
+            .iter()
+            .map(|&i| &self.component.variants[i])
+            .min_by(|a, b| {
+                let ca = (a.cost)(&self.platform, ctx);
+                let cb = (b.cost)(&self.platform, ctx);
+                ca.partial_cmp(&cb).expect("finite costs")
+            })
+            .expect("selectable is non-empty")
+    }
+
+    /// The platform handle used for selection.
+    pub fn platform(&self) -> &XpdlHandle {
+        &self.platform
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xpdl_core::XpdlDocument;
+    use xpdl_runtime::RuntimeModel;
+
+    fn platform(with_gpu: bool, with_cusparse: bool) -> XpdlHandle {
+        let gpu = if with_gpu {
+            r#"<device id="gpu1"><programming_model type="cuda6.0"/><core id="sm0"/></device>"#
+        } else {
+            ""
+        };
+        let lib = if with_cusparse {
+            r#"<installed type="cusparse_6.0" path="/opt/cusparse"/>"#
+        } else {
+            ""
+        };
+        let src = format!(
+            r#"<system id="s">
+                 <cpu id="h"><core id="c0"/><core id="c1"/><core id="c2"/><core id="c3"/></cpu>
+                 {gpu}
+                 <software><installed type="CUBLAS_6.0" path="/opt"/>{lib}</software>
+               </system>"#
+        );
+        let doc = XpdlDocument::parse_str(&src).unwrap();
+        XpdlHandle::from_model(RuntimeModel::from_element(doc.root()))
+    }
+
+    fn component() -> Component {
+        Component::new("work")
+            .with_variant(Variant::new("cpu", vec![Requirement::MinCores(1)], |_, ctx| {
+                ctx.get("n").unwrap_or(1.0) * 2.0
+            }))
+            .with_variant(Variant::new(
+                "gpu",
+                vec![Requirement::CudaDevice, Requirement::InstalledLib("cusparse")],
+                |_, ctx| ctx.get("n").unwrap_or(1.0) * 0.5 + 1000.0,
+            ))
+    }
+
+    #[test]
+    fn requirements_evaluate_against_model() {
+        let p = platform(true, true);
+        assert!(Requirement::CudaDevice.holds(&p));
+        assert!(Requirement::InstalledLib("CUBLAS").holds(&p));
+        assert!(Requirement::InstalledLib("cusparse").holds(&p));
+        assert!(!Requirement::InstalledLib("MKL").holds(&p));
+        assert!(Requirement::MinCores(4).holds(&p));
+        assert!(!Requirement::MinCores(99).holds(&p));
+        assert!(Requirement::HasElement("gpu1").holds(&p));
+        let no_gpu = platform(false, false);
+        assert!(!Requirement::CudaDevice.holds(&no_gpu));
+        assert!(!Requirement::HasElement("gpu1").holds(&no_gpu));
+    }
+
+    #[test]
+    fn custom_requirement() {
+        let p = platform(false, false);
+        let r = Requirement::Custom(Arc::new(|h: &XpdlHandle| h.num_cores() % 2 == 0));
+        assert!(r.holds(&p));
+        assert!(format!("{r:?}").contains("Custom"));
+    }
+
+    #[test]
+    fn dispatcher_filters_by_requirements() {
+        let d = Dispatcher::build(component(), platform(false, false)).unwrap();
+        assert_eq!(d.selectable_variants(), vec!["cpu"]);
+        let d2 = Dispatcher::build(component(), platform(true, true)).unwrap();
+        assert_eq!(d2.selectable_variants(), vec!["cpu", "gpu"]);
+        // GPU present but sparse BLAS missing → GPU variant not selectable.
+        let d3 = Dispatcher::build(component(), platform(true, false)).unwrap();
+        assert_eq!(d3.selectable_variants(), vec!["cpu"]);
+    }
+
+    #[test]
+    fn no_selectable_variant_is_error() {
+        let c = Component::new("x").with_variant(Variant::new(
+            "impossible",
+            vec![Requirement::MinCores(1000)],
+            |_, _| 0.0,
+        ));
+        let err = Dispatcher::build(c, platform(false, false)).unwrap_err();
+        assert_eq!(err, SelectError::NoSelectableVariant { component: "x".into() });
+        assert!(err.to_string().contains("'x'"));
+    }
+
+    #[test]
+    fn tuned_selection_by_cost_model() {
+        let d = Dispatcher::build(component(), platform(true, true)).unwrap();
+        // Small n: cpu (2n) beats gpu (0.5n + 1000).
+        assert_eq!(d.select(&CallContext::new().with("n", 100.0)).name, "cpu");
+        // Large n: gpu wins; crossover at 2n = 0.5n + 1000 → n ≈ 667.
+        assert_eq!(d.select(&CallContext::new().with("n", 10_000.0)).name, "gpu");
+        assert_eq!(d.select(&CallContext::new().with("n", 600.0)).name, "cpu");
+        assert_eq!(d.select(&CallContext::new().with("n", 700.0)).name, "gpu");
+    }
+
+    #[test]
+    fn context_properties() {
+        let ctx = CallContext::new().with("density", 0.01).with("n", 5000.0);
+        assert_eq!(ctx.get("density"), Some(0.01));
+        assert_eq!(ctx.get("missing"), None);
+    }
+}

@@ -1,0 +1,23 @@
+//! Conditional composition over the XPDL runtime model.
+//!
+//! The paper motivates XPDL's runtime introspection with *conditional
+//! composition* (§II, citing Dastgeer & Kessler 2014): a multi-variant
+//! component — their case study is sparse matrix-vector multiply — whose
+//! CPU and GPU implementation variants each "specify its specific
+//! constraints on availability of specific libraries (such as sparse BLAS
+//! libraries) in the target system", with "selection constraints based on
+//! the density of nonzero elements, leading to an overall performance
+//! improvement".
+//!
+//! * [`component`] — the generic machinery: components, variants,
+//!   requirements evaluated against an [`xpdl_runtime::XpdlHandle`], call
+//!   contexts carrying dynamic properties, cost-model-guided dispatch.
+//! * [`spmv`] — the case study itself: `cpu_dense` / `cpu_csr` / `gpu_csr`
+//!   variants with library-availability requirements and density-dependent
+//!   cost models, executable on the simulated machine.
+
+pub mod component;
+pub mod spmv;
+
+pub use component::{CallContext, Component, Dispatcher, Requirement, SelectError, Variant};
+pub use spmv::{spmv_component, SpmvPlatform};

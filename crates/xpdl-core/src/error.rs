@@ -1,0 +1,95 @@
+//! Errors for the XPDL document model.
+
+use std::fmt;
+use xpdl_xml::XmlError;
+
+/// Result alias.
+pub type CoreResult<T> = Result<T, CoreError>;
+
+/// Errors raised while building the typed model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// Underlying XML syntax error.
+    Xml(XmlError),
+    /// A unit string that cannot be interpreted.
+    BadUnit { unit: String },
+    /// Units of two incompatible dimensions were combined/converted.
+    DimensionMismatch { left: String, right: String },
+    /// An attribute expected to be numeric is not.
+    BadNumber { attr: String, value: String },
+    /// An element carries both `name` and `id` (meta and instance markers).
+    BothNameAndId { element: String },
+    /// A `group` with `quantity` but an invalid count.
+    BadQuantity { value: String },
+    /// Duplicate `name`/`id` within one document.
+    DuplicateIdentifier { ident: String },
+    /// Free-form invariant violation with context.
+    Invalid { context: String, message: String },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Xml(e) => write!(f, "XML error: {e}"),
+            CoreError::BadUnit { unit } => write!(f, "unrecognized unit {unit:?}"),
+            CoreError::DimensionMismatch { left, right } => {
+                write!(f, "incompatible dimensions: {left} vs {right}")
+            }
+            CoreError::BadNumber { attr, value } => {
+                write!(f, "attribute {attr:?} is not numeric: {value:?}")
+            }
+            CoreError::BothNameAndId { element } => {
+                write!(f, "element <{element}> has both 'name' (meta-model) and 'id' (instance)")
+            }
+            CoreError::BadQuantity { value } => {
+                write!(f, "invalid group quantity {value:?}")
+            }
+            CoreError::DuplicateIdentifier { ident } => {
+                write!(f, "duplicate identifier {ident:?} in document")
+            }
+            CoreError::Invalid { context, message } => write!(f, "{context}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Xml(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<XmlError> for CoreError {
+    fn from(e: XmlError) -> Self {
+        CoreError::Xml(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(CoreError::BadUnit { unit: "XB".into() }.to_string().contains("XB"));
+        assert!(CoreError::DimensionMismatch { left: "W".into(), right: "B".into() }
+            .to_string()
+            .contains("W"));
+        assert!(CoreError::BadNumber { attr: "size".into(), value: "big".into() }
+            .to_string()
+            .contains("size"));
+        assert!(CoreError::BothNameAndId { element: "cpu".into() }.to_string().contains("cpu"));
+        assert!(CoreError::DuplicateIdentifier { ident: "x".into() }.to_string().contains("x"));
+    }
+
+    #[test]
+    fn xml_error_wraps_with_source() {
+        use std::error::Error;
+        let xml = XmlError::new(xpdl_xml::XmlErrorKind::NoRootElement, xpdl_xml::Pos::START);
+        let e = CoreError::from(xml);
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("XML"));
+    }
+}

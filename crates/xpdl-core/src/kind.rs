@@ -1,0 +1,264 @@
+//! The vocabulary of XPDL element kinds.
+
+use std::fmt;
+
+/// Kinds of elements that appear in XPDL descriptors.
+///
+/// The set follows the paper's §III: hardware structure (system … cache),
+/// power modeling (power_model … transition), instruction energy
+/// (instructions, inst, data), microbenchmarking, system software, and the
+/// extension escape hatches (properties, const, param, constraints). Tags
+/// outside the core vocabulary parse as [`ElementKind::Other`] — XPDL is
+/// extensible by design.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum ElementKind {
+    // Hardware structure.
+    System,
+    Cluster,
+    Node,
+    Socket,
+    Cpu,
+    Core,
+    Cache,
+    Memory,
+    Device,
+    Gpu,
+    Interconnects,
+    Interconnect,
+    Channel,
+    Group,
+    // Power modeling.
+    PowerModel,
+    PowerDomains,
+    PowerDomain,
+    PowerStateMachine,
+    PowerStates,
+    PowerState,
+    Transitions,
+    Transition,
+    // Instruction energy & microbenchmarking.
+    Instructions,
+    Inst,
+    Data,
+    Microbenchmarks,
+    Microbenchmark,
+    // System software.
+    Software,
+    HostOs,
+    Installed,
+    ProgrammingModel,
+    // Extension mechanisms.
+    Properties,
+    Property,
+    Const,
+    Param,
+    Constraints,
+    Constraint,
+    /// Any tag outside the core vocabulary.
+    Other(String),
+}
+
+impl ElementKind {
+    /// Map a tag name to its kind.
+    pub fn from_tag(tag: &str) -> ElementKind {
+        match tag {
+            "system" => ElementKind::System,
+            "cluster" => ElementKind::Cluster,
+            "node" => ElementKind::Node,
+            "socket" => ElementKind::Socket,
+            "cpu" => ElementKind::Cpu,
+            "core" => ElementKind::Core,
+            "cache" => ElementKind::Cache,
+            "memory" => ElementKind::Memory,
+            "device" => ElementKind::Device,
+            "gpu" => ElementKind::Gpu,
+            "interconnects" => ElementKind::Interconnects,
+            "interconnect" => ElementKind::Interconnect,
+            "channel" => ElementKind::Channel,
+            "group" => ElementKind::Group,
+            "power_model" => ElementKind::PowerModel,
+            "power_domains" => ElementKind::PowerDomains,
+            "power_domain" => ElementKind::PowerDomain,
+            "power_state_machine" => ElementKind::PowerStateMachine,
+            "power_states" => ElementKind::PowerStates,
+            "power_state" => ElementKind::PowerState,
+            "transitions" => ElementKind::Transitions,
+            "transition" => ElementKind::Transition,
+            "instructions" => ElementKind::Instructions,
+            "inst" => ElementKind::Inst,
+            "data" => ElementKind::Data,
+            "microbenchmarks" => ElementKind::Microbenchmarks,
+            "microbenchmark" => ElementKind::Microbenchmark,
+            "software" => ElementKind::Software,
+            "hostOS" => ElementKind::HostOs,
+            "installed" => ElementKind::Installed,
+            "programming_model" => ElementKind::ProgrammingModel,
+            "properties" => ElementKind::Properties,
+            "property" => ElementKind::Property,
+            "const" => ElementKind::Const,
+            "param" => ElementKind::Param,
+            "constraints" => ElementKind::Constraints,
+            "constraint" => ElementKind::Constraint,
+            other => ElementKind::Other(other.to_string()),
+        }
+    }
+
+    /// The canonical tag name for this kind.
+    pub fn tag(&self) -> &str {
+        match self {
+            ElementKind::System => "system",
+            ElementKind::Cluster => "cluster",
+            ElementKind::Node => "node",
+            ElementKind::Socket => "socket",
+            ElementKind::Cpu => "cpu",
+            ElementKind::Core => "core",
+            ElementKind::Cache => "cache",
+            ElementKind::Memory => "memory",
+            ElementKind::Device => "device",
+            ElementKind::Gpu => "gpu",
+            ElementKind::Interconnects => "interconnects",
+            ElementKind::Interconnect => "interconnect",
+            ElementKind::Channel => "channel",
+            ElementKind::Group => "group",
+            ElementKind::PowerModel => "power_model",
+            ElementKind::PowerDomains => "power_domains",
+            ElementKind::PowerDomain => "power_domain",
+            ElementKind::PowerStateMachine => "power_state_machine",
+            ElementKind::PowerStates => "power_states",
+            ElementKind::PowerState => "power_state",
+            ElementKind::Transitions => "transitions",
+            ElementKind::Transition => "transition",
+            ElementKind::Instructions => "instructions",
+            ElementKind::Inst => "inst",
+            ElementKind::Data => "data",
+            ElementKind::Microbenchmarks => "microbenchmarks",
+            ElementKind::Microbenchmark => "microbenchmark",
+            ElementKind::Software => "software",
+            ElementKind::HostOs => "hostOS",
+            ElementKind::Installed => "installed",
+            ElementKind::ProgrammingModel => "programming_model",
+            ElementKind::Properties => "properties",
+            ElementKind::Property => "property",
+            ElementKind::Const => "const",
+            ElementKind::Param => "param",
+            ElementKind::Constraints => "constraints",
+            ElementKind::Constraint => "constraint",
+            ElementKind::Other(s) => s,
+        }
+    }
+
+    /// Whether this kind denotes a hardware component that can carry power
+    /// attributes and participates in the system model tree (paper §III-D).
+    pub fn is_hardware(&self) -> bool {
+        matches!(
+            self,
+            ElementKind::System
+                | ElementKind::Cluster
+                | ElementKind::Node
+                | ElementKind::Socket
+                | ElementKind::Cpu
+                | ElementKind::Core
+                | ElementKind::Cache
+                | ElementKind::Memory
+                | ElementKind::Device
+                | ElementKind::Gpu
+                | ElementKind::Interconnect
+                | ElementKind::Channel
+        )
+    }
+
+    /// Whether this kind is a structural container that groups other
+    /// hardware (inner nodes of the model tree).
+    pub fn is_container(&self) -> bool {
+        matches!(
+            self,
+            ElementKind::System
+                | ElementKind::Cluster
+                | ElementKind::Node
+                | ElementKind::Socket
+                | ElementKind::Group
+                | ElementKind::Interconnects
+        )
+    }
+
+    /// Whether this kind belongs to the power-modeling vocabulary.
+    pub fn is_power(&self) -> bool {
+        matches!(
+            self,
+            ElementKind::PowerModel
+                | ElementKind::PowerDomains
+                | ElementKind::PowerDomain
+                | ElementKind::PowerStateMachine
+                | ElementKind::PowerStates
+                | ElementKind::PowerState
+                | ElementKind::Transitions
+                | ElementKind::Transition
+        )
+    }
+}
+
+impl fmt::Display for ElementKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.tag())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tag_roundtrip_for_core_vocabulary() {
+        let tags = [
+            "system", "cluster", "node", "socket", "cpu", "core", "cache", "memory", "device",
+            "gpu", "interconnects", "interconnect", "channel", "group", "power_model",
+            "power_domains", "power_domain", "power_state_machine", "power_states",
+            "power_state", "transitions", "transition", "instructions", "inst", "data",
+            "microbenchmarks", "microbenchmark", "software", "hostOS", "installed",
+            "programming_model", "properties", "property", "const", "param", "constraints",
+            "constraint",
+        ];
+        for t in tags {
+            let k = ElementKind::from_tag(t);
+            assert!(!matches!(k, ElementKind::Other(_)), "{t} must be core vocabulary");
+            assert_eq!(k.tag(), t);
+        }
+    }
+
+    #[test]
+    fn unknown_tags_become_other() {
+        let k = ElementKind::from_tag("compute_capability");
+        assert_eq!(k, ElementKind::Other("compute_capability".into()));
+        assert_eq!(k.tag(), "compute_capability");
+        assert!(!k.is_hardware());
+    }
+
+    #[test]
+    fn hardware_classification() {
+        assert!(ElementKind::Cpu.is_hardware());
+        assert!(ElementKind::Gpu.is_hardware());
+        assert!(ElementKind::Channel.is_hardware());
+        assert!(!ElementKind::Group.is_hardware());
+        assert!(!ElementKind::Software.is_hardware());
+        assert!(!ElementKind::PowerModel.is_hardware());
+    }
+
+    #[test]
+    fn container_classification() {
+        assert!(ElementKind::System.is_container());
+        assert!(ElementKind::Group.is_container());
+        assert!(!ElementKind::Cache.is_container());
+    }
+
+    #[test]
+    fn power_classification() {
+        assert!(ElementKind::PowerStateMachine.is_power());
+        assert!(ElementKind::Transition.is_power());
+        assert!(!ElementKind::Cpu.is_power());
+    }
+
+    #[test]
+    fn display_matches_tag() {
+        assert_eq!(ElementKind::PowerDomain.to_string(), "power_domain");
+    }
+}

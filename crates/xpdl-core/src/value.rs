@@ -1,0 +1,172 @@
+//! Typed interpretation of XPDL attribute values.
+//!
+//! Raw attribute strings stay the source of truth on the element (so
+//! unknown attributes round-trip untouched); this module provides the
+//! interpretation layer: numbers, `?` placeholders (paper §III-C — values
+//! to be derived by microbenchmarking), comma-separated lists (`range="16,
+//! 32, 64"`, `type="cuda6.0,...,opencl"`), and plain strings.
+
+use std::fmt;
+
+/// A typed view of one attribute value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrValue {
+    /// A plain number (unit handled separately via the `metric_unit`
+    /// convention).
+    Number(f64),
+    /// The `?` placeholder: value unknown, to be derived by
+    /// microbenchmarking at deployment time.
+    Unknown,
+    /// A comma-separated list, recursively typed.
+    List(Vec<AttrValue>),
+    /// Everything else.
+    Str(String),
+}
+
+impl AttrValue {
+    /// Interpret a raw attribute string.
+    pub fn interpret(raw: &str) -> AttrValue {
+        let t = raw.trim();
+        if t == "?" {
+            return AttrValue::Unknown;
+        }
+        if t.contains(',') {
+            let mut items: Vec<AttrValue> = t
+                .split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty() && *s != "...")
+                .map(AttrValue::interpret)
+                .collect();
+            match items.len() {
+                0 => return AttrValue::Str(t.to_string()),
+                1 => return items.pop().expect("len checked"),
+                _ => return AttrValue::List(items),
+            }
+        }
+        if let Ok(n) = t.parse::<f64>() {
+            return AttrValue::Number(n);
+        }
+        AttrValue::Str(t.to_string())
+    }
+
+    /// The number inside, if numeric.
+    pub fn as_number(&self) -> Option<f64> {
+        match self {
+            AttrValue::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Whether this is the `?` placeholder.
+    pub fn is_unknown(&self) -> bool {
+        matches!(self, AttrValue::Unknown)
+    }
+
+    /// String form (numbers render canonically; lists re-join with ", ").
+    pub fn to_raw(&self) -> String {
+        self.to_string()
+    }
+
+    /// Flatten a list into numbers if every item is numeric.
+    pub fn as_number_list(&self) -> Option<Vec<f64>> {
+        match self {
+            AttrValue::List(items) => items.iter().map(AttrValue::as_number).collect(),
+            AttrValue::Number(n) => Some(vec![*n]),
+            _ => None,
+        }
+    }
+
+    /// Flatten into strings.
+    pub fn as_str_list(&self) -> Vec<String> {
+        match self {
+            AttrValue::List(items) => items.iter().map(|i| i.to_string()).collect(),
+            other => vec![other.to_string()],
+        }
+    }
+}
+
+impl fmt::Display for AttrValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttrValue::Number(n) => {
+                if n.fract() == 0.0 && n.abs() < 1e15 {
+                    write!(f, "{}", *n as i64)
+                } else {
+                    write!(f, "{n}")
+                }
+            }
+            AttrValue::Unknown => write!(f, "?"),
+            AttrValue::List(items) => {
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                Ok(())
+            }
+            AttrValue::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numbers() {
+        assert_eq!(AttrValue::interpret("42"), AttrValue::Number(42.0));
+        assert_eq!(AttrValue::interpret("2.5"), AttrValue::Number(2.5));
+        assert_eq!(AttrValue::interpret(" 706 "), AttrValue::Number(706.0));
+        assert_eq!(AttrValue::interpret("3.0").as_number(), Some(3.0));
+    }
+
+    #[test]
+    fn unknown_placeholder() {
+        assert!(AttrValue::interpret("?").is_unknown());
+        assert_eq!(AttrValue::interpret("?").to_raw(), "?");
+    }
+
+    #[test]
+    fn kepler_range_list() {
+        // Listing 8: range="16, 32, 64"
+        let v = AttrValue::interpret("16, 32, 64");
+        assert_eq!(v.as_number_list(), Some(vec![16.0, 32.0, 64.0]));
+    }
+
+    #[test]
+    fn programming_model_list_with_ellipsis() {
+        // Listing 8: type="cuda6.0,...,opencl" — the elision marker drops out.
+        let v = AttrValue::interpret("cuda6.0,...,opencl");
+        assert_eq!(v.as_str_list(), vec!["cuda6.0", "opencl"]);
+    }
+
+    #[test]
+    fn strings() {
+        assert_eq!(AttrValue::interpret("LRU"), AttrValue::Str("LRU".into()));
+        assert_eq!(AttrValue::interpret("copyback"), AttrValue::Str("copyback".into()));
+        assert_eq!(AttrValue::interpret("Sparc_V8").as_number(), None);
+    }
+
+    #[test]
+    fn single_item_with_trailing_comma_is_not_list() {
+        let v = AttrValue::interpret("x,");
+        assert_eq!(v, AttrValue::Str("x".into()));
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        for raw in ["42", "2.5", "?", "LRU", "16, 32, 64"] {
+            let v = AttrValue::interpret(raw);
+            assert_eq!(v.to_raw(), raw.trim());
+        }
+    }
+
+    #[test]
+    fn number_list_rejects_mixed() {
+        let v = AttrValue::interpret("16, abc");
+        assert_eq!(v.as_number_list(), None);
+        assert_eq!(AttrValue::interpret("x").as_number_list(), None);
+    }
+}

@@ -1,0 +1,74 @@
+//! Property tests for the unit algebra and attribute-value interpretation.
+
+use proptest::prelude::*;
+use xpdl_core::units::{Quantity, Unit};
+use xpdl_core::value::AttrValue;
+
+const SIZE_UNITS: &[&str] = &["B", "kB", "KB", "KiB", "MB", "MiB", "GB", "GiB", "TB"];
+const FREQ_UNITS: &[&str] = &["Hz", "kHz", "MHz", "GHz"];
+const ENERGY_UNITS: &[&str] = &["J", "mJ", "uJ", "nJ", "pJ"];
+const TIME_UNITS: &[&str] = &["s", "ms", "us", "ns"];
+
+fn arb_unit_pair() -> impl Strategy<Value = (&'static str, &'static str)> {
+    prop_oneof![
+        (0..SIZE_UNITS.len(), 0..SIZE_UNITS.len()).prop_map(|(a, b)| (SIZE_UNITS[a], SIZE_UNITS[b])),
+        (0..FREQ_UNITS.len(), 0..FREQ_UNITS.len()).prop_map(|(a, b)| (FREQ_UNITS[a], FREQ_UNITS[b])),
+        (0..ENERGY_UNITS.len(), 0..ENERGY_UNITS.len())
+            .prop_map(|(a, b)| (ENERGY_UNITS[a], ENERGY_UNITS[b])),
+        (0..TIME_UNITS.len(), 0..TIME_UNITS.len()).prop_map(|(a, b)| (TIME_UNITS[a], TIME_UNITS[b])),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn conversion_roundtrip((ua, ub) in arb_unit_pair(), v in 1e-3f64..1e6) {
+        // convert a→b→a must be the identity up to float tolerance.
+        let a = Quantity::parse(v, ua).unwrap();
+        let b = a.convert_to(&Unit::parse(ub).unwrap()).unwrap();
+        let back = b.convert_to(&a.unit).unwrap();
+        prop_assert!((back.value - v).abs() <= v.abs() * 1e-12,
+            "{v} {ua} -> {} {ub} -> {} {ua}", b.value, back.value);
+    }
+
+    #[test]
+    fn to_base_is_monotone((ua, ub) in arb_unit_pair(), v in 1e-3f64..1e6, w in 1e-3f64..1e6) {
+        // Ordering of magnitudes is preserved under unit normalization.
+        let a = Quantity::parse(v, ua).unwrap();
+        let b = Quantity::parse(w, ub).unwrap();
+        let ord = a.partial_cmp_dim(&b).unwrap();
+        prop_assert_eq!(ord, a.to_base().partial_cmp(&b.to_base()).unwrap());
+    }
+
+    #[test]
+    fn addition_commutes((ua, ub) in arb_unit_pair(), v in 1e-3f64..1e6, w in 1e-3f64..1e6) {
+        let a = Quantity::parse(v, ua).unwrap();
+        let b = Quantity::parse(w, ub).unwrap();
+        let ab = a.checked_add(&b).unwrap().to_base();
+        let ba = b.checked_add(&a).unwrap().to_base();
+        let scale = ab.abs().max(1e-30);
+        prop_assert!((ab - ba).abs() <= scale * 1e-9);
+    }
+
+    #[test]
+    fn attrvalue_interpret_total(s in "[ -~]{0,32}") {
+        // Interpretation never panics and Display never panics.
+        let v = AttrValue::interpret(&s);
+        let _ = v.to_string();
+    }
+
+    #[test]
+    fn numeric_attrvalue_roundtrip(n in -1e12f64..1e12) {
+        let raw = format!("{n}");
+        let v = AttrValue::interpret(&raw);
+        prop_assert_eq!(v.as_number(), Some(n));
+    }
+
+    #[test]
+    fn number_lists_roundtrip(xs in proptest::collection::vec(-1e6f64..1e6, 2..6)) {
+        let raw = xs.iter().map(|x| x.to_string()).collect::<Vec<_>>().join(", ");
+        let v = AttrValue::interpret(&raw);
+        prop_assert_eq!(v.as_number_list(), Some(xs));
+    }
+}

@@ -1,0 +1,239 @@
+//! Static model analyses.
+//!
+//! The flagship analysis is the paper's bandwidth downgrade (§IV): "…
+//! performs static analysis of the model (for instance, downgrading
+//! bandwidth of interconnections where applicable as the effective
+//! bandwidth should be determined by the slowest hardware components
+//! involved in a communication link)".
+
+use xpdl_core::units::{Dimension, Quantity};
+use xpdl_core::{ElementKind, XpdlElement};
+use xpdl_schema::Diagnostic;
+
+/// Result of analyzing one interconnect instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkAnalysis {
+    /// The interconnect's id.
+    pub id: String,
+    /// Head endpoint id.
+    pub head: Option<String>,
+    /// Tail endpoint id.
+    pub tail: Option<String>,
+    /// Effective bandwidth in B/s (minimum over all contributing caps),
+    /// `None` when nothing declares a bandwidth.
+    pub effective_bandwidth: Option<f64>,
+    /// Which element contributed the limiting cap.
+    pub limited_by: Option<String>,
+}
+
+/// Run the bandwidth-downgrade analysis over an elaborated model.
+///
+/// For every `interconnect` instance the effective bandwidth is the minimum
+/// of: its own `max_bandwidth`, each of its channels' `max_bandwidth`, and
+/// the `max_bandwidth` caps of the head/tail endpoint elements (if those
+/// declare one). The result is annotated on the interconnect as
+/// `effective_bandwidth` (+`_unit`) and returned for reporting.
+pub fn bandwidth_downgrade(
+    root: &mut XpdlElement,
+    diags: &mut Vec<Diagnostic>,
+) -> Vec<LinkAnalysis> {
+    // Collect endpoint caps first (immutably), then annotate.
+    let endpoint_cap = |root: &XpdlElement, ident: &str| -> Option<(f64, String)> {
+        let e = root.find_ident(ident)?;
+        bandwidth_of(e).map(|b| (b, format!("{}[{}]", e.kind.tag(), ident)))
+    };
+
+    let mut plans: Vec<(String, LinkAnalysis)> = Vec::new();
+    {
+        let snapshot = root.clone();
+        for ic in snapshot.find_kind(ElementKind::Interconnect) {
+            let Some(id) = ic.instance_id() else { continue };
+            let head = ic.attr("head").map(str::to_string);
+            let tail = ic.attr("tail").map(str::to_string);
+            let mut caps: Vec<(f64, String)> = Vec::new();
+            if let Some(own) = bandwidth_of(ic) {
+                caps.push((own, format!("interconnect[{id}]")));
+            }
+            for ch in ic.children_of_kind(ElementKind::Channel) {
+                if let Some(b) = bandwidth_of(ch) {
+                    let cname = ch.ident().unwrap_or("channel");
+                    caps.push((b, format!("channel[{cname}]")));
+                }
+            }
+            for ep in [&head, &tail].into_iter().flatten() {
+                match snapshot.find_ident(ep) {
+                    Some(_) => {
+                        if let Some(cap) = endpoint_cap(&snapshot, ep) {
+                            caps.push(cap);
+                        }
+                    }
+                    None => diags.push(Diagnostic::error(
+                        format!("interconnect[{id}]"),
+                        format!("endpoint '{ep}' does not exist in the model"),
+                    )),
+                }
+            }
+            let min = caps
+                .iter()
+                .min_by(|a, b| a.0.partial_cmp(&b.0).expect("finite bandwidths"))
+                .cloned();
+            plans.push((
+                id.to_string(),
+                LinkAnalysis {
+                    id: id.to_string(),
+                    head,
+                    tail,
+                    effective_bandwidth: min.as_ref().map(|m| m.0),
+                    limited_by: min.map(|m| m.1),
+                },
+            ));
+        }
+    }
+    // Annotate.
+    for (id, analysis) in &plans {
+        if let Some(bw) = analysis.effective_bandwidth {
+            if let Some(ic) = find_ident_mut(root, id) {
+                ic.set_attr("effective_bandwidth", format!("{bw}"));
+                ic.set_attr("effective_bandwidth_unit", "B/s");
+            }
+        }
+    }
+    plans.into_iter().map(|(_, a)| a).collect()
+}
+
+/// Read an element's `max_bandwidth` in B/s.
+fn bandwidth_of(e: &XpdlElement) -> Option<f64> {
+    match e.quantity("max_bandwidth") {
+        Ok(Some(q)) if q.dimension() == Dimension::Bandwidth => Some(q.to_base()),
+        Ok(Some(q)) if q.dimension() == Dimension::Dimensionless => Some(q.to_base()),
+        _ => None,
+    }
+}
+
+/// Mutable identifier lookup.
+fn find_ident_mut<'a>(root: &'a mut XpdlElement, ident: &str) -> Option<&'a mut XpdlElement> {
+    if root.ident() == Some(ident) {
+        return Some(root);
+    }
+    for c in &mut root.children {
+        if let Some(found) = find_ident_mut(c, ident) {
+            return Some(found);
+        }
+    }
+    None
+}
+
+/// Summed static power of the default power domain (everything not inside
+/// an explicit `power_domain`), attributed to the node per §III-A: "its
+/// static energy share will be derived and associated with the node".
+pub fn default_domain_static_power(root: &XpdlElement) -> Quantity {
+    fn walk(e: &XpdlElement, inside_domain: bool, total: &mut f64) {
+        let inside = inside_domain || e.kind == ElementKind::PowerDomain;
+        if !inside {
+            if let Ok(Some(q)) = e.quantity("static_power") {
+                *total += q.to_base();
+            }
+        }
+        for c in &e.children {
+            walk(c, inside, total);
+        }
+    }
+    let mut total = 0.0;
+    walk(root, false, &mut total);
+    Quantity::parse(total, "W").expect("static unit")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xpdl_core::XpdlDocument;
+
+    fn parse(src: &str) -> XpdlElement {
+        XpdlDocument::parse_str(src).unwrap().into_root()
+    }
+
+    #[test]
+    fn downgrade_takes_slowest_component() {
+        let mut root = parse(
+            r#"<system id="s">
+                 <cpu id="h" max_bandwidth="10" max_bandwidth_unit="GB/s"/>
+                 <device id="g" max_bandwidth="4" max_bandwidth_unit="GB/s"/>
+                 <interconnects>
+                   <interconnect id="c1" head="h" tail="g" max_bandwidth="6" max_bandwidth_unit="GB/s"/>
+                 </interconnects>
+               </system>"#,
+        );
+        let mut diags = Vec::new();
+        let links = bandwidth_downgrade(&mut root, &mut diags);
+        assert!(diags.is_empty());
+        assert_eq!(links.len(), 1);
+        assert_eq!(links[0].effective_bandwidth, Some(4e9));
+        assert_eq!(links[0].limited_by.as_deref(), Some("device[g]"));
+        let ic = root.find_ident("c1").unwrap();
+        assert_eq!(ic.attr("effective_bandwidth"), Some("4000000000"));
+    }
+
+    #[test]
+    fn channels_contribute_caps() {
+        let mut root = parse(
+            r#"<system id="s">
+                 <cpu id="h"/><device id="g"/>
+                 <interconnects>
+                   <interconnect id="c1" head="h" tail="g">
+                     <channel name="up_link" max_bandwidth="6" max_bandwidth_unit="GiB/s"/>
+                     <channel name="down_link" max_bandwidth="3" max_bandwidth_unit="GiB/s"/>
+                   </interconnect>
+                 </interconnects>
+               </system>"#,
+        );
+        let mut diags = Vec::new();
+        let links = bandwidth_downgrade(&mut root, &mut diags);
+        assert_eq!(links[0].effective_bandwidth, Some(3.0 * 1024.0 * 1024.0 * 1024.0));
+        assert_eq!(links[0].limited_by.as_deref(), Some("channel[down_link]"));
+    }
+
+    #[test]
+    fn missing_endpoint_is_error() {
+        let mut root = parse(
+            r#"<system id="s">
+                 <cpu id="h"/>
+                 <interconnects><interconnect id="c1" head="h" tail="ghost"/></interconnects>
+               </system>"#,
+        );
+        let mut diags = Vec::new();
+        bandwidth_downgrade(&mut root, &mut diags);
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("ghost"));
+    }
+
+    #[test]
+    fn no_bandwidth_declared_yields_none() {
+        let mut root = parse(
+            r#"<system id="s">
+                 <cpu id="h"/><device id="g"/>
+                 <interconnects><interconnect id="c1" head="h" tail="g"/></interconnects>
+               </system>"#,
+        );
+        let mut diags = Vec::new();
+        let links = bandwidth_downgrade(&mut root, &mut diags);
+        assert_eq!(links[0].effective_bandwidth, None);
+        assert!(root.find_ident("c1").unwrap().attr("effective_bandwidth").is_none());
+    }
+
+    #[test]
+    fn default_domain_power_excludes_explicit_domains() {
+        let root = parse(
+            r#"<system id="s">
+                 <cpu id="c" static_power="10" static_power_unit="W"/>
+                 <power_domains name="pds">
+                   <power_domain name="pd1">
+                     <memory type="CMX" static_power="3" static_power_unit="W"/>
+                   </power_domain>
+                 </power_domains>
+                 <memory id="m" static_power="4" static_power_unit="W"/>
+               </system>"#,
+        );
+        let q = default_domain_static_power(&root);
+        assert_eq!(q.value, 14.0);
+    }
+}

@@ -1,0 +1,266 @@
+//! Optional control-relation derivation (paper §II-A discussion).
+//!
+//! XPDL deliberately demotes PDL's Master/Hybrid/Worker tree to an
+//! optional, secondary view: "most often, the software roles are
+//! implicitly given by the hardware blocks", but XPDL still "allows to
+//! optionally model control relations separately (referencing the involved
+//! hardware entities)" via `role=` attributes. This module derives that
+//! view from a composed model: explicit `role=` attributes win; hardware
+//! structure fills the gaps (CPUs can launch work → masters/hybrids;
+//! accelerator devices are workers).
+
+use std::fmt;
+use xpdl_core::{ElementKind, XpdlElement};
+
+/// A control role (the PDL vocabulary, optional in XPDL).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// Can start programs; root of the control view.
+    Master,
+    /// Can both control and be controlled.
+    Hybrid,
+    /// Cannot launch computations on other PUs.
+    Worker,
+}
+
+impl fmt::Display for Role {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Role::Master => write!(f, "master"),
+            Role::Hybrid => write!(f, "hybrid"),
+            Role::Worker => write!(f, "worker"),
+        }
+    }
+}
+
+/// One processing unit in the derived control view.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ControlUnit {
+    /// The hardware element's identifier.
+    pub ident: String,
+    /// Its role (explicit `role=` or inferred).
+    pub role: Role,
+    /// Whether the role was explicit in the model.
+    pub explicit: bool,
+    /// Identifiers of units this one can launch work on (derived from
+    /// interconnect reachability: a master controls the workers it is
+    /// linked to).
+    pub controls: Vec<String>,
+}
+
+/// The derived control relation.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ControlRelation {
+    /// All processing units, masters first.
+    pub units: Vec<ControlUnit>,
+}
+
+/// Problems the optional validation reports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ControlIssue {
+    /// No unit can start a program.
+    NoMaster,
+    /// A worker is marked as controlling another unit.
+    WorkerControls {
+        /// The offending worker.
+        worker: String,
+    },
+}
+
+impl fmt::Display for ControlIssue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ControlIssue::NoMaster => write!(f, "no master PU in the control view"),
+            ControlIssue::WorkerControls { worker } => {
+                write!(f, "worker '{worker}' cannot control other PUs")
+            }
+        }
+    }
+}
+
+impl ControlRelation {
+    /// Derive the control view from a composed model.
+    pub fn derive(root: &XpdlElement) -> ControlRelation {
+        let mut units: Vec<ControlUnit> = Vec::new();
+        for e in root.descendants() {
+            let is_pu = matches!(e.kind, ElementKind::Cpu | ElementKind::Device);
+            if !is_pu {
+                continue;
+            }
+            let Some(ident) = e.ident() else { continue };
+            let explicit_role = e.attr("role").and_then(|r| match r {
+                "master" => Some(Role::Master),
+                "hybrid" => Some(Role::Hybrid),
+                "worker" => Some(Role::Worker),
+                _ => None,
+            });
+            let role = explicit_role.unwrap_or(match e.kind {
+                // CPUs run the OS → masters by structure; accelerator
+                // devices are workers (the paper: "specialized processing
+                // units (such as GPUs) that cannot themselves launch
+                // computations").
+                ElementKind::Cpu => Role::Master,
+                _ => Role::Worker,
+            });
+            units.push(ControlUnit {
+                ident: ident.to_string(),
+                role,
+                explicit: explicit_role.is_some(),
+                controls: Vec::new(),
+            });
+        }
+        // If several CPUs inferred master, keep the first as master and
+        // make the rest hybrids (the paper questions "the specification of
+        // a unique, specific Master PU … in a dual-CPU server"; we keep the
+        // view well-formed while marking the ambiguity via `explicit`).
+        let mut seen_master = false;
+        for u in &mut units {
+            if u.role == Role::Master {
+                if seen_master && !u.explicit {
+                    u.role = Role::Hybrid;
+                } else {
+                    seen_master = true;
+                }
+            }
+        }
+        // Control edges from interconnect links: a non-worker controls the
+        // workers it is linked to.
+        let links: Vec<(String, String)> = root
+            .find_kind(ElementKind::Interconnect)
+            .filter_map(|ic| {
+                Some((ic.attr("head")?.to_string(), ic.attr("tail")?.to_string()))
+            })
+            .collect();
+        let role_of = |units: &[ControlUnit], id: &str| {
+            units.iter().find(|u| u.ident == id).map(|u| u.role)
+        };
+        for (head, tail) in &links {
+            let (hr, tr) = (role_of(&units, head), role_of(&units, tail));
+            if let (Some(hr), Some(tr)) = (hr, tr) {
+                if hr != Role::Worker && tr == Role::Worker {
+                    if let Some(u) = units.iter_mut().find(|u| u.ident == *head) {
+                        if !u.controls.contains(tail) {
+                            u.controls.push(tail.clone());
+                        }
+                    }
+                }
+            }
+        }
+        units.sort_by_key(|u| match u.role {
+            Role::Master => 0,
+            Role::Hybrid => 1,
+            Role::Worker => 2,
+        });
+        ControlRelation { units }
+    }
+
+    /// The master unit, if the view has one.
+    pub fn master(&self) -> Option<&ControlUnit> {
+        self.units.iter().find(|u| u.role == Role::Master)
+    }
+
+    /// Validate the PDL-style well-formedness rules (optional — XPDL does
+    /// not require this view at all).
+    pub fn validate(&self) -> Vec<ControlIssue> {
+        let mut issues = Vec::new();
+        if self.master().is_none() {
+            issues.push(ControlIssue::NoMaster);
+        }
+        for u in &self.units {
+            if u.role == Role::Worker && !u.controls.is_empty() {
+                issues.push(ControlIssue::WorkerControls { worker: u.ident.clone() });
+            }
+        }
+        issues
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xpdl_core::XpdlDocument;
+
+    fn parse(src: &str) -> XpdlElement {
+        XpdlDocument::parse_str(src).unwrap().into_root()
+    }
+
+    #[test]
+    fn explicit_roles_win() {
+        let root = parse(
+            r#"<system id="s">
+                 <cpu id="h" role="master"/>
+                 <device id="g" role="worker"/>
+                 <interconnects><interconnect id="l" head="h" tail="g"/></interconnects>
+               </system>"#,
+        );
+        let cr = ControlRelation::derive(&root);
+        assert_eq!(cr.master().unwrap().ident, "h");
+        assert!(cr.master().unwrap().explicit);
+        assert_eq!(cr.master().unwrap().controls, vec!["g"]);
+        assert!(cr.validate().is_empty());
+    }
+
+    #[test]
+    fn roles_inferred_from_hardware_structure() {
+        let root = parse(
+            r#"<system id="s">
+                 <cpu id="h"/>
+                 <device id="g"/>
+                 <interconnects><interconnect id="l" head="h" tail="g"/></interconnects>
+               </system>"#,
+        );
+        let cr = ControlRelation::derive(&root);
+        let h = cr.units.iter().find(|u| u.ident == "h").unwrap();
+        let g = cr.units.iter().find(|u| u.ident == "g").unwrap();
+        assert_eq!(h.role, Role::Master);
+        assert!(!h.explicit);
+        assert_eq!(g.role, Role::Worker);
+        assert_eq!(h.controls, vec!["g"]);
+    }
+
+    #[test]
+    fn dual_cpu_server_gets_one_master_rest_hybrid() {
+        // The paper's own critique case: a dual-CPU server has no unique
+        // master in hardware.
+        let root = parse(r#"<system id="s"><cpu id="PE0"/><cpu id="PE1"/></system>"#);
+        let cr = ControlRelation::derive(&root);
+        let masters = cr.units.iter().filter(|u| u.role == Role::Master).count();
+        let hybrids = cr.units.iter().filter(|u| u.role == Role::Hybrid).count();
+        assert_eq!((masters, hybrids), (1, 1));
+        assert!(cr.units.iter().all(|u| !u.explicit));
+    }
+
+    #[test]
+    fn cell_be_standalone_has_no_hybrid() {
+        // "the Cell/B.E., if used stand-alone … has no hybrid PUs":
+        // one master CPU, workers only.
+        let root = parse(
+            r#"<system id="cell">
+                 <cpu id="ppe" role="master"/>
+                 <device id="spe0" role="worker"/>
+                 <device id="spe1" role="worker"/>
+               </system>"#,
+        );
+        let cr = ControlRelation::derive(&root);
+        assert!(cr.units.iter().all(|u| u.role != Role::Hybrid));
+        assert!(cr.validate().is_empty());
+    }
+
+    #[test]
+    fn worker_only_model_reports_no_master() {
+        let root = parse(r#"<system id="s"><device id="g" role="worker"/></system>"#);
+        let cr = ControlRelation::derive(&root);
+        assert_eq!(cr.validate(), vec![ControlIssue::NoMaster]);
+    }
+
+    #[test]
+    fn gpu_server_library_model_derives_cleanly() {
+        let model = crate::routes::tests_support::elaborated_cluster();
+        let cr = ControlRelation::derive(&model);
+        assert!(cr.master().is_some());
+        assert!(cr.validate().is_empty(), "{:?}", cr.validate());
+        // Each node's cpu controls its gpu.
+        let n0cpu = cr.units.iter().find(|u| u.ident == "n0.cpu").unwrap();
+        assert_eq!(n0cpu.controls, vec!["n0.gpu"]);
+    }
+}

@@ -1,0 +1,98 @@
+//! Elaboration errors.
+
+use std::fmt;
+use xpdl_core::CoreError;
+use xpdl_repo::ResolveError;
+
+/// Result alias.
+pub type ElabResult<T> = Result<T, ElabError>;
+
+/// Errors that abort elaboration (constraint *violations* do not abort;
+/// they become diagnostics on the output).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ElabError {
+    /// Repository resolution failed.
+    Resolve(ResolveError),
+    /// Document-model failure (bad number/unit) at a known location.
+    Core(CoreError),
+    /// C3 linearization failed (inconsistent inheritance hierarchy).
+    Linearization {
+        /// The type whose supertype order cannot be linearized.
+        name: String,
+        /// Explanation.
+        detail: String,
+    },
+    /// A referenced meta-model is not in the resolved set.
+    UnknownType {
+        /// The missing meta-model name.
+        name: String,
+        /// The referencing element.
+        referrer: String,
+    },
+    /// A group quantity could not be resolved to a count.
+    UnresolvedQuantity {
+        /// The group's prefix or path for identification.
+        group: String,
+        /// The unresolved raw value.
+        raw: String,
+    },
+    /// Expansion would exceed the element budget (runaway quantities).
+    TooLarge {
+        /// Elements produced so far.
+        produced: usize,
+        /// The configured limit.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for ElabError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ElabError::Resolve(e) => write!(f, "{e}"),
+            ElabError::Core(e) => write!(f, "{e}"),
+            ElabError::Linearization { name, detail } => {
+                write!(f, "cannot linearize supertypes of '{name}': {detail}")
+            }
+            ElabError::UnknownType { name, referrer } => {
+                write!(f, "unknown meta-model '{name}' referenced by {referrer}")
+            }
+            ElabError::UnresolvedQuantity { group, raw } => {
+                write!(f, "group '{group}': quantity {raw:?} does not resolve to a count")
+            }
+            ElabError::TooLarge { produced, limit } => {
+                write!(f, "expansion produced {produced} elements, exceeding the limit of {limit}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ElabError {}
+
+impl From<ResolveError> for ElabError {
+    fn from(e: ResolveError) -> Self {
+        ElabError::Resolve(e)
+    }
+}
+
+impl From<CoreError> for ElabError {
+    fn from(e: CoreError) -> Self {
+        ElabError::Core(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = ElabError::Linearization { name: "K20c".into(), detail: "diamond".into() };
+        assert!(e.to_string().contains("K20c"));
+        let e = ElabError::UnknownType { name: "Ghost".into(), referrer: "device[g]".into() };
+        assert!(e.to_string().contains("Ghost"));
+        let e = ElabError::UnresolvedQuantity { group: "SMs".into(), raw: "num_SM".into() };
+        assert!(e.to_string().contains("num_SM"));
+        let e = ElabError::TooLarge { produced: 10, limit: 5 };
+        assert!(e.to_string().contains("10"));
+    }
+}

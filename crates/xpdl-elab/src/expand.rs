@@ -1,0 +1,596 @@
+//! The elaboration walker: type instantiation, parameter substitution and
+//! group expansion.
+
+use crate::constraints::{check_constraints, check_param_ranges};
+use crate::error::{ElabError, ElabResult};
+use crate::inherit::{instantiate_ref, MetaTable};
+use crate::scope::Scope;
+use std::collections::BTreeSet;
+use xpdl_core::{ElementKind, ModelKind, XpdlElement};
+use xpdl_schema::Diagnostic;
+
+/// Options for the expansion walk.
+#[derive(Debug, Clone)]
+pub struct ExpandOptions {
+    /// Error on `type=` references to unknown meta-models (default true).
+    pub strict_types: bool,
+    /// Upper bound on produced elements (guards runaway quantities).
+    pub max_elements: usize,
+}
+
+impl Default for ExpandOptions {
+    fn default() -> Self {
+        ExpandOptions { strict_types: true, max_elements: 1_000_000 }
+    }
+}
+
+/// Attributes whose values are names/references, never parameter
+/// substitution targets.
+const NON_SUBSTITUTABLE: &[&str] = &[
+    "name", "id", "type", "extends", "prefix", "head", "tail", "expr", "switchoffCondition",
+    "mb", "instruction_set", "command", "path", "file", "cflags", "lflags", "role", "endian",
+    "replacement", "write_policy", "range", "configurable", "enableSwitchOff", "power_domain",
+];
+
+/// Walk state.
+pub struct Expander<'t> {
+    table: &'t mut MetaTable,
+    opts: ExpandOptions,
+    produced: usize,
+    /// Diagnostics collected during expansion (constraint violations,
+    /// unbound parameters, …).
+    pub diags: Vec<Diagnostic>,
+    /// Meta names consumed as inline definitions (dropped from the tree).
+    consumed_defs: BTreeSet<String>,
+}
+
+impl<'t> Expander<'t> {
+    /// Create an expander over a meta table.
+    pub fn new(table: &'t mut MetaTable, opts: ExpandOptions) -> Expander<'t> {
+        Expander { table, opts, produced: 0, diags: Vec::new(), consumed_defs: BTreeSet::new() }
+    }
+
+    /// Expand a root element. `referenced_types` lists meta names that are
+    /// referenced via `type=` anywhere in the originating document; inline
+    /// definitions of those names are consumed (they described a type, not
+    /// a physical component).
+    pub fn expand_root(
+        &mut self,
+        root: &XpdlElement,
+        referenced_types: &BTreeSet<String>,
+    ) -> ElabResult<XpdlElement> {
+        self.consumed_defs = referenced_types.clone();
+        let mut scope = Scope::new();
+        let path = display_path("", root);
+        self.expand_element(root.clone(), &mut scope, "", &path, false)
+    }
+
+    fn budget(&mut self) -> ElabResult<()> {
+        self.produced += 1;
+        if self.produced > self.opts.max_elements {
+            return Err(ElabError::TooLarge {
+                produced: self.produced,
+                limit: self.opts.max_elements,
+            });
+        }
+        Ok(())
+    }
+
+    fn expand_element(
+        &mut self,
+        mut e: XpdlElement,
+        scope: &mut Scope,
+        qualifier: &str,
+        path: &str,
+        in_power_domain: bool,
+    ) -> ElabResult<XpdlElement> {
+        self.budget()?;
+        // 1. Resolve the `type=` reference into the element. Inside a
+        //    power domain, `type=` names the domain's component types/ids
+        //    (Listing 12) — never a meta-model to instantiate.
+        let in_power_domain = in_power_domain || e.kind == ElementKind::PowerDomain;
+        if !in_power_domain {
+            instantiate_ref(&mut e, self.table, self.opts.strict_types)?;
+        }
+
+        // 2. Open a scope frame and bind this element's params/consts.
+        scope.push();
+        let unbound = scope.bind_element_params(&e);
+        for name in &unbound {
+            self.diags.push(Diagnostic::warning(
+                path,
+                format!("parameter '{name}' is declared but never bound"),
+            ));
+        }
+
+        // 3. Substitute bound parameter names in attribute values
+        //    (Listing 8: `<core frequency="cfrq"/>`, `size="L1size"`).
+        let mut unit_fixes: Vec<(String, String)> = Vec::new();
+        for (k, v) in &mut e.attrs {
+            if NON_SUBSTITUTABLE.contains(&k.as_str()) || k.ends_with("_unit") || k == "unit" {
+                continue;
+            }
+            if let Some(pv) = scope.get(v.as_str()) {
+                *v = fmt_num(pv.value);
+                if !pv.unit.is_empty() {
+                    let unit_attr = XpdlElement::unit_attr_for(k);
+                    unit_fixes.push((unit_attr, pv.unit.clone()));
+                }
+            }
+        }
+        for (k, v) in unit_fixes {
+            if e.attr(&k).is_none() {
+                e.attrs.push((k, v));
+            }
+        }
+
+        // 4. Constraint and range checking in the current scope.
+        check_constraints(&e, scope, path, &mut self.diags);
+        check_param_ranges(&e, scope, path, &mut self.diags);
+
+        // 5. Children: drop consumed inline definitions, expand groups,
+        //    recurse into the rest.
+        let children = std::mem::take(&mut e.children);
+        for child in children {
+            if let Some(name) = child.meta_name() {
+                if self.consumed_defs.contains(name) && child.kind.is_hardware() {
+                    // An inline type definition; it was already indexed in
+                    // the MetaTable and is not a physical component.
+                    continue;
+                }
+            }
+            if child.kind == ElementKind::Group {
+                self.expand_group(child, &mut e, scope, qualifier, path, in_power_domain)?;
+            } else {
+                let child_path = display_path(path, &child);
+                let expanded =
+                    self.expand_element(child, scope, qualifier, &child_path, in_power_domain)?;
+                e.children.push(expanded);
+            }
+        }
+        scope.pop();
+        Ok(e)
+    }
+
+    /// Expand a `group` child into `parent`'s children.
+    #[allow(clippy::too_many_arguments)]
+    fn expand_group(
+        &mut self,
+        mut group: XpdlElement,
+        parent: &mut XpdlElement,
+        scope: &mut Scope,
+        qualifier: &str,
+        path: &str,
+        in_power_domain: bool,
+    ) -> ElabResult<()> {
+        let group_path = display_path(path, &group);
+        // Resolve the quantity, possibly through a parameter (Listing 8:
+        // quantity="num_SM").
+        let quantity: Option<usize> = match group.attr("quantity") {
+            None => None,
+            Some(raw) => match scope.resolve_numeric(raw) {
+                Some(pv) if pv.value >= 0.0 && pv.value.fract() == 0.0 => Some(pv.value as usize),
+                _ => {
+                    return Err(ElabError::UnresolvedQuantity {
+                        group: group_path,
+                        raw: raw.to_string(),
+                    })
+                }
+            },
+        };
+
+        let Some(n) = quantity else {
+            // Ungrouped `group` (Listing 11 `<group id="cpu1">`): keep the
+            // element, expand its content in place.
+            let expanded =
+                self.expand_element(group, scope, qualifier, &group_path, in_power_domain)?;
+            parent.children.push(expanded);
+            return Ok(());
+        };
+
+        let prefix = group.group_prefix().unwrap_or("member").to_string();
+        group.remove_attr_quantity();
+        let content: Vec<XpdlElement> = std::mem::take(&mut group.children);
+        // Single-element content: each member *is* that element, with the
+        // generated id (paper: "identifiers … assigned as core0, core1,
+        // core2 and core3"). Multi-element content keeps a group wrapper
+        // per member so siblings stay associated (core + its private L1).
+        for i in 0..n {
+            let member_id = format!("{qualifier}{prefix}{i}");
+            let member_qualifier = format!("{member_id}.");
+            if content.len() == 1 && content[0].kind != ElementKind::Group {
+                let mut member = content[0].clone();
+                // The member's own ids (and intra-member references) get
+                // qualified so expanded copies stay globally unique.
+                let mut inner = std::mem::take(&mut member.children);
+                qualify_member_ids(&mut inner, &member_qualifier);
+                member.children = inner;
+                if member.ident().is_none() {
+                    member.model_kind = ModelKind::Instance(member_id.clone());
+                }
+                let member_path = display_path(path, &member);
+                let expanded = self.expand_element(
+                    member,
+                    scope,
+                    &member_qualifier,
+                    &member_path,
+                    in_power_domain,
+                )?;
+                parent.children.push(expanded);
+            } else {
+                let mut wrapper = XpdlElement::new(ElementKind::Group);
+                wrapper.model_kind = ModelKind::Instance(member_id.clone());
+                let member_path = display_path(path, &wrapper);
+                let mut content = content.clone();
+                qualify_member_ids(&mut content, &member_qualifier);
+                scope.push();
+                let mut kind_counts: std::collections::BTreeMap<&str, usize> =
+                    std::collections::BTreeMap::new();
+                for c in &content {
+                    if c.kind == ElementKind::Group {
+                        self.expand_group(
+                            c.clone(),
+                            &mut wrapper,
+                            scope,
+                            &member_qualifier,
+                            &member_path,
+                            in_power_domain,
+                        )?;
+                    } else {
+                        let mut cc = c.clone();
+                        if cc.ident().is_none() && cc.kind.is_hardware() {
+                            // Qualify anonymous member parts for unique ids;
+                            // same-kind siblings get an occurrence suffix.
+                            let occ = kind_counts.entry(c.kind.tag()).or_insert(0);
+                            let id = if content
+                                .iter()
+                                .filter(|x| x.kind == cc.kind && x.ident().is_none())
+                                .count()
+                                > 1
+                            {
+                                format!("{member_qualifier}{}{}", cc.kind.tag(), occ)
+                            } else {
+                                format!("{member_qualifier}{}", cc.kind.tag())
+                            };
+                            *occ += 1;
+                            cc.model_kind = ModelKind::Instance(id);
+                        }
+                        let cp = display_path(&member_path, &cc);
+                        let expanded = self.expand_element(
+                            cc,
+                            scope,
+                            &member_qualifier,
+                            &cp,
+                            in_power_domain,
+                        )?;
+                        wrapper.children.push(expanded);
+                    }
+                }
+                scope.pop();
+                parent.children.push(wrapper);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Qualify the explicit instance ids of a copied member subtree with the
+/// member qualifier, and rewrite intra-member `head`/`tail` references to
+/// match. Without this, Listing 11's node template (`<device id="gpu1">`,
+/// `<interconnect head="cpu1" tail="gpu1">`) would produce four colliding
+/// `gpu1`s across `n0..n3`.
+fn qualify_member_ids(subtree: &mut [XpdlElement], qualifier: &str) {
+    let mut local = BTreeSet::new();
+    for e in subtree.iter() {
+        collect_instance_ids(e, &mut local);
+    }
+    if local.is_empty() {
+        return;
+    }
+    for e in subtree.iter_mut() {
+        rewrite_ids(e, qualifier, &local);
+    }
+}
+
+fn collect_instance_ids(e: &XpdlElement, out: &mut BTreeSet<String>) {
+    if let ModelKind::Instance(id) = &e.model_kind {
+        out.insert(id.clone());
+    }
+    for c in &e.children {
+        collect_instance_ids(c, out);
+    }
+}
+
+fn rewrite_ids(e: &mut XpdlElement, qualifier: &str, local: &BTreeSet<String>) {
+    if let ModelKind::Instance(id) = &e.model_kind {
+        if local.contains(id) {
+            e.model_kind = ModelKind::Instance(format!("{qualifier}{id}"));
+        }
+    }
+    for (k, v) in &mut e.attrs {
+        if matches!(k.as_str(), "head" | "tail") && local.contains(v.as_str()) {
+            *v = format!("{qualifier}{v}");
+        }
+    }
+    for c in &mut e.children {
+        rewrite_ids(c, qualifier, local);
+    }
+}
+
+/// Number formatting matching attribute conventions (no trailing `.0`).
+fn fmt_num(n: f64) -> String {
+    if n.fract() == 0.0 && n.abs() < 1e15 {
+        format!("{}", n as i64)
+    } else {
+        format!("{n}")
+    }
+}
+
+fn display_path(parent: &str, e: &XpdlElement) -> String {
+    let seg = match e.ident() {
+        Some(id) => format!("{}[{}]", e.kind.tag(), id),
+        None => e.kind.tag().to_string(),
+    };
+    if parent.is_empty() {
+        seg
+    } else {
+        format!("{parent}/{seg}")
+    }
+}
+
+/// Helper on `XpdlElement` used by the expander.
+trait RemoveQuantity {
+    fn remove_attr_quantity(&mut self);
+}
+
+impl RemoveQuantity for XpdlElement {
+    fn remove_attr_quantity(&mut self) {
+        self.attrs.retain(|(k, _)| k != "quantity");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xpdl_repo::{MemoryStore, Repository, ResolvedSet};
+
+    fn resolved(entries: &[(&str, &str)]) -> ResolvedSet {
+        let mut m = MemoryStore::new();
+        for (k, v) in entries {
+            m.insert(*k, *v);
+        }
+        Repository::new().with_store(m).resolve_recursive(entries[0].0).unwrap()
+    }
+
+    fn expand(entries: &[(&str, &str)]) -> (XpdlElement, Vec<Diagnostic>) {
+        let set = resolved(entries);
+        let mut table = MetaTable::new(&set);
+        let refs: BTreeSet<String> = set
+            .documents()
+            .flat_map(|(_, d)| xpdl_repo::repository::references_of(d.root()))
+            .collect();
+        let mut ex = Expander::new(&mut table, ExpandOptions::default());
+        let root = ex.expand_root(set.root().root(), &refs).unwrap();
+        (root, ex.diags.clone())
+    }
+
+    #[test]
+    fn flat_group_expands_with_ids() {
+        let (root, _) = expand(&[(
+            "c",
+            r#"<cpu name="c"><group prefix="core" quantity="4"><core frequency="2" frequency_unit="GHz"/></group></cpu>"#,
+        )]);
+        let cores: Vec<_> = root.find_kind(ElementKind::Core).collect();
+        assert_eq!(cores.len(), 4);
+        let ids: Vec<_> = cores.iter().map(|c| c.instance_id().unwrap()).collect();
+        assert_eq!(ids, ["core0", "core1", "core2", "core3"]);
+    }
+
+    #[test]
+    fn listing1_nested_groups() {
+        let (root, _) = expand(&[(
+            "Intel_Xeon_E5_2630L",
+            r#"<cpu name="Intel_Xeon_E5_2630L">
+                 <group prefix="core_group" quantity="2">
+                   <group prefix="core" quantity="2">
+                     <core frequency="2" frequency_unit="GHz"/>
+                     <cache name="L1" size="32" unit="KiB"/>
+                   </group>
+                   <cache name="L2" size="256" unit="KiB"/>
+                 </group>
+                 <cache name="L3" size="15" unit="MiB"/>
+               </cpu>"#,
+        )]);
+        // 4 cores, 4 private L1s, 2 L2s, 1 L3.
+        assert_eq!(root.find_kind(ElementKind::Core).count(), 4);
+        let caches: Vec<_> = root.find_kind(ElementKind::Cache).collect();
+        let l1 = caches.iter().filter(|c| c.attr("name") == Some("L1")).count();
+        let l2 = caches.iter().filter(|c| c.attr("name") == Some("L2")).count();
+        let l3 = caches.iter().filter(|c| c.attr("name") == Some("L3")).count();
+        assert_eq!((l1, l2, l3), (4, 2, 1));
+        // Nested member ids are qualified for uniqueness: the member
+        // wrappers carry `core_group0.core0` …, and each anonymous core
+        // inside carries the wrapper-qualified id.
+        let group_ids: BTreeSet<_> = root
+            .find_kind(ElementKind::Group)
+            .filter_map(|g| g.instance_id().map(str::to_string))
+            .collect();
+        assert!(group_ids.contains("core_group0"), "{group_ids:?}");
+        assert!(group_ids.contains("core_group0.core0"), "{group_ids:?}");
+        assert!(group_ids.contains("core_group1.core1"), "{group_ids:?}");
+        let core_ids: BTreeSet<_> = root
+            .find_kind(ElementKind::Core)
+            .filter_map(|c| c.instance_id().map(str::to_string))
+            .collect();
+        assert_eq!(core_ids.len(), 4, "{core_ids:?}");
+        assert!(core_ids.contains("core_group0.core0.core"), "{core_ids:?}");
+    }
+
+    #[test]
+    fn group_quantity_from_parameter() {
+        let (root, _) = expand(&[(
+            "d",
+            r#"<device name="d">
+                 <param name="num_SM" value="3"/>
+                 <group prefix="sm" quantity="num_SM"><core/></group>
+               </device>"#,
+        )]);
+        assert_eq!(root.find_kind(ElementKind::Core).count(), 3);
+    }
+
+    #[test]
+    fn unresolved_quantity_errors() {
+        let set = resolved(&[(
+            "d",
+            r#"<device name="d"><group quantity="nope"><core/></group></device>"#,
+        )]);
+        let mut table = MetaTable::new(&set);
+        let mut ex = Expander::new(&mut table, ExpandOptions::default());
+        let err = ex.expand_root(set.root().root(), &BTreeSet::new()).unwrap_err();
+        assert!(matches!(err, ElabError::UnresolvedQuantity { .. }), "{err}");
+    }
+
+    #[test]
+    fn parameter_substitution_in_attributes() {
+        let (root, _) = expand(&[(
+            "d",
+            r#"<device name="d">
+                 <param name="cfrq" frequency="706" unit="MHz"/>
+                 <core frequency="cfrq"/>
+               </device>"#,
+        )]);
+        let core = root.find_kind(ElementKind::Core).next().unwrap();
+        assert_eq!(core.attr("frequency"), Some("706"));
+        assert_eq!(core.attr("frequency_unit"), Some("MHz"));
+    }
+
+    #[test]
+    fn type_instantiation_pulls_structure() {
+        let (root, _) = expand(&[
+            (
+                "srv",
+                r#"<system id="srv"><socket><cpu id="h" type="Xeon1"/></socket></system>"#,
+            ),
+            (
+                "Xeon1",
+                r#"<cpu name="Xeon1"><group prefix="core" quantity="2"><core frequency="2" frequency_unit="GHz"/></group></cpu>"#,
+            ),
+        ]);
+        assert_eq!(root.find_kind(ElementKind::Core).count(), 2);
+        let cpu = root.find_kind(ElementKind::Cpu).next().unwrap();
+        assert_eq!(cpu.instance_id(), Some("h"));
+    }
+
+    #[test]
+    fn inline_definitions_consumed() {
+        let (root, _) = expand(&[(
+            "srv",
+            r#"<system id="srv">
+                 <cpu name="Xeon1"><core/></cpu>
+                 <socket><cpu id="h" type="Xeon1"/></socket>
+               </system>"#,
+        )]);
+        // Only the instantiated cpu remains; the inline definition is gone.
+        let cpus: Vec<_> = root.find_kind(ElementKind::Cpu).collect();
+        assert_eq!(cpus.len(), 1);
+        assert_eq!(cpus[0].instance_id(), Some("h"));
+        assert_eq!(cpus[0].children.len(), 1);
+    }
+
+    #[test]
+    fn kepler_full_expansion_with_config() {
+        let (root, diags) = expand(&[
+            (
+                "gpu1_system",
+                r#"<system id="gpu1_system">
+                     <device id="gpu1" type="Nvidia_K20c">
+                       <param name="L1size" size="16" unit="KB"/>
+                       <param name="shmsize" size="48" unit="KB"/>
+                     </device>
+                   </system>"#,
+            ),
+            (
+                "Nvidia_K20c",
+                r#"<device name="Nvidia_K20c" extends="Nvidia_Kepler">
+                     <param name="num_SM" value="2"/>
+                     <param name="coresperSM" value="3"/>
+                     <param name="cfrq" frequency="706" unit="MHz"/>
+                     <param name="gmsz" size="5" unit="GB"/>
+                   </device>"#,
+            ),
+            (
+                "Nvidia_Kepler",
+                r#"<device name="Nvidia_Kepler">
+                     <const name="shmtotalsize" size="64" unit="KB"/>
+                     <param name="L1size" configurable="true" range="16, 32, 48" unit="KB"/>
+                     <param name="shmsize" configurable="true" range="16, 32, 48" unit="KB"/>
+                     <param name="num_SM"/>
+                     <param name="coresperSM"/>
+                     <param name="cfrq"/>
+                     <param name="gmsz"/>
+                     <constraints><constraint expr="L1size + shmsize == shmtotalsize"/></constraints>
+                     <group prefix="SM" quantity="num_SM">
+                       <group quantity="coresperSM"><core frequency="cfrq"/></group>
+                       <cache name="L1" size="L1size"/>
+                       <memory name="shm" size="shmsize"/>
+                     </group>
+                     <memory name="global" size="gmsz"/>
+                   </device>"#,
+            ),
+        ]);
+        assert!(diags.iter().all(|d| !d.is_error()), "{diags:?}");
+        // 2 SMs × 3 cores.
+        assert_eq!(root.find_kind(ElementKind::Core).count(), 6);
+        // Each SM has its L1 with the configured size, substituted.
+        let l1s: Vec<_> = root
+            .find_kind(ElementKind::Cache)
+            .filter(|c| c.attr("name") == Some("L1"))
+            .collect();
+        assert_eq!(l1s.len(), 2);
+        assert_eq!(l1s[0].attr("size"), Some("16"));
+        assert_eq!(l1s[0].attr("unit"), Some("KB"));
+        // Global memory got gmsz.
+        let gm = root
+            .find_kind(ElementKind::Memory)
+            .find(|m| m.attr("name") == Some("global"))
+            .unwrap();
+        assert_eq!(gm.attr("size"), Some("5"));
+    }
+
+    #[test]
+    fn constraint_violation_diagnosed_not_fatal() {
+        let (_, diags) = expand(&[(
+            "d",
+            r#"<device name="d">
+                 <const name="total" value="64"/>
+                 <param name="a" value="16"/>
+                 <param name="b" value="16"/>
+                 <constraints><constraint expr="a + b == total"/></constraints>
+               </device>"#,
+        )]);
+        assert!(diags.iter().any(|d| d.is_error() && d.message.contains("violated")), "{diags:?}");
+    }
+
+    #[test]
+    fn budget_enforced() {
+        let set = resolved(&[(
+            "d",
+            r#"<device name="d"><group prefix="x" quantity="100"><core/></group></device>"#,
+        )]);
+        let mut table = MetaTable::new(&set);
+        let mut ex =
+            Expander::new(&mut table, ExpandOptions { max_elements: 10, ..Default::default() });
+        let err = ex.expand_root(set.root().root(), &BTreeSet::new()).unwrap_err();
+        assert!(matches!(err, ElabError::TooLarge { .. }));
+    }
+
+    #[test]
+    fn ungrouped_group_kept() {
+        let (root, _) = expand(&[(
+            "s",
+            r#"<system id="s"><group id="cpu1"><socket><cpu id="PE0" type="X"/></socket></group><cpu name="X"/></system>"#,
+        )]);
+        let g = root.find_kind(ElementKind::Group).next().unwrap();
+        assert_eq!(g.instance_id(), Some("cpu1"));
+    }
+}

@@ -1,0 +1,194 @@
+//! C3 linearization of the `extends` inheritance graph.
+//!
+//! XPDL supports multiple inheritance (§III-A). To make attribute
+//! overriding deterministic we linearize each type's supertype DAG with the
+//! C3 algorithm (as used by Python/Dylan): the result respects (a) every
+//! class precedes its supertypes and (b) the local precedence order of each
+//! `extends` list. Diamonds resolve deterministically; genuinely
+//! inconsistent hierarchies are reported as errors.
+
+use crate::error::{ElabError, ElabResult};
+use std::collections::BTreeMap;
+
+/// Provider of `extends` lists by type name.
+pub trait Hierarchy {
+    /// Direct supertypes of `name`, in declaration order. Unknown names
+    /// return an empty list (treated as external roots).
+    fn supers(&self, name: &str) -> Vec<String>;
+}
+
+impl Hierarchy for BTreeMap<String, Vec<String>> {
+    fn supers(&self, name: &str) -> Vec<String> {
+        self.get(name).cloned().unwrap_or_default()
+    }
+}
+
+/// Compute the C3 linearization of `name`: `[name, …supertypes…]`.
+pub fn linearize(name: &str, h: &dyn Hierarchy) -> ElabResult<Vec<String>> {
+    let mut memo = BTreeMap::new();
+    linearize_memo(name, h, &mut memo, &mut Vec::new())
+}
+
+fn linearize_memo(
+    name: &str,
+    h: &dyn Hierarchy,
+    memo: &mut BTreeMap<String, Vec<String>>,
+    visiting: &mut Vec<String>,
+) -> ElabResult<Vec<String>> {
+    if let Some(done) = memo.get(name) {
+        return Ok(done.clone());
+    }
+    if visiting.iter().any(|v| v == name) {
+        return Err(ElabError::Linearization {
+            name: name.to_string(),
+            detail: format!("inheritance cycle through '{name}'"),
+        });
+    }
+    visiting.push(name.to_string());
+    let supers = h.supers(name);
+    let mut sequences: Vec<Vec<String>> = Vec::with_capacity(supers.len() + 1);
+    for s in &supers {
+        sequences.push(linearize_memo(s, h, memo, visiting)?);
+    }
+    if !supers.is_empty() {
+        sequences.push(supers.clone());
+    }
+    visiting.pop();
+
+    let mut result = vec![name.to_string()];
+    result.extend(c3_merge(name, sequences)?);
+    memo.insert(name.to_string(), result.clone());
+    Ok(result)
+}
+
+/// The C3 merge step: repeatedly take a head that appears in no sequence
+/// tail.
+fn c3_merge(name: &str, mut sequences: Vec<Vec<String>>) -> ElabResult<Vec<String>> {
+    let mut out = Vec::new();
+    loop {
+        sequences.retain(|s| !s.is_empty());
+        if sequences.is_empty() {
+            return Ok(out);
+        }
+        let mut candidate = None;
+        for s in &sequences {
+            let head = &s[0];
+            let in_tail = sequences.iter().any(|t| t[1..].contains(head));
+            if !in_tail {
+                candidate = Some(head.clone());
+                break;
+            }
+        }
+        let Some(head) = candidate else {
+            return Err(ElabError::Linearization {
+                name: name.to_string(),
+                detail: format!(
+                    "no consistent order among {{{}}}",
+                    sequences
+                        .iter()
+                        .map(|s| s[0].clone())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ),
+            });
+        };
+        out.push(head.clone());
+        for s in &mut sequences {
+            s.retain(|x| *x != head);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn h(edges: &[(&str, &[&str])]) -> BTreeMap<String, Vec<String>> {
+        edges
+            .iter()
+            .map(|(n, ss)| (n.to_string(), ss.iter().map(|s| s.to_string()).collect()))
+            .collect()
+    }
+
+    #[test]
+    fn single_chain_kepler() {
+        // Listing 8/9: K20c -> Kepler -> Nvidia_GPU.
+        let hier = h(&[("K20c", &["Kepler"]), ("Kepler", &["Nvidia_GPU"])]);
+        assert_eq!(linearize("K20c", &hier).unwrap(), ["K20c", "Kepler", "Nvidia_GPU"]);
+    }
+
+    #[test]
+    fn leaf_type_is_singleton() {
+        let hier = h(&[]);
+        assert_eq!(linearize("X", &hier).unwrap(), ["X"]);
+    }
+
+    #[test]
+    fn diamond_resolves_deterministically() {
+        //    A
+        //   / \
+        //  B   C
+        //   \ /
+        //    D
+        let hier = h(&[("D", &["B", "C"]), ("B", &["A"]), ("C", &["A"])]);
+        assert_eq!(linearize("D", &hier).unwrap(), ["D", "B", "C", "A"]);
+    }
+
+    #[test]
+    fn local_precedence_respected() {
+        let hier = h(&[("D", &["C", "B"]), ("B", &["A"]), ("C", &["A"])]);
+        assert_eq!(linearize("D", &hier).unwrap(), ["D", "C", "B", "A"]);
+    }
+
+    #[test]
+    fn classic_c3_example() {
+        // The canonical Python MRO example.
+        let hier = h(&[
+            ("F", &["O"]),
+            ("E", &["O"]),
+            ("D", &["O"]),
+            ("C", &["D", "F"]),
+            ("B", &["D", "E"]),
+            ("A", &["B", "C"]),
+        ]);
+        assert_eq!(
+            linearize("A", &hier).unwrap(),
+            ["A", "B", "C", "D", "E", "F", "O"]
+        );
+    }
+
+    #[test]
+    fn inconsistent_hierarchy_rejected() {
+        // A wants [B, C]; D wants [C, B] — C3 must fail for E(A, D).
+        let hier = h(&[("A", &["B", "C"]), ("D", &["C", "B"]), ("E", &["A", "D"])]);
+        let err = linearize("E", &hier).unwrap_err();
+        assert!(matches!(err, ElabError::Linearization { .. }), "{err}");
+    }
+
+    #[test]
+    fn cycle_rejected() {
+        let hier = h(&[("A", &["B"]), ("B", &["A"])]);
+        let err = linearize("A", &hier).unwrap_err();
+        assert!(err.to_string().contains("cycle"));
+    }
+
+    #[test]
+    fn unknown_supertype_treated_as_root() {
+        // `Nvidia_GPU` itself may extend a vendor-site type we did not
+        // resolve; it linearizes as an external root.
+        let hier = h(&[("K20c", &["Kepler"])]);
+        assert_eq!(linearize("K20c", &hier).unwrap(), ["K20c", "Kepler"]);
+    }
+
+    #[test]
+    fn repeated_supertype_deduplicated() {
+        let hier = h(&[("A", &["B", "B"])]);
+        // Degenerate but should not panic; C3 handles via merge.
+        let lin = linearize("A", &hier);
+        // Either an error or a deduplicated list is acceptable; assert no panic
+        // and that success implies correct content.
+        if let Ok(l) = lin {
+            assert_eq!(l, ["A", "B"]);
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Property tests for elaboration internals: C3 linearization laws and
+//! group-expansion arithmetic on random hierarchies.
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use xpdl_elab::linearize::linearize;
+
+/// Random DAG hierarchies: type i may only extend types with larger
+/// indices (guarantees acyclicity); up to 8 types, up to 3 supertypes each.
+fn arb_hierarchy() -> impl Strategy<Value = BTreeMap<String, Vec<String>>> {
+    (2usize..8).prop_flat_map(|n| {
+        proptest::collection::vec(proptest::collection::vec(0usize..n, 0..3), n).prop_map(
+            move |raw| {
+                let mut h = BTreeMap::new();
+                for (i, supers) in raw.iter().enumerate() {
+                    let mut ss: Vec<String> = supers
+                        .iter()
+                        .filter(|&&s| s > i)
+                        .map(|s| format!("T{s}"))
+                        .collect();
+                    ss.dedup();
+                    h.insert(format!("T{i}"), ss);
+                }
+                h
+            },
+        )
+    })
+}
+
+fn ancestors(h: &BTreeMap<String, Vec<String>>, name: &str) -> Vec<String> {
+    let mut out = vec![name.to_string()];
+    let mut i = 0;
+    while i < out.len() {
+        let cur = out[i].clone();
+        for s in h.get(&cur).into_iter().flatten() {
+            if !out.contains(s) {
+                out.push(s.clone());
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn linearization_laws(h in arb_hierarchy()) {
+        for name in h.keys() {
+            match linearize(name, &h) {
+                Err(_) => {} // inconsistent orders are legitimately rejected
+                Ok(lin) => {
+                    // Starts with the type itself.
+                    prop_assert_eq!(&lin[0], name);
+                    // No duplicates.
+                    let set: std::collections::BTreeSet<_> = lin.iter().collect();
+                    prop_assert_eq!(set.len(), lin.len());
+                    // Exactly the reachable ancestors.
+                    let mut anc = ancestors(&h, name);
+                    anc.sort();
+                    let mut got = lin.clone();
+                    got.sort();
+                    prop_assert_eq!(got, anc);
+                    // Every type precedes its own supertypes.
+                    for (i, t) in lin.iter().enumerate() {
+                        for s in h.get(t).into_iter().flatten() {
+                            let j = lin.iter().position(|x| x == s).unwrap();
+                            prop_assert!(i < j, "{t} must precede its supertype {s} in {lin:?}");
+                        }
+                    }
+                    // Local precedence: direct supertypes appear in
+                    // declaration order.
+                    if let Some(supers) = h.get(name) {
+                        let pos: Vec<usize> = supers
+                            .iter()
+                            .map(|s| lin.iter().position(|x| x == s).unwrap())
+                            .collect();
+                        prop_assert!(pos.windows(2).all(|w| w[0] < w[1]),
+                            "local precedence violated for {name}: {supers:?} in {lin:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn linearization_memoization_consistent(h in arb_hierarchy()) {
+        // Linearizing twice gives identical results (memo correctness).
+        for name in h.keys() {
+            let a = linearize(name, &h);
+            let b = linearize(name, &h);
+            prop_assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        }
+    }
+
+    #[test]
+    fn group_expansion_count(quantities in proptest::collection::vec(1usize..6, 1..4)) {
+        // Nested groups multiply: quantity product = final core count.
+        let mut inner = String::from(r#"<core frequency="1" frequency_unit="GHz"/>"#);
+        for (i, q) in quantities.iter().enumerate() {
+            inner = format!(r#"<group prefix="g{i}_" quantity="{q}">{inner}</group>"#);
+        }
+        let src = format!(r#"<cpu name="c">{inner}</cpu>"#);
+        let mut store = xpdl_repo::MemoryStore::new();
+        store.insert("c", src);
+        let repo = xpdl_repo::Repository::new().with_store(store);
+        let set = repo.resolve_recursive("c").unwrap();
+        let model = xpdl_elab::elaborate(&set).unwrap();
+        let expected: usize = quantities.iter().product();
+        prop_assert_eq!(model.count_kind(xpdl_core::ElementKind::Core), expected);
+    }
+}

@@ -1,0 +1,220 @@
+//! Abstract syntax tree for expressions.
+
+use std::fmt;
+
+/// Binary operators, in increasing precedence groups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// `||` / `or`
+    Or,
+    /// `&&` / `and`
+    And,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+}
+
+impl BinOp {
+    /// Operator symbol for diagnostics and pretty-printing.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Or => "||",
+            BinOp::And => "&&",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Rem => "%",
+        }
+    }
+
+    /// Binding power (higher binds tighter). All binary operators are
+    /// left-associative.
+    pub fn precedence(self) -> u8 {
+        match self {
+            BinOp::Or => 1,
+            BinOp::And => 2,
+            BinOp::Eq | BinOp::Ne => 3,
+            BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => 4,
+            BinOp::Add | BinOp::Sub => 5,
+            BinOp::Mul | BinOp::Div | BinOp::Rem => 6,
+        }
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// `-`
+    Neg,
+    /// `!` / `not`
+    Not,
+}
+
+/// Expression tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Numeric literal.
+    Number(f64),
+    /// String literal.
+    Str(String),
+    /// Boolean literal.
+    Bool(bool),
+    /// Variable reference (possibly a dotted path).
+    Var(String),
+    /// Unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// Binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// Function call `name(args…)`.
+    Call(String, Vec<Expr>),
+    /// Power-domain state predicate: `name off` / `name on`
+    /// (true ⇔ the named domain/group is in the given state).
+    StateIs {
+        /// Domain or group name.
+        name: String,
+        /// `true` for `on`, `false` for `off`.
+        on: bool,
+    },
+}
+
+impl Expr {
+    /// Number of nodes in the tree (used by fuzz/property tests).
+    pub fn size(&self) -> usize {
+        match self {
+            Expr::Number(_) | Expr::Str(_) | Expr::Bool(_) | Expr::Var(_) | Expr::StateIs { .. } => 1,
+            Expr::Unary(_, e) => 1 + e.size(),
+            Expr::Binary(_, l, r) => 1 + l.size() + r.size(),
+            Expr::Call(_, args) => 1 + args.iter().map(Expr::size).sum::<usize>(),
+        }
+    }
+
+    /// Collect all variable names referenced by the expression.
+    pub fn variables(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_vars(&mut out);
+        out
+    }
+
+    fn collect_vars<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            Expr::Var(v) => out.push(v),
+            Expr::StateIs { name, .. } => out.push(name),
+            Expr::Unary(_, e) => e.collect_vars(out),
+            Expr::Binary(_, l, r) => {
+                l.collect_vars(out);
+                r.collect_vars(out);
+            }
+            Expr::Call(_, args) => {
+                for a in args {
+                    a.collect_vars(out);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    /// Fully-parenthesized rendering (unambiguous, used in diagnostics).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Number(n) => write!(f, "{n}"),
+            Expr::Str(s) => write!(f, "{s:?}"),
+            Expr::Bool(b) => write!(f, "{b}"),
+            Expr::Var(v) => write!(f, "{v}"),
+            Expr::Unary(UnOp::Neg, e) => write!(f, "(-{e})"),
+            Expr::Unary(UnOp::Not, e) => write!(f, "(!{e})"),
+            Expr::Binary(op, l, r) => write!(f, "({l} {} {r})", op.symbol()),
+            Expr::Call(name, args) => {
+                write!(f, "{name}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            Expr::StateIs { name, on } => {
+                write!(f, "({name} {})", if *on { "on" } else { "off" })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn precedence_ordering() {
+        assert!(BinOp::Mul.precedence() > BinOp::Add.precedence());
+        assert!(BinOp::Add.precedence() > BinOp::Lt.precedence());
+        assert!(BinOp::Lt.precedence() > BinOp::Eq.precedence());
+        assert!(BinOp::Eq.precedence() > BinOp::And.precedence());
+        assert!(BinOp::And.precedence() > BinOp::Or.precedence());
+    }
+
+    #[test]
+    fn size_counts_nodes() {
+        let e = Expr::Binary(
+            BinOp::Add,
+            Box::new(Expr::Var("a".into())),
+            Box::new(Expr::Number(1.0)),
+        );
+        assert_eq!(e.size(), 3);
+        assert_eq!(Expr::Call("min".into(), vec![e.clone(), e]).size(), 7);
+    }
+
+    #[test]
+    fn variables_collected_in_order() {
+        let e = Expr::Binary(
+            BinOp::Eq,
+            Box::new(Expr::Binary(
+                BinOp::Add,
+                Box::new(Expr::Var("L1size".into())),
+                Box::new(Expr::Var("shmsize".into())),
+            )),
+            Box::new(Expr::Var("shmtotalsize".into())),
+        );
+        assert_eq!(e.variables(), ["L1size", "shmsize", "shmtotalsize"]);
+    }
+
+    #[test]
+    fn display_parenthesized() {
+        let e = Expr::Binary(
+            BinOp::Add,
+            Box::new(Expr::Var("a".into())),
+            Box::new(Expr::Unary(UnOp::Neg, Box::new(Expr::Number(2.0)))),
+        );
+        assert_eq!(e.to_string(), "(a + (-2))");
+        let s = Expr::StateIs { name: "Shave_pds".into(), on: false };
+        assert_eq!(s.to_string(), "(Shave_pds off)");
+    }
+}

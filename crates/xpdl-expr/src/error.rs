@@ -1,0 +1,72 @@
+//! Errors for expression parsing and evaluation.
+
+use std::fmt;
+
+/// Result alias.
+pub type ExprResult<T> = Result<T, ExprError>;
+
+/// Expression parse or evaluation error.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprError {
+    /// Lexical error at a byte offset.
+    Lex { offset: usize, message: String },
+    /// Parse error at a byte offset.
+    Parse { offset: usize, message: String },
+    /// An identifier the environment cannot resolve.
+    UnknownVariable(String),
+    /// A function the environment does not provide.
+    UnknownFunction(String),
+    /// A function called with the wrong number of arguments.
+    Arity { function: String, expected: usize, got: usize },
+    /// Operator applied to incompatible operand types.
+    TypeMismatch { op: &'static str, lhs: &'static str, rhs: &'static str },
+    /// Division (or modulo) by zero.
+    DivisionByZero,
+    /// A `X off` / `X on` state predicate on a name with no domain state.
+    NoDomainState(String),
+}
+
+impl fmt::Display for ExprError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExprError::Lex { offset, message } => write!(f, "lex error at byte {offset}: {message}"),
+            ExprError::Parse { offset, message } => {
+                write!(f, "parse error at byte {offset}: {message}")
+            }
+            ExprError::UnknownVariable(n) => write!(f, "unknown variable '{n}'"),
+            ExprError::UnknownFunction(n) => write!(f, "unknown function '{n}'"),
+            ExprError::Arity { function, expected, got } => {
+                write!(f, "function '{function}' expects {expected} argument(s), got {got}")
+            }
+            ExprError::TypeMismatch { op, lhs, rhs } => {
+                write!(f, "operator '{op}' cannot combine {lhs} and {rhs}")
+            }
+            ExprError::DivisionByZero => write!(f, "division by zero"),
+            ExprError::NoDomainState(n) => {
+                write!(f, "'{n}' has no power-domain state (needed by on/off predicate)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExprError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(ExprError::UnknownVariable("x".into()).to_string().contains("'x'"));
+        assert!(ExprError::DivisionByZero.to_string().contains("zero"));
+        assert!(ExprError::Arity { function: "min".into(), expected: 2, got: 1 }
+            .to_string()
+            .contains("min"));
+        assert!(ExprError::TypeMismatch { op: "+", lhs: "string", rhs: "number" }
+            .to_string()
+            .contains("'+'"));
+        assert!(ExprError::Lex { offset: 3, message: "bad char".into() }
+            .to_string()
+            .contains("byte 3"));
+    }
+}

@@ -1,0 +1,483 @@
+//! Expression evaluation over a caller-supplied environment.
+
+use crate::ast::{BinOp, Expr, UnOp};
+use crate::error::{ExprError, ExprResult};
+use crate::parser::parse_expr;
+use crate::value::Value;
+use std::collections::BTreeMap;
+
+/// Power-domain state, queried by `name on` / `name off` predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DomainState {
+    /// Powered on.
+    On,
+    /// Switched off.
+    Off,
+}
+
+/// Resolution environment: variables, functions and domain states.
+///
+/// All methods have defaults that report "unknown", so simple cases only
+/// implement what they need.
+pub trait Env {
+    /// Resolve a variable (or dotted path) to a value.
+    fn lookup(&self, name: &str) -> Option<Value> {
+        let _ = name;
+        None
+    }
+
+    /// Resolve a power-domain/group state for `on`/`off` predicates.
+    fn domain_state(&self, name: &str) -> Option<DomainState> {
+        let _ = name;
+        None
+    }
+
+    /// Call an environment-specific function. Return `None` if the function
+    /// is unknown (builtins are tried first).
+    fn call(&self, name: &str, args: &[Value]) -> Option<ExprResult<Value>> {
+        let _ = (name, args);
+        None
+    }
+}
+
+/// A simple map-backed environment, sufficient for constraint checking.
+#[derive(Debug, Clone, Default)]
+pub struct MapEnv {
+    vars: BTreeMap<String, Value>,
+    states: BTreeMap<String, DomainState>,
+}
+
+impl MapEnv {
+    /// Empty environment.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bind a variable.
+    pub fn set(&mut self, name: impl Into<String>, value: Value) -> &mut Self {
+        self.vars.insert(name.into(), value);
+        self
+    }
+
+    /// Bind a domain state.
+    pub fn set_state(&mut self, name: impl Into<String>, state: DomainState) -> &mut Self {
+        self.states.insert(name.into(), state);
+        self
+    }
+
+    /// Iterate over bound variables.
+    pub fn vars(&self) -> impl Iterator<Item = (&str, &Value)> {
+        self.vars.iter().map(|(k, v)| (k.as_str(), v))
+    }
+}
+
+impl Env for MapEnv {
+    fn lookup(&self, name: &str) -> Option<Value> {
+        self.vars.get(name).cloned()
+    }
+
+    fn domain_state(&self, name: &str) -> Option<DomainState> {
+        self.states.get(name).copied()
+    }
+}
+
+/// Parse and evaluate in one step.
+pub fn eval_str(src: &str, env: &dyn Env) -> ExprResult<Value> {
+    eval(&parse_expr(src)?, env)
+}
+
+/// Evaluate a parsed expression.
+pub fn eval(expr: &Expr, env: &dyn Env) -> ExprResult<Value> {
+    match expr {
+        Expr::Number(n) => Ok(Value::Number(*n)),
+        Expr::Str(s) => Ok(Value::Str(s.clone())),
+        Expr::Bool(b) => Ok(Value::Bool(*b)),
+        Expr::Var(name) => env
+            .lookup(name)
+            .ok_or_else(|| ExprError::UnknownVariable(name.clone())),
+        Expr::StateIs { name, on } => {
+            let state = env
+                .domain_state(name)
+                .ok_or_else(|| ExprError::NoDomainState(name.clone()))?;
+            Ok(Value::Bool((state == DomainState::On) == *on))
+        }
+        Expr::Unary(op, e) => {
+            let v = eval(e, env)?;
+            match op {
+                UnOp::Neg => match v {
+                    Value::Number(n) => Ok(Value::Number(-n)),
+                    other => Err(ExprError::TypeMismatch {
+                        op: "-",
+                        lhs: "number",
+                        rhs: other.type_name(),
+                    }),
+                },
+                UnOp::Not => Ok(Value::Bool(!v.truthy())),
+            }
+        }
+        Expr::Binary(op, l, r) => eval_binary(*op, l, r, env),
+        Expr::Call(name, args) => {
+            let vals: Vec<Value> = args.iter().map(|a| eval(a, env)).collect::<Result<_, _>>()?;
+            if let Some(res) = call_builtin(name, &vals)? {
+                return Ok(res);
+            }
+            match env.call(name, &vals) {
+                Some(r) => r,
+                None => Err(ExprError::UnknownFunction(name.clone())),
+            }
+        }
+    }
+}
+
+fn eval_binary(op: BinOp, l: &Expr, r: &Expr, env: &dyn Env) -> ExprResult<Value> {
+    // Short-circuit logic operators.
+    match op {
+        BinOp::And => {
+            let lv = eval(l, env)?;
+            return if !lv.truthy() {
+                Ok(Value::Bool(false))
+            } else {
+                Ok(Value::Bool(eval(r, env)?.truthy()))
+            };
+        }
+        BinOp::Or => {
+            let lv = eval(l, env)?;
+            return if lv.truthy() {
+                Ok(Value::Bool(true))
+            } else {
+                Ok(Value::Bool(eval(r, env)?.truthy()))
+            };
+        }
+        _ => {}
+    }
+    let lv = eval(l, env)?;
+    let rv = eval(r, env)?;
+    match op {
+        BinOp::Eq => Ok(Value::Bool(lv.loose_eq(&rv))),
+        BinOp::Ne => Ok(Value::Bool(!lv.loose_eq(&rv))),
+        BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => compare(op, &lv, &rv),
+        BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Rem => {
+            arithmetic(op, &lv, &rv)
+        }
+        BinOp::And | BinOp::Or => unreachable!("handled above"),
+    }
+}
+
+fn compare(op: BinOp, l: &Value, r: &Value) -> ExprResult<Value> {
+    let ord = match (l, r) {
+        (Value::Number(a), Value::Number(b)) => a.partial_cmp(b),
+        (Value::Str(a), Value::Str(b)) => Some(a.cmp(b)),
+        _ => None,
+    };
+    let Some(ord) = ord else {
+        return Err(ExprError::TypeMismatch {
+            op: op.symbol(),
+            lhs: l.type_name(),
+            rhs: r.type_name(),
+        });
+    };
+    let b = match op {
+        BinOp::Lt => ord.is_lt(),
+        BinOp::Le => ord.is_le(),
+        BinOp::Gt => ord.is_gt(),
+        BinOp::Ge => ord.is_ge(),
+        _ => unreachable!(),
+    };
+    Ok(Value::Bool(b))
+}
+
+fn arithmetic(op: BinOp, l: &Value, r: &Value) -> ExprResult<Value> {
+    // String concatenation with `+`.
+    if op == BinOp::Add {
+        if let (Value::Str(a), Value::Str(b)) = (l, r) {
+            return Ok(Value::Str(format!("{a}{b}")));
+        }
+    }
+    let (Some(a), Some(b)) = (l.as_number(), r.as_number()) else {
+        return Err(ExprError::TypeMismatch {
+            op: op.symbol(),
+            lhs: l.type_name(),
+            rhs: r.type_name(),
+        });
+    };
+    let n = match op {
+        BinOp::Add => a + b,
+        BinOp::Sub => a - b,
+        BinOp::Mul => a * b,
+        BinOp::Div => {
+            if b == 0.0 {
+                return Err(ExprError::DivisionByZero);
+            }
+            a / b
+        }
+        BinOp::Rem => {
+            if b == 0.0 {
+                return Err(ExprError::DivisionByZero);
+            }
+            a % b
+        }
+        _ => unreachable!(),
+    };
+    Ok(Value::Number(n))
+}
+
+/// Built-in functions available to every environment.
+///
+/// Aggregates accept either a single list argument or variadic numbers, so
+/// both `sum(children.static_power)` and `max(a, b, c)` work.
+fn call_builtin(name: &str, args: &[Value]) -> ExprResult<Option<Value>> {
+    fn numbers(name: &str, args: &[Value]) -> ExprResult<Vec<f64>> {
+        let flat: &[Value] = match args {
+            [Value::List(items)] => items,
+            other => other,
+        };
+        flat.iter()
+            .map(|v| {
+                v.as_number().ok_or(ExprError::TypeMismatch {
+                    op: "aggregate",
+                    lhs: "number",
+                    rhs: v.type_name(),
+                })
+            })
+            .collect::<Result<Vec<_>, _>>()
+            .map_err(|e| match e {
+                ExprError::TypeMismatch { .. } => ExprError::Arity {
+                    function: name.to_string(),
+                    expected: 1,
+                    got: args.len(),
+                },
+                other => other,
+            })
+    }
+
+    let v = match name {
+        "min" => {
+            let ns = numbers(name, args)?;
+            if ns.is_empty() {
+                return Err(ExprError::Arity { function: name.into(), expected: 1, got: 0 });
+            }
+            Value::Number(ns.iter().copied().fold(f64::INFINITY, f64::min))
+        }
+        "max" => {
+            let ns = numbers(name, args)?;
+            if ns.is_empty() {
+                return Err(ExprError::Arity { function: name.into(), expected: 1, got: 0 });
+            }
+            Value::Number(ns.iter().copied().fold(f64::NEG_INFINITY, f64::max))
+        }
+        "sum" => Value::Number(numbers(name, args)?.iter().sum()),
+        "count" => match args {
+            [Value::List(items)] => Value::Number(items.len() as f64),
+            other => Value::Number(other.len() as f64),
+        },
+        "avg" => {
+            let ns = numbers(name, args)?;
+            if ns.is_empty() {
+                return Err(ExprError::DivisionByZero);
+            }
+            Value::Number(ns.iter().sum::<f64>() / ns.len() as f64)
+        }
+        "abs" => {
+            let [v] = args else {
+                return Err(ExprError::Arity { function: name.into(), expected: 1, got: args.len() });
+            };
+            match v.as_number() {
+                Some(n) => Value::Number(n.abs()),
+                None => {
+                    return Err(ExprError::TypeMismatch {
+                        op: "abs",
+                        lhs: "number",
+                        rhs: v.type_name(),
+                    })
+                }
+            }
+        }
+        "floor" | "ceil" | "round" => {
+            let [v] = args else {
+                return Err(ExprError::Arity { function: name.into(), expected: 1, got: args.len() });
+            };
+            let Some(n) = v.as_number() else {
+                return Err(ExprError::TypeMismatch {
+                    op: "rounding",
+                    lhs: "number",
+                    rhs: v.type_name(),
+                });
+            };
+            Value::Number(match name {
+                "floor" => n.floor(),
+                "ceil" => n.ceil(),
+                _ => n.round(),
+            })
+        }
+        "contains" => {
+            let [hay, needle] = args else {
+                return Err(ExprError::Arity { function: name.into(), expected: 2, got: args.len() });
+            };
+            match (hay, needle) {
+                (Value::Str(h), Value::Str(n)) => Value::Bool(h.contains(n.as_str())),
+                (Value::List(items), v) => Value::Bool(items.iter().any(|i| i.loose_eq(v))),
+                _ => {
+                    return Err(ExprError::TypeMismatch {
+                        op: "contains",
+                        lhs: hay.type_name(),
+                        rhs: needle.type_name(),
+                    })
+                }
+            }
+        }
+        _ => return Ok(None),
+    };
+    Ok(Some(v))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env() -> MapEnv {
+        let mut e = MapEnv::new();
+        e.set("L1size", Value::Number(16.0 * 1024.0));
+        e.set("shmsize", Value::Number(48.0 * 1024.0));
+        e.set("shmtotalsize", Value::Number(64.0 * 1024.0));
+        e.set("density", Value::Number(0.02));
+        e.set("libname", Value::Str("cusparse".into()));
+        e.set_state("Shave_pds", DomainState::Off);
+        e.set_state("main_pd", DomainState::On);
+        e
+    }
+
+    #[test]
+    fn kepler_constraint_satisfied_and_violated() {
+        let e = env();
+        assert_eq!(eval_str("L1size + shmsize == shmtotalsize", &e), Ok(Value::Bool(true)));
+        let mut bad = env();
+        bad.set("L1size", Value::Number(64.0 * 1024.0));
+        assert_eq!(eval_str("L1size + shmsize == shmtotalsize", &bad), Ok(Value::Bool(false)));
+    }
+
+    #[test]
+    fn switchoff_condition() {
+        let e = env();
+        assert_eq!(eval_str("Shave_pds off", &e), Ok(Value::Bool(true)));
+        assert_eq!(eval_str("Shave_pds on", &e), Ok(Value::Bool(false)));
+        assert_eq!(eval_str("main_pd on && Shave_pds off", &e), Ok(Value::Bool(true)));
+        assert!(matches!(eval_str("nope off", &e), Err(ExprError::NoDomainState(_))));
+    }
+
+    #[test]
+    fn arithmetic_basics() {
+        let e = MapEnv::new();
+        assert_eq!(eval_str("2 + 3 * 4", &e), Ok(Value::Number(14.0)));
+        assert_eq!(eval_str("10 / 4", &e), Ok(Value::Number(2.5)));
+        assert_eq!(eval_str("10 % 3", &e), Ok(Value::Number(1.0)));
+        assert_eq!(eval_str("-(2 + 3)", &e), Ok(Value::Number(-5.0)));
+    }
+
+    #[test]
+    fn division_by_zero() {
+        let e = MapEnv::new();
+        assert_eq!(eval_str("1 / 0", &e), Err(ExprError::DivisionByZero));
+        assert_eq!(eval_str("1 % 0", &e), Err(ExprError::DivisionByZero));
+    }
+
+    #[test]
+    fn comparisons() {
+        let e = env();
+        assert_eq!(eval_str("density < 0.05", &e), Ok(Value::Bool(true)));
+        assert_eq!(eval_str("density >= 0.05", &e), Ok(Value::Bool(false)));
+        assert_eq!(eval_str("'abc' < 'abd'", &e), Ok(Value::Bool(true)));
+        assert!(matches!(eval_str("'a' < 1", &e), Err(ExprError::TypeMismatch { .. })));
+    }
+
+    #[test]
+    fn string_equality_and_concat() {
+        let e = env();
+        assert_eq!(eval_str("libname == 'cusparse'", &e), Ok(Value::Bool(true)));
+        assert_eq!(eval_str("'a' + 'b' == 'ab'", &e), Ok(Value::Bool(true)));
+    }
+
+    #[test]
+    fn short_circuit_does_not_evaluate_rhs() {
+        // `unknown` is unbound; short-circuiting must skip it.
+        let e = env();
+        assert_eq!(eval_str("false && unknown", &e), Ok(Value::Bool(false)));
+        assert_eq!(eval_str("true || unknown", &e), Ok(Value::Bool(true)));
+        assert!(eval_str("true && unknown", &e).is_err());
+    }
+
+    #[test]
+    fn unknown_variable_and_function() {
+        let e = MapEnv::new();
+        assert_eq!(eval_str("missing", &e), Err(ExprError::UnknownVariable("missing".into())));
+        assert_eq!(
+            eval_str("frobnicate(1)", &e),
+            Err(ExprError::UnknownFunction("frobnicate".into()))
+        );
+    }
+
+    #[test]
+    fn builtin_aggregates_variadic_and_list() {
+        let mut e = MapEnv::new();
+        e.set("xs", Value::List(vec![1.0.into(), 2.0.into(), 3.0.into()]));
+        assert_eq!(eval_str("min(3, 1, 2)", &e), Ok(Value::Number(1.0)));
+        assert_eq!(eval_str("max(xs)", &e), Ok(Value::Number(3.0)));
+        assert_eq!(eval_str("sum(xs)", &e), Ok(Value::Number(6.0)));
+        assert_eq!(eval_str("avg(xs)", &e), Ok(Value::Number(2.0)));
+        assert_eq!(eval_str("count(xs)", &e), Ok(Value::Number(3.0)));
+        assert_eq!(eval_str("count(1, 2)", &e), Ok(Value::Number(2.0)));
+    }
+
+    #[test]
+    fn builtin_scalar_functions() {
+        let e = MapEnv::new();
+        assert_eq!(eval_str("abs(-3)", &e), Ok(Value::Number(3.0)));
+        assert_eq!(eval_str("floor(2.7)", &e), Ok(Value::Number(2.0)));
+        assert_eq!(eval_str("ceil(2.1)", &e), Ok(Value::Number(3.0)));
+        assert_eq!(eval_str("round(2.5)", &e), Ok(Value::Number(3.0)));
+        assert_eq!(eval_str("contains('cuda6.0', 'cuda')", &e), Ok(Value::Bool(true)));
+    }
+
+    #[test]
+    fn contains_on_lists() {
+        let mut e = MapEnv::new();
+        e.set(
+            "models",
+            Value::List(vec!["cuda6.0".into(), "opencl".into()]),
+        );
+        assert_eq!(eval_str("contains(models, 'opencl')", &e), Ok(Value::Bool(true)));
+        assert_eq!(eval_str("contains(models, 'openmp')", &e), Ok(Value::Bool(false)));
+    }
+
+    #[test]
+    fn env_custom_function_fallback() {
+        struct F;
+        impl Env for F {
+            fn call(&self, name: &str, args: &[Value]) -> Option<ExprResult<Value>> {
+                (name == "double").then(|| {
+                    Ok(Value::Number(args[0].as_number().unwrap_or(0.0) * 2.0))
+                })
+            }
+        }
+        assert_eq!(eval_str("double(21)", &F), Ok(Value::Number(42.0)));
+    }
+
+    #[test]
+    fn aggregate_arity_errors() {
+        let e = MapEnv::new();
+        assert!(matches!(eval_str("min()", &e), Err(ExprError::Arity { .. })));
+        assert!(matches!(eval_str("abs(1, 2)", &e), Err(ExprError::Arity { .. })));
+        assert!(matches!(eval_str("avg()", &e), Err(ExprError::DivisionByZero)));
+    }
+
+    #[test]
+    fn kepler_range_check_expression() {
+        // The configurable L1size must be one of the allowed settings.
+        let mut e = MapEnv::new();
+        e.set("L1size", Value::Number(32.0));
+        e.set(
+            "L1size_range",
+            Value::List(vec![16.0.into(), 32.0.into(), 48.0.into()]),
+        );
+        assert_eq!(eval_str("contains(L1size_range, L1size)", &e), Ok(Value::Bool(true)));
+    }
+}

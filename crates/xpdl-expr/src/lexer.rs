@@ -1,0 +1,346 @@
+//! Tokenizer for the expression language.
+
+use crate::error::{ExprError, ExprResult};
+
+/// A lexical token with its byte offset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Token payload.
+    pub kind: TokenKind,
+    /// Byte offset in the source expression.
+    pub offset: usize,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Numeric literal (integer or float, optional exponent).
+    Number(f64),
+    /// Quoted string literal ('…' or "…").
+    Str(String),
+    /// Identifier or dotted path (`a`, `children.static_power`).
+    Ident(String),
+    /// `true` / `false`.
+    Bool(bool),
+    /// `on` / `off` postfix state keywords.
+    StateKw(bool),
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    EqEq,
+    NotEq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    AndAnd,
+    OrOr,
+    Not,
+    LParen,
+    RParen,
+    Comma,
+    /// End of input sentinel.
+    Eof,
+}
+
+impl TokenKind {
+    /// Human-readable token description for error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Number(n) => format!("number {n}"),
+            TokenKind::Str(s) => format!("string {s:?}"),
+            TokenKind::Ident(s) => format!("identifier '{s}'"),
+            TokenKind::Bool(b) => format!("{b}"),
+            TokenKind::StateKw(b) => format!("'{}'", if *b { "on" } else { "off" }),
+            TokenKind::Eof => "end of expression".to_string(),
+            other => format!("'{}'", symbol(other)),
+        }
+    }
+}
+
+fn symbol(k: &TokenKind) -> &'static str {
+    match k {
+        TokenKind::Plus => "+",
+        TokenKind::Minus => "-",
+        TokenKind::Star => "*",
+        TokenKind::Slash => "/",
+        TokenKind::Percent => "%",
+        TokenKind::EqEq => "==",
+        TokenKind::NotEq => "!=",
+        TokenKind::Lt => "<",
+        TokenKind::Le => "<=",
+        TokenKind::Gt => ">",
+        TokenKind::Ge => ">=",
+        TokenKind::AndAnd => "&&",
+        TokenKind::OrOr => "||",
+        TokenKind::Not => "!",
+        TokenKind::LParen => "(",
+        TokenKind::RParen => ")",
+        TokenKind::Comma => ",",
+        _ => "?",
+    }
+}
+
+/// Tokenize a full expression; the final token is always [`TokenKind::Eof`].
+pub fn tokenize(src: &str) -> ExprResult<Vec<Token>> {
+    let bytes = src.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        let start = i;
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                i += 1;
+            }
+            b'0'..=b'9' => {
+                let (n, next) = scan_number(src, i)?;
+                tokens.push(Token { kind: TokenKind::Number(n), offset: start });
+                i = next;
+            }
+            b'"' | b'\'' => {
+                let quote = b as char;
+                let mut j = i + 1;
+                while j < bytes.len() && bytes[j] != b {
+                    j += 1;
+                }
+                if j >= bytes.len() {
+                    return Err(ExprError::Lex {
+                        offset: start,
+                        message: format!("unterminated string starting with {quote}"),
+                    });
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Str(src[i + 1..j].to_string()),
+                    offset: start,
+                });
+                i = j + 1;
+            }
+            b'+' => push1(&mut tokens, TokenKind::Plus, &mut i),
+            b'-' => push1(&mut tokens, TokenKind::Minus, &mut i),
+            b'*' => push1(&mut tokens, TokenKind::Star, &mut i),
+            b'/' => push1(&mut tokens, TokenKind::Slash, &mut i),
+            b'%' => push1(&mut tokens, TokenKind::Percent, &mut i),
+            b'(' => push1(&mut tokens, TokenKind::LParen, &mut i),
+            b')' => push1(&mut tokens, TokenKind::RParen, &mut i),
+            b',' => push1(&mut tokens, TokenKind::Comma, &mut i),
+            b'=' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token { kind: TokenKind::EqEq, offset: start });
+                    i += 2;
+                } else {
+                    return Err(ExprError::Lex {
+                        offset: start,
+                        message: "single '=' (use '==' for equality)".to_string(),
+                    });
+                }
+            }
+            b'!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token { kind: TokenKind::NotEq, offset: start });
+                    i += 2;
+                } else {
+                    tokens.push(Token { kind: TokenKind::Not, offset: start });
+                    i += 1;
+                }
+            }
+            b'<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token { kind: TokenKind::Le, offset: start });
+                    i += 2;
+                } else {
+                    tokens.push(Token { kind: TokenKind::Lt, offset: start });
+                    i += 1;
+                }
+            }
+            b'>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token { kind: TokenKind::Ge, offset: start });
+                    i += 2;
+                } else {
+                    tokens.push(Token { kind: TokenKind::Gt, offset: start });
+                    i += 1;
+                }
+            }
+            b'&' => {
+                if bytes.get(i + 1) == Some(&b'&') {
+                    tokens.push(Token { kind: TokenKind::AndAnd, offset: start });
+                    i += 2;
+                } else {
+                    return Err(ExprError::Lex {
+                        offset: start,
+                        message: "single '&' (use '&&')".to_string(),
+                    });
+                }
+            }
+            b'|' => {
+                if bytes.get(i + 1) == Some(&b'|') {
+                    tokens.push(Token { kind: TokenKind::OrOr, offset: start });
+                    i += 2;
+                } else {
+                    return Err(ExprError::Lex {
+                        offset: start,
+                        message: "single '|' (use '||')".to_string(),
+                    });
+                }
+            }
+            _ if b.is_ascii_alphabetic() || b == b'_' => {
+                let mut j = i + 1;
+                while j < bytes.len()
+                    && (bytes[j].is_ascii_alphanumeric() || matches!(bytes[j], b'_' | b'.'))
+                {
+                    j += 1;
+                }
+                let word = &src[i..j];
+                let kind = match word {
+                    "true" => TokenKind::Bool(true),
+                    "false" => TokenKind::Bool(false),
+                    "on" => TokenKind::StateKw(true),
+                    "off" => TokenKind::StateKw(false),
+                    "and" => TokenKind::AndAnd,
+                    "or" => TokenKind::OrOr,
+                    "not" => TokenKind::Not,
+                    _ => TokenKind::Ident(word.to_string()),
+                };
+                tokens.push(Token { kind, offset: start });
+                i = j;
+            }
+            _ => {
+                return Err(ExprError::Lex {
+                    offset: start,
+                    message: format!("unexpected character {:?}", src[i..].chars().next().unwrap()),
+                })
+            }
+        }
+    }
+    tokens.push(Token { kind: TokenKind::Eof, offset: src.len() });
+    Ok(tokens)
+}
+
+fn push1(tokens: &mut Vec<Token>, kind: TokenKind, i: &mut usize) {
+    tokens.push(Token { kind, offset: *i });
+    *i += 1;
+}
+
+fn scan_number(src: &str, start: usize) -> ExprResult<(f64, usize)> {
+    let bytes = src.as_bytes();
+    let mut i = start;
+    while i < bytes.len() && bytes[i].is_ascii_digit() {
+        i += 1;
+    }
+    if i < bytes.len() && bytes[i] == b'.' && bytes.get(i + 1).is_some_and(u8::is_ascii_digit) {
+        i += 1;
+        while i < bytes.len() && bytes[i].is_ascii_digit() {
+            i += 1;
+        }
+    }
+    if i < bytes.len() && matches!(bytes[i], b'e' | b'E') {
+        let mut j = i + 1;
+        if j < bytes.len() && matches!(bytes[j], b'+' | b'-') {
+            j += 1;
+        }
+        if j < bytes.len() && bytes[j].is_ascii_digit() {
+            i = j;
+            while i < bytes.len() && bytes[i].is_ascii_digit() {
+                i += 1;
+            }
+        }
+    }
+    src[start..i]
+        .parse::<f64>()
+        .map(|n| (n, i))
+        .map_err(|e| ExprError::Lex { offset: start, message: e.to_string() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(kinds("42"), vec![TokenKind::Number(42.0), TokenKind::Eof]);
+        assert_eq!(kinds("3.5"), vec![TokenKind::Number(3.5), TokenKind::Eof]);
+        assert_eq!(kinds("1e3"), vec![TokenKind::Number(1000.0), TokenKind::Eof]);
+        assert_eq!(kinds("2.5e-2"), vec![TokenKind::Number(0.025), TokenKind::Eof]);
+    }
+
+    #[test]
+    fn paper_constraint_tokens() {
+        let k = kinds("L1size + shmsize == shmtotalsize");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Ident("L1size".into()),
+                TokenKind::Plus,
+                TokenKind::Ident("shmsize".into()),
+                TokenKind::EqEq,
+                TokenKind::Ident("shmtotalsize".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn switchoff_condition_tokens() {
+        let k = kinds("Shave_pds off");
+        assert_eq!(
+            k,
+            vec![TokenKind::Ident("Shave_pds".into()), TokenKind::StateKw(false), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn operators_and_keywords() {
+        let k = kinds("a<=b && c>=d || !e and not f");
+        assert!(k.contains(&TokenKind::Le));
+        assert!(k.contains(&TokenKind::Ge));
+        assert!(k.contains(&TokenKind::AndAnd));
+        assert!(k.contains(&TokenKind::OrOr));
+        assert_eq!(k.iter().filter(|t| **t == TokenKind::Not).count(), 2);
+    }
+
+    #[test]
+    fn strings_both_quotes() {
+        assert_eq!(kinds("'abc'"), vec![TokenKind::Str("abc".into()), TokenKind::Eof]);
+        assert_eq!(kinds("\"x y\""), vec![TokenKind::Str("x y".into()), TokenKind::Eof]);
+    }
+
+    #[test]
+    fn dotted_identifiers() {
+        assert_eq!(
+            kinds("children.static_power"),
+            vec![TokenKind::Ident("children.static_power".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn lex_errors() {
+        assert!(matches!(tokenize("a = b"), Err(ExprError::Lex { .. })));
+        assert!(matches!(tokenize("a & b"), Err(ExprError::Lex { .. })));
+        assert!(matches!(tokenize("a | b"), Err(ExprError::Lex { .. })));
+        assert!(matches!(tokenize("'open"), Err(ExprError::Lex { .. })));
+        assert!(matches!(tokenize("#"), Err(ExprError::Lex { .. })));
+    }
+
+    #[test]
+    fn offsets_recorded() {
+        let toks = tokenize("ab + cd").unwrap();
+        assert_eq!(toks[0].offset, 0);
+        assert_eq!(toks[1].offset, 3);
+        assert_eq!(toks[2].offset, 5);
+    }
+
+    #[test]
+    fn describe_tokens() {
+        assert_eq!(TokenKind::Plus.describe(), "'+'");
+        assert_eq!(TokenKind::Ident("x".into()).describe(), "identifier 'x'");
+        assert_eq!(TokenKind::StateKw(false).describe(), "'off'");
+        assert_eq!(TokenKind::Eof.describe(), "end of expression");
+    }
+}

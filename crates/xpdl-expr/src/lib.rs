@@ -1,0 +1,38 @@
+//! Expression language for XPDL constraints and derived-attribute rules.
+//!
+//! XPDL meta-models carry constraints such as
+//! `L1size + shmsize == shmtotalsize` (Listing 8 of the paper) and power
+//! domains carry switch-off conditions such as `Shave_pds off`
+//! (Listing 12). Synthesized-attribute rules (paper §III-D) are also
+//! expressions over child aggregates (`sum(children.static_power)`).
+//!
+//! This crate provides the full pipeline: lexer → Pratt parser → typed
+//! evaluator. Variable and function resolution is delegated to an [`Env`]
+//! implementation supplied by the caller (the elaborator binds parameter
+//! values in unit-normalized form; the power engine binds domain states).
+//!
+//! # Example
+//!
+//! ```
+//! use xpdl_expr::{eval_str, MapEnv, Value};
+//!
+//! let mut env = MapEnv::new();
+//! env.set("L1size", Value::Number(16.0));
+//! env.set("shmsize", Value::Number(48.0));
+//! env.set("shmtotalsize", Value::Number(64.0));
+//! let v = eval_str("L1size + shmsize == shmtotalsize", &env).unwrap();
+//! assert_eq!(v, Value::Bool(true));
+//! ```
+
+pub mod ast;
+pub mod error;
+pub mod eval;
+pub mod lexer;
+pub mod parser;
+pub mod value;
+
+pub use ast::{BinOp, Expr, UnOp};
+pub use error::{ExprError, ExprResult};
+pub use eval::{eval, eval_str, DomainState, Env, MapEnv};
+pub use parser::parse_expr;
+pub use value::Value;

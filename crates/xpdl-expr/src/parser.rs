@@ -1,0 +1,257 @@
+//! Pratt (precedence-climbing) parser for expressions.
+
+use crate::ast::{BinOp, Expr, UnOp};
+use crate::error::{ExprError, ExprResult};
+use crate::lexer::{tokenize, Token, TokenKind};
+
+/// Parse a complete expression string.
+pub fn parse_expr(src: &str) -> ExprResult<Expr> {
+    let tokens = tokenize(src)?;
+    let mut p = Parser { tokens, idx: 0 };
+    let expr = p.expr(0)?;
+    p.expect_eof()?;
+    Ok(expr)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    idx: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.idx]
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.idx].clone();
+        if self.idx + 1 < self.tokens.len() {
+            self.idx += 1;
+        }
+        t
+    }
+
+    fn err_here(&self, message: impl Into<String>) -> ExprError {
+        ExprError::Parse { offset: self.peek().offset, message: message.into() }
+    }
+
+    fn expect_eof(&self) -> ExprResult<()> {
+        if self.peek().kind == TokenKind::Eof {
+            Ok(())
+        } else {
+            Err(self.err_here(format!("unexpected {}", self.peek().kind.describe())))
+        }
+    }
+
+    fn expr(&mut self, min_prec: u8) -> ExprResult<Expr> {
+        let mut lhs = self.prefix()?;
+        loop {
+            // Postfix state predicate binds tighter than everything: `x off`.
+            if let TokenKind::StateKw(on) = self.peek().kind {
+                let name = match &lhs {
+                    Expr::Var(v) => v.clone(),
+                    other => {
+                        return Err(self.err_here(format!(
+                            "'on'/'off' applies to a name, not {other}"
+                        )))
+                    }
+                };
+                self.bump();
+                lhs = Expr::StateIs { name, on };
+                continue;
+            }
+            let Some(op) = binop_of(&self.peek().kind) else { break };
+            let prec = op.precedence();
+            if prec < min_prec {
+                break;
+            }
+            self.bump();
+            // Left-associative: parse rhs at prec+1.
+            let rhs = self.expr(prec + 1)?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn prefix(&mut self) -> ExprResult<Expr> {
+        let t = self.bump();
+        match t.kind {
+            TokenKind::Number(n) => Ok(Expr::Number(n)),
+            TokenKind::Str(s) => Ok(Expr::Str(s)),
+            TokenKind::Bool(b) => Ok(Expr::Bool(b)),
+            TokenKind::Ident(name) => {
+                if self.peek().kind == TokenKind::LParen {
+                    self.bump();
+                    let mut args = Vec::new();
+                    if self.peek().kind != TokenKind::RParen {
+                        loop {
+                            args.push(self.expr(0)?);
+                            match self.peek().kind {
+                                TokenKind::Comma => {
+                                    self.bump();
+                                }
+                                TokenKind::RParen => break,
+                                _ => {
+                                    return Err(self.err_here(format!(
+                                        "expected ',' or ')' in argument list, found {}",
+                                        self.peek().kind.describe()
+                                    )))
+                                }
+                            }
+                        }
+                    }
+                    self.bump(); // ')'
+                    Ok(Expr::Call(name, args))
+                } else {
+                    Ok(Expr::Var(name))
+                }
+            }
+            TokenKind::Minus => {
+                // Unary minus binds tighter than any binary operator.
+                let operand = self.unary_operand()?;
+                Ok(Expr::Unary(UnOp::Neg, Box::new(operand)))
+            }
+            TokenKind::Not => {
+                let operand = self.unary_operand()?;
+                Ok(Expr::Unary(UnOp::Not, Box::new(operand)))
+            }
+            TokenKind::LParen => {
+                let inner = self.expr(0)?;
+                if self.peek().kind != TokenKind::RParen {
+                    return Err(self.err_here(format!(
+                        "expected ')', found {}",
+                        self.peek().kind.describe()
+                    )));
+                }
+                self.bump();
+                Ok(inner)
+            }
+            other => Err(ExprError::Parse {
+                offset: t.offset,
+                message: format!("expected an expression, found {}", other.describe()),
+            }),
+        }
+    }
+
+    /// Operand of a unary operator: a prefix expression possibly followed by
+    /// a tighter-binding postfix state keyword (`!x off` negates the state).
+    fn unary_operand(&mut self) -> ExprResult<Expr> {
+        let mut e = self.prefix()?;
+        if let TokenKind::StateKw(on) = self.peek().kind {
+            if let Expr::Var(name) = &e {
+                let name = name.clone();
+                self.bump();
+                e = Expr::StateIs { name, on };
+            }
+        }
+        Ok(e)
+    }
+}
+
+fn binop_of(kind: &TokenKind) -> Option<BinOp> {
+    Some(match kind {
+        TokenKind::OrOr => BinOp::Or,
+        TokenKind::AndAnd => BinOp::And,
+        TokenKind::EqEq => BinOp::Eq,
+        TokenKind::NotEq => BinOp::Ne,
+        TokenKind::Lt => BinOp::Lt,
+        TokenKind::Le => BinOp::Le,
+        TokenKind::Gt => BinOp::Gt,
+        TokenKind::Ge => BinOp::Ge,
+        TokenKind::Plus => BinOp::Add,
+        TokenKind::Minus => BinOp::Sub,
+        TokenKind::Star => BinOp::Mul,
+        TokenKind::Slash => BinOp::Div,
+        TokenKind::Percent => BinOp::Rem,
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_kepler_constraint() {
+        let e = parse_expr("L1size + shmsize == shmtotalsize").unwrap();
+        assert_eq!(e.to_string(), "((L1size + shmsize) == shmtotalsize)");
+    }
+
+    #[test]
+    fn paper_switchoff_condition() {
+        let e = parse_expr("Shave_pds off").unwrap();
+        assert_eq!(e, Expr::StateIs { name: "Shave_pds".into(), on: false });
+    }
+
+    #[test]
+    fn precedence_mul_over_add() {
+        assert_eq!(parse_expr("1 + 2 * 3").unwrap().to_string(), "(1 + (2 * 3))");
+        assert_eq!(parse_expr("(1 + 2) * 3").unwrap().to_string(), "((1 + 2) * 3)");
+    }
+
+    #[test]
+    fn left_associativity() {
+        assert_eq!(parse_expr("8 - 4 - 2").unwrap().to_string(), "((8 - 4) - 2)");
+        assert_eq!(parse_expr("8 / 4 / 2").unwrap().to_string(), "((8 / 4) / 2)");
+    }
+
+    #[test]
+    fn logic_precedence() {
+        assert_eq!(
+            parse_expr("a == 1 && b == 2 || c").unwrap().to_string(),
+            "(((a == 1) && (b == 2)) || c)"
+        );
+    }
+
+    #[test]
+    fn unary_operators() {
+        assert_eq!(parse_expr("-a + b").unwrap().to_string(), "((-a) + b)");
+        assert_eq!(parse_expr("!a && b").unwrap().to_string(), "((!a) && b)");
+        assert_eq!(parse_expr("--2").unwrap().to_string(), "(-(-2))");
+        assert_eq!(parse_expr("not x off").unwrap().to_string(), "(!(x off))");
+    }
+
+    #[test]
+    fn function_calls() {
+        let e = parse_expr("min(a, b + 1)").unwrap();
+        assert_eq!(e.to_string(), "min(a, (b + 1))");
+        assert_eq!(parse_expr("count()").unwrap(), Expr::Call("count".into(), vec![]));
+        assert_eq!(
+            parse_expr("sum(children.static_power)").unwrap().to_string(),
+            "sum(children.static_power)"
+        );
+    }
+
+    #[test]
+    fn state_predicate_in_logic() {
+        let e = parse_expr("Shave_pds off && CMX_pd on").unwrap();
+        assert_eq!(e.to_string(), "((Shave_pds off) && (CMX_pd on))");
+    }
+
+    #[test]
+    fn string_and_bool_literals() {
+        assert_eq!(
+            parse_expr("kind == 'gpu'").unwrap().to_string(),
+            "(kind == \"gpu\")"
+        );
+        assert_eq!(parse_expr("true || false").unwrap().to_string(), "(true || false)");
+    }
+
+    #[test]
+    fn errors_reported() {
+        assert!(matches!(parse_expr("1 +"), Err(ExprError::Parse { .. })));
+        assert!(matches!(parse_expr("(1"), Err(ExprError::Parse { .. })));
+        assert!(matches!(parse_expr("min(1,"), Err(ExprError::Parse { .. })));
+        assert!(matches!(parse_expr("a b"), Err(ExprError::Parse { .. })));
+        assert!(matches!(parse_expr(""), Err(ExprError::Parse { .. })));
+        assert!(matches!(parse_expr("1 off"), Err(ExprError::Parse { .. })));
+        assert!(matches!(parse_expr("min(1 2)"), Err(ExprError::Parse { .. })));
+    }
+
+    #[test]
+    fn comparison_chain_is_left_assoc_not_special() {
+        // `a < b < c` parses as `((a < b) < c)`; the evaluator will reject
+        // bool < number at runtime. Documented behaviour.
+        assert_eq!(parse_expr("a < b < c").unwrap().to_string(), "((a < b) < c)");
+    }
+}

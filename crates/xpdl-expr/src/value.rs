@@ -1,0 +1,183 @@
+//! Runtime values of the expression language.
+
+use std::fmt;
+
+/// A value produced by evaluation.
+///
+/// Numbers are `f64`; the elaborator normalizes all quantities to their base
+/// unit (bytes, hertz, watts, joules, seconds) before binding them, so
+/// constraints like `16 KB + 48 KB == 64 KB` compare in one consistent space.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A (unit-normalized) number.
+    Number(f64),
+    /// A boolean.
+    Bool(bool),
+    /// A string.
+    Str(String),
+    /// A list (from env-provided aggregates, e.g. children attribute slices).
+    List(Vec<Value>),
+}
+
+impl Value {
+    /// Static name of the value's type, for diagnostics.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Number(_) => "number",
+            Value::Bool(_) => "bool",
+            Value::Str(_) => "string",
+            Value::List(_) => "list",
+        }
+    }
+
+    /// The number inside, if this is a number.
+    pub fn as_number(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The bool inside, if this is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The string inside, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Truthiness used by `&&` / `||` / `!`: bools as-is, numbers ≠ 0,
+    /// non-empty strings/lists.
+    pub fn truthy(&self) -> bool {
+        match self {
+            Value::Bool(b) => *b,
+            Value::Number(n) => *n != 0.0,
+            Value::Str(s) => !s.is_empty(),
+            Value::List(l) => !l.is_empty(),
+        }
+    }
+
+    /// Numeric equality with a small relative tolerance; exact for other
+    /// types. Quantities pass through unit conversion, so exact float
+    /// comparison would make `16*1024 + 48*1024 == 64*1024` brittle.
+    pub fn loose_eq(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Number(a), Value::Number(b)) => approx_eq(*a, *b),
+            (a, b) => a == b,
+        }
+    }
+}
+
+/// Relative-tolerance float comparison used for `==` on numbers.
+pub fn approx_eq(a: f64, b: f64) -> bool {
+    if a == b {
+        return true;
+    }
+    let scale = a.abs().max(b.abs()).max(1e-12);
+    (a - b).abs() <= scale * 1e-9
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Number(n) => {
+                if n.fract() == 0.0 && n.abs() < 1e15 {
+                    write!(f, "{}", *n as i64)
+                } else {
+                    write!(f, "{n}")
+                }
+            }
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Str(s) => write!(f, "{s}"),
+            Value::List(l) => {
+                write!(f, "[")?;
+                for (i, v) in l.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "]")
+            }
+        }
+    }
+}
+
+impl From<f64> for Value {
+    fn from(n: f64) -> Self {
+        Value::Number(n)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_names() {
+        assert_eq!(Value::Number(1.0).type_name(), "number");
+        assert_eq!(Value::Bool(true).type_name(), "bool");
+        assert_eq!(Value::Str("x".into()).type_name(), "string");
+        assert_eq!(Value::List(vec![]).type_name(), "list");
+    }
+
+    #[test]
+    fn truthiness() {
+        assert!(Value::Number(1.5).truthy());
+        assert!(!Value::Number(0.0).truthy());
+        assert!(Value::Str("x".into()).truthy());
+        assert!(!Value::Str(String::new()).truthy());
+        assert!(!Value::List(vec![]).truthy());
+        assert!(Value::List(vec![Value::Bool(false)]).truthy());
+    }
+
+    #[test]
+    fn loose_numeric_equality() {
+        assert!(Value::Number(64.0 * 1024.0).loose_eq(&Value::Number(65536.0)));
+        let a = 0.1 + 0.2;
+        assert!(Value::Number(a).loose_eq(&Value::Number(0.3)));
+        assert!(!Value::Number(1.0).loose_eq(&Value::Number(1.001)));
+        assert!(Value::Str("a".into()).loose_eq(&Value::Str("a".into())));
+        assert!(!Value::Str("a".into()).loose_eq(&Value::Number(1.0)));
+    }
+
+    #[test]
+    fn display_integral_numbers_without_fraction() {
+        assert_eq!(Value::Number(64.0).to_string(), "64");
+        assert_eq!(Value::Number(2.5).to_string(), "2.5");
+        assert_eq!(Value::List(vec![1.0.into(), 2.0.into()]).to_string(), "[1, 2]");
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(2.0), Value::Number(2.0));
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::from("s"), Value::Str("s".into()));
+    }
+}

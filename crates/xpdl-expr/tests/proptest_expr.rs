@@ -1,0 +1,87 @@
+//! Property tests: the pretty-printer∘parser fixpoint and an evaluation
+//! oracle over randomly generated arithmetic trees.
+
+use proptest::prelude::*;
+use xpdl_expr::{eval, parse_expr, BinOp, Env, Expr, MapEnv, UnOp, Value};
+
+/// Generate arithmetic-only expressions with known-value leaves so we can
+/// compute the expected result with a direct oracle.
+fn arb_arith(depth: u32) -> BoxedStrategy<Expr> {
+    let leaf = prop_oneof![
+        (1i32..100).prop_map(|n| Expr::Number(n as f64)),
+        Just(Expr::Var("v1".into())),
+        Just(Expr::Var("v2".into())),
+    ];
+    leaf.prop_recursive(depth, 32, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone(), prop_oneof![
+                Just(BinOp::Add),
+                Just(BinOp::Sub),
+                Just(BinOp::Mul),
+            ])
+                .prop_map(|(l, r, op)| Expr::Binary(op, Box::new(l), Box::new(r))),
+            inner.prop_map(|e| Expr::Unary(UnOp::Neg, Box::new(e))),
+        ]
+    })
+    .boxed()
+}
+
+/// Direct recursive oracle mirroring the evaluator for the generated subset.
+fn oracle(e: &Expr, v1: f64, v2: f64) -> f64 {
+    match e {
+        Expr::Number(n) => *n,
+        Expr::Var(name) if name == "v1" => v1,
+        Expr::Var(_) => v2,
+        Expr::Unary(UnOp::Neg, x) => -oracle(x, v1, v2),
+        Expr::Binary(BinOp::Add, l, r) => oracle(l, v1, v2) + oracle(r, v1, v2),
+        Expr::Binary(BinOp::Sub, l, r) => oracle(l, v1, v2) - oracle(r, v1, v2),
+        Expr::Binary(BinOp::Mul, l, r) => oracle(l, v1, v2) * oracle(r, v1, v2),
+        _ => unreachable!("generator produces only the arithmetic subset"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn display_parse_fixpoint(e in arb_arith(4)) {
+        // The Display form is fully parenthesized, so parsing it must give
+        // back the identical tree.
+        let printed = e.to_string();
+        let reparsed = parse_expr(&printed).unwrap();
+        prop_assert_eq!(e, reparsed, "printed: {}", printed);
+    }
+
+    #[test]
+    fn eval_matches_oracle(e in arb_arith(4), v1 in -50.0f64..50.0, v2 in -50.0f64..50.0) {
+        let mut env = MapEnv::new();
+        env.set("v1", Value::Number(v1));
+        env.set("v2", Value::Number(v2));
+        let got = eval(&e, &env).unwrap().as_number().unwrap();
+        let want = oracle(&e, v1, v2);
+        prop_assert!((got - want).abs() <= want.abs().max(1.0) * 1e-9,
+            "expr {} => {} vs oracle {}", e, got, want);
+    }
+
+    #[test]
+    fn parser_never_panics(s in "[a-z0-9+*/()<>=&|!., '\"-]{0,48}") {
+        let _ = parse_expr(&s);
+    }
+
+    #[test]
+    fn eval_total_on_unbound_env(e in arb_arith(3)) {
+        // With an empty env, evaluation either succeeds (constant subtree)
+        // or reports UnknownVariable — never panics.
+        let env = MapEnv::new();
+        let _ = eval(&e, &env);
+    }
+
+    #[test]
+    fn equality_is_reflexive_for_numbers(n in -1e9f64..1e9) {
+        let env = MapEnv::new();
+        let src = format!("{n} == {n}");
+        if let Ok(v) = xpdl_expr::eval_str(&src, &env) {
+            prop_assert_eq!(v, Value::Bool(true));
+        }
+    }
+}

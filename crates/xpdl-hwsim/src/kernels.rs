@@ -1,0 +1,195 @@
+//! Synthetic kernel instruction streams.
+//!
+//! The conditional-composition case study the paper cites ([Dastgeer &
+//! Kessler 2014], §II) selects among CPU and GPU implementation variants of
+//! *sparse matrix-vector multiply* based on platform properties and the
+//! matrix's nonzero density. These builders turn a kernel specification
+//! into the instruction mixes the simulator executes, so the variants have
+//! faithful relative costs (dense does n² flops regardless of density; CSR
+//! does O(nnz) with per-row overheads; GPU adds PCIe transfers but executes
+//! wide).
+
+use crate::transfer::ChannelModel;
+
+/// A matrix-vector kernel specification.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KernelSpec {
+    /// Matrix dimension (n × n).
+    pub n: usize,
+    /// Fraction of nonzero elements (0..=1).
+    pub density: f64,
+}
+
+impl KernelSpec {
+    /// Number of nonzeros implied by the density.
+    pub fn nnz(&self) -> u64 {
+        ((self.n * self.n) as f64 * self.density).round() as u64
+    }
+
+    /// Bytes of a CSR representation (f64 values, u32 col indices, u32 row
+    /// pointers) plus input and output vectors.
+    pub fn csr_bytes(&self) -> u64 {
+        self.nnz() * (8 + 4) + (self.n as u64 + 1) * 4 + 2 * self.n as u64 * 8
+    }
+
+    /// Bytes of the dense representation plus vectors.
+    pub fn dense_bytes(&self) -> u64 {
+        (self.n as u64 * self.n as u64) * 8 + 2 * self.n as u64 * 8
+    }
+}
+
+/// SpMV variant kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpmvVariant {
+    /// Dense row-major traversal (ignores sparsity).
+    CpuDense,
+    /// CSR traversal.
+    CpuCsr,
+}
+
+/// Instruction mix for a CPU SpMV variant.
+pub fn spmv_stream(spec: &KernelSpec, variant: SpmvVariant) -> Vec<(&'static str, u64)> {
+    let n = spec.n as u64;
+    match variant {
+        SpmvVariant::CpuDense => {
+            let n2 = n * n;
+            vec![
+                ("load", 2 * n2),  // A[i][j] and x[j]
+                ("fma", n2),       // acc += A*x
+                ("branch", n2 / 8), // unrolled loop control
+                ("store", n),
+                ("add", n),
+            ]
+        }
+        SpmvVariant::CpuCsr => {
+            let nnz = spec.nnz();
+            vec![
+                ("load", 3 * nnz), // value, col index, x[col] (indirect)
+                ("fma", nnz),
+                ("branch", nnz + n), // irregular loop control per element/row
+                ("add", nnz),        // index arithmetic
+                ("store", n),
+            ]
+        }
+    }
+}
+
+/// GPU offload plan: per-core instruction mix (work divided over
+/// `gpu_cores`), plus the host↔device transfer sizes in bytes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OffloadPlan {
+    /// The mix each GPU core executes.
+    pub per_core_mix: Vec<(&'static str, u64)>,
+    /// Bytes uploaded (matrix + input vector).
+    pub upload_bytes: u64,
+    /// Bytes downloaded (result vector).
+    pub download_bytes: u64,
+}
+
+/// Build a GPU offload plan for CSR SpMV over `gpu_cores` cores.
+///
+/// The GPU executes the same O(nnz) work as CPU-CSR, spread evenly; the
+/// irregular-access penalty is folded into a slightly higher per-element
+/// load count (uncoalesced gathers).
+pub fn gpu_offload_stream(spec: &KernelSpec, gpu_cores: usize) -> OffloadPlan {
+    let cores = gpu_cores.max(1) as u64;
+    let nnz = spec.nnz();
+    let n = spec.n as u64;
+    let per = |x: u64| x.div_ceil(cores);
+    OffloadPlan {
+        per_core_mix: vec![
+            ("load", per(3 * nnz + nnz / 2)), // +50 % uncoalesced gather penalty
+            ("fma", per(nnz)),
+            ("branch", per(nnz + n)),
+            ("add", per(nnz)),
+            ("store", per(n)),
+        ],
+        upload_bytes: spec.csr_bytes() - spec.n as u64 * 8, // matrix + x
+        download_bytes: n * 8,                              // y
+    }
+}
+
+/// Convenience: transfer cost of an offload plan over up/down channels.
+pub fn offload_transfer_cost(
+    plan: &OffloadPlan,
+    up: &ChannelModel,
+    down: &ChannelModel,
+) -> crate::transfer::TransferCost {
+    let u = up.transfer(plan.upload_bytes, 1);
+    let d = down.transfer(plan.download_bytes, 1);
+    crate::transfer::TransferCost { time_s: u.time_s + d.time_s, energy_j: u.energy_j + d.energy_j }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nnz_scales_with_density() {
+        let a = KernelSpec { n: 1000, density: 0.01 };
+        let b = KernelSpec { n: 1000, density: 0.1 };
+        assert_eq!(a.nnz(), 10_000);
+        assert_eq!(b.nnz(), 100_000);
+        assert!(a.csr_bytes() < b.csr_bytes());
+        assert_eq!(a.dense_bytes(), b.dense_bytes());
+    }
+
+    #[test]
+    fn dense_work_is_density_independent() {
+        let lo = spmv_stream(&KernelSpec { n: 500, density: 0.001 }, SpmvVariant::CpuDense);
+        let hi = spmv_stream(&KernelSpec { n: 500, density: 0.5 }, SpmvVariant::CpuDense);
+        assert_eq!(lo, hi);
+    }
+
+    #[test]
+    fn csr_work_scales_with_density() {
+        let count = |d: f64| -> u64 {
+            spmv_stream(&KernelSpec { n: 500, density: d }, SpmvVariant::CpuCsr)
+                .iter()
+                .map(|(_, c)| *c)
+                .sum()
+        };
+        assert!(count(0.01) < count(0.1));
+        assert!(count(0.1) < count(0.5));
+    }
+
+    #[test]
+    fn csr_beats_dense_only_when_sparse() {
+        let total = |spec: &KernelSpec, v: SpmvVariant| -> u64 {
+            spmv_stream(spec, v).iter().map(|(_, c)| *c).sum()
+        };
+        let sparse = KernelSpec { n: 1000, density: 0.01 };
+        assert!(total(&sparse, SpmvVariant::CpuCsr) < total(&sparse, SpmvVariant::CpuDense));
+        let dense_mat = KernelSpec { n: 1000, density: 0.9 };
+        assert!(total(&dense_mat, SpmvVariant::CpuCsr) > total(&dense_mat, SpmvVariant::CpuDense));
+    }
+
+    #[test]
+    fn gpu_plan_divides_work() {
+        let spec = KernelSpec { n: 1000, density: 0.1 };
+        let p1 = gpu_offload_stream(&spec, 1);
+        let p100 = gpu_offload_stream(&spec, 100);
+        let total = |p: &OffloadPlan| -> u64 { p.per_core_mix.iter().map(|(_, c)| *c).sum() };
+        assert!(total(&p100) * 90 < total(&p1) * 100, "work must shrink ~100×");
+        assert_eq!(p1.upload_bytes, p100.upload_bytes);
+        assert_eq!(p1.download_bytes, 8000);
+    }
+
+    #[test]
+    fn offload_transfer_uses_both_channels() {
+        let spec = KernelSpec { n: 1000, density: 0.1 };
+        let plan = gpu_offload_stream(&spec, 13 * 192);
+        let up = ChannelModel::pcie3_like("up");
+        let down = ChannelModel::pcie3_like("down");
+        let c = offload_transfer_cost(&plan, &up, &down);
+        assert!(c.time_s > 0.0);
+        assert!(c.energy_j > plan.upload_bytes as f64 * up.energy_per_byte_j);
+    }
+
+    #[test]
+    fn zero_core_guard() {
+        let spec = KernelSpec { n: 10, density: 0.5 };
+        let p = gpu_offload_stream(&spec, 0);
+        assert!(!p.per_core_mix.is_empty());
+    }
+}

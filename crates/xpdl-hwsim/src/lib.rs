@@ -1,0 +1,34 @@
+//! A deterministic synthetic machine simulator.
+//!
+//! The paper's toolchain derives empirical energy-model parameters "at
+//! deployment time" by running microbenchmarks on the physical EXCESS
+//! platforms (Xeon servers, K20c GPUs, Movidius Myriad1 boards) with
+//! external power meters. This reproduction has no such hardware, so this
+//! crate supplies the measurable substrate: a machine with
+//!
+//! * cores driven by a [`xpdl_power::PowerStateMachine`] (DVFS states with
+//!   per-state frequency and power, transition costs charged on switches),
+//! * a hidden *ground truth* per-instruction energy function
+//!   ([`truth::GroundTruth`], affine in frequency — calibrated so `divsd`
+//!   reproduces the value table of Listing 14),
+//! * static power integration and per-domain power gating,
+//! * interconnect transfers following the channel cost model of Listing 3
+//!   (`time = offset + bytes/bandwidth`, `energy = offset + bytes ·
+//!   energy_per_byte`), and
+//! * seeded measurement noise, so "measuring" the simulator behaves like
+//!   real microbenchmarking (repetitions reduce variance) while staying
+//!   reproducible.
+//!
+//! The microbenchmark framework (`xpdl-mb`) treats this machine exactly as
+//! the paper's driver treats hardware: run a generated instruction mix,
+//! read back joules, write the value into the XPDL model.
+
+pub mod kernels;
+pub mod machine;
+pub mod transfer;
+pub mod truth;
+
+pub use kernels::{gpu_offload_stream, spmv_stream, KernelSpec};
+pub use machine::{Measurement, SimCore, SimMachine};
+pub use transfer::{ChannelModel, TransferCost};
+pub use truth::GroundTruth;

@@ -1,0 +1,351 @@
+//! The simulated machine: cores, DVFS, static power, gating, measurement.
+
+use crate::truth::GroundTruth;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+use xpdl_power::{PowerDomainSet, PowerStateMachine};
+
+/// A time/energy measurement returned by a simulated run — what a real
+/// deployment would read from timers and power meters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Measurement {
+    /// Wall time, seconds.
+    pub time_s: f64,
+    /// Energy, joules.
+    pub energy_j: f64,
+}
+
+impl Measurement {
+    /// Zero measurement.
+    pub const ZERO: Measurement = Measurement { time_s: 0.0, energy_j: 0.0 };
+
+    /// Accumulate another measurement (sequential composition).
+    pub fn accumulate(&mut self, other: Measurement) {
+        self.time_s += other.time_s;
+        self.energy_j += other.energy_j;
+    }
+
+    /// Parallel composition: max time, summed energy.
+    pub fn parallel(&self, other: Measurement) -> Measurement {
+        Measurement {
+            time_s: self.time_s.max(other.time_s),
+            energy_j: self.energy_j + other.energy_j,
+        }
+    }
+
+    /// Average power over the measurement.
+    pub fn avg_power_w(&self) -> f64 {
+        if self.time_s > 0.0 {
+            self.energy_j / self.time_s
+        } else {
+            0.0
+        }
+    }
+}
+
+/// One simulated core: a DVFS state machine position.
+#[derive(Debug, Clone)]
+pub struct SimCore {
+    /// Core id.
+    pub id: String,
+    /// Current power-state name.
+    pub state: String,
+    /// The power domain the core belongs to, if any.
+    pub domain: Option<String>,
+}
+
+/// The simulated machine.
+#[derive(Debug, Clone)]
+pub struct SimMachine {
+    /// Ground-truth instruction characteristics.
+    pub truth: GroundTruth,
+    /// The DVFS machine governing the cores.
+    pub fsm: PowerStateMachine,
+    /// The cores.
+    pub cores: Vec<SimCore>,
+    /// Baseline static power of the machine (motherboard + uncore), watts.
+    pub base_static_power_w: f64,
+    /// Static power per power domain, gated off with the domain.
+    pub domain_static_power_w: BTreeMap<String, f64>,
+    /// Power domains and their states.
+    pub domains: PowerDomainSet,
+    /// Relative measurement noise amplitude (e.g. 0.02 = ±2 %).
+    pub noise: f64,
+    rng: StdRng,
+    accounted_transitions: Measurement,
+}
+
+impl SimMachine {
+    /// Build a machine with `n_cores` cores all starting in `initial_state`.
+    pub fn new(
+        truth: GroundTruth,
+        fsm: PowerStateMachine,
+        n_cores: usize,
+        initial_state: &str,
+        seed: u64,
+    ) -> Option<SimMachine> {
+        fsm.state(initial_state)?;
+        let cores = (0..n_cores)
+            .map(|i| SimCore {
+                id: format!("core{i}"),
+                state: initial_state.to_string(),
+                domain: None,
+            })
+            .collect();
+        Some(SimMachine {
+            truth,
+            fsm,
+            cores,
+            base_static_power_w: 5.0,
+            domain_static_power_w: BTreeMap::new(),
+            domains: PowerDomainSet::default(),
+            noise: 0.02,
+            rng: StdRng::seed_from_u64(seed),
+            accounted_transitions: Measurement::ZERO,
+        })
+    }
+
+    /// Disable measurement noise (for exact-accounting tests).
+    pub fn noiseless(mut self) -> SimMachine {
+        self.noise = 0.0;
+        self
+    }
+
+    /// Static power currently drawn: base plus every non-gated domain.
+    pub fn static_power_w(&self) -> f64 {
+        let gated: Vec<&str> = self.domains.off_domains();
+        self.base_static_power_w
+            + self
+                .domain_static_power_w
+                .iter()
+                .filter(|(d, _)| !gated.contains(&d.as_str()))
+                .map(|(_, p)| p)
+                .sum::<f64>()
+    }
+
+    /// Switch one core to a DVFS state, charging the transition cost.
+    pub fn set_core_state(&mut self, core: usize, state: &str) -> Option<Measurement> {
+        let from = self.cores.get(core)?.state.clone();
+        let cost = self.fsm.transition_cost(&from, state)?;
+        self.cores[core].state = state.to_string();
+        let m = Measurement { time_s: cost.time_s, energy_j: cost.energy_j };
+        self.accounted_transitions.accumulate(m);
+        Some(m)
+    }
+
+    /// Total transition overhead charged so far.
+    pub fn transition_overhead(&self) -> Measurement {
+        self.accounted_transitions
+    }
+
+    /// Run an instruction mix on one core and *measure* it.
+    ///
+    /// `mix` is (instruction, count) pairs. Unknown instructions are
+    /// skipped (counted as zero work) — real microbenchmarks would simply
+    /// not emit them. Noise perturbs the measured energy and time
+    /// multiplicatively.
+    pub fn run_on_core(&mut self, core: usize, mix: &[(&str, u64)]) -> Option<Measurement> {
+        let state_name = self.cores.get(core)?.state.clone();
+        let state = self.fsm.state(&state_name)?.clone();
+        let f = state.frequency_hz;
+        if f <= 0.0 {
+            return None;
+        }
+        let mut cycles = 0.0;
+        let mut dynamic_j = 0.0;
+        for (inst, count) in mix {
+            if let Some(t) = self.truth.get(inst) {
+                cycles += t.cpi * *count as f64;
+                dynamic_j += t.energy_at(f) * *count as f64;
+            }
+        }
+        let time = cycles / f;
+        // While running, the core draws its state's power *in addition to*
+        // per-instruction switching energy; the state power models the
+        // domain's active baseline at that frequency.
+        let energy = dynamic_j + state.power_w * time + self.static_power_w() * time;
+        Some(self.perturb(Measurement { time_s: time, energy_j: energy }))
+    }
+
+    /// Run the same mix replicated over the first `n` cores in parallel.
+    pub fn run_parallel(&mut self, n: usize, mix: &[(&str, u64)]) -> Option<Measurement> {
+        let n = n.min(self.cores.len());
+        if n == 0 {
+            return None;
+        }
+        // Compute one core's run, then compose: same time, n× dynamic
+        // energy, but static power is shared (it was charged once per core
+        // in run_on_core, so rebuild from parts).
+        let state_name = self.cores[0].state.clone();
+        let state = self.fsm.state(&state_name)?.clone();
+        let f = state.frequency_hz;
+        if f <= 0.0 {
+            return None;
+        }
+        let mut cycles = 0.0;
+        let mut dynamic_j = 0.0;
+        for (inst, count) in mix {
+            if let Some(t) = self.truth.get(inst) {
+                cycles += t.cpi * *count as f64;
+                dynamic_j += t.energy_at(f) * *count as f64;
+            }
+        }
+        let time = cycles / f;
+        let energy =
+            n as f64 * (dynamic_j + state.power_w * time) + self.static_power_w() * time;
+        Some(self.perturb(Measurement { time_s: time, energy_j: energy }))
+    }
+
+    /// Idle the machine for a duration (pure static burn).
+    pub fn idle(&mut self, seconds: f64) -> Measurement {
+        let m = Measurement { time_s: seconds, energy_j: self.static_power_w() * seconds };
+        self.perturb(m)
+    }
+
+    fn perturb(&mut self, m: Measurement) -> Measurement {
+        if self.noise == 0.0 {
+            return m;
+        }
+        let et: f64 = self.rng.gen_range(-1.0..1.0);
+        let ee: f64 = self.rng.gen_range(-1.0..1.0);
+        Measurement {
+            time_s: m.time_s * (1.0 + self.noise * et),
+            energy_j: m.energy_j * (1.0 + self.noise * ee),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xpdl_power::{PowerState, Transition};
+
+    fn fsm() -> PowerStateMachine {
+        PowerStateMachine {
+            name: "m".into(),
+            domain: None,
+            states: vec![
+                PowerState { name: "P1".into(), frequency_hz: 1.2e9, power_w: 9.0 },
+                PowerState { name: "P3".into(), frequency_hz: 2.0e9, power_w: 25.0 },
+            ],
+            transitions: vec![
+                Transition { head: "P1".into(), tail: "P3".into(), time_s: 1e-5, energy_j: 2e-6 },
+                Transition { head: "P3".into(), tail: "P1".into(), time_s: 1e-5, energy_j: 2e-6 },
+            ],
+        }
+    }
+
+    fn machine() -> SimMachine {
+        SimMachine::new(GroundTruth::x86_default(), fsm(), 4, "P1", 42)
+            .unwrap()
+            .noiseless()
+    }
+
+    #[test]
+    fn exact_accounting_single_core() {
+        let mut m = machine();
+        m.base_static_power_w = 5.0;
+        let mix = [("add", 1_000_000u64)];
+        let meas = m.run_on_core(0, &mix).unwrap();
+        // 1e6 adds at CPI 1, 1.2 GHz → 1/1200 s.
+        let t = 1.0e6 / 1.2e9;
+        assert!((meas.time_s - t).abs() < 1e-15);
+        let e_add = 0.10e-9 + 0.02e-18 * 1.2e9;
+        let expected = 1e6 * e_add + (9.0 + 5.0) * t;
+        assert!((meas.energy_j - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dvfs_switch_charges_transition_and_changes_speed() {
+        let mut m = machine();
+        let sw = m.set_core_state(0, "P3").unwrap();
+        assert_eq!(sw, Measurement { time_s: 1e-5, energy_j: 2e-6 });
+        let fast = m.run_on_core(0, &[("add", 1_000_000)]).unwrap();
+        assert!((fast.time_s - 1.0e6 / 2.0e9).abs() < 1e-15);
+        assert_eq!(m.transition_overhead(), sw);
+        // Second switch accumulates.
+        m.set_core_state(0, "P1").unwrap();
+        assert!((m.transition_overhead().energy_j - 4e-6).abs() < 1e-18);
+    }
+
+    #[test]
+    fn unknown_state_or_core_rejected() {
+        let mut m = machine();
+        assert!(m.set_core_state(0, "P9").is_none());
+        assert!(m.set_core_state(99, "P1").is_none());
+        assert!(m.run_on_core(99, &[]).is_none());
+    }
+
+    #[test]
+    fn parallel_shares_static_power() {
+        let mut m = machine();
+        m.base_static_power_w = 10.0;
+        let mix = [("fmul", 100_000u64)];
+        let one = m.run_on_core(0, &mix).unwrap();
+        let four = m.run_parallel(4, &mix).unwrap();
+        assert!((four.time_s - one.time_s).abs() < 1e-15);
+        // 4× core energy but static charged once: four < 4×one.
+        assert!(four.energy_j < 4.0 * one.energy_j);
+        assert!(four.energy_j > one.energy_j);
+    }
+
+    #[test]
+    fn gated_domain_drops_static_power() {
+        use xpdl_core::XpdlDocument;
+        let doc = XpdlDocument::parse_str(
+            r#"<power_domains name="pds"><power_domain name="acc_pd"/></power_domains>"#,
+        )
+        .unwrap();
+        let mut m = machine();
+        m.domains = PowerDomainSet::from_element(doc.root());
+        m.domain_static_power_w.insert("acc_pd".into(), 7.0);
+        assert_eq!(m.static_power_w(), 12.0);
+        m.domains.switch_off("acc_pd").unwrap();
+        assert_eq!(m.static_power_w(), 5.0);
+        let idle = m.idle(2.0);
+        assert!((idle.energy_j - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noise_is_seeded_and_bounded() {
+        let run = |seed: u64| {
+            let mut m = SimMachine::new(GroundTruth::x86_default(), fsm(), 1, "P1", seed).unwrap();
+            m.noise = 0.05;
+            m.run_on_core(0, &[("add", 1_000_000)]).unwrap()
+        };
+        let a = run(7);
+        let b = run(7);
+        let c = run(8);
+        assert_eq!(a, b, "same seed must reproduce");
+        assert_ne!(a, c, "different seed must differ");
+        let exact = machine().run_on_core(0, &[("add", 1_000_000)]).unwrap();
+        assert!((a.energy_j - exact.energy_j).abs() / exact.energy_j <= 0.05 + 1e-9);
+    }
+
+    #[test]
+    fn measurement_composition() {
+        let mut m = Measurement { time_s: 1.0, energy_j: 5.0 };
+        m.accumulate(Measurement { time_s: 0.5, energy_j: 2.0 });
+        assert_eq!(m, Measurement { time_s: 1.5, energy_j: 7.0 });
+        let p = m.parallel(Measurement { time_s: 2.0, energy_j: 1.0 });
+        assert_eq!(p, Measurement { time_s: 2.0, energy_j: 8.0 });
+        assert_eq!(p.avg_power_w(), 4.0);
+        assert_eq!(Measurement::ZERO.avg_power_w(), 0.0);
+    }
+
+    #[test]
+    fn unknown_instructions_skipped() {
+        let mut m = machine();
+        let with = m.run_on_core(0, &[("add", 1000), ("warp_shuffle", 999)]).unwrap();
+        let without = m.run_on_core(0, &[("add", 1000)]).unwrap();
+        assert_eq!(with, without);
+    }
+
+    #[test]
+    fn empty_mix_zero_measurement() {
+        let mut m = machine();
+        let meas = m.run_on_core(0, &[]).unwrap();
+        assert_eq!(meas, Measurement::ZERO);
+    }
+}

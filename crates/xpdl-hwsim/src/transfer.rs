@@ -1,0 +1,138 @@
+//! Interconnect transfer simulation following the channel model of
+//! Listing 3 (PCIe with separate up/down channels).
+
+use xpdl_core::{ElementKind, XpdlElement};
+
+/// Cost parameters of one directed channel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChannelModel {
+    /// Channel name (`up_link` / `down_link`).
+    pub name: String,
+    /// Sustained bandwidth, bytes/second.
+    pub bandwidth_bps: f64,
+    /// Fixed time per message, seconds.
+    pub time_offset_s: f64,
+    /// Energy per transferred byte, joules.
+    pub energy_per_byte_j: f64,
+    /// Fixed energy per message, joules.
+    pub energy_offset_j: f64,
+}
+
+/// Cost of one transfer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransferCost {
+    /// Transfer time, seconds.
+    pub time_s: f64,
+    /// Transfer energy, joules.
+    pub energy_j: f64,
+}
+
+impl ChannelModel {
+    /// A PCIe-3-like default channel, with the paper's 8 pJ/B energy and
+    /// 6 GiB/s bandwidth (Listing 3) and typical offsets for the entries
+    /// the paper leaves as `?`.
+    pub fn pcie3_like(name: &str) -> ChannelModel {
+        ChannelModel {
+            name: name.to_string(),
+            bandwidth_bps: 6.0 * 1024.0 * 1024.0 * 1024.0,
+            time_offset_s: 5e-6,
+            energy_per_byte_j: 8e-12,
+            energy_offset_j: 2e-9,
+        }
+    }
+
+    /// Build from an XPDL `channel` element. Metrics left `?` fall back to
+    /// the provided defaults (they are microbenchmark targets).
+    pub fn from_element(e: &XpdlElement, defaults: &ChannelModel) -> ChannelModel {
+        let q = |metric: &str, fallback: f64| -> f64 {
+            e.quantity(metric).ok().flatten().map(|q| q.to_base()).unwrap_or(fallback)
+        };
+        ChannelModel {
+            name: e.ident().unwrap_or(&defaults.name).to_string(),
+            bandwidth_bps: q("max_bandwidth", defaults.bandwidth_bps),
+            time_offset_s: q("time_offset_per_message", defaults.time_offset_s),
+            energy_per_byte_j: q("energy_per_byte", defaults.energy_per_byte_j),
+            energy_offset_j: q("energy_offset_per_message", defaults.energy_offset_j),
+        }
+    }
+
+    /// Parse all channels of an `interconnect` element.
+    pub fn channels_of(ic: &XpdlElement, defaults: &ChannelModel) -> Vec<ChannelModel> {
+        ic.children_of_kind(ElementKind::Channel)
+            .map(|c| ChannelModel::from_element(c, defaults))
+            .collect()
+    }
+
+    /// Cost of transferring `bytes` in `messages` messages.
+    pub fn transfer(&self, bytes: u64, messages: u64) -> TransferCost {
+        let b = bytes as f64;
+        let m = messages as f64;
+        TransferCost {
+            time_s: m * self.time_offset_s + b / self.bandwidth_bps,
+            energy_j: m * self.energy_offset_j + b * self.energy_per_byte_j,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xpdl_core::XpdlDocument;
+
+    #[test]
+    fn listing3_channel_parses_with_placeholders() {
+        let doc = XpdlDocument::parse_str(
+            r#"<interconnect name="pcie3">
+                 <channel name="up_link" max_bandwidth="6" max_bandwidth_unit="GiB/s"
+                          time_offset_per_message="?" time_offset_per_message_unit="ns"
+                          energy_per_byte="8" energy_per_byte_unit="pJ"
+                          energy_offset_per_message="?" energy_offset_per_message_unit="pJ"/>
+                 <channel name="down_link" max_bandwidth="5" max_bandwidth_unit="GiB/s"
+                          energy_per_byte="9" energy_per_byte_unit="pJ"/>
+               </interconnect>"#,
+        )
+        .unwrap();
+        let defaults = ChannelModel::pcie3_like("default");
+        let chans = ChannelModel::channels_of(doc.root(), &defaults);
+        assert_eq!(chans.len(), 2);
+        let up = &chans[0];
+        assert_eq!(up.name, "up_link");
+        assert_eq!(up.bandwidth_bps, 6.0 * 1024f64.powi(3));
+        assert!((up.energy_per_byte_j - 8e-12).abs() < 1e-24);
+        // `?` entries fell back to defaults (to be microbenchmarked).
+        assert_eq!(up.time_offset_s, defaults.time_offset_s);
+        let down = &chans[1];
+        assert_eq!(down.bandwidth_bps, 5.0 * 1024f64.powi(3));
+        assert!((down.energy_per_byte_j - 9e-12).abs() < 1e-24);
+    }
+
+    #[test]
+    fn transfer_cost_linear_model() {
+        let ch = ChannelModel {
+            name: "t".into(),
+            bandwidth_bps: 1e9,
+            time_offset_s: 1e-6,
+            energy_per_byte_j: 10e-12,
+            energy_offset_j: 5e-9,
+        };
+        let c = ch.transfer(1_000_000, 2);
+        assert!((c.time_s - (2e-6 + 1e-3)).abs() < 1e-12);
+        assert!((c.energy_j - (10e-9 + 10e-6)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn zero_bytes_still_pays_message_offset() {
+        let ch = ChannelModel::pcie3_like("x");
+        let c = ch.transfer(0, 1);
+        assert_eq!(c.time_s, ch.time_offset_s);
+        assert_eq!(c.energy_j, ch.energy_offset_j);
+    }
+
+    #[test]
+    fn big_transfer_dominated_by_bandwidth() {
+        let ch = ChannelModel::pcie3_like("x");
+        let gib = 1024u64.pow(3);
+        let c = ch.transfer(6 * gib, 1);
+        assert!((c.time_s - 1.0).abs() < 0.01, "{}", c.time_s);
+    }
+}

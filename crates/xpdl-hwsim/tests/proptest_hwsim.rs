@@ -1,0 +1,108 @@
+//! Property tests for the simulator's accounting laws.
+
+use proptest::prelude::*;
+use xpdl_hwsim::kernels::{gpu_offload_stream, spmv_stream, KernelSpec, SpmvVariant};
+use xpdl_hwsim::{GroundTruth, SimMachine};
+use xpdl_power::{PowerState, PowerStateMachine, Transition};
+
+fn fsm() -> PowerStateMachine {
+    PowerStateMachine {
+        name: "m".into(),
+        domain: None,
+        states: vec![
+            PowerState { name: "LO".into(), frequency_hz: 1.0e9, power_w: 8.0 },
+            PowerState { name: "HI".into(), frequency_hz: 3.0e9, power_w: 30.0 },
+        ],
+        transitions: vec![
+            Transition { head: "LO".into(), tail: "HI".into(), time_s: 1e-6, energy_j: 1e-7 },
+            Transition { head: "HI".into(), tail: "LO".into(), time_s: 1e-6, energy_j: 1e-7 },
+        ],
+    }
+}
+
+fn machine() -> SimMachine {
+    SimMachine::new(GroundTruth::x86_default(), fsm(), 8, "LO", 0).unwrap().noiseless()
+}
+
+const INSTS: &[&str] = &["add", "mov", "fadd", "fmul", "load", "store", "divsd"];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn accounting_is_additive_in_counts(
+        mix_a in proptest::collection::vec((0..INSTS.len(), 1u64..10_000), 1..4),
+        mix_b in proptest::collection::vec((0..INSTS.len(), 1u64..10_000), 1..4),
+    ) {
+        // run(A) + run(B) == run(A ++ B) at zero noise (energy & time).
+        let to_mix = |v: &[(usize, u64)]| -> Vec<(&'static str, u64)> {
+            v.iter().map(|(i, c)| (INSTS[*i], *c)).collect()
+        };
+        let mut m = machine();
+        let a = m.run_on_core(0, &to_mix(&mix_a)).unwrap();
+        let b = m.run_on_core(0, &to_mix(&mix_b)).unwrap();
+        let mut joined = to_mix(&mix_a);
+        joined.extend(to_mix(&mix_b));
+        let ab = m.run_on_core(0, &joined).unwrap();
+        prop_assert!((a.time_s + b.time_s - ab.time_s).abs() <= ab.time_s.max(1e-30) * 1e-9);
+        prop_assert!((a.energy_j + b.energy_j - ab.energy_j).abs() <= ab.energy_j.max(1e-30) * 1e-9);
+    }
+
+    #[test]
+    fn higher_frequency_is_faster_but_hungrier_per_run(
+        mix in proptest::collection::vec((0..INSTS.len(), 100u64..10_000), 1..4),
+    ) {
+        let to_mix: Vec<(&'static str, u64)> =
+            mix.iter().map(|(i, c)| (INSTS[*i], *c)).collect();
+        let mut m = machine();
+        let lo = m.run_on_core(0, &to_mix).unwrap();
+        m.set_core_state(0, "HI").unwrap();
+        let hi = m.run_on_core(0, &to_mix).unwrap();
+        prop_assert!(hi.time_s < lo.time_s, "3 GHz must beat 1 GHz");
+        // Per-instruction dynamic energy rises with frequency (affine law),
+        // and power draw is higher, but the shorter time can offset it, so
+        // we only check time monotonicity plus positive energies.
+        prop_assert!(hi.energy_j > 0.0 && lo.energy_j > 0.0);
+    }
+
+    #[test]
+    fn parallel_energy_between_one_and_n_times_serial(
+        count in 100u64..50_000, n in 2usize..8,
+    ) {
+        let mix = [("fmul", count)];
+        let mut m = machine();
+        let one = m.run_on_core(0, &mix).unwrap();
+        let par = m.run_parallel(n, &mix).unwrap();
+        prop_assert!((par.time_s - one.time_s).abs() < one.time_s * 1e-9, "same wall time");
+        prop_assert!(par.energy_j > one.energy_j, "more cores burn more");
+        prop_assert!(par.energy_j < one.energy_j * n as f64, "static power is shared");
+    }
+
+    #[test]
+    fn spmv_csr_work_monotone_in_density(n in 50usize..500, d1 in 0.01f64..0.4, d2 in 0.41f64..0.9) {
+        let total = |d: f64| -> u64 {
+            spmv_stream(&KernelSpec { n, density: d }, SpmvVariant::CpuCsr)
+                .iter()
+                .map(|(_, c)| *c)
+                .sum()
+        };
+        prop_assert!(total(d1) < total(d2));
+    }
+
+    #[test]
+    fn gpu_offload_conserves_total_work(n in 50usize..500, density in 0.01f64..0.9, cores in 1usize..512) {
+        // Per-core work × cores covers the sequential work (within ceil
+        // rounding: one extra item per instruction class per core).
+        let plan = gpu_offload_stream(&KernelSpec { n, density }, cores);
+        let seq: u64 = spmv_stream(&KernelSpec { n, density }, SpmvVariant::CpuCsr)
+            .iter()
+            .map(|(_, c)| *c)
+            .sum();
+        let par_total: u64 =
+            plan.per_core_mix.iter().map(|(_, c)| c * cores as u64).sum();
+        prop_assert!(par_total >= seq, "{par_total} < {seq}");
+        let slack = plan.per_core_mix.len() as u64 * cores as u64 // ceil rounding
+            + seq / 2 + plan.per_core_mix.len() as u64; // the gather penalty (≤ nnz/2)
+        prop_assert!(par_total <= seq + slack, "{par_total} > {seq} + {slack}");
+    }
+}

@@ -1,0 +1,223 @@
+//! The deployment-time bootstrap loop (paper §IV): fill every `?` entry of
+//! an instruction-energy table by running microbenchmarks.
+
+use crate::executor::{measure_instruction, MeasureConfig};
+use crate::suite::MicrobenchmarkSuite;
+use xpdl_hwsim::SimMachine;
+use xpdl_power::InstructionEnergyTable;
+
+/// What the bootstrap did.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BootstrapReport {
+    /// Instructions measured and written back: (name, points measured).
+    pub filled: Vec<(String, usize)>,
+    /// Instructions that could not be measured (no benchmark entry, or the
+    /// machine refused to run).
+    pub skipped: Vec<String>,
+    /// Total microbenchmark runs executed.
+    pub total_runs: u32,
+}
+
+impl BootstrapReport {
+    /// Whether everything pending was filled.
+    pub fn complete(&self) -> bool {
+        self.skipped.is_empty()
+    }
+}
+
+/// Fill the `?` entries of `table` by measuring `machine`.
+///
+/// For each pending instruction with a benchmark entry in `suite`, the
+/// instruction is measured at *every* DVFS state of the machine's FSM,
+/// producing a frequency/energy table like Listing 14's `divsd` rows
+/// ("the processor's energy model can be bootstrapped at system deployment
+/// time automatically").
+///
+/// The machine's core 0 is driven through all states and restored at the
+/// end.
+pub fn bootstrap_energy_table(
+    table: &mut InstructionEnergyTable,
+    suite: &MicrobenchmarkSuite,
+    machine: &mut SimMachine,
+    repetitions: u32,
+) -> BootstrapReport {
+    let mut report = BootstrapReport::default();
+    let initial_state = machine.cores[0].state.clone();
+    let states: Vec<(String, f64)> = machine
+        .fsm
+        .states
+        .iter()
+        .filter(|s| s.frequency_hz > 0.0)
+        .map(|s| (s.name.clone(), s.frequency_hz))
+        .collect();
+    let pending: Vec<String> = table.pending().iter().map(|s| s.to_string()).collect();
+    for inst in pending {
+        let Some(entry) = suite.entry_for_instruction(&inst) else {
+            report.skipped.push(inst);
+            continue;
+        };
+        let reps = if repetitions > 0 { repetitions } else { entry.repetitions };
+        let mut points: Vec<(f64, f64)> = Vec::with_capacity(states.len());
+        let mut failed = false;
+        for (state, freq) in &states {
+            if machine.set_core_state(0, state).is_none() {
+                failed = true;
+                break;
+            }
+            let cfg = MeasureConfig { repetitions: reps, ..Default::default() };
+            match measure_instruction(machine, &inst, &cfg) {
+                Some(stats) => {
+                    report.total_runs += reps;
+                    points.push((*freq, stats.median_j.max(0.0)));
+                }
+                None => {
+                    failed = true;
+                    break;
+                }
+            }
+        }
+        if failed || points.is_empty() {
+            report.skipped.push(inst);
+            continue;
+        }
+        let n = points.len();
+        if n == 1 {
+            table.set_energy(&inst, points[0].1);
+        } else {
+            table.set_energy_table(&inst, points);
+        }
+        report.filled.push((inst, n));
+    }
+    let _ = machine.set_core_state(0, &initial_state);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xpdl_core::XpdlDocument;
+    use xpdl_hwsim::GroundTruth;
+    use xpdl_power::{PowerState, PowerStateMachine, Transition};
+
+    fn fsm() -> PowerStateMachine {
+        let st = |n: &str, f: f64| PowerState { name: n.into(), frequency_hz: f, power_w: 20.0 };
+        let tr = |h: &str, t: &str| Transition {
+            head: h.into(),
+            tail: t.into(),
+            time_s: 1e-6,
+            energy_j: 1e-7,
+        };
+        PowerStateMachine {
+            name: "m".into(),
+            domain: None,
+            states: vec![st("P1", 2.8e9), st("P2", 3.1e9), st("P3", 3.4e9)],
+            transitions: vec![
+                tr("P1", "P2"),
+                tr("P2", "P3"),
+                tr("P3", "P2"),
+                tr("P2", "P1"),
+                tr("P1", "P3"),
+                tr("P3", "P1"),
+            ],
+        }
+    }
+
+    fn table() -> InstructionEnergyTable {
+        let doc = XpdlDocument::parse_str(
+            r#"<instructions name="x86_base_isa" mb="mb_x86_base_1">
+                 <inst name="fmul" energy="?" energy_unit="pJ" mb="fm1"/>
+                 <inst name="fadd" energy="?" energy_unit="pJ" mb="fa1"/>
+                 <inst name="mov" energy="0.1" energy_unit="nJ"/>
+               </instructions>"#,
+        )
+        .unwrap();
+        InstructionEnergyTable::from_element(doc.root()).unwrap()
+    }
+
+    fn suite() -> MicrobenchmarkSuite {
+        let doc = XpdlDocument::parse_str(
+            r#"<microbenchmarks id="mb_x86_base_1" instruction_set="x86_base_isa" path="." command="mb.sh">
+                 <microbenchmark id="fa1" type="fadd" file="fadd.c"/>
+                 <microbenchmark id="fm1" type="fmul" file="fmul.c"/>
+               </microbenchmarks>"#,
+        )
+        .unwrap();
+        MicrobenchmarkSuite::from_element(doc.root()).unwrap()
+    }
+
+    fn machine() -> SimMachine {
+        SimMachine::new(GroundTruth::x86_default(), fsm(), 1, "P1", 11)
+            .unwrap()
+            .noiseless()
+    }
+
+    #[test]
+    fn bootstrap_fills_all_pending_entries() {
+        let mut t = table();
+        assert_eq!(t.pending().len(), 2);
+        let mut m = machine();
+        let report = bootstrap_energy_table(&mut t, &suite(), &mut m, 3);
+        assert!(report.complete(), "{report:?}");
+        assert_eq!(report.filled.len(), 2);
+        assert!(t.pending().is_empty());
+        // Each filled instruction got one point per DVFS state.
+        assert!(report.filled.iter().all(|(_, n)| *n == 3));
+        // 2 instructions × 3 states × 3 repetitions.
+        assert_eq!(report.total_runs, 18);
+    }
+
+    #[test]
+    fn bootstrapped_values_match_ground_truth() {
+        let mut t = table();
+        let mut m = machine();
+        bootstrap_energy_table(&mut t, &suite(), &mut m, 1);
+        let truth = m.truth.get("fadd").unwrap();
+        for f in [2.8e9, 3.1e9, 3.4e9] {
+            let got = t.energy_of("fadd", f).unwrap();
+            let want = truth.energy_at(f);
+            assert!((got - want).abs() / want < 1e-6, "{got} vs {want} at {f}");
+        }
+    }
+
+    #[test]
+    fn existing_values_not_touched() {
+        let mut t = table();
+        let mut m = machine();
+        bootstrap_energy_table(&mut t, &suite(), &mut m, 1);
+        assert!((t.energy_of("mov", 3.0e9).unwrap() - 0.1e-9).abs() < 1e-15);
+    }
+
+    #[test]
+    fn missing_benchmark_entries_skipped() {
+        let doc = XpdlDocument::parse_str(
+            r#"<instructions name="isa">
+                 <inst name="vgather" energy="?" energy_unit="pJ"/>
+               </instructions>"#,
+        )
+        .unwrap();
+        let mut t = InstructionEnergyTable::from_element(doc.root()).unwrap();
+        let mut m = machine();
+        let report = bootstrap_energy_table(&mut t, &suite(), &mut m, 1);
+        assert_eq!(report.skipped, vec!["vgather"]);
+        assert!(!report.complete());
+        assert_eq!(t.pending(), vec!["vgather"]);
+    }
+
+    #[test]
+    fn machine_state_restored_after_bootstrap() {
+        let mut t = table();
+        let mut m = machine();
+        bootstrap_energy_table(&mut t, &suite(), &mut m, 1);
+        assert_eq!(m.cores[0].state, "P1");
+    }
+
+    #[test]
+    fn frequency_table_written_is_monotone_for_affine_truth() {
+        let mut t = table();
+        let mut m = machine();
+        bootstrap_energy_table(&mut t, &suite(), &mut m, 1);
+        let pts = t.table_of("fmul").unwrap();
+        assert_eq!(pts.len(), 3);
+        assert!(pts.windows(2).all(|w| w[0].0 < w[1].0 && w[0].1 <= w[1].1));
+    }
+}

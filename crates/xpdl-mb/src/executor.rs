@@ -1,0 +1,215 @@
+//! Simulated microbenchmark execution with statistics.
+
+use xpdl_hwsim::SimMachine;
+
+/// Measurement configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeasureConfig {
+    /// Instruction iterations per run.
+    pub iters: u64,
+    /// Number of repeated runs (median taken).
+    pub repetitions: u32,
+    /// Core to run on.
+    pub core: usize,
+}
+
+impl Default for MeasureConfig {
+    fn default() -> Self {
+        MeasureConfig { iters: 1_000_000, repetitions: 5, core: 0 }
+    }
+}
+
+/// Statistics over the repeated runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MeasureStats {
+    /// The instruction measured.
+    pub instruction: String,
+    /// Median per-instruction energy, joules.
+    pub median_j: f64,
+    /// Mean per-instruction energy, joules.
+    pub mean_j: f64,
+    /// Sample standard deviation, joules.
+    pub stdev_j: f64,
+    /// Individual per-run values.
+    pub runs: Vec<f64>,
+}
+
+impl MeasureStats {
+    /// Relative spread (stdev / |median|).
+    pub fn relative_spread(&self) -> f64 {
+        if self.median_j.abs() > 0.0 {
+            self.stdev_j / self.median_j.abs()
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Measure one instruction's dynamic energy on the simulated machine, with
+/// the baseline-subtraction methodology the generated C drivers use.
+///
+/// Returns `None` when the machine cannot run (bad core / sleeping state)
+/// or the configuration is degenerate.
+pub fn measure_instruction(
+    machine: &mut SimMachine,
+    instruction: &str,
+    cfg: &MeasureConfig,
+) -> Option<MeasureStats> {
+    if cfg.iters == 0 || cfg.repetitions == 0 {
+        return None;
+    }
+    let mut runs = Vec::with_capacity(cfg.repetitions as usize);
+    for _ in 0..cfg.repetitions {
+        let measured = machine.run_on_core(cfg.core, &[(instruction, cfg.iters)])?;
+        // Baseline: the empty loop costs only static power for (almost) no
+        // time in the simulator, so we subtract a same-duration idle burn,
+        // like the generated driver's baseline loop.
+        let baseline_j = machine.static_power_w() * measured.time_s;
+        let state = machine.cores.get(cfg.core)?.state.clone();
+        let state_power = machine.fsm.state(&state)?.power_w;
+        let active_baseline_j = state_power * measured.time_s;
+        let per_inst =
+            (measured.energy_j - baseline_j - active_baseline_j) / cfg.iters as f64;
+        runs.push(per_inst);
+    }
+    let mut sorted = runs.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite measurements"));
+    let median = sorted[sorted.len() / 2];
+    let mean = runs.iter().sum::<f64>() / runs.len() as f64;
+    let var = if runs.len() > 1 {
+        runs.iter().map(|r| (r - mean).powi(2)).sum::<f64>() / (runs.len() - 1) as f64
+    } else {
+        0.0
+    };
+    Some(MeasureStats {
+        instruction: instruction.to_string(),
+        median_j: median,
+        mean_j: mean,
+        stdev_j: var.sqrt(),
+        runs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xpdl_hwsim::GroundTruth;
+    use xpdl_power::{PowerState, PowerStateMachine, Transition};
+
+    fn fsm() -> PowerStateMachine {
+        PowerStateMachine {
+            name: "m".into(),
+            domain: None,
+            states: vec![
+                PowerState { name: "P1".into(), frequency_hz: 2.8e9, power_w: 20.0 },
+                PowerState { name: "P2".into(), frequency_hz: 3.4e9, power_w: 30.0 },
+            ],
+            transitions: vec![
+                Transition { head: "P1".into(), tail: "P2".into(), time_s: 1e-5, energy_j: 1e-6 },
+                Transition { head: "P2".into(), tail: "P1".into(), time_s: 1e-5, energy_j: 1e-6 },
+            ],
+        }
+    }
+
+    fn machine(seed: u64) -> SimMachine {
+        SimMachine::new(GroundTruth::x86_default(), fsm(), 2, "P1", seed).unwrap()
+    }
+
+    #[test]
+    fn noiseless_measurement_recovers_ground_truth() {
+        let mut m = machine(1).noiseless();
+        let stats =
+            measure_instruction(&mut m, "divsd", &MeasureConfig::default()).unwrap();
+        let truth = m.truth.get("divsd").unwrap().energy_at(2.8e9);
+        assert!(
+            (stats.median_j - truth).abs() / truth < 1e-9,
+            "{} vs {truth}",
+            stats.median_j
+        );
+        assert_eq!(stats.runs.len(), 5);
+        assert!(stats.stdev_j < 1e-20);
+    }
+
+    #[test]
+    fn noisy_measurement_close_with_spread() {
+        // Baseline subtraction amplifies relative noise by the ratio of
+        // state+static power to dynamic energy (~50× for fadd here), the
+        // same effect that makes real instruction-energy benchmarking need
+        // low-noise meters. With 0.2 % meter noise the median lands within
+        // ~20 % of truth.
+        let mut m = machine(7);
+        m.noise = 0.002;
+        let stats = measure_instruction(
+            &mut m,
+            "fadd",
+            &MeasureConfig { repetitions: 9, ..Default::default() },
+        )
+        .unwrap();
+        let truth = m.truth.get("fadd").unwrap().energy_at(2.8e9);
+        assert!((stats.median_j - truth).abs() / truth < 0.3, "{} vs {truth}", stats.median_j);
+        assert!(stats.relative_spread() > 0.0);
+    }
+
+    #[test]
+    fn more_repetitions_do_not_worsen_median() {
+        // Statistical smoke test across seeds: median-of-9 should on
+        // average be at least as close to truth as a single run.
+        let truth = GroundTruth::x86_default().get("fmul").unwrap().energy_at(2.8e9);
+        let mut err1 = 0.0;
+        let mut err9 = 0.0;
+        for seed in 0..20 {
+            let mut m1 = machine(seed);
+            m1.noise = 0.05;
+            let s1 = measure_instruction(
+                &mut m1,
+                "fmul",
+                &MeasureConfig { repetitions: 1, ..Default::default() },
+            )
+            .unwrap();
+            err1 += (s1.median_j - truth).abs();
+            let mut m9 = machine(seed);
+            m9.noise = 0.05;
+            let s9 = measure_instruction(
+                &mut m9,
+                "fmul",
+                &MeasureConfig { repetitions: 9, ..Default::default() },
+            )
+            .unwrap();
+            err9 += (s9.median_j - truth).abs();
+        }
+        assert!(err9 <= err1 * 1.1, "median-of-9 {err9} vs single {err1}");
+    }
+
+    #[test]
+    fn frequency_dependence_visible() {
+        let mut m = machine(3).noiseless();
+        let at_28 = measure_instruction(&mut m, "divsd", &MeasureConfig::default())
+            .unwrap()
+            .median_j;
+        m.set_core_state(0, "P2").unwrap();
+        let at_34 = measure_instruction(&mut m, "divsd", &MeasureConfig::default())
+            .unwrap()
+            .median_j;
+        assert!(at_34 > at_28, "{at_34} vs {at_28}");
+        // Endpoints match Listing 14.
+        assert!((at_28 - 18.625e-9).abs() < 1e-13);
+        assert!((at_34 - 21.023e-9).abs() < 1e-13);
+    }
+
+    #[test]
+    fn degenerate_configs_rejected() {
+        let mut m = machine(1);
+        assert!(measure_instruction(&mut m, "fadd", &MeasureConfig { iters: 0, ..Default::default() }).is_none());
+        assert!(measure_instruction(&mut m, "fadd", &MeasureConfig { repetitions: 0, ..Default::default() }).is_none());
+        assert!(measure_instruction(&mut m, "fadd", &MeasureConfig { core: 9, ..Default::default() }).is_none());
+    }
+
+    #[test]
+    fn unknown_instruction_measures_zero() {
+        // The simulator skips unknown instructions, so the benchmark reads
+        // (nearly) zero energy — the toolchain can detect and report that.
+        let mut m = machine(1).noiseless();
+        let stats = measure_instruction(&mut m, "bogus", &MeasureConfig::default()).unwrap();
+        assert!(stats.median_j.abs() < 1e-18);
+    }
+}

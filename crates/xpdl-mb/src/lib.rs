@@ -1,0 +1,29 @@
+//! Microbenchmarking (paper §III-C, Listing 15, and the §IV toolchain).
+//!
+//! "With these specifications, the processor's energy model can be
+//! bootstrapped at system deployment time automatically by running the
+//! microbenchmarks to derive the unspecified entries in the power model
+//! where necessary." This crate implements the whole loop:
+//!
+//! * [`suite`] — the `microbenchmarks` descriptor model (Listing 15):
+//!   suite path/command plus per-instruction benchmark entries.
+//! * [`driver`] — the driver *generator*: emits a C source file per
+//!   microbenchmark (measured loop + baseline loop, meter hooks) and the
+//!   suite build/run script, like the paper's generated driver code. The
+//!   output is text, golden-tested; the simulated executor is what actually
+//!   runs in this reproduction.
+//! * [`executor`] — runs a benchmark against [`xpdl_hwsim::SimMachine`]
+//!   with the baseline-subtraction methodology and median-of-k repetitions.
+//! * [`bootstrap`] — finds every `?` entry of an instruction-energy table,
+//!   runs its microbenchmark at each DVFS state, and writes the measured
+//!   values back (producing the frequency/energy tables of Listing 14).
+
+pub mod bootstrap;
+pub mod driver;
+pub mod executor;
+pub mod suite;
+
+pub use bootstrap::{bootstrap_energy_table, BootstrapReport};
+pub use driver::{generate_benchmark_source, generate_meter_header, generate_run_script, DriverLanguage};
+pub use executor::{measure_instruction, MeasureConfig, MeasureStats};
+pub use suite::{BenchmarkEntry, MicrobenchmarkSuite, SuiteError};

@@ -1,0 +1,422 @@
+//! The complete model library: strictly-parseable, schema-valid,
+//! mutually resolvable descriptors in the style of the paper's EXCESS
+//! systems (full versions of what the listings abbreviate; cf. the
+//! technical report [4] the paper defers complete models to).
+
+/// Intel Xeon E5-2630L: Listing 1 completed with power/bandwidth data.
+pub const XEON_E5_2630L: &str = r#"<cpu name="Intel_Xeon_E5_2630L"
+    static_power="15" static_power_unit="W"
+    max_bandwidth="12" max_bandwidth_unit="GB/s">
+  <group prefix="core_group" quantity="2">
+    <group prefix="core" quantity="2">
+      <core frequency="2" frequency_unit="GHz"/>
+      <cache name="L1" size="32" unit="KiB" replacement="LRU"/>
+    </group>
+    <cache name="L2" size="256" unit="KiB" replacement="LRU"/>
+  </group>
+  <cache name="L3" size="15" unit="MiB" replacement="LRU"/>
+  <power_model type="power_model_E5_2630L"/>
+  <instructions type="x86_base_isa"/>
+</cpu>"#;
+
+/// The Xeon's power model: DVFS states 1.2–2.0 GHz with transition costs.
+pub const POWER_MODEL_E5_2630L: &str = r#"<power_model name="power_model_E5_2630L">
+  <power_state_machine name="psm_E5_2630L" power_domain="xeon_core_pd">
+    <power_states>
+      <power_state name="P1" frequency="1.2" frequency_unit="GHz" power="20" power_unit="W"/>
+      <power_state name="P2" frequency="1.6" frequency_unit="GHz" power="28" power_unit="W"/>
+      <power_state name="P3" frequency="2.0" frequency_unit="GHz" power="40" power_unit="W"/>
+    </power_states>
+    <transitions>
+      <transition head="P1" tail="P2" time="1" time_unit="us" energy="2" energy_unit="nJ"/>
+      <transition head="P2" tail="P3" time="1" time_unit="us" energy="2" energy_unit="nJ"/>
+      <transition head="P3" tail="P2" time="1" time_unit="us" energy="2" energy_unit="nJ"/>
+      <transition head="P2" tail="P1" time="1" time_unit="us" energy="2" energy_unit="nJ"/>
+      <transition head="P1" tail="P3" time="2" time_unit="us" energy="5" energy_unit="nJ"/>
+      <transition head="P3" tail="P1" time="2" time_unit="us" energy="5" energy_unit="nJ"/>
+    </transitions>
+  </power_state_machine>
+</power_model>"#;
+
+/// The shared x86 instruction-energy model (Listing 14 completed with the
+/// common ALU/memory instructions; unknowns are microbenchmark targets).
+pub const X86_BASE_ISA: &str = r#"<instructions name="x86_base_isa" mb="mb_x86_base_1">
+  <inst name="fmul" energy="?" energy_unit="pJ" mb="fm1"/>
+  <inst name="fadd" energy="?" energy_unit="pJ" mb="fa1"/>
+  <inst name="fma" energy="?" energy_unit="pJ" mb="fma1"/>
+  <inst name="add" energy="?" energy_unit="pJ" mb="ad1"/>
+  <inst name="mov" energy="?" energy_unit="pJ" mb="mo1"/>
+  <inst name="load" energy="?" energy_unit="pJ" mb="ld1"/>
+  <inst name="store" energy="?" energy_unit="pJ" mb="st1"/>
+  <inst name="branch" energy="?" energy_unit="pJ" mb="br1"/>
+  <inst name="divsd">
+    <data frequency="2.8" frequency_unit="GHz" energy="18.625" energy_unit="nJ"/>
+    <data frequency="2.9" frequency_unit="GHz" energy="19.573" energy_unit="nJ"/>
+    <data frequency="3.4" frequency_unit="GHz" energy="21.023" energy_unit="nJ"/>
+  </inst>
+</instructions>"#;
+
+/// The microbenchmark suite covering every `?` of `x86_base_isa`.
+pub const MB_X86_BASE_1: &str = r#"<microbenchmarks id="mb_x86_base_1"
+    instruction_set="x86_base_isa" path="/usr/local/micr/src" command="mbscript.sh">
+  <microbenchmark id="fa1" type="fadd" file="fadd.c" cflags="-O0" lflags="-lm"/>
+  <microbenchmark id="fm1" type="fmul" file="fmul.c" cflags="-O0" lflags="-lm"/>
+  <microbenchmark id="fma1" type="fma" file="fma.c" cflags="-O0" lflags="-lm"/>
+  <microbenchmark id="ad1" type="add" file="add.c" cflags="-O0"/>
+  <microbenchmark id="mo1" type="mov" file="mov.c" cflags="-O0"/>
+  <microbenchmark id="ld1" type="load" file="load.c" cflags="-O0"/>
+  <microbenchmark id="st1" type="store" file="store.c" cflags="-O0"/>
+  <microbenchmark id="br1" type="branch" file="branch.c" cflags="-O0"/>
+</microbenchmarks>"#;
+
+/// The Nvidia GPU family root.
+pub const NVIDIA_GPU: &str = r#"<device name="Nvidia_GPU" role="worker" vendor="NVIDIA"/>"#;
+
+/// Nvidia Kepler family (Listing 8 cleaned: `compute_capability` as an
+/// attribute; range fixed to the three legal configurations 16/32/48 —
+/// the paper's prose gives the splits 16+48, 32+32, 48+16 of 64 KB).
+pub const NVIDIA_KEPLER: &str = r#"<device name="Nvidia_Kepler" extends="Nvidia_GPU"
+    compute_capability="3.0">
+  <const name="shmtotalsize" size="64" unit="KB"/>
+  <param name="L1size" configurable="true" type="msize" range="16, 32, 48" unit="KB"/>
+  <param name="shmsize" configurable="true" type="msize" range="16, 32, 48" unit="KB"/>
+  <param name="num_SM" type="integer"/>
+  <param name="coresperSM" type="integer"/>
+  <param name="cfrq" type="frequency"/>
+  <param name="gmsz" type="msize"/>
+  <constraints>
+    <constraint expr="L1size + shmsize == shmtotalsize"/>
+  </constraints>
+  <group prefix="SM" quantity="num_SM">
+    <group quantity="coresperSM">
+      <core type="kepler_core" frequency="cfrq"/>
+    </group>
+    <cache name="L1" size="L1size" unit="KB"/>
+    <memory name="shm" size="shmsize" unit="KB"/>
+  </group>
+  <memory name="global" size="gmsz" static_power="8" static_power_unit="W"/>
+  <programming_model type="cuda6.0,opencl"/>
+</device>"#;
+
+/// A Kepler CUDA core.
+pub const KEPLER_CORE: &str = r#"<core name="kepler_core" endian="LE"/>"#;
+
+/// Nvidia K20c (Listing 9 cleaned).
+pub const NVIDIA_K20C: &str = r#"<device name="Nvidia_K20c" extends="Nvidia_Kepler"
+    compute_capability="3.5">
+  <param name="num_SM" value="13"/>
+  <param name="coresperSM" value="192"/>
+  <param name="cfrq" frequency="706" unit="MHz"/>
+  <param name="gmsz" size="5" unit="GB"/>
+</device>"#;
+
+/// Nvidia K40c (the cluster's second GPU type, Listing 11).
+pub const NVIDIA_K40C: &str = r#"<device name="Nvidia_K40c" extends="Nvidia_Kepler"
+    compute_capability="3.5">
+  <param name="num_SM" value="15"/>
+  <param name="coresperSM" value="192"/>
+  <param name="cfrq" frequency="745" unit="MHz"/>
+  <param name="gmsz" size="12" unit="GB"/>
+</device>"#;
+
+/// PCIe3 (Listing 3 completed: the `?` offsets stay microbenchmark
+/// targets, the down link mirrors the up link).
+pub const PCIE3: &str = r#"<interconnect name="pcie3">
+  <channel name="up_link"
+    max_bandwidth="6" max_bandwidth_unit="GiB/s"
+    time_offset_per_message="?" time_offset_per_message_unit="ns"
+    energy_per_byte="8" energy_per_byte_unit="pJ"
+    energy_offset_per_message="?" energy_offset_per_message_unit="pJ"/>
+  <channel name="down_link"
+    max_bandwidth="6" max_bandwidth_unit="GiB/s"
+    time_offset_per_message="?" time_offset_per_message_unit="ns"
+    energy_per_byte="8" energy_per_byte_unit="pJ"
+    energy_offset_per_message="?" energy_offset_per_message_unit="pJ"/>
+</interconnect>"#;
+
+/// FDR Infiniband inter-node link.
+pub const INFINIBAND1: &str = r#"<interconnect name="infiniband1"
+    max_bandwidth="6.8" max_bandwidth_unit="GB/s">
+  <channel name="link" max_bandwidth="6.8" max_bandwidth_unit="GB/s"
+    time_offset_per_message="1" time_offset_per_message_unit="us"
+    energy_per_byte="12" energy_per_byte_unit="pJ"/>
+</interconnect>"#;
+
+/// DDR3 memory family and modules (Listing 2).
+pub const DDR3: &str = r#"<memory name="DDR3" kind_hint="DRAM"/>"#;
+/// 16 GB DDR3 module.
+pub const DDR3_16G: &str = r#"<memory name="DDR3_16G" type="DDR3" size="16" unit="GB"
+  static_power="4" static_power_unit="W"/>"#;
+/// 4 GB DDR3 module (cluster nodes, Listing 11).
+pub const DDR3_4G: &str = r#"<memory name="DDR3_4G" type="DDR3" size="4" unit="GB"
+  static_power="1.2" static_power_unit="W"/>"#;
+
+/// The SHAVE L2 cache (Listing 2).
+pub const SHAVE_L2: &str = r#"<cache name="ShaveL2" size="128" unit="KiB" sets="2"
+  replacement="LRU" write_policy="copyback"/>"#;
+
+/// Memory technology stubs referenced by the Myriad1 model.
+pub const CMX: &str = r#"<memory name="CMX" kind_hint="scratchpad"/>"#;
+/// On-chip SRAM.
+pub const SRAM: &str = r#"<memory name="SRAM" kind_hint="sram"/>"#;
+/// Low-power DDR.
+pub const LPDDR: &str = r#"<memory name="LPDDR" kind_hint="dram"/>"#;
+
+/// Core ISAs of the Myriad1.
+pub const SPARC_V8: &str = r#"<core name="Sparc_V8" endian="BE"/>"#;
+/// The SHAVE VLIW DSP core.
+pub const MYRIAD1_SHAVE: &str = r#"<core name="Myriad1_Shave" endian="LE"/>"#;
+
+/// Movidius Myriad1 (Listing 6 cleaned; the SHAVE L2 referenced by type).
+pub const MOVIDIUS_MYRIAD1: &str = r#"<cpu name="Movidius_Myriad1"
+    static_power="0.35" static_power_unit="W">
+  <core id="Leon" type="Sparc_V8" endian="BE">
+    <cache name="Leon_IC" size="4" unit="kB" sets="1" replacement="LRU"/>
+    <cache name="Leon_DC" size="4" unit="kB" sets="1" replacement="LRU" write_policy="writethrough"/>
+  </core>
+  <group prefix="shave" quantity="8">
+    <core type="Myriad1_Shave" endian="LE"/>
+    <cache name="Shave_DC" size="1" unit="kB" sets="1" replacement="LRU" write_policy="copyback"/>
+  </group>
+  <cache type="ShaveL2"/>
+  <memory name="Movidius_CMX" type="CMX" size="1" unit="MB" slices="8" endian="LE"/>
+  <memory name="LRAM" type="SRAM" size="32" unit="kB" endian="BE"/>
+  <memory name="DDR" type="LPDDR" size="64" unit="MB" endian="LE"/>
+  <power_model type="Myriad1_power_model"/>
+</cpu>"#;
+
+/// The Myriad1 power model: Listing 12's domains plus a SHAVE DVFS machine.
+pub const MYRIAD1_POWER_MODEL: &str = r#"<power_model name="Myriad1_power_model">
+  <power_domains name="Myriad1_power_domains">
+    <power_domain name="main_pd" enableSwitchOff="false">
+      <core type="Leon"/>
+    </power_domain>
+    <group name="Shave_pds" quantity="8">
+      <power_domain name="Shave_pd">
+        <core type="Myriad1_Shave"/>
+      </power_domain>
+    </group>
+    <power_domain name="CMX_pd" switchoffCondition="Shave_pds off">
+      <memory type="CMX"/>
+    </power_domain>
+  </power_domains>
+  <power_state_machine name="psm_shave" power_domain="Shave_pd">
+    <power_states>
+      <power_state name="S0" frequency="180" frequency_unit="MHz" power="0.08" power_unit="W"/>
+      <power_state name="S1" frequency="120" frequency_unit="MHz" power="0.05" power_unit="W"/>
+    </power_states>
+    <transitions>
+      <transition head="S0" tail="S1" time="5" time_unit="us" energy="50" energy_unit="nJ"/>
+      <transition head="S1" tail="S0" time="5" time_unit="us" energy="50" energy_unit="nJ"/>
+    </transitions>
+  </power_state_machine>
+</power_model>"#;
+
+/// Movidius MV153 board (Listing 5).
+pub const MOVIDIUS_MV153: &str = r#"<device name="Movidius_MV153" role="worker">
+  <socket>
+    <cpu type="Movidius_Myriad1" frequency="180" frequency_unit="MHz"/>
+  </socket>
+</device>"#;
+
+/// The myriad host CPU (the `Xeon1` the paper's Listing 4 references).
+pub const XEON1: &str = r#"<cpu name="Xeon1" static_power="12" static_power_unit="W">
+  <group prefix="core" quantity="4">
+    <core frequency="2.5" frequency_unit="GHz"/>
+  </group>
+  <cache name="L3" size="10" unit="MiB" replacement="LRU"/>
+</cpu>"#;
+
+/// Host-side low-speed interconnect stubs (Listing 4 references).
+pub const SPI: &str = r#"<interconnect name="SPI" max_bandwidth="50" max_bandwidth_unit="MB/s"/>"#;
+/// USB 2.0.
+pub const USB_2_0: &str = r#"<interconnect name="usb_2.0" max_bandwidth="60" max_bandwidth_unit="MB/s"/>"#;
+/// HDMI out.
+pub const HDMI: &str = r#"<interconnect name="hdmi" max_bandwidth="1.3" max_bandwidth_unit="GB/s"/>"#;
+/// JTAG debug link.
+pub const JTAG: &str = r#"<interconnect name="JTAG" max_bandwidth="4" max_bandwidth_unit="MB/s"/>"#;
+
+/// The GPU server (Listing 7 + Listing 10's fixed configuration + the
+/// software stanza the conditional-composition case study needs).
+pub const LIU_GPU_SERVER: &str = r#"<system id="liu_gpu_server">
+  <socket>
+    <cpu id="gpu_host" type="Intel_Xeon_E5_2630L"/>
+  </socket>
+  <memory id="main_mem" type="DDR3_16G"/>
+  <device id="gpu1" type="Nvidia_K20c">
+    <param name="L1size" size="32" unit="KB"/>
+    <param name="shmsize" size="32" unit="KB"/>
+  </device>
+  <interconnects>
+    <interconnect id="connection1" type="pcie3" head="gpu_host" tail="gpu1"/>
+  </interconnects>
+  <software>
+    <hostOS id="linux1" type="Linux_3.13"/>
+    <installed type="CUDA_6.0" path="/ext/local/cuda6.0/"/>
+    <installed type="CUBLAS_6.0" path="/ext/local/cuda6.0/lib64"/>
+    <installed type="cusparse_6.0" path="/ext/local/cuda6.0/lib64"/>
+    <installed type="StarPU_1.0" path="/usr/local/starpu"/>
+  </software>
+</system>"#;
+
+/// Linux OS descriptor.
+pub const LINUX_3_13: &str = r#"<hostOS name="Linux_3.13" kernel="3.13"/>"#;
+/// Installed-software descriptors referenced by the systems.
+pub const CUDA_6_0: &str = r#"<installed name="CUDA_6.0" version="6.0"/>"#;
+/// CUBLAS.
+pub const CUBLAS_6_0: &str = r#"<installed name="CUBLAS_6.0" version="6.0"/>"#;
+/// cuSPARSE (the sparse BLAS of the case study).
+pub const CUSPARSE_6_0: &str = r#"<installed name="cusparse_6.0" version="6.0"/>"#;
+/// StarPU runtime.
+pub const STARPU_1_0: &str = r#"<installed name="StarPU_1.0" version="1.0"/>"#;
+
+/// The Myriad server (Listing 4 completed).
+pub const MYRIAD_SERVER: &str = r#"<system id="myriad_server">
+  <socket>
+    <cpu id="myriad_host" type="Xeon1" role="master"/>
+  </socket>
+  <memory id="host_mem" type="DDR3_16G"/>
+  <device id="mv153board" type="Movidius_MV153"/>
+  <interconnects>
+    <interconnect id="connect1" type="SPI" head="myriad_host" tail="mv153board"/>
+    <interconnect id="connect2" type="usb_2.0" head="myriad_host" tail="mv153board"/>
+    <interconnect id="connect3" type="hdmi" head="myriad_host" tail="mv153board"/>
+    <interconnect id="connect4" type="JTAG" head="myriad_host" tail="mv153board"/>
+  </interconnects>
+  <software>
+    <hostOS id="linux1" type="Linux_3.13"/>
+    <installed type="StarPU_1.0" path="/usr/local/starpu"/>
+  </software>
+</system>"#;
+
+/// The 4-node GPU cluster (Listing 11 completed: concrete Xeon types,
+/// K20c configurations, Infiniband ring n0→n1→n2→n3).
+pub const XSCLUSTER: &str = r#"<system id="XScluster">
+  <cluster>
+    <group prefix="n" quantity="4">
+      <node>
+        <group id="cpu1">
+          <socket>
+            <cpu id="PE0" type="Intel_Xeon_E5_2630L"/>
+          </socket>
+          <socket>
+            <cpu id="PE1" type="Intel_Xeon_E5_2630L"/>
+          </socket>
+        </group>
+        <group prefix="main_mem" quantity="4">
+          <memory type="DDR3_4G"/>
+        </group>
+        <device id="gpu1" type="Nvidia_K20c">
+          <param name="L1size" size="16" unit="KB"/>
+          <param name="shmsize" size="48" unit="KB"/>
+        </device>
+        <device id="gpu2" type="Nvidia_K40c">
+          <param name="L1size" size="32" unit="KB"/>
+          <param name="shmsize" size="32" unit="KB"/>
+        </device>
+        <interconnects>
+          <interconnect id="conn1" type="pcie3" head="cpu1" tail="gpu1"/>
+          <interconnect id="conn2" type="pcie3" head="cpu1" tail="gpu2"/>
+        </interconnects>
+      </node>
+    </group>
+    <interconnects>
+      <interconnect id="conn3" type="infiniband1" head="n0" tail="n1"/>
+      <interconnect id="conn4" type="infiniband1" head="n1" tail="n2"/>
+      <interconnect id="conn5" type="infiniband1" head="n2" tail="n3"/>
+    </interconnects>
+  </cluster>
+  <software>
+    <hostOS id="linux1" type="Linux_3.13"/>
+    <installed type="CUDA_6.0" path="/ext/local/cuda6.0/"/>
+    <installed type="CUBLAS_6.0" path="/ext/local/cuda6.0/lib64"/>
+    <installed type="StarPU_1.0" path="/usr/local/starpu"/>
+  </software>
+  <properties>
+    <property name="ExternalPowerMeter" meter_type="VoltechPM1000+" command="myscript.sh"/>
+  </properties>
+</system>"#;
+
+/// Every library descriptor, keyed by its repository key.
+pub const LIBRARY: &[(&str, &str)] = &[
+    ("Intel_Xeon_E5_2630L", XEON_E5_2630L),
+    ("power_model_E5_2630L", POWER_MODEL_E5_2630L),
+    ("x86_base_isa", X86_BASE_ISA),
+    ("mb_x86_base_1", MB_X86_BASE_1),
+    ("Nvidia_GPU", NVIDIA_GPU),
+    ("Nvidia_Kepler", NVIDIA_KEPLER),
+    ("kepler_core", KEPLER_CORE),
+    ("Nvidia_K20c", NVIDIA_K20C),
+    ("Nvidia_K40c", NVIDIA_K40C),
+    ("pcie3", PCIE3),
+    ("infiniband1", INFINIBAND1),
+    ("DDR3", DDR3),
+    ("DDR3_16G", DDR3_16G),
+    ("DDR3_4G", DDR3_4G),
+    ("ShaveL2", SHAVE_L2),
+    ("CMX", CMX),
+    ("SRAM", SRAM),
+    ("LPDDR", LPDDR),
+    ("Sparc_V8", SPARC_V8),
+    ("Myriad1_Shave", MYRIAD1_SHAVE),
+    ("Movidius_Myriad1", MOVIDIUS_MYRIAD1),
+    ("Myriad1_power_model", MYRIAD1_POWER_MODEL),
+    ("Movidius_MV153", MOVIDIUS_MV153),
+    ("Xeon1", XEON1),
+    ("SPI", SPI),
+    ("usb_2.0", USB_2_0),
+    ("hdmi", HDMI),
+    ("JTAG", JTAG),
+    ("Linux_3.13", LINUX_3_13),
+    ("CUDA_6.0", CUDA_6_0),
+    ("CUBLAS_6.0", CUBLAS_6_0),
+    ("cusparse_6.0", CUSPARSE_6_0),
+    ("StarPU_1.0", STARPU_1_0),
+    ("liu_gpu_server", LIU_GPU_SERVER),
+    ("myriad_server", MYRIAD_SERVER),
+    ("XScluster", XSCLUSTER),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xpdl_core::XpdlDocument;
+
+    #[test]
+    fn every_descriptor_parses_strictly() {
+        for (key, src) in LIBRARY {
+            let doc = XpdlDocument::parse_strict(src);
+            assert!(doc.is_ok(), "{key}: {:?}", doc.err());
+        }
+    }
+
+    #[test]
+    fn keys_match_root_identifiers() {
+        for (key, src) in LIBRARY {
+            let doc = XpdlDocument::parse_strict(src).unwrap();
+            assert_eq!(doc.key(), Some(*key), "key mismatch for {key}");
+        }
+    }
+
+    #[test]
+    fn every_descriptor_is_schema_valid() {
+        use xpdl_schema::{validate_document, Schema};
+        let schema = Schema::core();
+        for (key, src) in LIBRARY {
+            let doc = XpdlDocument::parse_strict(src).unwrap();
+            let errors: Vec<_> = validate_document(&doc, &schema)
+                .into_iter()
+                .filter(|d| d.is_error())
+                .collect();
+            assert!(errors.is_empty(), "{key}: {errors:#?}");
+        }
+    }
+
+    #[test]
+    fn no_duplicate_keys() {
+        let mut seen = std::collections::BTreeSet::new();
+        for (key, _) in LIBRARY {
+            assert!(seen.insert(*key), "duplicate key {key}");
+        }
+    }
+}

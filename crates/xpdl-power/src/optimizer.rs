@@ -1,0 +1,399 @@
+//! DVFS energy optimization over a power state machine.
+//!
+//! The classic trade-off the paper's power models exist to inform: run fast
+//! and idle (race-to-idle) vs. run slow and finish at the deadline. The
+//! optimizer evaluates every power state of a machine for a given workload
+//! and deadline — including the transition overheads modeled in the FSM —
+//! and picks the minimum-energy choice.
+
+use crate::fsm::PowerStateMachine;
+use std::fmt;
+
+/// A piece of work to schedule on one core.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Workload {
+    /// Work amount in cycles.
+    pub cycles: f64,
+    /// Deadline in seconds (the run must fit).
+    pub deadline_s: f64,
+    /// Power drawn while idling (after finishing early), in watts. This is
+    /// the idle/base power of the domain, not a full sleep.
+    pub idle_power_w: f64,
+}
+
+/// The evaluation of one candidate state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DvfsChoice {
+    /// The chosen state name.
+    pub state: String,
+    /// Execution time in seconds.
+    pub run_time_s: f64,
+    /// Total energy in joules over the full deadline window
+    /// (run + idle + transitions).
+    pub energy_j: f64,
+    /// Whether the workload fits the deadline in this state.
+    pub feasible: bool,
+}
+
+impl fmt::Display for DvfsChoice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {:.3} ms run, {:.3} mJ{}",
+            self.state,
+            self.run_time_s * 1e3,
+            self.energy_j * 1e3,
+            if self.feasible { "" } else { " (infeasible)" }
+        )
+    }
+}
+
+/// The optimizer: a power state machine plus the state the domain is
+/// currently in (transition costs are charged from there).
+#[derive(Debug, Clone)]
+pub struct DvfsOptimizer<'m> {
+    fsm: &'m PowerStateMachine,
+    current_state: String,
+}
+
+impl<'m> DvfsOptimizer<'m> {
+    /// Create an optimizer; `current` must name a state of the machine.
+    pub fn new(fsm: &'m PowerStateMachine, current: &str) -> Option<DvfsOptimizer<'m>> {
+        fsm.state(current)?;
+        Some(DvfsOptimizer { fsm, current_state: current.to_string() })
+    }
+
+    /// Evaluate one candidate state for a workload.
+    pub fn evaluate(&self, state_name: &str, w: &Workload) -> Option<DvfsChoice> {
+        let s = self.fsm.state(state_name)?;
+        if s.frequency_hz <= 0.0 {
+            return Some(DvfsChoice {
+                state: s.name.clone(),
+                run_time_s: f64::INFINITY,
+                energy_j: f64::INFINITY,
+                feasible: false,
+            });
+        }
+        let trans = self.fsm.transition_cost(&self.current_state, state_name)?;
+        let run_time = w.cycles / s.frequency_hz;
+        let total_time = trans.time_s + run_time;
+        let feasible = total_time <= w.deadline_s;
+        let idle_time = (w.deadline_s - total_time).max(0.0);
+        let energy =
+            trans.energy_j + s.power_w * run_time + w.idle_power_w * idle_time;
+        Some(DvfsChoice { state: s.name.clone(), run_time_s: run_time, energy_j: energy, feasible })
+    }
+
+    /// Evaluate every state (sorted by energy ascending, infeasible last).
+    pub fn evaluate_all(&self, w: &Workload) -> Vec<DvfsChoice> {
+        let mut choices: Vec<DvfsChoice> = self
+            .fsm
+            .states
+            .iter()
+            .filter_map(|s| self.evaluate(&s.name, w))
+            .collect();
+        choices.sort_by(|a, b| {
+            b.feasible
+                .cmp(&a.feasible)
+                .then(a.energy_j.partial_cmp(&b.energy_j).expect("finite energies"))
+        });
+        choices
+    }
+
+    /// The minimum-energy feasible choice, if any state fits the deadline.
+    pub fn best(&self, w: &Workload) -> Option<DvfsChoice> {
+        self.evaluate_all(w).into_iter().find(|c| c.feasible)
+    }
+
+    /// Evaluate a run state with a *sleep state* for the idle tail — the
+    /// paper's "shutdown levels, often referred to as P states and C
+    /// states": run in `run_state`, then transition into `sleep_state`
+    /// (its power replaces the workload's idle power), and transition back
+    /// to `run_state` before the deadline. All three transition legs are
+    /// charged from the FSM.
+    pub fn evaluate_with_sleep(
+        &self,
+        run_state: &str,
+        sleep_state: &str,
+        w: &Workload,
+    ) -> Option<DvfsChoice> {
+        let run = self.fsm.state(run_state)?;
+        let sleep = self.fsm.state(sleep_state)?;
+        if run.frequency_hz <= 0.0 {
+            return None;
+        }
+        let to_run = self.fsm.transition_cost(&self.current_state, run_state)?;
+        let to_sleep = self.fsm.transition_cost(run_state, sleep_state)?;
+        let wake = self.fsm.transition_cost(sleep_state, run_state)?;
+        let run_time = w.cycles / run.frequency_hz;
+        let overhead = to_run.time_s + to_sleep.time_s + wake.time_s;
+        let total_active = overhead + run_time;
+        let feasible = total_active <= w.deadline_s;
+        let sleep_time = (w.deadline_s - total_active).max(0.0);
+        let energy = to_run.energy_j
+            + to_sleep.energy_j
+            + wake.energy_j
+            + run.power_w * run_time
+            + sleep.power_w * sleep_time;
+        Some(DvfsChoice {
+            state: format!("{run_state}+{sleep_state}"),
+            run_time_s: run_time,
+            energy_j: energy,
+            feasible,
+        })
+    }
+
+    /// Best choice across all run states, both with plain idling and with
+    /// every candidate sleep state for the tail.
+    pub fn best_with_sleep(&self, w: &Workload) -> Option<DvfsChoice> {
+        let mut candidates: Vec<DvfsChoice> = self.evaluate_all(w);
+        for run in &self.fsm.states {
+            for sleep in &self.fsm.states {
+                if sleep.power_w < w.idle_power_w {
+                    if let Some(c) = self.evaluate_with_sleep(&run.name, &sleep.name, w) {
+                        candidates.push(c);
+                    }
+                }
+            }
+        }
+        candidates
+            .into_iter()
+            .filter(|c| c.feasible)
+            .min_by(|a, b| a.energy_j.partial_cmp(&b.energy_j).expect("finite energies"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fsm::{PowerState, Transition};
+
+    /// The Listing 13 machine, completed with the reverse edges so every
+    /// pair is reachable (as the paper requires of a full model).
+    fn fsm() -> PowerStateMachine {
+        let st = |name: &str, ghz: f64, w: f64| PowerState {
+            name: name.into(),
+            frequency_hz: ghz * 1e9,
+            power_w: w,
+        };
+        let tr = |h: &str, t: &str| Transition {
+            head: h.into(),
+            tail: t.into(),
+            time_s: 1e-5,
+            energy_j: 1e-6,
+        };
+        let m = PowerStateMachine {
+            name: "m".into(),
+            domain: None,
+            // Power grows superlinearly with frequency — the physical
+            // regime where running slower can win.
+            states: vec![st("P1", 1.2, 9.0), st("P2", 1.6, 16.0), st("P3", 2.0, 40.0)],
+            transitions: vec![
+                tr("P1", "P2"),
+                tr("P2", "P3"),
+                tr("P3", "P2"),
+                tr("P2", "P1"),
+                tr("P1", "P3"),
+                tr("P3", "P1"),
+            ],
+        };
+        m.validate().unwrap();
+        m.check_complete().unwrap();
+        m
+    }
+
+    #[test]
+    fn tight_deadline_forces_fast_state() {
+        let m = fsm();
+        let opt = DvfsOptimizer::new(&m, "P1").unwrap();
+        // 2e9 cycles in 1.05 s: only P3 (2 GHz) fits.
+        let w = Workload { cycles: 2e9, deadline_s: 1.05, idle_power_w: 2.0 };
+        let best = opt.best(&w).unwrap();
+        assert_eq!(best.state, "P3");
+        assert!(best.feasible);
+    }
+
+    #[test]
+    fn loose_deadline_prefers_slow_state() {
+        let m = fsm();
+        let opt = DvfsOptimizer::new(&m, "P3").unwrap();
+        // Plenty of slack and low idle power: the frugal P1 wins because
+        // 9 W / 1.2 GHz < 40 W / 2 GHz energy per cycle.
+        let w = Workload { cycles: 1.2e9, deadline_s: 10.0, idle_power_w: 0.5 };
+        let best = opt.best(&w).unwrap();
+        assert_eq!(best.state, "P1");
+    }
+
+    #[test]
+    fn idle_power_drives_race_to_idle_crossover() {
+        // A static-power-dominated machine: energy per cycle *decreases*
+        // with frequency (20 W/1.2 GHz > 24 W/2.0 GHz). Whether racing to
+        // idle pays then depends on how cheap idling is.
+        let st = |name: &str, ghz: f64, w: f64| PowerState {
+            name: name.into(),
+            frequency_hz: ghz * 1e9,
+            power_w: w,
+        };
+        let tr = |h: &str, t: &str| Transition {
+            head: h.into(),
+            tail: t.into(),
+            time_s: 1e-5,
+            energy_j: 1e-6,
+        };
+        let m = PowerStateMachine {
+            name: "static_heavy".into(),
+            domain: None,
+            states: vec![st("P1", 1.2, 20.0), st("P2", 1.6, 22.0), st("P3", 2.0, 24.0)],
+            transitions: vec![
+                tr("P1", "P2"),
+                tr("P2", "P3"),
+                tr("P3", "P2"),
+                tr("P2", "P1"),
+                tr("P1", "P3"),
+                tr("P3", "P1"),
+            ],
+        };
+        let opt = DvfsOptimizer::new(&m, "P2").unwrap();
+        // Deep sleep available while idle → race to idle at the fastest state.
+        let w_sleep = Workload { cycles: 2e9, deadline_s: 4.0, idle_power_w: 0.1 };
+        assert_eq!(opt.best(&w_sleep).unwrap().state, "P3");
+        // Idling nearly as expensive as running → stretch the work at P1.
+        let w_busy = Workload { cycles: 2e9, deadline_s: 4.0, idle_power_w: 18.0 };
+        assert_eq!(opt.best(&w_busy).unwrap().state, "P1");
+    }
+
+    #[test]
+    fn energy_accounting_matches_hand_calculation() {
+        let m = fsm();
+        let opt = DvfsOptimizer::new(&m, "P1").unwrap();
+        let w = Workload { cycles: 1.2e9, deadline_s: 2.0, idle_power_w: 1.0 };
+        // In P1: run 1 s at 9 W, idle 1 s at 1 W, no transition (already in P1).
+        let c = opt.evaluate("P1", &w).unwrap();
+        assert!((c.run_time_s - 1.0).abs() < 1e-12);
+        assert!((c.energy_j - 10.0).abs() < 1e-9, "{}", c.energy_j);
+        // In P2: transition 1 µJ + run 0.75 s·16 W + idle ≈ 1.25 s·1 W.
+        let c2 = opt.evaluate("P2", &w).unwrap();
+        let expected = 1e-6 + 0.75 * 16.0 + (2.0 - 1e-5 - 0.75) * 1.0;
+        assert!((c2.energy_j - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn infeasible_workload_has_no_best() {
+        let m = fsm();
+        let opt = DvfsOptimizer::new(&m, "P1").unwrap();
+        let w = Workload { cycles: 1e12, deadline_s: 0.001, idle_power_w: 1.0 };
+        assert!(opt.best(&w).is_none());
+        let all = opt.evaluate_all(&w);
+        assert_eq!(all.len(), 3);
+        assert!(all.iter().all(|c| !c.feasible));
+    }
+
+    #[test]
+    fn evaluate_all_sorted_feasible_first_then_energy() {
+        let m = fsm();
+        let opt = DvfsOptimizer::new(&m, "P1").unwrap();
+        let w = Workload { cycles: 2e9, deadline_s: 1.05, idle_power_w: 2.0 };
+        let all = opt.evaluate_all(&w);
+        assert!(all[0].feasible);
+        for pair in all.windows(2) {
+            if pair[0].feasible == pair[1].feasible {
+                assert!(pair[0].energy_j <= pair[1].energy_j);
+            } else {
+                assert!(pair[0].feasible && !pair[1].feasible);
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_current_state_rejected() {
+        let m = fsm();
+        assert!(DvfsOptimizer::new(&m, "P9").is_none());
+    }
+
+    #[test]
+    fn zero_frequency_state_infeasible() {
+        let mut m = fsm();
+        m.states.push(PowerState { name: "C6".into(), frequency_hz: 0.0, power_w: 0.1 });
+        let opt = DvfsOptimizer::new(&m, "P1").unwrap();
+        let w = Workload { cycles: 1e9, deadline_s: 10.0, idle_power_w: 1.0 };
+        let c6 = opt.evaluate("C6", &w).unwrap();
+        assert!(!c6.feasible);
+    }
+
+    #[test]
+    fn sleep_state_beats_plain_idle_when_deep() {
+        // Add a 0.5 W C-state to the machine (zero frequency: unusable for
+        // running, perfect for the idle tail).
+        let mut m = fsm();
+        m.states.push(PowerState { name: "C6".into(), frequency_hz: 0.0, power_w: 0.5 });
+        for s in ["P1", "P2", "P3"] {
+            m.transitions.push(Transition {
+                head: s.into(),
+                tail: "C6".into(),
+                time_s: 5e-5,
+                energy_j: 5e-6,
+            });
+            m.transitions.push(Transition {
+                head: "C6".into(),
+                tail: s.into(),
+                time_s: 1e-4,
+                energy_j: 1e-5,
+            });
+        }
+        let opt = DvfsOptimizer::new(&m, "P1").unwrap();
+        // Shallow idle draws 6 W — racing into C6 for the tail must win.
+        let w = Workload { cycles: 1.2e9, deadline_s: 4.0, idle_power_w: 6.0 };
+        let plain = opt.best(&w).unwrap();
+        let with_sleep = opt.best_with_sleep(&w).unwrap();
+        assert!(with_sleep.energy_j < plain.energy_j, "{with_sleep:?} vs {plain:?}");
+        assert!(with_sleep.state.ends_with("+C6"), "{}", with_sleep.state);
+        // Hand check one configuration: P1 run 1 s at 9 W, tail ≈ 3 s at
+        // 0.5 W, plus the two C6 transition legs.
+        let c = opt.evaluate_with_sleep("P1", "C6", &w).unwrap();
+        let expected = 9.0 * 1.0 + 0.5 * (4.0 - 1.0 - 1.5e-4) + 1.5e-5;
+        assert!((c.energy_j - expected).abs() < 1e-6, "{} vs {expected}", c.energy_j);
+    }
+
+    #[test]
+    fn sleep_ignored_when_shallower_than_idle() {
+        // No state draws less than the idle power → best_with_sleep
+        // degenerates to best.
+        let m = fsm();
+        let opt = DvfsOptimizer::new(&m, "P1").unwrap();
+        let w = Workload { cycles: 1.2e9, deadline_s: 4.0, idle_power_w: 1.0 };
+        assert_eq!(opt.best(&w), opt.best_with_sleep(&w));
+    }
+
+    #[test]
+    fn sleep_infeasible_when_transitions_exceed_deadline() {
+        let mut m = fsm();
+        m.states.push(PowerState { name: "C6".into(), frequency_hz: 0.0, power_w: 0.1 });
+        m.transitions.push(Transition {
+            head: "P3".into(),
+            tail: "C6".into(),
+            time_s: 10.0, // absurd entry latency
+            energy_j: 0.0,
+        });
+        m.transitions.push(Transition {
+            head: "C6".into(),
+            tail: "P3".into(),
+            time_s: 10.0,
+            energy_j: 0.0,
+        });
+        let opt = DvfsOptimizer::new(&m, "P3").unwrap();
+        let w = Workload { cycles: 2e9, deadline_s: 1.5, idle_power_w: 6.0 };
+        let c = opt.evaluate_with_sleep("P3", "C6", &w).unwrap();
+        assert!(!c.feasible);
+    }
+
+    #[test]
+    fn display_choice() {
+        let m = fsm();
+        let opt = DvfsOptimizer::new(&m, "P1").unwrap();
+        let w = Workload { cycles: 1.2e9, deadline_s: 2.0, idle_power_w: 1.0 };
+        let c = opt.evaluate("P1", &w).unwrap();
+        let s = c.to_string();
+        assert!(s.contains("P1"), "{s}");
+        assert!(s.contains("run"), "{s}");
+    }
+}

@@ -1,0 +1,137 @@
+//! Property tests for the power machinery: Dijkstra transition planning
+//! against a brute-force oracle, interpolation invariants, and optimizer
+//! optimality.
+
+use proptest::prelude::*;
+use xpdl_power::{
+    DvfsOptimizer, InstructionEnergyTable, PowerState, PowerStateMachine, Transition, Workload,
+};
+use xpdl_core::XpdlDocument;
+
+/// Random small FSMs: 2..6 states, random edge subset with random costs.
+fn arb_fsm() -> impl Strategy<Value = PowerStateMachine> {
+    (2usize..6).prop_flat_map(|n| {
+        let edges = proptest::collection::vec(
+            ((0..n), (0..n), 1u32..100, 1u32..100),
+            1..(n * n),
+        );
+        edges.prop_map(move |edges| {
+            let states = (0..n)
+                .map(|i| PowerState {
+                    name: format!("S{i}"),
+                    frequency_hz: 1e9 + i as f64 * 4e8,
+                    power_w: 10.0 + 7.0 * i as f64,
+                })
+                .collect();
+            let transitions = edges
+                .into_iter()
+                .filter(|(a, b, _, _)| a != b)
+                .map(|(a, b, t, e)| Transition {
+                    head: format!("S{a}"),
+                    tail: format!("S{b}"),
+                    time_s: t as f64 * 1e-6,
+                    energy_j: e as f64 * 1e-9,
+                })
+                .collect();
+            PowerStateMachine { name: "r".into(), domain: None, states, transitions }
+        })
+    })
+}
+
+/// Brute-force cheapest-energy path by value iteration (Bellman-Ford).
+fn oracle_cost(fsm: &PowerStateMachine, from: &str, to: &str) -> Option<f64> {
+    let n = fsm.states.len();
+    let idx =
+        |name: &str| fsm.states.iter().position(|s| s.name == name).expect("state exists");
+    let mut dist = vec![f64::INFINITY; n];
+    dist[idx(from)] = 0.0;
+    for _ in 0..n {
+        for t in &fsm.transitions {
+            let (a, b) = (idx(&t.head), idx(&t.tail));
+            if dist[a] + t.energy_j < dist[b] {
+                dist[b] = dist[a] + t.energy_j;
+            }
+        }
+    }
+    let d = dist[idx(to)];
+    d.is_finite().then_some(d)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn transition_cost_matches_bellman_ford(fsm in arb_fsm()) {
+        for a in &fsm.states {
+            for b in &fsm.states {
+                let ours = fsm.transition_cost(&a.name, &b.name).map(|c| c.energy_j);
+                let oracle = if a.name == b.name { Some(0.0) } else { oracle_cost(&fsm, &a.name, &b.name) };
+                match (ours, oracle) {
+                    (Some(x), Some(y)) => prop_assert!((x - y).abs() < 1e-15,
+                        "{} -> {}: {x} vs oracle {y}", a.name, b.name),
+                    (None, None) => {}
+                    other => prop_assert!(false, "{} -> {}: mismatch {:?}", a.name, b.name, other),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn transition_cost_triangle_inequality(fsm in arb_fsm()) {
+        // Going A→C directly can never be more expensive than the computed
+        // optimum via any B (the optimum is a min over all paths).
+        for a in &fsm.states {
+            for b in &fsm.states {
+                for c in &fsm.states {
+                    let (ab, bc, ac) = (
+                        fsm.transition_cost(&a.name, &b.name),
+                        fsm.transition_cost(&b.name, &c.name),
+                        fsm.transition_cost(&a.name, &c.name),
+                    );
+                    if let (Some(ab), Some(bc), Some(ac)) = (ab, bc, ac) {
+                        prop_assert!(ac.energy_j <= ab.energy_j + bc.energy_j + 1e-15);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn optimizer_best_is_minimum_feasible(fsm in arb_fsm(), cycles in 1e8f64..1e10, idle in 0.1f64..20.0) {
+        // Complete the FSM so every state is reachable, else skip.
+        if fsm.check_complete().is_err() {
+            return Ok(());
+        }
+        let opt = DvfsOptimizer::new(&fsm, &fsm.states[0].name).unwrap();
+        let t_min = cycles / fsm.fastest().unwrap().frequency_hz;
+        let w = Workload { cycles, deadline_s: t_min * 1.7, idle_power_w: idle };
+        if let Some(best) = opt.best(&w) {
+            for s in &fsm.states {
+                if let Some(c) = opt.evaluate(&s.name, &w) {
+                    if c.feasible {
+                        prop_assert!(best.energy_j <= c.energy_j + 1e-12,
+                            "best {} ({}) beaten by {} ({})", best.state, best.energy_j, c.state, c.energy_j);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn interpolation_stays_within_hull(points in proptest::collection::btree_map(1u64..40, 1u64..1000, 2..6), query in 1u64..40) {
+        // Build a table from sorted (freq, energy) points; interpolation at
+        // any query must stay within [min, max] of the energies.
+        let pts: Vec<(f64, f64)> = points.iter().map(|(f, e)| (*f as f64 * 1e8, *e as f64 * 1e-10)).collect();
+        let mut table = {
+            let doc = XpdlDocument::parse_str(
+                r#"<instructions name="t"><inst name="x" energy="?" energy_unit="pJ"/></instructions>"#,
+            ).unwrap();
+            InstructionEnergyTable::from_element(doc.root()).unwrap()
+        };
+        table.set_energy_table("x", pts.clone());
+        let lo = pts.iter().map(|p| p.1).fold(f64::INFINITY, f64::min);
+        let hi = pts.iter().map(|p| p.1).fold(0.0, f64::max);
+        let e = table.energy_of("x", query as f64 * 1e8).unwrap();
+        prop_assert!(e >= lo - 1e-18 && e <= hi + 1e-18, "{e} outside [{lo}, {hi}]");
+    }
+}

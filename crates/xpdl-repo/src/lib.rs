@@ -1,0 +1,34 @@
+//! The XPDL model repository.
+//!
+//! XPDL descriptors are "placed in a distributed model repository: XPDL
+//! models can be stored locally (retrieved via the model search path), but
+//! may, ideally, even be provided for download e.g. at hardware manufacturer
+//! web sites" (paper §III). This crate implements that machinery:
+//!
+//! * [`store`] — pluggable descriptor stores: in-memory, on-disk
+//!   directories, and simulated remote vendor sites (with fetch accounting,
+//!   used by the toolchain benchmarks).
+//! * [`repository`] — the search-path [`Repository`]: ordered stores, a
+//!   thread-safe parse cache, and recursive resolution of every
+//!   `type`/`extends`/`mb` reference reachable from a concrete model, with
+//!   cycle detection.
+//!
+//! # Example
+//!
+//! ```
+//! use xpdl_repo::{MemoryStore, Repository};
+//!
+//! let mut store = MemoryStore::new();
+//! store.insert("Xeon1", r#"<cpu name="Xeon1" frequency="2" frequency_unit="GHz"/>"#);
+//! store.insert("srv", r#"<system id="srv"><socket><cpu id="h" type="Xeon1"/></socket></system>"#);
+//! let repo = Repository::new().with_store(store);
+//! let set = repo.resolve_recursive("srv").unwrap();
+//! assert_eq!(set.documents().count(), 2);
+//! assert!(set.get("Xeon1").is_some());
+//! ```
+
+pub mod repository;
+pub mod store;
+
+pub use repository::{ResolveError, ResolveOptions, ResolvedSet, Repository};
+pub use store::{DirStore, MemoryStore, ModelStore, RemoteStore};

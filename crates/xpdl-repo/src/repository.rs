@@ -1,0 +1,632 @@
+//! The search-path repository with caching and recursive resolution.
+
+use crate::store::ModelStore;
+use parking_lot::RwLock;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fmt;
+use std::sync::Arc;
+use xpdl_core::{CoreError, ElementKind, XpdlDocument, XpdlElement};
+
+/// Resolution failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ResolveError {
+    /// No store provides the key.
+    NotFound {
+        /// The key that could not be found.
+        key: String,
+        /// Who referenced it (repository key of the referencing model).
+        referenced_by: Option<String>,
+        /// Store descriptions searched.
+        searched: Vec<String>,
+    },
+    /// The descriptor failed to parse.
+    Parse {
+        /// Offending key.
+        key: String,
+        /// Underlying error.
+        error: CoreError,
+    },
+    /// `extends`/`type` references form a cycle.
+    Cycle {
+        /// The reference chain, ending where it closes.
+        stack: Vec<String>,
+    },
+}
+
+impl fmt::Display for ResolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResolveError::NotFound { key, referenced_by, searched } => {
+                write!(f, "model {key:?} not found")?;
+                if let Some(by) = referenced_by {
+                    write!(f, " (referenced by {by:?})")?;
+                }
+                write!(f, "; searched: {}", searched.join(", "))
+            }
+            ResolveError::Parse { key, error } => write!(f, "model {key:?}: {error}"),
+            ResolveError::Cycle { stack } => {
+                write!(f, "reference cycle: {}", stack.join(" -> "))
+            }
+        }
+    }
+}
+
+impl std::error::Error for ResolveError {}
+
+/// Options controlling recursive resolution.
+#[derive(Debug, Clone)]
+pub struct ResolveOptions {
+    /// Treat unresolvable references as warnings collected on the
+    /// [`ResolvedSet`] instead of hard errors. Useful for paper listings
+    /// that reference elided names (`Intel_Xeon_...`).
+    pub allow_missing: bool,
+    /// Maximum number of documents to load (guards against runaway graphs).
+    pub max_models: usize,
+}
+
+impl Default for ResolveOptions {
+    fn default() -> Self {
+        ResolveOptions { allow_missing: false, max_models: 10_000 }
+    }
+}
+
+/// The result of recursive resolution: all reachable documents, keyed.
+#[derive(Debug, Clone)]
+pub struct ResolvedSet {
+    root_key: String,
+    docs: BTreeMap<String, Arc<XpdlDocument>>,
+    /// Keys that could not be resolved (only with `allow_missing`).
+    pub missing: Vec<String>,
+}
+
+impl ResolvedSet {
+    /// The key resolution started from.
+    pub fn root_key(&self) -> &str {
+        &self.root_key
+    }
+
+    /// The root document.
+    pub fn root(&self) -> &XpdlDocument {
+        &self.docs[&self.root_key]
+    }
+
+    /// Look up a document by key.
+    pub fn get(&self, key: &str) -> Option<&XpdlDocument> {
+        self.docs.get(key).map(Arc::as_ref)
+    }
+
+    /// All documents (sorted by key).
+    pub fn documents(&self) -> impl Iterator<Item = (&str, &XpdlDocument)> {
+        self.docs.iter().map(|(k, d)| (k.as_str(), d.as_ref()))
+    }
+
+    /// Number of documents.
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// Whether the set is empty (never true for a successful resolution).
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+}
+
+/// An ordered search path of stores plus a parse cache.
+#[derive(Default)]
+pub struct Repository {
+    stores: Vec<Box<dyn ModelStore>>,
+    cache: RwLock<BTreeMap<String, Arc<XpdlDocument>>>,
+    cache_enabled: bool,
+}
+
+impl Repository {
+    /// Empty repository with caching enabled.
+    pub fn new() -> Repository {
+        Repository { stores: Vec::new(), cache: RwLock::new(BTreeMap::new()), cache_enabled: true }
+    }
+
+    /// Append a store to the search path (earlier stores win).
+    pub fn with_store(mut self, store: impl ModelStore + 'static) -> Repository {
+        self.stores.push(Box::new(store));
+        self
+    }
+
+    /// Append a boxed store.
+    pub fn push_store(&mut self, store: Box<dyn ModelStore>) {
+        self.stores.push(store);
+    }
+
+    /// Disable the parse cache (ablation benchmarks).
+    pub fn without_cache(mut self) -> Repository {
+        self.cache_enabled = false;
+        self
+    }
+
+    /// Store descriptions, in search order.
+    pub fn search_path(&self) -> Vec<String> {
+        self.stores.iter().map(|s| s.describe()).collect()
+    }
+
+    /// All keys available across stores (first occurrence wins).
+    pub fn keys(&self) -> Vec<String> {
+        let mut seen = BTreeSet::new();
+        for s in &self.stores {
+            for k in s.keys() {
+                seen.insert(k);
+            }
+        }
+        seen.into_iter().collect()
+    }
+
+    /// Load and parse one descriptor by key.
+    pub fn load(&self, key: &str) -> Result<Arc<XpdlDocument>, ResolveError> {
+        if self.cache_enabled {
+            if let Some(doc) = self.cache.read().get(key) {
+                return Ok(doc.clone());
+            }
+        }
+        let source = self
+            .stores
+            .iter()
+            .find_map(|s| s.fetch(key))
+            .ok_or_else(|| ResolveError::NotFound {
+                key: key.to_string(),
+                referenced_by: None,
+                searched: self.search_path(),
+            })?;
+        let doc = XpdlDocument::parse_named(&source, key)
+            .map_err(|error| ResolveError::Parse { key: key.to_string(), error })?;
+        let doc = Arc::new(doc);
+        if self.cache_enabled {
+            self.cache.write().insert(key.to_string(), doc.clone());
+        }
+        Ok(doc)
+    }
+
+    /// Number of cached parsed documents.
+    pub fn cache_len(&self) -> usize {
+        self.cache.read().len()
+    }
+
+    /// Drop the cache contents.
+    pub fn clear_cache(&self) {
+        self.cache.write().clear();
+    }
+
+    /// Fetch and parse many descriptors concurrently, warming the cache.
+    ///
+    /// Vendor sites are slow relative to local stores; preloading a known
+    /// working set in parallel (crossbeam scoped threads — stores are
+    /// `Sync`) hides that latency before a batch of resolutions. Returns
+    /// how many keys loaded successfully.
+    pub fn preload_parallel(&self, keys: &[&str]) -> usize {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let loaded = AtomicUsize::new(0);
+        let counter = &loaded;
+        crossbeam::thread::scope(|s| {
+            for chunk in keys.chunks(keys.len().div_ceil(8).max(1)) {
+                s.spawn(move |_| {
+                    for key in chunk {
+                        if self.load(key).is_ok() {
+                            counter.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        })
+        .expect("preload threads do not panic");
+        loaded.load(Ordering::Relaxed)
+    }
+
+    /// Resolve `key` and everything transitively referenced via
+    /// `type`/`extends`/`mb`/`instruction_set` attributes.
+    pub fn resolve_recursive(&self, key: &str) -> Result<ResolvedSet, ResolveError> {
+        self.resolve_with(key, &ResolveOptions::default())
+    }
+
+    /// Resolve with options.
+    pub fn resolve_with(
+        &self,
+        key: &str,
+        opts: &ResolveOptions,
+    ) -> Result<ResolvedSet, ResolveError> {
+        let mut docs: BTreeMap<String, Arc<XpdlDocument>> = BTreeMap::new();
+        let mut missing = Vec::new();
+        let mut queue: VecDeque<(String, Option<String>)> = VecDeque::new();
+        queue.push_back((key.to_string(), None));
+        while let Some((k, referenced_by)) = queue.pop_front() {
+            if docs.contains_key(&k) {
+                continue;
+            }
+            if docs.len() >= opts.max_models {
+                return Err(ResolveError::Cycle {
+                    stack: vec![format!("model limit {} exceeded at {k}", opts.max_models)],
+                });
+            }
+            let doc = match self.load(&k) {
+                Ok(d) => d,
+                Err(ResolveError::NotFound { key, searched, .. }) => {
+                    if opts.allow_missing && referenced_by.is_some() {
+                        missing.push(key);
+                        continue;
+                    }
+                    return Err(ResolveError::NotFound { key, referenced_by, searched });
+                }
+                Err(e) => return Err(e),
+            };
+            let refs = references_of(doc.root());
+            // A document's local identifiers satisfy references before the
+            // repository is consulted (in-line definitions, paper §III-A).
+            let local: BTreeSet<String> = doc
+                .root()
+                .descendants()
+                .filter_map(|e| e.ident())
+                .map(str::to_string)
+                .collect();
+            docs.insert(k.clone(), doc);
+            for r in refs {
+                if !local.contains(&r) && !docs.contains_key(&r) {
+                    queue.push_back((r, Some(k.clone())));
+                }
+            }
+        }
+        // Cycle detection over the extends graph (type references to
+        // already-loaded docs are fine; inheritance cycles are not).
+        check_extends_acyclic(&docs)?;
+        Ok(ResolvedSet { root_key: key.to_string(), docs, missing })
+    }
+}
+
+/// Whether the `type=` attribute of this element kind references a
+/// meta-model in the repository.
+///
+/// `type=` on `param`, `const`, `property` and `data` is a *data type* name
+/// (`msize`, `integer`; cf. Listing 8); on `programming_model` it is a list
+/// of programming-model names (`"cuda6.0,opencl"`). Neither is a
+/// repository key.
+pub fn type_is_model_ref(kind: &ElementKind) -> bool {
+    !matches!(
+        kind,
+        ElementKind::Param
+            | ElementKind::Const
+            | ElementKind::Property
+            | ElementKind::Data
+            | ElementKind::Properties
+            | ElementKind::ProgrammingModel
+            // `type=` on a microbenchmark names the instruction it
+            // measures (Listing 15), not a model.
+            | ElementKind::Microbenchmark
+    )
+}
+
+/// Collect the outgoing repository references of a model tree.
+///
+/// `type=` on hardware/software elements references a meta-model;
+/// `extends=` references supertypes; suite-level `mb=` (on `instructions`)
+/// and `instruction_set=` (on `microbenchmarks`) cross-link instruction
+/// sets and microbenchmark suites. Not chased:
+///
+/// * the [`type_is_model_ref`] exceptions (params, properties, data,
+///   programming models);
+/// * `type=` inside a `power_domain` — those name the domain's *component
+///   types/ids* (Listing 12: `<core type="Leon"/>`), resolved against the
+///   surrounding model, not the repository;
+/// * per-instruction `mb=` (on `inst`) — those are benchmark-entry ids
+///   *within* the suite the instruction set already references.
+pub fn references_of(root: &XpdlElement) -> Vec<String> {
+    fn walk(
+        e: &XpdlElement,
+        in_power_domain: bool,
+        seen: &mut BTreeSet<String>,
+        out: &mut Vec<String>,
+    ) {
+        if !in_power_domain && type_is_model_ref(&e.kind) {
+            if let Some(t) = &e.type_ref {
+                if seen.insert(t.clone()) {
+                    out.push(t.clone());
+                }
+            }
+        }
+        for sup in &e.extends {
+            if seen.insert(sup.clone()) {
+                out.push(sup.clone());
+            }
+        }
+        let suite_attr = match e.kind {
+            ElementKind::Instructions => Some("mb"),
+            ElementKind::Microbenchmarks => Some("instruction_set"),
+            _ => None,
+        };
+        if let Some(attr) = suite_attr {
+            if let Some(v) = e.attr(attr) {
+                if seen.insert(v.to_string()) {
+                    out.push(v.to_string());
+                }
+            }
+        }
+        let inside = in_power_domain || e.kind == ElementKind::PowerDomain;
+        for c in &e.children {
+            walk(c, inside, seen, out);
+        }
+    }
+    let mut out = Vec::new();
+    let mut seen = BTreeSet::new();
+    walk(root, false, &mut seen, &mut out);
+    out
+}
+
+/// Verify the `extends` relation across a resolved set is acyclic.
+fn check_extends_acyclic(
+    docs: &BTreeMap<String, Arc<XpdlDocument>>,
+) -> Result<(), ResolveError> {
+    // Build name -> extends edge list from all root elements.
+    let mut edges: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    for doc in docs.values() {
+        if let Some(name) = doc.root().meta_name() {
+            edges.insert(name, doc.root().extends.iter().map(String::as_str).collect());
+        }
+    }
+    #[derive(Clone, Copy, PartialEq)]
+    enum Mark {
+        Visiting,
+        Done,
+    }
+    fn visit<'a>(
+        n: &'a str,
+        edges: &BTreeMap<&'a str, Vec<&'a str>>,
+        marks: &mut BTreeMap<&'a str, Mark>,
+        stack: &mut Vec<&'a str>,
+    ) -> Result<(), ResolveError> {
+        match marks.get(n) {
+            Some(Mark::Done) => return Ok(()),
+            Some(Mark::Visiting) => {
+                let mut cycle: Vec<String> = stack.iter().map(|s| s.to_string()).collect();
+                cycle.push(n.to_string());
+                return Err(ResolveError::Cycle { stack: cycle });
+            }
+            None => {}
+        }
+        marks.insert(n, Mark::Visiting);
+        stack.push(n);
+        for &m in edges.get(n).into_iter().flatten() {
+            if edges.contains_key(m) {
+                visit(m, edges, marks, stack)?;
+            }
+        }
+        stack.pop();
+        marks.insert(n, Mark::Done);
+        Ok(())
+    }
+    let mut marks = BTreeMap::new();
+    for &n in edges.keys() {
+        visit(n, &edges, &mut marks, &mut Vec::new())?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::{MemoryStore, RemoteStore};
+
+    fn kepler_repo() -> Repository {
+        let mut m = MemoryStore::new();
+        m.insert("Nvidia_GPU", r#"<device name="Nvidia_GPU" role="worker"/>"#);
+        m.insert(
+            "Nvidia_Kepler",
+            r#"<device name="Nvidia_Kepler" extends="Nvidia_GPU">
+                 <param name="num_SM" type="integer"/>
+               </device>"#,
+        );
+        m.insert(
+            "Nvidia_K20c",
+            r#"<device name="Nvidia_K20c" extends="Nvidia_Kepler"><param name="num_SM" value="13"/></device>"#,
+        );
+        m.insert("pcie3", r#"<interconnect name="pcie3"><channel name="up_link"/></interconnect>"#);
+        m.insert("Intel_Xeon_E5_2630L", r#"<cpu name="Intel_Xeon_E5_2630L"/>"#);
+        m.insert(
+            "liu_gpu_server",
+            r#"<system id="liu_gpu_server">
+                 <socket><cpu id="gpu_host" type="Intel_Xeon_E5_2630L"/></socket>
+                 <device id="gpu1" type="Nvidia_K20c"/>
+                 <interconnects>
+                   <interconnect id="connection1" type="pcie3" head="gpu_host" tail="gpu1"/>
+                 </interconnects>
+               </system>"#,
+        );
+        Repository::new().with_store(m)
+    }
+
+    #[test]
+    fn resolve_listing7_closure() {
+        let repo = kepler_repo();
+        let set = repo.resolve_recursive("liu_gpu_server").unwrap();
+        let keys: Vec<_> = set.documents().map(|(k, _)| k).collect();
+        assert_eq!(
+            keys,
+            vec![
+                "Intel_Xeon_E5_2630L",
+                "Nvidia_GPU",
+                "Nvidia_K20c",
+                "Nvidia_Kepler",
+                "liu_gpu_server",
+                "pcie3"
+            ]
+        );
+        assert_eq!(set.root_key(), "liu_gpu_server");
+        assert_eq!(set.root().key(), Some("liu_gpu_server"));
+    }
+
+    #[test]
+    fn param_type_is_not_a_model_reference() {
+        let repo = kepler_repo();
+        // Nvidia_Kepler's param has type="integer"; resolution must not try
+        // to fetch a model called "integer".
+        let set = repo.resolve_recursive("Nvidia_Kepler").unwrap();
+        assert_eq!(set.len(), 2); // Kepler + Nvidia_GPU
+    }
+
+    #[test]
+    fn missing_reference_reports_referrer() {
+        let mut m = MemoryStore::new();
+        m.insert("sys", r#"<system id="sys"><device id="d" type="Ghost"/></system>"#);
+        let repo = Repository::new().with_store(m);
+        let err = repo.resolve_recursive("sys").unwrap_err();
+        match err {
+            ResolveError::NotFound { key, referenced_by, .. } => {
+                assert_eq!(key, "Ghost");
+                assert_eq!(referenced_by.as_deref(), Some("sys"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn allow_missing_collects_instead_of_failing() {
+        let mut m = MemoryStore::new();
+        m.insert("sys", r#"<system id="sys"><device id="d" type="Ghost"/></system>"#);
+        let repo = Repository::new().with_store(m);
+        let set = repo
+            .resolve_with("sys", &ResolveOptions { allow_missing: true, ..Default::default() })
+            .unwrap();
+        assert_eq!(set.len(), 1);
+        assert_eq!(set.missing, vec!["Ghost"]);
+    }
+
+    #[test]
+    fn root_not_found_is_always_an_error() {
+        let repo = Repository::new().with_store(MemoryStore::new());
+        let err = repo
+            .resolve_with("nope", &ResolveOptions { allow_missing: true, ..Default::default() })
+            .unwrap_err();
+        assert!(matches!(err, ResolveError::NotFound { .. }));
+    }
+
+    #[test]
+    fn inline_definitions_satisfy_references() {
+        let mut m = MemoryStore::new();
+        // `type="Xeon1"` refers to the in-document meta-model.
+        m.insert(
+            "sys",
+            r#"<system id="sys">
+                 <cpu name="Xeon1"/>
+                 <socket><cpu id="h" type="Xeon1"/></socket>
+               </system>"#,
+        );
+        let repo = Repository::new().with_store(m);
+        let set = repo.resolve_recursive("sys").unwrap();
+        assert_eq!(set.len(), 1);
+    }
+
+    #[test]
+    fn extends_cycle_detected() {
+        let mut m = MemoryStore::new();
+        m.insert("A", r#"<device name="A" extends="B"/>"#);
+        m.insert("B", r#"<device name="B" extends="A"/>"#);
+        let repo = Repository::new().with_store(m);
+        let err = repo.resolve_recursive("A").unwrap_err();
+        assert!(matches!(err, ResolveError::Cycle { .. }), "{err}");
+    }
+
+    #[test]
+    fn cache_hits_avoid_refetch() {
+        let mut remote = RemoteStore::new("https://nvidia.example/xpdl");
+        remote.publish("K20c", r#"<device name="K20c"/>"#);
+        let repo = Repository::new().with_store(remote);
+        repo.load("K20c").unwrap();
+        repo.load("K20c").unwrap();
+        repo.load("K20c").unwrap();
+        assert_eq!(repo.cache_len(), 1);
+        // The store served exactly one fetch; the rest hit the cache.
+        // (Fetch counter is on the store, reachable via search_path desc.)
+        let desc = repo.search_path().join(" ");
+        assert!(desc.contains("remote store"));
+    }
+
+    #[test]
+    fn without_cache_reloads() {
+        let mut m = MemoryStore::new();
+        m.insert("X", r#"<cpu name="X"/>"#);
+        let repo = Repository::new().with_store(m).without_cache();
+        repo.load("X").unwrap();
+        assert_eq!(repo.cache_len(), 0);
+    }
+
+    #[test]
+    fn search_order_earlier_store_wins() {
+        let mut a = MemoryStore::new();
+        a.insert("X", r#"<cpu name="X" frequency="1"/>"#);
+        let mut b = MemoryStore::new();
+        b.insert("X", r#"<cpu name="X" frequency="2"/>"#);
+        let repo = Repository::new().with_store(a).with_store(b);
+        let doc = repo.load("X").unwrap();
+        assert_eq!(doc.root().attr("frequency"), Some("1"));
+        assert_eq!(repo.keys(), vec!["X"]);
+    }
+
+    #[test]
+    fn parse_error_carries_key() {
+        let mut m = MemoryStore::new();
+        m.insert("bad", "<cpu name='x'");
+        let repo = Repository::new().with_store(m);
+        match repo.load("bad").unwrap_err() {
+            ResolveError::Parse { key, .. } => assert_eq!(key, "bad"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn preload_parallel_warms_cache() {
+        let mut m = MemoryStore::new();
+        let keys: Vec<String> = (0..40).map(|i| format!("M{i}")).collect();
+        for k in &keys {
+            m.insert(k.clone(), format!("<cpu name=\"{k}\"/>"));
+        }
+        let repo = Repository::new().with_store(m);
+        let refs: Vec<&str> = keys.iter().map(String::as_str).collect();
+        let loaded = repo.preload_parallel(&refs);
+        assert_eq!(loaded, 40);
+        assert_eq!(repo.cache_len(), 40);
+        // Unknown keys just don't count.
+        assert_eq!(repo.preload_parallel(&["nope", "M0"]), 1);
+    }
+
+    #[test]
+    fn clear_cache_resets() {
+        let mut m = MemoryStore::new();
+        m.insert("X", r#"<cpu name="X"/>"#);
+        let repo = Repository::new().with_store(m);
+        repo.load("X").unwrap();
+        assert_eq!(repo.cache_len(), 1);
+        repo.clear_cache();
+        assert_eq!(repo.cache_len(), 0);
+    }
+
+    #[test]
+    fn references_of_collects_mb_links() {
+        let doc = XpdlDocument::parse_str(
+            r#"<instructions name="x86_base_isa" mb="mb_x86_base_1">
+                 <inst name="fmul" energy="?" energy_unit="pJ" mb="fa1"/>
+               </instructions>"#,
+        )
+        .unwrap();
+        let refs = references_of(doc.root());
+        assert!(refs.contains(&"mb_x86_base_1".to_string()));
+        // Per-instruction mb refs are entry ids inside the suite — not
+        // repository keys.
+        assert!(!refs.contains(&"fa1".to_string()));
+    }
+
+    #[test]
+    fn references_of_skips_power_domain_components() {
+        let doc = XpdlDocument::parse_str(
+            r#"<power_model name="pm">
+                 <power_domains name="pds">
+                   <power_domain name="main_pd"><core type="Leon"/></power_domain>
+                 </power_domains>
+               </power_model>"#,
+        )
+        .unwrap();
+        assert!(references_of(doc.root()).is_empty());
+    }
+}

@@ -1,0 +1,284 @@
+//! Descriptor stores: where `.xpdl` sources live.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A source of descriptor text, keyed by model name/id.
+///
+/// Keys are the paper's repository keys: the root element's `name`
+/// (meta-model) or `id` (concrete model). File-backed stores map keys to
+/// `<key>.xpdl` files.
+pub trait ModelStore: Send + Sync {
+    /// Fetch the descriptor source for a key.
+    fn fetch(&self, key: &str) -> Option<String>;
+
+    /// Enumerate available keys (sorted).
+    fn keys(&self) -> Vec<String>;
+
+    /// Human-readable store description for diagnostics.
+    fn describe(&self) -> String;
+}
+
+/// In-memory store (model libraries shipped inside a crate, tests).
+#[derive(Debug, Default, Clone)]
+pub struct MemoryStore {
+    entries: BTreeMap<String, String>,
+}
+
+impl MemoryStore {
+    /// Empty store.
+    pub fn new() -> MemoryStore {
+        MemoryStore::default()
+    }
+
+    /// Insert a descriptor.
+    pub fn insert(&mut self, key: impl Into<String>, source: impl Into<String>) -> &mut Self {
+        self.entries.insert(key.into(), source.into());
+        self
+    }
+
+    /// Number of descriptors.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl ModelStore for MemoryStore {
+    fn fetch(&self, key: &str) -> Option<String> {
+        self.entries.get(key).cloned()
+    }
+
+    fn keys(&self) -> Vec<String> {
+        self.entries.keys().cloned().collect()
+    }
+
+    fn describe(&self) -> String {
+        format!("memory store ({} models)", self.entries.len())
+    }
+}
+
+/// A directory of `<key>.xpdl` files — the paper's local model search path.
+#[derive(Debug, Clone)]
+pub struct DirStore {
+    dir: PathBuf,
+}
+
+impl DirStore {
+    /// Store rooted at `dir`.
+    pub fn new(dir: impl AsRef<Path>) -> DirStore {
+        DirStore { dir: dir.as_ref().to_path_buf() }
+    }
+
+    /// The root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn path_for(&self, key: &str) -> Option<PathBuf> {
+        // Reject path traversal in keys; repository keys are simple names.
+        if key.contains("..") || key.contains('/') || key.contains('\\') {
+            return None;
+        }
+        Some(self.dir.join(format!("{key}.xpdl")))
+    }
+}
+
+impl ModelStore for DirStore {
+    fn fetch(&self, key: &str) -> Option<String> {
+        std::fs::read_to_string(self.path_for(key)?).ok()
+    }
+
+    fn keys(&self) -> Vec<String> {
+        let Ok(entries) = std::fs::read_dir(&self.dir) else { return Vec::new() };
+        let mut keys: Vec<String> = entries
+            .filter_map(|e| e.ok())
+            .filter_map(|e| {
+                let p = e.path();
+                (p.extension().and_then(|x| x.to_str()) == Some("xpdl"))
+                    .then(|| p.file_stem()?.to_str().map(str::to_string))
+                    .flatten()
+            })
+            .collect();
+        keys.sort();
+        keys
+    }
+
+    fn describe(&self) -> String {
+        format!("directory store at {}", self.dir.display())
+    }
+}
+
+impl DirStore {
+    /// Verify that every `<key>.xpdl` file's root identifier matches its
+    /// file name (the repository convention), using the fast root scanner —
+    /// no full parses. Returns the mismatches as (key, actual-root-ident).
+    pub fn verify_keys(&self) -> Vec<(String, Option<String>)> {
+        let mut mismatches = Vec::new();
+        for key in self.keys() {
+            let Some(src) = self.fetch(&key) else { continue };
+            let actual = xpdl_xml::root_info(&src)
+                .ok()
+                .and_then(|i| i.key().map(str::to_string));
+            if actual.as_deref() != Some(key.as_str()) {
+                mismatches.push((key, actual));
+            }
+        }
+        mismatches
+    }
+}
+
+/// A simulated remote (vendor) repository.
+///
+/// The paper envisions descriptors "provided for download e.g. at hardware
+/// manufacturer web sites". We have no network in this reproduction, so a
+/// remote store wraps an in-memory catalog behind a base URI and *accounts
+/// every fetch* (the toolchain benchmarks use the counter to quantify what
+/// the repository cache saves).
+#[derive(Debug)]
+pub struct RemoteStore {
+    base_uri: String,
+    catalog: MemoryStore,
+    fetches: AtomicUsize,
+    /// Simulated per-fetch latency (spin-free: just recorded, not slept,
+    /// except in benchmarks that opt in).
+    pub simulated_latency_us: u64,
+}
+
+impl RemoteStore {
+    /// A remote store at `base_uri` (e.g. `https://vendor.example/xpdl`).
+    pub fn new(base_uri: impl Into<String>) -> RemoteStore {
+        RemoteStore {
+            base_uri: base_uri.into(),
+            catalog: MemoryStore::new(),
+            fetches: AtomicUsize::new(0),
+            simulated_latency_us: 200,
+        }
+    }
+
+    /// Publish a descriptor on the simulated site.
+    pub fn publish(&mut self, key: impl Into<String>, source: impl Into<String>) -> &mut Self {
+        self.catalog.insert(key, source);
+        self
+    }
+
+    /// The base URI.
+    pub fn base_uri(&self) -> &str {
+        &self.base_uri
+    }
+
+    /// How many fetches have been served.
+    pub fn fetch_count(&self) -> usize {
+        self.fetches.load(Ordering::Relaxed)
+    }
+
+    /// Whether this store serves a hyperlink key (`<base>/<name>.xpdl`).
+    pub fn serves(&self, key: &str) -> bool {
+        key.starts_with(&self.base_uri)
+    }
+
+    /// Strip the base URI and `.xpdl` suffix from a hyperlink key.
+    pub fn local_key<'k>(&self, key: &'k str) -> &'k str {
+        let stripped = key.strip_prefix(&self.base_uri).unwrap_or(key);
+        let stripped = stripped.trim_start_matches('/');
+        stripped.strip_suffix(".xpdl").unwrap_or(stripped)
+    }
+}
+
+impl ModelStore for RemoteStore {
+    fn fetch(&self, key: &str) -> Option<String> {
+        let local = if self.serves(key) { self.local_key(key) } else { key };
+        let result = self.catalog.fetch(local);
+        if result.is_some() {
+            self.fetches.fetch_add(1, Ordering::Relaxed);
+        }
+        result
+    }
+
+    fn keys(&self) -> Vec<String> {
+        self.catalog.keys()
+    }
+
+    fn describe(&self) -> String {
+        format!("remote store at {} ({} models)", self.base_uri, self.catalog.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_store_fetch_and_keys() {
+        let mut s = MemoryStore::new();
+        s.insert("b", "<cpu name=\"b\"/>").insert("a", "<cpu name=\"a\"/>");
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.keys(), vec!["a", "b"]);
+        assert!(s.fetch("a").is_some());
+        assert!(s.fetch("c").is_none());
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn dir_store_reads_xpdl_files() {
+        let dir = std::env::temp_dir().join(format!("xpdl_repo_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("Xeon1.xpdl"), "<cpu name=\"Xeon1\"/>").unwrap();
+        std::fs::write(dir.join("notes.txt"), "ignored").unwrap();
+        let s = DirStore::new(&dir);
+        assert_eq!(s.keys(), vec!["Xeon1"]);
+        assert!(s.fetch("Xeon1").unwrap().contains("Xeon1"));
+        assert!(s.fetch("missing").is_none());
+        assert!(s.describe().contains("directory"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn dir_store_verify_keys_flags_mismatches() {
+        let dir = std::env::temp_dir().join(format!("xpdl_verify_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("Good.xpdl"), "<cpu name=\"Good\"/>").unwrap();
+        std::fs::write(dir.join("Renamed.xpdl"), "<cpu name=\"Original\"/>").unwrap();
+        std::fs::write(dir.join("Broken.xpdl"), "not xml at all").unwrap();
+        let s = DirStore::new(&dir);
+        let bad = s.verify_keys();
+        assert_eq!(bad.len(), 2, "{bad:?}");
+        assert!(bad.contains(&("Renamed".to_string(), Some("Original".to_string()))));
+        assert!(bad.contains(&("Broken".to_string(), None)));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn dir_store_rejects_traversal_keys() {
+        let s = DirStore::new("/tmp");
+        assert!(s.fetch("../etc/passwd").is_none());
+        assert!(s.fetch("a/b").is_none());
+    }
+
+    #[test]
+    fn remote_store_counts_fetches() {
+        let mut r = RemoteStore::new("https://vendor.example/xpdl");
+        r.publish("K20c", "<device name=\"K20c\"/>");
+        assert_eq!(r.fetch_count(), 0);
+        assert!(r.fetch("K20c").is_some());
+        assert!(r.fetch("K20c").is_some());
+        assert_eq!(r.fetch_count(), 2);
+        assert!(r.fetch("missing").is_none());
+        assert_eq!(r.fetch_count(), 2);
+    }
+
+    #[test]
+    fn remote_store_hyperlink_keys() {
+        let mut r = RemoteStore::new("https://vendor.example/xpdl");
+        r.publish("K20c", "<device name=\"K20c\"/>");
+        assert!(r.serves("https://vendor.example/xpdl/K20c.xpdl"));
+        assert!(!r.serves("https://other.example/K20c.xpdl"));
+        assert_eq!(r.local_key("https://vendor.example/xpdl/K20c.xpdl"), "K20c");
+        assert!(r.fetch("https://vendor.example/xpdl/K20c.xpdl").is_some());
+    }
+}

@@ -1,0 +1,352 @@
+//! The versioned binary runtime-model file format.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic      8 bytes  "XPDLRT\x01\x00"  (name + version)
+//! n_strings  u32
+//! strings    n_strings × (u32 length, UTF-8 bytes)
+//! n_nodes    u32
+//! nodes      n_nodes × node record
+//! node record:
+//!   kind u32 | flags u8 | [ident u32] | [type_ref u32]
+//!   n_attrs u16, n_attrs × (u32, u32)
+//!   n_children u32, n_children × u32
+//!   parent u32 (u32::MAX = none)
+//! flags: bit0 = has ident, bit1 = is_instance, bit2 = has type_ref
+//! ```
+
+use crate::model::{RtNode, RuntimeModel};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::fmt;
+
+/// The 8-byte magic: name + format version 1.
+pub const MAGIC: &[u8; 8] = b"XPDLRT\x01\x00";
+
+/// Decoding errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FormatError {
+    /// Wrong magic bytes (not a runtime-model file).
+    BadMagic,
+    /// Unsupported version byte.
+    BadVersion(u8),
+    /// Buffer ended mid-record.
+    Truncated,
+    /// A string index points outside the string table.
+    BadStringRef(u32),
+    /// A child/parent index points outside the node table.
+    BadNodeRef(u32),
+    /// A string is not valid UTF-8.
+    BadUtf8,
+    /// The file contains no nodes.
+    Empty,
+}
+
+impl fmt::Display for FormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FormatError::BadMagic => write!(f, "not an XPDL runtime model (bad magic)"),
+            FormatError::BadVersion(v) => write!(f, "unsupported format version {v}"),
+            FormatError::Truncated => write!(f, "file truncated"),
+            FormatError::BadStringRef(i) => write!(f, "string index {i} out of range"),
+            FormatError::BadNodeRef(i) => write!(f, "node index {i} out of range"),
+            FormatError::BadUtf8 => write!(f, "invalid UTF-8 in string table"),
+            FormatError::Empty => write!(f, "model contains no nodes"),
+        }
+    }
+}
+
+impl std::error::Error for FormatError {}
+
+/// Encode a model to bytes.
+pub fn encode(model: &RuntimeModel) -> Bytes {
+    let mut buf = BytesMut::with_capacity(1024 + model.len() * 32);
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(model.strings.len() as u32);
+    for s in &model.strings {
+        buf.put_u32_le(s.len() as u32);
+        buf.put_slice(s.as_bytes());
+    }
+    buf.put_u32_le(model.nodes.len() as u32);
+    for n in &model.nodes {
+        buf.put_u32_le(n.kind);
+        let mut flags = 0u8;
+        if n.ident.is_some() {
+            flags |= 1;
+        }
+        if n.is_instance {
+            flags |= 2;
+        }
+        if n.type_ref.is_some() {
+            flags |= 4;
+        }
+        buf.put_u8(flags);
+        if let Some(i) = n.ident {
+            buf.put_u32_le(i);
+        }
+        if let Some(t) = n.type_ref {
+            buf.put_u32_le(t);
+        }
+        buf.put_u16_le(n.attrs.len() as u16);
+        for (k, v) in &n.attrs {
+            buf.put_u32_le(*k);
+            buf.put_u32_le(*v);
+        }
+        buf.put_u32_le(n.children.len() as u32);
+        for c in &n.children {
+            buf.put_u32_le(*c);
+        }
+        buf.put_u32_le(n.parent.unwrap_or(u32::MAX));
+    }
+    buf.freeze()
+}
+
+/// Decode a model from bytes, validating all cross-references.
+pub fn decode(mut data: &[u8]) -> Result<RuntimeModel, FormatError> {
+    if data.len() < 8 {
+        return Err(FormatError::BadMagic);
+    }
+    if data[..6] != MAGIC[..6] {
+        return Err(FormatError::BadMagic);
+    }
+    // The 7th byte of MAGIC is the version (\x01); the 8th is reserved.
+    let version = data[6];
+    if version != 1 {
+        return Err(FormatError::BadVersion(version));
+    }
+    data.advance(8);
+
+    let n_strings = read_u32(&mut data)? as usize;
+    let mut strings = Vec::with_capacity(n_strings.min(1 << 20));
+    for _ in 0..n_strings {
+        let len = read_u32(&mut data)? as usize;
+        if data.remaining() < len {
+            return Err(FormatError::Truncated);
+        }
+        let bytes = &data[..len];
+        let s = std::str::from_utf8(bytes).map_err(|_| FormatError::BadUtf8)?.to_string();
+        data.advance(len);
+        strings.push(s);
+    }
+
+    let n_nodes = read_u32(&mut data)? as usize;
+    if n_nodes == 0 {
+        return Err(FormatError::Empty);
+    }
+    let check_str = |i: u32, strings: &[String]| -> Result<u32, FormatError> {
+        if (i as usize) < strings.len() {
+            Ok(i)
+        } else {
+            Err(FormatError::BadStringRef(i))
+        }
+    };
+    let mut nodes = Vec::with_capacity(n_nodes.min(1 << 20));
+    for _ in 0..n_nodes {
+        let kind = check_str(read_u32(&mut data)?, &strings)?;
+        let flags = read_u8(&mut data)?;
+        let ident = if flags & 1 != 0 {
+            Some(check_str(read_u32(&mut data)?, &strings)?)
+        } else {
+            None
+        };
+        let type_ref = if flags & 4 != 0 {
+            Some(check_str(read_u32(&mut data)?, &strings)?)
+        } else {
+            None
+        };
+        let n_attrs = read_u16(&mut data)? as usize;
+        let mut attrs = Vec::with_capacity(n_attrs);
+        for _ in 0..n_attrs {
+            let k = check_str(read_u32(&mut data)?, &strings)?;
+            let v = check_str(read_u32(&mut data)?, &strings)?;
+            attrs.push((k, v));
+        }
+        let n_children = read_u32(&mut data)? as usize;
+        let mut children = Vec::with_capacity(n_children.min(1 << 20));
+        for _ in 0..n_children {
+            children.push(read_u32(&mut data)?);
+        }
+        let parent_raw = read_u32(&mut data)?;
+        let parent = (parent_raw != u32::MAX).then_some(parent_raw);
+        nodes.push(RtNode {
+            kind,
+            ident,
+            is_instance: flags & 2 != 0,
+            type_ref,
+            attrs,
+            children,
+            parent,
+        });
+    }
+    // Validate node cross-references.
+    for n in &nodes {
+        for &c in &n.children {
+            if c as usize >= nodes.len() {
+                return Err(FormatError::BadNodeRef(c));
+            }
+        }
+        if let Some(p) = n.parent {
+            if p as usize >= nodes.len() {
+                return Err(FormatError::BadNodeRef(p));
+            }
+        }
+    }
+    Ok(RuntimeModel::from_parts(strings, nodes))
+}
+
+/// Write a model to a file.
+pub fn save_file(model: &RuntimeModel, path: &std::path::Path) -> std::io::Result<()> {
+    std::fs::write(path, encode(model))
+}
+
+/// Load a model from a file (`xpdl_init`'s workhorse).
+pub fn load_file(path: &std::path::Path) -> Result<RuntimeModel, std::io::Error> {
+    let data = std::fs::read(path)?;
+    decode(&data).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+}
+
+fn read_u32(data: &mut &[u8]) -> Result<u32, FormatError> {
+    if data.remaining() < 4 {
+        return Err(FormatError::Truncated);
+    }
+    Ok(data.get_u32_le())
+}
+
+fn read_u16(data: &mut &[u8]) -> Result<u16, FormatError> {
+    if data.remaining() < 2 {
+        return Err(FormatError::Truncated);
+    }
+    Ok(data.get_u16_le())
+}
+
+fn read_u8(data: &mut &[u8]) -> Result<u8, FormatError> {
+    if data.remaining() < 1 {
+        return Err(FormatError::Truncated);
+    }
+    Ok(data.get_u8())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xpdl_core::XpdlDocument;
+
+    fn model() -> RuntimeModel {
+        let doc = XpdlDocument::parse_str(
+            r#"<system id="s">
+                 <cpu id="h" type="Xeon" static_power="15" static_power_unit="W">
+                   <core id="c0" frequency="2" frequency_unit="GHz"/>
+                 </cpu>
+               </system>"#,
+        )
+        .unwrap();
+        RuntimeModel::from_element(doc.root())
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let m = model();
+        let bytes = encode(&m);
+        let back = decode(&bytes).unwrap();
+        assert_eq!(back.len(), m.len());
+        assert_eq!(back.root().ident(), Some("s"));
+        let c0 = back.find("c0").unwrap();
+        assert_eq!(c0.quantity("frequency").unwrap().to_base(), 2e9);
+        assert_eq!(c0.parent().unwrap().type_ref(), Some("Xeon"));
+    }
+
+    #[test]
+    fn magic_and_version_checked() {
+        let m = model();
+        let bytes = encode(&m);
+        assert_eq!(&bytes[..8], MAGIC);
+        let mut corrupt = bytes.to_vec();
+        corrupt[0] = b'Y';
+        assert_eq!(decode(&corrupt).unwrap_err(), FormatError::BadMagic);
+        let mut v2 = bytes.to_vec();
+        v2[6] = 2;
+        assert_eq!(decode(&v2).unwrap_err(), FormatError::BadVersion(2));
+    }
+
+    #[test]
+    fn truncation_detected_at_every_length() {
+        let bytes = encode(&model());
+        for cut in [0, 4, 7, 8, 12, bytes.len() / 2, bytes.len() - 1] {
+            let err = decode(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(err, FormatError::Truncated | FormatError::BadMagic),
+                "cut at {cut}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_string_ref_detected() {
+        let m = model();
+        let mut bytes = encode(&m).to_vec();
+        // The first node record's kind index lives right after the string
+        // table; smash it to a huge value.
+        // Find offset: 8 magic + 4 count + strings…
+        let mut off = 12;
+        for s in &m.strings {
+            off += 4 + s.len();
+        }
+        off += 4; // node count
+        bytes[off..off + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(decode(&bytes).unwrap_err(), FormatError::BadStringRef(_)));
+    }
+
+    #[test]
+    fn empty_model_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&0u32.to_le_bytes()); // no strings
+        buf.extend_from_slice(&0u32.to_le_bytes()); // no nodes
+        assert_eq!(decode(&buf).unwrap_err(), FormatError::Empty);
+    }
+
+    #[test]
+    fn file_save_load() {
+        let dir = std::env::temp_dir().join(format!("xpdl_rt_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.xpdlrt");
+        let m = model();
+        save_file(&m, &path).unwrap();
+        let back = load_file(&path).unwrap();
+        assert_eq!(back.len(), m.len());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn load_file_propagates_decode_errors() {
+        let dir = std::env::temp_dir().join(format!("xpdl_rt_bad_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("junk.xpdlrt");
+        std::fs::write(&path, b"not a model").unwrap();
+        assert!(load_file(&path).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn encoding_is_compact() {
+        // String interning should keep the binary smaller than the XML.
+        let xml = r#"<system id="s"><cpu id="h" type="Xeon" static_power="15" static_power_unit="W"><core id="c0" frequency="2" frequency_unit="GHz"/></cpu></system>"#;
+        let m = model();
+        let bytes = encode(&m);
+        assert!(bytes.len() < xml.len() * 2, "{} vs {}", bytes.len(), xml.len());
+    }
+
+    #[test]
+    fn fuzz_decode_never_panics() {
+        // Deterministic pseudo-random corruption.
+        let bytes = encode(&model()).to_vec();
+        let mut seed = 0x1234_5678_u64;
+        for _ in 0..500 {
+            let mut corrupted = bytes.clone();
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let pos = (seed >> 32) as usize % corrupted.len();
+            corrupted[pos] ^= (seed & 0xFF) as u8;
+            let _ = decode(&corrupted); // Ok or Err, never panic
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! The XPDL core metamodel and validation engine.
+//!
+//! The paper (§IV) generates the runtime query API "from the central
+//! `xpdl.xsd` schema specification, which contains the core metamodel of
+//! XPDL". This crate is that central artifact in Rust form:
+//!
+//! * [`schema`] — a machine-readable description of every core element
+//!   kind: its attributes (with value domains and requiredness), permitted
+//!   children, and identification rules. [`schema::Schema::core`] is the
+//!   shipped metamodel; it can be extended programmatically (XPDL is
+//!   e**X**tensible).
+//! * [`validate`] — a validator walking typed documents against a schema,
+//!   producing structured [`diag::Diagnostic`]s instead of failing fast, so
+//!   tools can report all problems at once.
+//!
+//! Unknown elements and attributes are *warnings*, not errors: the paper's
+//! escape hatches (`properties`, ad-hoc tags) are part of the design.
+//!
+//! # Example
+//!
+//! ```
+//! use xpdl_core::XpdlDocument;
+//! use xpdl_schema::{Schema, validate_document};
+//!
+//! let doc = XpdlDocument::parse_str(
+//!     r#"<power_state_machine name="m">
+//!          <power_states><power_state name="P1" frequency="1.2"
+//!              frequency_unit="GHz" power="20" power_unit="W"/></power_states>
+//!          <transitions><transition head="P1" tail="P1" time="1" time_unit="us"
+//!              energy="2" energy_unit="nJ"/></transitions>
+//!        </power_state_machine>"#).unwrap();
+//! let diags = validate_document(&doc, &Schema::core());
+//! assert!(diags.iter().all(|d| !d.is_error()), "{diags:?}");
+//! ```
+
+pub mod diag;
+pub mod schema;
+pub mod validate;
+
+pub use diag::{Diagnostic, Severity};
+pub use schema::{AttrDomain, AttrSpec, ElementSpec, Schema};
+pub use validate::{validate_document, validate_element};

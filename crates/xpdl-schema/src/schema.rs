@@ -1,0 +1,528 @@
+//! The machine-readable core metamodel (the `xpdl.xsd` analogue).
+
+use std::collections::BTreeMap;
+use xpdl_core::units::Dimension;
+
+/// Value domain of an attribute.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrDomain {
+    /// Any string.
+    Any,
+    /// A number.
+    Number,
+    /// A non-negative integer (or a parameter name to be bound at
+    /// elaboration, e.g. `quantity="num_SM"`).
+    CountOrParam,
+    /// A numeric metric of the given dimension; its unit attribute (per the
+    /// `metric_unit` convention) must parse to that dimension.
+    Metric(Dimension),
+    /// One of a fixed set of tokens.
+    Enum(&'static [&'static str]),
+    /// An XPDL identifier reference (resolved later by the repository).
+    IdentRef,
+    /// An expression in the constraint language; must parse.
+    Expr,
+    /// Boolean (`true`/`false`).
+    Bool,
+    /// A unit string; must parse as a unit.
+    UnitStr,
+}
+
+/// Schema entry for one attribute.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttrSpec {
+    /// Attribute name.
+    pub name: &'static str,
+    /// Value domain.
+    pub domain: AttrDomain,
+    /// Whether the attribute must be present.
+    pub required: bool,
+    /// Whether the `?` placeholder (derive-by-microbenchmark) is allowed.
+    pub allow_unknown: bool,
+}
+
+impl AttrSpec {
+    fn new(name: &'static str, domain: AttrDomain) -> AttrSpec {
+        AttrSpec { name, domain, required: false, allow_unknown: false }
+    }
+
+    fn required(mut self) -> AttrSpec {
+        self.required = true;
+        self
+    }
+
+    fn microbenchmarkable(mut self) -> AttrSpec {
+        self.allow_unknown = true;
+        self
+    }
+}
+
+/// Which child tags an element admits.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChildPolicy {
+    /// Only the listed tags (unknown tags still only warn — extensibility).
+    Listed(&'static [&'static str]),
+    /// Anything.
+    Any,
+    /// Leaf element: children are unexpected.
+    None,
+}
+
+/// Schema entry for one element kind.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ElementSpec {
+    /// Tag name.
+    pub tag: &'static str,
+    /// Whether `name=` (meta-model declaration / local name) is allowed.
+    pub allow_name: bool,
+    /// Whether `id=` (instance declaration) is allowed.
+    pub allow_id: bool,
+    /// Whether `type=` (meta-model reference) is allowed.
+    pub allow_type: bool,
+    /// Whether `extends=` (inheritance) is allowed.
+    pub allow_extends: bool,
+    /// Attribute specifications.
+    pub attrs: Vec<AttrSpec>,
+    /// Child policy.
+    pub children: ChildPolicy,
+    /// Child tags that must occur at least once.
+    pub required_children: &'static [&'static str],
+}
+
+impl ElementSpec {
+    /// A permissive spec for `tag` (all identification attributes allowed,
+    /// any children) — the starting point for extensions.
+    pub fn new(tag: &'static str) -> ElementSpec {
+        ElementSpec {
+            tag,
+            allow_name: true,
+            allow_id: true,
+            allow_type: true,
+            allow_extends: true,
+            attrs: Vec::new(),
+            children: ChildPolicy::Any,
+            required_children: &[],
+        }
+    }
+
+    fn attrs(mut self, attrs: Vec<AttrSpec>) -> ElementSpec {
+        self.attrs = attrs;
+        self
+    }
+
+    fn children(mut self, policy: ChildPolicy) -> ElementSpec {
+        self.children = policy;
+        self
+    }
+
+    fn require_children(mut self, tags: &'static [&'static str]) -> ElementSpec {
+        self.required_children = tags;
+        self
+    }
+
+    fn no_extends(mut self) -> ElementSpec {
+        self.allow_extends = false;
+        self
+    }
+
+    /// Find an attribute spec by name.
+    pub fn attr(&self, name: &str) -> Option<&AttrSpec> {
+        self.attrs.iter().find(|a| a.name == name)
+    }
+}
+
+/// A full schema: element specs keyed by tag.
+#[derive(Debug, Clone, Default)]
+pub struct Schema {
+    specs: BTreeMap<String, ElementSpec>,
+}
+
+impl Schema {
+    /// An empty schema (everything validates with warnings only).
+    pub fn empty() -> Schema {
+        Schema::default()
+    }
+
+    /// Register or replace an element spec. This is the extension point:
+    /// project-specific vocabularies add their tags here.
+    pub fn register(&mut self, spec: ElementSpec) -> &mut Self {
+        self.specs.insert(spec.tag.to_string(), spec);
+        self
+    }
+
+    /// Look up the spec for a tag.
+    pub fn spec(&self, tag: &str) -> Option<&ElementSpec> {
+        self.specs.get(tag)
+    }
+
+    /// Number of registered element kinds.
+    pub fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// Whether the schema is empty.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// Iterate over registered specs (sorted by tag).
+    pub fn iter(&self) -> impl Iterator<Item = &ElementSpec> {
+        self.specs.values()
+    }
+
+    /// The shipped core metamodel covering the paper's §III vocabulary.
+    pub fn core() -> Schema {
+        use AttrDomain as D;
+        let mut s = Schema::empty();
+
+        let hw_children: &[&str] = &[
+            "socket", "cpu", "core", "cache", "memory", "device", "gpu", "group",
+            "interconnects", "interconnect", "power_model", "power_domains", "software",
+            "properties", "const", "param", "constraints", "programming_model", "cluster",
+            "node", "instructions",
+        ];
+
+        s.register(
+            ElementSpec::new("system")
+                .children(ChildPolicy::Listed(hw_children))
+                .no_extends(),
+        );
+        s.register(ElementSpec::new("cluster").children(ChildPolicy::Listed(&[
+            "node", "group", "interconnects", "properties",
+        ])));
+        s.register(ElementSpec::new("node").children(ChildPolicy::Listed(hw_children)));
+        s.register(ElementSpec::new("socket").children(ChildPolicy::Listed(&["cpu", "properties"])));
+        s.register(
+            ElementSpec::new("cpu")
+                .attrs(vec![
+                    AttrSpec::new("frequency", D::Metric(Dimension::Frequency)).microbenchmarkable(),
+                    AttrSpec::new("frequency_unit", D::UnitStr),
+                    AttrSpec::new("static_power", D::Metric(Dimension::Power)).microbenchmarkable(),
+                    AttrSpec::new("static_power_unit", D::UnitStr),
+                    AttrSpec::new("role", D::Enum(&["master", "worker", "hybrid"])),
+                    AttrSpec::new("endian", D::Enum(&["LE", "BE"])),
+                ])
+                .children(ChildPolicy::Listed(&[
+                    "core", "cache", "memory", "group", "power_model", "power_domains",
+                    "instructions", "properties", "const", "param", "constraints",
+                ])),
+        );
+        s.register(
+            ElementSpec::new("core")
+                .attrs(vec![
+                    AttrSpec::new("frequency", D::Metric(Dimension::Frequency)).microbenchmarkable(),
+                    AttrSpec::new("frequency_unit", D::UnitStr),
+                    AttrSpec::new("endian", D::Enum(&["LE", "BE"])),
+                ])
+                .children(ChildPolicy::Listed(&["cache", "properties"])),
+        );
+        s.register(
+            ElementSpec::new("cache")
+                .attrs(vec![
+                    AttrSpec::new("size", D::Metric(Dimension::Size)).microbenchmarkable(),
+                    AttrSpec::new("unit", D::UnitStr),
+                    AttrSpec::new("sets", D::Number),
+                    AttrSpec::new("line_size", D::Metric(Dimension::Size)),
+                    AttrSpec::new("line_size_unit", D::UnitStr),
+                    AttrSpec::new("replacement", D::Enum(&["LRU", "FIFO", "random", "PLRU"])),
+                    AttrSpec::new("write_policy", D::Enum(&["copyback", "writethrough"])),
+                ])
+                .children(ChildPolicy::None),
+        );
+        s.register(
+            ElementSpec::new("memory")
+                .attrs(vec![
+                    AttrSpec::new("size", D::Metric(Dimension::Size)),
+                    AttrSpec::new("unit", D::UnitStr),
+                    AttrSpec::new("static_power", D::Metric(Dimension::Power)).microbenchmarkable(),
+                    AttrSpec::new("static_power_unit", D::UnitStr),
+                    AttrSpec::new("slices", D::Number),
+                    AttrSpec::new("endian", D::Enum(&["LE", "BE"])),
+                ])
+                .children(ChildPolicy::None),
+        );
+        s.register(
+            ElementSpec::new("device").children(ChildPolicy::Listed(&[
+                "socket", "cpu", "core", "cache", "memory", "group", "power_model",
+                "power_domains", "instructions", "properties", "const", "param", "constraints",
+                "programming_model",
+            ])),
+        );
+        s.register(ElementSpec::new("gpu"));
+        s.register(
+            ElementSpec::new("interconnects")
+                .children(ChildPolicy::Listed(&["interconnect", "group"]))
+                .no_extends(),
+        );
+        s.register(
+            ElementSpec::new("interconnect")
+                .attrs(vec![
+                    AttrSpec::new("head", D::IdentRef),
+                    AttrSpec::new("tail", D::IdentRef),
+                    AttrSpec::new("max_bandwidth", D::Metric(Dimension::Bandwidth))
+                        .microbenchmarkable(),
+                    AttrSpec::new("max_bandwidth_unit", D::UnitStr),
+                ])
+                .children(ChildPolicy::Listed(&["channel", "properties"])),
+        );
+        s.register(
+            ElementSpec::new("channel")
+                .attrs(vec![
+                    AttrSpec::new("max_bandwidth", D::Metric(Dimension::Bandwidth))
+                        .microbenchmarkable(),
+                    AttrSpec::new("max_bandwidth_unit", D::UnitStr),
+                    AttrSpec::new("time_offset_per_message", D::Metric(Dimension::Time))
+                        .microbenchmarkable(),
+                    AttrSpec::new("time_offset_per_message_unit", D::UnitStr),
+                    AttrSpec::new("energy_per_byte", D::Metric(Dimension::Energy))
+                        .microbenchmarkable(),
+                    AttrSpec::new("energy_per_byte_unit", D::UnitStr),
+                    AttrSpec::new("energy_offset_per_message", D::Metric(Dimension::Energy))
+                        .microbenchmarkable(),
+                    AttrSpec::new("energy_offset_per_message_unit", D::UnitStr),
+                ])
+                .children(ChildPolicy::None),
+        );
+        s.register(
+            ElementSpec::new("group")
+                .attrs(vec![
+                    AttrSpec::new("prefix", D::Any),
+                    AttrSpec::new("quantity", D::CountOrParam),
+                ])
+                .children(ChildPolicy::Any)
+                .no_extends(),
+        );
+
+        // Power modeling (paper §III-C).
+        s.register(ElementSpec::new("power_model").children(ChildPolicy::Listed(&[
+            "power_domains", "power_state_machine", "instructions", "microbenchmarks",
+        ])));
+        s.register(
+            ElementSpec::new("power_domains").children(ChildPolicy::Listed(&["power_domain", "group"])),
+        );
+        s.register(
+            ElementSpec::new("power_domain")
+                .attrs(vec![
+                    AttrSpec::new("enableSwitchOff", D::Bool),
+                    AttrSpec::new("switchoffCondition", D::Expr),
+                ])
+                .children(ChildPolicy::Listed(&["core", "cpu", "memory", "cache", "device", "group"])),
+        );
+        s.register(
+            ElementSpec::new("power_state_machine")
+                .attrs(vec![AttrSpec::new("power_domain", D::IdentRef)])
+                .children(ChildPolicy::Listed(&["power_states", "transitions"]))
+                .require_children(&["power_states"]),
+        );
+        s.register(
+            ElementSpec::new("power_states")
+                .children(ChildPolicy::Listed(&["power_state"]))
+                .require_children(&["power_state"]),
+        );
+        s.register(
+            ElementSpec::new("power_state")
+                .attrs(vec![
+                    AttrSpec::new("frequency", D::Metric(Dimension::Frequency)),
+                    AttrSpec::new("frequency_unit", D::UnitStr),
+                    AttrSpec::new("power", D::Metric(Dimension::Power)).microbenchmarkable(),
+                    AttrSpec::new("power_unit", D::UnitStr),
+                ])
+                .children(ChildPolicy::None),
+        );
+        s.register(ElementSpec::new("transitions").children(ChildPolicy::Listed(&["transition"])));
+        s.register(
+            ElementSpec::new("transition")
+                .attrs(vec![
+                    AttrSpec::new("head", D::IdentRef).required(),
+                    AttrSpec::new("tail", D::IdentRef).required(),
+                    AttrSpec::new("time", D::Metric(Dimension::Time)).microbenchmarkable(),
+                    AttrSpec::new("time_unit", D::UnitStr),
+                    AttrSpec::new("energy", D::Metric(Dimension::Energy)).microbenchmarkable(),
+                    AttrSpec::new("energy_unit", D::UnitStr),
+                ])
+                .children(ChildPolicy::None),
+        );
+
+        // Instruction energy (paper §III-C, Listing 14).
+        s.register(
+            ElementSpec::new("instructions")
+                .attrs(vec![AttrSpec::new("mb", D::IdentRef)])
+                .children(ChildPolicy::Listed(&["inst"])),
+        );
+        s.register(
+            ElementSpec::new("inst")
+                .attrs(vec![
+                    AttrSpec::new("energy", D::Metric(Dimension::Energy)).microbenchmarkable(),
+                    AttrSpec::new("energy_unit", D::UnitStr),
+                    AttrSpec::new("mb", D::IdentRef),
+                ])
+                .children(ChildPolicy::Listed(&["data"])),
+        );
+        s.register(
+            ElementSpec::new("data")
+                .attrs(vec![
+                    AttrSpec::new("frequency", D::Metric(Dimension::Frequency)).required(),
+                    AttrSpec::new("frequency_unit", D::UnitStr),
+                    AttrSpec::new("energy", D::Metric(Dimension::Energy)).required(),
+                    AttrSpec::new("energy_unit", D::UnitStr),
+                ])
+                .children(ChildPolicy::None),
+        );
+
+        // Microbenchmarking (Listing 15).
+        s.register(
+            ElementSpec::new("microbenchmarks")
+                .attrs(vec![
+                    AttrSpec::new("instruction_set", D::IdentRef),
+                    AttrSpec::new("path", D::Any),
+                    AttrSpec::new("command", D::Any),
+                ])
+                .children(ChildPolicy::Listed(&["microbenchmark"])),
+        );
+        s.register(
+            ElementSpec::new("microbenchmark")
+                .attrs(vec![
+                    AttrSpec::new("file", D::Any),
+                    AttrSpec::new("cflags", D::Any),
+                    AttrSpec::new("lflags", D::Any),
+                    AttrSpec::new("repetitions", D::Number),
+                ])
+                .children(ChildPolicy::None),
+        );
+
+        // System software (Listing 11).
+        s.register(
+            ElementSpec::new("software")
+                .children(ChildPolicy::Listed(&["hostOS", "installed", "properties"]))
+                .no_extends(),
+        );
+        s.register(ElementSpec::new("hostOS").children(ChildPolicy::None));
+        s.register(
+            ElementSpec::new("installed")
+                .attrs(vec![AttrSpec::new("path", D::Any), AttrSpec::new("version", D::Any)])
+                .children(ChildPolicy::None),
+        );
+        s.register(ElementSpec::new("programming_model").children(ChildPolicy::None));
+
+        // Extension mechanisms.
+        s.register(
+            ElementSpec::new("properties").children(ChildPolicy::Listed(&["property"])).no_extends(),
+        );
+        s.register(ElementSpec::new("property").children(ChildPolicy::None));
+        s.register(
+            ElementSpec::new("const")
+                .attrs(vec![
+                    AttrSpec::new("size", D::Metric(Dimension::Size)),
+                    AttrSpec::new("unit", D::UnitStr),
+                    AttrSpec::new("value", D::Any),
+                ])
+                .children(ChildPolicy::None),
+        );
+        s.register(
+            ElementSpec::new("param")
+                .attrs(vec![
+                    AttrSpec::new("configurable", D::Bool),
+                    AttrSpec::new("range", D::Any),
+                    AttrSpec::new("value", D::Any),
+                    AttrSpec::new("size", D::Number),
+                    AttrSpec::new("unit", D::UnitStr),
+                    AttrSpec::new("frequency", D::Number),
+                    AttrSpec::new("frequency_unit", D::UnitStr),
+                ])
+                .children(ChildPolicy::None),
+        );
+        s.register(
+            ElementSpec::new("constraints").children(ChildPolicy::Listed(&["constraint"])).no_extends(),
+        );
+        s.register(
+            ElementSpec::new("constraint")
+                .attrs(vec![AttrSpec::new("expr", D::Expr).required()])
+                .children(ChildPolicy::None),
+        );
+
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn core_schema_covers_paper_vocabulary() {
+        let s = Schema::core();
+        for tag in [
+            "system", "cluster", "node", "socket", "cpu", "core", "cache", "memory", "device",
+            "interconnects", "interconnect", "channel", "group", "power_model", "power_domains",
+            "power_domain", "power_state_machine", "power_states", "power_state", "transitions",
+            "transition", "instructions", "inst", "data", "microbenchmarks", "microbenchmark",
+            "software", "hostOS", "installed", "properties", "property", "const", "param",
+            "constraints", "constraint", "programming_model", "gpu",
+        ] {
+            assert!(s.spec(tag).is_some(), "core schema must define <{tag}>");
+        }
+        assert!(s.len() >= 37);
+    }
+
+    #[test]
+    fn transition_requires_head_tail() {
+        let s = Schema::core();
+        let t = s.spec("transition").unwrap();
+        assert!(t.attr("head").unwrap().required);
+        assert!(t.attr("tail").unwrap().required);
+        assert!(t.attr("energy").unwrap().allow_unknown);
+    }
+
+    #[test]
+    fn cache_is_leaf_with_enum_domains() {
+        let s = Schema::core();
+        let c = s.spec("cache").unwrap();
+        assert_eq!(c.children, ChildPolicy::None);
+        match &c.attr("replacement").unwrap().domain {
+            AttrDomain::Enum(values) => assert!(values.contains(&"LRU")),
+            other => panic!("expected enum domain, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn metric_domains_carry_dimensions() {
+        let s = Schema::core();
+        let ch = s.spec("channel").unwrap();
+        assert_eq!(
+            ch.attr("energy_per_byte").unwrap().domain,
+            AttrDomain::Metric(Dimension::Energy)
+        );
+        assert_eq!(
+            ch.attr("max_bandwidth").unwrap().domain,
+            AttrDomain::Metric(Dimension::Bandwidth)
+        );
+    }
+
+    #[test]
+    fn register_extends_schema() {
+        let mut s = Schema::core();
+        let before = s.len();
+        s.register(ElementSpec::new("fpga"));
+        assert_eq!(s.len(), before + 1);
+        assert!(s.spec("fpga").is_some());
+        // Replacement does not grow the map.
+        s.register(ElementSpec::new("fpga"));
+        assert_eq!(s.len(), before + 1);
+    }
+
+    #[test]
+    fn empty_schema() {
+        let s = Schema::empty();
+        assert!(s.is_empty());
+        assert!(s.spec("cpu").is_none());
+    }
+
+    #[test]
+    fn iter_sorted_by_tag() {
+        let s = Schema::core();
+        let tags: Vec<_> = s.iter().map(|e| e.tag).collect();
+        let mut sorted = tags.clone();
+        sorted.sort();
+        assert_eq!(tags, sorted);
+    }
+}

@@ -1,0 +1,102 @@
+//! Property tests: the validator is total (never panics) and its verdicts
+//! are stable under serialization round-trips.
+
+use proptest::prelude::*;
+use xpdl_core::XpdlDocument;
+use xpdl_schema::{validate_document, Schema};
+
+const TAGS: &[&str] = &[
+    "system", "cpu", "core", "cache", "memory", "device", "group", "interconnect", "channel",
+    "power_state_machine", "power_state", "transition", "inst", "param", "constraint", "weird",
+];
+const ATTRS: &[&str] = &[
+    "frequency", "frequency_unit", "size", "unit", "static_power", "static_power_unit",
+    "replacement", "quantity", "prefix", "head", "tail", "expr", "value", "role", "bogus",
+];
+const VALUES: &[&str] =
+    &["2", "GHz", "32", "KiB", "?", "LRU", "x + y == z", "master", "core", "hello world", ""];
+
+#[derive(Debug, Clone)]
+struct GenElem {
+    tag: &'static str,
+    attrs: Vec<(&'static str, &'static str)>,
+    children: Vec<GenElem>,
+}
+
+fn arb_elem(depth: u32) -> BoxedStrategy<GenElem> {
+    let leaf = (0..TAGS.len(), proptest::collection::vec((0..ATTRS.len(), 0..VALUES.len()), 0..5))
+        .prop_map(|(t, attrs)| GenElem {
+            tag: TAGS[t],
+            attrs: attrs.into_iter().map(|(a, v)| (ATTRS[a], VALUES[v])).collect(),
+            children: vec![],
+        });
+    leaf.prop_recursive(depth, 20, 4, |inner| {
+        (
+            0..TAGS.len(),
+            proptest::collection::vec((0..ATTRS.len(), 0..VALUES.len()), 0..4),
+            proptest::collection::vec(inner, 0..4),
+        )
+            .prop_map(|(t, attrs, children)| GenElem {
+                tag: TAGS[t],
+                attrs: attrs.into_iter().map(|(a, v)| (ATTRS[a], VALUES[v])).collect(),
+                children,
+            })
+    })
+    .boxed()
+}
+
+fn render(e: &GenElem, id: &mut usize) -> String {
+    *id += 1;
+    let mut s = format!("<{} id=\"e{}\"", e.tag, id);
+    let mut seen = std::collections::BTreeSet::new();
+    for (k, v) in &e.attrs {
+        if seen.insert(*k) {
+            s.push_str(&format!(" {k}=\"{v}\""));
+        }
+    }
+    if e.children.is_empty() {
+        s.push_str("/>");
+    } else {
+        s.push('>');
+        for c in &e.children {
+            s.push_str(&render(c, id));
+        }
+        s.push_str(&format!("</{}>", e.tag));
+    }
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn validator_is_total(e in arb_elem(3)) {
+        let mut id = 0;
+        let src = render(&e, &mut id);
+        let Ok(doc) = XpdlDocument::parse_str(&src) else { return Ok(()) };
+        let diags = validate_document(&doc, &Schema::core());
+        // Every diagnostic renders.
+        for d in &diags {
+            let _ = d.to_string();
+        }
+    }
+
+    #[test]
+    fn verdict_stable_under_roundtrip(e in arb_elem(3)) {
+        let mut id = 0;
+        let src = render(&e, &mut id);
+        let Ok(doc) = XpdlDocument::parse_str(&src) else { return Ok(()) };
+        let schema = Schema::core();
+        let first = validate_document(&doc, &schema);
+        let text = doc.to_xml_string();
+        let doc2 = XpdlDocument::parse_str(&text).unwrap();
+        let second = validate_document(&doc2, &schema);
+        let errs = |ds: &[xpdl_schema::Diagnostic]| {
+            let mut v: Vec<String> =
+                ds.iter().filter(|d| d.is_error()).map(|d| d.message.clone()).collect();
+            v.sort();
+            v
+        };
+        prop_assert_eq!(errs(&first), errs(&second));
+    }
+}

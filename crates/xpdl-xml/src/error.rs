@@ -1,0 +1,145 @@
+//! Error taxonomy for XML parsing.
+
+use crate::pos::Pos;
+use std::fmt;
+
+/// Result alias used throughout the crate.
+pub type XmlResult<T> = Result<T, XmlError>;
+
+/// What went wrong while parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XmlErrorKind {
+    /// Input ended in the middle of a construct.
+    UnexpectedEof { expected: &'static str },
+    /// A character that cannot start/continue the current construct.
+    UnexpectedChar { found: char, expected: &'static str },
+    /// `</b>` closed `<a>`.
+    MismatchedCloseTag { open: String, close: String },
+    /// A close tag with no matching open tag.
+    UnmatchedCloseTag { close: String },
+    /// Elements left open at end of input.
+    UnclosedElement { name: String },
+    /// The same attribute appeared twice on one element.
+    DuplicateAttribute { name: String },
+    /// `&foo;` with an unknown entity name.
+    UnknownEntity { name: String },
+    /// `&#x110000;` or similar out-of-range/invalid char reference.
+    InvalidCharRef { raw: String },
+    /// An invalid XML name (element or attribute).
+    InvalidName { raw: String },
+    /// Document contains no root element.
+    NoRootElement,
+    /// Content found after the root element closed.
+    TrailingContent,
+    /// Construct valid only in lenient mode encountered in strict mode.
+    StrictViolation { what: &'static str },
+    /// Malformed XML declaration or processing instruction.
+    MalformedPi,
+    /// Malformed comment (e.g. `--` inside a comment).
+    MalformedComment,
+}
+
+impl fmt::Display for XmlErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XmlErrorKind::UnexpectedEof { expected } => {
+                write!(f, "unexpected end of input, expected {expected}")
+            }
+            XmlErrorKind::UnexpectedChar { found, expected } => {
+                write!(f, "unexpected character {found:?}, expected {expected}")
+            }
+            XmlErrorKind::MismatchedCloseTag { open, close } => {
+                write!(f, "close tag </{close}> does not match open tag <{open}>")
+            }
+            XmlErrorKind::UnmatchedCloseTag { close } => {
+                write!(f, "close tag </{close}> has no matching open tag")
+            }
+            XmlErrorKind::UnclosedElement { name } => {
+                write!(f, "element <{name}> is never closed")
+            }
+            XmlErrorKind::DuplicateAttribute { name } => {
+                write!(f, "duplicate attribute {name:?}")
+            }
+            XmlErrorKind::UnknownEntity { name } => write!(f, "unknown entity &{name};"),
+            XmlErrorKind::InvalidCharRef { raw } => {
+                write!(f, "invalid character reference {raw:?}")
+            }
+            XmlErrorKind::InvalidName { raw } => write!(f, "invalid XML name {raw:?}"),
+            XmlErrorKind::NoRootElement => write!(f, "document has no root element"),
+            XmlErrorKind::TrailingContent => {
+                write!(f, "content after the root element")
+            }
+            XmlErrorKind::StrictViolation { what } => {
+                write!(f, "{what} is only accepted in lenient mode")
+            }
+            XmlErrorKind::MalformedPi => write!(f, "malformed processing instruction"),
+            XmlErrorKind::MalformedComment => write!(f, "malformed comment"),
+        }
+    }
+}
+
+/// A parse error with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XmlError {
+    /// The kind of error.
+    pub kind: XmlErrorKind,
+    /// Where in the input it occurred.
+    pub pos: Pos,
+}
+
+impl XmlError {
+    /// Construct an error at a position.
+    pub fn new(kind: XmlErrorKind, pos: Pos) -> Self {
+        XmlError { kind, pos }
+    }
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.pos, self.kind)
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_includes_position() {
+        let e = XmlError::new(
+            XmlErrorKind::UnexpectedChar { found: '<', expected: "attribute name" },
+            Pos::new(10, 2, 5),
+        );
+        let s = e.to_string();
+        assert!(s.starts_with("2:5:"), "{s}");
+        assert!(s.contains("'<'"), "{s}");
+    }
+
+    #[test]
+    fn kind_display_variants() {
+        let cases: Vec<(XmlErrorKind, &str)> = vec![
+            (XmlErrorKind::UnexpectedEof { expected: "tag" }, "end of input"),
+            (
+                XmlErrorKind::MismatchedCloseTag { open: "a".into(), close: "b".into() },
+                "</b>",
+            ),
+            (XmlErrorKind::UnmatchedCloseTag { close: "x".into() }, "</x>"),
+            (XmlErrorKind::UnclosedElement { name: "n".into() }, "<n>"),
+            (XmlErrorKind::DuplicateAttribute { name: "id".into() }, "\"id\""),
+            (XmlErrorKind::UnknownEntity { name: "nbsp".into() }, "&nbsp;"),
+            (XmlErrorKind::InvalidCharRef { raw: "#xZZ".into() }, "#xZZ"),
+            (XmlErrorKind::InvalidName { raw: "1a".into() }, "1a"),
+            (XmlErrorKind::NoRootElement, "no root"),
+            (XmlErrorKind::TrailingContent, "after the root"),
+            (XmlErrorKind::StrictViolation { what: "unquoted attribute value" }, "lenient"),
+            (XmlErrorKind::MalformedPi, "processing instruction"),
+            (XmlErrorKind::MalformedComment, "comment"),
+        ];
+        for (kind, needle) in cases {
+            let s = kind.to_string();
+            assert!(s.contains(needle), "{s} should contain {needle}");
+        }
+    }
+}

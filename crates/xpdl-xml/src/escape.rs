@@ -1,0 +1,204 @@
+//! Entity escaping and unescaping for text and attribute values.
+
+use crate::error::{XmlError, XmlErrorKind, XmlResult};
+use crate::pos::Pos;
+use std::borrow::Cow;
+
+/// Escape a string for use as element text content.
+///
+/// Escapes `&`, `<` and `>` (the latter only strictly needed in `]]>` but we
+/// always escape it for symmetry and safety).
+pub fn escape_text(s: &str) -> Cow<'_, str> {
+    escape_impl(s, false)
+}
+
+/// Escape a string for use inside a double-quoted attribute value.
+pub fn escape_attr(s: &str) -> Cow<'_, str> {
+    escape_impl(s, true)
+}
+
+fn escape_impl(s: &str, attr: bool) -> Cow<'_, str> {
+    let needs = s.bytes().any(|b| {
+        matches!(b, b'&' | b'<' | b'>') || (attr && matches!(b, b'"' | b'\n' | b'\t'))
+    });
+    if !needs {
+        return Cow::Borrowed(s);
+    }
+    let mut out = String::with_capacity(s.len() + 8);
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' if attr => out.push_str("&quot;"),
+            '\n' if attr => out.push_str("&#10;"),
+            '\t' if attr => out.push_str("&#9;"),
+            _ => out.push(c),
+        }
+    }
+    Cow::Owned(out)
+}
+
+/// Resolve a single entity name (without `&` and `;`) to its character.
+///
+/// Only the five XML predefined entities are supported; XPDL documents do not
+/// declare custom DTD entities.
+pub fn resolve_entity(name: &str) -> Option<char> {
+    match name {
+        "amp" => Some('&'),
+        "lt" => Some('<'),
+        "gt" => Some('>'),
+        "quot" => Some('"'),
+        "apos" => Some('\''),
+        _ => None,
+    }
+}
+
+/// Resolve a character reference body (the part between `&#` and `;`),
+/// e.g. `x41` or `65`.
+pub fn resolve_char_ref(body: &str) -> Option<char> {
+    let code = if let Some(hex) = body.strip_prefix('x').or_else(|| body.strip_prefix('X')) {
+        u32::from_str_radix(hex, 16).ok()?
+    } else {
+        body.parse::<u32>().ok()?
+    };
+    let c = char::from_u32(code)?;
+    // XML 1.0 forbids most control characters.
+    if matches!(c, '\u{9}' | '\u{A}' | '\u{D}') || c >= '\u{20}' {
+        Some(c)
+    } else {
+        None
+    }
+}
+
+/// Unescape entity and character references in a string.
+///
+/// `pos` is the position of the start of `s`, used for error reporting.
+pub fn unescape(s: &str, mut pos: Pos) -> XmlResult<Cow<'_, str>> {
+    if !s.contains('&') {
+        return Ok(Cow::Borrowed(s));
+    }
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.char_indices().peekable();
+    while let Some((i, c)) = chars.next() {
+        if c != '&' {
+            out.push(c);
+            pos.advance(c);
+            continue;
+        }
+        let err_pos = pos;
+        // Find the terminating ';'.
+        let rest = &s[i + 1..];
+        let Some(end) = rest.find(';') else {
+            return Err(XmlError::new(
+                XmlErrorKind::UnexpectedEof { expected: "';' terminating entity reference" },
+                err_pos,
+            ));
+        };
+        let body = &rest[..end];
+        let resolved = if let Some(cr) = body.strip_prefix('#') {
+            resolve_char_ref(cr).ok_or_else(|| {
+                XmlError::new(XmlErrorKind::InvalidCharRef { raw: body.to_string() }, err_pos)
+            })?
+        } else {
+            resolve_entity(body).ok_or_else(|| {
+                XmlError::new(XmlErrorKind::UnknownEntity { name: body.to_string() }, err_pos)
+            })?
+        };
+        out.push(resolved);
+        // Skip over the entity body and ';' in the iterator and position.
+        pos.advance('&');
+        for _ in 0..=body.chars().count() {
+            if let Some((_, sc)) = chars.next() {
+                pos.advance(sc);
+            }
+        }
+    }
+    Ok(Cow::Owned(out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_text_passthrough_borrows() {
+        let s = "plain text 123";
+        assert!(matches!(escape_text(s), Cow::Borrowed(_)));
+    }
+
+    #[test]
+    fn escape_text_special_chars() {
+        assert_eq!(escape_text("a<b&c>d"), "a&lt;b&amp;c&gt;d");
+    }
+
+    #[test]
+    fn escape_attr_quotes_and_whitespace() {
+        assert_eq!(escape_attr("a\"b\nc\td"), "a&quot;b&#10;c&#9;d");
+    }
+
+    #[test]
+    fn predefined_entities() {
+        assert_eq!(resolve_entity("amp"), Some('&'));
+        assert_eq!(resolve_entity("lt"), Some('<'));
+        assert_eq!(resolve_entity("gt"), Some('>'));
+        assert_eq!(resolve_entity("quot"), Some('"'));
+        assert_eq!(resolve_entity("apos"), Some('\''));
+        assert_eq!(resolve_entity("nbsp"), None);
+    }
+
+    #[test]
+    fn char_refs_decimal_and_hex() {
+        assert_eq!(resolve_char_ref("65"), Some('A'));
+        assert_eq!(resolve_char_ref("x41"), Some('A'));
+        assert_eq!(resolve_char_ref("X41"), Some('A'));
+        assert_eq!(resolve_char_ref("x2014"), Some('—'));
+    }
+
+    #[test]
+    fn char_refs_reject_invalid() {
+        assert_eq!(resolve_char_ref("x110000"), None);
+        assert_eq!(resolve_char_ref("1"), None); // control char U+0001
+        assert_eq!(resolve_char_ref("zz"), None);
+        assert_eq!(resolve_char_ref(""), None);
+    }
+
+    #[test]
+    fn char_refs_allow_tab_lf_cr() {
+        assert_eq!(resolve_char_ref("9"), Some('\t'));
+        assert_eq!(resolve_char_ref("10"), Some('\n'));
+        assert_eq!(resolve_char_ref("13"), Some('\r'));
+    }
+
+    #[test]
+    fn unescape_mixed() {
+        let got = unescape("a&amp;b &#x41;&#66; &lt;x&gt;", Pos::START).unwrap();
+        assert_eq!(got, "a&b AB <x>");
+    }
+
+    #[test]
+    fn unescape_no_entities_borrows() {
+        assert!(matches!(unescape("abc", Pos::START).unwrap(), Cow::Borrowed(_)));
+    }
+
+    #[test]
+    fn unescape_unknown_entity_errors_with_position() {
+        let err = unescape("ab&bogus;", Pos::START).unwrap_err();
+        assert_eq!(err.kind, XmlErrorKind::UnknownEntity { name: "bogus".into() });
+        assert_eq!(err.pos.col, 3);
+    }
+
+    #[test]
+    fn unescape_unterminated_entity_errors() {
+        let err = unescape("&amp", Pos::START).unwrap_err();
+        assert!(matches!(err.kind, XmlErrorKind::UnexpectedEof { .. }));
+    }
+
+    #[test]
+    fn escape_unescape_roundtrip() {
+        let original = "x < y && y > \"z\" 'w'\n\tend";
+        let esc = escape_attr(original);
+        let back = unescape(&esc, Pos::START).unwrap();
+        assert_eq!(back, original);
+    }
+}

@@ -1,0 +1,503 @@
+//! Recursive-descent XML parser producing a [`Document`].
+
+use crate::dom::{Attribute, Document, Element, Node, NodeKind};
+use crate::error::{XmlError, XmlErrorKind, XmlResult};
+use crate::escape::unescape;
+use crate::lexer::{is_name_char, Cursor};
+use crate::pos::Span;
+
+/// Parser configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParseOptions {
+    /// Accept the paper-listing dialect (see crate docs): unquoted attribute
+    /// values, value-only elements, and `...` elision markers.
+    pub lenient: bool,
+    /// Drop whitespace-only text nodes between elements and trim
+    /// leading/trailing whitespace of remaining text nodes (default true;
+    /// XPDL is data-oriented, indentation whitespace is never meaningful).
+    pub trim_whitespace_nodes: bool,
+    /// Keep comment nodes in the tree (default true).
+    pub keep_comments: bool,
+    /// Maximum element nesting depth, a guard against stack exhaustion on
+    /// adversarial inputs.
+    pub max_depth: usize,
+}
+
+impl Default for ParseOptions {
+    fn default() -> Self {
+        ParseOptions { lenient: false, trim_whitespace_nodes: true, keep_comments: true, max_depth: 256 }
+    }
+}
+
+impl ParseOptions {
+    /// Strict, standard-conforming mode (the default).
+    pub fn strict() -> Self {
+        Self::default()
+    }
+
+    /// Lenient mode accepting the paper-listing dialect.
+    pub fn lenient() -> Self {
+        ParseOptions { lenient: true, ..Self::default() }
+    }
+}
+
+/// Parse a document in strict mode.
+pub fn parse(input: &str) -> XmlResult<Document> {
+    parse_with(input, ParseOptions::default())
+}
+
+/// Parse a document with explicit options.
+pub fn parse_with(input: &str, opts: ParseOptions) -> XmlResult<Document> {
+    let mut p = Parser { cur: Cursor::new(input), opts, depth: 0 };
+    p.document()
+}
+
+/// The name given to the synthetic attribute created for value-only elements
+/// (`<compute_capability="3.0"/>`) in lenient mode.
+pub const LENIENT_VALUE_ATTR: &str = "value";
+
+struct Parser<'a> {
+    cur: Cursor<'a>,
+    opts: ParseOptions,
+    depth: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn document(&mut self) -> XmlResult<Document> {
+        let mut prolog = Vec::new();
+        // Byte-order mark.
+        self.cur.eat("\u{FEFF}");
+        loop {
+            self.cur.skip_ws();
+            if self.cur.starts_with("<?") {
+                let node = self.pi()?;
+                prolog.push(node);
+            } else if self.cur.starts_with("<!--") {
+                let node = self.comment()?;
+                if self.opts.keep_comments {
+                    prolog.push(node);
+                }
+            } else if self.cur.starts_with("<!DOCTYPE") {
+                // XPDL does not use DTDs; skip the declaration (no internal
+                // subset support needed).
+                self.cur.take_until(">", "'>' ending DOCTYPE")?;
+                self.cur.expect(">")?;
+            } else {
+                break;
+            }
+        }
+        if !self.cur.starts_with("<") {
+            return Err(XmlError::new(XmlErrorKind::NoRootElement, self.cur.pos()));
+        }
+        let root = self.element()?;
+        let mut epilog = Vec::new();
+        loop {
+            self.cur.skip_ws();
+            if self.cur.is_eof() {
+                break;
+            }
+            if self.cur.starts_with("<!--") {
+                let node = self.comment()?;
+                if self.opts.keep_comments {
+                    epilog.push(node);
+                }
+            } else if self.cur.starts_with("<?") {
+                epilog.push(self.pi()?);
+            } else {
+                return Err(XmlError::new(XmlErrorKind::TrailingContent, self.cur.pos()));
+            }
+        }
+        Ok(Document { prolog, root, epilog })
+    }
+
+    fn pi(&mut self) -> XmlResult<Node> {
+        let start = self.cur.pos();
+        self.cur.expect("<?")?;
+        let (target, _) = self
+            .cur
+            .scan_name()
+            .map_err(|e| XmlError::new(XmlErrorKind::MalformedPi, e.pos))?;
+        let target = target.to_string();
+        let data = self.cur.take_until("?>", "'?>' ending processing instruction")?.trim().to_string();
+        self.cur.expect("?>")?;
+        Ok(Node { kind: NodeKind::Pi { target, data }, span: Span::new(start, self.cur.pos()) })
+    }
+
+    fn comment(&mut self) -> XmlResult<Node> {
+        let start = self.cur.pos();
+        self.cur.expect("<!--")?;
+        let text = self.cur.take_until("-->", "'-->' ending comment")?;
+        if !self.opts.lenient && text.contains("--") {
+            return Err(XmlError::new(XmlErrorKind::MalformedComment, start));
+        }
+        let text = text.to_string();
+        self.cur.expect("-->")?;
+        Ok(Node { kind: NodeKind::Comment(text), span: Span::new(start, self.cur.pos()) })
+    }
+
+    fn cdata(&mut self) -> XmlResult<Node> {
+        let start = self.cur.pos();
+        self.cur.expect("<![CDATA[")?;
+        let text = self.cur.take_until("]]>", "']]>' ending CDATA section")?.to_string();
+        self.cur.expect("]]>")?;
+        Ok(Node { kind: NodeKind::CData(text), span: Span::new(start, self.cur.pos()) })
+    }
+
+    fn element(&mut self) -> XmlResult<Element> {
+        self.depth += 1;
+        if self.depth > self.opts.max_depth {
+            let err = XmlError::new(
+                XmlErrorKind::StrictViolation { what: "nesting deeper than max_depth" },
+                self.cur.pos(),
+            );
+            self.depth -= 1;
+            return Err(err);
+        }
+        let result = self.element_inner();
+        self.depth -= 1;
+        result
+    }
+
+    fn element_inner(&mut self) -> XmlResult<Element> {
+        let start = self.cur.pos();
+        self.cur.expect("<")?;
+        let (name, _) = self.cur.scan_name()?;
+        let mut elem = Element::new(name);
+        self.attributes(&mut elem)?;
+        self.cur.skip_ws();
+        if self.cur.eat("/>") {
+            elem.span = Span::new(start, self.cur.pos());
+            return Ok(elem);
+        }
+        self.cur.expect(">")?;
+        self.content(&mut elem)?;
+        // content() consumed up to `</`.
+        self.cur.expect("</")?;
+        let close_pos = self.cur.pos();
+        let (close, _) = self.cur.scan_name()?;
+        if close != elem.name {
+            return Err(XmlError::new(
+                XmlErrorKind::MismatchedCloseTag { open: elem.name.clone(), close: close.to_string() },
+                close_pos,
+            ));
+        }
+        self.cur.skip_ws();
+        self.cur.expect(">")?;
+        elem.span = Span::new(start, self.cur.pos());
+        Ok(elem)
+    }
+
+    fn attributes(&mut self, elem: &mut Element) -> XmlResult<()> {
+        // Set after a `...` elision marker so a glued attribute (`...unit=`)
+        // is not rejected for missing whitespace.
+        let mut after_elision = false;
+        loop {
+            let ws = self.cur.skip_ws() + usize::from(std::mem::take(&mut after_elision));
+            match self.cur.peek() {
+                Some('/') | Some('>') | None => return Ok(()),
+                Some('=') if self.opts.lenient && elem.attrs.is_empty() && elem.children.is_empty() => {
+                    // Paper-listing dialect: `<compute_capability="3.0"/>`.
+                    let a_start = self.cur.pos();
+                    self.cur.expect("=")?;
+                    let value = self.attr_value()?;
+                    elem.attrs.push(Attribute {
+                        name: LENIENT_VALUE_ATTR.to_string(),
+                        value,
+                        span: Span::new(a_start, self.cur.pos()),
+                    });
+                    continue;
+                }
+                Some('.') if self.opts.lenient => {
+                    // Elision marker `...` (possibly glued to a following
+                    // attribute name, as in `...unit="MHz"`): skip the dots.
+                    let dots = self.cur.take_while(|c| c == '.');
+                    debug_assert!(!dots.is_empty());
+                    after_elision = true;
+                    continue;
+                }
+                Some(c) => {
+                    if ws == 0 && !elem.attrs.is_empty() {
+                        return Err(XmlError::new(
+                            XmlErrorKind::UnexpectedChar { found: c, expected: "whitespace before attribute" },
+                            self.cur.pos(),
+                        ));
+                    }
+                }
+            }
+            let a_start = self.cur.pos();
+            let (name, _) = self.cur.scan_name()?;
+            let name = name.to_string();
+            self.cur.skip_ws();
+            self.cur.expect("=")?;
+            self.cur.skip_ws();
+            let value = self.attr_value()?;
+            if elem.attr(&name).is_some() {
+                return Err(XmlError::new(XmlErrorKind::DuplicateAttribute { name }, a_start));
+            }
+            elem.attrs.push(Attribute { name, value, span: Span::new(a_start, self.cur.pos()) });
+        }
+    }
+
+    fn attr_value(&mut self) -> XmlResult<String> {
+        let vstart = self.cur.pos();
+        match self.cur.peek() {
+            Some(q @ ('"' | '\'')) => {
+                self.cur.bump();
+                let quote = if q == '"' { "\"" } else { "'" };
+                let raw = self.cur.take_until(quote, "closing attribute quote")?;
+                let value = unescape(raw, vstart)?.into_owned();
+                self.cur.expect(if q == '"' { "\"" } else { "'" })?;
+                Ok(value)
+            }
+            Some(_) if self.opts.lenient => {
+                // Unquoted value (`quantity=2`): take name-ish characters.
+                let raw = self.cur.take_while(|c| is_name_char(c) || c == '?' || c == '/');
+                if raw.is_empty() {
+                    Err(XmlError::new(
+                        XmlErrorKind::UnexpectedChar {
+                            found: self.cur.peek().unwrap_or('\0'),
+                            expected: "attribute value",
+                        },
+                        vstart,
+                    ))
+                } else {
+                    Ok(raw.to_string())
+                }
+            }
+            Some(found) => Err(XmlError::new(
+                XmlErrorKind::StrictViolation { what: "unquoted attribute value" },
+                vstart,
+            ))
+            .map_err(|e| {
+                // Distinguish a genuinely malformed token from an unquoted value.
+                if found.is_alphanumeric() || found == '?' {
+                    e
+                } else {
+                    XmlError::new(
+                        XmlErrorKind::UnexpectedChar { found, expected: "quoted attribute value" },
+                        vstart,
+                    )
+                }
+            }),
+            None => Err(XmlError::new(
+                XmlErrorKind::UnexpectedEof { expected: "attribute value" },
+                vstart,
+            )),
+        }
+    }
+
+    /// Parse element content up to (not consuming) the closing `</`.
+    fn content(&mut self, elem: &mut Element) -> XmlResult<()> {
+        loop {
+            if self.cur.is_eof() {
+                return Err(XmlError::new(
+                    XmlErrorKind::UnclosedElement { name: elem.name.clone() },
+                    self.cur.pos(),
+                ));
+            }
+            if self.cur.starts_with("</") {
+                return Ok(());
+            }
+            if self.cur.starts_with("<!--") {
+                let node = self.comment()?;
+                if self.opts.keep_comments {
+                    elem.children.push(node);
+                }
+            } else if self.cur.starts_with("<![CDATA[") {
+                elem.children.push(self.cdata()?);
+            } else if self.cur.starts_with("<?") {
+                elem.children.push(self.pi()?);
+            } else if self.cur.starts_with("<") {
+                let child = self.element()?;
+                elem.children.push(Node::element(child));
+            } else {
+                let t_start = self.cur.pos();
+                let raw = self.cur.take_while(|c| c != '<');
+                let mut text = unescape(raw, t_start)?.into_owned();
+                if self.opts.trim_whitespace_nodes {
+                    text = text.trim().to_string();
+                }
+                if !text.is_empty() {
+                    elem.children.push(Node {
+                        kind: NodeKind::Text(text),
+                        span: Span::new(t_start, self.cur.pos()),
+                    });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_document() {
+        let doc = parse("<a/>").unwrap();
+        assert_eq!(doc.root().name(), "a");
+        assert!(doc.root().attrs.is_empty());
+        assert!(doc.root().children.is_empty());
+    }
+
+    #[test]
+    fn prolog_and_comments() {
+        let doc = parse("<?xml version=\"1.0\"?><!-- hi --><a/><!-- bye -->").unwrap();
+        assert_eq!(doc.prolog.len(), 2);
+        assert_eq!(doc.epilog.len(), 1);
+        assert!(matches!(&doc.prolog[0].kind, NodeKind::Pi { target, .. } if target == "xml"));
+        assert!(matches!(&doc.prolog[1].kind, NodeKind::Comment(c) if c.trim() == "hi"));
+    }
+
+    #[test]
+    fn attributes_parsed_in_order() {
+        let doc = parse(r#"<m a="1" b='2' c="x &amp; y"/>"#).unwrap();
+        let r = doc.root();
+        assert_eq!(r.attrs.len(), 3);
+        assert_eq!(r.attr("a"), Some("1"));
+        assert_eq!(r.attr("b"), Some("2"));
+        assert_eq!(r.attr("c"), Some("x & y"));
+        assert_eq!(r.attrs[0].name, "a");
+        assert_eq!(r.attrs[2].name, "c");
+    }
+
+    #[test]
+    fn nested_elements_and_text() {
+        let doc = parse("<a><b>hi</b><c/></a>").unwrap();
+        let r = doc.root();
+        assert_eq!(r.child_elements().count(), 2);
+        assert_eq!(r.child("b").unwrap().text(), "hi");
+    }
+
+    #[test]
+    fn cdata_preserved_verbatim() {
+        let doc = parse("<a><![CDATA[x < y && z]]></a>").unwrap();
+        assert_eq!(doc.root().text(), "x < y && z");
+    }
+
+    #[test]
+    fn whitespace_nodes_dropped_by_default() {
+        let doc = parse("<a>\n  <b/>\n</a>").unwrap();
+        assert_eq!(doc.root().children.len(), 1);
+        let opts = ParseOptions { trim_whitespace_nodes: false, ..Default::default() };
+        let doc2 = parse_with("<a>\n  <b/>\n</a>", opts).unwrap();
+        assert_eq!(doc2.root().children.len(), 3);
+    }
+
+    #[test]
+    fn mismatched_close_tag() {
+        let err = parse("<a><b></a></b>").unwrap_err();
+        assert_eq!(
+            err.kind,
+            XmlErrorKind::MismatchedCloseTag { open: "b".into(), close: "a".into() }
+        );
+    }
+
+    #[test]
+    fn unclosed_element() {
+        let err = parse("<a><b>").unwrap_err();
+        assert!(matches!(err.kind, XmlErrorKind::UnclosedElement { .. }));
+    }
+
+    #[test]
+    fn duplicate_attribute_rejected() {
+        let err = parse(r#"<a x="1" x="2"/>"#).unwrap_err();
+        assert_eq!(err.kind, XmlErrorKind::DuplicateAttribute { name: "x".into() });
+    }
+
+    #[test]
+    fn trailing_content_rejected() {
+        let err = parse("<a/>junk").unwrap_err();
+        assert_eq!(err.kind, XmlErrorKind::TrailingContent);
+    }
+
+    #[test]
+    fn no_root_rejected() {
+        let err = parse("  <!-- only comments -->  ").unwrap_err();
+        assert_eq!(err.kind, XmlErrorKind::NoRootElement);
+    }
+
+    #[test]
+    fn doctype_skipped() {
+        let doc = parse("<!DOCTYPE system><a/>").unwrap();
+        assert_eq!(doc.root().name(), "a");
+    }
+
+    #[test]
+    fn strict_rejects_unquoted_value() {
+        let err = parse("<g quantity=2/>").unwrap_err();
+        assert_eq!(err.kind, XmlErrorKind::StrictViolation { what: "unquoted attribute value" });
+    }
+
+    #[test]
+    fn lenient_accepts_unquoted_value() {
+        let doc = parse_lenient_str("<group prefix=\"core\" quantity=2><core/></group>");
+        assert_eq!(doc.root().attr("quantity"), Some("2"));
+    }
+
+    #[test]
+    fn lenient_accepts_value_only_element() {
+        // Listing 8: <compute_capability="3.0" />
+        let doc = parse_lenient_str(r#"<d><compute_capability="3.0" /></d>"#);
+        let cc = doc.root().child("compute_capability").unwrap();
+        assert_eq!(cc.attr(LENIENT_VALUE_ATTR), Some("3.0"));
+    }
+
+    #[test]
+    fn lenient_skips_ellipsis_attr_markers() {
+        // Listing 3: <channel name="down_link" ... />
+        let doc = parse_lenient_str(r#"<i><channel name="down_link" ... /></i>"#);
+        let ch = doc.root().child("channel").unwrap();
+        assert_eq!(ch.attrs.len(), 1);
+        // Listing 9: glued form `...unit="MHz"`.
+        let doc2 = parse_lenient_str(r#"<param name="cfrq" frequency="706" ...unit="MHz"/>"#);
+        assert_eq!(doc2.root().attr("unit"), Some("MHz"));
+    }
+
+    #[test]
+    fn lenient_question_mark_placeholder_value() {
+        let doc = parse_lenient_str(r#"<inst name="fmul" energy="?" energy_unit="pJ"/>"#);
+        assert_eq!(doc.root().attr("energy"), Some("?"));
+    }
+
+    #[test]
+    fn depth_limit_enforced() {
+        let mut s = String::new();
+        for _ in 0..100 {
+            s.push_str("<a>");
+        }
+        s.push_str("<b/>");
+        for _ in 0..100 {
+            s.push_str("</a>");
+        }
+        let err =
+            parse_with(&s, ParseOptions { max_depth: 50, ..Default::default() }).unwrap_err();
+        assert!(matches!(err.kind, XmlErrorKind::StrictViolation { .. }));
+        assert!(parse_with(&s, ParseOptions { max_depth: 150, ..Default::default() }).is_ok());
+    }
+
+    #[test]
+    fn strict_rejects_double_dash_comment_lenient_allows() {
+        assert!(parse("<a><!-- x -- y --></a>").is_err());
+        assert!(parse_with("<a><!-- x -- y --></a>", ParseOptions::lenient()).is_ok());
+    }
+
+    #[test]
+    fn spans_cover_elements() {
+        let src = "<a><b/></a>";
+        let doc = parse(src).unwrap();
+        assert_eq!(doc.root().span.slice(src), src);
+        let b = doc.root().child("b").unwrap();
+        assert_eq!(b.span.slice(src), "<b/>");
+    }
+
+    #[test]
+    fn close_tag_allows_trailing_ws() {
+        let doc = parse("<a></a >").unwrap();
+        assert_eq!(doc.root().name(), "a");
+    }
+
+    fn parse_lenient_str(s: &str) -> Document {
+        parse_with(s, ParseOptions::lenient()).unwrap()
+    }
+}

@@ -1,0 +1,163 @@
+//! Lightweight root-element scanning.
+//!
+//! Repository stores need to know a descriptor's key — the root element's
+//! `name`/`id` — without paying for a full parse of possibly large files.
+//! [`root_info`] reads just the prolog and the first open tag.
+
+use crate::error::XmlResult;
+use crate::lexer::Cursor;
+use crate::parser::{parse_with, ParseOptions};
+
+/// Summary of a descriptor's root element.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RootInfo {
+    /// Root tag name.
+    pub tag: String,
+    /// `name=` attribute (meta-model key), if present.
+    pub name: Option<String>,
+    /// `id=` attribute (concrete-model key), if present.
+    pub id: Option<String>,
+    /// `type=` attribute, if present.
+    pub type_ref: Option<String>,
+}
+
+impl RootInfo {
+    /// The repository key (`name` or `id`).
+    pub fn key(&self) -> Option<&str> {
+        self.name.as_deref().or(self.id.as_deref())
+    }
+}
+
+/// Scan the root element's tag and identification attributes.
+///
+/// Accepts the same lenient dialect as the full parser (it reuses the
+/// attribute machinery on a truncated view), but never descends into
+/// content: cost is O(prolog + first tag).
+pub fn root_info(src: &str) -> XmlResult<RootInfo> {
+    // Find the root open tag, skipping BOM/prolog/comments/doctype.
+    let mut cur = Cursor::new(src);
+    cur.eat("\u{FEFF}");
+    loop {
+        cur.skip_ws();
+        if cur.starts_with("<?") {
+            cur.take_until("?>", "'?>' ending processing instruction")?;
+            cur.expect("?>")?;
+        } else if cur.starts_with("<!--") {
+            cur.take_until("-->", "'-->' ending comment")?;
+            cur.expect("-->")?;
+        } else if cur.starts_with("<!DOCTYPE") {
+            cur.take_until(">", "'>' ending DOCTYPE")?;
+            cur.expect(">")?;
+        } else {
+            break;
+        }
+    }
+    // Slice from the tag to its end ('>' at depth 0 of quotes), then let
+    // the real parser handle the (self-closed) fragment.
+    let rest = cur.rest();
+    let mut end = None;
+    let mut in_quote: Option<char> = None;
+    for (i, c) in rest.char_indices() {
+        match (in_quote, c) {
+            (Some(q), _) if c == q => in_quote = None,
+            (Some(_), _) => {}
+            (None, '"' | '\'') => in_quote = Some(c),
+            (None, '>') => {
+                end = Some(i);
+                break;
+            }
+            _ => {}
+        }
+    }
+    let Some(end) = end else {
+        return Err(crate::error::XmlError::new(
+            crate::error::XmlErrorKind::UnexpectedEof { expected: "'>' ending root tag" },
+            cur.pos(),
+        ));
+    };
+    let mut fragment = rest[..end].trim_end().trim_end_matches('/').to_string();
+    // Space before the synthetic self-close so a trailing unquoted value
+    // (`quantity=2`) is not glued to the '/'.
+    fragment.push_str(" />");
+    let doc = parse_with(&fragment, ParseOptions::lenient())?;
+    let root = doc.root();
+    Ok(RootInfo {
+        tag: root.name().to_string(),
+        name: root.attr("name").map(str::to_string),
+        id: root.attr("id").map(str::to_string),
+        type_ref: root.attr("type").map(str::to_string),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scans_meta_and_instance_roots() {
+        let meta = root_info(r#"<cpu name="Intel_Xeon_E5_2630L"><group/></cpu>"#).unwrap();
+        assert_eq!(meta.tag, "cpu");
+        assert_eq!(meta.key(), Some("Intel_Xeon_E5_2630L"));
+        let inst = root_info(r#"<system id="liu_gpu_server"><socket/></system>"#).unwrap();
+        assert_eq!(inst.key(), Some("liu_gpu_server"));
+        assert_eq!(inst.name, None);
+    }
+
+    #[test]
+    fn skips_prolog_comments_doctype() {
+        let src = "\u{FEFF}<?xml version=\"1.0\"?><!-- c --><!DOCTYPE cpu><cpu name=\"X\"/>";
+        assert_eq!(root_info(src).unwrap().key(), Some("X"));
+    }
+
+    #[test]
+    fn never_reads_content() {
+        // Content is deliberately malformed; the scanner must not care.
+        let src = r#"<cpu name="X"><<<broken"#;
+        assert_eq!(root_info(src).unwrap().key(), Some("X"));
+    }
+
+    #[test]
+    fn quoted_gt_does_not_end_tag() {
+        let src = r#"<constraint expr="a > b" name="c1"><x/></constraint>"#;
+        let info = root_info(src).unwrap();
+        assert_eq!(info.tag, "constraint");
+        assert_eq!(info.name.as_deref(), Some("c1"));
+    }
+
+    #[test]
+    fn self_closed_root() {
+        let info = root_info(r#"<memory name="DDR3_16G" type="DDR3"/>"#).unwrap();
+        assert_eq!(info.key(), Some("DDR3_16G"));
+        assert_eq!(info.type_ref.as_deref(), Some("DDR3"));
+    }
+
+    #[test]
+    fn lenient_dialect_accepted() {
+        let info = root_info(r#"<group prefix="core" quantity=2><core/></group>"#).unwrap();
+        assert_eq!(info.tag, "group");
+    }
+
+    #[test]
+    fn errors_reported() {
+        assert!(root_info("").is_err());
+        assert!(root_info("<!-- only a comment -->").is_err());
+        assert!(root_info("<cpu name=\"X\"").is_err());
+    }
+
+    #[test]
+    fn agrees_with_full_parse_on_the_model_library_shapes() {
+        for src in [
+            r#"<cpu name="A" static_power="1" static_power_unit="W"><core/></cpu>"#,
+            r#"<system id="b"><node/></system>"#,
+            r#"<interconnect name="c"><channel name="up"/></interconnect>"#,
+        ] {
+            let fast = root_info(src).unwrap();
+            let full = crate::parse_lenient(src).unwrap();
+            assert_eq!(Some(fast.tag.as_str()), Some(full.root().name()));
+            assert_eq!(
+                fast.key(),
+                full.root().attr("name").or_else(|| full.root().attr("id"))
+            );
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! Property tests: writer∘parser round-trips on generated documents.
+
+use proptest::prelude::*;
+use xpdl_xml::{parse, write_document, Document, Element, WriteOptions};
+
+/// Generate XML-name-safe identifiers.
+fn arb_name() -> impl Strategy<Value = String> {
+    "[a-zA-Z_][a-zA-Z0-9_.-]{0,12}".prop_map(|s| s)
+}
+
+/// Attribute values with nasty characters that require escaping.
+fn arb_value() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[ -~]{0,20}").unwrap()
+}
+
+fn arb_element(depth: u32) -> BoxedStrategy<Element> {
+    let leaf = (arb_name(), proptest::collection::vec((arb_name(), arb_value()), 0..4)).prop_map(
+        |(name, attrs)| {
+            let mut e = Element::new(name);
+            for (k, v) in attrs {
+                // set_attr dedups names; duplicate attributes are invalid XML.
+                e.set_attr(k, v);
+            }
+            e
+        },
+    );
+    if depth == 0 {
+        return leaf.boxed();
+    }
+    leaf.prop_recursive(depth, 24, 4, move |inner| {
+        (
+            arb_name(),
+            proptest::collection::vec((arb_name(), arb_value()), 0..3),
+            proptest::collection::vec(inner, 0..4),
+            proptest::option::of(arb_value()),
+        )
+            .prop_map(|(name, attrs, children, text)| {
+                let mut e = Element::new(name);
+                for (k, v) in attrs {
+                    e.set_attr(k, v);
+                }
+                for c in children {
+                    e.push_child(c);
+                }
+                if let Some(t) = text {
+                    let t = t.trim().to_string();
+                    if !t.is_empty() {
+                        e = e.with_text(t);
+                    }
+                }
+                e
+            })
+    })
+    .boxed()
+}
+
+/// Structural equality ignoring spans (spans differ after reprinting).
+fn structurally_equal(a: &Element, b: &Element) -> bool {
+    if a.name != b.name || a.attrs.len() != b.attrs.len() {
+        return false;
+    }
+    for (x, y) in a.attrs.iter().zip(&b.attrs) {
+        if x.name != y.name || x.value != y.value {
+            return false;
+        }
+    }
+    let ac: Vec<_> = a.child_elements().collect();
+    let bc: Vec<_> = b.child_elements().collect();
+    ac.len() == bc.len()
+        && ac.iter().zip(&bc).all(|(x, y)| structurally_equal(x, y))
+        && a.text() == b.text()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn compact_roundtrip_preserves_structure(root in arb_element(3)) {
+        let doc = Document::from_root(root);
+        let text = write_document(&doc, &WriteOptions::compact());
+        let back = parse(&text).unwrap();
+        prop_assert!(structurally_equal(doc.root(), back.root()), "text: {text}");
+    }
+
+    #[test]
+    fn pretty_roundtrip_preserves_structure(root in arb_element(3)) {
+        let doc = Document::from_root(root);
+        let text = write_document(&doc, &WriteOptions::pretty());
+        let back = parse(&text).unwrap();
+        prop_assert!(structurally_equal(doc.root(), back.root()), "text: {text}");
+    }
+
+    #[test]
+    fn reprint_is_fixpoint(root in arb_element(3)) {
+        // print → parse → print must be identical to the first print.
+        let doc = Document::from_root(root);
+        let once = write_document(&doc, &WriteOptions::pretty());
+        let back = parse(&once).unwrap();
+        let twice = write_document(&back, &WriteOptions::pretty());
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn parser_never_panics_on_ascii_garbage(s in "[ -~<>&\"']{0,64}") {
+        let _ = parse(&s); // must return Ok or Err, never panic
+    }
+}

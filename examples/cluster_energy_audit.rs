@@ -1,0 +1,90 @@
+//! Cluster-scale modeling: compose the 4-node XScluster (Listing 11),
+//! audit static power per hierarchy level (the synthesized attributes of
+//! §III-D), exercise the Myriad power domains (Listing 12), print the
+//! bandwidth-downgrade report, trace a cross-node route, and derive the
+//! optional control-relation view.
+//!
+//! Run with: `cargo run --example cluster_energy_audit`
+
+use xpdl::core::ElementKind;
+use xpdl::elab::RuleSet;
+use xpdl::models::{loader::elaborate_system, paper_repository};
+use xpdl::power::PowerDomainSet;
+
+fn main() {
+    // --- the cluster ---
+    let model = elaborate_system("XScluster").expect("cluster elaborates");
+    assert!(model.is_clean(), "{:?}", model.diagnostics);
+    println!("XScluster composed: {} elements", model.root.subtree_size());
+    println!("  nodes:   {}", model.count_kind(ElementKind::Node));
+    println!("  sockets: {}", model.count_kind(ElementKind::Socket));
+    println!("  cores:   {}", model.count_kind(ElementKind::Core));
+    println!("  GPUs:    {}", model.count_kind(ElementKind::Device));
+    println!("  default-domain static power: {}", model.default_domain_power);
+
+    // Synthesized attributes per node (attribute-grammar rules, §III-D).
+    let rules = RuleSet::builtin();
+    println!("\nper-node rollup:");
+    for node in model.root.find_kind(ElementKind::Node) {
+        let out = rules.evaluate(node);
+        let id = node.ident().unwrap_or("node");
+        println!(
+            "  {id}: {} cores, {:.1} W static, {:.1} MiB cache",
+            out["num_cores"].value,
+            out["total_static_power"].value,
+            out["total_cache_size"].to_base() / (1024.0 * 1024.0),
+        );
+    }
+
+    println!("\ninterconnect analysis (bandwidth downgrade):");
+    for link in &model.links {
+        println!(
+            "  {}: {} -> {}  {:>8}",
+            link.id,
+            link.head.as_deref().unwrap_or("?"),
+            link.tail.as_deref().unwrap_or("?"),
+            link.effective_bandwidth
+                .map(|b| format!("{:.2} GiB/s", b / 1024f64.powi(3)))
+                .unwrap_or_else(|| "n/a".into()),
+        );
+    }
+
+    // Cross-node route: first node's K20c to the last node.
+    let graph = xpdl::elab::LinkGraph::build(&model.root);
+    if let Some(route) = graph.route(&model.root, "n0.gpu1", "n3") {
+        println!("\nroute n0.gpu1 -> n3:");
+        for hop in &route.hops {
+            println!("  {} -> {} via {}", hop.from, hop.to, hop.link);
+        }
+        println!(
+            "  bottleneck {:.2} GiB/s; 64 MiB in {:.2} ms",
+            route.bottleneck_bps.unwrap_or(0.0) / 1024f64.powi(3),
+            route.transfer_time(64 << 20).unwrap_or(f64::NAN) * 1e3,
+        );
+    }
+
+    // The optional control-relation view (paper §II: demoted, not removed).
+    let control = xpdl::elab::ControlRelation::derive(&model.root);
+    let masters = control.units.iter().filter(|u| u.role == xpdl::elab::Role::Master).count();
+    let workers = control.units.iter().filter(|u| u.role == xpdl::elab::Role::Worker).count();
+    println!("\ncontrol view: {} PUs ({masters} master, {workers} workers), issues: {:?}",
+        control.units.len(), control.validate());
+
+    // --- the Myriad power domains (Listing 12 semantics) ---
+    let repo = paper_repository();
+    let pm = repo.load("Myriad1_power_model").expect("myriad power model");
+    let domains_elem = pm
+        .root()
+        .children_of_kind(ElementKind::PowerDomains)
+        .next()
+        .expect("power domains");
+    let mut domains = PowerDomainSet::from_element(domains_elem);
+    println!("\nMyriad1 power domains: {} declared", domains.domains().len());
+    println!("  switch off CMX first: {:?}", domains.switch_off("CMX_pd").unwrap_err());
+    for i in 0..8 {
+        domains.switch_off(&format!("Shave_pd{i}")).unwrap();
+    }
+    println!("  all 8 SHAVEs off -> CMX: {:?}", domains.switch_off("CMX_pd"));
+    println!("  main island off? {:?}", domains.switch_off("main_pd").unwrap_err());
+    println!("  currently off: {:?}", domains.off_domains());
+}

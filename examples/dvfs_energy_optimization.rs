@@ -1,0 +1,86 @@
+//! DVFS energy optimization over the model's power state machine — the
+//! "energy modeling and optimization" of the paper's title.
+//!
+//! Loads the Xeon power model from the library, and for a sweep of
+//! deadline slacks picks the minimum-energy power state (accounting for
+//! transition costs and idle draw), comparing against the naive policies.
+//!
+//! Run with: `cargo run --example dvfs_energy_optimization`
+
+use xpdl::models::paper_repository;
+use xpdl::power::{DvfsOptimizer, PowerStateMachine, Workload};
+
+fn main() {
+    let repo = paper_repository();
+    let pm = repo.load("power_model_E5_2630L").expect("power model");
+    let psm = pm
+        .root()
+        .children_of_kind(xpdl::core::ElementKind::PowerStateMachine)
+        .next()
+        .expect("psm element");
+    let fsm = PowerStateMachine::from_element(psm).expect("fsm");
+    fsm.check_complete().expect("all transitions modeled");
+    println!("power state machine '{}':", fsm.name);
+    for s in &fsm.states {
+        println!(
+            "  {}: {:.1} GHz, {:.0} W  ({:.2} nJ/cycle)",
+            s.name,
+            s.frequency_hz / 1e9,
+            s.power_w,
+            s.power_w / s.frequency_hz * 1e9
+        );
+    }
+
+    let cycles = 2.4e9; // 2.4 Gcycles of work
+    let opt = DvfsOptimizer::new(&fsm, "P3").expect("optimizer");
+    println!("\nworkload: {:.1} Gcycles, starting in P3, idle power 6 W", cycles / 1e9);
+    println!(
+        "{:>10} {:>8} | {:>10} {:>10} {:>10} | {:>6}",
+        "deadline", "slack", "E(P1)", "E(P2)", "E(P3)", "best"
+    );
+    let t_min = cycles / fsm.fastest().unwrap().frequency_hz;
+    for slack in [1.0, 1.1, 1.3, 1.5, 1.8, 2.2, 3.0, 5.0] {
+        let w = Workload { cycles, deadline_s: t_min * slack, idle_power_w: 6.0 };
+        let all = opt.evaluate_all(&w);
+        let energy_of = |name: &str| {
+            all.iter()
+                .find(|c| c.state == name)
+                .map(|c| {
+                    if c.feasible {
+                        format!("{:.2} J", c.energy_j)
+                    } else {
+                        "infeas.".to_string()
+                    }
+                })
+                .unwrap()
+        };
+        let best = opt.best(&w).expect("some state fits");
+        println!(
+            "{:>9.2}s {:>7.1}x | {:>10} {:>10} {:>10} | {:>6}",
+            w.deadline_s,
+            slack,
+            energy_of("P1"),
+            energy_of("P2"),
+            energy_of("P3"),
+            best.state
+        );
+    }
+
+    // The headline numbers: tight deadline forces P3; generous slack lets
+    // the optimizer save energy by running slow.
+    let tight = Workload { cycles, deadline_s: t_min * 1.05, idle_power_w: 6.0 };
+    let slack = Workload { cycles, deadline_s: t_min * 4.0, idle_power_w: 6.0 };
+    let e_tight = opt.best(&tight).unwrap();
+    let e_slack = opt.best(&slack).unwrap();
+    let e_naive = opt.evaluate("P3", &slack).unwrap();
+    println!("\ntight deadline  -> {} ({:.2} J)", e_tight.state, e_tight.energy_j);
+    println!(
+        "4x slack        -> {} ({:.2} J) vs always-P3 {:.2} J: {:.1}% saved",
+        e_slack.state,
+        e_slack.energy_j,
+        e_naive.energy_j,
+        (1.0 - e_slack.energy_j / e_naive.energy_j) * 100.0
+    );
+    assert_eq!(e_tight.state, "P3");
+    assert!(e_slack.energy_j < e_naive.energy_j);
+}

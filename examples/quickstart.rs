@@ -1,0 +1,91 @@
+//! Quickstart: resolve → elaborate → build runtime model → query.
+//!
+//! Walks the full toolchain of paper §IV on the built-in GPU-server model:
+//! repository resolution, composition (inheritance, group expansion,
+//! constraint checking, bandwidth downgrade), the binary runtime file, and
+//! the `xpdl_init`-style query API.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use xpdl::elab::elaborate;
+use xpdl::models::paper_repository;
+use xpdl::runtime::{format, RuntimeModel, XpdlHandle};
+
+fn main() {
+    // 1. The model repository (the paper's local search path).
+    let repo = paper_repository();
+    println!("repository: {} descriptors", repo.keys().len());
+
+    // 2. Recursive resolution from the concrete system model: every
+    //    type/extends reference is chased (Xeon, K20c → Kepler →
+    //    Nvidia_GPU, pcie3, the power model, the instruction set, …).
+    let set = repo.resolve_recursive("liu_gpu_server").expect("resolution");
+    println!("resolved closure of liu_gpu_server: {} documents", set.len());
+    for (key, _) in set.documents() {
+        println!("  - {key}");
+    }
+
+    // 3. Elaboration: the composed model.
+    let model = elaborate(&set).expect("elaboration");
+    assert!(model.is_clean(), "diagnostics: {:?}", model.diagnostics);
+    println!(
+        "\ncomposed model: {} elements, {} cores ({} on the GPU)",
+        model.root.subtree_size(),
+        model.count_kind(xpdl::core::ElementKind::Core),
+        13 * 192,
+    );
+    for link in &model.links {
+        println!(
+            "link {}: {} -> {}, effective bandwidth {:.2} GiB/s (limited by {})",
+            link.id,
+            link.head.as_deref().unwrap_or("?"),
+            link.tail.as_deref().unwrap_or("?"),
+            link.effective_bandwidth.unwrap_or(0.0) / 1024f64.powi(3),
+            link.limited_by.as_deref().unwrap_or("-"),
+        );
+    }
+
+    // 4. The light-weight runtime data structure, written to a file and
+    //    loaded back the way an application's startup code would.
+    let rt = RuntimeModel::from_element(&model.root);
+    let path = std::env::temp_dir().join("liu_gpu_server.xpdlrt");
+    format::save_file(&rt, &path).expect("write runtime model");
+    println!(
+        "\nruntime model: {} nodes, {} bytes at {}",
+        rt.len(),
+        std::fs::metadata(&path).unwrap().len(),
+        path.display()
+    );
+
+    // 5. Runtime introspection (paper §IV categories 1–4).
+    let handle = XpdlHandle::init(&path).expect("xpdl_init");
+    println!("num_cores           = {}", handle.num_cores());
+    println!("num_cuda_devices    = {}", handle.num_cuda_devices());
+    println!("total_static_power  = {} W", handle.total_static_power_w());
+    println!(
+        "CUBLAS installed    = {}",
+        handle.has_installed(|t| t.starts_with("CUBLAS"))
+    );
+    let gpu = handle.find("gpu1").expect("gpu1 in model");
+    println!(
+        "gpu1: kind={}, compute_capability={}",
+        gpu.kind(),
+        gpu.attr("compute_capability").unwrap_or("?")
+    );
+
+    // 6. Typed access through the generated API.
+    use xpdl::api::Cache;
+    let l3 = handle
+        .model()
+        .nodes_of_kind("cache")
+        .find(|c| c.ident() == Some("L3"))
+        .and_then(Cache::from_node)
+        .expect("L3 cache");
+    println!(
+        "L3: size = {} ({} B), replacement = {}",
+        l3.get_size().unwrap(),
+        l3.get_size().unwrap().to_base(),
+        l3.get_replacement().unwrap_or("?")
+    );
+    std::fs::remove_file(&path).ok();
+}

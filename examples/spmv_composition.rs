@@ -1,0 +1,121 @@
+//! The SpMV conditional-composition case study (paper §II).
+//!
+//! Builds the multi-variant SpMV component, lets the platform model gate
+//! the GPU variant on CUDA + sparse-BLAS availability, sweeps the nonzero
+//! density, and compares the tuned (model-guided) selection against the
+//! three static policies by actually executing on the simulated machines.
+//!
+//! Run with: `cargo run --example spmv_composition`
+
+use xpdl::composition::{spmv_component, CallContext, Dispatcher, SpmvPlatform};
+use xpdl::elab::elaborate;
+use xpdl::hwsim::kernels::KernelSpec;
+use xpdl::hwsim::{ChannelModel, GroundTruth, SimMachine};
+use xpdl::models::paper_repository;
+use xpdl::power::{PowerState, PowerStateMachine, Transition};
+use xpdl::runtime::{RuntimeModel, XpdlHandle};
+
+fn single_state(name: &str, f_hz: f64, p_w: f64) -> PowerStateMachine {
+    PowerStateMachine {
+        name: name.into(),
+        domain: None,
+        states: vec![PowerState { name: "P0".into(), frequency_hz: f_hz, power_w: p_w }],
+        transitions: vec![Transition {
+            head: "P0".into(),
+            tail: "P0".into(),
+            time_s: 0.0,
+            energy_j: 0.0,
+        }],
+    }
+}
+
+fn main() {
+    // The platform model comes from the composed GPU server.
+    let repo = paper_repository();
+    let set = repo.resolve_recursive("liu_gpu_server").expect("resolve");
+    let model = elaborate(&set).expect("elaborate");
+    let handle = XpdlHandle::from_model(RuntimeModel::from_element(&model.root));
+
+    // Composition time: which variants are selectable here?
+    let dispatcher = Dispatcher::build(spmv_component(), handle).expect("dispatch table");
+    println!("selectable variants: {:?}", dispatcher.selectable_variants());
+
+    // The executable platform (simulated host + simulated K20c).
+    let mut platform = SpmvPlatform {
+        host: SimMachine::new(GroundTruth::x86_default(), single_state("host", 2e9, 25.0), 4, "P0", 11)
+            .expect("host")
+            .noiseless(),
+        gpu: Some(
+            SimMachine::new(
+                GroundTruth::x86_default(),
+                single_state("k20c", 706e6, 4.0),
+                13 * 192,
+                "P0",
+                12,
+            )
+            .expect("gpu")
+            .noiseless(),
+        ),
+        up: ChannelModel::pcie3_like("up_link"),
+        down: ChannelModel::pcie3_like("down_link"),
+    };
+
+    println!("\nSpMV y = A·x, (n, density) grid — every variant has a region:");
+    println!(
+        "{:>6} {:>8} {:>11} | {:>11} {:>11} {:>11} | {:>9}",
+        "n", "density", "tuned pick", "cpu_dense", "cpu_csr", "gpu_csr", "speedup"
+    );
+    let mut tuned_total = 0.0;
+    let mut best_static: std::collections::BTreeMap<&str, f64> = Default::default();
+    let mut winners = std::collections::BTreeSet::new();
+    for (n, density) in [
+        (100, 0.01),
+        (100, 0.9),
+        (400, 0.01),
+        (400, 0.5),
+        (1000, 0.05),
+        (3000, 0.01),
+        (3000, 0.5),
+    ] {
+        let ctx = CallContext::new().with("n", n as f64).with("density", density);
+        let chosen = dispatcher.select(&ctx).name.clone();
+        winners.insert(chosen.clone());
+        let spec = KernelSpec { n, density };
+        let mut times = std::collections::BTreeMap::new();
+        for v in ["cpu_dense", "cpu_csr", "gpu_csr"] {
+            if let Some(m) = platform.execute(v, &spec) {
+                times.insert(v, m.time_s);
+                *best_static.entry(v).or_insert(0.0) += m.time_s;
+            }
+        }
+        let tuned = times[chosen.as_str()];
+        tuned_total += tuned;
+        let worst = times.values().cloned().fold(0.0, f64::max);
+        println!(
+            "{n:>6} {density:>8} {chosen:>11} | {:>9.3}ms {:>9.3}ms {:>9.3}ms | {:>8.1}x",
+            times["cpu_dense"] * 1e3,
+            times["cpu_csr"] * 1e3,
+            times["gpu_csr"] * 1e3,
+            worst / tuned
+        );
+    }
+    assert_eq!(
+        winners.len(),
+        3,
+        "each variant should win somewhere on the grid: {winners:?}"
+    );
+    println!("\ntotal time, tuned selection: {:.2} ms", tuned_total * 1e3);
+    for (v, t) in &best_static {
+        println!("total time, always {v:>9}: {:.2} ms ({:.2}x vs tuned)", t * 1e3, t / tuned_total);
+    }
+    let best = best_static.values().cloned().fold(f64::INFINITY, f64::min);
+    println!(
+        "\ntuned selection vs best static policy: {:.2}x improvement",
+        best / tuned_total
+    );
+    assert!(
+        tuned_total <= best * 1.05,
+        "tuned selection must be at least as good as any static policy \
+         (tuned {tuned_total}, best static {best})"
+    );
+}

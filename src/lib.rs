@@ -1,0 +1,83 @@
+//! # XPDL — the eXtensible Platform Description Language, in Rust
+//!
+//! A complete implementation of the system described in *“XPDL: Extensible
+//! Platform Description Language to Support Energy Modeling and
+//! Optimization”* (Kessler, Li, Atalar, Dobre; ICPP-EMS 2015): the
+//! language, the toolchain, the runtime query API, the power/energy
+//! modeling machinery, microbenchmark bootstrapping, conditional
+//! composition — and, because this reproduction has no EXCESS testbed, a
+//! deterministic synthetic machine to measure instead of hardware.
+//!
+//! ## Crate map
+//!
+//! | re-export | crate | role |
+//! |---|---|---|
+//! | [`xml`] | `xpdl-xml` | XML parser/writer substrate (strict + paper-listing dialect) |
+//! | [`expr`] | `xpdl-expr` | constraint & condition expression language |
+//! | [`core`] | `xpdl-core` | document model, units/quantities, typed attributes |
+//! | [`schema`] | `xpdl-schema` | the core metamodel (`xpdl.xsd` analogue) + validator |
+//! | [`repo`] | `xpdl-repo` | distributed model repository with caching |
+//! | [`elab`] | `xpdl-elab` | composition: inheritance, groups, constraints, analyses |
+//! | [`power`] | `xpdl-power` | power domains, state machines, instruction energy, DVFS optimizer |
+//! | [`hwsim`] | `xpdl-hwsim` | the simulated measurement substrate |
+//! | [`mb`] | `xpdl-mb` | microbenchmark suites, driver generation, bootstrap |
+//! | [`runtime`] | `xpdl-runtime` | binary runtime model + query API (`xpdl_init` style) |
+//! | [`codegen`] | `xpdl-codegen` | query-API generation from the schema |
+//! | [`composition`] | `xpdl-composition` | multi-variant components (SpMV case study) |
+//! | [`pdl`] | `pdl-compat` | the PEPPHER PDL baseline + converter |
+//! | [`models`] | `xpdl-models` | the paper's listings + complete model library |
+//! | [`api`] | (generated) | typed element wrappers generated from the schema |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! // Resolve the paper's GPU server from the built-in model library,
+//! // elaborate it, and query the composed model.
+//! let repo = xpdl::models::paper_repository();
+//! let set = repo.resolve_recursive("liu_gpu_server").unwrap();
+//! let model = xpdl::elab::elaborate(&set).unwrap();
+//! assert!(model.is_clean());
+//!
+//! let rt = xpdl::runtime::RuntimeModel::from_element(&model.root);
+//! assert_eq!(rt.num_cores(), 4 + 13 * 192);
+//! assert_eq!(rt.num_cuda_devices(), 1);
+//!
+//! // Typed access through the generated API:
+//! use xpdl::api::Cache;
+//! let l3 = rt.nodes_of_kind("cache")
+//!     .find(|c| c.ident() == Some("L3"))
+//!     .and_then(Cache::from_node)
+//!     .unwrap();
+//! assert_eq!(l3.get_size().unwrap().to_base(), 15.0 * 1024.0 * 1024.0);
+//! ```
+
+pub use pdl_compat as pdl;
+pub use xpdl_codegen as codegen;
+pub use xpdl_composition as composition;
+pub use xpdl_core as core;
+pub use xpdl_elab as elab;
+pub use xpdl_expr as expr;
+pub use xpdl_hwsim as hwsim;
+pub use xpdl_mb as mb;
+pub use xpdl_models as models;
+pub use xpdl_power as power;
+pub use xpdl_repo as repo;
+pub use xpdl_runtime as runtime;
+pub use xpdl_schema as schema;
+pub use xpdl_xml as xml;
+
+/// The generated typed query API (from `xpdl_codegen::generate_rust_api`
+/// over the core schema). Checked in so it provably compiles; the
+/// `generated_api_is_current` integration test regenerates and compares.
+#[path = "api_generated.rs"]
+pub mod api;
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_reexports_compile_and_link() {
+        let _ = crate::schema::Schema::core();
+        let _ = crate::models::paper_repository();
+        assert!(crate::core::units::Unit::parse("GiB/s").is_ok());
+    }
+}
