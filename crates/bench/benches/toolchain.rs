@@ -54,6 +54,70 @@ fn bench_repository_cache(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_flaky_remote(c: &mut Criterion) {
+    // TC5 — resolution against a remote that fails 30% of fetches. The
+    // retry delays are zeroed so the numbers measure the retry/negative-
+    // cache machinery itself, not sleeps. Each iteration starts from a
+    // fresh repository + injector so the per-key attempt counters (and
+    // with them the deterministic fault script) are identical every time.
+    let policy = xpdl_repo::RetryPolicy {
+        base_delay: std::time::Duration::ZERO,
+        max_delay: std::time::Duration::ZERO,
+        ..xpdl_repo::RetryPolicy::default()
+    };
+    let flaky_repo = || {
+        let mut store = xpdl_repo::MemoryStore::new();
+        for (k, v) in xpdl_models::library::LIBRARY {
+            store.insert(*k, *v);
+        }
+        let faulty = xpdl_repo::FaultInjectingStore::new(
+            store,
+            xpdl_repo::FaultConfig::failures(0.3, 42),
+        );
+        xpdl_repo::Repository::new().with_store(faulty).with_retry_policy(policy.clone())
+    };
+    let mut g = c.benchmark_group("flaky_remote");
+    g.sample_size(20);
+    g.bench_function("resolve_30pct_faults", |b| {
+        b.iter_batched(
+            flaky_repo,
+            |repo| repo.resolve_recursive(black_box("XScluster")).unwrap(),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("resolve_clean_baseline", |b| {
+        b.iter_batched(
+            || {
+                let mut store = xpdl_repo::MemoryStore::new();
+                for (k, v) in xpdl_models::library::LIBRARY {
+                    store.insert(*k, *v);
+                }
+                xpdl_repo::Repository::new().with_store(store)
+            },
+            |repo| repo.resolve_recursive(black_box("XScluster")).unwrap(),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("batch_jobs4_30pct_faults", |b| {
+        let keys = ["liu_gpu_server", "myriad_server", "XScluster"];
+        let opts = xpdl_repo::ResolveOptions::with_jobs(4);
+        // Concurrent roots interleave the injector's per-key attempt
+        // counters, so the fault script here is scheduling-dependent; a
+        // wide attempt budget makes exhaustion vanishingly unlikely.
+        let wide = xpdl_repo::RetryPolicy { max_attempts: 16, ..policy.clone() };
+        b.iter_batched(
+            move || flaky_repo().with_retry_policy(wide.clone()),
+            |repo| {
+                for r in repo.resolve_batch(black_box(&keys), &opts) {
+                    r.unwrap();
+                }
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
 fn bench_query_api(c: &mut Criterion) {
     let model = xpdl_models::loader::elaborate_system("liu_gpu_server").unwrap();
     let rt = xpdl_runtime::RuntimeModel::from_element(&model.root);
@@ -79,5 +143,12 @@ fn bench_query_api(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_parse, bench_compose, bench_repository_cache, bench_query_api);
+criterion_group!(
+    benches,
+    bench_parse,
+    bench_compose,
+    bench_repository_cache,
+    bench_flaky_remote,
+    bench_query_api
+);
 criterion_main!(benches);

@@ -24,7 +24,10 @@
 
 use std::path::PathBuf;
 use xpdl_core::XpdlDocument;
-use xpdl_repo::{DirStore, Repository};
+use xpdl_repo::{
+    DirStore, FaultConfig, FaultInjectingStore, MemoryStore, ModelStore, RepoMetrics, Repository,
+    ResolveOptions, RetryPolicy,
+};
 use xpdl_schema::{validate_document, Schema};
 
 /// Exit status of a command (0 = success).
@@ -54,7 +57,7 @@ fn dispatch(args: &[String], out: &mut dyn std::io::Write) -> Result<ExitCode, B
             Ok(0)
         }
         "keys" => {
-            for key in repository(rest).keys() {
+            for key in repository(rest)?.keys() {
                 writeln!(out, "{key}")?;
             }
             Ok(0)
@@ -74,7 +77,7 @@ fn dispatch(args: &[String], out: &mut dyn std::io::Write) -> Result<ExitCode, B
         }
         "compose" => {
             let key = arg_at(rest, 0, "compose <key>")?;
-            let model = compose(&key, rest)?;
+            let (model, metrics) = compose(&key, rest)?;
             writeln!(
                 out,
                 "composed '{key}': {} elements, {} cores, {} links, default-domain power {}",
@@ -83,6 +86,7 @@ fn dispatch(args: &[String], out: &mut dyn std::io::Write) -> Result<ExitCode, B
                 model.links.len(),
                 model.default_domain_power,
             )?;
+            writeln!(out, "repository: {metrics}")?;
             for d in &model.diagnostics {
                 writeln!(out, "{d}")?;
             }
@@ -100,7 +104,7 @@ fn dispatch(args: &[String], out: &mut dyn std::io::Write) -> Result<ExitCode, B
         }
         "dump" => {
             let key = arg_at(rest, 0, "dump <key>")?;
-            let model = compose(&key, rest)?;
+            let (model, _) = compose(&key, rest)?;
             let xml = xpdl_xml::write_element(&model.root.to_xml(), &xpdl_xml::WriteOptions::pretty());
             writeln!(out, "{xml}")?;
             Ok(0)
@@ -110,7 +114,7 @@ fn dispatch(args: &[String], out: &mut dyn std::io::Write) -> Result<ExitCode, B
             let out_path = flag_value(rest, "-o")
                 .map(PathBuf::from)
                 .unwrap_or_else(|| PathBuf::from(format!("{key}.xpdlrt")));
-            let mut model = compose(&key, rest)?;
+            let (mut model, _) = compose(&key, rest)?;
             if let Some(profile) = flag_value(rest, "--filter") {
                 let filter = match profile.as_str() {
                     "deployment" => xpdl_elab::ModelFilter::deployment(),
@@ -189,7 +193,7 @@ fn dispatch(args: &[String], out: &mut dyn std::io::Write) -> Result<ExitCode, B
             let from = arg_at(rest, 1, "route <key> <from> <to> [bytes]")?;
             let to = arg_at(rest, 2, "route <key> <from> <to> [bytes]")?;
             let bytes: u64 = rest.get(3).and_then(|b| b.parse().ok()).unwrap_or(1 << 20);
-            let model = compose(&key, rest)?;
+            let (model, _) = compose(&key, rest)?;
             let graph = xpdl_elab::LinkGraph::build(&model.root);
             match graph.route(&model.root, &from, &to) {
                 Some(r) => {
@@ -221,7 +225,7 @@ fn dispatch(args: &[String], out: &mut dyn std::io::Write) -> Result<ExitCode, B
             if what == "schema" {
                 writeln!(out, "{}", xpdl_codegen::schema_to_plantuml(&Schema::core()))?;
             } else {
-                let model = compose(what, rest)?;
+                let (model, _) = compose(what, rest)?;
                 let cap = flag_value(rest, "--max")
                     .and_then(|v| v.parse().ok())
                     .unwrap_or(200);
@@ -262,25 +266,60 @@ fn dispatch(args: &[String], out: &mut dyn std::io::Write) -> Result<ExitCode, B
     }
 }
 
-fn repository(args: &[String]) -> Repository {
-    let mut repo = xpdl_models::paper_repository();
+fn repository(args: &[String]) -> Result<Repository, String> {
+    // User-provided models take precedence over the built-in library.
+    let mut stores: Vec<Box<dyn ModelStore>> = Vec::new();
     if let Some(dir) = flag_value(args, "--models") {
-        // User-provided models take precedence: rebuild with the dir first.
-        let mut fresh = Repository::new().with_store(DirStore::new(dir));
-        let mut lib = xpdl_repo::MemoryStore::new();
-        for (k, v) in xpdl_models::library::LIBRARY {
-            lib.insert(*k, *v);
-        }
-        fresh.push_store(Box::new(lib));
-        repo = fresh;
+        stores.push(Box::new(DirStore::new(dir)));
     }
-    repo
+    let mut lib = MemoryStore::new();
+    for (k, v) in xpdl_models::library::LIBRARY {
+        lib.insert(*k, *v);
+    }
+    stores.push(Box::new(lib));
+
+    // Resilience knobs. `--fault-rate` wraps every store in a seeded
+    // fault injector — the supported way to demo/exercise the retry
+    // machinery from the command line.
+    let fault_rate = parse_flag::<f64>(args, "--fault-rate")?.unwrap_or(0.0);
+    let fault_seed = parse_flag::<u64>(args, "--fault-seed")?.unwrap_or(42);
+    if !(0.0..=1.0).contains(&fault_rate) {
+        return Err(format!("--fault-rate {fault_rate} outside [0, 1]"));
+    }
+    let mut repo = Repository::new();
+    for store in stores {
+        if fault_rate > 0.0 {
+            repo.push_store(Box::new(FaultInjectingStore::new(
+                store,
+                FaultConfig::failures(fault_rate, fault_seed),
+            )));
+        } else {
+            repo.push_store(store);
+        }
+    }
+    if let Some(retries) = parse_flag::<u32>(args, "--retries")? {
+        repo.set_retry_policy(if retries <= 1 {
+            RetryPolicy::none()
+        } else {
+            RetryPolicy::with_max_attempts(retries)
+        });
+    }
+    Ok(repo)
 }
 
-fn compose(key: &str, args: &[String]) -> Result<xpdl_elab::Elaborated, Box<dyn std::error::Error>> {
-    let repo = repository(args);
-    let set = repo.resolve_recursive(key)?;
-    Ok(xpdl_elab::elaborate(&set)?)
+fn resolve_options(args: &[String]) -> Result<ResolveOptions, String> {
+    let jobs = parse_flag::<usize>(args, "--jobs")?.unwrap_or(1);
+    Ok(ResolveOptions::with_jobs(jobs))
+}
+
+fn compose(
+    key: &str,
+    args: &[String],
+) -> Result<(xpdl_elab::Elaborated, RepoMetrics), Box<dyn std::error::Error>> {
+    let repo = repository(args)?;
+    let set = repo.resolve_with(key, &resolve_options(args)?)?;
+    let model = xpdl_elab::elaborate(&set)?;
+    Ok((model, repo.metrics()))
 }
 
 fn bootstrap(
@@ -291,7 +330,7 @@ fn bootstrap(
     use xpdl_hwsim::{GroundTruth, SimMachine};
     use xpdl_power::{InstructionEnergyTable, PowerStateMachine};
 
-    let repo = repository(args);
+    let repo = repository(args)?;
     let isa_doc = repo.load(key)?;
     let mut table = InstructionEnergyTable::from_element(isa_doc.root())?;
     let suite_key = table.suite_mb.clone().ok_or("instruction set has no mb= suite reference")?;
@@ -343,6 +382,16 @@ fn flag_value(args: &[String], flag: &str) -> Option<String> {
     args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
 }
 
+fn parse_flag<T: std::str::FromStr>(args: &[String], flag: &str) -> Result<Option<T>, String> {
+    match args.iter().position(|a| a == flag) {
+        None => Ok(None),
+        Some(i) => {
+            let v = args.get(i + 1).ok_or_else(|| format!("{flag} requires a value"))?;
+            v.parse().map(Some).map_err(|_| format!("invalid value '{v}' for {flag}"))
+        }
+    }
+}
+
 fn write_usage(out: &mut dyn std::io::Write) -> std::io::Result<()> {
     writeln!(
         out,
@@ -362,7 +411,14 @@ fn write_usage(out: &mut dyn std::io::Write) -> std::io::Result<()> {
          \x20 export <dir>                   write the library as .xpdl files\n\
          \x20 route <key> <from> <to> [B]    interconnect route + transfer estimate\n\
          \x20 diff <old.xpdl> <new.xpdl>     structural model diff\n\
-         \x20 keys                           list built-in model library keys"
+         \x20 keys                           list built-in model library keys\n\
+         \n\
+         RESOLUTION FLAGS (compose/dump/build/route/uml/keys):\n\
+         \x20 --models DIR       prepend a local .xpdl directory to the search path\n\
+         \x20 --jobs N           parallel resolution workers (default 1)\n\
+         \x20 --retries N        fetch attempts per store; 0/1 = fail fast (default 4)\n\
+         \x20 --fault-rate F     inject store failures at rate F in [0,1] (testing)\n\
+         \x20 --fault-seed S     seed for the deterministic fault script (default 42)"
     )
 }
 
@@ -562,5 +618,82 @@ mod tests {
         let (code, out) = run_cli(&["frobnicate"]);
         assert_eq!(code, 2);
         assert!(out.contains("unknown subcommand"));
+    }
+
+    #[test]
+    fn compose_prints_repository_metrics_line() {
+        let (code, out) = run_cli(&["compose", "liu_gpu_server"]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("repository: fetches="), "{out}");
+        assert!(out.contains("cache_hits="), "{out}");
+    }
+
+    #[test]
+    fn compose_survives_injected_faults_with_retries() {
+        let (code, out) = run_cli(&[
+            "compose",
+            "liu_gpu_server",
+            "--fault-rate",
+            "0.3",
+            "--fault-seed",
+            "42",
+            "--retries",
+            "4",
+        ]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("2500 cores"), "{out}");
+        // The metrics line shows the faults that were ridden out.
+        assert!(!out.contains("retries=0 "), "{out}");
+    }
+
+    #[test]
+    fn compose_fails_fast_when_retries_disabled() {
+        let (code, out) = run_cli(&[
+            "compose",
+            "liu_gpu_server",
+            "--fault-rate",
+            "0.9",
+            "--fault-seed",
+            "42",
+            "--retries",
+            "0",
+        ]);
+        assert_eq!(code, 1, "{out}");
+        assert!(out.contains("unavailable"), "{out}");
+    }
+
+    #[test]
+    fn compose_with_parallel_jobs_matches_serial() {
+        let (code_s, out_s) = run_cli(&["compose", "XScluster"]);
+        let (code_p, out_p) = run_cli(&["compose", "XScluster", "--jobs", "4"]);
+        assert_eq!(code_s, 0, "{out_s}");
+        assert_eq!(code_p, 0, "{out_p}");
+        // Identical composition, metrics line aside.
+        let strip = |s: &str| -> String {
+            s.lines().filter(|l| !l.starts_with("repository:")).collect::<Vec<_>>().join("\n")
+        };
+        assert_eq!(strip(&out_s), strip(&out_p));
+    }
+
+    #[test]
+    fn bad_flag_values_are_reported() {
+        let (code, out) = run_cli(&["compose", "liu_gpu_server", "--fault-rate", "lots"]);
+        assert_eq!(code, 1);
+        assert!(out.contains("invalid value 'lots' for --fault-rate"), "{out}");
+        let (code, out) = run_cli(&["compose", "liu_gpu_server", "--fault-rate", "7"]);
+        assert_eq!(code, 1);
+        assert!(out.contains("outside [0, 1]"), "{out}");
+        // A trailing flag with no value must not be silently ignored.
+        let (code, out) = run_cli(&["compose", "liu_gpu_server", "--retries"]);
+        assert_eq!(code, 1);
+        assert!(out.contains("--retries requires a value"), "{out}");
+    }
+
+    #[test]
+    fn usage_documents_resilience_flags() {
+        let (_, out) = run_cli(&["help"]);
+        assert!(out.contains("--retries"), "{out}");
+        assert!(out.contains("--fault-rate"), "{out}");
+        assert!(out.contains("--jobs"), "{out}");
     }
 }

@@ -275,7 +275,7 @@ mod tests {
     #[test]
     fn custom_requirement() {
         let p = platform(false, false);
-        let r = Requirement::Custom(Arc::new(|h: &XpdlHandle| h.num_cores() % 2 == 0));
+        let r = Requirement::Custom(Arc::new(|h: &XpdlHandle| h.num_cores().is_multiple_of(2)));
         assert!(r.holds(&p));
         assert!(format!("{r:?}").contains("Custom"));
     }

@@ -325,7 +325,7 @@ impl XpdlElement {
         // Quantities may be parameter references (Listing 8:
         // quantity="num_SM"); those resolve during elaboration.
         match AttrValue::interpret(raw) {
-            AttrValue::Number(n) if n.fract() == 0.0 && n >= 0.0 && n < 1e9 => {
+            AttrValue::Number(n) if n.fract() == 0.0 && (0.0..1e9).contains(&n) => {
                 Ok(Some(n as usize))
             }
             AttrValue::Number(_) => Err(CoreError::BadQuantity { value: raw.to_string() }),

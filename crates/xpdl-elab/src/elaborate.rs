@@ -231,8 +231,6 @@ mod tests {
         let model = elaborate(&gpu_server()).unwrap();
         assert!(model.is_clean());
 
-        let mut bad_entries = gpu_server();
-        let _ = bad_entries; // replaced below with a fresh set
         let set = resolved(&[
             (
                 "bad",

@@ -30,11 +30,14 @@ impl ModelFilter {
     /// build-host details that mean nothing at run time) and whole
     /// `microbenchmarks` subtrees, which only matter before deployment.
     pub fn deployment() -> ModelFilter {
-        let mut f = ModelFilter::default();
-        f.drop_attrs =
-            ["cflags", "lflags", "file", "command"].iter().map(|s| s.to_string()).collect();
-        f.drop_kinds = vec![ElementKind::Microbenchmarks];
-        f
+        ModelFilter {
+            drop_attrs: ["cflags", "lflags", "file", "command"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+            drop_kinds: vec![ElementKind::Microbenchmarks],
+            ..ModelFilter::default()
+        }
     }
 
     /// Tailor: drop an attribute everywhere.

@@ -143,7 +143,7 @@ impl LinkGraph {
 
     /// Map an arbitrary element id onto the graph endpoint that contains it
     /// (or is it).
-    fn attach_point<'m>(&self, root: &'m XpdlElement, ident: &str) -> Option<String> {
+    fn attach_point(&self, root: &XpdlElement, ident: &str) -> Option<String> {
         if self.edges.contains_key(ident) {
             return Some(ident.to_string());
         }

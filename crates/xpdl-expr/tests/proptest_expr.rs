@@ -2,7 +2,7 @@
 //! oracle over randomly generated arithmetic trees.
 
 use proptest::prelude::*;
-use xpdl_expr::{eval, parse_expr, BinOp, Env, Expr, MapEnv, UnOp, Value};
+use xpdl_expr::{eval, parse_expr, BinOp, Expr, MapEnv, UnOp, Value};
 
 /// Generate arithmetic-only expressions with known-value leaves so we can
 /// compute the expected result with a direct oracle.

@@ -12,6 +12,15 @@
 //!   thread-safe parse cache, and recursive resolution of every
 //!   `type`/`extends`/`mb` reference reachable from a concrete model, with
 //!   cycle detection.
+//! * [`retry`] — [`RetryPolicy`]: per-failure-class retries with
+//!   exponential backoff and deterministic jitter, applied inside every
+//!   repository fetch.
+//! * [`faults`] — [`FaultInjectingStore`]: a deterministic, seeded
+//!   wrapper that makes any store fail, time out, or serve corrupted XML
+//!   at configured rates, so the resilience machinery is testable.
+//! * [`metrics`] — [`RepoMetrics`]: counters for fetches, retries, cache
+//!   hits/misses, negative-cache hits, and failures, snapshotted via
+//!   [`Repository::metrics`].
 //!
 //! # Example
 //!
@@ -27,8 +36,14 @@
 //! assert!(set.get("Xeon1").is_some());
 //! ```
 
+pub mod faults;
+pub mod metrics;
 pub mod repository;
+pub mod retry;
 pub mod store;
 
+pub use faults::{FaultConfig, FaultInjectingStore, FaultStats, CORRUPTED_PAYLOAD};
+pub use metrics::RepoMetrics;
 pub use repository::{ResolveError, ResolveOptions, ResolvedSet, Repository};
-pub use store::{DirStore, MemoryStore, ModelStore, RemoteStore};
+pub use retry::RetryPolicy;
+pub use store::{DirStore, MemoryStore, ModelStore, RemoteStore, StoreError};

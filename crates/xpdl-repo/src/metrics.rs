@@ -1,0 +1,115 @@
+//! Repository instrumentation.
+//!
+//! The [`Repository`](crate::Repository) counts every fetch attempt,
+//! retry, cache interaction, and failure it observes. Counters are plain
+//! `AtomicU64`s bumped with `Ordering::Relaxed`: each counter is an
+//! independent monotonic event count, nothing synchronizes *through* a
+//! counter, and readers only need totals — the happens-before edge that
+//! makes totals exact comes from joining the worker threads (scoped
+//! threads join before `resolve` returns), not from the counter ordering.
+//!
+//! [`Repository::metrics()`](crate::Repository::metrics) takes a
+//! [`RepoMetrics`] snapshot; since loads may be in flight on other
+//! threads, a snapshot is a consistent-enough view for diagnostics, not a
+//! transactional one.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Internal live counters owned by the repository.
+#[derive(Debug, Default)]
+pub(crate) struct MetricCounters {
+    pub(crate) fetch_attempts: AtomicU64,
+    pub(crate) fetch_failures: AtomicU64,
+    pub(crate) retries: AtomicU64,
+    pub(crate) parse_errors: AtomicU64,
+    pub(crate) cache_hits: AtomicU64,
+    pub(crate) cache_misses: AtomicU64,
+    pub(crate) negative_hits: AtomicU64,
+    pub(crate) documents_loaded: AtomicU64,
+}
+
+impl MetricCounters {
+    pub(crate) fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self) -> RepoMetrics {
+        RepoMetrics {
+            fetch_attempts: self.fetch_attempts.load(Ordering::Relaxed),
+            fetch_failures: self.fetch_failures.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            parse_errors: self.parse_errors.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            negative_hits: self.negative_hits.load(Ordering::Relaxed),
+            documents_loaded: self.documents_loaded.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time snapshot of repository activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RepoMetrics {
+    /// Store fetches issued, including every retry attempt.
+    pub fetch_attempts: u64,
+    /// Fetch attempts that ended in a transient store error.
+    pub fetch_failures: u64,
+    /// Attempts that were re-issued after a failure (store error or
+    /// retryable parse error).
+    pub retries: u64,
+    /// Fetched payloads that failed to parse as XPDL.
+    pub parse_errors: u64,
+    /// Loads served from the parse cache without touching a store.
+    pub cache_hits: u64,
+    /// Loads that had to consult the stores.
+    pub cache_misses: u64,
+    /// Loads short-circuited by the confirmed-missing negative cache.
+    pub negative_hits: u64,
+    /// Documents successfully fetched, parsed, and cached.
+    pub documents_loaded: u64,
+}
+
+impl fmt::Display for RepoMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "fetches={} failures={} retries={} parse_errors={} \
+             cache_hits={} cache_misses={} negative_hits={} loaded={}",
+            self.fetch_attempts,
+            self.fetch_failures,
+            self.retries,
+            self.parse_errors,
+            self.cache_hits,
+            self.cache_misses,
+            self.negative_hits,
+            self.documents_loaded,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_bumps() {
+        let c = MetricCounters::default();
+        MetricCounters::bump(&c.fetch_attempts);
+        MetricCounters::bump(&c.fetch_attempts);
+        MetricCounters::bump(&c.retries);
+        let snap = c.snapshot();
+        assert_eq!(snap.fetch_attempts, 2);
+        assert_eq!(snap.retries, 1);
+        assert_eq!(snap.cache_hits, 0);
+    }
+
+    #[test]
+    fn display_is_one_line_key_value() {
+        let snap = RepoMetrics { fetch_attempts: 7, cache_hits: 3, ..RepoMetrics::default() };
+        let line = snap.to_string();
+        assert!(line.contains("fetches=7"), "{line}");
+        assert!(line.contains("cache_hits=3"), "{line}");
+        assert!(!line.contains('\n'));
+    }
+}

@@ -1,8 +1,10 @@
 //! The search-path repository with caching and recursive resolution.
 
+use crate::metrics::{MetricCounters, RepoMetrics};
+use crate::retry::RetryPolicy;
 use crate::store::ModelStore;
 use parking_lot::RwLock;
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::sync::Arc;
 use xpdl_core::{CoreError, ElementKind, XpdlDocument, XpdlElement};
@@ -31,6 +33,21 @@ pub enum ResolveError {
         /// The reference chain, ending where it closes.
         stack: Vec<String>,
     },
+    /// A store kept failing transiently and the retry budget ran out.
+    /// Unlike [`ResolveError::NotFound`] this is *not* authoritative —
+    /// the key may well exist; the store just never answered.
+    Unavailable {
+        /// The key whose fetch kept failing.
+        key: String,
+        /// Who referenced it, when resolution (not a direct load) failed.
+        referenced_by: Option<String>,
+        /// The failing store's description.
+        store: String,
+        /// How many attempts were made against that store.
+        attempts: u32,
+        /// Last transient error observed.
+        detail: String,
+    },
 }
 
 impl fmt::Display for ResolveError {
@@ -47,6 +64,13 @@ impl fmt::Display for ResolveError {
             ResolveError::Cycle { stack } => {
                 write!(f, "reference cycle: {}", stack.join(" -> "))
             }
+            ResolveError::Unavailable { key, referenced_by, store, attempts, detail } => {
+                write!(f, "model {key:?} unavailable after {attempts} attempt(s)")?;
+                if let Some(by) = referenced_by {
+                    write!(f, " (referenced by {by:?})")?;
+                }
+                write!(f, " from {store}: {detail}")
+            }
         }
     }
 }
@@ -62,11 +86,23 @@ pub struct ResolveOptions {
     pub allow_missing: bool,
     /// Maximum number of documents to load (guards against runaway graphs).
     pub max_models: usize,
+    /// Worker threads fanning out each BFS reference frontier. `1` keeps
+    /// the classic serial resolver; higher values overlap store latency
+    /// (remote fetches happen concurrently instead of back-to-back).
+    /// Results and errors are deterministic regardless of `jobs`.
+    pub jobs: usize,
 }
 
 impl Default for ResolveOptions {
     fn default() -> Self {
-        ResolveOptions { allow_missing: false, max_models: 10_000 }
+        ResolveOptions { allow_missing: false, max_models: 10_000, jobs: 1 }
+    }
+}
+
+impl ResolveOptions {
+    /// Default options with a worker count for parallel prefetch.
+    pub fn with_jobs(jobs: usize) -> ResolveOptions {
+        ResolveOptions { jobs: jobs.max(1), ..ResolveOptions::default() }
     }
 }
 
@@ -111,35 +147,82 @@ impl ResolvedSet {
     }
 }
 
-/// An ordered search path of stores plus a parse cache.
+/// An ordered search path of stores plus a parse cache, a negative
+/// cache for confirmed-missing keys, and a [`RetryPolicy`] governing
+/// transient store failures.
 #[derive(Default)]
 pub struct Repository {
     stores: Vec<Box<dyn ModelStore>>,
     cache: RwLock<BTreeMap<String, Arc<XpdlDocument>>>,
     cache_enabled: bool,
+    /// Keys every store has authoritatively denied. A confirmed miss is
+    /// a fact worth caching: `allow_missing` resolutions re-request the
+    /// same elided names over and over.
+    negative: RwLock<BTreeSet<String>>,
+    negative_enabled: bool,
+    retry: RetryPolicy,
+    metrics: MetricCounters,
 }
 
 impl Repository {
-    /// Empty repository with caching enabled.
+    /// Empty repository with caching enabled and the default retry
+    /// policy.
     pub fn new() -> Repository {
-        Repository { stores: Vec::new(), cache: RwLock::new(BTreeMap::new()), cache_enabled: true }
+        Repository {
+            stores: Vec::new(),
+            cache: RwLock::new(BTreeMap::new()),
+            cache_enabled: true,
+            negative: RwLock::new(BTreeSet::new()),
+            negative_enabled: true,
+            retry: RetryPolicy::default(),
+            metrics: MetricCounters::default(),
+        }
     }
 
     /// Append a store to the search path (earlier stores win).
     pub fn with_store(mut self, store: impl ModelStore + 'static) -> Repository {
-        self.stores.push(Box::new(store));
+        self.push_store(Box::new(store));
         self
     }
 
     /// Append a boxed store.
     pub fn push_store(&mut self, store: Box<dyn ModelStore>) {
         self.stores.push(store);
+        // A previously confirmed miss may now be served by the new store.
+        self.negative.write().clear();
+    }
+
+    /// Replace the retry policy (builder form).
+    pub fn with_retry_policy(mut self, policy: RetryPolicy) -> Repository {
+        self.retry = policy;
+        self
+    }
+
+    /// Replace the retry policy in place.
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        self.retry = policy;
+    }
+
+    /// The active retry policy.
+    pub fn retry_policy(&self) -> &RetryPolicy {
+        &self.retry
     }
 
     /// Disable the parse cache (ablation benchmarks).
     pub fn without_cache(mut self) -> Repository {
         self.cache_enabled = false;
         self
+    }
+
+    /// Disable the confirmed-missing negative cache.
+    pub fn without_negative_cache(mut self) -> Repository {
+        self.negative_enabled = false;
+        self
+    }
+
+    /// Snapshot the repository's activity counters.
+    pub fn metrics(&self) -> RepoMetrics {
+        self.metrics.snapshot()
     }
 
     /// Store descriptions, in search order.
@@ -159,28 +242,98 @@ impl Repository {
     }
 
     /// Load and parse one descriptor by key.
+    ///
+    /// Walks the search path in order. At each store, transient failures
+    /// ([`crate::StoreError`]) and — when the policy allows — corrupted
+    /// payloads are retried with backoff; an authoritative miss moves on
+    /// to the next store immediately. Only when *every* store has
+    /// definitively denied the key is it recorded in the negative cache
+    /// and reported as [`ResolveError::NotFound`]; if any store merely
+    /// kept failing, the result is [`ResolveError::Unavailable`].
     pub fn load(&self, key: &str) -> Result<Arc<XpdlDocument>, ResolveError> {
         if self.cache_enabled {
             if let Some(doc) = self.cache.read().get(key) {
+                MetricCounters::bump(&self.metrics.cache_hits);
                 return Ok(doc.clone());
             }
         }
-        let source = self
-            .stores
-            .iter()
-            .find_map(|s| s.fetch(key))
-            .ok_or_else(|| ResolveError::NotFound {
+        MetricCounters::bump(&self.metrics.cache_misses);
+        if self.negative_enabled && self.negative.read().contains(key) {
+            MetricCounters::bump(&self.metrics.negative_hits);
+            return Err(self.not_found(key));
+        }
+        // Last store whose retry budget ran out on a transient failure.
+        let mut exhausted: Option<(String, u32, String)> = None;
+        for store in &self.stores {
+            let mut attempt: u32 = 0;
+            loop {
+                attempt += 1;
+                MetricCounters::bump(&self.metrics.fetch_attempts);
+                match store.try_fetch(key) {
+                    Ok(Some(source)) => {
+                        match XpdlDocument::parse_named(&source, key) {
+                            Ok(doc) => {
+                                let doc = Arc::new(doc);
+                                if self.cache_enabled {
+                                    self.cache.write().insert(key.to_string(), doc.clone());
+                                }
+                                MetricCounters::bump(&self.metrics.documents_loaded);
+                                return Ok(doc);
+                            }
+                            Err(error) => {
+                                MetricCounters::bump(&self.metrics.parse_errors);
+                                if self.retry.should_retry_parse_error(attempt) {
+                                    MetricCounters::bump(&self.metrics.retries);
+                                    self.retry.sleep_after(key, attempt);
+                                    continue;
+                                }
+                                // Persistently malformed: the descriptor
+                                // itself is bad, not the transport.
+                                return Err(ResolveError::Parse {
+                                    key: key.to_string(),
+                                    error,
+                                });
+                            }
+                        }
+                    }
+                    // An authoritative miss: never retried, next store.
+                    Ok(None) => break,
+                    Err(error) => {
+                        MetricCounters::bump(&self.metrics.fetch_failures);
+                        if self.retry.should_retry_store_error(&error, attempt) {
+                            MetricCounters::bump(&self.metrics.retries);
+                            self.retry.sleep_after(key, attempt);
+                            continue;
+                        }
+                        exhausted = Some((store.describe(), attempt, error.to_string()));
+                        break;
+                    }
+                }
+            }
+        }
+        if let Some((store, attempts, detail)) = exhausted {
+            // At least one store never answered, so absence is unproven:
+            // do NOT poison the negative cache.
+            return Err(ResolveError::Unavailable {
                 key: key.to_string(),
                 referenced_by: None,
-                searched: self.search_path(),
-            })?;
-        let doc = XpdlDocument::parse_named(&source, key)
-            .map_err(|error| ResolveError::Parse { key: key.to_string(), error })?;
-        let doc = Arc::new(doc);
-        if self.cache_enabled {
-            self.cache.write().insert(key.to_string(), doc.clone());
+                store,
+                attempts,
+                detail,
+            });
         }
-        Ok(doc)
+        if self.negative_enabled {
+            self.negative.write().insert(key.to_string());
+        }
+        Err(self.not_found(key))
+    }
+
+    fn not_found(&self, key: &str) -> ResolveError {
+        ResolveError::NotFound {
+            key: key.to_string(),
+            referenced_by: None,
+            searched: self.search_path(),
+        }
     }
 
     /// Number of cached parsed documents.
@@ -188,24 +341,30 @@ impl Repository {
         self.cache.read().len()
     }
 
-    /// Drop the cache contents.
+    /// Number of keys confirmed missing by every store.
+    pub fn negative_cache_len(&self) -> usize {
+        self.negative.read().len()
+    }
+
+    /// Drop the cache contents (both parse and negative caches).
     pub fn clear_cache(&self) {
         self.cache.write().clear();
+        self.negative.write().clear();
     }
 
     /// Fetch and parse many descriptors concurrently, warming the cache.
     ///
     /// Vendor sites are slow relative to local stores; preloading a known
-    /// working set in parallel (crossbeam scoped threads — stores are
-    /// `Sync`) hides that latency before a batch of resolutions. Returns
-    /// how many keys loaded successfully.
+    /// working set in parallel (scoped threads — stores are `Sync`) hides
+    /// that latency before a batch of resolutions. Returns how many keys
+    /// loaded successfully.
     pub fn preload_parallel(&self, keys: &[&str]) -> usize {
         use std::sync::atomic::{AtomicUsize, Ordering};
         let loaded = AtomicUsize::new(0);
         let counter = &loaded;
-        crossbeam::thread::scope(|s| {
+        std::thread::scope(|s| {
             for chunk in keys.chunks(keys.len().div_ceil(8).max(1)) {
-                s.spawn(move |_| {
+                s.spawn(move || {
                     for key in chunk {
                         if self.load(key).is_ok() {
                             counter.fetch_add(1, Ordering::Relaxed);
@@ -213,8 +372,7 @@ impl Repository {
                     }
                 });
             }
-        })
-        .expect("preload threads do not panic");
+        });
         loaded.load(Ordering::Relaxed)
     }
 
@@ -225,6 +383,14 @@ impl Repository {
     }
 
     /// Resolve with options.
+    ///
+    /// Resolution is a level-synchronous BFS over the reference graph:
+    /// each round loads the current frontier (serially, or across
+    /// `opts.jobs` scoped worker threads), then collects the next
+    /// frontier from the newly loaded documents. Parallelism only
+    /// overlaps store latency — the processing order, the resulting
+    /// document set, and which error surfaces first are all independent
+    /// of `jobs` and of thread scheduling.
     pub fn resolve_with(
         &self,
         key: &str,
@@ -232,48 +398,159 @@ impl Repository {
     ) -> Result<ResolvedSet, ResolveError> {
         let mut docs: BTreeMap<String, Arc<XpdlDocument>> = BTreeMap::new();
         let mut missing = Vec::new();
-        let mut queue: VecDeque<(String, Option<String>)> = VecDeque::new();
-        queue.push_back((key.to_string(), None));
-        while let Some((k, referenced_by)) = queue.pop_front() {
-            if docs.contains_key(&k) {
-                continue;
-            }
-            if docs.len() >= opts.max_models {
-                return Err(ResolveError::Cycle {
-                    stack: vec![format!("model limit {} exceeded at {k}", opts.max_models)],
-                });
-            }
-            let doc = match self.load(&k) {
-                Ok(d) => d,
-                Err(ResolveError::NotFound { key, searched, .. }) => {
-                    if opts.allow_missing && referenced_by.is_some() {
-                        missing.push(key);
-                        continue;
+        // Everything ever enqueued, so a key referenced from several
+        // documents is fetched (and reported missing) at most once.
+        let mut enqueued: BTreeSet<String> = BTreeSet::new();
+        enqueued.insert(key.to_string());
+        let mut frontier: Vec<(String, Option<String>)> = vec![(key.to_string(), None)];
+        while !frontier.is_empty() {
+            let loaded = self.load_frontier(&frontier, opts.jobs);
+            let mut next: Vec<(String, Option<String>)> = Vec::new();
+            for ((k, referenced_by), result) in frontier.into_iter().zip(loaded) {
+                if docs.len() >= opts.max_models {
+                    return Err(ResolveError::Cycle {
+                        stack: vec![format!("model limit {} exceeded at {k}", opts.max_models)],
+                    });
+                }
+                let doc = match result {
+                    Ok(d) => d,
+                    Err(ResolveError::NotFound { key, searched, .. }) => {
+                        if opts.allow_missing && referenced_by.is_some() {
+                            missing.push(key);
+                            continue;
+                        }
+                        return Err(ResolveError::NotFound { key, referenced_by, searched });
                     }
-                    return Err(ResolveError::NotFound { key, referenced_by, searched });
-                }
-                Err(e) => return Err(e),
-            };
-            let refs = references_of(doc.root());
-            // A document's local identifiers satisfy references before the
-            // repository is consulted (in-line definitions, paper §III-A).
-            let local: BTreeSet<String> = doc
-                .root()
-                .descendants()
-                .filter_map(|e| e.ident())
-                .map(str::to_string)
-                .collect();
-            docs.insert(k.clone(), doc);
-            for r in refs {
-                if !local.contains(&r) && !docs.contains_key(&r) {
-                    queue.push_back((r, Some(k.clone())));
+                    Err(ResolveError::Unavailable { key, store, attempts, detail, .. }) => {
+                        return Err(ResolveError::Unavailable {
+                            key,
+                            referenced_by,
+                            store,
+                            attempts,
+                            detail,
+                        });
+                    }
+                    Err(e) => return Err(e),
+                };
+                let refs = references_of(doc.root());
+                // A document's local identifiers satisfy references before
+                // the repository is consulted (in-line definitions, paper
+                // §III-A).
+                let local: BTreeSet<String> = doc
+                    .root()
+                    .descendants()
+                    .filter_map(|e| e.ident())
+                    .map(str::to_string)
+                    .collect();
+                docs.insert(k.clone(), doc);
+                for r in refs {
+                    if !local.contains(&r) && !docs.contains_key(&r) && enqueued.insert(r.clone())
+                    {
+                        next.push((r, Some(k.clone())));
+                    }
                 }
             }
+            frontier = next;
         }
         // Cycle detection over the extends graph (type references to
         // already-loaded docs are fine; inheritance cycles are not).
         check_extends_acyclic(&docs)?;
         Ok(ResolvedSet { root_key: key.to_string(), docs, missing })
+    }
+
+    /// Load one BFS frontier, optionally across scoped worker threads.
+    ///
+    /// Returns results in frontier order so the caller's processing (and
+    /// therefore which error wins) is deterministic. Workers pull the
+    /// next index from a shared atomic cursor — cheap work-stealing
+    /// without a channel.
+    fn load_frontier(
+        &self,
+        frontier: &[(String, Option<String>)],
+        jobs: usize,
+    ) -> Vec<Result<Arc<XpdlDocument>, ResolveError>> {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let workers = jobs.max(1).min(frontier.len());
+        if workers <= 1 {
+            return frontier.iter().map(|(k, _)| self.load(k)).collect();
+        }
+        let mut slots: Vec<Option<Result<Arc<XpdlDocument>, ResolveError>>> =
+            (0..frontier.len()).map(|_| None).collect();
+        let cursor = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            let outputs: Vec<_> = (0..workers)
+                .map(|_| {
+                    s.spawn(|| {
+                        let mut out: Vec<(usize, Result<Arc<XpdlDocument>, ResolveError>)> =
+                            Vec::new();
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            let Some((k, _)) = frontier.get(i) else { break };
+                            out.push((i, self.load(k)));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            for handle in outputs {
+                for (i, r) in handle.join().expect("resolver worker panicked") {
+                    slots[i] = Some(r);
+                }
+            }
+        });
+        slots
+            .into_iter()
+            .map(|s| s.expect("every frontier slot claimed by exactly one worker"))
+            .collect()
+    }
+
+    /// Resolve several roots, sharing this repository's caches.
+    ///
+    /// With `opts.jobs > 1` the roots themselves are resolved across
+    /// scoped worker threads (each root's own frontier is then loaded
+    /// serially — the parallelism budget is spent once, at the batch
+    /// level). Results come back in input order, one per root, so callers
+    /// can pair them back up with their keys.
+    pub fn resolve_batch(
+        &self,
+        keys: &[&str],
+        opts: &ResolveOptions,
+    ) -> Vec<Result<ResolvedSet, ResolveError>> {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let workers = opts.jobs.max(1).min(keys.len());
+        if workers <= 1 {
+            return keys.iter().map(|k| self.resolve_with(k, opts)).collect();
+        }
+        let inner = ResolveOptions { jobs: 1, ..opts.clone() };
+        let mut slots: Vec<Option<Result<ResolvedSet, ResolveError>>> =
+            (0..keys.len()).map(|_| None).collect();
+        let cursor = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let inner = &inner;
+                    let cursor = &cursor;
+                    s.spawn(move || {
+                        let mut out: Vec<(usize, Result<ResolvedSet, ResolveError>)> = Vec::new();
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            let Some(k) = keys.get(i) else { break };
+                            out.push((i, self.resolve_with(k, inner)));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            for handle in handles {
+                for (i, r) in handle.join().expect("batch resolver worker panicked") {
+                    slots[i] = Some(r);
+                }
+            }
+        });
+        slots
+            .into_iter()
+            .map(|s| s.expect("every batch slot claimed by exactly one worker"))
+            .collect()
     }
 }
 
@@ -600,6 +877,184 @@ mod tests {
         assert_eq!(repo.cache_len(), 1);
         repo.clear_cache();
         assert_eq!(repo.cache_len(), 0);
+    }
+
+    #[test]
+    fn negative_cache_short_circuits_confirmed_misses() {
+        let mut m = MemoryStore::new();
+        m.insert("X", r#"<cpu name="X"/>"#);
+        let repo = Repository::new().with_store(m);
+        assert!(repo.load("Ghost").is_err());
+        assert_eq!(repo.negative_cache_len(), 1);
+        assert!(repo.load("Ghost").is_err());
+        let metrics = repo.metrics();
+        assert_eq!(metrics.negative_hits, 1, "{metrics}");
+        // The second miss never touched a store.
+        assert_eq!(metrics.fetch_attempts, 1, "{metrics}");
+    }
+
+    #[test]
+    fn pushing_a_store_invalidates_the_negative_cache() {
+        let mut first = MemoryStore::new();
+        first.insert("X", r#"<cpu name="X"/>"#);
+        let mut repo = Repository::new().with_store(first);
+        assert!(repo.load("Late").is_err());
+        assert_eq!(repo.negative_cache_len(), 1);
+        let mut second = MemoryStore::new();
+        second.insert("Late", r#"<cpu name="Late"/>"#);
+        repo.push_store(Box::new(second));
+        assert!(repo.load("Late").is_ok(), "new store must be consulted");
+    }
+
+    #[test]
+    fn without_negative_cache_reconsults_stores() {
+        let repo = Repository::new()
+            .with_store(MemoryStore::new())
+            .without_negative_cache();
+        assert!(repo.load("Ghost").is_err());
+        assert!(repo.load("Ghost").is_err());
+        assert_eq!(repo.negative_cache_len(), 0);
+        assert_eq!(repo.metrics().negative_hits, 0);
+    }
+
+    #[test]
+    fn exhausted_retries_surface_unavailable_not_notfound() {
+        use crate::faults::{FaultConfig, FaultInjectingStore};
+        let mut m = MemoryStore::new();
+        m.insert("X", r#"<cpu name="X"/>"#);
+        let faulty = FaultInjectingStore::new(m, FaultConfig::failures(1.0, 9));
+        let repo = Repository::new()
+            .with_store(faulty)
+            .with_retry_policy(RetryPolicy::with_max_attempts(2));
+        match repo.load("X").unwrap_err() {
+            ResolveError::Unavailable { key, attempts, store, .. } => {
+                assert_eq!(key, "X");
+                assert_eq!(attempts, 2);
+                assert!(store.contains("fault-injecting"), "{store}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Unproven absence must not poison the negative cache.
+        assert_eq!(repo.negative_cache_len(), 0);
+        let metrics = repo.metrics();
+        assert_eq!(metrics.fetch_attempts, 2, "{metrics}");
+        assert_eq!(metrics.retries, 1, "{metrics}");
+    }
+
+    #[test]
+    fn retries_recover_from_transient_failures() {
+        use crate::faults::{FaultConfig, FaultInjectingStore};
+        let mut m = MemoryStore::new();
+        m.insert("X", r#"<cpu name="X"/>"#);
+        // Seed 2 fails the first fetch of "X" at a 50% rate but passes a
+        // later attempt within the default 4-attempt budget.
+        let faulty = FaultInjectingStore::new(m, FaultConfig::failures(0.5, 2));
+        let repo = Repository::new().with_store(faulty);
+        let mut recovered = false;
+        for _ in 0..8 {
+            repo.clear_cache();
+            if repo.load("X").is_ok() && repo.metrics().retries > 0 {
+                recovered = true;
+                break;
+            }
+        }
+        assert!(recovered, "expected at least one retried-then-successful load");
+    }
+
+    #[test]
+    fn corrupted_payloads_are_refetched() {
+        use crate::faults::{FaultConfig, FaultInjectingStore};
+        let mut m = MemoryStore::new();
+        m.insert("X", r#"<cpu name="X"/>"#);
+        let faulty = FaultInjectingStore::new(m, FaultConfig::new(0.0, 0.0, 0.4, 11));
+        let repo = Repository::new().with_store(faulty);
+        let mut saw_corruption_recovery = false;
+        for _ in 0..16 {
+            repo.clear_cache();
+            let loaded = repo.load("X");
+            let metrics = repo.metrics();
+            if loaded.is_ok() && metrics.parse_errors > 0 {
+                saw_corruption_recovery = true;
+                break;
+            }
+        }
+        assert!(saw_corruption_recovery, "expected a corrupted fetch to be retried to success");
+    }
+
+    #[test]
+    fn parse_retries_disabled_surface_parse_error() {
+        use crate::faults::{FaultConfig, FaultInjectingStore};
+        let mut m = MemoryStore::new();
+        m.insert("X", r#"<cpu name="X"/>"#);
+        let faulty = FaultInjectingStore::new(m, FaultConfig::new(0.0, 0.0, 1.0, 12));
+        let repo = Repository::new().with_store(faulty).with_retry_policy(RetryPolicy::none());
+        match repo.load("X").unwrap_err() {
+            ResolveError::Parse { key, .. } => assert_eq!(key, "X"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parallel_resolution_matches_serial() {
+        let serial = kepler_repo().resolve_recursive("liu_gpu_server").unwrap();
+        let parallel = kepler_repo()
+            .resolve_with("liu_gpu_server", &ResolveOptions::with_jobs(4))
+            .unwrap();
+        let a: Vec<_> = serial.documents().map(|(k, _)| k.to_string()).collect();
+        let b: Vec<_> = parallel.documents().map(|(k, _)| k.to_string()).collect();
+        assert_eq!(a, b);
+        assert_eq!(serial.missing, parallel.missing);
+    }
+
+    #[test]
+    fn parallel_resolution_reports_first_frontier_error() {
+        let mut m = MemoryStore::new();
+        m.insert(
+            "sys",
+            r#"<system id="sys">
+                 <device id="a" type="GhostA"/>
+                 <device id="b" type="GhostB"/>
+               </system>"#,
+        );
+        let repo = Repository::new().with_store(m);
+        // Regardless of worker scheduling, the error must be the first
+        // unresolvable reference in frontier order.
+        for _ in 0..4 {
+            repo.clear_cache();
+            let err = repo
+                .resolve_with("sys", &ResolveOptions::with_jobs(4))
+                .unwrap_err();
+            match err {
+                ResolveError::NotFound { key, .. } => assert_eq!(key, "GhostA"),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn resolve_batch_preserves_input_order() {
+        let repo = kepler_repo();
+        let keys = ["Nvidia_K20c", "nope", "liu_gpu_server"];
+        let results =
+            repo.resolve_batch(&keys, &ResolveOptions { jobs: 3, ..Default::default() });
+        assert_eq!(results.len(), 3);
+        assert_eq!(results[0].as_ref().unwrap().root_key(), "Nvidia_K20c");
+        assert!(matches!(results[1], Err(ResolveError::NotFound { .. })));
+        assert_eq!(results[2].as_ref().unwrap().root_key(), "liu_gpu_server");
+        // The batch shares one parse cache: K20c's chain is not re-fetched
+        // for the system resolution.
+        assert!(repo.metrics().cache_hits > 0);
+    }
+
+    #[test]
+    fn metrics_count_cache_hits_and_loads() {
+        let repo = kepler_repo();
+        repo.resolve_recursive("liu_gpu_server").unwrap();
+        repo.resolve_recursive("liu_gpu_server").unwrap();
+        let metrics = repo.metrics();
+        assert_eq!(metrics.documents_loaded, 6, "{metrics}");
+        assert!(metrics.cache_hits >= 1, "{metrics}");
+        assert_eq!(metrics.fetch_failures, 0, "{metrics}");
     }
 
     #[test]

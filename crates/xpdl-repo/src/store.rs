@@ -1,8 +1,53 @@
 //! Descriptor stores: where `.xpdl` sources live.
 
 use std::collections::BTreeMap;
+use std::fmt;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A transient store failure, distinct from an authoritative miss.
+///
+/// `fetch` returning `None` means "this store does not have the key" —
+/// a definitive answer that is never worth retrying. A `StoreError`
+/// means "this store could not answer *right now*": the repository's
+/// [`RetryPolicy`](crate::RetryPolicy) treats both variants as
+/// retryable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// The store refused or failed to serve the request (e.g. an HTTP
+    /// 5xx from a vendor site).
+    Unavailable {
+        /// Store-specific failure detail.
+        detail: String,
+    },
+    /// The store did not answer within its deadline.
+    Timeout {
+        /// How long the caller waited before giving up.
+        waited_ms: u64,
+    },
+}
+
+impl StoreError {
+    /// Whether a retry could plausibly succeed. Both current classes are
+    /// transient; the method exists so future permanent classes (auth
+    /// failure, schema rejection) slot into the retry logic cleanly.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, StoreError::Unavailable { .. } | StoreError::Timeout { .. })
+    }
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Unavailable { detail } => write!(f, "store unavailable: {detail}"),
+            StoreError::Timeout { waited_ms } => {
+                write!(f, "store timed out after {waited_ms}ms")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
 
 /// A source of descriptor text, keyed by model name/id.
 ///
@@ -13,11 +58,38 @@ pub trait ModelStore: Send + Sync {
     /// Fetch the descriptor source for a key.
     fn fetch(&self, key: &str) -> Option<String>;
 
+    /// Fetch, distinguishing transient failures ([`StoreError`]) from
+    /// authoritative misses (`Ok(None)`). The default treats the store
+    /// as perfectly reliable and delegates to [`fetch`](Self::fetch);
+    /// stores that can actually fail (remote mirrors, fault injectors)
+    /// override it.
+    fn try_fetch(&self, key: &str) -> Result<Option<String>, StoreError> {
+        Ok(self.fetch(key))
+    }
+
     /// Enumerate available keys (sorted).
     fn keys(&self) -> Vec<String>;
 
     /// Human-readable store description for diagnostics.
     fn describe(&self) -> String;
+}
+
+impl ModelStore for Box<dyn ModelStore> {
+    fn fetch(&self, key: &str) -> Option<String> {
+        (**self).fetch(key)
+    }
+
+    fn try_fetch(&self, key: &str) -> Result<Option<String>, StoreError> {
+        (**self).try_fetch(key)
+    }
+
+    fn keys(&self) -> Vec<String> {
+        (**self).keys()
+    }
+
+    fn describe(&self) -> String {
+        (**self).describe()
+    }
 }
 
 /// In-memory store (model libraries shipped inside a crate, tests).
@@ -144,7 +216,12 @@ impl DirStore {
 pub struct RemoteStore {
     base_uri: String,
     catalog: MemoryStore,
+    /// Requests that were actually served (key present).
     fetches: AtomicUsize,
+    /// Every request issued, hit or miss — what a vendor's access log
+    /// would show, and the number the concurrent resolver's benchmarks
+    /// compare against.
+    attempts: AtomicUsize,
     /// Simulated per-fetch latency (spin-free: just recorded, not slept,
     /// except in benchmarks that opt in).
     pub simulated_latency_us: u64,
@@ -157,6 +234,7 @@ impl RemoteStore {
             base_uri: base_uri.into(),
             catalog: MemoryStore::new(),
             fetches: AtomicUsize::new(0),
+            attempts: AtomicUsize::new(0),
             simulated_latency_us: 200,
         }
     }
@@ -172,9 +250,14 @@ impl RemoteStore {
         &self.base_uri
     }
 
-    /// How many fetches have been served.
+    /// How many fetches have been served (requests for present keys).
     pub fn fetch_count(&self) -> usize {
         self.fetches.load(Ordering::Relaxed)
+    }
+
+    /// How many requests were issued in total, hits and misses alike.
+    pub fn attempt_count(&self) -> usize {
+        self.attempts.load(Ordering::Relaxed)
     }
 
     /// Whether this store serves a hyperlink key (`<base>/<name>.xpdl`).
@@ -192,6 +275,14 @@ impl RemoteStore {
 
 impl ModelStore for RemoteStore {
     fn fetch(&self, key: &str) -> Option<String> {
+        // Each counter is bumped by exactly one `fetch_add`, so counts
+        // stay exact when the concurrent resolver hammers this store
+        // from many threads. `Relaxed` suffices: the counters are
+        // independent monotonic event counts that never gate other
+        // memory accesses, and readers observe exact totals after the
+        // resolver's scoped worker threads are joined (the join provides
+        // the happens-before edge, not the counter ordering).
+        self.attempts.fetch_add(1, Ordering::Relaxed);
         let local = if self.serves(key) { self.local_key(key) } else { key };
         let result = self.catalog.fetch(local);
         if result.is_some() {
@@ -265,11 +356,60 @@ mod tests {
         let mut r = RemoteStore::new("https://vendor.example/xpdl");
         r.publish("K20c", "<device name=\"K20c\"/>");
         assert_eq!(r.fetch_count(), 0);
+        assert_eq!(r.attempt_count(), 0);
         assert!(r.fetch("K20c").is_some());
         assert!(r.fetch("K20c").is_some());
         assert_eq!(r.fetch_count(), 2);
         assert!(r.fetch("missing").is_none());
-        assert_eq!(r.fetch_count(), 2);
+        assert_eq!(r.fetch_count(), 2, "misses are not served");
+        assert_eq!(r.attempt_count(), 3, "misses still count as attempts");
+    }
+
+    #[test]
+    fn remote_store_counts_are_exact_under_concurrency() {
+        let mut r = RemoteStore::new("https://vendor.example/xpdl");
+        r.publish("K20c", "<device name=\"K20c\"/>");
+        let threads = 8;
+        let per_thread = 100;
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(|| {
+                    for i in 0..per_thread {
+                        if i % 4 == 0 {
+                            assert!(r.fetch("missing").is_none());
+                        } else {
+                            assert!(r.fetch("K20c").is_some());
+                        }
+                    }
+                });
+            }
+        });
+        // Scoped-thread join gives the happens-before edge; the single
+        // fetch_add per counter per call makes the totals exact.
+        assert_eq!(r.attempt_count(), threads * per_thread);
+        assert_eq!(r.fetch_count(), threads * per_thread * 3 / 4);
+    }
+
+    #[test]
+    fn store_error_classes_and_display() {
+        let u = StoreError::Unavailable { detail: "503 from vendor".into() };
+        let t = StoreError::Timeout { waited_ms: 250 };
+        assert!(u.is_transient());
+        assert!(t.is_transient());
+        assert!(u.to_string().contains("503"));
+        assert!(t.to_string().contains("250ms"));
+    }
+
+    #[test]
+    fn try_fetch_default_wraps_fetch() {
+        let mut s = MemoryStore::new();
+        s.insert("a", "<cpu name=\"a\"/>");
+        assert!(s.try_fetch("a").unwrap().is_some());
+        assert!(s.try_fetch("zz").unwrap().is_none());
+        // Boxed trait objects delegate, preserving overridden methods.
+        let boxed: Box<dyn ModelStore> = Box::new(s);
+        assert!(boxed.try_fetch("a").unwrap().is_some());
+        assert_eq!(boxed.keys(), vec!["a"]);
     }
 
     #[test]

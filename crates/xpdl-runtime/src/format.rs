@@ -109,10 +109,15 @@ pub fn decode(mut data: &[u8]) -> Result<RuntimeModel, FormatError> {
     if data[..6] != MAGIC[..6] {
         return Err(FormatError::BadMagic);
     }
-    // The 7th byte of MAGIC is the version (\x01); the 8th is reserved.
+    // The 7th byte of MAGIC is the version (\x01); the 8th is reserved
+    // and must be zero (a non-zero value is a corrupted header, not a
+    // future version we could be lenient about).
     let version = data[6];
     if version != 1 {
         return Err(FormatError::BadVersion(version));
+    }
+    if data[7] != 0 {
+        return Err(FormatError::BadMagic);
     }
     data.advance(8);
 
@@ -334,6 +339,110 @@ mod tests {
         let m = model();
         let bytes = encode(&m);
         assert!(bytes.len() < xml.len() * 2, "{} vs {}", bytes.len(), xml.len());
+    }
+
+    mod roundtrip_properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// One generated element: kind, ident suffix, attributes, and how
+        /// many open elements to close after it.
+        type NodeScript = (String, String, Vec<(String, String)>, usize);
+
+        /// Build well-formed XML from a flat node script: each entry
+        /// opens an element (kind, ident suffix, attributes), then
+        /// closes `pops` of the currently open elements, so arbitrary
+        /// tree shapes emerge from flat generated data.
+        fn random_model_xml(nodes: &[NodeScript]) -> String {
+            let mut xml = String::from("<system id=\"root\">");
+            let mut stack: Vec<String> = Vec::new();
+            for (i, (kind, ident, attrs, pops)) in nodes.iter().enumerate() {
+                xml.push_str(&format!("<{kind} id=\"{ident}_{i}\""));
+                let mut seen = std::collections::BTreeSet::new();
+                for (k, v) in attrs {
+                    // Dodge the reserved names (a second `id` would be a
+                    // duplicate-attribute parse error) and duplicates
+                    // within this element.
+                    if matches!(k.as_str(), "id" | "name" | "type" | "extends") {
+                        continue;
+                    }
+                    if seen.insert(k.clone()) {
+                        xml.push_str(&format!(" {k}=\"{v}\""));
+                    }
+                }
+                xml.push('>');
+                stack.push(kind.clone());
+                for _ in 0..(*pops).min(stack.len()) {
+                    let k = stack.pop().unwrap();
+                    xml.push_str(&format!("</{k}>"));
+                }
+            }
+            while let Some(k) = stack.pop() {
+                xml.push_str(&format!("</{k}>"));
+            }
+            xml.push_str("</system>");
+            xml
+        }
+
+        proptest! {
+            /// encode → decode is the identity (witnessed by re-encoding
+            /// to the exact same bytes) for arbitrary model trees.
+            #[test]
+            fn encode_decode_identity(
+                nodes in proptest::collection::vec(
+                    (
+                        "[a-z]{2,6}",
+                        "[a-z][a-z0-9_]{0,5}",
+                        proptest::collection::vec(("[a-z]{2,5}", "[a-z0-9]{1,5}"), 0..4),
+                        0usize..3,
+                    ),
+                    1..32,
+                ),
+            ) {
+                let xml = random_model_xml(&nodes);
+                let doc = XpdlDocument::parse_str(&xml)
+                    .unwrap_or_else(|e| panic!("generated XML must parse: {e}\n{xml}"));
+                let m = RuntimeModel::from_element(doc.root());
+                let bytes = encode(&m);
+                let back = decode(&bytes).unwrap();
+                prop_assert_eq!(back.len(), m.len());
+                prop_assert_eq!(back.root().ident(), m.root().ident());
+                // Byte-identical re-encode proves every field survived.
+                prop_assert_eq!(encode(&back).as_ref(), bytes.as_ref());
+            }
+
+            /// Corrupting any byte of the magic/version header is
+            /// rejected with a structured error, never a panic.
+            #[test]
+            fn corrupted_magic_rejected(idx in 0usize..8, flip in 1u8..=255) {
+                let mut bytes = encode(&model()).to_vec();
+                bytes[idx] ^= flip;
+                let err = decode(&bytes).unwrap_err();
+                prop_assert!(
+                    matches!(
+                        err,
+                        FormatError::BadMagic | FormatError::BadVersion(_)
+                    ),
+                    "unexpected error {:?}",
+                    err
+                );
+            }
+
+            /// Every strict prefix of a valid encoding is rejected.
+            #[test]
+            fn truncated_buffers_rejected(frac in 0.0f64..1.0) {
+                let bytes = encode(&model());
+                let cut = ((bytes.len() - 1) as f64 * frac) as usize;
+                let err = decode(&bytes[..cut]).unwrap_err();
+                prop_assert!(
+                    matches!(err, FormatError::Truncated | FormatError::BadMagic),
+                    "cut {} of {}: {:?}",
+                    cut,
+                    bytes.len(),
+                    err
+                );
+            }
+        }
     }
 
     #[test]

@@ -102,7 +102,7 @@ mod tests {
 
     #[test]
     fn diagnostics_ext() {
-        let list = vec![
+        let list = [
             Diagnostic::warning("a", "w"),
             Diagnostic::error("b", "e"),
             Diagnostic::error("c", "e2"),

@@ -1,0 +1,256 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Benchmarks compile and run against this subset: each registered
+//! closure is warmed up once and then timed for a handful of iterations,
+//! printing `group/id ... mean time per iteration`. There is no outlier
+//! rejection, HTML report, or regression tracking — this keeps `cargo
+//! bench` meaningful in an environment with no crates.io mirror.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How many timed iterations a `Bencher` runs (after one warm-up).
+const MEASURE_ITERS: u32 = 10;
+
+/// Identifier for a benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId { label: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { label: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Declared throughput of a benchmark (accepted, echoed in output).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// Batch sizing for `iter_batched` (ignored; every iteration re-runs setup).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Drives the measured closure.
+pub struct Bencher {
+    total: Duration,
+    iters: u32,
+}
+
+impl Bencher {
+    fn new() -> Bencher {
+        Bencher { total: Duration::ZERO, iters: 0 }
+    }
+
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        black_box(routine()); // warm-up, untimed
+        let start = Instant::now();
+        for _ in 0..MEASURE_ITERS {
+            black_box(routine());
+        }
+        self.total = start.elapsed();
+        self.iters = MEASURE_ITERS;
+    }
+
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        black_box(routine(setup())); // warm-up, untimed
+        let mut total = Duration::ZERO;
+        for _ in 0..MEASURE_ITERS {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.total = total;
+        self.iters = MEASURE_ITERS;
+    }
+
+    fn report(&self, group: &str, id: &str, throughput: Option<Throughput>) {
+        let per_iter = if self.iters == 0 {
+            Duration::ZERO
+        } else {
+            self.total / self.iters
+        };
+        let qualified =
+            if group.is_empty() { id.to_string() } else { format!("{group}/{id}") };
+        match throughput {
+            Some(Throughput::Bytes(n)) => {
+                let secs = per_iter.as_secs_f64();
+                let rate = if secs > 0.0 { n as f64 / secs / 1e6 } else { f64::INFINITY };
+                println!("bench {qualified:40} {per_iter:>12?}/iter  {rate:10.1} MB/s");
+            }
+            Some(Throughput::Elements(n)) => {
+                let secs = per_iter.as_secs_f64();
+                let rate = if secs > 0.0 { n as f64 / secs / 1e6 } else { f64::INFINITY };
+                println!("bench {qualified:40} {per_iter:>12?}/iter  {rate:10.1} Melem/s");
+            }
+            None => println!("bench {qualified:40} {per_iter:>12?}/iter"),
+        }
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'c> {
+    _criterion: &'c mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_one(&self.name, &id.into().label, self.throughput, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        run_one(&self.name, &id.into().label, self.throughput, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_one(
+    group: &str,
+    id: &str,
+    throughput: Option<Throughput>,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    let mut bencher = Bencher::new();
+    f(&mut bencher);
+    bencher.report(group, id, throughput);
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _criterion: self, name: name.into(), throughput: None }
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_one("", &id.into().label, None, f);
+        self
+    }
+
+    pub fn sample_size(mut self, _n: usize) -> Self {
+        let _ = &mut self;
+        self
+    }
+
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+}
+
+/// Bundle benchmark functions under one group entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let _ = $config;
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(5);
+        g.throughput(Throughput::Bytes(128));
+        let mut runs = 0u32;
+        g.bench_function(BenchmarkId::from_parameter("x"), |b| {
+            b.iter(|| {
+                runs += 1;
+                black_box(runs)
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("f", 3), &3u32, |b, &n| {
+            b.iter_batched(|| n, |v| v * 2, BatchSize::SmallInput)
+        });
+        g.finish();
+        assert!(runs > 0);
+    }
+}

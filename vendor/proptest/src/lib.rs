@@ -1,0 +1,537 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! This workspace builds without a crates.io mirror, so `proptest` is
+//! vendored as a deterministic random-testing subset: the [`Strategy`]
+//! combinators, collection/option/string strategy constructors, and the
+//! [`proptest!`]/[`prop_oneof!`]/[`prop_assert!`] macros used by the test
+//! suites. Differences from the real crate:
+//!
+//! * **No shrinking.** A failing case reports the panic message only.
+//! * **Deterministic seeding.** Each test function derives its RNG seed
+//!   from its own name, so failures reproduce exactly; there is no
+//!   persistence (`.proptest-regressions` files are ignored).
+//! * **Regex strategies** support the fragment the suites use: literal
+//!   chars, `[...]` classes (ranges + escapes), and `{m,n}`/`{n}`/`?`/
+//!   `*`/`+` quantifiers.
+
+pub mod strategy;
+
+pub mod test_runner {
+    /// Per-proptest-block configuration (`cases` is the knob the suites use).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        pub cases: u32,
+    }
+
+    impl Config {
+        pub fn with_cases(cases: u32) -> Config {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Config {
+            Config { cases: 64 }
+        }
+    }
+
+    /// Deterministic SplitMix64 RNG used for all generation.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn seed_from(name: &str, case: u64) -> TestRng {
+            // FNV-1a over the test name, mixed with the case index; stable
+            // across platforms so failures reproduce anywhere.
+            let mut h = 0xCBF2_9CE4_8422_2325u64;
+            for b in name.as_bytes() {
+                h ^= u64::from(*b);
+                h = h.wrapping_mul(0x100_0000_01B3);
+            }
+            TestRng { state: h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15) }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw in `[0, bound)`; `bound` must be non-zero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            self.next_u64() % bound
+        }
+
+        /// Uniform draw in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::{Strategy, ValueTree};
+    use crate::test_runner::TestRng;
+    use std::collections::BTreeMap;
+
+    /// Collection sizes: an exact count or a half-open range.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max_exclusive: usize,
+    }
+
+    impl SizeRange {
+        pub fn pick(self, rng: &mut TestRng) -> usize {
+            if self.max_exclusive <= self.min + 1 {
+                return self.min;
+            }
+            self.min + rng.below((self.max_exclusive - self.min) as u64) as usize
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { min: n, max_exclusive: n + 1 }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange { min: r.start, max_exclusive: r.end }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> SizeRange {
+            SizeRange { min: *r.start(), max_exclusive: *r.end() + 1 }
+        }
+    }
+
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `vec(element, size)` — a vector of values from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> ValueTree<Self::Value> {
+            let n = self.size.pick(rng);
+            ValueTree::new((0..n).map(|_| self.element.new_value(rng).current()).collect())
+        }
+    }
+
+    #[derive(Debug, Clone)]
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: SizeRange,
+    }
+
+    /// `btree_map(key, value, size)` — a map with `size` distinct keys.
+    pub fn btree_map<K: Strategy, V: Strategy>(
+        key: K,
+        value: V,
+        size: impl Into<SizeRange>,
+    ) -> BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        BTreeMapStrategy { key, value, size: size.into() }
+    }
+
+    impl<K: Strategy, V: Strategy> Strategy for BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> ValueTree<Self::Value> {
+            let want = self.size.pick(rng);
+            let mut map = BTreeMap::new();
+            // Bounded retries: a small key domain may not admit `want`
+            // distinct keys.
+            for _ in 0..want.saturating_mul(20).max(64) {
+                if map.len() >= want {
+                    break;
+                }
+                let k = self.key.new_value(rng).current();
+                let v = self.value.new_value(rng).current();
+                map.insert(k, v);
+            }
+            ValueTree::new(map)
+        }
+    }
+}
+
+pub mod option {
+    use crate::strategy::{Strategy, ValueTree};
+    use crate::test_runner::TestRng;
+
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S>(S);
+
+    /// `of(inner)` — `Some` three times out of four, `None` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> ValueTree<Self::Value> {
+            let some = rng.below(4) != 0;
+            ValueTree::new(some.then(|| self.0.new_value(rng).current()))
+        }
+    }
+}
+
+pub mod string {
+    use crate::strategy::{Strategy, ValueTree};
+    use crate::test_runner::TestRng;
+
+    /// Error for unsupported/malformed patterns.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct Error(pub String);
+
+    impl std::fmt::Display for Error {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "bad string regex: {}", self.0)
+        }
+    }
+
+    impl std::error::Error for Error {}
+
+    #[derive(Debug, Clone)]
+    enum Atom {
+        Literal(char),
+        /// Sorted candidate characters of a `[...]` class.
+        Class(Vec<char>),
+    }
+
+    #[derive(Debug, Clone)]
+    struct Piece {
+        atom: Atom,
+        min: u32,
+        max: u32,
+    }
+
+    /// A generation-only regex strategy (see module docs for the
+    /// supported fragment).
+    #[derive(Debug, Clone)]
+    pub struct RegexGeneratorStrategy {
+        pieces: Vec<Piece>,
+    }
+
+    /// Compile `pattern` into a string strategy.
+    pub fn string_regex(pattern: &str) -> Result<RegexGeneratorStrategy, Error> {
+        let mut chars = pattern.chars().peekable();
+        let mut pieces = Vec::new();
+        while let Some(c) = chars.next() {
+            let atom = match c {
+                '[' => {
+                    let mut set = Vec::new();
+                    let mut prev: Option<char> = None;
+                    let mut closed = false;
+                    while let Some(cc) = chars.next() {
+                        match cc {
+                            ']' => {
+                                closed = true;
+                                break;
+                            }
+                            '\\' => {
+                                let esc = chars
+                                    .next()
+                                    .ok_or_else(|| Error("dangling escape".into()))?;
+                                set.push(esc);
+                                prev = Some(esc);
+                            }
+                            '-' => {
+                                // Range when between two chars; literal at
+                                // the edges ("[a-z-]" style).
+                                match (prev, chars.peek()) {
+                                    (Some(lo), Some(&hi)) if hi != ']' => {
+                                        chars.next();
+                                        if lo as u32 > hi as u32 {
+                                            return Err(Error(format!(
+                                                "inverted range {lo}-{hi}"
+                                            )));
+                                        }
+                                        for u in (lo as u32 + 1)..=(hi as u32) {
+                                            if let Some(ch) = char::from_u32(u) {
+                                                set.push(ch);
+                                            }
+                                        }
+                                        prev = None;
+                                    }
+                                    _ => {
+                                        set.push('-');
+                                        prev = Some('-');
+                                    }
+                                }
+                            }
+                            other => {
+                                set.push(other);
+                                prev = Some(other);
+                            }
+                        }
+                    }
+                    if !closed {
+                        return Err(Error("unterminated character class".into()));
+                    }
+                    if set.is_empty() {
+                        return Err(Error("empty character class".into()));
+                    }
+                    set.sort_unstable();
+                    set.dedup();
+                    Atom::Class(set)
+                }
+                '\\' => Atom::Literal(
+                    chars.next().ok_or_else(|| Error("dangling escape".into()))?,
+                ),
+                '(' | ')' | '|' | '.' | '^' | '$' => {
+                    return Err(Error(format!("unsupported regex construct {c:?}")))
+                }
+                other => Atom::Literal(other),
+            };
+            let (min, max) = match chars.peek() {
+                Some('{') => {
+                    chars.next();
+                    let mut spec = String::new();
+                    for cc in chars.by_ref() {
+                        if cc == '}' {
+                            break;
+                        }
+                        spec.push(cc);
+                    }
+                    let parse = |s: &str| {
+                        s.trim()
+                            .parse::<u32>()
+                            .map_err(|_| Error(format!("bad repeat count {s:?}")))
+                    };
+                    match spec.split_once(',') {
+                        Some((lo, hi)) => (parse(lo)?, parse(hi)?),
+                        None => {
+                            let n = parse(&spec)?;
+                            (n, n)
+                        }
+                    }
+                }
+                Some('?') => {
+                    chars.next();
+                    (0, 1)
+                }
+                Some('*') => {
+                    chars.next();
+                    (0, 8)
+                }
+                Some('+') => {
+                    chars.next();
+                    (1, 8)
+                }
+                _ => (1, 1),
+            };
+            if min > max {
+                return Err(Error(format!("inverted repeat {{{min},{max}}}")));
+            }
+            pieces.push(Piece { atom, min, max });
+        }
+        Ok(RegexGeneratorStrategy { pieces })
+    }
+
+    impl Strategy for RegexGeneratorStrategy {
+        type Value = String;
+        fn new_value(&self, rng: &mut TestRng) -> ValueTree<String> {
+            let mut out = String::new();
+            for p in &self.pieces {
+                let n = p.min + rng.below(u64::from(p.max - p.min) + 1) as u32;
+                for _ in 0..n {
+                    match &p.atom {
+                        Atom::Literal(c) => out.push(*c),
+                        Atom::Class(set) => {
+                            out.push(set[rng.below(set.len() as u64) as usize])
+                        }
+                    }
+                }
+            }
+            ValueTree::new(out)
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// `any::<T>()` for the handful of primitives the suites could ask for.
+    pub fn any<T: crate::strategy::Arbitrary>() -> T::Strategy {
+        T::arbitrary()
+    }
+}
+
+/// The proptest harness macro: runs each embedded test function `cases`
+/// times with freshly generated inputs. No shrinking — the panic of the
+/// failing case is reported directly, prefixed with the case's debug dump.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr)
+        $($(#[$meta:meta])* fn $name:ident($($pat:pat_param in $strat:expr),+ $(,)?) $body:block)*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $cfg;
+                for case in 0..u64::from(config.cases) {
+                    let mut rng = $crate::test_runner::TestRng::seed_from(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        case,
+                    );
+                    $(let $pat = $crate::strategy::Strategy::new_value(&$strat, &mut rng).current();)+
+                    // Bodies may `return Ok(())` early, like the real crate's.
+                    #[allow(clippy::redundant_closure_call)]
+                    let outcome: ::std::result::Result<(), ::std::string::String> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    if let ::std::result::Result::Err(e) = outcome {
+                        panic!("proptest case {case} failed: {e}");
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::test_runner::Config::default()) $($rest)*);
+    };
+}
+
+/// Assertion macros: identical to `assert!`/`assert_eq!`/`assert_ne!`
+/// here (the real crate routes these through its shrinking machinery).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Uniform choice between strategies of a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn regex_generates_within_class() {
+        let s = crate::string::string_regex("[a-c]{2,4}x").unwrap();
+        let mut rng = crate::test_runner::TestRng::seed_from("t", 0);
+        for _ in 0..200 {
+            let v = s.new_value(&mut rng).current();
+            assert!(v.ends_with('x'));
+            let body = &v[..v.len() - 1];
+            assert!((2..=4).contains(&body.len()));
+            assert!(body.chars().all(|c| ('a'..='c').contains(&c)), "{v}");
+        }
+    }
+
+    #[test]
+    fn str_pattern_strategy_and_map() {
+        let strat = "[a-zA-Z_][a-zA-Z0-9_.-]{0,12}".prop_map(|s| s.len());
+        let mut rng = crate::test_runner::TestRng::seed_from("t2", 1);
+        for _ in 0..100 {
+            let n = strat.new_value(&mut rng).current();
+            assert!((1..=13).contains(&n));
+        }
+    }
+
+    #[test]
+    fn union_and_just() {
+        let strat = prop_oneof![Just(1u8), Just(2u8), 5u8..7];
+        let mut rng = crate::test_runner::TestRng::seed_from("t3", 2);
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..200 {
+            seen.insert(strat.new_value(&mut rng).current());
+        }
+        assert_eq!(seen, [1u8, 2, 5, 6].into_iter().collect());
+    }
+
+    #[test]
+    fn collections_honor_sizes() {
+        let strat = crate::collection::vec(0usize..5, 2..5);
+        let mut rng = crate::test_runner::TestRng::seed_from("t4", 3);
+        for _ in 0..100 {
+            let v = strat.new_value(&mut rng).current();
+            assert!((2..5).contains(&v.len()));
+        }
+        let exact = crate::collection::vec(0usize..5, 3);
+        assert_eq!(exact.new_value(&mut rng).current().len(), 3);
+        let m = crate::collection::btree_map(0u8..50, 0u8..3, 2..6);
+        for _ in 0..50 {
+            let map = m.new_value(&mut rng).current();
+            assert!((2..6).contains(&map.len()), "{map:?}");
+        }
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        #[derive(Debug, Clone)]
+        enum Tree {
+            Leaf(u8),
+            Node(Vec<Tree>),
+        }
+        fn depth(t: &Tree) -> usize {
+            match t {
+                // Reading the payload also proves leaves carry generated data.
+                Tree::Leaf(n) => (*n as usize) / 256,
+                Tree::Node(c) => 1 + c.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let leaf = (0u8..10).prop_map(Tree::Leaf);
+        let strat = leaf.prop_recursive(3, 20, 4, |inner| {
+            crate::collection::vec(inner, 0..4).prop_map(Tree::Node)
+        });
+        let mut rng = crate::test_runner::TestRng::seed_from("t5", 4);
+        let mut max_seen = 0;
+        for _ in 0..300 {
+            max_seen = max_seen.max(depth(&strat.new_value(&mut rng).current()));
+        }
+        assert!(max_seen >= 2, "recursion never fired ({max_seen})");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn macro_end_to_end(v in crate::collection::vec(1u32..100, 1..8), s in "[ -~]{0,16}") {
+            prop_assert!(!v.is_empty());
+            prop_assert!(v.iter().all(|x| (1..100).contains(x)));
+            prop_assert!(s.len() <= 16);
+            prop_assert_eq!(v.len(), v.iter().map(|_| 1usize).sum::<usize>());
+        }
+    }
+}
