@@ -30,17 +30,45 @@ use xpdl_repo::{
 };
 use xpdl_schema::{validate_document, Schema};
 
-/// Exit status of a command (0 = success).
+/// Exit status of a command.
+///
+/// | code | meaning |
+/// |---|---|
+/// | 0 | success, no diagnostics worth acting on |
+/// | 1 | errors reported (validation/elaboration/resolution failures) |
+/// | 2 | usage error (bad subcommand, bad flag value) |
+/// | 3 | warnings only (`validate`: no errors, but the model is suspect) |
+/// | 4 | internal fault — the toolchain itself panicked (always a bug) |
 pub type ExitCode = i32;
 
 /// Run the CLI with the given arguments (excluding argv[0]); output goes
 /// to the writers so tests can capture it.
+///
+/// A panic anywhere in the pipeline is caught here and converted to exit
+/// code 4 so callers can distinguish "your descriptor is bad" (1) from
+/// "the toolchain is bad" (4). This is the last line of the no-panic
+/// guarantee: even if a bug slips past the proptests, `xpdlc` still
+/// exits with a diagnosable status instead of aborting.
 pub fn run(args: &[String], out: &mut dyn std::io::Write) -> ExitCode {
-    match dispatch(args, out) {
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        match dispatch(args, out) {
+            Ok(code) => code,
+            Err(e) => {
+                let _ = writeln!(out, "error: {e}");
+                1
+            }
+        }
+    }));
+    match result {
         Ok(code) => code,
-        Err(e) => {
-            let _ = writeln!(out, "error: {e}");
-            1
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            let _ = writeln!(out, "internal fault (this is a bug in xpdlc): {msg}");
+            4
         }
     }
 }
@@ -62,19 +90,10 @@ fn dispatch(args: &[String], out: &mut dyn std::io::Write) -> Result<ExitCode, B
             }
             Ok(0)
         }
-        "validate" => {
-            let path = arg_at(rest, 0, "validate <file.xpdl>")?;
-            let src = std::fs::read_to_string(&path)?;
-            let doc = XpdlDocument::parse_named(&src, &path)?;
-            let diags = validate_document(&doc, &Schema::core());
-            let mut errors = 0;
-            for d in &diags {
-                writeln!(out, "{d}")?;
-                errors += usize::from(d.is_error());
-            }
-            writeln!(out, "{}: {} diagnostics, {} errors", path, diags.len(), errors)?;
-            Ok(if errors == 0 { 0 } else { 1 })
-        }
+        "validate" => validate(rest, out),
+        // Hidden: deliberately panic so tests (and packagers) can check
+        // that the internal-fault exit path really yields code 4.
+        "selftest-panic" => panic!("deliberate panic requested via selftest-panic"),
         "compose" => {
             let key = arg_at(rest, 0, "compose <key>")?;
             let (model, metrics) = compose(&key, rest)?;
@@ -89,6 +108,9 @@ fn dispatch(args: &[String], out: &mut dyn std::io::Write) -> Result<ExitCode, B
             writeln!(out, "repository: {metrics}")?;
             for d in &model.diagnostics {
                 writeln!(out, "{d}")?;
+            }
+            for p in &model.poisoned {
+                writeln!(out, "poisoned: {p}")?;
             }
             for link in &model.links {
                 if let (Some(bw), Some(by)) = (link.effective_bandwidth, link.limited_by.as_ref()) {
@@ -266,9 +288,103 @@ fn dispatch(args: &[String], out: &mut dyn std::io::Write) -> Result<ExitCode, B
     }
 }
 
+/// `xpdlc validate`: schema-check a descriptor, optionally running the
+/// whole pipeline in fail-soft mode.
+///
+/// Fail-fast (default) stops at the first parse/conversion error, exactly
+/// like `compose` would. `--keep-going` switches every stage into
+/// accumulation mode: lossy parse, full schema validation, resolution
+/// with missing references downgraded to warnings, and poisoned-subtree
+/// elaboration — so a single run reports *all* faults with source spans.
+fn validate(
+    rest: &[String],
+    out: &mut dyn std::io::Write,
+) -> Result<ExitCode, Box<dyn std::error::Error>> {
+    use xpdl_core::diag::{diagnostics_to_json, DiagSink};
+
+    let path = arg_at(rest, 0, "validate <file.xpdl> [--keep-going] [--max-errors N] [--diag-format text|json]")?;
+    let keep_going = has_flag(rest, "--keep-going");
+    let max_errors = parse_flag::<usize>(rest, "--max-errors")?.unwrap_or(0);
+    let format = flag_value(rest, "--diag-format").unwrap_or_else(|| "text".to_string());
+    if format != "text" && format != "json" {
+        writeln!(out, "unknown --diag-format '{format}' (text|json)")?;
+        return Ok(2);
+    }
+    let src = std::fs::read_to_string(&path)?;
+
+    let mut sink = DiagSink::with_max_errors(max_errors);
+    if keep_going {
+        match XpdlDocument::parse_named_lossy(&src, &path) {
+            Ok((doc, parse_diags)) => {
+                sink.extend(parse_diags);
+                sink.extend(validate_document(&doc, &Schema::core()));
+                // Run the rest of the pipeline fail-soft: the descriptor
+                // joins the front of the search path under its own ident
+                // so type/extends references resolve against the library.
+                let key = doc.root().ident().unwrap_or("input").to_string();
+                let repo = repository_with(rest, Some((&key, &src)))?;
+                let opts = ResolveOptions { allow_missing: true, ..resolve_options(rest)? };
+                match repo.resolve_with(&key, &opts) {
+                    Ok(set) => {
+                        let eopts =
+                            xpdl_elab::ElabOptions { keep_going: true, ..Default::default() };
+                        match xpdl_elab::elaborate_with(&set, &eopts) {
+                            Ok(model) => sink.extend(model.diagnostics),
+                            // keep_going only surfaces Err for resource
+                            // exhaustion (TooLarge) — still worth a code.
+                            Err(e) => sink.push(e.to_diagnostic(&key)),
+                        }
+                    }
+                    Err(e) => sink.push(e.to_diagnostic()),
+                }
+            }
+            // Malformed XML is unrecoverable: report the one fatal fault
+            // as a diagnostic (rather than bailing) so --diag-format=json
+            // output stays machine-readable even here.
+            Err(e) => sink.push(e.to_diagnostic(&path)),
+        }
+    } else {
+        let doc = XpdlDocument::parse_named(&src, &path)?;
+        sink.extend(validate_document(&doc, &Schema::core()));
+    }
+
+    sink.sort_by_location();
+    let errors = sink.total_errors();
+    let warnings = sink.warning_count();
+    if format == "json" {
+        writeln!(out, "{}", diagnostics_to_json(sink.as_slice()))?;
+    } else {
+        for d in sink.as_slice() {
+            writeln!(out, "{d}")?;
+        }
+        if sink.suppressed() > 0 {
+            writeln!(out, "... {} more error(s) suppressed by --max-errors", sink.suppressed())?;
+        }
+        writeln!(out, "{}: {} diagnostics, {} errors", path, sink.as_slice().len(), errors)?;
+    }
+    Ok(if errors > 0 {
+        1
+    } else if warnings > 0 {
+        3
+    } else {
+        0
+    })
+}
+
 fn repository(args: &[String]) -> Result<Repository, String> {
+    repository_with(args, None)
+}
+
+/// Build the store stack, optionally pinning an in-memory descriptor
+/// (`key`, `source`) at the very front so it shadows everything else.
+fn repository_with(args: &[String], front: Option<(&str, &str)>) -> Result<Repository, String> {
     // User-provided models take precedence over the built-in library.
     let mut stores: Vec<Box<dyn ModelStore>> = Vec::new();
+    if let Some((key, src)) = front {
+        let mut file = MemoryStore::new();
+        file.insert(key, src);
+        stores.push(Box::new(file));
+    }
     if let Some(dir) = flag_value(args, "--models") {
         stores.push(Box::new(DirStore::new(dir)));
     }
@@ -317,8 +433,16 @@ fn compose(
     args: &[String],
 ) -> Result<(xpdl_elab::Elaborated, RepoMetrics), Box<dyn std::error::Error>> {
     let repo = repository(args)?;
-    let set = repo.resolve_with(key, &resolve_options(args)?)?;
-    let model = xpdl_elab::elaborate(&set)?;
+    let keep_going = has_flag(args, "--keep-going");
+    let mut opts = resolve_options(args)?;
+    if keep_going {
+        opts.allow_missing = true;
+    }
+    let set = repo.resolve_with(key, &opts)?;
+    let model = xpdl_elab::elaborate_with(
+        &set,
+        &xpdl_elab::ElabOptions { keep_going, ..Default::default() },
+    )?;
     Ok((model, repo.metrics()))
 }
 
@@ -378,17 +502,36 @@ fn arg_at(args: &[String], i: usize, usage: &str) -> Result<String, String> {
     args.get(i).cloned().ok_or_else(|| format!("usage: xpdlc {usage}"))
 }
 
+/// Is a boolean flag present? (exact match only — `--keep-going`)
+fn has_flag(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
+
+/// Locate a valued flag, accepting both `--flag value` and `--flag=value`.
+/// `Err` if the flag is present but the value is missing.
+fn flag_lookup(args: &[String], flag: &str) -> Result<Option<String>, String> {
+    for (i, a) in args.iter().enumerate() {
+        if a == flag {
+            return match args.get(i + 1) {
+                Some(v) => Ok(Some(v.clone())),
+                None => Err(format!("{flag} requires a value")),
+            };
+        }
+        if let Some(v) = a.strip_prefix(flag).and_then(|r| r.strip_prefix('=')) {
+            return Ok(Some(v.to_string()));
+        }
+    }
+    Ok(None)
+}
+
 fn flag_value(args: &[String], flag: &str) -> Option<String> {
-    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
+    flag_lookup(args, flag).ok().flatten()
 }
 
 fn parse_flag<T: std::str::FromStr>(args: &[String], flag: &str) -> Result<Option<T>, String> {
-    match args.iter().position(|a| a == flag) {
+    match flag_lookup(args, flag)? {
         None => Ok(None),
-        Some(i) => {
-            let v = args.get(i + 1).ok_or_else(|| format!("{flag} requires a value"))?;
-            v.parse().map(Some).map_err(|_| format!("invalid value '{v}' for {flag}"))
-        }
+        Some(v) => v.parse().map(Some).map_err(|_| format!("invalid value '{v}' for {flag}")),
     }
 }
 
@@ -401,7 +544,11 @@ fn write_usage(out: &mut dyn std::io::Write) -> std::io::Result<()> {
          \n\
          SUBCOMMANDS:\n\
          \x20 validate <file.xpdl>           parse + schema-check a descriptor\n\
+         \x20   --keep-going                 fail-soft: run the whole pipeline, report every fault\n\
+         \x20   --max-errors N               cap reported errors (0 = unlimited)\n\
+         \x20   --diag-format text|json      diagnostic output format (json is stable)\n\
          \x20 compose <key> [--models DIR]   resolve + elaborate a system model\n\
+         \x20   --keep-going                 poison failing subtrees instead of aborting\n\
          \x20 dump <key>                     print the composed model as XML\n\
          \x20 build <key> -o <file>          write the runtime data structure\n\
          \x20 query <file.xpdlrt> [id [at]]  runtime query API\n\
@@ -418,7 +565,10 @@ fn write_usage(out: &mut dyn std::io::Write) -> std::io::Result<()> {
          \x20 --jobs N           parallel resolution workers (default 1)\n\
          \x20 --retries N        fetch attempts per store; 0/1 = fail fast (default 4)\n\
          \x20 --fault-rate F     inject store failures at rate F in [0,1] (testing)\n\
-         \x20 --fault-seed S     seed for the deterministic fault script (default 42)"
+         \x20 --fault-seed S     seed for the deterministic fault script (default 42)\n\
+         \n\
+         EXIT CODES:\n\
+         \x20 0 clean   1 errors   2 usage   3 warnings only (validate)   4 internal fault"
     )
 }
 
@@ -695,5 +845,140 @@ mod tests {
         assert!(out.contains("--retries"), "{out}");
         assert!(out.contains("--fault-rate"), "{out}");
         assert!(out.contains("--jobs"), "{out}");
+    }
+
+    #[test]
+    fn usage_documents_fail_soft_flags_and_exit_codes() {
+        let (_, out) = run_cli(&["help"]);
+        assert!(out.contains("--keep-going"), "{out}");
+        assert!(out.contains("--max-errors"), "{out}");
+        assert!(out.contains("--diag-format"), "{out}");
+        assert!(out.contains("EXIT CODES"), "{out}");
+    }
+
+    /// A descriptor with several independent faults across pipeline
+    /// stages: a bad unit (schema), a bad numeric attribute (schema), and
+    /// an unknown type (elaboration).
+    fn multi_fault_descriptor() -> &'static str {
+        r#"<system id="faulty">
+  <cache id="L1" size="12megs" unit="KiB"/>
+  <cache id="L2" size="256" unit="XB"/>
+  <device id="acc" type="NoSuchAccelerator"/>
+</system>"#
+    }
+
+    fn write_temp(name: &str, contents: &str) -> (std::path::PathBuf, String) {
+        let dir = std::env::temp_dir().join(format!("xpdlc_{}_{}", name, std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("m.xpdl");
+        std::fs::write(&path, contents).unwrap();
+        (dir, path.to_str().unwrap().to_string())
+    }
+
+    #[test]
+    fn validate_keep_going_reports_all_stages() {
+        let (dir, path) = write_temp("kg", multi_fault_descriptor());
+        // Fail-fast only sees the schema faults (elaboration never runs).
+        let (code, out) = run_cli(&["validate", &path]);
+        assert_eq!(code, 1, "{out}");
+        assert!(!out.contains("NoSuchAccelerator"), "{out}");
+        // Keep-going runs the whole pipeline and reports everything.
+        let (code, out) = run_cli(&["validate", &path, "--keep-going"]);
+        assert_eq!(code, 1, "{out}");
+        assert!(out.contains("12megs"), "{out}");
+        assert!(out.contains("XB"), "{out}");
+        assert!(out.contains("NoSuchAccelerator"), "{out}");
+        // Diagnostics carry line:col positions into the text output.
+        assert!(out.contains("(2:"), "{out}");
+        assert!(out.contains("(3:"), "{out}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn validate_max_errors_caps_output() {
+        let (dir, path) = write_temp("cap", multi_fault_descriptor());
+        let (code, out) = run_cli(&["validate", &path, "--keep-going", "--max-errors=1"]);
+        assert_eq!(code, 1, "{out}");
+        assert!(out.contains("suppressed by --max-errors"), "{out}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn validate_json_format_is_machine_readable() {
+        let (dir, path) = write_temp("json", multi_fault_descriptor());
+        let (code, out) = run_cli(&["validate", &path, "--keep-going", "--diag-format=json"]);
+        assert_eq!(code, 1, "{out}");
+        let parsed = xpdl_core::parse_diagnostics_json(&out).expect("valid diagnostics JSON");
+        assert!(parsed.iter().any(|d| d.message.contains("NoSuchAccelerator")), "{out}");
+        assert!(parsed.iter().any(|d| d.pos().is_some()), "{out}");
+        // Unknown formats are a usage error.
+        let (code, out) = run_cli(&["validate", &path, "--diag-format", "yaml"]);
+        assert_eq!(code, 2, "{out}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn validate_keep_going_survives_malformed_xml() {
+        let (dir, path) = write_temp("xml", "<system id=\"s\">\n  <oops\n</system>");
+        let (code, out) = run_cli(&["validate", &path, "--keep-going", "--diag-format=json"]);
+        assert_eq!(code, 1, "{out}");
+        let parsed = xpdl_core::parse_diagnostics_json(&out).expect("valid diagnostics JSON");
+        assert_eq!(parsed.len(), 1, "{out}");
+        assert_eq!(parsed[0].code, "P000", "{out}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn validate_warnings_only_exits_three() {
+        // An unknown (extension) tag is a warning, not an error — the
+        // model is suspect but usable, and the exit code says so.
+        let (dir, path) =
+            write_temp("warn", r#"<system id="s"><frobnicator id="f"/></system>"#);
+        let (code, out) = run_cli(&["validate", &path]);
+        assert_eq!(code, 3, "{out}");
+        assert!(out.contains("warning"), "{out}");
+        assert!(out.contains("0 errors"), "{out}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn equals_form_flags_accepted() {
+        let (code, out) = run_cli(&["compose", "liu_gpu_server", "--jobs=2", "--retries=4"]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("2500 cores"), "{out}");
+        let (code, out) = run_cli(&["compose", "liu_gpu_server", "--jobs=lots"]);
+        assert_eq!(code, 1, "{out}");
+        assert!(out.contains("invalid value 'lots' for --jobs"), "{out}");
+    }
+
+    #[test]
+    fn compose_keep_going_poisons_and_reports() {
+        let dir = std::env::temp_dir().join(format!("xpdlc_ckg_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            dir.join("broken_server.xpdl"),
+            r#"<system id="broken_server"><cpu id="h" type="Xeon1"/><device id="d" type="Ghost"/></system>"#,
+        )
+        .unwrap();
+        let dir_s = dir.to_str().unwrap().to_string();
+        // Fail-fast aborts on the unresolvable reference.
+        let (code, out) = run_cli(&["compose", "broken_server", "--models", &dir_s]);
+        assert_eq!(code, 1, "{out}");
+        assert!(out.contains("not found"), "{out}");
+        // Keep-going still elaborates the healthy sibling and quarantines
+        // the failing one.
+        let (code, out) = run_cli(&["compose", "broken_server", "--models", &dir_s, "--keep-going"]);
+        assert_eq!(code, 1, "{out}");
+        assert!(out.contains("4 cores"), "{out}");
+        assert!(out.contains("poisoned:"), "{out}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn internal_fault_exits_four() {
+        let (code, out) = run_cli(&["selftest-panic"]);
+        assert_eq!(code, 4, "{out}");
+        assert!(out.contains("internal fault"), "{out}");
+        assert!(out.contains("bug"), "{out}");
     }
 }

@@ -1,0 +1,729 @@
+//! Unified, source-located diagnostics for the whole toolchain.
+//!
+//! Every stage of the pipeline — parse, schema validation, repository
+//! resolution, elaboration — reports findings as [`Diagnostic`]s on this
+//! one type, so tools can accumulate problems across stages and present
+//! them together instead of aborting at the first error. A diagnostic
+//! carries:
+//!
+//! * a [`Severity`] class,
+//! * a stable machine-readable `code` (see the taxonomy in DESIGN.md:
+//!   `P0xx` parse, `V1xx` validation, `E2xx` elaboration, `R3xx`
+//!   repository; empty for legacy/uncategorized findings),
+//! * the slash-separated element `path` from the document root,
+//! * an optional source [`Span`] (line:col provenance from `xpdl-xml`),
+//! * the human-readable `message`, and free-form `notes`.
+//!
+//! [`DiagSink`] is the accumulator threaded through fail-soft runs: it
+//! caps the number of retained errors (`--max-errors`) while still
+//! counting everything, and [`diagnostics_to_json`] /
+//! [`parse_diagnostics_json`] provide the stable machine-readable format
+//! behind `xpdlc --diag-format=json`.
+
+use std::fmt;
+use xpdl_xml::{Pos, Span};
+
+/// Severity of a diagnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Informational note (e.g. extensibility escape hatch in use).
+    Info,
+    /// Suspicious but permitted (unknown attribute, unknown tag).
+    Warning,
+    /// Violates the core metamodel or prevents elaboration.
+    Error,
+}
+
+impl Severity {
+    /// Parse the lowercase name used in the JSON format.
+    pub fn parse(s: &str) -> Option<Severity> {
+        match s {
+            "info" => Some(Severity::Info),
+            "warning" => Some(Severity::Warning),
+            "error" => Some(Severity::Error),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Info => write!(f, "info"),
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// One finding, from any pipeline stage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Severity class.
+    pub severity: Severity,
+    /// Stable machine-readable code (`"V107"`); empty = uncategorized.
+    pub code: String,
+    /// Slash-separated element path from the root, e.g.
+    /// `system[liu_gpu_server]/interconnects/interconnect[connection1]`.
+    pub path: String,
+    /// Source span in the originating descriptor, when known.
+    pub span: Option<Span>,
+    /// Human-readable message.
+    pub message: String,
+    /// Additional free-form notes (rendered one per line).
+    pub notes: Vec<String>,
+}
+
+impl Diagnostic {
+    fn new(severity: Severity, path: impl Into<String>, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            severity,
+            code: String::new(),
+            path: path.into(),
+            span: None,
+            message: message.into(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Construct an error.
+    pub fn error(path: impl Into<String>, message: impl Into<String>) -> Diagnostic {
+        Diagnostic::new(Severity::Error, path, message)
+    }
+
+    /// Construct a warning.
+    pub fn warning(path: impl Into<String>, message: impl Into<String>) -> Diagnostic {
+        Diagnostic::new(Severity::Warning, path, message)
+    }
+
+    /// Construct an info note.
+    pub fn info(path: impl Into<String>, message: impl Into<String>) -> Diagnostic {
+        Diagnostic::new(Severity::Info, path, message)
+    }
+
+    /// Builder: attach a stable code.
+    pub fn with_code(mut self, code: impl Into<String>) -> Diagnostic {
+        self.code = code.into();
+        self
+    }
+
+    /// Builder: attach a source span. The all-default span (an element
+    /// built programmatically, never parsed) counts as "no location".
+    pub fn with_span(mut self, span: Span) -> Diagnostic {
+        if span != Span::default() {
+            self.span = Some(span);
+        }
+        self
+    }
+
+    /// Builder: append a note line.
+    pub fn with_note(mut self, note: impl Into<String>) -> Diagnostic {
+        self.notes.push(note.into());
+        self
+    }
+
+    /// Whether this is an error.
+    pub fn is_error(&self) -> bool {
+        self.severity == Severity::Error
+    }
+
+    /// The start position, when located.
+    pub fn pos(&self) -> Option<Pos> {
+        self.span.map(|s| s.start)
+    }
+
+    /// Serialize this diagnostic as one stable JSON object.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(128);
+        s.push_str("{\"severity\":");
+        json_string(&mut s, &self.severity.to_string());
+        s.push_str(",\"code\":");
+        json_string(&mut s, &self.code);
+        s.push_str(",\"path\":");
+        json_string(&mut s, &self.path);
+        s.push_str(",\"span\":");
+        match self.span {
+            None => s.push_str("null"),
+            Some(sp) => {
+                s.push_str(&format!(
+                    "{{\"start\":{{\"offset\":{},\"line\":{},\"col\":{}}},\
+                     \"end\":{{\"offset\":{},\"line\":{},\"col\":{}}}}}",
+                    sp.start.offset, sp.start.line, sp.start.col,
+                    sp.end.offset, sp.end.line, sp.end.col,
+                ));
+            }
+        }
+        s.push_str(",\"message\":");
+        json_string(&mut s, &self.message);
+        s.push_str(",\"notes\":[");
+        for (i, n) in self.notes.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            json_string(&mut s, n);
+        }
+        s.push_str("]}");
+        s
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.severity)?;
+        if !self.code.is_empty() {
+            write!(f, "[{}]", self.code)?;
+        }
+        write!(f, ": {}", self.path)?;
+        if let Some(span) = self.span {
+            write!(f, " ({})", span.start)?;
+        }
+        write!(f, ": {}", self.message)?;
+        for note in &self.notes {
+            write!(f, "\n  note: {note}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Summary helpers over a diagnostic list.
+pub trait DiagnosticsExt {
+    /// Count of errors.
+    fn error_count(&self) -> usize;
+    /// Count of warnings.
+    fn warning_count(&self) -> usize;
+    /// Whether the set is free of errors (warnings allowed).
+    fn is_valid(&self) -> bool {
+        self.error_count() == 0
+    }
+}
+
+impl DiagnosticsExt for [Diagnostic] {
+    fn error_count(&self) -> usize {
+        self.iter().filter(|d| d.is_error()).count()
+    }
+
+    fn warning_count(&self) -> usize {
+        self.iter().filter(|d| d.severity == Severity::Warning).count()
+    }
+}
+
+/// Accumulator for fail-soft runs: collects diagnostics across stages and
+/// caps the number of *retained* errors without losing the total count.
+#[derive(Debug, Clone, Default)]
+pub struct DiagSink {
+    diags: Vec<Diagnostic>,
+    /// Retain at most this many errors (0 = unlimited). Warnings and infos
+    /// are never capped.
+    max_errors: usize,
+    /// Errors seen past the cap (counted, not retained).
+    suppressed: usize,
+}
+
+impl DiagSink {
+    /// An unbounded sink.
+    pub fn new() -> DiagSink {
+        DiagSink::default()
+    }
+
+    /// A sink retaining at most `max_errors` errors (0 = unlimited).
+    pub fn with_max_errors(max_errors: usize) -> DiagSink {
+        DiagSink { max_errors, ..DiagSink::default() }
+    }
+
+    /// Add one diagnostic, honoring the error cap.
+    pub fn push(&mut self, d: Diagnostic) {
+        if d.is_error() && self.saturated() {
+            self.suppressed += 1;
+            return;
+        }
+        self.diags.push(d);
+    }
+
+    /// Add many.
+    pub fn extend(&mut self, diags: impl IntoIterator<Item = Diagnostic>) {
+        for d in diags {
+            self.push(d);
+        }
+    }
+
+    /// Whether the error cap has been reached.
+    pub fn saturated(&self) -> bool {
+        self.max_errors > 0 && self.error_count() >= self.max_errors
+    }
+
+    /// Retained errors.
+    pub fn error_count(&self) -> usize {
+        self.diags.error_count()
+    }
+
+    /// Total errors seen, including suppressed ones.
+    pub fn total_errors(&self) -> usize {
+        self.error_count() + self.suppressed
+    }
+
+    /// Errors dropped by the cap.
+    pub fn suppressed(&self) -> usize {
+        self.suppressed
+    }
+
+    /// Retained warnings.
+    pub fn warning_count(&self) -> usize {
+        self.diags.warning_count()
+    }
+
+    /// No errors seen at all (warnings allowed).
+    pub fn is_clean(&self) -> bool {
+        self.total_errors() == 0
+    }
+
+    /// Retained diagnostics, in insertion order.
+    pub fn as_slice(&self) -> &[Diagnostic] {
+        &self.diags
+    }
+
+    /// Sort retained diagnostics by source position (unlocated last),
+    /// breaking ties by path — the order `xpdlc` reports in.
+    pub fn sort_by_location(&mut self) {
+        self.diags.sort_by(|a, b| {
+            let ka = a.span.map(|s| s.start.offset).unwrap_or(usize::MAX);
+            let kb = b.span.map(|s| s.start.offset).unwrap_or(usize::MAX);
+            ka.cmp(&kb).then_with(|| a.path.cmp(&b.path))
+        });
+    }
+
+    /// Consume into the retained diagnostics.
+    pub fn into_vec(self) -> Vec<Diagnostic> {
+        self.diags
+    }
+}
+
+/// Serialize a diagnostic list as the stable `--diag-format=json` document:
+/// `{"version":1,"diagnostics":[…],"summary":{…}}`.
+pub fn diagnostics_to_json(diags: &[Diagnostic]) -> String {
+    let mut s = String::with_capacity(64 + diags.len() * 128);
+    s.push_str("{\"version\":1,\"diagnostics\":[");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&d.to_json());
+    }
+    let infos = diags.len() - diags.error_count() - diags.warning_count();
+    s.push_str(&format!(
+        "],\"summary\":{{\"errors\":{},\"warnings\":{},\"infos\":{}}}}}",
+        diags.error_count(),
+        diags.warning_count(),
+        infos
+    ));
+    s
+}
+
+/// Parse a `--diag-format=json` document back into diagnostics. The
+/// inverse of [`diagnostics_to_json`]: `parse(to_json(d)) == d`.
+pub fn parse_diagnostics_json(src: &str) -> Result<Vec<Diagnostic>, String> {
+    let value = json::parse(src)?;
+    let obj = value.as_object().ok_or("top level is not an object")?;
+    let list = json::get(obj, "diagnostics")
+        .and_then(json::JsonValue::as_array)
+        .ok_or("missing \"diagnostics\" array")?;
+    list.iter().map(diagnostic_from_json).collect()
+}
+
+fn diagnostic_from_json(v: &json::JsonValue) -> Result<Diagnostic, String> {
+    let obj = v.as_object().ok_or("diagnostic is not an object")?;
+    let field = |k: &str| -> Result<String, String> {
+        json::get(obj, k)
+            .and_then(json::JsonValue::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| format!("missing string field {k:?}"))
+    };
+    let severity =
+        Severity::parse(&field("severity")?).ok_or_else(|| "bad severity".to_string())?;
+    let span = match json::get(obj, "span") {
+        None | Some(json::JsonValue::Null) => None,
+        Some(sp) => Some(span_from_json(sp)?),
+    };
+    let notes = match json::get(obj, "notes").and_then(json::JsonValue::as_array) {
+        None => Vec::new(),
+        Some(items) => items
+            .iter()
+            .map(|n| n.as_str().map(str::to_string).ok_or_else(|| "non-string note".to_string()))
+            .collect::<Result<_, _>>()?,
+    };
+    Ok(Diagnostic {
+        severity,
+        code: field("code")?,
+        path: field("path")?,
+        span,
+        message: field("message")?,
+        notes,
+    })
+}
+
+fn span_from_json(v: &json::JsonValue) -> Result<Span, String> {
+    let obj = v.as_object().ok_or("span is not an object")?;
+    let pos = |k: &str| -> Result<Pos, String> {
+        let p = json::get(obj, k)
+            .and_then(json::JsonValue::as_object)
+            .ok_or_else(|| format!("missing span position {k:?}"))?;
+        let num = |f: &str| -> Result<f64, String> {
+            json::get(p, f)
+                .and_then(json::JsonValue::as_number)
+                .ok_or_else(|| format!("missing span field {f:?}"))
+        };
+        Ok(Pos::new(num("offset")? as usize, num("line")? as u32, num("col")? as u32))
+    };
+    Ok(Span::new(pos("start")?, pos("end")?))
+}
+
+fn json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A minimal recursive-descent JSON reader — just enough to round-trip the
+/// diagnostics format without an external serialization dependency (the
+/// workspace builds offline; see DESIGN.md "Offline dependency shims").
+mod json {
+    pub enum JsonValue {
+        Null,
+        // The diagnostics format never reads booleans back; the variant
+        // exists so stray `true`/`false` tokens parse rather than error.
+        Bool,
+        Number(f64),
+        Str(String),
+        Array(Vec<JsonValue>),
+        Object(Vec<(String, JsonValue)>),
+    }
+
+    impl JsonValue {
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                JsonValue::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        pub fn as_number(&self) -> Option<f64> {
+            match self {
+                JsonValue::Number(n) => Some(*n),
+                _ => None,
+            }
+        }
+
+        pub fn as_array(&self) -> Option<&[JsonValue]> {
+            match self {
+                JsonValue::Array(a) => Some(a),
+                _ => None,
+            }
+        }
+
+        pub fn as_object(&self) -> Option<&[(String, JsonValue)]> {
+            match self {
+                JsonValue::Object(o) => Some(o),
+                _ => None,
+            }
+        }
+    }
+
+    pub fn get<'a>(obj: &'a [(String, JsonValue)], key: &str) -> Option<&'a JsonValue> {
+        obj.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    pub fn parse(src: &str) -> Result<JsonValue, String> {
+        let bytes = src.as_bytes();
+        let mut i = 0usize;
+        let v = value(bytes, &mut i, 0)?;
+        skip_ws(bytes, &mut i);
+        if i != bytes.len() {
+            return Err(format!("trailing content at byte {i}"));
+        }
+        Ok(v)
+    }
+
+    const MAX_DEPTH: usize = 64;
+
+    fn value(b: &[u8], i: &mut usize, depth: usize) -> Result<JsonValue, String> {
+        if depth > MAX_DEPTH {
+            return Err("JSON nesting too deep".to_string());
+        }
+        skip_ws(b, i);
+        match b.get(*i) {
+            None => Err("unexpected end of JSON".to_string()),
+            Some(b'n') => lit(b, i, "null", JsonValue::Null),
+            Some(b't') => lit(b, i, "true", JsonValue::Bool),
+            Some(b'f') => lit(b, i, "false", JsonValue::Bool),
+            Some(b'"') => Ok(JsonValue::Str(string(b, i)?)),
+            Some(b'[') => {
+                *i += 1;
+                let mut items = Vec::new();
+                skip_ws(b, i);
+                if b.get(*i) == Some(&b']') {
+                    *i += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                loop {
+                    items.push(value(b, i, depth + 1)?);
+                    skip_ws(b, i);
+                    match b.get(*i) {
+                        Some(b',') => *i += 1,
+                        Some(b']') => {
+                            *i += 1;
+                            return Ok(JsonValue::Array(items));
+                        }
+                        _ => return Err(format!("expected ',' or ']' at byte {i}")),
+                    }
+                }
+            }
+            Some(b'{') => {
+                *i += 1;
+                let mut fields = Vec::new();
+                skip_ws(b, i);
+                if b.get(*i) == Some(&b'}') {
+                    *i += 1;
+                    return Ok(JsonValue::Object(fields));
+                }
+                loop {
+                    skip_ws(b, i);
+                    let k = string(b, i)?;
+                    skip_ws(b, i);
+                    if b.get(*i) != Some(&b':') {
+                        return Err(format!("expected ':' at byte {i}"));
+                    }
+                    *i += 1;
+                    let v = value(b, i, depth + 1)?;
+                    fields.push((k, v));
+                    skip_ws(b, i);
+                    match b.get(*i) {
+                        Some(b',') => *i += 1,
+                        Some(b'}') => {
+                            *i += 1;
+                            return Ok(JsonValue::Object(fields));
+                        }
+                        _ => return Err(format!("expected ',' or '}}' at byte {i}")),
+                    }
+                }
+            }
+            Some(_) => number(b, i),
+        }
+    }
+
+    fn lit(b: &[u8], i: &mut usize, word: &str, v: JsonValue) -> Result<JsonValue, String> {
+        if b[*i..].starts_with(word.as_bytes()) {
+            *i += word.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at byte {i}"))
+        }
+    }
+
+    fn number(b: &[u8], i: &mut usize) -> Result<JsonValue, String> {
+        let start = *i;
+        while let Some(c) = b.get(*i) {
+            if c.is_ascii_digit() || matches!(c, b'-' | b'+' | b'.' | b'e' | b'E') {
+                *i += 1;
+            } else {
+                break;
+            }
+        }
+        std::str::from_utf8(&b[start..*i])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(JsonValue::Number)
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
+
+    fn string(b: &[u8], i: &mut usize) -> Result<String, String> {
+        if b.get(*i) != Some(&b'"') {
+            return Err(format!("expected string at byte {i}"));
+        }
+        *i += 1;
+        let mut out = String::new();
+        loop {
+            match b.get(*i) {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    *i += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    *i += 1;
+                    match b.get(*i) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = b
+                                .get(*i + 1..*i + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| format!("bad \\u escape at byte {i}"))?;
+                            out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                            *i += 4;
+                        }
+                        _ => return Err(format!("bad escape at byte {i}")),
+                    }
+                    *i += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (multi-byte sequences pass
+                    // through unchanged).
+                    let rest = std::str::from_utf8(&b[*i..])
+                        .map_err(|_| "invalid UTF-8 in string".to_string())?;
+                    let c = rest.chars().next().ok_or("unterminated string")?;
+                    out.push(c);
+                    *i += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn skip_ws(b: &[u8], i: &mut usize) {
+        while matches!(b.get(*i), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            *i += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_display_compat() {
+        // The legacy (pre-span) rendering stays byte-identical.
+        let e = Diagnostic::error("cpu[X]", "bad");
+        assert!(e.is_error());
+        assert_eq!(e.to_string(), "error: cpu[X]: bad");
+        let w = Diagnostic::warning("p", "odd");
+        assert!(!w.is_error());
+        let i = Diagnostic::info("p", "note");
+        assert_eq!(i.severity, Severity::Info);
+    }
+
+    #[test]
+    fn display_with_code_span_and_notes() {
+        let span = Span::new(Pos::new(10, 3, 4), Pos::new(20, 3, 14));
+        let d = Diagnostic::error("system[s]/cache[L1]", "unrecognized unit \"XB\"")
+            .with_code("V107")
+            .with_span(span)
+            .with_note("known size units include KB, KiB, MB");
+        let s = d.to_string();
+        assert_eq!(
+            s,
+            "error[V107]: system[s]/cache[L1] (3:4): unrecognized unit \"XB\"\n  \
+             note: known size units include KB, KiB, MB"
+        );
+        assert_eq!(d.pos(), Some(Pos::new(10, 3, 4)));
+    }
+
+    #[test]
+    fn default_span_counts_as_unlocated() {
+        let d = Diagnostic::error("p", "m").with_span(Span::default());
+        assert_eq!(d.span, None);
+    }
+
+    #[test]
+    fn severity_ordering_and_parse() {
+        assert!(Severity::Error > Severity::Warning);
+        assert!(Severity::Warning > Severity::Info);
+        assert_eq!(Severity::parse("error"), Some(Severity::Error));
+        assert_eq!(Severity::parse("bogus"), None);
+    }
+
+    #[test]
+    fn diagnostics_ext() {
+        let list = [
+            Diagnostic::warning("a", "w"),
+            Diagnostic::error("b", "e"),
+            Diagnostic::error("c", "e2"),
+        ];
+        assert_eq!(list.error_count(), 2);
+        assert_eq!(list.warning_count(), 1);
+        assert!(!list.is_valid());
+        assert!(list[..1].is_valid());
+    }
+
+    #[test]
+    fn sink_caps_errors_but_counts_all() {
+        let mut sink = DiagSink::with_max_errors(2);
+        for i in 0..5 {
+            sink.push(Diagnostic::error("p", format!("e{i}")));
+            sink.push(Diagnostic::warning("p", format!("w{i}")));
+        }
+        assert_eq!(sink.error_count(), 2);
+        assert_eq!(sink.total_errors(), 5);
+        assert_eq!(sink.suppressed(), 3);
+        assert_eq!(sink.warning_count(), 5); // warnings never capped
+        assert!(sink.saturated());
+        assert!(!sink.is_clean());
+    }
+
+    #[test]
+    fn sink_sorts_by_location() {
+        let at = |off: usize| Span::at(Pos::new(off, 1, off as u32 + 1));
+        let mut sink = DiagSink::new();
+        sink.push(Diagnostic::error("z", "unlocated"));
+        sink.push(Diagnostic::error("b", "late").with_span(at(30)));
+        sink.push(Diagnostic::error("a", "early").with_span(at(3)));
+        sink.sort_by_location();
+        let msgs: Vec<&str> = sink.as_slice().iter().map(|d| d.message.as_str()).collect();
+        assert_eq!(msgs, ["early", "late", "unlocated"]);
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_everything() {
+        let span = Span::new(Pos::new(42, 7, 13), Pos::new(55, 7, 26));
+        let diags = vec![
+            Diagnostic::error("system[s]/device[g]", "unknown meta-model 'Ghost'")
+                .with_code("E201")
+                .with_span(span)
+                .with_note("searched 12 repository keys")
+                .with_note("did you mean \"Ghost2\"?"),
+            Diagnostic::warning("system[s]", "odd \"quote\\backslash\"\nand newline"),
+            Diagnostic::info("p", "unicode: héllo✓"),
+        ];
+        let json = diagnostics_to_json(&diags);
+        let back = parse_diagnostics_json(&json).expect("parses");
+        assert_eq!(back, diags);
+    }
+
+    #[test]
+    fn json_summary_counts() {
+        let diags =
+            vec![Diagnostic::error("a", "e"), Diagnostic::warning("b", "w"), Diagnostic::info("c", "i")];
+        let json = diagnostics_to_json(&diags);
+        assert!(json.contains("\"summary\":{\"errors\":1,\"warnings\":1,\"infos\":1}"), "{json}");
+        assert!(json.starts_with("{\"version\":1,"));
+    }
+
+    #[test]
+    fn json_parser_rejects_garbage() {
+        assert!(parse_diagnostics_json("").is_err());
+        assert!(parse_diagnostics_json("[]").is_err());
+        assert!(parse_diagnostics_json("{\"diagnostics\":[{]}").is_err());
+        assert!(parse_diagnostics_json("{\"diagnostics\":[1]}").is_err());
+        assert!(parse_diagnostics_json("{\"diagnostics\":[]} x").is_err());
+    }
+
+    #[test]
+    fn json_parser_accepts_empty_list() {
+        assert_eq!(parse_diagnostics_json(&diagnostics_to_json(&[])).unwrap(), vec![]);
+    }
+}

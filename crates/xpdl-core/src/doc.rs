@@ -1,5 +1,6 @@
 //! Whole-document handling: parsing descriptor files and identifier indices.
 
+use crate::diag::Diagnostic;
 use crate::error::{CoreError, CoreResult};
 use crate::model::XpdlElement;
 use std::collections::BTreeMap;
@@ -41,6 +42,21 @@ impl XpdlDocument {
             root: XpdlElement::from_xml(doc.root())?,
             origin: origin.to_string(),
         })
+    }
+
+    /// Parse descriptor text fail-soft: structural conversion faults (e.g.
+    /// an element with both `name` and `id`) are reported as [`Diagnostic`]s
+    /// with source spans instead of aborting, and a best-effort repaired
+    /// document is returned alongside them. XML well-formedness errors are
+    /// still fatal — without a tree there is nothing to recover.
+    pub fn parse_named_lossy(
+        src: &str,
+        origin: &str,
+    ) -> CoreResult<(XpdlDocument, Vec<Diagnostic>)> {
+        let doc = parse_with(src, ParseOptions::lenient())?;
+        let mut diags = Vec::new();
+        let root = XpdlElement::from_xml_lossy(doc.root(), &mut diags);
+        Ok((XpdlDocument { root, origin: origin.to_string() }, diags))
     }
 
     /// The root element.
@@ -180,6 +196,20 @@ mod tests {
         let doc = XpdlDocument::parse_str("<system id=\"s\"/>").unwrap();
         assert!(doc.element_at(&[0]).is_none());
         assert!(doc.element_at(&[]).is_some());
+    }
+
+    #[test]
+    fn parse_named_lossy_recovers_with_diagnostics() {
+        let (doc, diags) = XpdlDocument::parse_named_lossy(
+            r#"<system id="s"><cpu name="X" id="x"/></system>"#,
+            "f.xpdl",
+        )
+        .unwrap();
+        assert_eq!(doc.key(), Some("s"));
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, "P001");
+        // XML-level breakage is still fatal.
+        assert!(XpdlDocument::parse_named_lossy("<system id=", "f.xpdl").is_err());
     }
 
     #[test]

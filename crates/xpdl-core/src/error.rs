@@ -52,6 +52,32 @@ impl fmt::Display for CoreError {
     }
 }
 
+impl CoreError {
+    /// Stable machine-readable diagnostic code (`P0xx` = parse/model).
+    pub fn code(&self) -> &'static str {
+        match self {
+            CoreError::Xml(_) => "P000",
+            CoreError::BothNameAndId { .. } => "P001",
+            CoreError::BadUnit { .. } => "P002",
+            CoreError::DimensionMismatch { .. } => "P003",
+            CoreError::BadNumber { .. } => "P004",
+            CoreError::BadQuantity { .. } => "P005",
+            CoreError::DuplicateIdentifier { .. } => "P006",
+            CoreError::Invalid { .. } => "P007",
+        }
+    }
+
+    /// Convert into a [`Diagnostic`](crate::diag::Diagnostic) anchored at
+    /// `path`; XML syntax errors keep their source position as a span.
+    pub fn to_diagnostic(&self, path: &str) -> crate::diag::Diagnostic {
+        let mut d = crate::diag::Diagnostic::error(path, self.to_string()).with_code(self.code());
+        if let CoreError::Xml(xml) = self {
+            d = d.with_span(xpdl_xml::Span::at(xml.pos));
+        }
+        d
+    }
+}
+
 impl std::error::Error for CoreError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
@@ -91,5 +117,20 @@ mod tests {
         let e = CoreError::from(xml);
         assert!(e.source().is_some());
         assert!(e.to_string().contains("XML"));
+    }
+
+    #[test]
+    fn core_errors_convert_to_coded_diagnostics() {
+        let d = CoreError::BadUnit { unit: "XB".into() }.to_diagnostic("f.xpdl");
+        assert_eq!(d.code, "P002");
+        assert_eq!(d.path, "f.xpdl");
+        assert!(d.is_error());
+        assert!(d.pos().is_none());
+
+        let pos = xpdl_xml::Pos { offset: 10, line: 2, col: 3 };
+        let xml = CoreError::Xml(XmlError::new(xpdl_xml::XmlErrorKind::NoRootElement, pos));
+        let d = xml.to_diagnostic("f.xpdl");
+        assert_eq!(d.code, "P000");
+        assert_eq!(d.pos().expect("xml errors carry a span").line, 2);
     }
 }

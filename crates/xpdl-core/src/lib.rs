@@ -15,6 +15,9 @@
 //! * [`model`] — [`model::XpdlElement`], the typed tree, with the paper's
 //!   `name`/`id`/`type`/`extends` conventions made explicit.
 //! * [`doc`] — whole-document handling and indices.
+//! * [`diag`] — the unified diagnostics type shared by every pipeline
+//!   stage (validation, resolution, elaboration), with source spans and
+//!   a stable JSON serialization.
 //!
 //! # Example
 //!
@@ -37,6 +40,7 @@
 //! assert_eq!(size.to_base(), 15.0 * 1024.0 * 1024.0);
 //! ```
 
+pub mod diag;
 pub mod diff;
 pub mod doc;
 pub mod error;
@@ -45,6 +49,9 @@ pub mod model;
 pub mod units;
 pub mod value;
 
+pub use diag::{
+    diagnostics_to_json, parse_diagnostics_json, DiagSink, Diagnostic, DiagnosticsExt, Severity,
+};
 pub use diff::{diff_models, DiffEntry};
 pub use doc::XpdlDocument;
 pub use error::{CoreError, CoreResult};

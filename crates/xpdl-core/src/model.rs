@@ -1,5 +1,6 @@
 //! The typed XPDL element tree.
 
+use crate::diag::Diagnostic;
 use crate::error::{CoreError, CoreResult};
 use crate::kind::ElementKind;
 use crate::units::Quantity;
@@ -61,6 +62,11 @@ pub struct XpdlElement {
     pub text: String,
     /// Source span in the originating descriptor file.
     pub span: Span,
+    /// Source spans of attributes as written (including the lifted
+    /// `name`/`id`/`type`/`extends`), so diagnostics can point at the
+    /// offending attribute rather than the whole element. Provenance only:
+    /// like `span`, excluded from equality; empty on synthesized trees.
+    pub attr_spans: Vec<(String, Span)>,
 }
 
 impl XpdlElement {
@@ -75,6 +81,7 @@ impl XpdlElement {
             children: Vec::new(),
             text: String::new(),
             span: Span::default(),
+            attr_spans: Vec::new(),
         }
     }
 
@@ -108,14 +115,45 @@ impl XpdlElement {
         self
     }
 
-    /// Convert from a parsed XML element.
+    /// Convert from a parsed XML element, failing fast on the first
+    /// structural fault (an element carrying both `name` and `id`).
     pub fn from_xml(e: &Element) -> CoreResult<XpdlElement> {
+        let mut diags = Vec::new();
+        let converted = XpdlElement::from_xml_lossy(e, &mut diags);
+        match diags.into_iter().find(Diagnostic::is_error) {
+            Some(d) if d.code == "P001" => Err(CoreError::BothNameAndId {
+                element: d.path.split('[').next().unwrap_or("").to_string(),
+            }),
+            Some(d) => Err(CoreError::Invalid { context: d.path, message: d.message }),
+            None => Ok(converted),
+        }
+    }
+
+    /// Convert from a parsed XML element without bailing: structural faults
+    /// become [`Diagnostic`]s (with source spans) appended to `diags`, and
+    /// conversion continues with a best-effort repair — an element carrying
+    /// both `name` and `id` keeps the `name` (meta-model identity wins, as
+    /// repositories key on it) and reports code `P001`.
+    pub fn from_xml_lossy(e: &Element, diags: &mut Vec<Diagnostic>) -> XpdlElement {
         let kind = ElementKind::from_tag(e.name());
         let name = e.attr("name");
         let id = e.attr("id");
         let model_kind = match (name, id) {
-            (Some(_), Some(_)) => {
-                return Err(CoreError::BothNameAndId { element: e.name().to_string() })
+            (Some(n), Some(_)) => {
+                diags.push(
+                    Diagnostic::error(
+                        format!("{}[{}]", e.name(), n),
+                        format!(
+                            "element <{}> declares both name and id; an element is either \
+                             a meta-model (name) or an instance (id)",
+                            e.name()
+                        ),
+                    )
+                    .with_code("P001")
+                    .with_span(attr_span_of(e, "id").unwrap_or(e.span))
+                    .with_note("keeping name and ignoring id"),
+                );
+                ModelKind::Meta(n.to_string())
             }
             (Some(n), None) => ModelKind::Meta(n.to_string()),
             (None, Some(i)) => ModelKind::Instance(i.to_string()),
@@ -138,11 +176,10 @@ impl XpdlElement {
             .filter(|a| !matches!(a.name.as_str(), "name" | "id" | "type" | "extends"))
             .map(|a| (a.name.clone(), a.value.clone()))
             .collect();
-        let mut children = Vec::new();
-        for c in e.child_elements() {
-            children.push(XpdlElement::from_xml(c)?);
-        }
-        Ok(XpdlElement {
+        let attr_spans = e.attrs.iter().map(|a| (a.name.clone(), a.span)).collect();
+        let children =
+            e.child_elements().map(|c| XpdlElement::from_xml_lossy(c, diags)).collect();
+        XpdlElement {
             kind,
             model_kind,
             type_ref,
@@ -151,7 +188,8 @@ impl XpdlElement {
             children,
             text: e.text(),
             span: e.span,
-        })
+            attr_spans,
+        }
     }
 
     /// Convert back to an XML element (canonical attribute order:
@@ -236,6 +274,19 @@ impl XpdlElement {
                 }
             }
         }
+    }
+
+    /// Source span of an attribute as written in the descriptor, when the
+    /// element was parsed (covers the lifted `name`/`id`/`type`/`extends`
+    /// too). `None` on synthesized trees.
+    pub fn attr_span(&self, key: &str) -> Option<Span> {
+        self.attr_spans.iter().find(|(k, _)| k == key).map(|(_, s)| *s)
+    }
+
+    /// The best source span for a diagnostic about attribute `key`: the
+    /// attribute's own span when recorded, else the element's.
+    pub fn span_for_attr(&self, key: &str) -> Span {
+        self.attr_span(key).unwrap_or(self.span)
     }
 
     /// Typed view of an attribute.
@@ -338,6 +389,10 @@ impl XpdlElement {
     pub fn group_prefix(&self) -> Option<&str> {
         self.attr("prefix")
     }
+}
+
+fn attr_span_of(e: &Element, key: &str) -> Option<Span> {
+    e.attrs.iter().find(|a| a.name == key).map(|a| a.span)
 }
 
 impl PartialEq for XpdlElement {
@@ -511,6 +566,31 @@ mod tests {
     fn subtree_size_counts() {
         let sys = elem(r#"<system id="s"><node><socket><cpu type="X"/></socket></node></system>"#);
         assert_eq!(sys.subtree_size(), 4);
+    }
+
+    #[test]
+    fn attr_spans_recorded_for_plain_and_lifted() {
+        let src = "<cpu name=\"X\"\n     frequency=\"2\"/>";
+        let e = elem(src);
+        let name_span = e.attr_span("name").expect("name span");
+        assert_eq!((name_span.start.line, name_span.start.col), (1, 6));
+        let freq_span = e.attr_span("frequency").expect("frequency span");
+        assert_eq!((freq_span.start.line, freq_span.start.col), (2, 6));
+        assert_eq!(e.attr_span("missing"), None);
+        // Fallback covers synthesized elements.
+        assert_eq!(XpdlElement::new(ElementKind::Cpu).span_for_attr("x"), Span::default());
+    }
+
+    #[test]
+    fn from_xml_lossy_repairs_both_name_and_id() {
+        let doc = parse_lenient(r#"<cpu name="a" id="b"/>"#).unwrap();
+        let mut diags = Vec::new();
+        let e = XpdlElement::from_xml_lossy(doc.root(), &mut diags);
+        assert_eq!(e.meta_name(), Some("a"));
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, "P001");
+        assert!(diags[0].is_error());
+        assert!(diags[0].span.is_some());
     }
 
     #[test]

@@ -255,7 +255,7 @@ pub mod q {
 
     /// Gigahertz.
     pub fn ghz(v: f64) -> Quantity {
-        Quantity::parse(v, "GHz").expect("static unit")
+        Quantity::parse(v, "GHz").expect("literal unit \"GHz\" is in the static table")
     }
 
     /// Watts.
@@ -270,7 +270,7 @@ pub mod q {
 
     /// Nanojoules.
     pub fn nanojoules(v: f64) -> Quantity {
-        Quantity::parse(v, "nJ").expect("static unit")
+        Quantity::parse(v, "nJ").expect("literal unit \"nJ\" is in the static table")
     }
 
     /// Seconds.

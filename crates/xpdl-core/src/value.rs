@@ -39,7 +39,7 @@ impl AttrValue {
                 .collect();
             match items.len() {
                 0 => return AttrValue::Str(t.to_string()),
-                1 => return items.pop().expect("len checked"),
+                1 => return items.pop().expect("pop cannot fail: the match arm proved len == 1"),
                 _ => return AttrValue::List(items),
             }
         }

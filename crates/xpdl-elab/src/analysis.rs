@@ -67,16 +67,19 @@ pub fn bandwidth_downgrade(
                             caps.push(cap);
                         }
                     }
-                    None => diags.push(Diagnostic::error(
-                        format!("interconnect[{id}]"),
-                        format!("endpoint '{ep}' does not exist in the model"),
-                    )),
+                    None => diags.push(
+                        Diagnostic::error(
+                            format!("interconnect[{id}]"),
+                            format!("endpoint '{ep}' does not exist in the model"),
+                        )
+                        .with_code("E213")
+                        .with_span(ic.span),
+                    ),
                 }
             }
-            let min = caps
-                .iter()
-                .min_by(|a, b| a.0.partial_cmp(&b.0).expect("finite bandwidths"))
-                .cloned();
+            // total_cmp, not partial_cmp: `max_bandwidth="NaN"` parses as a
+            // number, and untrusted descriptors must not panic the analysis.
+            let min = caps.iter().min_by(|a, b| a.0.total_cmp(&b.0)).cloned();
             plans.push((
                 id.to_string(),
                 LinkAnalysis {
@@ -140,7 +143,9 @@ pub fn default_domain_static_power(root: &XpdlElement) -> Quantity {
     }
     let mut total = 0.0;
     walk(root, false, &mut total);
-    Quantity::parse(total, "W").expect("static unit")
+    // Provably in-domain: "W" is a literal from the static unit table, so
+    // parse cannot fail for any descriptor content.
+    Quantity::parse(total, "W").expect("literal unit \"W\" is always parseable")
 }
 
 #[cfg(test)]

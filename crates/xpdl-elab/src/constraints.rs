@@ -17,31 +17,49 @@ pub fn check_constraints(
 ) {
     for cs in e.children_of_kind(ElementKind::Constraints) {
         for c in cs.children_of_kind(ElementKind::Constraint) {
+            let span = c.attr_span("expr").unwrap_or(c.span);
             let Some(expr) = c.attr("expr").map(str::to_string).or_else(|| {
                 (!c.text.is_empty()).then(|| c.text.clone())
             }) else {
-                diags.push(Diagnostic::error(path, "constraint without 'expr'"));
+                diags.push(
+                    Diagnostic::error(path, "constraint without 'expr'")
+                        .with_code("E205")
+                        .with_span(c.span),
+                );
                 continue;
             };
             let env = ScopeEnv::new(scope);
             match eval_str(&expr, &env) {
                 Ok(Value::Bool(true)) => {}
-                Ok(Value::Bool(false)) => diags.push(Diagnostic::error(
-                    path,
-                    format!("constraint violated: {expr}"),
-                )),
-                Ok(other) => diags.push(Diagnostic::warning(
-                    path,
-                    format!("constraint {expr:?} evaluated to non-boolean {other}"),
-                )),
-                Err(ExprError::UnknownVariable(v)) => diags.push(Diagnostic::warning(
-                    path,
-                    format!("constraint {expr:?} deferred: parameter '{v}' not bound"),
-                )),
-                Err(err) => diags.push(Diagnostic::error(
-                    path,
-                    format!("constraint {expr:?} failed to evaluate: {err}"),
-                )),
+                Ok(Value::Bool(false)) => diags.push(
+                    Diagnostic::error(path, format!("constraint violated: {expr}"))
+                        .with_code("E204")
+                        .with_span(span),
+                ),
+                Ok(other) => diags.push(
+                    Diagnostic::warning(
+                        path,
+                        format!("constraint {expr:?} evaluated to non-boolean {other}"),
+                    )
+                    .with_code("E206")
+                    .with_span(span),
+                ),
+                Err(ExprError::UnknownVariable(v)) => diags.push(
+                    Diagnostic::warning(
+                        path,
+                        format!("constraint {expr:?} deferred: parameter '{v}' not bound"),
+                    )
+                    .with_code("E207")
+                    .with_span(span),
+                ),
+                Err(err) => diags.push(
+                    Diagnostic::error(
+                        path,
+                        format!("constraint {expr:?} failed to evaluate: {err}"),
+                    )
+                    .with_code("E205")
+                    .with_span(span),
+                ),
             }
         }
     }
@@ -59,23 +77,32 @@ pub fn check_param_ranges(
         let Some(name) = p.meta_name() else { continue };
         let Some(range_raw) = p.attr("range") else { continue };
         let Some(bound) = scope.get(name) else { continue };
+        let range_span = p.attr_span("range").unwrap_or(p.span);
         let Some(allowed) = AttrValue::interpret(range_raw).as_number_list() else {
-            diags.push(Diagnostic::warning(
-                path,
-                format!("parameter '{name}': non-numeric range {range_raw:?}"),
-            ));
+            diags.push(
+                Diagnostic::warning(
+                    path,
+                    format!("parameter '{name}': non-numeric range {range_raw:?}"),
+                )
+                .with_code("E209")
+                .with_span(range_span),
+            );
             continue;
         };
         // Range entries are written in the param's own declared unit, so
         // compare raw magnitudes.
         if !allowed.iter().any(|a| (a - bound.value).abs() < 1e-9) {
-            diags.push(Diagnostic::error(
-                path,
-                format!(
-                    "parameter '{name}' = {} is outside its configurable range {range_raw}",
-                    bound.value
-                ),
-            ));
+            diags.push(
+                Diagnostic::error(
+                    path,
+                    format!(
+                        "parameter '{name}' = {} is outside its configurable range {range_raw}",
+                        bound.value
+                    ),
+                )
+                .with_code("E209")
+                .with_span(range_span),
+            );
         }
     }
 }

@@ -23,6 +23,12 @@ pub struct ElabOptions {
     pub analyze_bandwidth: bool,
     /// Annotate built-in synthesized attributes on the root (default true).
     pub synthesize: bool,
+    /// Nesting-depth budget for expansion (guards type-reference cycles).
+    pub max_depth: usize,
+    /// Fail-soft mode: accumulate diagnostics and poison failing subtrees
+    /// instead of aborting on the first elaboration error (default false).
+    /// See [`ExpandOptions::keep_going`].
+    pub keep_going: bool,
 }
 
 impl Default for ElabOptions {
@@ -32,6 +38,8 @@ impl Default for ElabOptions {
             max_elements: 1_000_000,
             analyze_bandwidth: true,
             synthesize: true,
+            max_depth: 256,
+            keep_going: false,
         }
     }
 }
@@ -49,6 +57,10 @@ pub struct Elaborated {
     pub links: Vec<LinkAnalysis>,
     /// Total static power of the default power domain.
     pub default_domain_power: Quantity,
+    /// Paths of elements poisoned during keep-going elaboration (marked
+    /// `poisoned="true"` in the tree, subtree unexpanded). Empty in
+    /// fail-fast mode or on a clean run.
+    pub poisoned: Vec<String>,
 }
 
 impl Elaborated {
@@ -101,15 +113,24 @@ pub fn elaborate_with(set: &ResolvedSet, opts: &ElabOptions) -> ElabResult<Elabo
         .collect();
     let mut expander = Expander::new(
         &mut table,
-        ExpandOptions { strict_types: opts.strict_types, max_elements: opts.max_elements },
+        ExpandOptions {
+            strict_types: opts.strict_types,
+            max_elements: opts.max_elements,
+            max_depth: opts.max_depth,
+            keep_going: opts.keep_going,
+        },
     );
     let mut root = expander.expand_root(set.root().root(), &referenced)?;
     let mut diagnostics = expander.diags.clone();
+    let poisoned = expander.poisoned.clone();
     for key in &set.missing {
-        diagnostics.push(Diagnostic::warning(
-            root_path(&root),
-            format!("unresolved reference '{key}' (allow_missing)"),
-        ));
+        diagnostics.push(
+            Diagnostic::warning(
+                root_path(&root),
+                format!("unresolved reference '{key}' (allow_missing)"),
+            )
+            .with_code("E214"),
+        );
     }
     let links = if opts.analyze_bandwidth {
         bandwidth_downgrade(&mut root, &mut diagnostics)
@@ -120,7 +141,7 @@ pub fn elaborate_with(set: &ResolvedSet, opts: &ElabOptions) -> ElabResult<Elabo
         RuleSet::builtin().annotate(&mut root);
     }
     let default_domain_power = default_domain_static_power(&root);
-    Ok(Elaborated { root, diagnostics, links, default_domain_power })
+    Ok(Elaborated { root, diagnostics, links, default_domain_power, poisoned })
 }
 
 fn root_path(root: &XpdlElement) -> String {
@@ -290,6 +311,55 @@ mod tests {
         .unwrap();
         assert!(model.links.is_empty());
         assert!(model.root.attr("derived_num_cores").is_none());
+    }
+
+    #[test]
+    fn keep_going_returns_partial_model_with_all_errors() {
+        let mut m = MemoryStore::new();
+        m.insert(
+            "s",
+            r#"<system id="s">
+                 <device id="a" type="GhostA"/>
+                 <device id="b" type="GhostB"/>
+                 <device id="c"><core/></device>
+               </system>"#,
+        );
+        let set = Repository::new()
+            .with_store(m)
+            .resolve_with("s", &ResolveOptions { allow_missing: true, ..Default::default() })
+            .unwrap();
+        // Fail-fast: first unknown type aborts.
+        assert!(elaborate(&set).is_err());
+        // Keep-going: both failures reported, healthy sibling elaborated.
+        let model = elaborate_with(
+            &set,
+            &ElabOptions { keep_going: true, ..Default::default() },
+        )
+        .unwrap();
+        assert!(!model.is_clean());
+        let errs: Vec<_> =
+            model.diagnostics.iter().filter(|d| d.is_error()).collect();
+        assert_eq!(errs.len(), 2, "{errs:?}");
+        assert_eq!(model.poisoned.len(), 2);
+        assert!(model.find("c").is_some());
+        assert_eq!(model.find("a").unwrap().attr("poisoned"), Some("true"));
+    }
+
+    #[test]
+    fn nan_bandwidth_does_not_panic_analysis() {
+        // f64::parse accepts "NaN"; the bandwidth minimum must not panic.
+        let set = resolved(&[(
+            "s",
+            r#"<system id="s">
+                 <device id="a" max_bandwidth="NaN" max_bandwidth_unit="GB/s"/>
+                 <device id="b"/>
+                 <interconnects>
+                   <interconnect id="l" head="a" tail="b" max_bandwidth="NaN" max_bandwidth_unit="GB/s"/>
+                 </interconnects>
+               </system>"#,
+        )]);
+        let model = elaborate(&set).unwrap();
+        assert_eq!(model.links.len(), 1);
     }
 
     #[test]

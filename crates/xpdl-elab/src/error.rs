@@ -1,6 +1,7 @@
 //! Elaboration errors.
 
 use std::fmt;
+use xpdl_core::diag::Diagnostic;
 use xpdl_core::CoreError;
 use xpdl_repo::ResolveError;
 
@@ -43,6 +44,36 @@ pub enum ElabError {
         /// The configured limit.
         limit: usize,
     },
+    /// Expansion recursed deeper than the nesting limit (e.g. a
+    /// type-reference cycle: `A` containing a child of `type="B"` whose
+    /// meta-model contains a child of `type="A"`).
+    TooDeep {
+        /// Path of the element where the limit was hit.
+        path: String,
+        /// The configured limit.
+        limit: usize,
+    },
+}
+
+impl ElabError {
+    /// The stable diagnostic code for this error (`E2xx` taxonomy; see
+    /// DESIGN.md "Diagnostics & graceful degradation").
+    pub fn code(&self) -> &'static str {
+        match self {
+            ElabError::Resolve(_) => "E210",
+            ElabError::Core(_) => "E200",
+            ElabError::UnknownType { .. } => "E201",
+            ElabError::Linearization { .. } => "E202",
+            ElabError::UnresolvedQuantity { .. } => "E203",
+            ElabError::TooLarge { .. } => "E211",
+            ElabError::TooDeep { .. } => "E212",
+        }
+    }
+
+    /// Convert into a [`Diagnostic`] anchored at `path`.
+    pub fn to_diagnostic(&self, path: &str) -> Diagnostic {
+        Diagnostic::error(path, self.to_string()).with_code(self.code())
+    }
 }
 
 impl fmt::Display for ElabError {
@@ -61,6 +92,13 @@ impl fmt::Display for ElabError {
             }
             ElabError::TooLarge { produced, limit } => {
                 write!(f, "expansion produced {produced} elements, exceeding the limit of {limit}")
+            }
+            ElabError::TooDeep { path, limit } => {
+                write!(
+                    f,
+                    "expansion at '{path}' exceeds the nesting limit of {limit} \
+                     (likely a type-reference cycle)"
+                )
             }
         }
     }
@@ -94,5 +132,17 @@ mod tests {
         assert!(e.to_string().contains("num_SM"));
         let e = ElabError::TooLarge { produced: 10, limit: 5 };
         assert!(e.to_string().contains("10"));
+        let e = ElabError::TooDeep { path: "system[s]/cpu[c]".into(), limit: 256 };
+        assert!(e.to_string().contains("256"));
+    }
+
+    #[test]
+    fn diagnostic_conversion_carries_code() {
+        let e = ElabError::UnknownType { name: "Ghost".into(), referrer: "device[g]".into() };
+        let d = e.to_diagnostic("system[s]/device[g]");
+        assert!(d.is_error());
+        assert_eq!(d.code, "E201");
+        assert_eq!(d.path, "system[s]/device[g]");
+        assert_eq!(ElabError::TooDeep { path: "p".into(), limit: 1 }.code(), "E212");
     }
 }

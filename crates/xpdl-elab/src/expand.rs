@@ -16,11 +16,26 @@ pub struct ExpandOptions {
     pub strict_types: bool,
     /// Upper bound on produced elements (guards runaway quantities).
     pub max_elements: usize,
+    /// Upper bound on expansion nesting depth (guards type-reference
+    /// cycles, which would otherwise recurse until stack overflow long
+    /// before exhausting the element budget).
+    pub max_depth: usize,
+    /// Fail-soft mode: instead of aborting on the first elaboration error,
+    /// mark the failing element *poisoned* (attribute `poisoned="true"`),
+    /// quarantine its subtree (no recursion into it), record a diagnostic,
+    /// and keep elaborating siblings and ancestors. Resource-exhaustion
+    /// errors ([`ElabError::TooLarge`]) stay fatal in both modes.
+    pub keep_going: bool,
 }
 
 impl Default for ExpandOptions {
     fn default() -> Self {
-        ExpandOptions { strict_types: true, max_elements: 1_000_000 }
+        ExpandOptions {
+            strict_types: true,
+            max_elements: 1_000_000,
+            max_depth: 256,
+            keep_going: false,
+        }
     }
 }
 
@@ -37,9 +52,13 @@ pub struct Expander<'t> {
     table: &'t mut MetaTable,
     opts: ExpandOptions,
     produced: usize,
+    depth: usize,
     /// Diagnostics collected during expansion (constraint violations,
     /// unbound parameters, …).
     pub diags: Vec<Diagnostic>,
+    /// Paths of elements poisoned in keep-going mode (empty in fail-fast
+    /// mode, where the first such error aborts instead).
+    pub poisoned: Vec<String>,
     /// Meta names consumed as inline definitions (dropped from the tree).
     consumed_defs: BTreeSet<String>,
 }
@@ -47,7 +66,15 @@ pub struct Expander<'t> {
 impl<'t> Expander<'t> {
     /// Create an expander over a meta table.
     pub fn new(table: &'t mut MetaTable, opts: ExpandOptions) -> Expander<'t> {
-        Expander { table, opts, produced: 0, diags: Vec::new(), consumed_defs: BTreeSet::new() }
+        Expander {
+            table,
+            opts,
+            produced: 0,
+            depth: 0,
+            diags: Vec::new(),
+            poisoned: Vec::new(),
+            consumed_defs: BTreeSet::new(),
+        }
     }
 
     /// Expand a root element. `referenced_types` lists meta names that are
@@ -76,7 +103,52 @@ impl<'t> Expander<'t> {
         Ok(())
     }
 
+    /// Mark `e` poisoned: record the error as a diagnostic (anchored at the
+    /// most precise span available), tag the element with
+    /// `poisoned="true"`, and remember its path. The caller must not
+    /// recurse into the returned element — its subtree is quarantined.
+    fn poison(&mut self, mut e: XpdlElement, path: &str, err: &ElabError) -> XpdlElement {
+        let span = match err {
+            ElabError::UnknownType { .. } | ElabError::Linearization { .. } => {
+                e.span_for_attr("type")
+            }
+            ElabError::UnresolvedQuantity { .. } => e.span_for_attr("quantity"),
+            _ => e.span,
+        };
+        self.diags.push(
+            err.to_diagnostic(path)
+                .with_span(span)
+                .with_note("subtree quarantined; sibling elaboration continues"),
+        );
+        e.set_attr("poisoned", "true");
+        self.poisoned.push(path.to_string());
+        e
+    }
+
     fn expand_element(
+        &mut self,
+        e: XpdlElement,
+        scope: &mut Scope,
+        qualifier: &str,
+        path: &str,
+        in_power_domain: bool,
+    ) -> ElabResult<XpdlElement> {
+        self.depth += 1;
+        let result = if self.depth > self.opts.max_depth {
+            let err = ElabError::TooDeep { path: path.to_string(), limit: self.opts.max_depth };
+            if self.opts.keep_going {
+                Ok(self.poison(e, path, &err))
+            } else {
+                Err(err)
+            }
+        } else {
+            self.expand_element_inner(e, scope, qualifier, path, in_power_domain)
+        };
+        self.depth -= 1;
+        result
+    }
+
+    fn expand_element_inner(
         &mut self,
         mut e: XpdlElement,
         scope: &mut Scope,
@@ -90,17 +162,31 @@ impl<'t> Expander<'t> {
         //    (Listing 12) — never a meta-model to instantiate.
         let in_power_domain = in_power_domain || e.kind == ElementKind::PowerDomain;
         if !in_power_domain {
-            instantiate_ref(&mut e, self.table, self.opts.strict_types)?;
+            if let Err(err) = instantiate_ref(&mut e, self.table, self.opts.strict_types) {
+                // Unknown types, broken inheritance (cyclic or
+                // non-linearizable `extends`) and malformed meta-models are
+                // recoverable in keep-going mode: the reference simply
+                // cannot be expanded, so the element is kept as written but
+                // poisoned and its subtree skipped.
+                if self.opts.keep_going {
+                    return Ok(self.poison(e, path, &err));
+                }
+                return Err(err);
+            }
         }
 
         // 2. Open a scope frame and bind this element's params/consts.
         scope.push();
         let unbound = scope.bind_element_params(&e);
         for name in &unbound {
-            self.diags.push(Diagnostic::warning(
-                path,
-                format!("parameter '{name}' is declared but never bound"),
-            ));
+            self.diags.push(
+                Diagnostic::warning(
+                    path,
+                    format!("parameter '{name}' is declared but never bound"),
+                )
+                .with_code("E208")
+                .with_span(e.span),
+            );
         }
 
         // 3. Substitute bound parameter names in attribute values
@@ -171,10 +257,18 @@ impl<'t> Expander<'t> {
             Some(raw) => match scope.resolve_numeric(raw) {
                 Some(pv) if pv.value >= 0.0 && pv.value.fract() == 0.0 => Some(pv.value as usize),
                 _ => {
-                    return Err(ElabError::UnresolvedQuantity {
-                        group: group_path,
+                    let err = ElabError::UnresolvedQuantity {
+                        group: group_path.clone(),
                         raw: raw.to_string(),
-                    })
+                    };
+                    if self.opts.keep_going {
+                        // The member count is unknowable, so no member can
+                        // be produced: poison the group and move on.
+                        let poisoned = self.poison(group, &group_path, &err);
+                        parent.children.push(poisoned);
+                        return Ok(());
+                    }
+                    return Err(err);
                 }
             },
         };
@@ -580,6 +674,119 @@ mod tests {
         let mut table = MetaTable::new(&set);
         let mut ex =
             Expander::new(&mut table, ExpandOptions { max_elements: 10, ..Default::default() });
+        let err = ex.expand_root(set.root().root(), &BTreeSet::new()).unwrap_err();
+        assert!(matches!(err, ElabError::TooLarge { .. }));
+    }
+
+    fn expand_keep_going(entries: &[(&str, &str)]) -> (XpdlElement, Vec<Diagnostic>, Vec<String>) {
+        let mut m = MemoryStore::new();
+        for (k, v) in entries {
+            m.insert(*k, *v);
+        }
+        let set = Repository::new()
+            .with_store(m)
+            .resolve_with(
+                entries[0].0,
+                &xpdl_repo::ResolveOptions { allow_missing: true, ..Default::default() },
+            )
+            .unwrap();
+        let mut table = MetaTable::new(&set);
+        let refs: BTreeSet<String> = set
+            .documents()
+            .flat_map(|(_, d)| xpdl_repo::repository::references_of(d.root()))
+            .collect();
+        let opts = ExpandOptions { keep_going: true, ..Default::default() };
+        let mut ex = Expander::new(&mut table, opts);
+        let root = ex.expand_root(set.root().root(), &refs).unwrap();
+        (root, ex.diags.clone(), ex.poisoned.clone())
+    }
+
+    #[test]
+    fn keep_going_poisons_unknown_type_and_continues() {
+        let (root, diags, poisoned) = expand_keep_going(&[(
+            "srv",
+            r#"<system id="srv">
+                 <device id="bad" type="Ghost"><core/></device>
+                 <device id="ok"><core/><core/></device>
+               </system>"#,
+        )]);
+        // The sibling device still elaborated fully.
+        let ok = root.find_ident("ok").unwrap();
+        assert_eq!(ok.children_of_kind(ElementKind::Core).count(), 2);
+        // The bad device is present, poisoned, and its subtree untouched
+        // (quarantined: the inner <core/> was not expanded/budgeted).
+        let bad = root.find_ident("bad").unwrap();
+        assert_eq!(bad.attr("poisoned"), Some("true"));
+        assert!(ok.attr("poisoned").is_none());
+        assert_eq!(poisoned, ["system[srv]/device[bad]"]);
+        let errs: Vec<_> = diags.iter().filter(|d| d.is_error()).collect();
+        assert_eq!(errs.len(), 1);
+        assert_eq!(errs[0].code, "E201");
+        assert!(errs[0].span.is_some(), "span should point at the type attribute");
+    }
+
+    #[test]
+    fn keep_going_poisons_unresolved_quantity() {
+        let (root, diags, poisoned) = expand_keep_going(&[(
+            "d",
+            r#"<device name="d">
+                 <group quantity="nope"><core/></group>
+                 <core id="solo"/>
+               </device>"#,
+        )]);
+        assert!(root.find_ident("solo").is_some());
+        let g = root.find_kind(ElementKind::Group).next().unwrap();
+        assert_eq!(g.attr("poisoned"), Some("true"));
+        assert_eq!(poisoned.len(), 1);
+        assert!(diags.iter().any(|d| d.code == "E203"), "{diags:?}");
+    }
+
+    #[test]
+    fn keep_going_breaks_type_reference_cycles() {
+        // A's meta-model contains a child of type B, and B of type A:
+        // expansion would recurse forever. Fail-fast errors with TooDeep;
+        // keep-going poisons at the depth limit and terminates.
+        let entries: &[(&str, &str)] = &[
+            ("s", r#"<system id="s"><device id="root" type="A"/></system>"#),
+            ("A", r#"<device name="A"><device type="B"/></device>"#),
+            ("B", r#"<device name="B"><device type="A"/></device>"#),
+        ];
+        let set = resolved(entries);
+        let refs: BTreeSet<String> = set
+            .documents()
+            .flat_map(|(_, d)| xpdl_repo::repository::references_of(d.root()))
+            .collect();
+        // Fail-fast: clean TooDeep error, no stack overflow.
+        let mut table = MetaTable::new(&set);
+        let mut ex = Expander::new(
+            &mut table,
+            ExpandOptions { max_depth: 32, ..Default::default() },
+        );
+        let err = ex.expand_root(set.root().root(), &refs).unwrap_err();
+        assert!(matches!(err, ElabError::TooDeep { .. }), "{err}");
+        // Keep-going: poisons the element at the limit and returns a tree.
+        let mut table = MetaTable::new(&set);
+        let mut ex = Expander::new(
+            &mut table,
+            ExpandOptions { max_depth: 32, keep_going: true, ..Default::default() },
+        );
+        let root = ex.expand_root(set.root().root(), &refs).unwrap();
+        assert_eq!(root.kind, ElementKind::System);
+        assert!(ex.diags.iter().any(|d| d.code == "E212"), "{:?}", ex.diags);
+        assert!(!ex.poisoned.is_empty());
+    }
+
+    #[test]
+    fn too_large_stays_fatal_even_keep_going() {
+        let set = resolved(&[(
+            "d",
+            r#"<device name="d"><group prefix="x" quantity="100"><core/></group></device>"#,
+        )]);
+        let mut table = MetaTable::new(&set);
+        let mut ex = Expander::new(
+            &mut table,
+            ExpandOptions { max_elements: 10, keep_going: true, ..Default::default() },
+        );
         let err = ex.expand_root(set.root().root(), &BTreeSet::new()).unwrap_err();
         assert!(matches!(err, ElabError::TooLarge { .. }));
     }

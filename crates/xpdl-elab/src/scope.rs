@@ -72,7 +72,7 @@ impl Scope {
 
     /// Bind a value in the innermost frame.
     pub fn bind(&mut self, name: impl Into<String>, value: ParamValue) {
-        self.frames.last_mut().expect("at least root frame").insert(name.into(), value);
+        self.frames.last_mut().expect("the root frame is pushed in new() and never popped").insert(name.into(), value);
     }
 
     /// Look up a binding, innermost first.

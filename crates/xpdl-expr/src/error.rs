@@ -12,6 +12,10 @@ pub enum ExprError {
     Lex { offset: usize, message: String },
     /// Parse error at a byte offset.
     Parse { offset: usize, message: String },
+    /// Expression nesting deeper than the parser's recursion limit
+    /// (mirrors `xpdl-xml`'s `max_depth`; prevents stack overflow on
+    /// adversarial input like ten thousand opening parentheses).
+    TooDeep { limit: usize },
     /// An identifier the environment cannot resolve.
     UnknownVariable(String),
     /// A function the environment does not provide.
@@ -32,6 +36,9 @@ impl fmt::Display for ExprError {
             ExprError::Lex { offset, message } => write!(f, "lex error at byte {offset}: {message}"),
             ExprError::Parse { offset, message } => {
                 write!(f, "parse error at byte {offset}: {message}")
+            }
+            ExprError::TooDeep { limit } => {
+                write!(f, "expression nesting exceeds the maximum depth of {limit}")
             }
             ExprError::UnknownVariable(n) => write!(f, "unknown variable '{n}'"),
             ExprError::UnknownFunction(n) => write!(f, "unknown function '{n}'"),

@@ -181,7 +181,7 @@ fn compare(op: BinOp, l: &Value, r: &Value) -> ExprResult<Value> {
         BinOp::Le => ord.is_le(),
         BinOp::Gt => ord.is_gt(),
         BinOp::Ge => ord.is_ge(),
-        _ => unreachable!(),
+        _ => unreachable!("compare() is only called with comparison operators"),
     };
     Ok(Value::Bool(b))
 }
@@ -216,7 +216,7 @@ fn arithmetic(op: BinOp, l: &Value, r: &Value) -> ExprResult<Value> {
             }
             a % b
         }
-        _ => unreachable!(),
+        _ => unreachable!("arithmetic() is only called with arithmetic operators"),
     };
     Ok(Value::Number(n))
 }

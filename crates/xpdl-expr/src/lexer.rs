@@ -208,10 +208,14 @@ pub fn tokenize(src: &str) -> ExprResult<Vec<Token>> {
                 i = j;
             }
             _ => {
+                // Defensive slicing: `i` should always sit on a char
+                // boundary here, but an error message is not worth a panic
+                // on adversarial input if that invariant ever slips.
+                let c = src.get(i..).and_then(|s| s.chars().next()).unwrap_or('\u{fffd}');
                 return Err(ExprError::Lex {
                     offset: start,
-                    message: format!("unexpected character {:?}", src[i..].chars().next().unwrap()),
-                })
+                    message: format!("unexpected character {c:?}"),
+                });
             }
         }
     }

@@ -34,5 +34,5 @@ pub mod value;
 pub use ast::{BinOp, Expr, UnOp};
 pub use error::{ExprError, ExprResult};
 pub use eval::{eval, eval_str, DomainState, Env, MapEnv};
-pub use parser::parse_expr;
+pub use parser::{parse_expr, MAX_EXPR_DEPTH};
 pub use value::Value;

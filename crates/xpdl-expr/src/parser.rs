@@ -4,10 +4,17 @@ use crate::ast::{BinOp, Expr, UnOp};
 use crate::error::{ExprError, ExprResult};
 use crate::lexer::{tokenize, Token, TokenKind};
 
+/// Maximum recursion depth of the parser, mirroring `xpdl-xml`'s
+/// `max_depth`: deeply nested constraint expressions (parentheses, unary
+/// chains, nested call arguments) error cleanly instead of overflowing the
+/// stack. Left-associative binary chains do not recurse per operator, so
+/// real-world constraints sit far below this.
+pub const MAX_EXPR_DEPTH: usize = 256;
+
 /// Parse a complete expression string.
 pub fn parse_expr(src: &str) -> ExprResult<Expr> {
     let tokens = tokenize(src)?;
-    let mut p = Parser { tokens, idx: 0 };
+    let mut p = Parser { tokens, idx: 0, depth: 0 };
     let expr = p.expr(0)?;
     p.expect_eof()?;
     Ok(expr)
@@ -16,6 +23,7 @@ pub fn parse_expr(src: &str) -> ExprResult<Expr> {
 struct Parser {
     tokens: Vec<Token>,
     idx: usize,
+    depth: usize,
 }
 
 impl Parser {
@@ -43,7 +51,24 @@ impl Parser {
         }
     }
 
+    /// Bump the recursion depth, erroring at [`MAX_EXPR_DEPTH`]. Callers
+    /// pair this with a decrement on exit.
+    fn enter(&mut self) -> ExprResult<()> {
+        self.depth += 1;
+        if self.depth > MAX_EXPR_DEPTH {
+            return Err(ExprError::TooDeep { limit: MAX_EXPR_DEPTH });
+        }
+        Ok(())
+    }
+
     fn expr(&mut self, min_prec: u8) -> ExprResult<Expr> {
+        self.enter()?;
+        let result = self.expr_inner(min_prec);
+        self.depth -= 1;
+        result
+    }
+
+    fn expr_inner(&mut self, min_prec: u8) -> ExprResult<Expr> {
         let mut lhs = self.prefix()?;
         loop {
             // Postfix state predicate binds tighter than everything: `x off`.
@@ -74,6 +99,15 @@ impl Parser {
     }
 
     fn prefix(&mut self) -> ExprResult<Expr> {
+        // Unary chains (`----x`, `not not x`) recurse through prefix()
+        // without passing expr(), so the guard sits here too.
+        self.enter()?;
+        let result = self.prefix_inner();
+        self.depth -= 1;
+        result
+    }
+
+    fn prefix_inner(&mut self) -> ExprResult<Expr> {
         let t = self.bump();
         match t.kind {
             TokenKind::Number(n) => Ok(Expr::Number(n)),
@@ -246,6 +280,33 @@ mod tests {
         assert!(matches!(parse_expr(""), Err(ExprError::Parse { .. })));
         assert!(matches!(parse_expr("1 off"), Err(ExprError::Parse { .. })));
         assert!(matches!(parse_expr("min(1 2)"), Err(ExprError::Parse { .. })));
+    }
+
+    #[test]
+    fn deep_nesting_errors_cleanly() {
+        // Ten thousand opening parens must not overflow the stack.
+        let deep = format!("{}1{}", "(".repeat(10_000), ")".repeat(10_000));
+        assert_eq!(parse_expr(&deep), Err(ExprError::TooDeep { limit: MAX_EXPR_DEPTH }));
+        // Same for unary chains, which recurse through prefix() directly.
+        let minuses = format!("{}1", "-".repeat(10_000));
+        assert_eq!(parse_expr(&minuses), Err(ExprError::TooDeep { limit: MAX_EXPR_DEPTH }));
+        let nots = format!("{}x", "not ".repeat(10_000));
+        assert_eq!(parse_expr(&nots), Err(ExprError::TooDeep { limit: MAX_EXPR_DEPTH }));
+        // Nested calls recurse via argument expressions.
+        let calls = format!("{}1{}", "min(".repeat(10_000), ")".repeat(10_000));
+        assert_eq!(parse_expr(&calls), Err(ExprError::TooDeep { limit: MAX_EXPR_DEPTH }));
+    }
+
+    #[test]
+    fn long_flat_chains_stay_within_depth() {
+        // Left-associative binary chains iterate, not recurse: a 5000-term
+        // sum parses fine.
+        let chain = vec!["1"; 5000].join(" + ");
+        assert!(parse_expr(&chain).is_ok());
+        // Moderate nesting well under the limit is unaffected (each paren
+        // level costs two frames: expr + prefix).
+        let ok = format!("{}x{}", "(".repeat(100), ")".repeat(100));
+        assert!(parse_expr(&ok).is_ok());
     }
 
     #[test]

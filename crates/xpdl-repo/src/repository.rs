@@ -7,6 +7,7 @@ use parking_lot::RwLock;
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::sync::Arc;
+use xpdl_core::diag::Diagnostic;
 use xpdl_core::{CoreError, ElementKind, XpdlDocument, XpdlElement};
 
 /// Resolution failure.
@@ -76,6 +77,37 @@ impl fmt::Display for ResolveError {
 }
 
 impl std::error::Error for ResolveError {}
+
+impl ResolveError {
+    /// Stable machine-readable diagnostic code (`R3xx` = repository).
+    pub fn code(&self) -> &'static str {
+        match self {
+            ResolveError::NotFound { .. } => "R301",
+            ResolveError::Parse { .. } => "R302",
+            ResolveError::Cycle { .. } => "R303",
+            ResolveError::Unavailable { .. } => "R304",
+        }
+    }
+
+    /// Convert into a [`Diagnostic`] for accumulation in keep-going mode.
+    /// The diagnostic path is the repository key; parse errors carry the
+    /// source position of the underlying XML fault when one is available.
+    pub fn to_diagnostic(&self) -> Diagnostic {
+        let path = match self {
+            ResolveError::NotFound { key, .. }
+            | ResolveError::Parse { key, .. }
+            | ResolveError::Unavailable { key, .. } => key.as_str(),
+            ResolveError::Cycle { stack } => {
+                stack.first().map(String::as_str).unwrap_or("<repository>")
+            }
+        };
+        let mut d = Diagnostic::error(path, self.to_string()).with_code(self.code());
+        if let ResolveError::Parse { error: CoreError::Xml(xml), .. } = self {
+            d = d.with_span(xpdl_xml::Span::at(xml.pos));
+        }
+        d
+    }
+}
 
 /// Options controlling recursive resolution.
 #[derive(Debug, Clone)]
@@ -1083,5 +1115,35 @@ mod tests {
         )
         .unwrap();
         assert!(references_of(doc.root()).is_empty());
+    }
+
+    #[test]
+    fn resolve_errors_convert_to_coded_diagnostics() {
+        let nf = ResolveError::NotFound {
+            key: "Ghost".into(),
+            referenced_by: Some("srv".into()),
+            searched: vec!["memory".into()],
+        };
+        let d = nf.to_diagnostic();
+        assert_eq!(d.code, "R301");
+        assert_eq!(d.path, "Ghost");
+        assert!(d.is_error());
+        assert!(d.message.contains("not found"));
+
+        let cyc = ResolveError::Cycle { stack: vec!["A".into(), "B".into(), "A".into()] };
+        assert_eq!(cyc.to_diagnostic().code, "R303");
+        assert_eq!(cyc.to_diagnostic().path, "A");
+
+        // A parse failure inside a stored descriptor carries the XML
+        // source position through to the diagnostic span.
+        let mut store = crate::MemoryStore::new();
+        store.insert("broken", "<system id=\"s\">\n  <oops\n</system>");
+        let repo = Repository::new().with_store(store);
+        let err = repo.load("broken").unwrap_err();
+        let d = err.to_diagnostic();
+        assert_eq!(d.code, "R302");
+        assert_eq!(d.path, "broken");
+        let pos = d.pos().expect("parse diagnostics carry a position");
+        assert!(pos.line >= 2, "error should point past line 1, got {pos:?}");
     }
 }

@@ -1,83 +1,14 @@
 //! Structured validation diagnostics.
+//!
+//! Historically this crate owned its own `Diagnostic` type carrying only an
+//! element path. Diagnostics are now unified across the toolchain in
+//! [`xpdl_core::diag`] — the shared type additionally carries a stable
+//! machine-readable code and a source [`xpdl_xml::Span`] (line:col), so
+//! validation findings can be pinpointed in the originating descriptor.
+//! This module re-exports the shared type to keep the crate's public API
+//! stable.
 
-use std::fmt;
-
-/// Severity of a diagnostic.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub enum Severity {
-    /// Informational note (e.g. extensibility escape hatch in use).
-    Info,
-    /// Suspicious but permitted (unknown attribute, unknown tag).
-    Warning,
-    /// Violates the core metamodel.
-    Error,
-}
-
-impl fmt::Display for Severity {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            Severity::Info => write!(f, "info"),
-            Severity::Warning => write!(f, "warning"),
-            Severity::Error => write!(f, "error"),
-        }
-    }
-}
-
-/// One validation finding.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Diagnostic {
-    /// Severity class.
-    pub severity: Severity,
-    /// Slash-separated element path from the root, e.g.
-    /// `system[liu_gpu_server]/interconnects/interconnect[connection1]`.
-    pub path: String,
-    /// Human-readable message.
-    pub message: String,
-}
-
-impl Diagnostic {
-    /// Construct an error.
-    pub fn error(path: impl Into<String>, message: impl Into<String>) -> Diagnostic {
-        Diagnostic { severity: Severity::Error, path: path.into(), message: message.into() }
-    }
-
-    /// Construct a warning.
-    pub fn warning(path: impl Into<String>, message: impl Into<String>) -> Diagnostic {
-        Diagnostic { severity: Severity::Warning, path: path.into(), message: message.into() }
-    }
-
-    /// Construct an info note.
-    pub fn info(path: impl Into<String>, message: impl Into<String>) -> Diagnostic {
-        Diagnostic { severity: Severity::Info, path: path.into(), message: message.into() }
-    }
-
-    /// Whether this is an error.
-    pub fn is_error(&self) -> bool {
-        self.severity == Severity::Error
-    }
-}
-
-impl fmt::Display for Diagnostic {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}: {}: {}", self.severity, self.path, self.message)
-    }
-}
-
-/// Summary helpers over a diagnostic list.
-pub trait DiagnosticsExt {
-    /// Count of errors.
-    fn error_count(&self) -> usize;
-    /// Whether the set is free of errors (warnings allowed).
-    fn is_valid(&self) -> bool {
-        self.error_count() == 0
-    }
-}
-
-impl DiagnosticsExt for [Diagnostic] {
-    fn error_count(&self) -> usize {
-        self.iter().filter(|d| d.is_error()).count()
-    }
-}
+pub use xpdl_core::diag::{DiagSink, Diagnostic, DiagnosticsExt, Severity};
 
 #[cfg(test)]
 mod tests {

@@ -1,4 +1,9 @@
 //! The validation walker.
+//!
+//! Every diagnostic carries a stable `V1xx` code and, when the element was
+//! parsed from text, the source span of the offending attribute (falling
+//! back to the element's own span) — see DESIGN.md "Diagnostics & graceful
+//! degradation" for the taxonomy.
 
 use crate::diag::Diagnostic;
 use crate::schema::{AttrDomain, ChildPolicy, ElementSpec, Schema};
@@ -13,7 +18,11 @@ pub fn validate_document(doc: &XpdlDocument, schema: &Schema) -> Vec<Diagnostic>
     walk(doc.root(), schema, &path_segment(doc.root()), &mut diags);
     // Identifier uniqueness is a document-level rule (paper §III-A).
     if let Err(e) = doc.ident_index() {
-        diags.push(Diagnostic::error(path_segment(doc.root()), e.to_string()));
+        diags.push(
+            Diagnostic::error(path_segment(doc.root()), e.to_string())
+                .with_code("V130")
+                .with_span(doc.root().span),
+        );
     }
     diags
 }
@@ -44,10 +53,14 @@ fn walk(e: &XpdlElement, schema: &Schema, path: &str, diags: &mut Vec<Diagnostic
         Some(spec) => check_element(e, spec, schema, path, diags),
         None => {
             // Unknown tags are the extensibility escape hatch: warn only.
-            diags.push(Diagnostic::warning(
-                path,
-                format!("element <{}> is not in the core metamodel", e.kind.tag()),
-            ));
+            diags.push(
+                Diagnostic::warning(
+                    path,
+                    format!("element <{}> is not in the core metamodel", e.kind.tag()),
+                )
+                .with_code("V121")
+                .with_span(e.span),
+            );
         }
     }
     for c in &e.children {
@@ -65,44 +78,73 @@ fn check_element(
 ) {
     // Identification rules.
     if e.meta_name().is_some() && !spec.allow_name {
-        diags.push(Diagnostic::error(path, format!("<{}> may not carry 'name'", spec.tag)));
+        diags.push(
+            Diagnostic::error(path, format!("<{}> may not carry 'name'", spec.tag))
+                .with_code("V101")
+                .with_span(e.span_for_attr("name")),
+        );
     }
     if e.instance_id().is_some() && !spec.allow_id {
-        diags.push(Diagnostic::error(path, format!("<{}> may not carry 'id'", spec.tag)));
+        diags.push(
+            Diagnostic::error(path, format!("<{}> may not carry 'id'", spec.tag))
+                .with_code("V101")
+                .with_span(e.span_for_attr("id")),
+        );
     }
     if e.type_ref.is_some() && !spec.allow_type {
-        diags.push(Diagnostic::error(path, format!("<{}> may not carry 'type'", spec.tag)));
+        diags.push(
+            Diagnostic::error(path, format!("<{}> may not carry 'type'", spec.tag))
+                .with_code("V101")
+                .with_span(e.span_for_attr("type")),
+        );
     }
     if !e.extends.is_empty() && !spec.allow_extends {
-        diags.push(Diagnostic::error(path, format!("<{}> may not carry 'extends'", spec.tag)));
+        diags.push(
+            Diagnostic::error(path, format!("<{}> may not carry 'extends'", spec.tag))
+                .with_code("V101")
+                .with_span(e.span_for_attr("extends")),
+        );
     }
 
     // Required attributes.
     for a in spec.attrs.iter().filter(|a| a.required) {
         if e.attr(a.name).is_none() {
-            diags.push(Diagnostic::error(
-                path,
-                format!("<{}> is missing required attribute '{}'", spec.tag, a.name),
-            ));
+            diags.push(
+                Diagnostic::error(
+                    path,
+                    format!("<{}> is missing required attribute '{}'", spec.tag, a.name),
+                )
+                .with_code("V102")
+                .with_span(e.span),
+            );
         }
     }
 
     // Attribute domains.
     for (key, raw) in &e.attrs {
+        let span = e.span_for_attr(key);
         let Some(a) = spec.attr(key) else {
-            diags.push(Diagnostic::info(
-                path,
-                format!("attribute '{key}' is not in the core metamodel for <{}>", spec.tag),
-            ));
+            diags.push(
+                Diagnostic::info(
+                    path,
+                    format!("attribute '{key}' is not in the core metamodel for <{}>", spec.tag),
+                )
+                .with_code("V120")
+                .with_span(span),
+            );
             continue;
         };
         let value = AttrValue::interpret(raw);
         if value.is_unknown() {
             if !a.allow_unknown {
-                diags.push(Diagnostic::error(
-                    path,
-                    format!("attribute '{key}' does not admit the '?' placeholder"),
-                ));
+                diags.push(
+                    Diagnostic::error(
+                        path,
+                        format!("attribute '{key}' does not admit the '?' placeholder"),
+                    )
+                    .with_code("V103")
+                    .with_span(span),
+                );
             }
             continue;
         }
@@ -110,19 +152,27 @@ fn check_element(
             AttrDomain::Any | AttrDomain::IdentRef => {}
             AttrDomain::Number => {
                 if value.as_number().is_none() {
-                    diags.push(Diagnostic::error(
-                        path,
-                        format!("attribute '{key}' must be numeric, got {raw:?}"),
-                    ));
+                    diags.push(
+                        Diagnostic::error(
+                            path,
+                            format!("attribute '{key}' must be numeric, got {raw:?}"),
+                        )
+                        .with_code("V104")
+                        .with_span(span),
+                    );
                 }
             }
             AttrDomain::CountOrParam => match value {
                 AttrValue::Number(n) if n >= 0.0 && n.fract() == 0.0 => {}
                 AttrValue::Str(_) => {} // parameter reference, bound at elaboration
-                _ => diags.push(Diagnostic::error(
-                    path,
-                    format!("attribute '{key}' must be a non-negative integer or parameter name, got {raw:?}"),
-                )),
+                _ => diags.push(
+                    Diagnostic::error(
+                        path,
+                        format!("attribute '{key}' must be a non-negative integer or parameter name, got {raw:?}"),
+                    )
+                    .with_code("V105")
+                    .with_span(span),
+                ),
             },
             AttrDomain::Metric(dim) => {
                 // Meta-models may bind metrics to parameter names
@@ -133,21 +183,29 @@ fn check_element(
                 if is_param_ref {
                     // Defer to elaboration.
                 } else if value.as_number().is_none() {
-                    diags.push(Diagnostic::error(
-                        path,
-                        format!("metric '{key}' must be numeric, '?' or a parameter name, got {raw:?}"),
-                    ));
+                    diags.push(
+                        Diagnostic::error(
+                            path,
+                            format!("metric '{key}' must be numeric, '?' or a parameter name, got {raw:?}"),
+                        )
+                        .with_code("V106")
+                        .with_span(span),
+                    );
                 } else {
                     let unit_attr = XpdlElement::unit_attr_for(key);
                     if let Some(unit_raw) = e.attr(&unit_attr) {
                         match Unit::parse(unit_raw) {
-                            Ok(u) if u.dimension != *dim => diags.push(Diagnostic::error(
-                                path,
-                                format!(
-                                    "unit {unit_raw:?} of '{key}' has dimension {}, expected {dim}",
-                                    u.dimension
-                                ),
-                            )),
+                            Ok(u) if u.dimension != *dim => diags.push(
+                                Diagnostic::error(
+                                    path,
+                                    format!(
+                                        "unit {unit_raw:?} of '{key}' has dimension {}, expected {dim}",
+                                        u.dimension
+                                    ),
+                                )
+                                .with_code("V107")
+                                .with_span(e.span_for_attr(&unit_attr)),
+                            ),
                             Ok(_) => {}
                             // Parse failures are reported once, by the
                             // UnitStr domain of the unit attribute itself.
@@ -158,31 +216,47 @@ fn check_element(
             }
             AttrDomain::Enum(allowed) => {
                 if !allowed.contains(&raw.trim()) {
-                    diags.push(Diagnostic::error(
-                        path,
-                        format!("attribute '{key}' must be one of {allowed:?}, got {raw:?}"),
-                    ));
+                    diags.push(
+                        Diagnostic::error(
+                            path,
+                            format!("attribute '{key}' must be one of {allowed:?}, got {raw:?}"),
+                        )
+                        .with_code("V109")
+                        .with_span(span),
+                    );
                 }
             }
             AttrDomain::Expr => {
                 if let Err(err) = parse_expr(raw) {
-                    diags.push(Diagnostic::error(
-                        path,
-                        format!("attribute '{key}' is not a valid expression: {err}"),
-                    ));
+                    diags.push(
+                        Diagnostic::error(
+                            path,
+                            format!("attribute '{key}' is not a valid expression: {err}"),
+                        )
+                        .with_code("V110")
+                        .with_span(span),
+                    );
                 }
             }
             AttrDomain::Bool => {
                 if !matches!(raw.trim(), "true" | "false") {
-                    diags.push(Diagnostic::error(
-                        path,
-                        format!("attribute '{key}' must be true/false, got {raw:?}"),
-                    ));
+                    diags.push(
+                        Diagnostic::error(
+                            path,
+                            format!("attribute '{key}' must be true/false, got {raw:?}"),
+                        )
+                        .with_code("V111")
+                        .with_span(span),
+                    );
                 }
             }
             AttrDomain::UnitStr => {
                 if let Err(err) = Unit::parse(raw) {
-                    diags.push(Diagnostic::error(path, err.to_string()));
+                    diags.push(
+                        Diagnostic::error(path, err.to_string())
+                            .with_code("V108")
+                            .with_span(span),
+                    );
                 }
             }
         }
@@ -193,29 +267,41 @@ fn check_element(
         ChildPolicy::Any => {}
         ChildPolicy::None => {
             for c in &e.children {
-                diags.push(Diagnostic::warning(
-                    path,
-                    format!("<{}> is a leaf in the core metamodel but contains <{}>", spec.tag, c.kind.tag()),
-                ));
+                diags.push(
+                    Diagnostic::warning(
+                        path,
+                        format!("<{}> is a leaf in the core metamodel but contains <{}>", spec.tag, c.kind.tag()),
+                    )
+                    .with_code("V123")
+                    .with_span(c.span),
+                );
             }
         }
         ChildPolicy::Listed(allowed) => {
             for c in &e.children {
                 if !allowed.contains(&c.kind.tag()) {
-                    diags.push(Diagnostic::warning(
-                        path,
-                        format!("<{}> is not an expected child of <{}>", c.kind.tag(), spec.tag),
-                    ));
+                    diags.push(
+                        Diagnostic::warning(
+                            path,
+                            format!("<{}> is not an expected child of <{}>", c.kind.tag(), spec.tag),
+                        )
+                        .with_code("V122")
+                        .with_span(c.span),
+                    );
                 }
             }
         }
     }
     for required in spec.required_children {
         if !e.children.iter().any(|c| c.kind.tag() == *required) {
-            diags.push(Diagnostic::error(
-                path,
-                format!("<{}> requires at least one <{required}> child", spec.tag),
-            ));
+            diags.push(
+                Diagnostic::error(
+                    path,
+                    format!("<{}> requires at least one <{required}> child", spec.tag),
+                )
+                .with_code("V124")
+                .with_span(e.span),
+            );
         }
     }
 }
@@ -267,6 +353,7 @@ mod tests {
         );
         assert_eq!(d.len(), 1);
         assert!(d[0].message.contains("head"));
+        assert_eq!(d[0].code, "V102");
     }
 
     #[test]
@@ -280,12 +367,14 @@ mod tests {
         let d = errors(r#"<cache name="L1" size="32" unit="GHz"/>"#);
         assert_eq!(d.len(), 1);
         assert!(d[0].message.contains("dimension"), "{}", d[0].message);
+        assert_eq!(d[0].code, "V107");
     }
 
     #[test]
     fn bad_unit_string_is_error() {
         let d = errors(r#"<core frequency="2" frequency_unit="XHz"/>"#);
         assert_eq!(d.len(), 1);
+        assert_eq!(d[0].code, "V108");
     }
 
     #[test]
@@ -348,6 +437,7 @@ mod tests {
         let d = errors(r#"<system id="s"><device id="x"/><device id="x"/></system>"#);
         assert_eq!(d.len(), 1);
         assert!(d[0].message.contains("duplicate"));
+        assert_eq!(d[0].code, "V130");
     }
 
     #[test]
@@ -372,5 +462,18 @@ mod tests {
         );
         assert_eq!(diags.len(), 1);
         assert_eq!(diags[0].path, "system[s]/node/cache[L1]");
+    }
+
+    #[test]
+    fn diagnostics_point_at_source_lines() {
+        // The bad unit sits on line 3 of the descriptor; the diagnostic's
+        // span must say so (attribute-precise, not element-start).
+        let src = "<system id=\"s\">\n  <node>\n    <cache name=\"L1\" size=\"32\" unit=\"XB\"/>\n  </node>\n</system>";
+        let diags = errors(src);
+        assert_eq!(diags.len(), 1);
+        let span = diags[0].span.expect("span recorded");
+        assert_eq!(span.start.line, 3);
+        assert!(span.start.col > 20, "column should point at the unit attribute, got {}", span.start.col);
+        assert!(diags[0].to_string().contains("(3:"), "{}", diags[0]);
     }
 }

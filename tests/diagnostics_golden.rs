@@ -1,0 +1,110 @@
+//! Golden fail-soft test: one descriptor carrying five distinct faults
+//! across pipeline stages must produce all five diagnostics — each with a
+//! source position — in a *single* `xpdlc validate --keep-going` run,
+//! while the default fail-fast mode stops at the first failing stage.
+
+use xpdl::core::{parse_diagnostics_json, Diagnostic};
+
+/// The five faults, one per numbered line:
+///
+/// | line | fault | stage | code |
+/// |---|---|---|---|
+/// | 4 | non-numeric metric `size="12megs"` | schema | V106 |
+/// | 5 | unrecognized unit `XB` | schema | V108 |
+/// | 6 | unknown meta-model `GhostAccel` | elaboration | E201 |
+/// | 7 | cyclic `extends` CycA ⇄ CycB | elaboration | E202 |
+/// | 8 | unsatisfiable constraint `1 == 2` | elaboration | E204 |
+const FIVE_FAULTS: &str = r#"<system id="golden">
+  <cpu name="CycA" extends="CycB"/>
+  <cpu name="CycB" extends="CycA"/>
+  <cache id="L1" size="12megs" unit="KiB"/>
+  <cache id="L2" size="256" unit="XB"/>
+  <device id="acc" type="GhostAccel"/>
+  <cpu id="p0" type="CycA"/>
+  <constraints><constraint expr="1 == 2"/></constraints>
+</system>"#;
+
+const EXPECTED: &[(&str, u32)] = &[("V106", 4), ("V108", 5), ("E201", 6), ("E202", 7), ("E204", 8)];
+
+fn run_cli(args: &[&str]) -> (i32, String) {
+    let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+    let mut buf = Vec::new();
+    let code = xpdl_cli::run(&args, &mut buf);
+    (code, String::from_utf8(buf).expect("utf8 output"))
+}
+
+fn write_descriptor(tag: &str) -> (std::path::PathBuf, String) {
+    let dir = std::env::temp_dir().join(format!("xpdl_golden_{tag}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("golden.xpdl");
+    std::fs::write(&path, FIVE_FAULTS).unwrap();
+    (dir, path.to_str().unwrap().to_string())
+}
+
+fn assert_all_five(diags: &[Diagnostic], ctx: &str) {
+    for (code, line) in EXPECTED {
+        let d = diags
+            .iter()
+            .find(|d| d.code == *code)
+            .unwrap_or_else(|| panic!("missing {code} in {ctx}"));
+        assert!(d.is_error(), "{code} should be an error: {ctx}");
+        let pos = d.pos().unwrap_or_else(|| panic!("{code} has no source position: {ctx}"));
+        assert_eq!(pos.line, *line, "{code} should point at line {line}: {ctx}");
+        assert!(pos.col >= 1, "{code} column must be 1-based: {ctx}");
+    }
+}
+
+#[test]
+fn keep_going_reports_all_five_faults_in_one_run() {
+    let (dir, path) = write_descriptor("kg");
+    let (code, out) = run_cli(&["validate", &path, "--keep-going"]);
+    assert_eq!(code, 1, "{out}");
+    // Every fault is visible in the text output, with its line number.
+    for (c, line) in EXPECTED {
+        assert!(out.contains(&format!("error[{c}]")), "missing {c} in:\n{out}");
+        assert!(out.contains(&format!("({line}:")), "missing line {line} in:\n{out}");
+    }
+    assert!(out.contains("5 errors"), "{out}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn fail_fast_stops_at_the_first_failing_stage() {
+    let (dir, path) = write_descriptor("ff");
+    let (code, out) = run_cli(&["validate", &path]);
+    assert_eq!(code, 1, "{out}");
+    // Schema faults are reported, but the pipeline never reaches
+    // elaboration — the three elaboration-stage faults stay unreported.
+    assert!(out.contains("V106"), "{out}");
+    for c in ["E201", "E202", "E204"] {
+        assert!(!out.contains(c), "fail-fast should not reach elaboration ({c}):\n{out}");
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn json_output_round_trips_and_carries_positions() {
+    let (dir, path) = write_descriptor("json");
+    let (code, out) = run_cli(&["validate", &path, "--keep-going", "--diag-format=json"]);
+    assert_eq!(code, 1, "{out}");
+    let diags = parse_diagnostics_json(&out).expect("machine-readable diagnostics");
+    assert_all_five(&diags, "json output");
+    // Round-trip: emit → parse → emit must be byte-identical.
+    let emitted = xpdl::core::diagnostics_to_json(&diags);
+    let reparsed = parse_diagnostics_json(&emitted).expect("round-trip parse");
+    assert_eq!(diags, reparsed);
+    assert_eq!(emitted, xpdl::core::diagnostics_to_json(&reparsed));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn diagnostics_arrive_in_source_order() {
+    let (dir, path) = write_descriptor("order");
+    let (_, out) = run_cli(&["validate", &path, "--keep-going", "--diag-format=json"]);
+    let diags = parse_diagnostics_json(&out).expect("machine-readable diagnostics");
+    let lines: Vec<u32> = diags.iter().filter_map(|d| d.pos()).map(|p| p.line).collect();
+    let mut sorted = lines.clone();
+    sorted.sort_unstable();
+    assert_eq!(lines, sorted, "diagnostics should be sorted by source position: {out}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -1,0 +1,161 @@
+//! The no-panic guarantee: arbitrary and mutated descriptor input fed
+//! through the *entire* pipeline — parse → validate → resolve →
+//! elaborate → runtime encode/decode — must never panic. Every stage may
+//! reject its input with an error or diagnostic; none may abort.
+//!
+//! Case counts are fixed and small so the whole file runs in well under a
+//! minute — this doubles as the CI fuzz-smoke job.
+
+use proptest::prelude::*;
+use xpdl::core::XpdlDocument;
+use xpdl::elab::{elaborate_with, ElabOptions};
+use xpdl::repo::{MemoryStore, Repository, ResolveOptions};
+use xpdl::runtime::{decode, encode, RuntimeModel};
+use xpdl::schema::{validate_document, Schema};
+
+/// Drive one source string through every pipeline stage, in both
+/// fail-fast and keep-going modes. Errors are fine; panics are the bug.
+fn full_pipeline(src: &str) {
+    // Strict and lossy parses both have to survive arbitrary bytes.
+    let _ = XpdlDocument::parse_str(src);
+    let Ok((doc, _parse_diags)) = XpdlDocument::parse_named_lossy(src, "fuzz") else {
+        return;
+    };
+    let _ = validate_document(&doc, &Schema::core());
+
+    let key = doc.root().ident().unwrap_or("fuzz").to_string();
+    let mut store = MemoryStore::new();
+    store.insert(&key, src);
+    let repo = Repository::new().with_store(store);
+    let opts = ResolveOptions { allow_missing: true, ..Default::default() };
+    let Ok(set) = repo.resolve_with(&key, &opts) else {
+        return;
+    };
+    for keep_going in [false, true] {
+        // Tight budgets keep runaway inputs cheap while still exercising
+        // the TooLarge/TooDeep paths.
+        let eopts = ElabOptions {
+            keep_going,
+            max_depth: 32,
+            max_elements: 20_000,
+            ..Default::default()
+        };
+        if let Ok(model) = elaborate_with(&set, &eopts) {
+            let rt = RuntimeModel::from_element(&model.root);
+            let _ = decode(&encode(&rt));
+        }
+    }
+}
+
+/// Fragments that skew random input toward the interesting corners of the
+/// grammar instead of instant rejection.
+fn arb_descriptor_soup() -> impl Strategy<Value = String> {
+    let fragment = prop_oneof![
+        Just("<system id=\"s\">".to_string()),
+        Just("</system>".to_string()),
+        Just("<cpu name=\"A\" extends=\"B\"/>".to_string()),
+        Just("<cpu name=\"B\" extends=\"A\"/>".to_string()),
+        Just("<core type=\"A\"/>".to_string()),
+        Just("<group quantity=\"q\" prefix=\"c\"><core/></group>".to_string()),
+        Just("<cache id=\"L1\" size=\"?\" unit=\"XB\"/>".to_string()),
+        Just("<constraint expr=\"((((1+\"/>".to_string()),
+        Just("<param name=\"q\" range=\"1,2,nope\"/>".to_string()),
+        Just("<interconnect head=\"x\" tail=\"y\"/>".to_string()),
+        Just("<!-- c -->".to_string()),
+        Just("&bad;".to_string()),
+        "[a-zA-Z0-9<>/=\"'?&; ]{0,24}",
+    ];
+    proptest::collection::vec(fragment, 0..12).prop_map(|v| v.concat())
+}
+
+/// Byte-level mutations of real library descriptors: flip, truncate, and
+/// splice — the classic fuzz moves, seeded deterministically by proptest.
+fn mutate(src: &str, edits: &[(usize, u8)], truncate_at: usize) -> String {
+    let mut bytes = src.as_bytes().to_vec();
+    for (pos, byte) in edits {
+        if !bytes.is_empty() {
+            let i = pos % bytes.len();
+            bytes[i] = *byte;
+        }
+    }
+    if truncate_at.is_multiple_of(4) && !bytes.is_empty() {
+        bytes.truncate(truncate_at % bytes.len());
+    }
+    String::from_utf8_lossy(&bytes).into_owned()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn arbitrary_input_never_panics(src in arb_descriptor_soup()) {
+        full_pipeline(&src);
+    }
+
+    #[test]
+    fn pure_noise_never_panics(src in "\\PC{0,64}") {
+        full_pipeline(&src);
+    }
+}
+
+proptest! {
+    // Mutated full-size listings elaborate for real when the mutation is
+    // benign, so keep this pool smaller.
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn mutated_library_listings_never_panic(
+        model_idx in 0usize..64,
+        edits in proptest::collection::vec((0usize..4096, 0u8..=255), 0..8),
+        truncate_at in 0usize..4096,
+    ) {
+        let lib = xpdl::models::library::LIBRARY;
+        let (_key, src) = lib[model_idx % lib.len()];
+        full_pipeline(&mutate(src, &edits, truncate_at));
+    }
+}
+
+// Targeted regressions for panic vectors found while building the
+// fail-soft pipeline. Each of these used to abort.
+
+#[test]
+fn nan_bandwidth_comparison_does_not_panic() {
+    full_pipeline(
+        r#"<system id="s">
+             <cpu id="c"/><memory id="m" bandwidth="nan" bandwidth_unit="GB/s"/>
+             <interconnect id="i" head="c" tail="m" bandwidth="nan" bandwidth_unit="GB/s"/>
+           </system>"#,
+    );
+}
+
+#[test]
+fn type_reference_cycle_does_not_hang_or_panic() {
+    full_pipeline(
+        r#"<system id="s">
+             <cpu name="A"><core type="B"/></cpu>
+             <cpu name="B"><core type="A"/></cpu>
+             <core id="k" type="A"/>
+           </system>"#,
+    );
+}
+
+#[test]
+fn deeply_nested_expression_errors_cleanly() {
+    let expr = format!("{}1{}", "(".repeat(2000), ")".repeat(2000));
+    full_pipeline(&format!(
+        r#"<system id="s"><constraints><constraint expr="{expr}"/></constraints></system>"#
+    ));
+}
+
+#[test]
+fn deeply_nested_elements_error_cleanly() {
+    let mut src = String::from("<system id=\"s\">");
+    for i in 0..300 {
+        src.push_str(&format!("<node id=\"n{i}\">"));
+    }
+    for _ in 0..300 {
+        src.push_str("</node>");
+    }
+    src.push_str("</system>");
+    full_pipeline(&src);
+}
