@@ -18,15 +18,21 @@
 //! | `uml [schema\|<key>]` | the UML view (PlantUML) of the metamodel or a composed model |
 //! | `export <dir>` | write the built-in library as `.xpdl` files (a local model search path) |
 //! | `keys` | list the built-in model library |
+//! | `cache stats\|verify\|gc\|clear` | manage the persistent model cache |
 //!
 //! All commands default to the built-in model library; `--models DIR` adds
 //! a local directory of `.xpdl` files to the front of the search path.
+//! `--cache-dir DIR` layers a crash-safe persistent cache over every
+//! store; `--max-stale SECS` serves cached copies when stores are down,
+//! and `--offline` resolves from the cache alone.
 
 use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
 use xpdl_core::XpdlDocument;
 use xpdl_repo::{
-    DirStore, FaultConfig, FaultInjectingStore, MemoryStore, ModelStore, RepoMetrics, Repository,
-    ResolveOptions, RetryPolicy,
+    CachingStore, DirStore, DiskCache, FaultConfig, FaultInjectingStore, Freshness, MemoryStore,
+    ModelStore, RepoMetrics, Repository, ResolveOptions, RetryPolicy,
 };
 use xpdl_schema::{validate_document, Schema};
 
@@ -267,6 +273,7 @@ fn dispatch(args: &[String], out: &mut dyn std::io::Write) -> Result<ExitCode, B
             writeln!(out, "exported {n} descriptors to {}", dir.display())?;
             Ok(0)
         }
+        "cache" => cache_command(rest, out),
         "codegen" => {
             let lang = rest.first().map(String::as_str).unwrap_or("rust");
             let schema = Schema::core();
@@ -371,28 +378,137 @@ fn validate(
     })
 }
 
+/// `xpdlc cache <stats|verify|gc|clear>`: manage a persistent cache
+/// directory directly. Opening the cache already runs integrity
+/// recovery, so even `stats` surfaces (and prints) any `R3xx`
+/// diagnostics produced by quarantine or manifest rebuild.
+fn cache_command(
+    rest: &[String],
+    out: &mut dyn std::io::Write,
+) -> Result<ExitCode, Box<dyn std::error::Error>> {
+    let usage = "cache <stats|verify|gc|clear> --cache-dir DIR [--max-age SECS]";
+    let action = arg_at(rest, 0, usage)?;
+    let Some(dir) = flag_value(rest, "--cache-dir") else {
+        writeln!(out, "usage: xpdlc {usage}")?;
+        return Ok(2);
+    };
+    let cache = DiskCache::open(&dir).map_err(|e| e.to_string())?;
+    match action.as_str() {
+        "stats" => {
+            for d in cache.take_diagnostics() {
+                writeln!(out, "{d}")?;
+            }
+            writeln!(out, "cache {}: {}", cache.dir().display(), cache.stats())?;
+            Ok(0)
+        }
+        "verify" => {
+            // Open already verified once; run it again explicitly so the
+            // exit code reflects the *current* on-disk state.
+            cache.verify();
+            for d in cache.take_diagnostics() {
+                writeln!(out, "{d}")?;
+            }
+            let quarantined = cache.quarantined_session();
+            writeln!(
+                out,
+                "verified {} entries, {} quarantined",
+                cache.stats().entries,
+                quarantined
+            )?;
+            Ok(if quarantined > 0 { 1 } else { 0 })
+        }
+        "gc" => {
+            let max_age = parse_flag::<u64>(rest, "--max-age")?.map(Duration::from_secs);
+            let report = cache.gc(max_age).map_err(|e| e.to_string())?;
+            for d in cache.take_diagnostics() {
+                writeln!(out, "{d}")?;
+            }
+            writeln!(
+                out,
+                "gc: removed {} expired entries, purged {} quarantined files, {} entries remain",
+                report.expired_removed,
+                report.quarantine_removed,
+                cache.len()
+            )?;
+            Ok(0)
+        }
+        "clear" => {
+            cache.clear().map_err(|e| e.to_string())?;
+            writeln!(out, "cleared cache {}", cache.dir().display())?;
+            Ok(0)
+        }
+        other => {
+            writeln!(out, "unknown cache action '{other}'")?;
+            writeln!(out, "usage: xpdlc {usage}")?;
+            Ok(2)
+        }
+    }
+}
+
 fn repository(args: &[String]) -> Result<Repository, String> {
     repository_with(args, None)
+}
+
+/// The persistent-cache configuration carried by the cache flags.
+struct CacheSetup {
+    cache: Arc<DiskCache>,
+    freshness: Freshness,
+    ttl: Option<Duration>,
+}
+
+/// Parse `--cache-dir/--offline/--max-stale/--cache-ttl` into an opened
+/// cache (or `None` when caching is off). `--offline` and `--max-stale`
+/// only make sense with a cache directory.
+fn cache_setup(args: &[String]) -> Result<Option<CacheSetup>, String> {
+    let dir = flag_value(args, "--cache-dir");
+    let offline = has_flag(args, "--offline");
+    let max_stale = parse_flag::<u64>(args, "--max-stale")?;
+    let ttl = parse_flag::<u64>(args, "--cache-ttl")?.map(Duration::from_secs);
+    let Some(dir) = dir else {
+        if offline {
+            return Err("--offline requires --cache-dir".to_string());
+        }
+        if max_stale.is_some() {
+            return Err("--max-stale requires --cache-dir".to_string());
+        }
+        return Ok(None);
+    };
+    if offline && max_stale.is_some() {
+        return Err("--offline and --max-stale are mutually exclusive".to_string());
+    }
+    let freshness = if offline {
+        Freshness::OfflineOnly
+    } else if let Some(secs) = max_stale {
+        Freshness::StaleOk { max_age: Duration::from_secs(secs) }
+    } else {
+        Freshness::Strict
+    };
+    let cache = Arc::new(DiskCache::open(&dir).map_err(|e| e.to_string())?);
+    Ok(Some(CacheSetup { cache, freshness, ttl }))
 }
 
 /// Build the store stack, optionally pinning an in-memory descriptor
 /// (`key`, `source`) at the very front so it shadows everything else.
 fn repository_with(args: &[String], front: Option<(&str, &str)>) -> Result<Repository, String> {
     // User-provided models take precedence over the built-in library.
-    let mut stores: Vec<Box<dyn ModelStore>> = Vec::new();
+    // Each store carries a stable source identity so cache entries are
+    // only ever served back through the store that produced them
+    // (search-path precedence survives a shared --cache-dir).
+    let mut stores: Vec<(Option<String>, Box<dyn ModelStore>)> = Vec::new();
     if let Some((key, src)) = front {
         let mut file = MemoryStore::new();
         file.insert(key, src);
-        stores.push(Box::new(file));
+        // The per-invocation pinned descriptor is never cached.
+        stores.push((None, Box::new(file)));
     }
     if let Some(dir) = flag_value(args, "--models") {
-        stores.push(Box::new(DirStore::new(dir)));
+        stores.push((Some(format!("models-dir:{dir}")), Box::new(DirStore::new(dir))));
     }
     let mut lib = MemoryStore::new();
     for (k, v) in xpdl_models::library::LIBRARY {
         lib.insert(*k, *v);
     }
-    stores.push(Box::new(lib));
+    stores.push((Some("builtin-library".to_string()), Box::new(lib)));
 
     // Resilience knobs. `--fault-rate` wraps every store in a seeded
     // fault injector — the supported way to demo/exercise the retry
@@ -402,16 +518,31 @@ fn repository_with(args: &[String], front: Option<(&str, &str)>) -> Result<Repos
     if !(0.0..=1.0).contains(&fault_rate) {
         return Err(format!("--fault-rate {fault_rate} outside [0, 1]"));
     }
+    let setup = cache_setup(args)?;
     let mut repo = Repository::new();
-    for store in stores {
-        if fault_rate > 0.0 {
-            repo.push_store(Box::new(FaultInjectingStore::new(
+    for (source_id, store) in stores {
+        // The cache wraps the fault injector: injected faults model an
+        // unreliable *backing store*, which is exactly what the cache's
+        // freshness policy is there to ride out.
+        let store: Box<dyn ModelStore> = if fault_rate > 0.0 {
+            Box::new(FaultInjectingStore::new(
                 store,
                 FaultConfig::failures(fault_rate, fault_seed),
-            )));
+            ))
         } else {
-            repo.push_store(store);
+            store
+        };
+        match (&setup, source_id) {
+            (Some(s), Some(source_id)) => repo.push_store(Box::new(
+                CachingStore::new(store, Arc::clone(&s.cache), s.freshness)
+                    .with_source_id(source_id)
+                    .with_ttl(s.ttl),
+            )),
+            _ => repo.push_store(store),
         }
+    }
+    if let Some(s) = setup {
+        repo.register_disk_cache(s.cache);
     }
     if let Some(retries) = parse_flag::<u32>(args, "--retries")? {
         repo.set_retry_policy(if retries <= 1 {
@@ -559,6 +690,9 @@ fn write_usage(out: &mut dyn std::io::Write) -> std::io::Result<()> {
          \x20 route <key> <from> <to> [B]    interconnect route + transfer estimate\n\
          \x20 diff <old.xpdl> <new.xpdl>     structural model diff\n\
          \x20 keys                           list built-in model library keys\n\
+         \x20 cache stats|verify|gc|clear    manage a persistent cache directory\n\
+         \x20   --cache-dir DIR              the cache directory (required)\n\
+         \x20   --max-age SECS               gc: also drop entries older than SECS\n\
          \n\
          RESOLUTION FLAGS (compose/dump/build/route/uml/keys):\n\
          \x20 --models DIR       prepend a local .xpdl directory to the search path\n\
@@ -566,6 +700,10 @@ fn write_usage(out: &mut dyn std::io::Write) -> std::io::Result<()> {
          \x20 --retries N        fetch attempts per store; 0/1 = fail fast (default 4)\n\
          \x20 --fault-rate F     inject store failures at rate F in [0,1] (testing)\n\
          \x20 --fault-seed S     seed for the deterministic fault script (default 42)\n\
+         \x20 --cache-dir DIR    persistent crash-safe cache for fetched descriptors\n\
+         \x20 --cache-ttl SECS   freshness lifetime recorded on new cache entries\n\
+         \x20 --max-stale SECS   serve cached copies up to SECS old if a store is down\n\
+         \x20 --offline          resolve from the cache only; never touch the stores\n\
          \n\
          EXIT CODES:\n\
          \x20 0 clean   1 errors   2 usage   3 warnings only (validate)   4 internal fault"
@@ -980,5 +1118,161 @@ mod tests {
         assert_eq!(code, 4, "{out}");
         assert!(out.contains("internal fault"), "{out}");
         assert!(out.contains("bug"), "{out}");
+    }
+
+    fn cache_dir(name: &str) -> (std::path::PathBuf, String) {
+        let dir = std::env::temp_dir().join(format!("xpdlc_cache_{}_{}", name, std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let s = dir.to_str().unwrap().to_string();
+        (dir, s)
+    }
+
+    #[test]
+    fn warm_cache_then_compose_fully_offline() {
+        let (dir, cache) = cache_dir("offline");
+        // Warm: a normal compose with --cache-dir persists every descriptor.
+        let (code, out) = run_cli(&["compose", "liu_gpu_server", "--cache-dir", &cache]);
+        assert_eq!(code, 0, "{out}");
+        // Offline: same compose, stores never consulted.
+        let (code, out) = run_cli(&["compose", "liu_gpu_server", "--offline", "--cache-dir", &cache]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("2500 cores"), "{out}");
+        assert!(out.contains("disk_hits="), "{out}");
+        assert!(!out.contains("disk_hits=0"), "{out}");
+        // A key that was never cached is unavailable offline, not "missing".
+        let (code, out) = run_cli(&["compose", "myriad_server", "--offline", "--cache-dir", &cache]);
+        assert_eq!(code, 1, "{out}");
+        assert!(out.contains("unavailable"), "{out}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn max_stale_rides_out_a_dead_store_and_stats_reports_it() {
+        let (dir, cache) = cache_dir("stale");
+        let (code, out) = run_cli(&["compose", "liu_gpu_server", "--cache-dir", &cache]);
+        assert_eq!(code, 0, "{out}");
+        // Backing store now fails 100% of attempts; stale serves save us.
+        let (code, out) = run_cli(&[
+            "compose", "liu_gpu_server", "--cache-dir", &cache,
+            "--max-stale", "3600", "--fault-rate", "1.0", "--retries", "0",
+        ]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("2500 cores"), "{out}");
+        assert!(!out.contains("stale_served=0"), "{out}");
+        // Strict mode rides out the dead store too — but only because
+        // the entries are still fresh; no stale serve is counted.
+        let (code, out) = run_cli(&[
+            "compose", "liu_gpu_server", "--cache-dir", &cache,
+            "--fault-rate", "1.0", "--retries", "0",
+        ]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("disk_hits="), "{out}");
+        // The stale serves were persisted: a separate `cache stats`
+        // process reads them back off disk.
+        let (code, out) = run_cli(&["cache", "stats", "--cache-dir", &cache]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("stale_served="), "{out}");
+        assert!(!out.contains("stale_served=0"), "{out}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn cache_verify_quarantines_torn_entries_and_gc_purges() {
+        let (dir, cache) = cache_dir("verify");
+        let (code, out) = run_cli(&["compose", "liu_gpu_server", "--cache-dir", &cache]);
+        assert_eq!(code, 0, "{out}");
+        let (code, out) = run_cli(&["cache", "verify", "--cache-dir", &cache]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("0 quarantined"), "{out}");
+        // Tear one entry on disk behind the manifest's back.
+        std::fs::write(dir.join("entries").join("Nvidia_K20c.xpdl"), "<device nam").unwrap();
+        let (code, out) = run_cli(&["cache", "verify", "--cache-dir", &cache]);
+        assert_eq!(code, 1, "{out}");
+        assert!(out.contains("R305"), "{out}");
+        assert!(out.contains("quarantined"), "{out}");
+        let (code, out) = run_cli(&["cache", "gc", "--cache-dir", &cache]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("purged 1 quarantined files"), "{out}");
+        // A fresh compose self-heals the quarantined key.
+        let (code, out) = run_cli(&["compose", "liu_gpu_server", "--cache-dir", &cache]);
+        assert_eq!(code, 0, "{out}");
+        let (code, out) = run_cli(&["cache", "verify", "--cache-dir", &cache]);
+        assert_eq!(code, 0, "{out}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn cache_clear_and_stats_flow() {
+        let (dir, cache) = cache_dir("clear");
+        let (code, out) = run_cli(&["compose", "liu_gpu_server", "--cache-dir", &cache]);
+        assert_eq!(code, 0, "{out}");
+        let (code, out) = run_cli(&["cache", "stats", "--cache-dir", &cache]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("entries="), "{out}");
+        assert!(!out.contains("entries=0"), "{out}");
+        let (code, out) = run_cli(&["cache", "clear", "--cache-dir", &cache]);
+        assert_eq!(code, 0, "{out}");
+        let (code, out) = run_cli(&["cache", "stats", "--cache-dir", &cache]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("entries=0"), "{out}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn cache_flag_validation() {
+        let (code, out) = run_cli(&["compose", "liu_gpu_server", "--offline"]);
+        assert_eq!(code, 1, "{out}");
+        assert!(out.contains("--offline requires --cache-dir"), "{out}");
+        let (code, out) = run_cli(&["compose", "liu_gpu_server", "--max-stale", "60"]);
+        assert_eq!(code, 1, "{out}");
+        assert!(out.contains("--max-stale requires --cache-dir"), "{out}");
+        let (dir, cache) = cache_dir("flags");
+        let (code, out) = run_cli(&[
+            "compose", "liu_gpu_server", "--cache-dir", &cache, "--offline", "--max-stale", "60",
+        ]);
+        assert_eq!(code, 1, "{out}");
+        assert!(out.contains("mutually exclusive"), "{out}");
+        // cache subcommand without --cache-dir is a usage error.
+        let (code, out) = run_cli(&["cache", "stats"]);
+        assert_eq!(code, 2, "{out}");
+        let (code, out) = run_cli(&["cache", "frobnicate", "--cache-dir", &cache]);
+        assert_eq!(code, 2, "{out}");
+        assert!(out.contains("unknown cache action"), "{out}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn models_dir_precedence_survives_a_shared_cache() {
+        let (dir, cache) = cache_dir("precedence");
+        let models = dir.join("models");
+        std::fs::create_dir_all(&models).unwrap();
+        let models_s = models.to_str().unwrap().to_string();
+        // The user's variant shadows the library's liu_gpu_server.
+        std::fs::write(
+            models.join("liu_gpu_server.xpdl"),
+            r#"<system id="liu_gpu_server"><socket><cpu id="h" type="Xeon1"/></socket></system>"#,
+        )
+        .unwrap();
+        let (code, out) =
+            run_cli(&["compose", "liu_gpu_server", "--models", &models_s, "--cache-dir", &cache]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("4 cores"), "{out}");
+        // Offline, still with --models on the path: the user variant is
+        // served from its own cache partition, not the library's copy.
+        let (code, out) = run_cli(&[
+            "compose", "liu_gpu_server", "--models", &models_s, "--cache-dir", &cache, "--offline",
+        ]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("4 cores"), "{out}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn usage_documents_cache_flags() {
+        let (_, out) = run_cli(&["help"]);
+        assert!(out.contains("--cache-dir"), "{out}");
+        assert!(out.contains("--max-stale"), "{out}");
+        assert!(out.contains("--offline"), "{out}");
+        assert!(out.contains("cache stats|verify|gc|clear"), "{out}");
     }
 }

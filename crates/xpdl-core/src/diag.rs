@@ -377,37 +377,53 @@ fn span_from_json(v: &json::JsonValue) -> Result<Span, String> {
 }
 
 fn json_string(out: &mut String, s: &str) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
+    json::escape_into(out, s);
 }
 
-/// A minimal recursive-descent JSON reader — just enough to round-trip the
-/// diagnostics format without an external serialization dependency (the
-/// workspace builds offline; see DESIGN.md "Offline dependency shims").
-mod json {
+/// A minimal recursive-descent JSON reader/writer — just enough to
+/// round-trip the diagnostics format (and other small machine-readable
+/// documents elsewhere in the workspace, e.g. the persistent model-cache
+/// manifest) without an external serialization dependency (the workspace
+/// builds offline; see DESIGN.md "Offline dependency shims").
+pub mod json {
+    /// A parsed JSON value.
     pub enum JsonValue {
+        /// `null`.
         Null,
-        // The diagnostics format never reads booleans back; the variant
-        // exists so stray `true`/`false` tokens parse rather than error.
+        /// `true`/`false`. The diagnostics format never reads booleans
+        /// back; the variant exists so stray tokens parse rather than
+        /// error.
         Bool,
+        /// Any number (parsed as `f64`; integers beyond 2^53 lose
+        /// precision — serialize those as strings instead).
         Number(f64),
+        /// A string.
         Str(String),
+        /// An array.
         Array(Vec<JsonValue>),
+        /// An object, as insertion-ordered key/value pairs.
         Object(Vec<(String, JsonValue)>),
     }
 
+    /// Append `s` to `out` as a quoted, escaped JSON string literal.
+    pub fn escape_into(out: &mut String, s: &str) {
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+
     impl JsonValue {
+        /// The string payload, if this is a string.
         pub fn as_str(&self) -> Option<&str> {
             match self {
                 JsonValue::Str(s) => Some(s),
@@ -415,6 +431,7 @@ mod json {
             }
         }
 
+        /// The numeric payload, if this is a number.
         pub fn as_number(&self) -> Option<f64> {
             match self {
                 JsonValue::Number(n) => Some(*n),
@@ -422,6 +439,7 @@ mod json {
             }
         }
 
+        /// The items, if this is an array.
         pub fn as_array(&self) -> Option<&[JsonValue]> {
             match self {
                 JsonValue::Array(a) => Some(a),
@@ -429,6 +447,7 @@ mod json {
             }
         }
 
+        /// The key/value pairs, if this is an object.
         pub fn as_object(&self) -> Option<&[(String, JsonValue)]> {
             match self {
                 JsonValue::Object(o) => Some(o),
@@ -437,10 +456,12 @@ mod json {
         }
     }
 
+    /// First value for `key` in an object's field list.
     pub fn get<'a>(obj: &'a [(String, JsonValue)], key: &str) -> Option<&'a JsonValue> {
         obj.iter().find(|(k, _)| k == key).map(|(_, v)| v)
     }
 
+    /// Parse a complete JSON document (no trailing content allowed).
     pub fn parse(src: &str) -> Result<JsonValue, String> {
         let bytes = src.as_bytes();
         let mut i = 0usize;

@@ -43,6 +43,13 @@ pub struct FaultConfig {
     /// stays an authoritative miss, so `NotFound` semantics survive
     /// fault injection.
     pub corrupt_rate: f64,
+    /// Probability a *successful* fetch is torn: only a prefix of the
+    /// real payload is delivered, as if a partial write (or a connection
+    /// cut mid-transfer) were observed. Like corruption, tearing never
+    /// applies to missing keys. The cut point is deterministic per
+    /// `(seed, key, attempt)`, so crash-during-write scenarios replay
+    /// exactly.
+    pub torn_rate: f64,
     /// Seed for the deterministic fault script.
     pub seed: u64,
     /// Real wall-clock sleep before an injected timeout is reported.
@@ -54,6 +61,12 @@ impl FaultConfig {
     /// Only hard failures (`Unavailable`) at `fail_rate`, seeded.
     pub fn failures(fail_rate: f64, seed: u64) -> FaultConfig {
         FaultConfig::new(fail_rate, 0.0, 0.0, seed)
+    }
+
+    /// Only torn (partial) payloads at `torn_rate`, seeded — the
+    /// crash-during-write simulation mode.
+    pub fn torn_writes(torn_rate: f64, seed: u64) -> FaultConfig {
+        FaultConfig::new(0.0, 0.0, 0.0, seed).with_torn_rate(torn_rate)
     }
 
     /// Full configuration; panics if any rate is outside `[0, 1]` or the
@@ -70,10 +83,38 @@ impl FaultConfig {
             fail_rate,
             timeout_rate,
             corrupt_rate,
+            torn_rate: 0.0,
             seed,
             timeout_sleep: Duration::ZERO,
         }
     }
+
+    /// Builder: add a torn-write rate on top of the existing rates;
+    /// panics if the combined rates leave the unit interval.
+    pub fn with_torn_rate(mut self, torn_rate: f64) -> FaultConfig {
+        assert!((0.0..=1.0).contains(&torn_rate), "torn_rate {torn_rate} outside [0, 1]");
+        let sum = self.fail_rate + self.timeout_rate + self.corrupt_rate + torn_rate;
+        assert!(sum <= 1.0 + 1e-9, "fault rates sum to {sum} > 1");
+        self.torn_rate = torn_rate;
+        self
+    }
+}
+
+/// Deterministically tear `payload`: keep a prefix whose length depends
+/// only on `(payload, fraction)`, cut back to a char boundary. The cut
+/// lands strictly inside the payload, so a well-formed XPDL document
+/// always loses (at least) its root close tag and fails to parse.
+pub fn tear_payload(payload: &str, fraction: f64) -> String {
+    if payload.is_empty() {
+        return String::new();
+    }
+    // Map the unit fraction to [0, len): always a strict prefix.
+    let mut cut = ((payload.len() as f64) * fraction) as usize;
+    cut = cut.min(payload.len() - 1);
+    while cut > 0 && !payload.is_char_boundary(cut) {
+        cut -= 1;
+    }
+    payload[..cut].to_string()
 }
 
 /// Counters for what the injector actually did.
@@ -85,6 +126,8 @@ pub struct FaultStats {
     pub injected_timeouts: u64,
     /// Fetches whose payload was replaced with garbage.
     pub injected_corruptions: u64,
+    /// Fetches whose payload was torn to a strict prefix.
+    pub injected_torn: u64,
     /// Fetches passed through untouched.
     pub passed_through: u64,
 }
@@ -92,7 +135,10 @@ pub struct FaultStats {
 impl FaultStats {
     /// Total faults of any class.
     pub fn total_injected(&self) -> u64 {
-        self.injected_unavailable + self.injected_timeouts + self.injected_corruptions
+        self.injected_unavailable
+            + self.injected_timeouts
+            + self.injected_corruptions
+            + self.injected_torn
     }
 }
 
@@ -106,6 +152,7 @@ pub struct FaultInjectingStore<S: ModelStore> {
     unavailable: AtomicU64,
     timeouts: AtomicU64,
     corruptions: AtomicU64,
+    torn: AtomicU64,
     passed: AtomicU64,
 }
 
@@ -119,6 +166,7 @@ impl<S: ModelStore> FaultInjectingStore<S> {
             unavailable: AtomicU64::new(0),
             timeouts: AtomicU64::new(0),
             corruptions: AtomicU64::new(0),
+            torn: AtomicU64::new(0),
             passed: AtomicU64::new(0),
         }
     }
@@ -140,6 +188,7 @@ impl<S: ModelStore> FaultInjectingStore<S> {
             injected_unavailable: self.unavailable.load(Ordering::Relaxed),
             injected_timeouts: self.timeouts.load(Ordering::Relaxed),
             injected_corruptions: self.corruptions.load(Ordering::Relaxed),
+            injected_torn: self.torn.load(Ordering::Relaxed),
             passed_through: self.passed.load(Ordering::Relaxed),
         }
     }
@@ -201,6 +250,15 @@ impl<S: ModelStore> ModelStore for FaultInjectingStore<S> {
             bump(&self.corruptions);
             return Ok(Some(CORRUPTED_PAYLOAD.to_string()));
         }
+        if let Some(full) = &payload {
+            if u < c.fail_rate + c.timeout_rate + c.corrupt_rate + c.torn_rate {
+                bump(&self.torn);
+                // Re-scale u into the torn band so the cut point varies
+                // per (seed, key, attempt) but stays deterministic.
+                let band = (u - c.fail_rate - c.timeout_rate - c.corrupt_rate) / c.torn_rate;
+                return Ok(Some(tear_payload(full, band)));
+            }
+        }
         bump(&self.passed);
         Ok(payload)
     }
@@ -212,10 +270,11 @@ impl<S: ModelStore> ModelStore for FaultInjectingStore<S> {
     fn describe(&self) -> String {
         let c = &self.config;
         format!(
-            "fault-injecting (fail {:.0}%, timeout {:.0}%, corrupt {:.0}%, seed {}) over {}",
+            "fault-injecting (fail {:.0}%, timeout {:.0}%, corrupt {:.0}%, torn {:.0}%, seed {}) over {}",
             c.fail_rate * 100.0,
             c.timeout_rate * 100.0,
             c.corrupt_rate * 100.0,
+            c.torn_rate * 100.0,
             c.seed,
             self.inner.describe()
         )
@@ -311,6 +370,47 @@ mod tests {
     #[should_panic(expected = "sum")]
     fn rates_past_one_are_rejected() {
         FaultConfig::new(0.6, 0.3, 0.3, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sum")]
+    fn torn_rate_past_one_combined_is_rejected() {
+        let _ = FaultConfig::new(0.6, 0.0, 0.3, 0).with_torn_rate(0.3);
+    }
+
+    #[test]
+    fn torn_mode_serves_a_strict_prefix_that_fails_to_parse() {
+        let f = FaultInjectingStore::new(store(), FaultConfig::torn_writes(1.0, 5));
+        let torn = f.try_fetch("CpuA").unwrap().unwrap();
+        let full = store().fetch("CpuA").unwrap();
+        assert!(torn.len() < full.len(), "torn {torn:?} vs full {full:?}");
+        assert!(full.starts_with(&torn), "torn payload must be a prefix");
+        assert!(xpdl_xml::parse(&torn).is_err(), "torn XML must be rejected: {torn:?}");
+        assert_eq!(f.stats().injected_torn, 1);
+        // Missing keys stay authoritative misses, never torn garbage.
+        assert!(f.try_fetch("missing").unwrap().is_none());
+    }
+
+    #[test]
+    fn torn_script_is_deterministic() {
+        let script = |seed: u64| -> Vec<String> {
+            let f = FaultInjectingStore::new(store(), FaultConfig::torn_writes(0.5, seed));
+            (0..16).map(|_| f.try_fetch("CpuA").unwrap().unwrap_or_default()).collect()
+        };
+        assert_eq!(script(9), script(9));
+        assert_ne!(script(9), script(10));
+    }
+
+    #[test]
+    fn tear_payload_respects_char_boundaries() {
+        let s = "<cpu name=\"héllo✓\"/>";
+        for i in 0..=10 {
+            let frac = i as f64 / 10.0;
+            let torn = tear_payload(s, frac);
+            assert!(s.starts_with(&torn));
+            assert!(torn.len() < s.len(), "cut must be strict at frac {frac}");
+        }
+        assert_eq!(tear_payload("", 0.5), "");
     }
 
     #[test]

@@ -21,6 +21,11 @@
 //! * [`metrics`] — [`RepoMetrics`]: counters for fetches, retries, cache
 //!   hits/misses, negative-cache hits, and failures, snapshotted via
 //!   [`Repository::metrics`].
+//! * [`diskcache`] — [`DiskCache`] / [`CachingStore`]: a crash-safe
+//!   persistent cache layer (atomic writes, checksummed manifest,
+//!   cross-process lockfile, corruption quarantine) with an explicit
+//!   [`Freshness`] degradation policy for stale-if-unavailable and
+//!   fully-offline operation.
 //!
 //! # Example
 //!
@@ -36,12 +41,14 @@
 //! assert!(set.get("Xeon1").is_some());
 //! ```
 
+pub mod diskcache;
 pub mod faults;
 pub mod metrics;
 pub mod repository;
 pub mod retry;
 pub mod store;
 
+pub use diskcache::{CacheError, CacheStats, CachingStore, DiskCache, Freshness, GcReport};
 pub use faults::{FaultConfig, FaultInjectingStore, FaultStats, CORRUPTED_PAYLOAD};
 pub use metrics::RepoMetrics;
 pub use repository::{ResolveError, ResolveOptions, ResolvedSet, Repository};

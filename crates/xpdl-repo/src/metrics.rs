@@ -44,6 +44,9 @@ impl MetricCounters {
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
             negative_hits: self.negative_hits.load(Ordering::Relaxed),
             documents_loaded: self.documents_loaded.load(Ordering::Relaxed),
+            disk_hits: 0,
+            disk_stale_served: 0,
+            quarantined: 0,
         }
     }
 }
@@ -68,6 +71,16 @@ pub struct RepoMetrics {
     pub negative_hits: u64,
     /// Documents successfully fetched, parsed, and cached.
     pub documents_loaded: u64,
+    /// Loads served from the persistent disk cache without touching the
+    /// backing store (fresh entries). Populated when a
+    /// [`DiskCache`](crate::DiskCache) is registered on the repository.
+    pub disk_hits: u64,
+    /// Stale disk-cache entries served because the backing store was
+    /// unavailable (`Freshness::StaleOk`).
+    pub disk_stale_served: u64,
+    /// Disk-cache entries quarantined this session after failing their
+    /// checksum.
+    pub quarantined: u64,
 }
 
 impl fmt::Display for RepoMetrics {
@@ -75,7 +88,8 @@ impl fmt::Display for RepoMetrics {
         write!(
             f,
             "fetches={} failures={} retries={} parse_errors={} \
-             cache_hits={} cache_misses={} negative_hits={} loaded={}",
+             cache_hits={} cache_misses={} negative_hits={} loaded={} \
+             disk_hits={} stale_served={} quarantined={}",
             self.fetch_attempts,
             self.fetch_failures,
             self.retries,
@@ -84,6 +98,9 @@ impl fmt::Display for RepoMetrics {
             self.cache_misses,
             self.negative_hits,
             self.documents_loaded,
+            self.disk_hits,
+            self.disk_stale_served,
+            self.quarantined,
         )
     }
 }
@@ -111,5 +128,27 @@ mod tests {
         assert!(line.contains("fetches=7"), "{line}");
         assert!(line.contains("cache_hits=3"), "{line}");
         assert!(!line.contains('\n'));
+    }
+
+    #[test]
+    fn disk_counters_round_trip_through_snapshot_and_display() {
+        // The internal counters know nothing of the disk cache; the
+        // repository merges those in. Snapshot must leave them zeroed...
+        let snap = MetricCounters::default().snapshot();
+        assert_eq!(snap.disk_hits, 0);
+        assert_eq!(snap.disk_stale_served, 0);
+        assert_eq!(snap.quarantined, 0);
+        // ...and once merged, they survive into the display line.
+        let merged = RepoMetrics {
+            disk_hits: 11,
+            disk_stale_served: 4,
+            quarantined: 2,
+            ..snap
+        };
+        let line = merged.to_string();
+        assert!(line.contains("disk_hits=11"), "{line}");
+        assert!(line.contains("stale_served=4"), "{line}");
+        assert!(line.contains("quarantined=2"), "{line}");
+        assert_eq!(RepoMetrics { ..merged }, merged, "field-for-field copy round-trips");
     }
 }

@@ -194,6 +194,9 @@ pub struct Repository {
     negative_enabled: bool,
     retry: RetryPolicy,
     metrics: MetricCounters,
+    /// Registered persistent caches whose counters are merged into
+    /// [`Repository::metrics`] snapshots.
+    disk_caches: Vec<Arc<crate::DiskCache>>,
 }
 
 impl Repository {
@@ -208,6 +211,7 @@ impl Repository {
             negative_enabled: true,
             retry: RetryPolicy::default(),
             metrics: MetricCounters::default(),
+            disk_caches: Vec::new(),
         }
     }
 
@@ -252,9 +256,27 @@ impl Repository {
         self
     }
 
-    /// Snapshot the repository's activity counters.
+    /// Register a persistent [`DiskCache`](crate::DiskCache) so its
+    /// session counters (disk hits, stale serves, quarantines) appear in
+    /// [`Repository::metrics`] snapshots. Several
+    /// [`CachingStore`](crate::CachingStore)s may share one cache; register
+    /// each distinct `Arc` once.
+    pub fn register_disk_cache(&mut self, cache: Arc<crate::DiskCache>) {
+        if !self.disk_caches.iter().any(|c| Arc::ptr_eq(c, &cache)) {
+            self.disk_caches.push(cache);
+        }
+    }
+
+    /// Snapshot the repository's activity counters, merged with the
+    /// session counters of every registered disk cache.
     pub fn metrics(&self) -> RepoMetrics {
-        self.metrics.snapshot()
+        let mut snap = self.metrics.snapshot();
+        for cache in &self.disk_caches {
+            snap.disk_hits += cache.disk_hits();
+            snap.disk_stale_served += cache.stale_served_session();
+            snap.quarantined += cache.quarantined_session();
+        }
+        snap
     }
 
     /// Store descriptions, in search order.

@@ -25,14 +25,26 @@ pub enum StoreError {
         /// How long the caller waited before giving up.
         waited_ms: u64,
     },
+    /// A local I/O fault: the backing file or directory exists but could
+    /// not be read (permissions, a key that is a directory, a failing
+    /// disk). Crucially distinct from an authoritative miss — an
+    /// unreadable file is *not* evidence of absence, so this must never
+    /// feed the negative cache.
+    Io {
+        /// Path and OS error detail.
+        detail: String,
+    },
 }
 
 impl StoreError {
-    /// Whether a retry could plausibly succeed. Both current classes are
+    /// Whether a retry could plausibly succeed. All current classes are
     /// transient; the method exists so future permanent classes (auth
     /// failure, schema rejection) slot into the retry logic cleanly.
     pub fn is_transient(&self) -> bool {
-        matches!(self, StoreError::Unavailable { .. } | StoreError::Timeout { .. })
+        matches!(
+            self,
+            StoreError::Unavailable { .. } | StoreError::Timeout { .. } | StoreError::Io { .. }
+        )
     }
 }
 
@@ -43,6 +55,7 @@ impl fmt::Display for StoreError {
             StoreError::Timeout { waited_ms } => {
                 write!(f, "store timed out after {waited_ms}ms")
             }
+            StoreError::Io { detail } => write!(f, "store I/O failure: {detail}"),
         }
     }
 }
@@ -163,7 +176,25 @@ impl DirStore {
 
 impl ModelStore for DirStore {
     fn fetch(&self, key: &str) -> Option<String> {
-        std::fs::read_to_string(self.path_for(key)?).ok()
+        // The infallible entry point keeps its historical "unreadable ==
+        // missing" behavior; resolution goes through `try_fetch`, which
+        // distinguishes the two.
+        self.try_fetch(key).ok().flatten()
+    }
+
+    /// Fetch, reporting "file exists but cannot be read" as
+    /// [`StoreError::Io`] instead of folding it into `Ok(None)`. Only a
+    /// genuine `NotFound` is an authoritative miss — a transient
+    /// filesystem error (permissions, I/O failure, a directory squatting
+    /// on the key's path) must never poison the repository's negative
+    /// cache.
+    fn try_fetch(&self, key: &str) -> Result<Option<String>, StoreError> {
+        let Some(path) = self.path_for(key) else { return Ok(None) };
+        match std::fs::read_to_string(&path) {
+            Ok(src) => Ok(Some(src)),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(StoreError::Io { detail: format!("{}: {e}", path.display()) }),
+        }
     }
 
     fn keys(&self) -> Vec<String> {
@@ -394,10 +425,55 @@ mod tests {
     fn store_error_classes_and_display() {
         let u = StoreError::Unavailable { detail: "503 from vendor".into() };
         let t = StoreError::Timeout { waited_ms: 250 };
+        let i = StoreError::Io { detail: "/models/X.xpdl: permission denied".into() };
         assert!(u.is_transient());
         assert!(t.is_transient());
+        assert!(i.is_transient());
         assert!(u.to_string().contains("503"));
         assert!(t.to_string().contains("250ms"));
+        assert!(i.to_string().contains("permission denied"));
+    }
+
+    #[test]
+    fn dir_store_unreadable_file_is_io_error_not_a_miss() {
+        let dir = std::env::temp_dir().join(format!("xpdl_dirio_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        // A *directory* squatting on the key's file path: the path exists
+        // but read_to_string must fail with a non-NotFound kind.
+        std::fs::create_dir_all(dir.join("Squatter.xpdl")).unwrap();
+        let s = DirStore::new(&dir);
+        match s.try_fetch("Squatter") {
+            Err(StoreError::Io { detail }) => assert!(detail.contains("Squatter"), "{detail}"),
+            other => panic!("expected Io error, got {other:?}"),
+        }
+        // A genuinely absent key stays an authoritative miss.
+        assert!(s.try_fetch("Absent").unwrap().is_none());
+        // The infallible path degrades the I/O error to a miss.
+        assert!(s.fetch("Squatter").is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn dir_store_io_error_does_not_poison_negative_cache() {
+        use crate::Repository;
+        let dir = std::env::temp_dir().join(format!("xpdl_dirneg_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::create_dir_all(dir.join("Flaky.xpdl")).unwrap();
+        let repo = Repository::new()
+            .with_store(DirStore::new(&dir))
+            .with_retry_policy(crate::RetryPolicy::none());
+        // The unreadable key surfaces as Unavailable, not NotFound...
+        match repo.load("Flaky").unwrap_err() {
+            crate::ResolveError::Unavailable { key, .. } => assert_eq!(key, "Flaky"),
+            other => panic!("expected Unavailable, got {other:?}"),
+        }
+        // ...so absence is unproven and the negative cache stays clean.
+        assert_eq!(repo.negative_cache_len(), 0);
+        // Once the obstruction clears, the same key loads fine.
+        std::fs::remove_dir_all(dir.join("Flaky.xpdl")).unwrap();
+        std::fs::write(dir.join("Flaky.xpdl"), "<cpu name=\"Flaky\"/>").unwrap();
+        assert!(repo.load("Flaky").is_ok());
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

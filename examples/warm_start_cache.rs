@@ -1,0 +1,112 @@
+//! Warm starts and offline operation with the persistent model cache.
+//!
+//! The paper's repository is distributed — descriptors may live at vendor
+//! web sites (§III "Modularity and distribution") — so a process restart
+//! should not re-download the world, and a dead network should not stop
+//! resolution. This example walks the cache's whole lifecycle:
+//!
+//! 1. cold start: resolve through a (simulated) remote store, populating
+//!    the cache;
+//! 2. warm start: a "new process" resolves everything from disk without
+//!    one remote fetch;
+//! 3. outage: the remote store fails 100% of attempts, `StaleOk` serves
+//!    the last good copies;
+//! 4. corruption: a torn-on-disk entry is quarantined with an `R305`
+//!    diagnostic and self-heals from the store.
+//!
+//! Run with: `cargo run --example warm_start_cache`
+
+use std::sync::Arc;
+use std::time::Duration;
+use xpdl::models::library::LIBRARY;
+use xpdl::repo::{
+    CachingStore, DiskCache, FaultConfig, FaultInjectingStore, Freshness, MemoryStore,
+    ModelStore, Repository,
+};
+
+fn vendor_site() -> MemoryStore {
+    let mut m = MemoryStore::new();
+    for (key, src) in LIBRARY {
+        m.insert(*key, *src);
+    }
+    m
+}
+
+fn main() {
+    let dir = std::env::temp_dir().join(format!("xpdl_warm_start_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // --- 1. cold start ---
+    let cache = Arc::new(DiskCache::open(&dir).expect("open cache"));
+    let flaky_remote = FaultInjectingStore::new(vendor_site(), FaultConfig::failures(0.1, 42));
+    let repo = Repository::new().with_store(
+        CachingStore::new(flaky_remote, Arc::clone(&cache), Freshness::Strict)
+            .with_source_id("vendor-site"),
+    );
+    let set = repo.resolve_recursive("liu_gpu_server").expect("cold resolve");
+    println!("cold start:  resolved {} documents from the vendor site", set.len());
+    println!("             cache now holds {} entries at {}", cache.len(), cache.dir().display());
+    drop(repo);
+    drop(cache);
+
+    // --- 2. warm start ("new process") ---
+    let cache = Arc::new(DiskCache::open(&dir).expect("reopen cache"));
+    let counted_remote = FaultInjectingStore::new(vendor_site(), FaultConfig::failures(0.0, 42));
+    let mut repo = Repository::new().with_store(
+        CachingStore::new(counted_remote, Arc::clone(&cache), Freshness::Strict)
+            .with_source_id("vendor-site"),
+    );
+    repo.register_disk_cache(Arc::clone(&cache));
+    let set = repo.resolve_recursive("liu_gpu_server").expect("warm resolve");
+    let m = repo.metrics();
+    println!(
+        "warm start:  resolved {} documents, {} served from disk, 0 remote fetches needed",
+        set.len(),
+        m.disk_hits
+    );
+    drop(repo);
+
+    // --- 3. total outage, StaleOk degradation ---
+    let dead_remote = FaultInjectingStore::new(vendor_site(), FaultConfig::failures(1.0, 42));
+    let mut repo = Repository::new().with_store(
+        CachingStore::new(
+            dead_remote,
+            Arc::clone(&cache),
+            Freshness::StaleOk { max_age: Duration::from_secs(24 * 3600) },
+        )
+        .with_source_id("vendor-site"),
+    );
+    repo.register_disk_cache(Arc::clone(&cache));
+    let set = repo.resolve_recursive("liu_gpu_server").expect("stale resolve");
+    let m = repo.metrics();
+    println!(
+        "outage:      vendor site down, resolved {} documents anyway ({} served stale)",
+        set.len(),
+        m.disk_stale_served
+    );
+
+    // --- 4. corruption: quarantine + self-heal ---
+    let torn = cache.simulate_crash_truncation(7, 0.3);
+    println!("crash sim:   tore {} entry file(s) mid-write", torn.len());
+    drop(repo);
+    drop(cache);
+    let cache = Arc::new(DiskCache::open(&dir).expect("reopen after crash"));
+    for d in cache.take_diagnostics() {
+        println!("  {d}");
+    }
+    let healer = CachingStore::new(vendor_site(), Arc::clone(&cache), Freshness::Strict)
+        .with_source_id("vendor-site");
+    for key in &torn {
+        healer.try_fetch(key).expect("refetch").expect("store has it");
+    }
+    let stats = cache.stats();
+    println!(
+        "recovered:   {} entries live again, {} quarantined file(s) kept for post-mortem",
+        stats.entries, stats.quarantine_files
+    );
+    for key in &torn {
+        assert!(cache.get(key, Some("vendor-site")).is_some(), "{key} healed");
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
