@@ -1,0 +1,246 @@
+//! Load generator for the xpdl-serve daemon — the acceptance harness for
+//! DESIGN.md §13's serving guarantees.
+//!
+//! Default run: spawn an in-process server over a temporary compiled
+//! `liu_gpu_server` model, fire `--threads` client threads at it over
+//! real TCP until `--requests` total requests complete, and rewrite the
+//! model file mid-run so hot reloads happen *while* the clients hammer
+//! the socket. Every response is checked for protocol correctness; the
+//! run fails if any request errors, times out, or is shed at this
+//! (low) load. Results land in `BENCH_serve.json`.
+//!
+//! ```text
+//! cargo run --release -p bench --bin serve_bench -- [flags]
+//!   --addr HOST:PORT   benchmark an external daemon instead of spawning
+//!   --threads N        client threads (default 8)
+//!   --requests M       total requests across all threads (default 10000)
+//!   --reload-ms MS     in-process mode: rewrite the model every MS (default 50)
+//!   --expect-clean     exit 1 unless zero errors and zero shed
+//!   --out FILE         result file (default BENCH_serve.json)
+//! ```
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use xpdl_serve::{parse_response, Engine, EngineOptions, ModelSource, Server, ServerOptions};
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+}
+
+/// The request mix one client thread cycles through: the full read-side
+/// query surface, weighted toward the cheap calls a runtime system makes
+/// in its inner loop.
+const MIX: &[&str] = &[
+    r#"{"v":1,"id":ID,"method":"num_cores"}"#,
+    r#"{"v":1,"id":ID,"method":"find","params":{"ident":"gpu1"}}"#,
+    r#"{"v":1,"id":ID,"method":"get_attr","params":{"ident":"gpu1","attr":"id"}}"#,
+    r#"{"v":1,"id":ID,"method":"num_cores"}"#,
+    r#"{"v":1,"id":ID,"method":"get_number","params":{"ident":"connection1","attr":"max_bandwidth"}}"#,
+    r#"{"v":1,"id":ID,"method":"elements_of_kind","params":{"kind":"core"}}"#,
+    r#"{"v":1,"id":ID,"method":"estimate_transfer","params":{"link":"connection1","bytes":1048576}}"#,
+    r#"{"v":1,"id":ID,"method":"model_info"}"#,
+    r#"{"v":1,"id":ID,"method":"num_cuda_devices"}"#,
+    r#"{"v":1,"id":ID,"method":"total_static_power"}"#,
+];
+
+struct ClientTally {
+    sent: u64,
+    ok: u64,
+    errors: u64,
+    latencies_us: Vec<u64>,
+}
+
+/// One client: a pipelined connection issuing its share of the mix and
+/// validating every response (id echo, protocol version, ok/error).
+fn client_thread(addr: &str, requests: u64, thread_id: u64) -> ClientTally {
+    let mut tally =
+        ClientTally { sent: 0, ok: 0, errors: 0, latencies_us: Vec::with_capacity(requests as usize) };
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).ok();
+    let mut writer = stream.try_clone().expect("clone");
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    for n in 0..requests {
+        let id = thread_id * 10_000_000 + n;
+        let template = MIX[(n as usize) % MIX.len()];
+        let req = template.replace("ID", &id.to_string());
+        let start = Instant::now();
+        writer.write_all(req.as_bytes()).expect("send");
+        writer.write_all(b"\n").expect("send");
+        tally.sent += 1;
+        line.clear();
+        reader.read_line(&mut line).expect("recv");
+        tally.latencies_us.push(start.elapsed().as_micros() as u64);
+        match parse_response(line.trim()) {
+            Ok(resp) => {
+                assert_eq!(resp.id, id, "response correlated to the wrong request");
+                if resp.result.is_ok() {
+                    tally.ok += 1;
+                } else {
+                    tally.errors += 1;
+                }
+            }
+            Err(e) => panic!("malformed response: {e}: {line}"),
+        }
+    }
+    tally
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let threads: u64 = flag(&args, "--threads").and_then(|v| v.parse().ok()).unwrap_or(8);
+    let total: u64 = flag(&args, "--requests").and_then(|v| v.parse().ok()).unwrap_or(10_000);
+    let reload_ms: u64 = flag(&args, "--reload-ms").and_then(|v| v.parse().ok()).unwrap_or(50);
+    let expect_clean = args.iter().any(|a| a == "--expect-clean");
+    let out_path = flag(&args, "--out").unwrap_or_else(|| "BENCH_serve.json".to_string());
+    let external = flag(&args, "--addr");
+
+    // In-process mode: compile the paper's GPU server model to a temp
+    // file and serve it, so the bench exercises the same file-reload
+    // path `xpdlc serve --model` uses.
+    let tmp = std::env::temp_dir().join(format!("serve_bench_{}", std::process::id()));
+    let (addr, server, rewriter, rewriter_stop, reload_interval) = match &external {
+        Some(addr) => (addr.clone(), None, None, None, None),
+        None => {
+            std::fs::create_dir_all(&tmp).expect("tmp dir");
+            let model_path = tmp.join("m.xpdlrt");
+            let base = xpdl_models::loader::elaborate_system("liu_gpu_server").expect("compose");
+            let rt = xpdl_runtime::RuntimeModel::from_element(&base.root);
+            xpdl_runtime::format::save_file(&rt, &model_path).expect("write model");
+            let engine = Arc::new(
+                Engine::new(
+                    ModelSource::File(model_path.clone()),
+                    EngineOptions { allow_debug: false, allow_shutdown: false },
+                )
+                .expect("engine"),
+            );
+            let server = Server::start(
+                Arc::clone(&engine),
+                "127.0.0.1:0",
+                ServerOptions { workers: 4, max_inflight: 4096, ..Default::default() },
+            )
+            .expect("server");
+            let addr = server.local_addr().to_string();
+            // Rewrite the model file on a timer: alternate between the
+            // base model and a variant with an extra annotation, so the
+            // fingerprint flips and every reload really swaps snapshots.
+            let stop = Arc::new(AtomicBool::new(false));
+            let rewriter = {
+                let stop = Arc::clone(&stop);
+                let mut variant = base.clone();
+                variant.root.set_attr("bench_generation", "1");
+                let vt = xpdl_runtime::RuntimeModel::from_element(&variant.root);
+                let swap_path = tmp.join("m.xpdlrt.next");
+                std::thread::spawn(move || {
+                    let mut flip = false;
+                    while !stop.load(Ordering::Acquire) {
+                        std::thread::sleep(Duration::from_millis(reload_ms));
+                        let m = if flip { &rt } else { &vt };
+                        flip = !flip;
+                        // Write-then-rename so the reload thread never
+                        // observes a half-written model file.
+                        if xpdl_runtime::format::save_file(m, &swap_path).is_ok() {
+                            let _ = std::fs::rename(&swap_path, &model_path);
+                        }
+                    }
+                })
+            };
+            let reload =
+                xpdl_serve::spawn_reload_thread(Arc::clone(&engine), Duration::from_millis(reload_ms));
+            (addr, Some(server), Some(rewriter), Some(stop), Some(reload))
+        }
+    };
+
+    let per_thread = total / threads.max(1);
+    println!("serve_bench: {threads} threads x {per_thread} requests -> {addr}");
+    let wall = Instant::now();
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let addr = addr.clone();
+            std::thread::spawn(move || client_thread(&addr, per_thread, t))
+        })
+        .collect();
+    let tallies: Vec<ClientTally> = handles.into_iter().map(|h| h.join().expect("client")).collect();
+    let wall_s = wall.elapsed().as_secs_f64();
+
+    // Pull the server's own view before shutdown.
+    let server_stats = {
+        let mut conn = TcpStream::connect(&addr).expect("stats connect");
+        conn.write_all(b"{\"v\":1,\"id\":1,\"method\":\"stats\"}\n").expect("stats send");
+        let mut line = String::new();
+        BufReader::new(conn).read_line(&mut line).expect("stats recv");
+        match parse_response(line.trim()) {
+            Ok(resp) => match resp.result {
+                Ok(xpdl_serve::Reply::Stats(s)) => Some(s),
+                _ => None,
+            },
+            Err(_) => None,
+        }
+    };
+
+    if let Some(stop) = rewriter_stop {
+        stop.store(true, Ordering::Release);
+    }
+    if let Some(r) = rewriter {
+        let _ = r.join();
+    }
+    if let Some(s) = &server {
+        s.shutdown();
+    }
+    if let Some(s) = server {
+        s.join();
+    }
+    if let Some(r) = reload_interval {
+        let _ = r.join();
+    }
+    let _ = std::fs::remove_dir_all(&tmp);
+
+    let sent: u64 = tallies.iter().map(|t| t.sent).sum();
+    let ok: u64 = tallies.iter().map(|t| t.ok).sum();
+    let errors: u64 = tallies.iter().map(|t| t.errors).sum();
+    let mut lat: Vec<u64> = tallies.iter().flat_map(|t| t.latencies_us.iter().copied()).collect();
+    lat.sort_unstable();
+    let qps = sent as f64 / wall_s.max(1e-9);
+    let (p50, p90, p99) = (percentile(&lat, 0.5), percentile(&lat, 0.9), percentile(&lat, 0.99));
+    let max = lat.last().copied().unwrap_or(0);
+    let (shed, reloads, epoch) = server_stats
+        .as_ref()
+        .map(|s| (s.shed, s.reloads, s.epoch))
+        .unwrap_or((0, 0, 0));
+
+    println!(
+        "{sent} sent, {ok} ok, {errors} errors, {shed} shed in {wall_s:.2}s ({qps:.0} req/s)"
+    );
+    println!("client latency us: p50={p50} p90={p90} p99={p99} max={max}");
+    println!("server: {reloads} hot reloads, final epoch {epoch}");
+
+    let mut json = String::from("{");
+    json.push_str(&format!(
+        "\"threads\":{threads},\"requests\":{sent},\"ok\":{ok},\"errors\":{errors},\
+         \"wall_s\":{wall_s},\"qps\":{qps},\"client_p50_us\":{p50},\"client_p90_us\":{p90},\
+         \"client_p99_us\":{p99},\"client_max_us\":{max}"
+    ));
+    if let Some(s) = &server_stats {
+        json.push_str(",\"server\":");
+        json.push_str(&s.to_json());
+    }
+    json.push('}');
+    std::fs::write(&out_path, &json).expect("write results");
+    println!("wrote {out_path}");
+
+    if expect_clean && (errors > 0 || shed > 0) {
+        eprintln!("FAIL: expected a clean run, saw {errors} errors and {shed} shed");
+        std::process::exit(1);
+    }
+}

@@ -13,6 +13,7 @@
 //! | `dump <key>` | print the composed model as XML |
 //! | `build <key> -o FILE` | write the runtime data structure file |
 //! | `query <file> <ident> [attr]` | runtime query API demo (`xpdl_init` + getters) |
+//! | `serve --model FILE \| --repo KEY` | the query API as a network service (JSON-lines daemon) |
 //! | `bootstrap <key>` | generate drivers + run microbenchmarks on the simulator |
 //! | `codegen [rust\|c]` | generate the query API from the core schema |
 //! | `uml [schema\|<key>]` | the UML view (PlantUML) of the metamodel or a composed model |
@@ -35,6 +36,8 @@ use xpdl_repo::{
     ModelStore, RepoMetrics, Repository, ResolveOptions, RetryPolicy,
 };
 use xpdl_schema::{validate_document, Schema};
+
+mod serve;
 
 /// Exit status of a command.
 ///
@@ -168,38 +171,8 @@ fn dispatch(args: &[String], out: &mut dyn std::io::Write) -> Result<ExitCode, B
             )?;
             Ok(0)
         }
-        "query" => {
-            let file = arg_at(rest, 0, "query <file.xpdlrt> [ident [attr]]")?;
-            let handle = xpdl_runtime::XpdlHandle::init(std::path::Path::new(&file))?;
-            match (rest.get(1), rest.get(2)) {
-                (None, _) => {
-                    writeln!(out, "root: {}", handle.root().kind())?;
-                    writeln!(out, "num_cores: {}", handle.num_cores())?;
-                    writeln!(out, "num_cuda_devices: {}", handle.num_cuda_devices())?;
-                    writeln!(out, "total_static_power_w: {}", handle.total_static_power_w())?;
-                }
-                (Some(ident), None) => match handle.find(ident) {
-                    Some(node) => {
-                        writeln!(out, "{}[{}]", node.kind(), ident)?;
-                        for (k, v) in node.attrs() {
-                            writeln!(out, "  {k} = {v}")?;
-                        }
-                    }
-                    None => {
-                        writeln!(out, "'{ident}' not found")?;
-                        return Ok(1);
-                    }
-                },
-                (Some(ident), Some(attr)) => match handle.get_attr(ident, attr) {
-                    Some(v) => writeln!(out, "{v}")?,
-                    None => {
-                        writeln!(out, "(none)")?;
-                        return Ok(1);
-                    }
-                },
-            }
-            Ok(0)
-        }
+        "query" => serve::query_command(rest, out),
+        "serve" => serve::serve_command(rest, out),
         "bootstrap" => {
             let key = if rest.is_empty() { "x86_base_isa".to_string() } else { rest[0].clone() };
             bootstrap(&key, rest, out)
@@ -682,7 +655,17 @@ fn write_usage(out: &mut dyn std::io::Write) -> std::io::Result<()> {
          \x20   --keep-going                 poison failing subtrees instead of aborting\n\
          \x20 dump <key>                     print the composed model as XML\n\
          \x20 build <key> -o <file>          write the runtime data structure\n\
-         \x20 query <file.xpdlrt> [id [at]]  runtime query API\n\
+         \x20 query <file|key> [id [at]]     runtime query API (.xpdlrt file or library key)\n\
+         \x20   --rpc JSON                   feed one raw protocol request line, print raw response\n\
+         \x20 serve --model F|--repo KEY     TCP model-serving daemon (JSON-lines protocol)\n\
+         \x20   --addr HOST:PORT             listen address (default 127.0.0.1:7433; :0 = ephemeral)\n\
+         \x20   --addr-file PATH             write the bound address (for --addr with port 0)\n\
+         \x20   --workers N                  request worker threads (default 4)\n\
+         \x20   --max-inflight N             admission limit; beyond it requests shed S420 (default 256)\n\
+         \x20   --deadline-ms MS             queue deadline, S421 beyond; 0 disables (default 2000)\n\
+         \x20   --reload-interval SECS       hot-reload the model every SECS; 0 disables (default 0)\n\
+         \x20   --allow-remote-shutdown      permit the protocol 'shutdown' method\n\
+         \x20   --allow-debug                permit debug methods ('sleep'; testing only)\n\
          \x20 bootstrap [isa-key]            run microbenchmarks, fill '?' entries\n\
          \x20 codegen [rust|c]               generate the query API from the schema\n\
          \x20 uml [schema|<key>] [--max N]   PlantUML view of metamodel / composed model\n\
@@ -802,6 +785,79 @@ mod tests {
         assert!(out.contains("device[gpu1]"), "{out}");
         let (code, _) = run_cli(&["query", rt.to_str().unwrap(), "nope"]);
         assert_eq!(code, 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn query_accepts_library_key_and_rpc_mode() {
+        // A library key composes on the fly — no build step needed.
+        let (code, out) = run_cli(&["query", "liu_gpu_server"]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("num_cores: 2500"), "{out}");
+        // --rpc speaks the daemon's wire protocol verbatim.
+        let (code, out) = run_cli(&[
+            "query",
+            "liu_gpu_server",
+            "--rpc",
+            r#"{"v":1,"id":7,"method":"num_cores"}"#,
+        ]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("\"id\":7"), "{out}");
+        assert!(out.contains("2500"), "{out}");
+        // Protocol errors surface as raw error responses with exit 1.
+        let (code, out) = run_cli(&[
+            "query",
+            "liu_gpu_server",
+            "--rpc",
+            r#"{"v":1,"id":8,"method":"no_such_method"}"#,
+        ]);
+        assert_eq!(code, 1);
+        assert!(out.contains("S411"), "{out}");
+    }
+
+    #[test]
+    fn serve_boots_answers_and_shuts_down() {
+        use std::io::{BufRead, BufReader, Write as _};
+        let dir = std::env::temp_dir().join(format!("xpdlc_serve_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let addr_file = dir.join("addr");
+        let addr_file_s = addr_file.to_str().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            run_cli(&[
+                "serve",
+                "--repo",
+                "liu_gpu_server",
+                "--addr",
+                "127.0.0.1:0",
+                "--addr-file",
+                &addr_file_s,
+                "--allow-remote-shutdown",
+            ])
+        });
+        // Wait for the daemon to publish its bound address.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+        let addr = loop {
+            if let Ok(s) = std::fs::read_to_string(&addr_file) {
+                if !s.is_empty() {
+                    break s;
+                }
+            }
+            assert!(std::time::Instant::now() < deadline, "server never published its address");
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        };
+        let mut conn = std::net::TcpStream::connect(&addr).unwrap();
+        conn.write_all(b"{\"v\":1,\"id\":1,\"method\":\"num_cores\"}\n").unwrap();
+        let mut reader = BufReader::new(conn.try_clone().unwrap());
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("2500"), "{line}");
+        conn.write_all(b"{\"v\":1,\"id\":2,\"method\":\"shutdown\"}\n").unwrap();
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("shutting_down") || line.contains("ok"), "{line}");
+        let (code, out) = server.join().unwrap();
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("shutdown:"), "{out}");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -1,0 +1,183 @@
+//! `xpdlc serve` and `xpdlc query`: the serving daemon and its offline twin.
+//!
+//! Both subcommands drive the same [`xpdl_serve::Engine`] — `serve` wraps
+//! it in the TCP server, `query` calls [`Engine::handle`] in-process. A
+//! behavior observed through `query` is therefore exactly what a network
+//! client of `serve` would see, which is what makes `query --rpc` a
+//! faithful offline harness for the protocol.
+
+use crate::ExitCode;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use xpdl_serve::{
+    install_termination_handler, spawn_reload_thread, Engine, EngineOptions, Method, ModelSource,
+    Reply, Request, Server, ServerOptions,
+};
+
+/// Set by SIGTERM/SIGINT; polled by the `serve` main loop.
+static TERM: AtomicBool = AtomicBool::new(false);
+
+/// Build the model source from `--model FILE` / `--repo KEY` (serve) or
+/// from a positional target that may be either (query).
+fn model_source(rest: &[String], target: Option<&str>) -> Result<ModelSource, String> {
+    let model_flag = crate::flag_value(rest, "--model");
+    let repo_flag = crate::flag_value(rest, "--repo");
+    match (model_flag, repo_flag, target) {
+        (Some(_), Some(_), _) => Err("--model and --repo are mutually exclusive".to_string()),
+        (Some(path), None, _) => Ok(ModelSource::File(PathBuf::from(path))),
+        (None, Some(key), _) => Ok(ModelSource::Repo {
+            key,
+            repo: Box::new(crate::repository_with(rest, None)?),
+        }),
+        (None, None, Some(t)) => {
+            // A query target is a compiled file when it looks like one,
+            // else a repository key composed on the fly.
+            if t.ends_with(".xpdlrt") || std::path::Path::new(t).is_file() {
+                Ok(ModelSource::File(PathBuf::from(t)))
+            } else {
+                Ok(ModelSource::Repo {
+                    key: t.to_string(),
+                    repo: Box::new(crate::repository_with(rest, None)?),
+                })
+            }
+        }
+        (None, None, None) => {
+            Err("serve requires --model FILE.xpdlrt or --repo KEY".to_string())
+        }
+    }
+}
+
+/// `xpdlc serve`: run the daemon until SIGTERM or a remote `shutdown`.
+pub(crate) fn serve_command(
+    rest: &[String],
+    out: &mut dyn std::io::Write,
+) -> Result<ExitCode, Box<dyn std::error::Error>> {
+    let addr = crate::flag_value(rest, "--addr").unwrap_or_else(|| "127.0.0.1:7433".to_string());
+    let source = model_source(rest, None)?;
+    let engine = Arc::new(Engine::new(
+        source,
+        EngineOptions {
+            allow_debug: crate::has_flag(rest, "--allow-debug"),
+            allow_shutdown: crate::has_flag(rest, "--allow-remote-shutdown"),
+        },
+    )?);
+    let defaults = ServerOptions::default();
+    let options = ServerOptions {
+        workers: crate::parse_flag::<usize>(rest, "--workers")?
+            .unwrap_or(defaults.workers)
+            .max(1),
+        max_inflight: crate::parse_flag::<usize>(rest, "--max-inflight")?
+            .unwrap_or(defaults.max_inflight)
+            .max(1),
+        deadline: match crate::parse_flag::<u64>(rest, "--deadline-ms")? {
+            None => defaults.deadline,
+            Some(0) => None,
+            Some(ms) => Some(Duration::from_millis(ms)),
+        },
+        max_line_bytes: defaults.max_line_bytes,
+    };
+    let server = Server::start(Arc::clone(&engine), &addr, options)?;
+    let bound = server.local_addr();
+    // `--addr-file` publishes the resolved address, so callers binding
+    // `:0` (tests, CI) can discover the real port.
+    if let Some(path) = crate::flag_value(rest, "--addr-file") {
+        std::fs::write(&path, bound.to_string())?;
+    }
+    let snap = engine.registry().load();
+    writeln!(out, "serving {} on {bound} (epoch {})", snap.source, snap.epoch)?;
+
+    let reload_secs = crate::parse_flag::<u64>(rest, "--reload-interval")?.unwrap_or(0);
+    let reload_thread = (reload_secs > 0)
+        .then(|| spawn_reload_thread(Arc::clone(&engine), Duration::from_secs(reload_secs)));
+
+    install_termination_handler(&TERM);
+    while !TERM.load(Ordering::Acquire) && !engine.shutdown_requested() {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    server.shutdown();
+    server.join();
+    if let Some(t) = reload_thread {
+        let _ = t.join();
+    }
+    let stats = engine.stats().snapshot(engine.registry().current_epoch());
+    writeln!(
+        out,
+        "shutdown: {} requests, {} errors, {} shed, {} reloads ({} failed)",
+        stats.requests, stats.errors, stats.shed, stats.reloads, stats.reload_failures
+    )?;
+    Ok(0)
+}
+
+/// `xpdlc query`: the daemon's request handler, in-process.
+///
+/// Positional arguments come before any `--` flag: a compiled `.xpdlrt`
+/// file or a library key, then optionally an identifier and an attribute.
+/// `--rpc '<json>'` bypasses the friendly output and feeds one raw
+/// protocol line through the engine, printing the raw response — the
+/// same bytes a TCP client would receive.
+pub(crate) fn query_command(
+    rest: &[String],
+    out: &mut dyn std::io::Write,
+) -> Result<ExitCode, Box<dyn std::error::Error>> {
+    let usage = "query <file.xpdlrt|key> [ident [attr]] [--rpc JSON]";
+    let positional: Vec<&String> = rest.iter().take_while(|a| !a.starts_with("--")).collect();
+    let Some(target) = positional.first() else {
+        return Err(format!("usage: xpdlc {usage}").into());
+    };
+    let source = model_source(rest, Some(target))?;
+    let engine = Engine::new(
+        source,
+        EngineOptions { allow_debug: false, allow_shutdown: false },
+    )?;
+
+    if let Some(raw) = crate::flag_value(rest, "--rpc") {
+        let resp = engine.handle_line(&raw);
+        writeln!(out, "{}", resp.to_json())?;
+        return Ok(if resp.result.is_ok() { 0 } else { 1 });
+    }
+
+    let ask = |method: Method| engine.handle(&Request { id: 0, method }).result;
+    match (positional.get(1), positional.get(2)) {
+        (None, _) => {
+            if let Ok(Reply::ModelInfo { root_kind, .. }) = ask(Method::ModelInfo) {
+                writeln!(out, "root: {root_kind}")?;
+            }
+            if let Ok(Reply::Count(n)) = ask(Method::NumCores) {
+                writeln!(out, "num_cores: {n}")?;
+            }
+            if let Ok(Reply::Count(n)) = ask(Method::NumCudaDevices) {
+                writeln!(out, "num_cuda_devices: {n}")?;
+            }
+            if let Ok(Reply::Power(w)) = ask(Method::TotalStaticPower) {
+                writeln!(out, "total_static_power_w: {w}")?;
+            }
+        }
+        (Some(ident), None) => {
+            match ask(Method::Find { ident: ident.to_string() }) {
+                Ok(Reply::Node(Some(node))) => {
+                    writeln!(out, "{}[{}]", node.kind, ident)?;
+                    for (k, v) in &node.attrs {
+                        writeln!(out, "  {k} = {v}")?;
+                    }
+                }
+                _ => {
+                    writeln!(out, "'{ident}' not found")?;
+                    return Ok(1);
+                }
+            }
+        }
+        (Some(ident), Some(attr)) => {
+            match ask(Method::GetAttr { ident: ident.to_string(), attr: attr.to_string() }) {
+                Ok(Reply::Attr(Some(v))) => writeln!(out, "{v}")?,
+                _ => {
+                    writeln!(out, "(none)")?;
+                    return Ok(1);
+                }
+            }
+        }
+    }
+    Ok(0)
+}

@@ -390,10 +390,8 @@ pub mod json {
     pub enum JsonValue {
         /// `null`.
         Null,
-        /// `true`/`false`. The diagnostics format never reads booleans
-        /// back; the variant exists so stray tokens parse rather than
-        /// error.
-        Bool,
+        /// `true`/`false`.
+        Bool(bool),
         /// Any number (parsed as `f64`; integers beyond 2^53 lose
         /// precision — serialize those as strings instead).
         Number(f64),
@@ -427,6 +425,14 @@ pub mod json {
         pub fn as_str(&self) -> Option<&str> {
             match self {
                 JsonValue::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        /// The boolean payload, if this is `true` or `false`.
+        pub fn as_bool(&self) -> Option<bool> {
+            match self {
+                JsonValue::Bool(b) => Some(*b),
                 _ => None,
             }
         }
@@ -483,8 +489,8 @@ pub mod json {
         match b.get(*i) {
             None => Err("unexpected end of JSON".to_string()),
             Some(b'n') => lit(b, i, "null", JsonValue::Null),
-            Some(b't') => lit(b, i, "true", JsonValue::Bool),
-            Some(b'f') => lit(b, i, "false", JsonValue::Bool),
+            Some(b't') => lit(b, i, "true", JsonValue::Bool(true)),
+            Some(b'f') => lit(b, i, "false", JsonValue::Bool(false)),
             Some(b'"') => Ok(JsonValue::Str(string(b, i)?)),
             Some(b'[') => {
                 *i += 1;

@@ -58,6 +58,72 @@ impl fmt::Display for FormatError {
 
 impl std::error::Error for FormatError {}
 
+/// Why a runtime-model file could not be loaded.
+///
+/// [`load_file`] used to flatten decode faults into `std::io::Error`,
+/// discarding which [`FormatError`] actually fired; servers that reload
+/// models need the distinction (an unreadable file and a corrupt file
+/// call for different operator responses), so loading now has its own
+/// error enum that keeps both sides intact.
+#[derive(Debug)]
+pub enum LoadError {
+    /// The file could not be read at all.
+    Io(std::io::Error),
+    /// The bytes were read but are not a valid runtime model.
+    Format(FormatError),
+}
+
+impl fmt::Display for LoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoadError::Io(e) => write!(f, "cannot read runtime model: {e}"),
+            LoadError::Format(e) => write!(f, "cannot decode runtime model: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LoadError::Io(e) => Some(e),
+            LoadError::Format(e) => Some(e),
+        }
+    }
+}
+
+impl From<std::io::Error> for LoadError {
+    fn from(e: std::io::Error) -> LoadError {
+        LoadError::Io(e)
+    }
+}
+
+impl From<FormatError> for LoadError {
+    fn from(e: FormatError) -> LoadError {
+        LoadError::Format(e)
+    }
+}
+
+impl LoadError {
+    /// The stable diagnostic code: `S400` for I/O failures, `S401` for
+    /// decode failures (the `S4xx` namespace is the serving stage — see
+    /// DESIGN.md's code taxonomy).
+    pub fn code(&self) -> &'static str {
+        match self {
+            LoadError::Io(_) => "S400",
+            LoadError::Format(_) => "S401",
+        }
+    }
+
+    /// Convert into a toolchain diagnostic, attributed to `path`.
+    pub fn to_diagnostic(&self, path: &str) -> xpdl_core::Diagnostic {
+        let d = xpdl_core::Diagnostic::error(path, self.to_string()).with_code(self.code());
+        match self {
+            LoadError::Io(_) => d,
+            LoadError::Format(e) => d.with_note(format!("decode fault: {e}")),
+        }
+    }
+}
+
 /// Encode a model to bytes.
 pub fn encode(model: &RuntimeModel) -> Bytes {
     let mut buf = BytesMut::with_capacity(1024 + model.len() * 32);
@@ -205,9 +271,9 @@ pub fn save_file(model: &RuntimeModel, path: &std::path::Path) -> std::io::Resul
 }
 
 /// Load a model from a file (`xpdl_init`'s workhorse).
-pub fn load_file(path: &std::path::Path) -> Result<RuntimeModel, std::io::Error> {
+pub fn load_file(path: &std::path::Path) -> Result<RuntimeModel, LoadError> {
     let data = std::fs::read(path)?;
-    decode(&data).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    Ok(decode(&data)?)
 }
 
 fn read_u32(data: &mut &[u8]) -> Result<u32, FormatError> {

@@ -42,6 +42,6 @@ pub mod model;
 pub mod query;
 
 pub use estimate::{estimate_accelerator_use, estimate_static_energy, estimate_transfer, AcceleratorEstimate, TransferEstimate};
-pub use format::{decode, encode, FormatError};
+pub use format::{decode, encode, FormatError, LoadError};
 pub use model::{NodeRef, RuntimeModel};
 pub use query::XpdlHandle;

@@ -1,0 +1,43 @@
+//! xpdl-serve: a concurrent model-serving daemon for compiled XPDL models.
+//!
+//! This crate turns a compiled [`RuntimeModel`](xpdl_runtime::RuntimeModel)
+//! into a network service: a multi-threaded TCP daemon speaking a
+//! versioned JSON-lines protocol that exposes the full XPDLRT query
+//! surface (`find`, `get_attr`, `elements_of_kind`, `num_cores`, the
+//! energy estimators) plus serving-specific methods (`stats`, `reload`,
+//! `shutdown`). See DESIGN.md §13 for the protocol grammar and the
+//! failure-mode table.
+//!
+//! Architecture, bottom-up:
+//!
+//! - [`protocol`] — wire types: [`Request`]/[`Response`], the `S4xx`
+//!   serving error codes, parser and serializers over the vendored JSON
+//!   module (no serde).
+//! - [`snapshot`] — the epoch-based [`SnapshotRegistry`]: readers take an
+//!   `Arc` snapshot with one atomic load and never block on a reload;
+//!   the reload path compiles off to the side and installs atomically.
+//! - [`stats`] — lock-free counters, a latency ring with on-demand
+//!   percentiles, and the RAII [`InflightPermit`] admission gate.
+//! - [`engine`] — the socket-free core: [`ModelSource`] (file, repository
+//!   key, or in-memory), hot [`Engine::reload`] with content
+//!   fingerprinting, and [`Engine::handle`] dispatching every protocol
+//!   method. `xpdlc query` drives this directly; the daemon wraps it.
+//! - [`server`] — the TCP layer: accept loop, per-connection reader and
+//!   writer threads, a bounded worker pool, admission control before
+//!   queueing (`S420`), queue deadlines (`S421`), and SIGTERM-driven
+//!   clean shutdown.
+
+pub mod engine;
+pub mod protocol;
+pub mod server;
+pub mod snapshot;
+pub mod stats;
+
+pub use engine::{Engine, EngineOptions, ModelSource};
+pub use protocol::{
+    codes, parse_request, parse_response, Method, Reply, Request, Response, ServeError,
+    PROTOCOL_VERSION,
+};
+pub use server::{install_termination_handler, spawn_reload_thread, Server, ServerOptions};
+pub use snapshot::{ServeSnapshot, SnapshotRegistry};
+pub use stats::{InflightPermit, ServeStats, StatsSnapshot};

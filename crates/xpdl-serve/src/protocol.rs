@@ -1,0 +1,879 @@
+//! The versioned JSON-lines request/response protocol.
+//!
+//! One request per line, one response per line, both newline-terminated
+//! JSON objects. Requests carry the protocol version, a client-chosen
+//! correlation `id` (responses to pipelined requests may arrive out of
+//! order), a method name, and a `params` object:
+//!
+//! ```text
+//! {"v":1,"id":7,"method":"get_attr","params":{"ident":"gpu1","attr":"type"}}
+//! ```
+//!
+//! Responses echo the id and carry exactly one of `ok` (a tagged reply
+//! object) or `error` (a stable `S4xx` code plus message):
+//!
+//! ```text
+//! {"v":1,"id":7,"ok":{"kind":"attr","value":"Nvidia_K20c"}}
+//! {"v":1,"id":8,"error":{"code":"S411","message":"unknown method 'frobnicate'"}}
+//! ```
+//!
+//! The full grammar is documented in DESIGN.md §13. Everything here is
+//! pure data: [`Request`]/[`Response`] round-trip through
+//! [`Request::to_json`]/[`parse_request`] and
+//! [`Response::to_json`]/[`parse_response`] (property-tested), and the
+//! same types are used by the daemon, the offline `xpdlc query` path and
+//! the bench client — so every protocol method is exercisable without a
+//! socket.
+
+use crate::stats::StatsSnapshot;
+use std::fmt;
+use xpdl_core::diag::json::{self, JsonValue};
+
+/// The protocol version spoken by this build. Requests with any other
+/// `"v"` are rejected with [`codes::BAD_VERSION`].
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// Stable error codes of the serving stage (`S4xx`), following the
+/// `P0xx`/`V1xx`/`E2xx`/`R3xx` taxonomy of the rest of the toolchain.
+pub mod codes {
+    /// Model file unreadable (I/O).
+    pub const MODEL_IO: &str = "S400";
+    /// Model file read but undecodable (carries the exact decode fault).
+    pub const MODEL_DECODE: &str = "S401";
+    /// Repository compile (resolve + elaborate) failed.
+    pub const COMPILE_FAILED: &str = "S402";
+    /// Request line is not valid protocol JSON.
+    pub const BAD_REQUEST: &str = "S410";
+    /// Method name not part of this protocol version.
+    pub const UNKNOWN_METHOD: &str = "S411";
+    /// Method known, params missing or of the wrong type.
+    pub const INVALID_PARAMS: &str = "S412";
+    /// Unsupported `"v"` field.
+    pub const BAD_VERSION: &str = "S413";
+    /// Request line exceeds the server's size cap.
+    pub const LINE_TOO_LONG: &str = "S414";
+    /// Load shed: the admission controller refused the request.
+    pub const OVERLOADED: &str = "S420";
+    /// The request sat in the queue past its deadline.
+    pub const DEADLINE_EXCEEDED: &str = "S421";
+    /// The server is draining for shutdown.
+    pub const SHUTTING_DOWN: &str = "S422";
+    /// Debug-only method (`sleep`) on a server without `allow_debug`.
+    pub const DEBUG_DISABLED: &str = "S430";
+    /// Remote `shutdown` on a server without `allow_remote_shutdown`.
+    pub const SHUTDOWN_DISABLED: &str = "S431";
+    /// A requested hot reload failed; the old snapshot stays live.
+    pub const RELOAD_FAILED: &str = "S440";
+}
+
+/// A structured protocol error: stable code + human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeError {
+    /// One of the [`codes`] constants.
+    pub code: String,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.code, self.message)
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl ServeError {
+    /// Build an error with an explicit code.
+    pub fn new(code: &str, message: impl Into<String>) -> ServeError {
+        ServeError { code: code.to_string(), message: message.into() }
+    }
+
+    /// Convert into a toolchain diagnostic (for server-side logs).
+    pub fn to_diagnostic(&self, path: &str) -> xpdl_core::Diagnostic {
+        xpdl_core::Diagnostic::error(path, self.message.clone()).with_code(self.code.clone())
+    }
+
+    pub(crate) fn bad_request(detail: impl fmt::Display) -> ServeError {
+        ServeError::new(codes::BAD_REQUEST, format!("malformed request: {detail}"))
+    }
+
+    pub(crate) fn invalid_params(detail: impl fmt::Display) -> ServeError {
+        ServeError::new(codes::INVALID_PARAMS, format!("invalid params: {detail}"))
+    }
+
+    pub(crate) fn overloaded(inflight: usize, max: usize) -> ServeError {
+        ServeError::new(
+            codes::OVERLOADED,
+            format!("overloaded: {inflight} requests in flight (max {max}); retry later"),
+        )
+    }
+}
+
+/// One request: correlation id + method with its parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Client-chosen correlation id, echoed verbatim in the response.
+    pub id: u64,
+    /// What to do.
+    pub method: Method,
+}
+
+/// Every method of protocol version 1 — the full XPDLRT query surface
+/// plus server control.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Method {
+    /// Liveness check.
+    Ping,
+    /// Snapshot metadata: epoch, node count, source, fingerprint.
+    ModelInfo,
+    /// `xpdl_find`: look up an element by identifier.
+    Find {
+        /// Element identifier (`id=`/`name=`).
+        ident: String,
+    },
+    /// `xpdl_get_attr`: string attribute of a named element.
+    GetAttr {
+        /// Element identifier.
+        ident: String,
+        /// Attribute key.
+        attr: String,
+    },
+    /// `xpdl_get_number`: numeric attribute of a named element.
+    GetNumber {
+        /// Element identifier.
+        ident: String,
+        /// Attribute key.
+        attr: String,
+    },
+    /// All elements of a kind (idents of the named ones + total count).
+    ElementsOfKind {
+        /// Element kind/tag.
+        kind: String,
+    },
+    /// Derived attribute: total core count.
+    NumCores,
+    /// Derived attribute: CUDA-capable device count.
+    NumCudaDevices,
+    /// Derived attribute: total in-line static power, watts.
+    TotalStaticPower,
+    /// Whether software whose type starts with `prefix` is installed.
+    HasInstalled {
+        /// Type prefix to match (e.g. `CUBLAS`).
+        prefix: String,
+    },
+    /// Expected time/energy to move `bytes` over interconnect `link`.
+    EstimateTransfer {
+        /// Interconnect identifier.
+        link: String,
+        /// Payload size in bytes.
+        bytes: u64,
+    },
+    /// Expected cost of using the accelerator behind `link`.
+    EstimateAcceleratorUse {
+        /// Interconnect identifier whose `tail` is the accelerator.
+        link: String,
+        /// Bytes shipped to the accelerator.
+        upload_bytes: u64,
+        /// Bytes shipped back.
+        download_bytes: u64,
+        /// Compute phase duration, seconds.
+        compute_s: f64,
+        /// Dynamic power drawn while computing, watts.
+        dynamic_power_w: f64,
+    },
+    /// Platform static energy over a duration, joules.
+    EstimateStaticEnergy {
+        /// Duration, seconds.
+        duration_s: f64,
+    },
+    /// Server statistics (qps, latency percentiles, epoch, counters).
+    Stats,
+    /// Force a hot reload from the model source.
+    Reload,
+    /// Ask the server to drain and exit (if enabled).
+    Shutdown,
+    /// Debug-only: hold a worker for `ms` milliseconds (backpressure
+    /// testing; rejected unless the server enables debug methods).
+    Sleep {
+        /// How long to sleep.
+        ms: u64,
+    },
+}
+
+impl Method {
+    /// The wire name of this method.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Method::Ping => "ping",
+            Method::ModelInfo => "model_info",
+            Method::Find { .. } => "find",
+            Method::GetAttr { .. } => "get_attr",
+            Method::GetNumber { .. } => "get_number",
+            Method::ElementsOfKind { .. } => "elements_of_kind",
+            Method::NumCores => "num_cores",
+            Method::NumCudaDevices => "num_cuda_devices",
+            Method::TotalStaticPower => "total_static_power",
+            Method::HasInstalled { .. } => "has_installed",
+            Method::EstimateTransfer { .. } => "estimate_transfer",
+            Method::EstimateAcceleratorUse { .. } => "estimate_accelerator_use",
+            Method::EstimateStaticEnergy { .. } => "estimate_static_energy",
+            Method::Stats => "stats",
+            Method::Reload => "reload",
+            Method::Shutdown => "shutdown",
+            Method::Sleep { .. } => "sleep",
+        }
+    }
+}
+
+/// A found element, as returned by `find`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeInfo {
+    /// Element kind/tag.
+    pub kind: String,
+    /// Identifier, if the element has one.
+    pub ident: Option<String>,
+    /// `type=` reference, if any.
+    pub type_ref: Option<String>,
+    /// All attributes in document order.
+    pub attrs: Vec<(String, String)>,
+}
+
+/// A transfer estimate, as returned by `estimate_transfer`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransferInfo {
+    /// Expected time, seconds.
+    pub time_s: f64,
+    /// Expected energy, joules.
+    pub energy_j: f64,
+    /// Bandwidth used for the estimate, bytes/second.
+    pub bandwidth_bps: f64,
+}
+
+/// An accelerator-use estimate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AccelInfo {
+    /// Total expected time, seconds.
+    pub time_s: f64,
+    /// Total expected energy, joules.
+    pub energy_j: f64,
+}
+
+/// The success payload of a response, tagged by `kind` on the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Reply {
+    /// `ping` succeeded.
+    Pong,
+    /// Snapshot metadata.
+    ModelInfo {
+        /// Snapshot epoch (increments on every hot reload that swaps).
+        epoch: u64,
+        /// Node count of the runtime model.
+        nodes: u64,
+        /// Root element kind.
+        root_kind: String,
+        /// Root element identifier.
+        root_ident: Option<String>,
+        /// Human-readable model source description.
+        source: String,
+        /// FNV-1a fingerprint of the encoded model, hex.
+        fingerprint: String,
+    },
+    /// `find` result (`found: false` mirrors the paper's NULL).
+    Node(Option<NodeInfo>),
+    /// `get_attr` result.
+    Attr(Option<String>),
+    /// `get_number` result.
+    Number(Option<f64>),
+    /// `elements_of_kind` result.
+    Idents {
+        /// Identifiers of the named matches, document order.
+        idents: Vec<String>,
+        /// Total matches including anonymous elements.
+        count: u64,
+    },
+    /// `num_cores` / `num_cuda_devices` result.
+    Count(u64),
+    /// `total_static_power` result, watts.
+    Power(f64),
+    /// `has_installed` result.
+    Flag(bool),
+    /// `estimate_transfer` result (`None`: no such link / no bandwidth).
+    Transfer(Option<TransferInfo>),
+    /// `estimate_accelerator_use` result.
+    Accelerator(Option<AccelInfo>),
+    /// `estimate_static_energy` result, joules.
+    Energy(f64),
+    /// `stats` result.
+    Stats(StatsSnapshot),
+    /// `reload` result: the epoch now current, and whether it swapped.
+    Reloaded {
+        /// Epoch after the reload.
+        epoch: u64,
+        /// `true` if a new snapshot was installed (content changed).
+        changed: bool,
+    },
+    /// `shutdown` acknowledged; the server drains after responding.
+    ShuttingDown,
+    /// `sleep` completed (debug builds of the protocol only).
+    Slept {
+        /// How long the worker was held.
+        ms: u64,
+    },
+}
+
+/// One response: echoed id + reply or structured error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// The request's correlation id (0 when the id was unreadable).
+    pub id: u64,
+    /// Outcome.
+    pub result: Result<Reply, ServeError>,
+}
+
+impl Response {
+    /// A success response.
+    pub fn ok(id: u64, reply: Reply) -> Response {
+        Response { id, result: Ok(reply) }
+    }
+
+    /// An error response.
+    pub fn err(id: u64, error: ServeError) -> Response {
+        Response { id, result: Err(error) }
+    }
+}
+
+// ---- serialization ----
+
+/// Append a finite float (or `null` for the non-finite values JSON cannot
+/// carry; readers treat that as "absent").
+fn push_f64(out: &mut String, x: f64) {
+    if x.is_finite() {
+        out.push_str(&format!("{x}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn push_opt_str(out: &mut String, v: &Option<String>) {
+    match v {
+        Some(s) => json::escape_into(out, s),
+        None => out.push_str("null"),
+    }
+}
+
+impl Request {
+    /// Serialize to one JSON line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(96);
+        s.push_str(&format!("{{\"v\":{PROTOCOL_VERSION},\"id\":{},\"method\":", self.id));
+        json::escape_into(&mut s, self.method.name());
+        let mut params = String::new();
+        {
+            let p = &mut params;
+            let mut first = true;
+            let str_field = |p: &mut String, first: &mut bool, k: &str, v: &str| {
+                if !*first {
+                    p.push(',');
+                }
+                *first = false;
+                json::escape_into(p, k);
+                p.push(':');
+                json::escape_into(p, v);
+            };
+            let raw_field = |p: &mut String, first: &mut bool, k: &str, v: &str| {
+                if !*first {
+                    p.push(',');
+                }
+                *first = false;
+                json::escape_into(p, k);
+                p.push(':');
+                p.push_str(v);
+            };
+            match &self.method {
+                Method::Ping
+                | Method::ModelInfo
+                | Method::NumCores
+                | Method::NumCudaDevices
+                | Method::TotalStaticPower
+                | Method::Stats
+                | Method::Reload
+                | Method::Shutdown => {}
+                Method::Find { ident } => str_field(p, &mut first, "ident", ident),
+                Method::GetAttr { ident, attr } | Method::GetNumber { ident, attr } => {
+                    str_field(p, &mut first, "ident", ident);
+                    str_field(p, &mut first, "attr", attr);
+                }
+                Method::ElementsOfKind { kind } => str_field(p, &mut first, "kind", kind),
+                Method::HasInstalled { prefix } => str_field(p, &mut first, "prefix", prefix),
+                Method::EstimateTransfer { link, bytes } => {
+                    str_field(p, &mut first, "link", link);
+                    raw_field(p, &mut first, "bytes", &bytes.to_string());
+                }
+                Method::EstimateAcceleratorUse {
+                    link,
+                    upload_bytes,
+                    download_bytes,
+                    compute_s,
+                    dynamic_power_w,
+                } => {
+                    str_field(p, &mut first, "link", link);
+                    raw_field(p, &mut first, "upload_bytes", &upload_bytes.to_string());
+                    raw_field(p, &mut first, "download_bytes", &download_bytes.to_string());
+                    let mut buf = String::new();
+                    push_f64(&mut buf, *compute_s);
+                    raw_field(p, &mut first, "compute_s", &buf);
+                    buf.clear();
+                    push_f64(&mut buf, *dynamic_power_w);
+                    raw_field(p, &mut first, "dynamic_power_w", &buf);
+                }
+                Method::EstimateStaticEnergy { duration_s } => {
+                    let mut buf = String::new();
+                    push_f64(&mut buf, *duration_s);
+                    raw_field(p, &mut first, "duration_s", &buf);
+                }
+                Method::Sleep { ms } => raw_field(p, &mut first, "ms", &ms.to_string()),
+            }
+        }
+        if !params.is_empty() {
+            s.push_str(",\"params\":{");
+            s.push_str(&params);
+            s.push('}');
+        }
+        s.push('}');
+        s
+    }
+}
+
+impl Reply {
+    fn payload_to_json(&self) -> String {
+        let mut s = String::with_capacity(64);
+        s.push('{');
+        s.push_str("\"kind\":");
+        match self {
+            Reply::Pong => s.push_str("\"pong\""),
+            Reply::ModelInfo { epoch, nodes, root_kind, root_ident, source, fingerprint } => {
+                s.push_str(&format!("\"model_info\",\"epoch\":{epoch},\"nodes\":{nodes},\"root_kind\":"));
+                json::escape_into(&mut s, root_kind);
+                s.push_str(",\"root_ident\":");
+                push_opt_str(&mut s, root_ident);
+                s.push_str(",\"source\":");
+                json::escape_into(&mut s, source);
+                s.push_str(",\"fingerprint\":");
+                json::escape_into(&mut s, fingerprint);
+            }
+            Reply::Node(node) => {
+                s.push_str("\"node\",\"found\":");
+                match node {
+                    None => s.push_str("false"),
+                    Some(n) => {
+                        s.push_str("true,\"node\":{\"kind\":");
+                        json::escape_into(&mut s, &n.kind);
+                        s.push_str(",\"ident\":");
+                        push_opt_str(&mut s, &n.ident);
+                        s.push_str(",\"type\":");
+                        push_opt_str(&mut s, &n.type_ref);
+                        s.push_str(",\"attrs\":[");
+                        for (i, (k, v)) in n.attrs.iter().enumerate() {
+                            if i > 0 {
+                                s.push(',');
+                            }
+                            s.push('[');
+                            json::escape_into(&mut s, k);
+                            s.push(',');
+                            json::escape_into(&mut s, v);
+                            s.push(']');
+                        }
+                        s.push_str("]}");
+                    }
+                }
+            }
+            Reply::Attr(v) => {
+                s.push_str("\"attr\",\"value\":");
+                push_opt_str(&mut s, v);
+            }
+            Reply::Number(v) => {
+                s.push_str("\"number\",\"value\":");
+                match v {
+                    Some(x) if x.is_finite() => push_f64(&mut s, *x),
+                    _ => s.push_str("null"),
+                }
+            }
+            Reply::Idents { idents, count } => {
+                s.push_str("\"idents\",\"idents\":[");
+                for (i, id) in idents.iter().enumerate() {
+                    if i > 0 {
+                        s.push(',');
+                    }
+                    json::escape_into(&mut s, id);
+                }
+                s.push_str(&format!("],\"count\":{count}"));
+            }
+            Reply::Count(n) => s.push_str(&format!("\"count\",\"value\":{n}")),
+            Reply::Power(w) => {
+                s.push_str("\"power\",\"watts\":");
+                push_f64(&mut s, *w);
+            }
+            Reply::Flag(b) => s.push_str(&format!("\"flag\",\"value\":{b}")),
+            Reply::Transfer(t) => {
+                s.push_str("\"transfer\",\"found\":");
+                match t {
+                    None => s.push_str("false"),
+                    Some(t) => {
+                        s.push_str("true,\"time_s\":");
+                        push_f64(&mut s, t.time_s);
+                        s.push_str(",\"energy_j\":");
+                        push_f64(&mut s, t.energy_j);
+                        s.push_str(",\"bandwidth_bps\":");
+                        push_f64(&mut s, t.bandwidth_bps);
+                    }
+                }
+            }
+            Reply::Accelerator(a) => {
+                s.push_str("\"accelerator\",\"found\":");
+                match a {
+                    None => s.push_str("false"),
+                    Some(a) => {
+                        s.push_str("true,\"time_s\":");
+                        push_f64(&mut s, a.time_s);
+                        s.push_str(",\"energy_j\":");
+                        push_f64(&mut s, a.energy_j);
+                    }
+                }
+            }
+            Reply::Energy(j) => {
+                s.push_str("\"energy\",\"joules\":");
+                push_f64(&mut s, *j);
+            }
+            Reply::Stats(st) => {
+                s.push_str("\"stats\",");
+                st.fields_to_json(&mut s);
+            }
+            Reply::Reloaded { epoch, changed } => {
+                s.push_str(&format!("\"reloaded\",\"epoch\":{epoch},\"changed\":{changed}"))
+            }
+            Reply::ShuttingDown => s.push_str("\"shutting_down\""),
+            Reply::Slept { ms } => s.push_str(&format!("\"slept\",\"ms\":{ms}")),
+        }
+        s.push('}');
+        s
+    }
+}
+
+impl Response {
+    /// Serialize to one JSON line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(96);
+        s.push_str(&format!("{{\"v\":{PROTOCOL_VERSION},\"id\":{},", self.id));
+        match &self.result {
+            Ok(reply) => {
+                s.push_str("\"ok\":");
+                s.push_str(&reply.payload_to_json());
+            }
+            Err(e) => {
+                s.push_str("\"error\":{\"code\":");
+                json::escape_into(&mut s, &e.code);
+                s.push_str(",\"message\":");
+                json::escape_into(&mut s, &e.message);
+                s.push('}');
+            }
+        }
+        s.push('}');
+        s
+    }
+}
+
+// ---- parsing ----
+
+type Obj = [(String, JsonValue)];
+
+fn get_str(obj: &Obj, key: &str) -> Result<String, ServeError> {
+    json::get(obj, key)
+        .and_then(JsonValue::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| ServeError::invalid_params(format!("missing string field {key:?}")))
+}
+
+fn get_u64(obj: &Obj, key: &str) -> Result<u64, ServeError> {
+    let n = json::get(obj, key)
+        .and_then(JsonValue::as_number)
+        .ok_or_else(|| ServeError::invalid_params(format!("missing numeric field {key:?}")))?;
+    if n < 0.0 || n.fract() != 0.0 || n > (1u64 << 53) as f64 {
+        return Err(ServeError::invalid_params(format!("field {key:?} is not a u53 integer")));
+    }
+    Ok(n as u64)
+}
+
+fn get_f64(obj: &Obj, key: &str) -> Result<f64, ServeError> {
+    json::get(obj, key)
+        .and_then(JsonValue::as_number)
+        .filter(|n| n.is_finite())
+        .ok_or_else(|| ServeError::invalid_params(format!("missing finite numeric field {key:?}")))
+}
+
+/// Parse one request line. On error, the recovered correlation id (if
+/// any) rides along so the server can still address its error response.
+pub fn parse_request(line: &str) -> Result<Request, (Option<u64>, ServeError)> {
+    let v = json::parse(line).map_err(|e| (None, ServeError::bad_request(e)))?;
+    let obj = v
+        .as_object()
+        .ok_or_else(|| (None, ServeError::bad_request("request is not a JSON object")))?;
+    let id = json::get(obj, "id")
+        .and_then(JsonValue::as_number)
+        .filter(|n| *n >= 0.0 && n.fract() == 0.0)
+        .map(|n| n as u64);
+    let fail = |e: ServeError| (id, e);
+    let id_val =
+        id.ok_or_else(|| fail(ServeError::bad_request("missing or non-integer \"id\"")))?;
+    let version = json::get(obj, "v").and_then(JsonValue::as_number);
+    if version != Some(PROTOCOL_VERSION as f64) {
+        return Err(fail(ServeError::new(
+            codes::BAD_VERSION,
+            format!("unsupported protocol version (want {PROTOCOL_VERSION})"),
+        )));
+    }
+    let method_name = json::get(obj, "method")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| fail(ServeError::bad_request("missing \"method\"")))?;
+    static EMPTY: &Obj = &[];
+    let params: &Obj = match json::get(obj, "params") {
+        None => EMPTY,
+        Some(p) => p
+            .as_object()
+            .ok_or_else(|| fail(ServeError::invalid_params("\"params\" is not an object")))?,
+    };
+    let method = (|| -> Result<Method, ServeError> {
+        Ok(match method_name {
+            "ping" => Method::Ping,
+            "model_info" => Method::ModelInfo,
+            "find" => Method::Find { ident: get_str(params, "ident")? },
+            "get_attr" => Method::GetAttr {
+                ident: get_str(params, "ident")?,
+                attr: get_str(params, "attr")?,
+            },
+            "get_number" => Method::GetNumber {
+                ident: get_str(params, "ident")?,
+                attr: get_str(params, "attr")?,
+            },
+            "elements_of_kind" => Method::ElementsOfKind { kind: get_str(params, "kind")? },
+            "num_cores" => Method::NumCores,
+            "num_cuda_devices" => Method::NumCudaDevices,
+            "total_static_power" => Method::TotalStaticPower,
+            "has_installed" => Method::HasInstalled { prefix: get_str(params, "prefix")? },
+            "estimate_transfer" => Method::EstimateTransfer {
+                link: get_str(params, "link")?,
+                bytes: get_u64(params, "bytes")?,
+            },
+            "estimate_accelerator_use" => Method::EstimateAcceleratorUse {
+                link: get_str(params, "link")?,
+                upload_bytes: get_u64(params, "upload_bytes")?,
+                download_bytes: get_u64(params, "download_bytes")?,
+                compute_s: get_f64(params, "compute_s")?,
+                dynamic_power_w: get_f64(params, "dynamic_power_w")?,
+            },
+            "estimate_static_energy" => {
+                Method::EstimateStaticEnergy { duration_s: get_f64(params, "duration_s")? }
+            }
+            "stats" => Method::Stats,
+            "reload" => Method::Reload,
+            "shutdown" => Method::Shutdown,
+            "sleep" => Method::Sleep { ms: get_u64(params, "ms")? },
+            other => {
+                return Err(ServeError::new(
+                    codes::UNKNOWN_METHOD,
+                    format!("unknown method {other:?}"),
+                ))
+            }
+        })
+    })()
+    .map_err(fail)?;
+    Ok(Request { id: id_val, method })
+}
+
+fn opt_str(obj: &Obj, key: &str) -> Option<String> {
+    json::get(obj, key).and_then(JsonValue::as_str).map(str::to_string)
+}
+
+fn parse_node(obj: &Obj) -> Result<NodeInfo, String> {
+    let node =
+        json::get(obj, "node").and_then(JsonValue::as_object).ok_or("missing node object")?;
+    let mut attrs = Vec::new();
+    for pair in json::get(node, "attrs").and_then(JsonValue::as_array).ok_or("missing attrs")? {
+        let kv = pair.as_array().filter(|a| a.len() == 2).ok_or("attr is not a pair")?;
+        attrs.push((
+            kv[0].as_str().ok_or("attr key not a string")?.to_string(),
+            kv[1].as_str().ok_or("attr value not a string")?.to_string(),
+        ));
+    }
+    Ok(NodeInfo {
+        kind: opt_str(node, "kind").ok_or("missing node kind")?,
+        ident: opt_str(node, "ident"),
+        type_ref: opt_str(node, "type"),
+        attrs,
+    })
+}
+
+fn parse_reply(obj: &Obj) -> Result<Reply, String> {
+    let num = |k: &str| -> Result<f64, String> {
+        json::get(obj, k).and_then(JsonValue::as_number).ok_or(format!("missing number {k:?}"))
+    };
+    let int = |k: &str| -> Result<u64, String> { Ok(num(k)? as u64) };
+    let found = |k: &str| -> Result<bool, String> {
+        json::get(obj, "found").and_then(JsonValue::as_bool).ok_or(format!("missing found in {k}"))
+    };
+    let kind = opt_str(obj, "kind").ok_or("reply has no kind tag")?;
+    Ok(match kind.as_str() {
+        "pong" => Reply::Pong,
+        "model_info" => Reply::ModelInfo {
+            epoch: int("epoch")?,
+            nodes: int("nodes")?,
+            root_kind: opt_str(obj, "root_kind").ok_or("missing root_kind")?,
+            root_ident: opt_str(obj, "root_ident"),
+            source: opt_str(obj, "source").ok_or("missing source")?,
+            fingerprint: opt_str(obj, "fingerprint").ok_or("missing fingerprint")?,
+        },
+        "node" => Reply::Node(if found("node")? { Some(parse_node(obj)?) } else { None }),
+        "attr" => Reply::Attr(opt_str(obj, "value")),
+        "number" => Reply::Number(json::get(obj, "value").and_then(JsonValue::as_number)),
+        "idents" => Reply::Idents {
+            idents: json::get(obj, "idents")
+                .and_then(JsonValue::as_array)
+                .ok_or("missing idents")?
+                .iter()
+                .map(|v| v.as_str().map(str::to_string).ok_or("ident not a string"))
+                .collect::<Result<Vec<_>, _>>()?,
+            count: int("count")?,
+        },
+        "count" => Reply::Count(int("value")?),
+        "power" => Reply::Power(num("watts")?),
+        "flag" => Reply::Flag(
+            json::get(obj, "value").and_then(JsonValue::as_bool).ok_or("missing flag value")?,
+        ),
+        "transfer" => Reply::Transfer(if found("transfer")? {
+            Some(TransferInfo {
+                time_s: num("time_s")?,
+                energy_j: num("energy_j")?,
+                bandwidth_bps: num("bandwidth_bps")?,
+            })
+        } else {
+            None
+        }),
+        "accelerator" => Reply::Accelerator(if found("accelerator")? {
+            Some(AccelInfo { time_s: num("time_s")?, energy_j: num("energy_j")? })
+        } else {
+            None
+        }),
+        "energy" => Reply::Energy(num("joules")?),
+        "stats" => Reply::Stats(StatsSnapshot::from_json_fields(obj)?),
+        "reloaded" => Reply::Reloaded {
+            epoch: int("epoch")?,
+            changed: json::get(obj, "changed")
+                .and_then(JsonValue::as_bool)
+                .ok_or("missing changed")?,
+        },
+        "shutting_down" => Reply::ShuttingDown,
+        "slept" => Reply::Slept { ms: int("ms")? },
+        other => return Err(format!("unknown reply kind {other:?}")),
+    })
+}
+
+/// Parse one response line (the client side of the wire).
+pub fn parse_response(line: &str) -> Result<Response, String> {
+    let v = json::parse(line)?;
+    let obj = v.as_object().ok_or("response is not a JSON object")?;
+    let version = json::get(obj, "v").and_then(JsonValue::as_number);
+    if version != Some(PROTOCOL_VERSION as f64) {
+        return Err(format!("unsupported response version {version:?}"));
+    }
+    let id = json::get(obj, "id")
+        .and_then(JsonValue::as_number)
+        .filter(|n| *n >= 0.0 && n.fract() == 0.0)
+        .ok_or("missing response id")? as u64;
+    if let Some(err) = json::get(obj, "error") {
+        let err = err.as_object().ok_or("error is not an object")?;
+        return Ok(Response::err(
+            id,
+            ServeError {
+                code: opt_str(err, "code").ok_or("missing error code")?,
+                message: opt_str(err, "message").ok_or("missing error message")?,
+            },
+        ));
+    }
+    let ok = json::get(obj, "ok")
+        .and_then(JsonValue::as_object)
+        .ok_or("response has neither ok nor error")?;
+    Ok(Response::ok(id, parse_reply(ok)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrip_simple() {
+        for method in [
+            Method::Ping,
+            Method::NumCores,
+            Method::Stats,
+            Method::Reload,
+            Method::Shutdown,
+            Method::Find { ident: "gpu\"1\n".into() },
+            Method::GetAttr { ident: "a".into(), attr: "b".into() },
+            Method::EstimateTransfer { link: "l".into(), bytes: 1 << 52 },
+            Method::EstimateStaticEnergy { duration_s: 1.5e-3 },
+            Method::Sleep { ms: 25 },
+        ] {
+            let req = Request { id: 7, method };
+            let parsed = parse_request(&req.to_json()).unwrap();
+            assert_eq!(parsed, req);
+        }
+    }
+
+    #[test]
+    fn response_roundtrip_simple() {
+        for reply in [
+            Reply::Pong,
+            Reply::Attr(None),
+            Reply::Attr(Some("K20c".into())),
+            Reply::Number(Some(2.5)),
+            Reply::Number(None),
+            Reply::Count(2500),
+            Reply::Flag(true),
+            Reply::Flag(false),
+            Reply::Reloaded { epoch: 3, changed: false },
+            Reply::Node(Some(NodeInfo {
+                kind: "device".into(),
+                ident: Some("gpu1".into()),
+                type_ref: None,
+                attrs: vec![("a".into(), "b\"c".into())],
+            })),
+        ] {
+            let resp = Response::ok(9, reply);
+            assert_eq!(parse_response(&resp.to_json()).unwrap(), resp);
+        }
+        let err = Response::err(0, ServeError::new(codes::OVERLOADED, "busy"));
+        assert_eq!(parse_response(&err.to_json()).unwrap(), err);
+    }
+
+    #[test]
+    fn bad_version_and_bad_json_rejected() {
+        let (id, e) = parse_request("{\"v\":2,\"id\":4,\"method\":\"ping\"}").unwrap_err();
+        assert_eq!(id, Some(4));
+        assert_eq!(e.code, codes::BAD_VERSION);
+        let (id, e) = parse_request("not json at all").unwrap_err();
+        assert_eq!(id, None);
+        assert_eq!(e.code, codes::BAD_REQUEST);
+        let (id, e) = parse_request("{\"v\":1,\"id\":1,\"method\":\"nope\"}").unwrap_err();
+        assert_eq!(id, Some(1));
+        assert_eq!(e.code, codes::UNKNOWN_METHOD);
+        let (_, e) = parse_request("{\"v\":1,\"id\":1,\"method\":\"find\"}").unwrap_err();
+        assert_eq!(e.code, codes::INVALID_PARAMS);
+    }
+
+    #[test]
+    fn id_recovered_even_when_method_bad() {
+        let (id, _) =
+            parse_request("{\"id\":123,\"v\":1,\"method\":\"sleep\",\"params\":{}}").unwrap_err();
+        assert_eq!(id, Some(123));
+    }
+}

@@ -1,0 +1,485 @@
+//! The TCP daemon: listener, worker pool, admission control, deadlines.
+//!
+//! Thread model: one accept loop (nonblocking listener polled so it can
+//! observe shutdown), one reader thread plus one writer thread per
+//! connection, and a global bounded worker pool that executes parsed
+//! requests against the [`Engine`]. Responses flow back to each
+//! connection's writer through an `mpsc` channel, so pipelined requests
+//! from one client may complete out of order — the protocol's `id`
+//! correlation is what makes that safe.
+//!
+//! Admission control happens *before* a request is enqueued: if the
+//! in-flight gauge is at `max_inflight` the request is shed immediately
+//! with `S420` rather than queued behind work the server cannot finish
+//! in time. Admitted requests carry their arrival instant; a worker that
+//! dequeues one past its deadline answers `S421` without touching the
+//! model. Load is therefore bounded in both depth (permits) and time
+//! (deadline), and overload degrades into fast, explicit errors instead
+//! of unbounded queueing.
+
+use crate::engine::Engine;
+use crate::protocol::{codes, parse_request, Request, Response, ServeError};
+use crate::stats::InflightPermit;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for [`Server::start`].
+#[derive(Debug, Clone)]
+pub struct ServerOptions {
+    /// Worker threads executing requests (min 1).
+    pub workers: usize,
+    /// Maximum requests admitted concurrently; beyond this, shed `S420`.
+    pub max_inflight: usize,
+    /// Per-request deadline measured from admission; exceeded in queue →
+    /// `S421`. `None` disables queue deadlines.
+    pub deadline: Option<Duration>,
+    /// Longest accepted request line in bytes (`S414` beyond).
+    pub max_line_bytes: usize,
+}
+
+impl Default for ServerOptions {
+    fn default() -> Self {
+        ServerOptions {
+            workers: 4,
+            max_inflight: 256,
+            deadline: Some(Duration::from_millis(2000)),
+            max_line_bytes: 64 * 1024,
+        }
+    }
+}
+
+/// One admitted request travelling to the worker pool.
+struct Job {
+    request: Request,
+    admitted_at: Instant,
+    reply_to: mpsc::Sender<String>,
+}
+
+/// A running daemon. Dropping it (or calling [`Server::shutdown`] and
+/// then [`Server::join`]) stops the accept loop and the worker pool.
+pub struct Server {
+    engine: Arc<Engine>,
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("addr", &self.addr)
+            .field("threads", &self.threads.len())
+            .finish()
+    }
+}
+
+impl Server {
+    /// Bind `addr` and start serving `engine`. Returns once the listener
+    /// is accepting; serving continues on background threads.
+    pub fn start(
+        engine: Arc<Engine>,
+        addr: &str,
+        options: ServerOptions,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        // Nonblocking so the accept loop can poll the shutdown flag.
+        listener.set_nonblocking(true)?;
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let (job_tx, job_rx) = mpsc::channel::<Job>();
+        let job_rx = Arc::new(parking_lot::Mutex::new(job_rx));
+        let mut threads = Vec::new();
+
+        for w in 0..options.workers.max(1) {
+            let engine = Arc::clone(&engine);
+            let job_rx = Arc::clone(&job_rx);
+            let stop = Arc::clone(&stop);
+            let deadline = options.deadline;
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("xpdl-serve-worker-{w}"))
+                    .spawn(move || worker_loop(&engine, &job_rx, &stop, deadline))
+                    .expect("spawn worker"),
+            );
+        }
+
+        {
+            let engine = Arc::clone(&engine);
+            let stop = Arc::clone(&stop);
+            let opts = options.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name("xpdl-serve-accept".to_string())
+                    .spawn(move || accept_loop(&listener, &engine, &stop, &opts, &job_tx))
+                    .expect("spawn accept loop"),
+            );
+        }
+
+        Ok(Server { engine, addr: local, stop, threads })
+    }
+
+    /// The address actually bound (resolves `:0` to the real port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The engine this server fronts.
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.engine
+    }
+
+    /// Whether the server has been asked to stop (locally or via the
+    /// protocol `shutdown` method).
+    pub fn stopping(&self) -> bool {
+        self.stop.load(Ordering::Acquire) || self.engine.shutdown_requested()
+    }
+
+    /// Ask all server threads to wind down.
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::Release);
+        self.engine.request_shutdown();
+    }
+
+    /// Block until every server thread has exited. Call
+    /// [`Server::shutdown`] first (or have a client send `shutdown`).
+    pub fn join(mut self) {
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        self.engine.request_shutdown();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Accept connections until shutdown, spawning reader/writer pairs.
+fn accept_loop(
+    listener: &TcpListener,
+    engine: &Arc<Engine>,
+    stop: &Arc<AtomicBool>,
+    options: &ServerOptions,
+    job_tx: &mpsc::Sender<Job>,
+) {
+    let mut conn_threads: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    loop {
+        if stop.load(Ordering::Acquire) || engine.shutdown_requested() {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                // Responses are small and latency-bound; without this,
+                // Nagle + delayed ACK adds ~40ms per round trip.
+                let _ = stream.set_nodelay(true);
+                engine.stats().connections.fetch_add(1, Ordering::Relaxed);
+                let engine = Arc::clone(engine);
+                let stop = Arc::clone(stop);
+                let job_tx = job_tx.clone();
+                let opts = options.clone();
+                conn_threads.retain(|t| !t.is_finished());
+                conn_threads.push(
+                    std::thread::Builder::new()
+                        .name("xpdl-serve-conn".to_string())
+                        .spawn(move || connection_loop(stream, &engine, &stop, &opts, &job_tx))
+                        .expect("spawn connection"),
+                );
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+    for t in conn_threads {
+        let _ = t.join();
+    }
+}
+
+/// Serve one connection: read lines, admit, enqueue; a paired writer
+/// thread streams responses back as workers finish them.
+fn connection_loop(
+    stream: TcpStream,
+    engine: &Arc<Engine>,
+    stop: &Arc<AtomicBool>,
+    options: &ServerOptions,
+    job_tx: &mpsc::Sender<Job>,
+) {
+    // Read timeout so the reader notices shutdown even on an idle
+    // connection; WouldBlock/TimedOut just re-checks the flag.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    let write_half = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+
+    let (resp_tx, resp_rx) = mpsc::channel::<String>();
+    let writer = std::thread::Builder::new()
+        .name("xpdl-serve-write".to_string())
+        .spawn(move || writer_loop(write_half, &resp_rx))
+        .expect("spawn writer");
+
+    let mut reader = BufReader::new(stream);
+    // Partial-line accumulator. It persists across read timeouts so a
+    // line split by TCP segmentation (or a slow sender) is reassembled
+    // rather than truncated at the first `WouldBlock`.
+    let mut acc: Vec<u8> = Vec::new();
+    loop {
+        if stop.load(Ordering::Acquire) || engine.shutdown_requested() {
+            break;
+        }
+        match read_line_capped(&mut reader, &mut acc, options.max_line_bytes) {
+            Ok(LineRead::Eof) => break, // client closed
+            Ok(LineRead::Line) => {
+                let line = String::from_utf8_lossy(&acc).into_owned();
+                acc.clear();
+                let trimmed = line.trim();
+                if trimmed.is_empty() {
+                    continue;
+                }
+                handle_wire_line(trimmed, engine, options, job_tx, &resp_tx);
+            }
+            Err(LineError::TooLong) => {
+                engine.stats().record(0, true);
+                let err = ServeError::new(
+                    codes::LINE_TOO_LONG,
+                    format!("request line exceeds {} bytes", options.max_line_bytes),
+                );
+                send_response(&resp_tx, &Response::err(0, err));
+                break; // framing is lost; drop the connection
+            }
+            Err(LineError::Io(e))
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(LineError::Io(_)) => break,
+        }
+    }
+    // Closing resp_tx lets the writer drain pending responses and exit.
+    drop(resp_tx);
+    let _ = writer.join();
+}
+
+/// Parse, admit, and enqueue one wire line (or answer its error inline).
+fn handle_wire_line(
+    line: &str,
+    engine: &Arc<Engine>,
+    options: &ServerOptions,
+    job_tx: &mpsc::Sender<Job>,
+    resp_tx: &mpsc::Sender<String>,
+) {
+    let request = match parse_request(line) {
+        Ok(r) => r,
+        Err((id, e)) => {
+            engine.stats().record(0, true);
+            send_response(resp_tx, &Response::err(id.unwrap_or(0), e));
+            return;
+        }
+    };
+    // Admission control: refuse before queueing. The permit is consumed
+    // here and re-acquired conceptually by the worker via the job itself —
+    // we keep it simple by shedding on the gauge and letting the worker's
+    // handling decrement when the job completes.
+    match InflightPermit::try_acquire(engine.stats(), options.max_inflight) {
+        Ok(permit) => {
+            // The job owns the in-flight slot until a worker finishes it;
+            // permits are scoped to this function, so transfer the count
+            // manually: forget the RAII guard and decrement in the worker.
+            std::mem::forget(permit);
+            let job = Job {
+                request,
+                admitted_at: Instant::now(),
+                reply_to: resp_tx.clone(),
+            };
+            if job_tx.send(job).is_err() {
+                // Worker pool gone (shutdown): undo the in-flight claim.
+                engine.stats().inflight.fetch_sub(1, Ordering::Release);
+                engine.stats().record(0, true);
+                send_response(
+                    resp_tx,
+                    &Response::err(0, ServeError::new(codes::SHUTTING_DOWN, "server is stopping")),
+                );
+            }
+        }
+        Err(shed) => {
+            engine.stats().record(0, true);
+            send_response(resp_tx, &Response::err(request.id, shed));
+        }
+    }
+}
+
+/// Worker: dequeue jobs, enforce deadlines, run the engine, reply.
+fn worker_loop(
+    engine: &Arc<Engine>,
+    job_rx: &Arc<parking_lot::Mutex<mpsc::Receiver<Job>>>,
+    stop: &Arc<AtomicBool>,
+    deadline: Option<Duration>,
+) {
+    loop {
+        if stop.load(Ordering::Acquire) || engine.shutdown_requested() {
+            break;
+        }
+        // Hold the receiver lock only for the dequeue, never during
+        // request execution.
+        let job = {
+            let rx = job_rx.lock();
+            rx.recv_timeout(Duration::from_millis(100))
+        };
+        let job = match job {
+            Ok(j) => j,
+            Err(mpsc::RecvTimeoutError::Timeout) => continue,
+            Err(mpsc::RecvTimeoutError::Disconnected) => break,
+        };
+        let response = match deadline {
+            Some(d) if job.admitted_at.elapsed() > d => {
+                engine.stats().deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+                engine.stats().record(0, true);
+                Response::err(
+                    job.request.id,
+                    ServeError::new(
+                        codes::DEADLINE_EXCEEDED,
+                        format!("request spent more than {} ms queued", d.as_millis()),
+                    ),
+                )
+            }
+            _ => engine.handle(&job.request),
+        };
+        // The job held the in-flight slot transferred in handle_wire_line.
+        engine.stats().inflight.fetch_sub(1, Ordering::Release);
+        send_response(&job.reply_to, &response);
+    }
+}
+
+/// Writer: serialize responses onto the socket in completion order.
+fn writer_loop(mut stream: TcpStream, resp_rx: &mpsc::Receiver<String>) {
+    while let Ok(line) = resp_rx.recv() {
+        if stream.write_all(line.as_bytes()).is_err() || stream.write_all(b"\n").is_err() {
+            return; // client gone; drain silently via channel close
+        }
+        let _ = stream.flush();
+    }
+}
+
+fn send_response(tx: &mpsc::Sender<String>, resp: &Response) {
+    let _ = tx.send(resp.to_json());
+}
+
+enum LineError {
+    TooLong,
+    Io(std::io::Error),
+}
+
+enum LineRead {
+    /// A full line landed in the accumulator (newline stripped).
+    Line,
+    /// The peer closed the connection.
+    Eof,
+}
+
+/// Read into `acc` until a newline, with a hard byte cap — a single
+/// over-long line answers `S414` and drops the connection instead of
+/// buffering unboundedly. On a read timeout (`WouldBlock`/`TimedOut`)
+/// the bytes consumed so far stay in `acc`, and the next call resumes
+/// the same line.
+fn read_line_capped(
+    reader: &mut BufReader<TcpStream>,
+    acc: &mut Vec<u8>,
+    cap: usize,
+) -> Result<LineRead, LineError> {
+    loop {
+        let available = match reader.fill_buf() {
+            Ok(b) => b,
+            Err(e) => return Err(LineError::Io(e)),
+        };
+        if available.is_empty() {
+            // EOF: a dangling partial line (no trailing newline) is
+            // not a valid frame — drop it with the connection.
+            return Ok(LineRead::Eof);
+        }
+        match available.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                acc.extend_from_slice(&available[..pos]);
+                reader.consume(pos + 1);
+                if acc.len() > cap {
+                    return Err(LineError::TooLong);
+                }
+                return Ok(LineRead::Line);
+            }
+            None => {
+                let n = available.len();
+                acc.extend_from_slice(available);
+                reader.consume(n);
+                if acc.len() > cap {
+                    return Err(LineError::TooLong);
+                }
+            }
+        }
+    }
+}
+
+/// Spawn a thread that calls [`Engine::reload`] every `interval` until
+/// the engine shuts down. Reload failures are counted in stats and leave
+/// the previous snapshot serving.
+pub fn spawn_reload_thread(
+    engine: Arc<Engine>,
+    interval: Duration,
+) -> std::thread::JoinHandle<()> {
+    std::thread::Builder::new()
+        .name("xpdl-serve-reload".to_string())
+        .spawn(move || {
+            let step = Duration::from_millis(50).min(interval);
+            let mut elapsed = Duration::ZERO;
+            loop {
+                if engine.shutdown_requested() {
+                    break;
+                }
+                std::thread::sleep(step);
+                elapsed += step;
+                if elapsed >= interval {
+                    elapsed = Duration::ZERO;
+                    let _ = engine.reload();
+                }
+            }
+        })
+        .expect("spawn reload thread")
+}
+
+/// Unix: arrange for SIGTERM/SIGINT to set the given flag, so the CLI
+/// can shut the server down cleanly from `kill -TERM`. No-op elsewhere.
+#[cfg(unix)]
+pub fn install_termination_handler(flag: &'static AtomicBool) {
+    // libc is already linked by std; declaring `signal` avoids a crate
+    // dependency. The handler only does an atomic store — async-signal-safe.
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    static FLAG: std::sync::OnceLock<&'static AtomicBool> = std::sync::OnceLock::new();
+    let _ = FLAG.set(flag);
+    extern "C" fn on_term(_sig: i32) {
+        if let Some(f) = FLAG.get() {
+            f.store(true, Ordering::Release);
+        }
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGTERM, on_term as *const () as usize);
+        signal(SIGINT, on_term as *const () as usize);
+    }
+}
+
+/// Portable stub when not on unix: termination is ctrl-c only.
+#[cfg(not(unix))]
+pub fn install_termination_handler(_flag: &'static AtomicBool) {}

@@ -1,0 +1,323 @@
+//! Server statistics: lock-free counters and a latency ring.
+//!
+//! Counters are plain relaxed atomics bumped on the hot path; latencies
+//! go into a fixed-size ring of `AtomicU64` microsecond samples (writers
+//! claim slots with a wrapping cursor, so concurrent workers never
+//! contend on a lock). Percentiles are computed on demand by copying the
+//! ring — an O(ring) cost paid only by the `stats` method, never by
+//! queries.
+
+use crate::protocol::ServeError;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
+use xpdl_core::diag::json::{self, JsonValue};
+
+/// Number of latency samples retained (a power of two).
+const RING: usize = 2048;
+
+/// Live counters of one serving process.
+#[derive(Debug)]
+pub struct ServeStats {
+    started: Instant,
+    /// Requests that reached a handler (including error replies).
+    pub requests: AtomicU64,
+    /// Requests answered with a protocol-level error.
+    pub errors: AtomicU64,
+    /// Requests refused by admission control (`S420`).
+    pub shed: AtomicU64,
+    /// Requests expired in the queue (`S421`).
+    pub deadline_exceeded: AtomicU64,
+    /// Hot reloads that installed a new snapshot.
+    pub reloads: AtomicU64,
+    /// Hot reload attempts that failed (old snapshot stayed live).
+    pub reload_failures: AtomicU64,
+    /// Connections accepted since start.
+    pub connections: AtomicU64,
+    /// Requests currently admitted and not yet answered.
+    pub inflight: AtomicU64,
+    latency_us: Box<[AtomicU64]>,
+    cursor: AtomicUsize,
+}
+
+impl Default for ServeStats {
+    fn default() -> Self {
+        ServeStats::new()
+    }
+}
+
+impl ServeStats {
+    /// Fresh, zeroed stats anchored at "now".
+    pub fn new() -> ServeStats {
+        ServeStats {
+            started: Instant::now(),
+            requests: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            deadline_exceeded: AtomicU64::new(0),
+            reloads: AtomicU64::new(0),
+            reload_failures: AtomicU64::new(0),
+            connections: AtomicU64::new(0),
+            inflight: AtomicU64::new(0),
+            latency_us: (0..RING).map(|_| AtomicU64::new(u64::MAX)).collect(),
+            cursor: AtomicUsize::new(0),
+        }
+    }
+
+    /// Record one handled request and its latency.
+    pub fn record(&self, latency_us: u64, is_error: bool) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        if is_error {
+            self.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        let slot = self.cursor.fetch_add(1, Ordering::Relaxed) & (RING - 1);
+        // u64::MAX marks "never written"; clamp real samples below it.
+        self.latency_us[slot].store(latency_us.min(u64::MAX - 1), Ordering::Relaxed);
+    }
+
+    /// Point-in-time snapshot (percentiles over the retained ring).
+    pub fn snapshot(&self, epoch: u64) -> StatsSnapshot {
+        let mut samples: Vec<u64> = self
+            .latency_us
+            .iter()
+            .map(|s| s.load(Ordering::Relaxed))
+            .filter(|&v| v != u64::MAX)
+            .collect();
+        samples.sort_unstable();
+        let pct = |p: f64| -> u64 {
+            if samples.is_empty() {
+                return 0;
+            }
+            let idx = ((samples.len() - 1) as f64 * p).round() as usize;
+            samples[idx.min(samples.len() - 1)]
+        };
+        let uptime = self.started.elapsed();
+        let requests = self.requests.load(Ordering::Relaxed);
+        let uptime_s = uptime.as_secs_f64().max(1e-9);
+        StatsSnapshot {
+            epoch,
+            uptime_ms: uptime.as_millis() as u64,
+            requests,
+            errors: self.errors.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            deadline_exceeded: self.deadline_exceeded.load(Ordering::Relaxed),
+            reloads: self.reloads.load(Ordering::Relaxed),
+            reload_failures: self.reload_failures.load(Ordering::Relaxed),
+            connections: self.connections.load(Ordering::Relaxed),
+            inflight: self.inflight.load(Ordering::Relaxed),
+            qps: requests as f64 / uptime_s,
+            p50_us: pct(0.50),
+            p90_us: pct(0.90),
+            p99_us: pct(0.99),
+            max_us: samples.last().copied().unwrap_or(0),
+        }
+    }
+}
+
+/// A point-in-time view of [`ServeStats`], as carried by the `stats`
+/// protocol reply and by `BENCH_serve.json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatsSnapshot {
+    /// Snapshot epoch currently being served.
+    pub epoch: u64,
+    /// Milliseconds since the server started.
+    pub uptime_ms: u64,
+    /// Requests handled (including error replies).
+    pub requests: u64,
+    /// Requests answered with an error.
+    pub errors: u64,
+    /// Requests shed by admission control.
+    pub shed: u64,
+    /// Requests expired in the queue.
+    pub deadline_exceeded: u64,
+    /// Hot reloads that swapped the snapshot.
+    pub reloads: u64,
+    /// Failed reload attempts.
+    pub reload_failures: u64,
+    /// Connections accepted.
+    pub connections: u64,
+    /// Requests in flight right now.
+    pub inflight: u64,
+    /// Mean requests/second over the whole uptime.
+    pub qps: f64,
+    /// Median handler latency over the retained ring, microseconds.
+    pub p50_us: u64,
+    /// 90th-percentile latency, microseconds.
+    pub p90_us: u64,
+    /// 99th-percentile latency, microseconds.
+    pub p99_us: u64,
+    /// Worst retained latency, microseconds.
+    pub max_us: u64,
+}
+
+impl StatsSnapshot {
+    /// Append the snapshot's fields (without braces) to a JSON object
+    /// under construction.
+    pub(crate) fn fields_to_json(&self, out: &mut String) {
+        let qps = if self.qps.is_finite() { self.qps } else { 0.0 };
+        out.push_str(&format!(
+            "\"epoch\":{},\"uptime_ms\":{},\"requests\":{},\"errors\":{},\"shed\":{},\
+             \"deadline_exceeded\":{},\"reloads\":{},\"reload_failures\":{},\
+             \"connections\":{},\"inflight\":{},\"qps\":{},\"p50_us\":{},\"p90_us\":{},\
+             \"p99_us\":{},\"max_us\":{}",
+            self.epoch,
+            self.uptime_ms,
+            self.requests,
+            self.errors,
+            self.shed,
+            self.deadline_exceeded,
+            self.reloads,
+            self.reload_failures,
+            self.connections,
+            self.inflight,
+            qps,
+            self.p50_us,
+            self.p90_us,
+            self.p99_us,
+            self.max_us,
+        ));
+    }
+
+    /// Standalone JSON object (used by `BENCH_serve.json`).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{");
+        self.fields_to_json(&mut s);
+        s.push('}');
+        s
+    }
+
+    pub(crate) fn from_json_fields(obj: &[(String, JsonValue)]) -> Result<StatsSnapshot, String> {
+        let int = |k: &str| -> Result<u64, String> {
+            json::get(obj, k)
+                .and_then(JsonValue::as_number)
+                .map(|n| n as u64)
+                .ok_or(format!("missing stats field {k:?}"))
+        };
+        Ok(StatsSnapshot {
+            epoch: int("epoch")?,
+            uptime_ms: int("uptime_ms")?,
+            requests: int("requests")?,
+            errors: int("errors")?,
+            shed: int("shed")?,
+            deadline_exceeded: int("deadline_exceeded")?,
+            reloads: int("reloads")?,
+            reload_failures: int("reload_failures")?,
+            connections: int("connections")?,
+            inflight: int("inflight")?,
+            qps: json::get(obj, "qps")
+                .and_then(JsonValue::as_number)
+                .ok_or("missing stats field \"qps\"")?,
+            p50_us: int("p50_us")?,
+            p90_us: int("p90_us")?,
+            p99_us: int("p99_us")?,
+            max_us: int("max_us")?,
+        })
+    }
+
+    /// Parse a standalone snapshot object (the `to_json` inverse).
+    pub fn parse(src: &str) -> Result<StatsSnapshot, String> {
+        let v = json::parse(src)?;
+        StatsSnapshot::from_json_fields(v.as_object().ok_or("stats is not an object")?)
+    }
+}
+
+/// An RAII in-flight permit: increments the gauge on admission, decrements
+/// when the request finishes (however it finishes).
+#[derive(Debug)]
+pub struct InflightPermit<'s> {
+    stats: &'s ServeStats,
+}
+
+impl<'s> InflightPermit<'s> {
+    /// Try to admit one request under `max` concurrent; on refusal the
+    /// caller sheds with `S420` (overloaded).
+    pub fn try_acquire(stats: &'s ServeStats, max: usize) -> Result<InflightPermit<'s>, ServeError> {
+        let mut cur = stats.inflight.load(Ordering::Relaxed);
+        loop {
+            if cur >= max as u64 {
+                stats.shed.fetch_add(1, Ordering::Relaxed);
+                return Err(ServeError::overloaded(cur as usize, max));
+            }
+            match stats.inflight.compare_exchange_weak(
+                cur,
+                cur + 1,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return Ok(InflightPermit { stats }),
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+}
+
+impl Drop for InflightPermit<'_> {
+    fn drop(&mut self) {
+        self.stats.inflight.fetch_sub(1, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::codes;
+
+    #[test]
+    fn record_and_percentiles() {
+        let s = ServeStats::new();
+        for i in 1..=100u64 {
+            s.record(i, i % 10 == 0);
+        }
+        let snap = s.snapshot(3);
+        assert_eq!(snap.epoch, 3);
+        assert_eq!(snap.requests, 100);
+        assert_eq!(snap.errors, 10);
+        assert_eq!(snap.max_us, 100);
+        assert!((49..=51).contains(&snap.p50_us), "{}", snap.p50_us);
+        assert!((98..=100).contains(&snap.p99_us), "{}", snap.p99_us);
+        assert!(snap.qps > 0.0);
+    }
+
+    #[test]
+    fn ring_wraps_without_losing_recent_window() {
+        let s = ServeStats::new();
+        for _ in 0..(RING * 2) {
+            s.record(7, false);
+        }
+        let snap = s.snapshot(0);
+        assert_eq!(snap.requests, (RING * 2) as u64);
+        assert_eq!(snap.p50_us, 7);
+        assert_eq!(snap.max_us, 7);
+    }
+
+    #[test]
+    fn snapshot_roundtrips_through_json() {
+        let s = ServeStats::new();
+        s.record(42, false);
+        s.shed.fetch_add(3, Ordering::Relaxed);
+        let snap = s.snapshot(9);
+        let back = StatsSnapshot::parse(&snap.to_json()).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn inflight_permits_shed_over_limit() {
+        let s = ServeStats::new();
+        let p1 = InflightPermit::try_acquire(&s, 2).unwrap();
+        let p2 = InflightPermit::try_acquire(&s, 2).unwrap();
+        let refused = InflightPermit::try_acquire(&s, 2).unwrap_err();
+        assert_eq!(refused.code, codes::OVERLOADED);
+        assert_eq!(s.shed.load(Ordering::Relaxed), 1);
+        drop(p1);
+        let _p3 = InflightPermit::try_acquire(&s, 2).unwrap();
+        drop(p2);
+        assert_eq!(s.inflight.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn empty_ring_percentiles_are_zero() {
+        let snap = ServeStats::new().snapshot(0);
+        assert_eq!(snap.p50_us, 0);
+        assert_eq!(snap.max_us, 0);
+        assert_eq!(snap.requests, 0);
+    }
+}

@@ -1,0 +1,163 @@
+//! Property tests for the wire protocol: every representable request and
+//! response survives a serialize → parse round trip byte-exactly at the
+//! data level, and arbitrary junk lines never panic the parsers.
+
+use proptest::prelude::*;
+use xpdl_serve::protocol::{AccelInfo, NodeInfo, TransferInfo};
+use xpdl_serve::{parse_request, parse_response, Method, Reply, Request, Response, ServeError};
+
+/// Printable ASCII including quotes, backslashes and braces — the
+/// characters most likely to break hand-rolled JSON escaping.
+fn arb_text() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[ -~]{0,20}").unwrap()
+}
+
+fn arb_f64() -> impl Strategy<Value = f64> {
+    // Finite values only: the wire maps non-finite to null by design.
+    -1e12f64..1e12
+}
+
+fn arb_u53() -> impl Strategy<Value = u64> {
+    0u64..(1u64 << 53)
+}
+
+fn arb_method() -> impl Strategy<Value = Method> {
+    prop_oneof![
+        Just(Method::Ping),
+        Just(Method::ModelInfo),
+        Just(Method::NumCores),
+        Just(Method::NumCudaDevices),
+        Just(Method::TotalStaticPower),
+        Just(Method::Stats),
+        Just(Method::Reload),
+        Just(Method::Shutdown),
+        arb_text().prop_map(|ident| Method::Find { ident }),
+        (arb_text(), arb_text()).prop_map(|(ident, attr)| Method::GetAttr { ident, attr }),
+        (arb_text(), arb_text()).prop_map(|(ident, attr)| Method::GetNumber { ident, attr }),
+        arb_text().prop_map(|kind| Method::ElementsOfKind { kind }),
+        arb_text().prop_map(|prefix| Method::HasInstalled { prefix }),
+        (arb_text(), arb_u53()).prop_map(|(link, bytes)| Method::EstimateTransfer { link, bytes }),
+        (arb_text(), arb_u53(), arb_u53(), arb_f64(), arb_f64()).prop_map(
+            |(link, upload_bytes, download_bytes, compute_s, dynamic_power_w)| {
+                Method::EstimateAcceleratorUse {
+                    link,
+                    upload_bytes,
+                    download_bytes,
+                    compute_s,
+                    dynamic_power_w,
+                }
+            }
+        ),
+        arb_f64().prop_map(|duration_s| Method::EstimateStaticEnergy { duration_s }),
+        arb_u53().prop_map(|ms| Method::Sleep { ms }),
+    ]
+}
+
+fn arb_reply() -> impl Strategy<Value = Reply> {
+    prop_oneof![
+        Just(Reply::Pong),
+        Just(Reply::ShuttingDown),
+        arb_u53().prop_map(Reply::Count),
+        arb_f64().prop_map(Reply::Power),
+        arb_f64().prop_map(Reply::Energy),
+        proptest::option::of(arb_text()).prop_map(Reply::Attr),
+        proptest::option::of(arb_f64()).prop_map(Reply::Number),
+        (arb_u53(), proptest::collection::vec(arb_text(), 0..4))
+            .prop_map(|(count, idents)| Reply::Idents { idents, count }),
+        (arb_u53(), any::<bool>()).prop_map(|(epoch, changed)| Reply::Reloaded { epoch, changed }),
+        arb_u53().prop_map(|ms| Reply::Slept { ms }),
+        any::<bool>().prop_map(Reply::Flag),
+        proptest::option::of((arb_f64(), arb_f64(), arb_f64())).prop_map(|t| {
+            Reply::Transfer(t.map(|(time_s, energy_j, bandwidth_bps)| TransferInfo {
+                time_s,
+                energy_j,
+                bandwidth_bps,
+            }))
+        }),
+        proptest::option::of((arb_f64(), arb_f64())).prop_map(|t| {
+            Reply::Accelerator(t.map(|(time_s, energy_j)| AccelInfo { time_s, energy_j }))
+        }),
+        (
+            arb_text(),
+            proptest::option::of(arb_text()),
+            proptest::option::of(arb_text()),
+            proptest::collection::vec((arb_text(), arb_text()), 0..4)
+        )
+            .prop_map(|(kind, ident, type_ref, attrs)| {
+                Reply::Node(Some(NodeInfo { kind, ident, type_ref, attrs }))
+            }),
+        Just(Reply::Node(None)),
+        (arb_u53(), arb_u53(), arb_text(), proptest::option::of(arb_text()), arb_text()).prop_map(
+            |(epoch, nodes, root_kind, root_ident, source)| Reply::ModelInfo {
+                epoch,
+                nodes,
+                root_kind,
+                root_ident,
+                source,
+                fingerprint: format!("{epoch:016x}"),
+            }
+        ),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn request_roundtrips(id in arb_u53(), method in arb_method()) {
+        let req = Request { id, method };
+        let line = req.to_json();
+        prop_assert!(!line.contains('\n'), "framing: {line:?}");
+        let back = parse_request(&line).map_err(|(_, e)| e.to_string())?;
+        prop_assert_eq!(back, req);
+    }
+
+    #[test]
+    fn ok_response_roundtrips(id in arb_u53(), reply in arb_reply()) {
+        let resp = Response::ok(id, reply);
+        let line = resp.to_json();
+        prop_assert!(!line.contains('\n'), "framing: {line:?}");
+        let back = parse_response(&line).map_err(|e| e.to_string())?;
+        prop_assert_eq!(back, resp);
+    }
+
+    #[test]
+    fn error_response_roundtrips(id in arb_u53(), code in "[A-Z][0-9]{3}", message in arb_text()) {
+        let resp = Response::err(id, ServeError { code, message });
+        let back = parse_response(&resp.to_json()).map_err(|e| e.to_string())?;
+        prop_assert_eq!(back, resp);
+    }
+
+    #[test]
+    fn junk_never_panics_request_parser(line in "[ -~]{0,80}") {
+        let _ = parse_request(&line);
+    }
+
+    #[test]
+    fn junk_never_panics_response_parser(line in "[ -~]{0,80}") {
+        let _ = parse_response(&line);
+    }
+
+    #[test]
+    fn near_protocol_junk_is_rejected_not_panicking(
+        id in arb_u53(),
+        method in "[a-z_]{0,16}",
+        garbage in "[ -~]{0,30}",
+    ) {
+        // Lines that look almost right: valid JSON envelope, arbitrary
+        // method names and param bodies.
+        let line = format!(
+            "{{\"v\":1,\"id\":{id},\"method\":\"{method}\",\"params\":{{\"x\":\"{}\"}}}}",
+            garbage.replace(['\\', '"'], "")
+        );
+        match parse_request(&line) {
+            Ok(req) => prop_assert_eq!(req.id, id),
+            Err((recovered, err)) => {
+                // The parser must still have recovered the id for
+                // addressed error responses, and coded the failure.
+                prop_assert_eq!(recovered, Some(id));
+                prop_assert!(err.code.starts_with("S4"), "{}", err);
+            }
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Snapshot-registry stress: 8 reader threads hammer [`SnapshotRegistry`]
+//! while the main thread performs 1000 hot installs. Models are
+//! self-describing — the root carries an `expect_cores` attribute equal
+//! to its actual core count — so a torn snapshot (metadata from one
+//! model, topology from another) is detectable from a single read.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use xpdl_core::XpdlDocument;
+use xpdl_runtime::RuntimeModel;
+use xpdl_serve::{ServeSnapshot, SnapshotRegistry};
+
+const READERS: usize = 8;
+const INSTALLS: u64 = 1000;
+
+/// A model whose root declares how many cores it must contain.
+fn self_describing_model(cores: usize) -> RuntimeModel {
+    let mut xml = format!("<system id=\"s\" expect_cores=\"{cores}\"><cpu id=\"c\">");
+    for i in 0..cores {
+        xml.push_str(&format!("<core id=\"k{i}\"/>"));
+    }
+    xml.push_str("</cpu></system>");
+    RuntimeModel::from_element(XpdlDocument::parse_str(&xml).unwrap().root())
+}
+
+#[test]
+fn readers_never_observe_a_torn_snapshot_across_1000_reloads() {
+    let registry = Arc::new(SnapshotRegistry::new(ServeSnapshot::initial(
+        self_describing_model(1),
+        "stress",
+    )));
+    let done = Arc::new(AtomicBool::new(false));
+    let reads = Arc::new(AtomicU64::new(0));
+
+    let readers: Vec<_> = (0..READERS)
+        .map(|_| {
+            let registry = Arc::clone(&registry);
+            let done = Arc::clone(&done);
+            let reads = Arc::clone(&reads);
+            std::thread::spawn(move || {
+                let mut last_epoch = 0u64;
+                let mut local = 0u64;
+                while !done.load(Ordering::Acquire) {
+                    let snap = registry.load();
+                    // Internal consistency: the topology matches the
+                    // model's own declaration — a mix of two snapshots
+                    // cannot satisfy this.
+                    let declared = snap
+                        .handle
+                        .root()
+                        .number("expect_cores")
+                        .expect("every stress model declares expect_cores")
+                        as usize;
+                    assert_eq!(
+                        snap.handle.num_cores(),
+                        declared,
+                        "torn snapshot at epoch {}",
+                        snap.epoch
+                    );
+                    // Epochs only ever move forward for any one reader.
+                    assert!(
+                        snap.epoch >= last_epoch,
+                        "epoch went backwards: {} after {}",
+                        snap.epoch,
+                        last_epoch
+                    );
+                    last_epoch = snap.epoch;
+                    local += 1;
+                }
+                reads.fetch_add(local, Ordering::Relaxed);
+                last_epoch
+            })
+        })
+        .collect();
+
+    // Pre-build the rotation so install cost doesn't dominate the test.
+    let variants: Vec<RuntimeModel> = (1..=8).map(self_describing_model).collect();
+    for i in 0..INSTALLS {
+        let model = variants[(i as usize) % variants.len()].clone();
+        let epoch = registry.install(ServeSnapshot::initial(model, "stress"));
+        assert_eq!(epoch, i + 1);
+    }
+    done.store(true, Ordering::Release);
+
+    let mut max_seen = 0;
+    for r in readers {
+        max_seen = max_seen.max(r.join().expect("reader panicked (torn snapshot)"));
+    }
+    assert_eq!(registry.current_epoch(), INSTALLS);
+    assert!(max_seen <= INSTALLS);
+    // Sanity: the readers actually overlapped the install storm.
+    assert!(
+        reads.load(Ordering::Relaxed) > INSTALLS,
+        "readers too slow to exercise concurrency: {} reads",
+        reads.load(Ordering::Relaxed)
+    );
+}
+
+#[test]
+fn pinned_snapshots_stay_valid_while_the_world_moves_on() {
+    let registry =
+        SnapshotRegistry::new(ServeSnapshot::initial(self_describing_model(3), "pin"));
+    let pinned = registry.load();
+    for _ in 0..200 {
+        registry.install(ServeSnapshot::initial(self_describing_model(5), "pin"));
+    }
+    // The pinned Arc still answers from the epoch-0 model.
+    assert_eq!(pinned.epoch, 0);
+    assert_eq!(pinned.handle.num_cores(), 3);
+    assert_eq!(registry.load().handle.num_cores(), 5);
+}

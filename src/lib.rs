@@ -26,6 +26,7 @@
 //! | [`composition`] | `xpdl-composition` | multi-variant components (SpMV case study) |
 //! | [`pdl`] | `pdl-compat` | the PEPPHER PDL baseline + converter |
 //! | [`models`] | `xpdl-models` | the paper's listings + complete model library |
+//! | [`serve`] | `xpdl-serve` | model-serving daemon: JSON-lines protocol, hot snapshot swap, backpressure |
 //! | [`api`] | (generated) | typed element wrappers generated from the schema |
 //!
 //! ## Quickstart
@@ -64,6 +65,7 @@ pub use xpdl_power as power;
 pub use xpdl_repo as repo;
 pub use xpdl_runtime as runtime;
 pub use xpdl_schema as schema;
+pub use xpdl_serve as serve;
 pub use xpdl_xml as xml;
 
 /// The generated typed query API (from `xpdl_codegen::generate_rust_api`

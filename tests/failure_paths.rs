@@ -136,7 +136,23 @@ fn corrupted_runtime_file_rejected_cleanly() {
         Err(e) => e,
         Ok(_) => panic!("truncated file must not load"),
     };
-    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    // The decode fault survives (no flattening into an io::Error), and
+    // converts to a coded serving diagnostic.
+    match &err {
+        xpdl::runtime::LoadError::Format(f) => {
+            assert_eq!(*f, xpdl::runtime::FormatError::Truncated)
+        }
+        other => panic!("expected a decode fault, got {other:?}"),
+    }
+    let diag = err.to_diagnostic(path.to_str().unwrap());
+    assert_eq!(diag.code, "S401");
+    assert!(diag.is_error());
+    assert!(diag.notes.iter().any(|n| n.contains("truncated")), "{diag:?}");
+    // A genuinely unreadable file is the other arm, with its own code.
+    let gone = dir.join("nonexistent.xpdlrt");
+    let err = xpdl::runtime::XpdlHandle::init(&gone).unwrap_err();
+    assert!(matches!(err, xpdl::runtime::LoadError::Io(_)), "{err:?}");
+    assert_eq!(err.to_diagnostic("nonexistent.xpdlrt").code, "S400");
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
