@@ -189,6 +189,23 @@ fn main() {
         }
     };
 
+    // And the unified metrics registry over the wire: the serving layer
+    // registers all its counters there, so a loaded server must report a
+    // non-zero serve.requests total.
+    let metrics_requests = {
+        let mut conn = TcpStream::connect(&addr).expect("metrics connect");
+        conn.write_all(b"{\"v\":1,\"id\":2,\"method\":\"metrics\"}\n").expect("metrics send");
+        let mut line = String::new();
+        BufReader::new(conn).read_line(&mut line).expect("metrics recv");
+        match parse_response(line.trim()) {
+            Ok(resp) => match resp.result {
+                Ok(xpdl_serve::Reply::Metrics(m)) => m.counters.get("serve.requests").copied(),
+                _ => None,
+            },
+            Err(_) => None,
+        }
+    };
+
     if let Some(stop) = rewriter_stop {
         stop.store(true, Ordering::Release);
     }
@@ -224,6 +241,7 @@ fn main() {
     );
     println!("client latency us: p50={p50} p90={p90} p99={p99} max={max}");
     println!("server: {reloads} hot reloads, final epoch {epoch}");
+    println!("metrics rpc: serve.requests={}", metrics_requests.unwrap_or(0));
 
     let mut json = String::from("{");
     json.push_str(&format!(
@@ -235,12 +253,22 @@ fn main() {
         json.push_str(",\"server\":");
         json.push_str(&s.to_json());
     }
+    if let Some(n) = metrics_requests {
+        json.push_str(&format!(",\"metrics_serve_requests\":{n}"));
+    }
     json.push('}');
     std::fs::write(&out_path, &json).expect("write results");
     println!("wrote {out_path}");
 
     if expect_clean && (errors > 0 || shed > 0) {
         eprintln!("FAIL: expected a clean run, saw {errors} errors and {shed} shed");
+        std::process::exit(1);
+    }
+    // In-process servers always speak protocol v1 with the metrics
+    // method; an external --addr target may predate it, so only gate
+    // the registry check when we own the server.
+    if expect_clean && external.is_none() && metrics_requests.unwrap_or(0) == 0 {
+        eprintln!("FAIL: metrics rpc reported zero serve.requests after a loaded run");
         std::process::exit(1);
     }
 }

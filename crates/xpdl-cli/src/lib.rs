@@ -50,7 +50,7 @@ mod serve;
 /// | 4 | internal fault — the toolchain itself panicked (always a bug) |
 pub type ExitCode = i32;
 
-/// Run the CLI with the given arguments (excluding argv[0]); output goes
+/// Run the CLI with the given arguments (excluding argv\[0\]); output goes
 /// to the writers so tests can capture it.
 ///
 /// A panic anywhere in the pipeline is caught here and converted to exit
@@ -59,8 +59,27 @@ pub type ExitCode = i32;
 /// guarantee: even if a bug slips past the proptests, `xpdlc` still
 /// exits with a diagnosable status instead of aborting.
 pub fn run(args: &[String], out: &mut dyn std::io::Write) -> ExitCode {
+    let (args, trace_cfg) = match extract_trace_config(args) {
+        Ok(v) => v,
+        Err(e) => {
+            let _ = writeln!(out, "error: {e}");
+            return 2;
+        }
+    };
+    // Arm the collector before any pipeline work so the root span and
+    // everything under it is captured. The root id lets the exporter cut
+    // this invocation's subtree out of the process-global ring (which
+    // other threads — or other tests — may also be writing to).
+    let root_id = trace_cfg.as_ref().map(|_| {
+        xpdl_obs::trace::set_enabled(true);
+        let mut sp = xpdl_obs::trace::span(root_span_name(args.first().map(String::as_str)));
+        if let Some(cmd) = args.first() {
+            sp.record_attr("cmd", cmd.as_str());
+        }
+        sp
+    });
     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        match dispatch(args, out) {
+        match dispatch(&args, out) {
             Ok(code) => code,
             Err(e) => {
                 let _ = writeln!(out, "error: {e}");
@@ -68,7 +87,7 @@ pub fn run(args: &[String], out: &mut dyn std::io::Write) -> ExitCode {
             }
         }
     }));
-    match result {
+    let code = match result {
         Ok(code) => code,
         Err(payload) => {
             let msg = payload
@@ -79,7 +98,160 @@ pub fn run(args: &[String], out: &mut dyn std::io::Write) -> ExitCode {
             let _ = writeln!(out, "internal fault (this is a bug in xpdlc): {msg}");
             4
         }
+    };
+    if let (Some(cfg), Some(root)) = (trace_cfg, root_id) {
+        let root_id = root.id();
+        drop(root); // end the root span so it lands in the collector
+        if let Err(e) = emit_trace(&cfg, root_id, out) {
+            let _ = writeln!(out, "error: {e}");
+            return 2;
+        }
     }
+    code
+}
+
+/// How a `--trace`d invocation should render its span tree.
+struct TraceConfig {
+    format: TraceFormat,
+    out: Option<PathBuf>,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum TraceFormat {
+    Summary,
+    Json,
+    Chrome,
+}
+
+impl TraceFormat {
+    fn parse(s: &str) -> Result<TraceFormat, String> {
+        match s {
+            "summary" => Ok(TraceFormat::Summary),
+            "json" => Ok(TraceFormat::Json),
+            "chrome" => Ok(TraceFormat::Chrome),
+            other => Err(format!("unknown trace format '{other}' (summary|json|chrome)")),
+        }
+    }
+}
+
+/// Strip the global tracing flags (`--trace[=FMT]`, `--trace-format FMT`,
+/// `--trace-out FILE`) and the `trace <cmd>` wrapper subcommand out of the
+/// argument list, returning the cleaned args plus the requested trace
+/// configuration (if any). These are global because they can appear
+/// before the subcommand (`xpdlc --trace-format=json compose x`).
+fn extract_trace_config(args: &[String]) -> Result<(Vec<String>, Option<TraceConfig>), String> {
+    let mut rest = Vec::with_capacity(args.len());
+    let mut enabled = false;
+    let mut format: Option<TraceFormat> = None;
+    let mut out_file: Option<PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if a == "--trace" {
+            enabled = true;
+        } else if let Some(v) = a.strip_prefix("--trace=") {
+            enabled = true;
+            format = Some(TraceFormat::parse(v)?);
+        } else if a == "--trace-format" || a == "--trace-out" {
+            let v = args
+                .get(i + 1)
+                .ok_or_else(|| format!("{a} requires a value"))?;
+            enabled = true;
+            if a == "--trace-format" {
+                format = Some(TraceFormat::parse(v)?);
+            } else {
+                out_file = Some(PathBuf::from(v));
+            }
+            i += 1;
+        } else if let Some(v) = a.strip_prefix("--trace-format=") {
+            enabled = true;
+            format = Some(TraceFormat::parse(v)?);
+        } else if let Some(v) = a.strip_prefix("--trace-out=") {
+            enabled = true;
+            out_file = Some(PathBuf::from(v));
+        } else {
+            rest.push(a.clone());
+        }
+        i += 1;
+    }
+    // `xpdlc trace compose x` — the wrapper form, equivalent to --trace.
+    if rest.first().map(String::as_str) == Some("trace") {
+        rest.remove(0);
+        if rest.is_empty() {
+            return Err("usage: xpdlc trace <subcommand> [args]".to_string());
+        }
+        enabled = true;
+    }
+    if !enabled {
+        return Ok((rest, None));
+    }
+    let cfg =
+        TraceConfig { format: format.unwrap_or(TraceFormat::Summary), out: out_file };
+    Ok((rest, Some(cfg)))
+}
+
+/// The root span of a traced invocation. Span names are static strings,
+/// so known subcommands get their own name; anything else is `cli.run`
+/// (the `cmd` attribute still carries the exact subcommand).
+fn root_span_name(cmd: Option<&str>) -> &'static str {
+    match cmd {
+        Some("compose") => "cli.compose",
+        Some("validate") => "cli.validate",
+        Some("build") => "cli.build",
+        Some("dump") => "cli.dump",
+        Some("query") => "cli.query",
+        Some("route") => "cli.route",
+        Some("uml") => "cli.uml",
+        Some("bootstrap") => "cli.bootstrap",
+        _ => "cli.run",
+    }
+}
+
+/// Keep only the records in the subtree rooted at `root`: the ones whose
+/// parent chain reaches it. Records from other threads' concurrent
+/// invocations (parallel tests share one global ring) are dropped.
+fn filter_to_subtree(records: Vec<xpdl_obs::Record>, root: u64) -> Vec<xpdl_obs::Record> {
+    let parents: std::collections::HashMap<u64, u64> =
+        records.iter().map(|r| (r.id, r.parent)).collect();
+    records
+        .into_iter()
+        .filter(|r| {
+            let mut cur = r.id;
+            let mut hops = 0;
+            loop {
+                if cur == root {
+                    return true;
+                }
+                match parents.get(&cur) {
+                    Some(&p) if p != 0 && p != cur && hops < 256 => {
+                        cur = p;
+                        hops += 1;
+                    }
+                    _ => return false,
+                }
+            }
+        })
+        .collect()
+}
+
+/// Drain the global collector and render this invocation's subtree in
+/// the requested format, to the output writer or `--trace-out` file.
+fn emit_trace(
+    cfg: &TraceConfig,
+    root_id: u64,
+    out: &mut dyn std::io::Write,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let records = filter_to_subtree(xpdl_obs::trace::global_collector().drain(), root_id);
+    let rendered = match cfg.format {
+        TraceFormat::Summary => xpdl_obs::export::render_summary(&records),
+        TraceFormat::Json => xpdl_obs::export::render_json(&records),
+        TraceFormat::Chrome => xpdl_obs::export::render_chrome(&records),
+    };
+    match &cfg.out {
+        Some(path) => std::fs::write(path, rendered.as_bytes())?,
+        None => writeln!(out, "{rendered}")?,
+    }
+    Ok(())
 }
 
 fn dispatch(args: &[String], out: &mut dyn std::io::Write) -> Result<ExitCode, Box<dyn std::error::Error>> {
@@ -444,6 +616,9 @@ fn cache_setup(args: &[String]) -> Result<Option<CacheSetup>, String> {
         if max_stale.is_some() {
             return Err("--max-stale requires --cache-dir".to_string());
         }
+        if ttl.is_some() {
+            return Err("--cache-ttl requires --cache-dir".to_string());
+        }
         return Ok(None);
     };
     if offline && max_stale.is_some() {
@@ -543,6 +718,13 @@ fn compose(
         opts.allow_missing = true;
     }
     let set = repo.resolve_with(key, &opts)?;
+    // Under --trace the profile should cover the full pipeline including
+    // the schema stage, so run validation on the root descriptor (compose
+    // normally trusts resolution; the extra pass costs nothing relative
+    // to a traced run and gives the span tree its schema.validate node).
+    if xpdl_obs::trace::is_enabled() {
+        let _ = validate_document(set.root(), &Schema::core());
+    }
     let model = xpdl_elab::elaborate_with(
         &set,
         &xpdl_elab::ElabOptions { keep_going, ..Default::default() },
@@ -676,6 +858,12 @@ fn write_usage(out: &mut dyn std::io::Write) -> std::io::Result<()> {
          \x20 cache stats|verify|gc|clear    manage a persistent cache directory\n\
          \x20   --cache-dir DIR              the cache directory (required)\n\
          \x20   --max-age SECS               gc: also drop entries older than SECS\n\
+         \x20 trace <subcommand> [args]      run any subcommand with tracing on (summary profile)\n\
+         \n\
+         TRACING FLAGS (any subcommand; may appear before it):\n\
+         \x20 --trace[=FMT]      collect spans and render them after the command\n\
+         \x20 --trace-format FMT summary|json|chrome (chrome output loads in Perfetto)\n\
+         \x20 --trace-out FILE   write the rendered trace to FILE instead of stdout\n\
          \n\
          RESOLUTION FLAGS (compose/dump/build/route/uml/keys):\n\
          \x20 --models DIR       prepend a local .xpdl directory to the search path\n\
@@ -739,6 +927,44 @@ mod tests {
         let (code, out) = run_cli(&["compose", "ghost_server"]);
         assert_eq!(code, 1);
         assert!(out.contains("not found"));
+    }
+
+    #[test]
+    fn trace_without_subcommand_is_usage_error() {
+        let (code, out) = run_cli(&["trace"]);
+        assert_eq!(code, 2, "{out}");
+        assert!(out.contains("usage: xpdlc trace <subcommand>"), "{out}");
+    }
+
+    #[test]
+    fn bad_trace_format_is_usage_error() {
+        let (code, out) = run_cli(&["--trace-format=yaml", "compose", "liu_gpu_server"]);
+        assert_eq!(code, 2, "{out}");
+        assert!(out.contains("unknown trace format 'yaml'"), "{out}");
+        // The value-less form is also a usage error, not a silent default.
+        let (code, out) = run_cli(&["compose", "liu_gpu_server", "--trace-format"]);
+        assert_eq!(code, 2, "{out}");
+        assert!(out.contains("--trace-format requires a value"), "{out}");
+    }
+
+    #[test]
+    fn traced_compose_appends_span_summary() {
+        let (code, out) = run_cli(&["trace", "compose", "liu_gpu_server"]);
+        assert_eq!(code, 0, "{out}");
+        // The normal command output is intact...
+        assert!(out.contains("2500 cores"), "{out}");
+        // ...followed by the summary table for this invocation's subtree.
+        assert!(out.contains("cli.compose"), "{out}");
+        assert!(out.contains("repo.resolve"), "{out}");
+        assert!(out.contains("elab.elaborate"), "{out}");
+        assert!(out.contains("schema.validate"), "{out}");
+    }
+
+    #[test]
+    fn cache_ttl_without_cache_dir_is_an_error() {
+        let (code, out) = run_cli(&["compose", "liu_gpu_server", "--cache-ttl", "60"]);
+        assert_eq!(code, 1, "{out}");
+        assert!(out.contains("--cache-ttl requires --cache-dir"), "{out}");
     }
 
     #[test]

@@ -8,6 +8,7 @@ use crate::synth::RuleSet;
 use std::collections::BTreeSet;
 use xpdl_core::units::Quantity;
 use xpdl_core::{ElementKind, XpdlElement};
+use xpdl_obs::trace;
 use xpdl_repo::repository::references_of;
 use xpdl_repo::ResolvedSet;
 use xpdl_schema::Diagnostic;
@@ -104,13 +105,19 @@ pub fn elaborate(set: &ResolvedSet) -> ElabResult<Elaborated> {
 
 /// Elaborate with options.
 pub fn elaborate_with(set: &ResolvedSet, opts: &ElabOptions) -> ElabResult<Elaborated> {
-    let mut table = MetaTable::new(set);
-    // Types referenced anywhere in the closure: inline definitions of these
-    // names are consumed rather than kept as physical components.
-    let referenced: BTreeSet<String> = set
-        .documents()
-        .flat_map(|(_, d)| references_of(d.root()))
-        .collect();
+    let mut sp = trace::span("elab.elaborate");
+    sp.record_attr("docs", set.documents().count());
+    let (mut table, referenced) = {
+        let _isp = trace::span("elab.inherit");
+        let table = MetaTable::new(set);
+        // Types referenced anywhere in the closure: inline definitions of
+        // these names are consumed rather than kept as physical components.
+        let referenced: BTreeSet<String> = set
+            .documents()
+            .flat_map(|(_, d)| references_of(d.root()))
+            .collect();
+        (table, referenced)
+    };
     let mut expander = Expander::new(
         &mut table,
         ExpandOptions {
@@ -120,7 +127,10 @@ pub fn elaborate_with(set: &ResolvedSet, opts: &ElabOptions) -> ElabResult<Elabo
             keep_going: opts.keep_going,
         },
     );
-    let mut root = expander.expand_root(set.root().root(), &referenced)?;
+    let mut root = {
+        let _xsp = trace::span("elab.expand");
+        expander.expand_root(set.root().root(), &referenced)?
+    };
     let mut diagnostics = expander.diags.clone();
     let poisoned = expander.poisoned.clone();
     for key in &set.missing {
@@ -133,14 +143,17 @@ pub fn elaborate_with(set: &ResolvedSet, opts: &ElabOptions) -> ElabResult<Elabo
         );
     }
     let links = if opts.analyze_bandwidth {
+        let _asp = trace::span("elab.analyze");
         bandwidth_downgrade(&mut root, &mut diagnostics)
     } else {
         Vec::new()
     };
     if opts.synthesize {
+        let _ssp = trace::span("elab.synthesize");
         RuleSet::builtin().annotate(&mut root);
     }
     let default_domain_power = default_domain_static_power(&root);
+    sp.record_attr("diagnostics", diagnostics.len());
     Ok(Elaborated { root, diagnostics, links, default_domain_power, poisoned })
 }
 

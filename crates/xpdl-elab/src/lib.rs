@@ -26,7 +26,7 @@
 //!   downgrade along interconnect routes.
 //! * [`filter`] — the tailorable "filters out uninteresting values" stage
 //!   applied before the runtime structure is written.
-//! * [`elaborate`] — the pipeline tying it all together.
+//! * [`mod@elaborate`] — the pipeline tying it all together.
 //!
 //! # Example
 //!

@@ -10,7 +10,7 @@ pub enum SuiteError {
     NotASuite(String),
     /// A benchmark entry is missing a required attribute.
     MissingAttr {
-        /// The benchmark id (or "<anonymous>").
+        /// The benchmark id (or `<anonymous>`).
         bench: String,
         /// The missing attribute.
         attr: &'static str,

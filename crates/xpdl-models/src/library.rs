@@ -1,7 +1,7 @@
 //! The complete model library: strictly-parseable, schema-valid,
 //! mutually resolvable descriptors in the style of the paper's EXCESS
 //! systems (full versions of what the listings abbreviate; cf. the
-//! technical report [4] the paper defers complete models to).
+//! technical report \[4\] the paper defers complete models to).
 
 /// Intel Xeon E5-2630L: Listing 1 completed with power/bandwidth data.
 pub const XEON_E5_2630L: &str = r#"<cpu name="Intel_Xeon_E5_2630L"

@@ -206,7 +206,7 @@ pub const LISTING_12_POWER_DOMAINS: &str = r#"<power_domains name="Myriad1_power
 
 /// Listing 13: the power state machine example (the `...` rows completed
 /// with consistent values so the FSM is well-formed, as the paper's full
-/// models in [4] do).
+/// models in \[4\] do).
 pub const LISTING_13_PSM: &str = r#"<power_state_machine name="power_state_machine1"
     power_domain="xyCPU_core_pd">
   <power_states>

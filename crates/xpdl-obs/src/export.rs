@@ -1,0 +1,276 @@
+//! Exporters for collected trace records.
+//!
+//! Three renderings of the same [`Record`] slice:
+//!
+//! * [`render_summary`] — a human table aggregating spans by name
+//!   (count, total, mean, max), for `xpdlc --trace=summary`;
+//! * [`render_json`] — a nested span tree with microsecond timings and
+//!   attributes, for `xpdlc --trace-format=json`;
+//! * [`render_chrome`] — Chrome `trace_event` JSON, loadable in
+//!   `chrome://tracing` or <https://ui.perfetto.dev>, for
+//!   `xpdlc --trace-format=chrome`.
+//!
+//! ```
+//! use xpdl_obs::{export, trace::Record};
+//! let records = vec![Record::span_for_test("demo", 0, 5_000)];
+//! assert!(export::render_chrome(&records).contains("\"traceEvents\""));
+//! assert!(export::render_json(&records).contains("\"name\":\"demo\""));
+//! ```
+
+use crate::trace::{Kind, Record};
+use std::collections::BTreeMap;
+
+/// One node of the reconstructed span tree.
+#[derive(Debug)]
+pub struct SpanNode<'a> {
+    /// The span or event at this node.
+    pub record: &'a Record,
+    /// Child spans/events, ordered by start time.
+    pub children: Vec<SpanNode<'a>>,
+}
+
+/// Reconstruct the span forest from drained records (any order).
+///
+/// A record whose parent is 0 — or whose parent was overwritten by ring
+/// wraparound — becomes a root. Children are ordered by start time.
+pub fn build_tree(records: &[Record]) -> Vec<SpanNode<'_>> {
+    let ids: std::collections::BTreeSet<u64> = records.iter().map(|r| r.id).collect();
+    let mut children_of: BTreeMap<u64, Vec<&Record>> = BTreeMap::new();
+    let mut roots: Vec<&Record> = Vec::new();
+    for r in records {
+        if r.parent != 0 && ids.contains(&r.parent) {
+            children_of.entry(r.parent).or_default().push(r);
+        } else {
+            roots.push(r);
+        }
+    }
+    fn build<'a>(r: &'a Record, children_of: &BTreeMap<u64, Vec<&'a Record>>) -> SpanNode<'a> {
+        let mut children: Vec<SpanNode<'a>> = children_of
+            .get(&r.id)
+            .map(|c| c.iter().map(|r| build(r, children_of)).collect())
+            .unwrap_or_default();
+        children.sort_by_key(|n| (n.record.start_ns, n.record.id));
+        SpanNode { record: r, children }
+    }
+    let mut out: Vec<SpanNode<'_>> = roots.iter().map(|r| build(r, &children_of)).collect();
+    out.sort_by_key(|n| (n.record.start_ns, n.record.id));
+    out
+}
+
+/// Find the subtree rooted at span `root_id`, if its record survived.
+pub fn subtree<'a>(forest: Vec<SpanNode<'a>>, root_id: u64) -> Option<SpanNode<'a>> {
+    let mut stack = forest;
+    while let Some(node) = stack.pop() {
+        if node.record.id == root_id {
+            return Some(node);
+        }
+        stack.extend(node.children);
+    }
+    None
+}
+
+fn attrs_json(r: &Record) -> String {
+    let mut s = String::from("{");
+    for (i, (k, v)) in r.attrs.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!("\"{}\":{}", crate::esc(k), v.to_json()));
+    }
+    s.push('}');
+    s
+}
+
+fn node_json(node: &SpanNode<'_>, out: &mut String) {
+    let r = node.record;
+    out.push_str(&format!(
+        "{{\"name\":\"{}\",\"kind\":\"{}\",\"id\":{},\"start_us\":{},\"dur_us\":{},\"tid\":{},\"attrs\":{},\"children\":[",
+        crate::esc(r.name),
+        match r.kind {
+            Kind::Span => "span",
+            Kind::Event => "event",
+        },
+        r.id,
+        r.start_ns / 1_000,
+        r.dur_ns / 1_000,
+        r.tid,
+        attrs_json(r),
+    ));
+    for (i, c) in node.children.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        node_json(c, out);
+    }
+    out.push_str("]}");
+}
+
+/// Render a span forest as nested JSON: `{"spans":[...]}` where each node
+/// carries `name`, `kind`, `id`, `start_us`, `dur_us`, `tid`, `attrs`,
+/// and `children` (recursively).
+pub fn render_json_tree(forest: &[SpanNode<'_>]) -> String {
+    let mut s = String::from("{\"spans\":[");
+    for (i, n) in forest.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        node_json(n, &mut s);
+    }
+    s.push_str("]}");
+    s
+}
+
+/// Convenience: [`build_tree`] then [`render_json_tree`].
+pub fn render_json(records: &[Record]) -> String {
+    render_json_tree(&build_tree(records))
+}
+
+/// Render records in Chrome `trace_event` format (`ph:"X"` complete
+/// events for spans, `ph:"i"` instants for events; microsecond units).
+/// The output loads directly in `chrome://tracing` and Perfetto.
+pub fn render_chrome(records: &[Record]) -> String {
+    let mut s = String::from("{\"traceEvents\":[");
+    for (i, r) in records.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        match r.kind {
+            Kind::Span => s.push_str(&format!(
+                "{{\"name\":\"{}\",\"cat\":\"xpdl\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{},\"args\":{}}}",
+                crate::esc(r.name),
+                r.start_ns / 1_000,
+                r.dur_ns / 1_000,
+                r.tid,
+                attrs_json(r),
+            )),
+            Kind::Event => s.push_str(&format!(
+                "{{\"name\":\"{}\",\"cat\":\"xpdl\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{},\"pid\":1,\"tid\":{},\"args\":{}}}",
+                crate::esc(r.name),
+                r.start_ns / 1_000,
+                r.tid,
+                attrs_json(r),
+            )),
+        }
+    }
+    s.push_str("],\"displayTimeUnit\":\"ms\"}");
+    s
+}
+
+/// Render a human summary table: spans aggregated by name with call
+/// count, total/mean/max wall time, sorted by total descending.
+pub fn render_summary(records: &[Record]) -> String {
+    struct Agg {
+        count: u64,
+        total_ns: u64,
+        max_ns: u64,
+    }
+    let mut by_name: BTreeMap<&'static str, Agg> = BTreeMap::new();
+    let mut events = 0u64;
+    for r in records {
+        if r.kind == Kind::Event {
+            events += 1;
+            continue;
+        }
+        let a = by_name.entry(r.name).or_insert(Agg { count: 0, total_ns: 0, max_ns: 0 });
+        a.count += 1;
+        a.total_ns += r.dur_ns;
+        a.max_ns = a.max_ns.max(r.dur_ns);
+    }
+    let mut rows: Vec<(&'static str, Agg)> = by_name.into_iter().collect();
+    rows.sort_by(|a, b| b.1.total_ns.cmp(&a.1.total_ns).then(a.0.cmp(b.0)));
+    let name_w = rows.iter().map(|(n, _)| n.len()).max().unwrap_or(4).max("span".len());
+    let mut s = format!("{:<name_w$}  {:>7}  {:>12}  {:>12}  {:>12}\n", "span", "count", "total_us", "mean_us", "max_us");
+    for (name, a) in &rows {
+        s.push_str(&format!(
+            "{:<name_w$}  {:>7}  {:>12}  {:>12}  {:>12}\n",
+            name,
+            a.count,
+            a.total_ns / 1_000,
+            a.total_ns / a.count.max(1) / 1_000,
+            a.max_ns / 1_000,
+        ));
+    }
+    if events > 0 {
+        s.push_str(&format!("({events} events not shown; use --trace-format=json)\n"));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::Value;
+
+    fn rec(id: u64, parent: u64, name: &'static str, start: u64, dur: u64, kind: Kind) -> Record {
+        Record { id, parent, name, kind, start_ns: start, dur_ns: dur, tid: 1, attrs: Vec::new() }
+    }
+
+    #[test]
+    fn tree_reconstructs_nesting_and_orphans_become_roots() {
+        let records = vec![
+            rec(1, 0, "root", 0, 100_000, Kind::Span),
+            rec(2, 1, "child_b", 50_000, 10_000, Kind::Span),
+            rec(3, 1, "child_a", 10_000, 20_000, Kind::Span),
+            rec(4, 3, "leaf", 11_000, 1_000, Kind::Span),
+            rec(5, 99, "orphan", 5_000, 1_000, Kind::Span), // parent lost to wraparound
+        ];
+        let forest = build_tree(&records);
+        assert_eq!(forest.len(), 2);
+        assert_eq!(forest[0].record.name, "root");
+        assert_eq!(forest[1].record.name, "orphan");
+        let root = &forest[0];
+        // Children ordered by start time, not id.
+        assert_eq!(root.children[0].record.name, "child_a");
+        assert_eq!(root.children[1].record.name, "child_b");
+        assert_eq!(root.children[0].children[0].record.name, "leaf");
+        let found = subtree(build_tree(&records), 3).unwrap();
+        assert_eq!(found.record.name, "child_a");
+        assert!(subtree(build_tree(&records), 1234).is_none());
+    }
+
+    #[test]
+    fn json_tree_nests_and_escapes() {
+        let mut r = rec(1, 0, "root", 2_000, 100_000, Kind::Span);
+        r.attrs.push(("key", Value::Str("a\"b".into())));
+        let records = vec![r, rec(2, 1, "child", 3_000, 4_000, Kind::Span)];
+        let json = render_json(&records);
+        assert!(json.starts_with("{\"spans\":["), "{json}");
+        assert!(json.contains("\"name\":\"root\""), "{json}");
+        assert!(json.contains("\"start_us\":2"), "{json}");
+        assert!(json.contains("\"attrs\":{\"key\":\"a\\\"b\"}"), "{json}");
+        // child is nested inside root's children array, not a sibling.
+        let child_pos = json.find("\"name\":\"child\"").unwrap();
+        let children_pos = json.find("\"children\":[").unwrap();
+        assert!(children_pos < child_pos, "{json}");
+    }
+
+    #[test]
+    fn chrome_trace_has_complete_and_instant_events() {
+        let records = vec![
+            rec(1, 0, "root", 0, 9_000, Kind::Span),
+            rec(2, 1, "mark", 500, 0, Kind::Event),
+        ];
+        let json = render_chrome(&records);
+        assert!(json.starts_with("{\"traceEvents\":["), "{json}");
+        assert!(json.contains("\"ph\":\"X\""), "{json}");
+        assert!(json.contains("\"dur\":9"), "{json}");
+        assert!(json.contains("\"ph\":\"i\""), "{json}");
+        assert!(json.ends_with("\"displayTimeUnit\":\"ms\"}"), "{json}");
+    }
+
+    #[test]
+    fn summary_aggregates_by_name_sorted_by_total() {
+        let records = vec![
+            rec(1, 0, "fast", 0, 1_000, Kind::Span),
+            rec(2, 0, "slow", 0, 90_000, Kind::Span),
+            rec(3, 0, "fast", 0, 3_000, Kind::Span),
+            rec(4, 0, "mark", 0, 0, Kind::Event),
+        ];
+        let s = render_summary(&records);
+        let slow_pos = s.find("slow").unwrap();
+        let fast_pos = s.find("fast").unwrap();
+        assert!(slow_pos < fast_pos, "{s}");
+        assert!(s.contains("2"), "fast count {s}");
+        assert!(s.contains("1 events not shown"), "{s}");
+    }
+}

@@ -1,0 +1,62 @@
+#![deny(missing_docs)]
+//! Unified observability for the XPDL toolchain: structured tracing spans
+//! and a single metrics registry, with zero external dependencies.
+//!
+//! The crate has three layers:
+//!
+//! * [`trace`] — a [`Span`](trace::SpanGuard)/[`Event`](trace::event) API
+//!   with monotonic timestamps and parent/child nesting, feeding a
+//!   lock-free bounded ring-buffer [`Collector`].
+//!   Tracing is **off by default**; every instrumentation site costs one
+//!   relaxed atomic load when disabled.
+//! * [`metrics`] — [`Counter`], [`Gauge`]
+//!   and log2-bucketed [`Histogram`] instruments that
+//!   register into a process-wide [`MetricsRegistry`],
+//!   so `xpdlc` and the serve daemon report through one surface instead of
+//!   per-subsystem counter silos.
+//! * [`export`] — renderers for the collected spans: a human summary
+//!   table, a nested JSON span tree, and Chrome `trace_event` JSON
+//!   loadable in `chrome://tracing` / Perfetto.
+//!
+//! # Quick start
+//!
+//! ```
+//! use xpdl_obs::trace;
+//!
+//! trace::set_enabled(true);
+//! {
+//!     let mut root = trace::span("work");
+//!     root.record_attr("items", 3u64);
+//!     let _child = trace::span("work.step");
+//!     // spans are recorded when their guards drop
+//! }
+//! trace::set_enabled(false);
+//! let records = trace::global_collector().drain();
+//! let tree = xpdl_obs::export::build_tree(&records);
+//! assert_eq!(tree[0].record.name, "work");
+//! assert_eq!(tree[0].children[0].record.name, "work.step");
+//! ```
+
+pub mod export;
+pub mod metrics;
+pub mod trace;
+
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
+pub use trace::{span, span_with_parent, Collector, Record, SpanGuard, Value};
+
+/// Minimal JSON string escaping shared by the exporters (not public API).
+pub(crate) fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}

@@ -1,0 +1,631 @@
+//! Structured tracing: spans, events, and the lock-free ring collector.
+//!
+//! A *span* measures a region of work (created by [`span`], recorded when
+//! its [`SpanGuard`] drops); an *event* marks an instant (see [`event`]).
+//! Both carry a name, a monotonic timestamp, a thread id, and typed
+//! attributes. Spans nest: the guard pushes its id into a thread-local
+//! "current span" cell, so spans opened while it is alive become its
+//! children automatically. Work handed to another thread keeps its
+//! lineage by capturing [`current_span_id`] before the spawn and opening
+//! the far side with [`span_with_parent`].
+//!
+//! Finished records land in a bounded, lock-free [`Collector`] ring:
+//! writers claim slots with a wrapping atomic cursor, so the ring keeps
+//! the most recent `capacity` records and never blocks the traced code.
+//!
+//! Tracing is disabled by default. When disabled, [`span`] costs a single
+//! relaxed atomic load and returns an inert guard — no id allocation, no
+//! clock read, no ring traffic. That is the basis of the <2% disabled-mode
+//! overhead contract benchmarked by `obs_overhead` (see DESIGN.md §14).
+//!
+//! ```
+//! use xpdl_obs::trace;
+//! let collector = trace::Collector::new(64);
+//! collector.record(trace::Record::span_for_test("demo", 0, 10));
+//! assert_eq!(collector.drain().len(), 1);
+//! ```
+
+use std::cell::Cell;
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// A typed attribute value attached to a span or event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point.
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// Text.
+    Str(String),
+}
+
+impl Value {
+    /// Render as a JSON scalar.
+    pub fn to_json(&self) -> String {
+        match self {
+            Value::U64(v) => v.to_string(),
+            Value::I64(v) => v.to_string(),
+            Value::F64(v) if v.is_finite() => v.to_string(),
+            Value::F64(_) => "null".to_string(),
+            Value::Bool(b) => b.to_string(),
+            Value::Str(s) => format!("\"{}\"", crate::esc(s)),
+        }
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Value {
+        Value::U64(v)
+    }
+}
+impl From<u32> for Value {
+    fn from(v: u32) -> Value {
+        Value::U64(v as u64)
+    }
+}
+impl From<usize> for Value {
+    fn from(v: usize) -> Value {
+        Value::U64(v as u64)
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Value {
+        Value::I64(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::F64(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::Str(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::Str(v)
+    }
+}
+
+/// Whether a [`Record`] measures a duration or marks an instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// A region of work with a duration.
+    Span,
+    /// An instantaneous marker inside the enclosing span.
+    Event,
+}
+
+/// One finished span or event, as stored in the [`Collector`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Record {
+    /// Span/event id (process-unique, never 0).
+    pub id: u64,
+    /// Parent span id, or 0 for a root.
+    pub parent: u64,
+    /// Static site name (e.g. `"repo.load"`).
+    pub name: &'static str,
+    /// Span kind.
+    pub kind: Kind,
+    /// Start time, nanoseconds since the process trace epoch.
+    pub start_ns: u64,
+    /// Duration in nanoseconds (0 for events).
+    pub dur_ns: u64,
+    /// Small per-thread integer id (first traced thread = 1).
+    pub tid: u64,
+    /// Typed attributes attached at the site.
+    pub attrs: Vec<(&'static str, Value)>,
+}
+
+impl Record {
+    /// Build a synthetic span record — for tests and doc examples only.
+    pub fn span_for_test(name: &'static str, parent: u64, dur_ns: u64) -> Record {
+        Record {
+            id: next_id(),
+            parent,
+            name,
+            kind: Kind::Span,
+            start_ns: now_ns(),
+            dur_ns,
+            tid: thread_id(),
+            attrs: Vec::new(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Global switches and clocks
+// ---------------------------------------------------------------------------
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+static TID_SEQ: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static CURRENT: Cell<u64> = const { Cell::new(0) };
+    static TID: Cell<u64> = const { Cell::new(0) };
+}
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Nanoseconds since the process trace epoch (monotonic).
+pub fn now_ns() -> u64 {
+    epoch().elapsed().as_nanos() as u64
+}
+
+/// Turn tracing on or off process-wide. Spans created while disabled are
+/// inert; spans already open keep recording when they drop.
+pub fn set_enabled(on: bool) {
+    // Force the epoch before the first span so timestamps are anchored.
+    let _ = epoch();
+    ENABLED.store(on, Ordering::Release);
+}
+
+/// Whether tracing is currently enabled.
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+fn next_id() -> u64 {
+    NEXT_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// The small integer id of the calling thread (assigned on first use).
+pub fn thread_id() -> u64 {
+    TID.with(|t| {
+        let v = t.get();
+        if v != 0 {
+            return v;
+        }
+        let v = TID_SEQ.fetch_add(1, Ordering::Relaxed);
+        t.set(v);
+        v
+    })
+}
+
+/// The id of the innermost open span on this thread (0 if none).
+///
+/// Capture this before handing work to another thread, then open the far
+/// side with [`span_with_parent`] to keep the trace tree connected.
+pub fn current_span_id() -> u64 {
+    CURRENT.with(Cell::get)
+}
+
+/// The process-wide collector that armed spans record into.
+pub fn global_collector() -> &'static Collector {
+    static GLOBAL: OnceLock<Collector> = OnceLock::new();
+    GLOBAL.get_or_init(|| Collector::new(16 * 1024))
+}
+
+// ---------------------------------------------------------------------------
+// Span guards
+// ---------------------------------------------------------------------------
+
+/// RAII guard for an open span: records the span into the global
+/// collector when dropped, restoring the previous "current span".
+///
+/// Created by [`span`] / [`span_with_parent`]. When tracing is disabled
+/// the guard is inert and its drop is free.
+#[derive(Debug)]
+pub struct SpanGuard {
+    armed: bool,
+    id: u64,
+    parent: u64,
+    prev: u64,
+    name: &'static str,
+    start_ns: u64,
+    attrs: Vec<(&'static str, Value)>,
+}
+
+impl SpanGuard {
+    fn disarmed() -> SpanGuard {
+        SpanGuard {
+            armed: false,
+            id: 0,
+            parent: 0,
+            prev: 0,
+            name: "",
+            start_ns: 0,
+            attrs: Vec::new(),
+        }
+    }
+
+    fn armed(name: &'static str, parent: u64) -> SpanGuard {
+        let id = next_id();
+        let prev = CURRENT.with(|c| c.replace(id));
+        SpanGuard {
+            armed: true,
+            id,
+            parent,
+            prev,
+            name,
+            start_ns: now_ns(),
+            attrs: Vec::new(),
+        }
+    }
+
+    /// This span's id (0 when inert).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Attach an attribute (builder style).
+    pub fn attr(mut self, key: &'static str, value: impl Into<Value>) -> SpanGuard {
+        self.record_attr(key, value);
+        self
+    }
+
+    /// Attach an attribute to an already-bound guard.
+    pub fn record_attr(&mut self, key: &'static str, value: impl Into<Value>) {
+        if self.armed {
+            self.attrs.push((key, value.into()));
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        CURRENT.with(|c| c.set(self.prev));
+        let end = now_ns();
+        global_collector().record(Record {
+            id: self.id,
+            parent: self.parent,
+            name: self.name,
+            kind: Kind::Span,
+            start_ns: self.start_ns,
+            dur_ns: end.saturating_sub(self.start_ns),
+            tid: thread_id(),
+            attrs: std::mem::take(&mut self.attrs),
+        });
+    }
+}
+
+/// Open a span nested under the calling thread's current span.
+///
+/// When tracing is disabled this is one relaxed load plus a trivial
+/// struct construction — safe to leave on any hot path.
+pub fn span(name: &'static str) -> SpanGuard {
+    if !is_enabled() {
+        return SpanGuard::disarmed();
+    }
+    let parent = current_span_id();
+    SpanGuard::armed(name, parent)
+}
+
+/// Open a span under an explicit parent id — the cross-thread variant of
+/// [`span`] for work moved onto spawned or pooled threads.
+pub fn span_with_parent(name: &'static str, parent: u64) -> SpanGuard {
+    if !is_enabled() {
+        return SpanGuard::disarmed();
+    }
+    SpanGuard::armed(name, parent)
+}
+
+/// Emit an instantaneous event under the current span. The returned
+/// builder records on drop, so both `event("x");` and
+/// `event("x").attr("n", 3u64);` work.
+pub fn event(name: &'static str) -> EventBuilder {
+    if !is_enabled() {
+        return EventBuilder { armed: false, name, attrs: Vec::new() };
+    }
+    EventBuilder { armed: true, name, attrs: Vec::new() }
+}
+
+/// Pending event returned by [`event`]; records into the collector when
+/// dropped.
+#[derive(Debug)]
+pub struct EventBuilder {
+    armed: bool,
+    name: &'static str,
+    attrs: Vec<(&'static str, Value)>,
+}
+
+impl EventBuilder {
+    /// Attach an attribute to the pending event.
+    pub fn attr(mut self, key: &'static str, value: impl Into<Value>) -> EventBuilder {
+        if self.armed {
+            self.attrs.push((key, value.into()));
+        }
+        self
+    }
+}
+
+impl Drop for EventBuilder {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        global_collector().record(Record {
+            id: next_id(),
+            parent: current_span_id(),
+            name: self.name,
+            kind: Kind::Event,
+            start_ns: now_ns(),
+            dur_ns: 0,
+            tid: thread_id(),
+            attrs: std::mem::take(&mut self.attrs),
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Collector
+// ---------------------------------------------------------------------------
+
+const SLOT_EMPTY: u8 = 0;
+const SLOT_BUSY: u8 = 1;
+const SLOT_READY: u8 = 2;
+
+struct Slot {
+    state: AtomicU8,
+    record: UnsafeCell<Option<Record>>,
+}
+
+// Safety: `record` is only touched by the thread that CAS-claimed the
+// slot's state to SLOT_BUSY; the state machine provides the exclusion.
+unsafe impl Sync for Slot {}
+
+/// Lock-free bounded ring buffer of finished [`Record`]s.
+///
+/// Writers claim slots with a wrapping atomic cursor and a tiny per-slot
+/// state machine (empty → busy → ready); the ring retains the most recent
+/// `capacity` records, overwriting the oldest. A writer that loses a
+/// slot race for too long gives up and bumps [`Collector::dropped`]
+/// rather than stall the traced code.
+pub struct Collector {
+    slots: Box<[Slot]>,
+    cursor: AtomicU64,
+    dropped: AtomicU64,
+}
+
+impl std::fmt::Debug for Collector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Collector")
+            .field("capacity", &self.slots.len())
+            .field("written", &self.cursor.load(Ordering::Relaxed))
+            .field("dropped", &self.dropped.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl Collector {
+    /// A collector retaining the most recent `capacity` records
+    /// (rounded up to a power of two, minimum 8).
+    pub fn new(capacity: usize) -> Collector {
+        let cap = capacity.max(8).next_power_of_two();
+        Collector {
+            slots: (0..cap)
+                .map(|_| Slot { state: AtomicU8::new(SLOT_EMPTY), record: UnsafeCell::new(None) })
+                .collect(),
+            cursor: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Store one record, overwriting the oldest once the ring is full.
+    pub fn record(&self, r: Record) {
+        let mask = self.slots.len() - 1;
+        let idx = self.cursor.fetch_add(1, Ordering::Relaxed) as usize & mask;
+        let slot = &self.slots[idx];
+        for _ in 0..128 {
+            let s = slot.state.load(Ordering::Acquire);
+            if s != SLOT_BUSY
+                && slot
+                    .state
+                    .compare_exchange(s, SLOT_BUSY, Ordering::Acquire, Ordering::Relaxed)
+                    .is_ok()
+            {
+                // Safety: we hold the BUSY claim on this slot.
+                unsafe { *slot.record.get() = Some(r) };
+                slot.state.store(SLOT_READY, Ordering::Release);
+                return;
+            }
+            std::hint::spin_loop();
+        }
+        // Another writer sat on the slot for the whole spin budget; drop
+        // this record rather than block the traced code path.
+        self.dropped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Take every retained record, oldest first, emptying the ring.
+    pub fn drain(&self) -> Vec<Record> {
+        let mut out = Vec::new();
+        for slot in self.slots.iter() {
+            if slot
+                .state
+                .compare_exchange(SLOT_READY, SLOT_BUSY, Ordering::Acquire, Ordering::Relaxed)
+                .is_ok()
+            {
+                // Safety: we hold the BUSY claim on this slot.
+                if let Some(r) = unsafe { (*slot.record.get()).take() } {
+                    out.push(r);
+                }
+                slot.state.store(SLOT_EMPTY, Ordering::Release);
+            }
+        }
+        out.sort_by_key(|r| (r.start_ns, r.id));
+        out
+    }
+
+    /// Records abandoned because a slot stayed contended past the spin
+    /// budget. Overwritten-by-wraparound records are *not* counted here —
+    /// retaining only the newest window is the ring's contract.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Total records ever offered to the ring.
+    pub fn written(&self) -> u64 {
+        self.cursor.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// Serializes tests that flip the process-wide tracing switch.
+    static GLOBAL_LOCK: Mutex<()> = Mutex::new(());
+
+    fn record(name: &'static str, start_ns: u64) -> Record {
+        Record {
+            id: next_id(),
+            parent: 0,
+            name,
+            kind: Kind::Span,
+            start_ns,
+            dur_ns: 1,
+            tid: 1,
+            attrs: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn ring_retains_newest_on_wraparound() {
+        let c = Collector::new(8);
+        for i in 0..20u64 {
+            c.record(record("w", i));
+        }
+        let drained = c.drain();
+        // Exactly one ring of the most recent records, oldest first.
+        assert_eq!(drained.len(), 8);
+        let starts: Vec<u64> = drained.iter().map(|r| r.start_ns).collect();
+        assert_eq!(starts, (12..20).collect::<Vec<_>>());
+        assert_eq!(c.written(), 20);
+        assert_eq!(c.dropped(), 0);
+        // Drain empties the ring.
+        assert!(c.drain().is_empty());
+    }
+
+    #[test]
+    fn ring_capacity_rounds_to_power_of_two() {
+        let c = Collector::new(9);
+        for i in 0..16u64 {
+            c.record(record("w", i));
+        }
+        assert_eq!(c.drain().len(), 16, "9 rounds up to 16 slots");
+        let c = Collector::new(0);
+        assert_eq!(c.slots.len(), 8, "minimum capacity");
+    }
+
+    #[test]
+    fn concurrent_writers_never_lose_the_ring_invariant() {
+        let c = std::sync::Arc::new(Collector::new(64));
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let c = std::sync::Arc::clone(&c);
+                s.spawn(move || {
+                    for i in 0..1000 {
+                        c.record(record("t", i));
+                    }
+                });
+            }
+        });
+        let drained = c.drain();
+        assert!(drained.len() <= 64);
+        assert_eq!(c.written(), 8000);
+        // Everything offered was either retained, overwritten, or counted
+        // as contention-dropped — never silently both present and absent.
+        assert!(c.dropped() <= 8000 - drained.len() as u64);
+    }
+
+    #[test]
+    fn spans_nest_through_the_thread_local_current() {
+        let _g = GLOBAL_LOCK.lock().unwrap();
+        global_collector().drain();
+        set_enabled(true);
+        let root_id;
+        {
+            let root = span("obs_test.root").attr("k", "v");
+            root_id = root.id();
+            assert_eq!(current_span_id(), root_id);
+            {
+                let child = span("obs_test.child");
+                assert_eq!(current_span_id(), child.id());
+                event("obs_test.mark").attr("n", 7u64);
+            }
+            assert_eq!(current_span_id(), root_id);
+        }
+        set_enabled(false);
+        assert_eq!(current_span_id(), 0);
+        let records: Vec<Record> = global_collector()
+            .drain()
+            .into_iter()
+            .filter(|r| r.name.starts_with("obs_test."))
+            .collect();
+        assert_eq!(records.len(), 3);
+        let root = records.iter().find(|r| r.name == "obs_test.root").unwrap();
+        let child = records.iter().find(|r| r.name == "obs_test.child").unwrap();
+        let mark = records.iter().find(|r| r.name == "obs_test.mark").unwrap();
+        assert_eq!(root.parent, 0);
+        assert_eq!(root.id, root_id);
+        assert_eq!(child.parent, root.id);
+        assert_eq!(mark.parent, child.id);
+        assert_eq!(mark.kind, Kind::Event);
+        assert_eq!(root.attrs, vec![("k", Value::Str("v".into()))]);
+        assert!(root.dur_ns >= child.dur_ns);
+    }
+
+    #[test]
+    fn disabled_spans_are_inert() {
+        let _g = GLOBAL_LOCK.lock().unwrap();
+        set_enabled(false);
+        global_collector().drain();
+        let before = global_collector().written();
+        {
+            let mut s = span("obs_test.disabled");
+            s.record_attr("ignored", 1u64);
+            assert_eq!(s.id(), 0);
+            assert_eq!(current_span_id(), 0);
+            event("obs_test.disabled_event");
+        }
+        assert_eq!(global_collector().written(), before);
+    }
+
+    #[test]
+    fn explicit_parent_links_across_threads() {
+        let _g = GLOBAL_LOCK.lock().unwrap();
+        global_collector().drain();
+        set_enabled(true);
+        let root = span("obs_test.xthread_root");
+        let parent_id = current_span_id();
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                let _w = span_with_parent("obs_test.xthread_work", parent_id);
+                assert_eq!(current_span_id(), _w.id());
+            });
+        });
+        drop(root);
+        set_enabled(false);
+        let records: Vec<Record> = global_collector()
+            .drain()
+            .into_iter()
+            .filter(|r| r.name.starts_with("obs_test.xthread"))
+            .collect();
+        let work = records.iter().find(|r| r.name == "obs_test.xthread_work").unwrap();
+        assert_eq!(work.parent, parent_id);
+        let root = records.iter().find(|r| r.name == "obs_test.xthread_root").unwrap();
+        assert_ne!(work.tid, root.tid);
+    }
+}

@@ -46,6 +46,24 @@
 //!   cache miss is reported as [`StoreError::Unavailable`], *not* as an
 //!   authoritative miss, so the repository's negative cache is never
 //!   poisoned by offline operation.
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use xpdl_repo::{CachingStore, DiskCache, Freshness, MemoryStore, ModelStore};
+//!
+//! let dir = std::env::temp_dir().join(format!("xpdl_doc_cache_{}", std::process::id()));
+//! let cache = Arc::new(DiskCache::open(&dir).unwrap());
+//! let mut store = MemoryStore::new();
+//! store.insert("mini", r#"<system id="mini"></system>"#);
+//! let caching = CachingStore::new(store, Arc::clone(&cache), Freshness::Strict)
+//!     .with_source_id("doc-example");
+//!
+//! assert!(caching.fetch("mini").is_some()); // fetched and written through,
+//! assert_eq!(cache.len(), 1);               // so the entry is now on disk
+//! # let _ = std::fs::remove_dir_all(&dir);
+//! ```
 
 use crate::store::{ModelStore, StoreError};
 use parking_lot::{Mutex, RwLock};
@@ -456,9 +474,9 @@ pub struct DiskCache {
     /// exclusion across processes.
     writer: Mutex<()>,
     lock_timeout: Duration,
-    disk_hits: AtomicU64,
-    stale_served_session: AtomicU64,
-    quarantined_session: AtomicU64,
+    disk_hits: Arc<xpdl_obs::Counter>,
+    stale_served_session: Arc<xpdl_obs::Counter>,
+    quarantined_session: Arc<xpdl_obs::Counter>,
     diags: Mutex<Vec<Diagnostic>>,
 }
 
@@ -520,9 +538,11 @@ impl DiskCache {
             manifest: RwLock::new(manifest),
             writer: Mutex::new(()),
             lock_timeout,
-            disk_hits: AtomicU64::new(0),
-            stale_served_session: AtomicU64::new(0),
-            quarantined_session: AtomicU64::new(0),
+            disk_hits: xpdl_obs::MetricsRegistry::global().counter("cache.disk.hits"),
+            stale_served_session: xpdl_obs::MetricsRegistry::global()
+                .counter("cache.disk.stale_served"),
+            quarantined_session: xpdl_obs::MetricsRegistry::global()
+                .counter("cache.disk.quarantined"),
             diags: Mutex::new(diags),
         };
         cache.recover_and_verify()?;
@@ -563,17 +583,17 @@ impl DiskCache {
 
     /// Cache hits served from disk this session.
     pub fn disk_hits(&self) -> u64 {
-        self.disk_hits.load(Ordering::Relaxed)
+        self.disk_hits.get()
     }
 
     /// Stale entries served this session.
     pub fn stale_served_session(&self) -> u64 {
-        self.stale_served_session.load(Ordering::Relaxed)
+        self.stale_served_session.get()
     }
 
     /// Entries quarantined this session (open-time plus runtime).
     pub fn quarantined_session(&self) -> u64 {
-        self.quarantined_session.load(Ordering::Relaxed)
+        self.quarantined_session.get()
     }
 
     fn entry_path(&self, key: &str) -> PathBuf {
@@ -624,13 +644,13 @@ impl DiskCache {
 
     /// Record a disk hit (served without touching the backing store).
     pub(crate) fn note_disk_hit(&self) {
-        self.disk_hits.fetch_add(1, Ordering::Relaxed);
+        self.disk_hits.inc();
     }
 
     /// Record a stale serve; the cumulative count is persisted so
     /// `xpdlc cache stats` sees it from a later process.
     pub(crate) fn note_stale_served(&self) {
-        self.stale_served_session.fetch_add(1, Ordering::Relaxed);
+        self.stale_served_session.inc();
         let _guard = self.writer.lock();
         if let Ok((_lock, takeover)) = DirLock::acquire(&self.dir, self.lock_timeout) {
             self.note_takeover(takeover);
@@ -760,7 +780,7 @@ impl DiskCache {
             m.entries.remove(key);
             m.stats.quarantined_total += 1;
         }
-        self.quarantined_session.fetch_add(1, Ordering::Relaxed);
+        self.quarantined_session.inc();
         self.diags.lock().push(
             Diagnostic::warning(
                 key,
@@ -838,7 +858,7 @@ impl DiskCache {
                             let mut m = self.manifest.write();
                             m.stats.quarantined_total += 1;
                         }
-                        self.quarantined_session.fetch_add(1, Ordering::Relaxed);
+                        self.quarantined_session.inc();
                         self.diags.lock().push(
                             Diagnostic::warning(
                                 stem,
@@ -958,7 +978,7 @@ impl DiskCache {
     /// the manifest — exactly what a crash does) with deterministic
     /// per-`(seed, key)` selection at `rate`. Returns the affected keys;
     /// a subsequent [`DiskCache::open`] must quarantine every one of
-    /// them. Public for the same reason [`FaultInjectingStore`]
+    /// them. Public for the same reason [`FaultInjectingStore`](crate::FaultInjectingStore)
     /// (crate::FaultInjectingStore) is: durability claims are only worth
     /// making if they are reproducible.
     pub fn simulate_crash_truncation(&self, seed: u64, rate: f64) -> Vec<String> {

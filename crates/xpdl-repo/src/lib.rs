@@ -1,3 +1,4 @@
+#![deny(missing_docs)]
 //! The XPDL model repository.
 //!
 //! XPDL descriptors are "placed in a distributed model repository: XPDL

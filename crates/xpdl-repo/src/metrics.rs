@@ -1,12 +1,19 @@
 //! Repository instrumentation.
 //!
 //! The [`Repository`](crate::Repository) counts every fetch attempt,
-//! retry, cache interaction, and failure it observes. Counters are plain
-//! `AtomicU64`s bumped with `Ordering::Relaxed`: each counter is an
+//! retry, cache interaction, and failure it observes. Counters are
+//! [`xpdl_obs::Counter`]s bumped with relaxed ordering: each counter is an
 //! independent monotonic event count, nothing synchronizes *through* a
 //! counter, and readers only need totals — the happens-before edge that
 //! makes totals exact comes from joining the worker threads (scoped
 //! threads join before `resolve` returns), not from the counter ordering.
+//!
+//! Every counter is owned by its `Repository` (so per-instance tests and
+//! [`Repository::metrics()`](crate::Repository::metrics) snapshots stay
+//! exact) *and* registered into the process-wide
+//! `xpdl_obs::MetricsRegistry` under the stable names
+//! of DESIGN.md §14 (`repo.fetch.attempts`, `repo.cache.hits`, …), where
+//! same-name counters from several repositories are summed.
 //!
 //! [`Repository::metrics()`](crate::Repository::metrics) takes a
 //! [`RepoMetrics`] snapshot; since loads may be in flight on other
@@ -14,36 +21,52 @@
 //! transactional one.
 
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use xpdl_obs::{Counter, Histogram, MetricsRegistry};
 
 /// Internal live counters owned by the repository.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub(crate) struct MetricCounters {
-    pub(crate) fetch_attempts: AtomicU64,
-    pub(crate) fetch_failures: AtomicU64,
-    pub(crate) retries: AtomicU64,
-    pub(crate) parse_errors: AtomicU64,
-    pub(crate) cache_hits: AtomicU64,
-    pub(crate) cache_misses: AtomicU64,
-    pub(crate) negative_hits: AtomicU64,
-    pub(crate) documents_loaded: AtomicU64,
+    pub(crate) fetch_attempts: Arc<Counter>,
+    pub(crate) fetch_failures: Arc<Counter>,
+    pub(crate) retries: Arc<Counter>,
+    pub(crate) parse_errors: Arc<Counter>,
+    pub(crate) cache_hits: Arc<Counter>,
+    pub(crate) cache_misses: Arc<Counter>,
+    pub(crate) negative_hits: Arc<Counter>,
+    pub(crate) documents_loaded: Arc<Counter>,
+    /// Backoff sleeps between retry attempts, in microseconds.
+    pub(crate) retry_wait_us: Arc<Histogram>,
+}
+
+impl Default for MetricCounters {
+    fn default() -> MetricCounters {
+        let reg = MetricsRegistry::global();
+        MetricCounters {
+            fetch_attempts: reg.counter("repo.fetch.attempts"),
+            fetch_failures: reg.counter("repo.fetch.failures"),
+            retries: reg.counter("repo.fetch.retries"),
+            parse_errors: reg.counter("repo.parse.errors"),
+            cache_hits: reg.counter("repo.cache.hits"),
+            cache_misses: reg.counter("repo.cache.misses"),
+            negative_hits: reg.counter("repo.cache.negative_hits"),
+            documents_loaded: reg.counter("repo.documents.loaded"),
+            retry_wait_us: reg.histogram("repo.retry.wait_us"),
+        }
+    }
 }
 
 impl MetricCounters {
-    pub(crate) fn bump(counter: &AtomicU64) {
-        counter.fetch_add(1, Ordering::Relaxed);
-    }
-
     pub(crate) fn snapshot(&self) -> RepoMetrics {
         RepoMetrics {
-            fetch_attempts: self.fetch_attempts.load(Ordering::Relaxed),
-            fetch_failures: self.fetch_failures.load(Ordering::Relaxed),
-            retries: self.retries.load(Ordering::Relaxed),
-            parse_errors: self.parse_errors.load(Ordering::Relaxed),
-            cache_hits: self.cache_hits.load(Ordering::Relaxed),
-            cache_misses: self.cache_misses.load(Ordering::Relaxed),
-            negative_hits: self.negative_hits.load(Ordering::Relaxed),
-            documents_loaded: self.documents_loaded.load(Ordering::Relaxed),
+            fetch_attempts: self.fetch_attempts.get(),
+            fetch_failures: self.fetch_failures.get(),
+            retries: self.retries.get(),
+            parse_errors: self.parse_errors.get(),
+            cache_hits: self.cache_hits.get(),
+            cache_misses: self.cache_misses.get(),
+            negative_hits: self.negative_hits.get(),
+            documents_loaded: self.documents_loaded.get(),
             disk_hits: 0,
             disk_stale_served: 0,
             quarantined: 0,
@@ -112,13 +135,25 @@ mod tests {
     #[test]
     fn snapshot_reflects_bumps() {
         let c = MetricCounters::default();
-        MetricCounters::bump(&c.fetch_attempts);
-        MetricCounters::bump(&c.fetch_attempts);
-        MetricCounters::bump(&c.retries);
+        c.fetch_attempts.inc();
+        c.fetch_attempts.inc();
+        c.retries.inc();
         let snap = c.snapshot();
         assert_eq!(snap.fetch_attempts, 2);
         assert_eq!(snap.retries, 1);
         assert_eq!(snap.cache_hits, 0);
+    }
+
+    #[test]
+    fn counters_appear_in_the_global_registry() {
+        let c = MetricCounters::default();
+        c.cache_hits.add(5);
+        let snap = MetricsRegistry::global().snapshot();
+        // Other repository instances (from parallel tests) may add to the
+        // same name; this instance contributes at least its own bumps.
+        assert!(snap.counters["repo.cache.hits"] >= 5, "{snap:?}");
+        assert!(snap.counters.contains_key("repo.fetch.attempts"));
+        assert!(snap.histograms.contains_key("repo.retry.wait_us"));
     }
 
     #[test]

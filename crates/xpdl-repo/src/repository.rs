@@ -1,6 +1,7 @@
 //! The search-path repository with caching and recursive resolution.
 
 use crate::metrics::{MetricCounters, RepoMetrics};
+use xpdl_obs::trace;
 use crate::retry::RetryPolicy;
 use crate::store::ModelStore;
 use parking_lot::RwLock;
@@ -305,40 +306,50 @@ impl Repository {
     /// and reported as [`ResolveError::NotFound`]; if any store merely
     /// kept failing, the result is [`ResolveError::Unavailable`].
     pub fn load(&self, key: &str) -> Result<Arc<XpdlDocument>, ResolveError> {
+        let mut sp = trace::span("repo.load");
+        sp.record_attr("key", key);
         if self.cache_enabled {
             if let Some(doc) = self.cache.read().get(key) {
-                MetricCounters::bump(&self.metrics.cache_hits);
+                self.metrics.cache_hits.inc();
+                sp.record_attr("tier", "memory");
                 return Ok(doc.clone());
             }
         }
-        MetricCounters::bump(&self.metrics.cache_misses);
+        self.metrics.cache_misses.inc();
         if self.negative_enabled && self.negative.read().contains(key) {
-            MetricCounters::bump(&self.metrics.negative_hits);
+            self.metrics.negative_hits.inc();
+            sp.record_attr("tier", "negative");
             return Err(self.not_found(key));
         }
+        sp.record_attr("tier", "store");
         // Last store whose retry budget ran out on a transient failure.
         let mut exhausted: Option<(String, u32, String)> = None;
-        for store in &self.stores {
+        for (store_idx, store) in self.stores.iter().enumerate() {
             let mut attempt: u32 = 0;
             loop {
                 attempt += 1;
-                MetricCounters::bump(&self.metrics.fetch_attempts);
+                self.metrics.fetch_attempts.inc();
+                trace::event("repo.fetch").attr("store", store_idx).attr("attempt", attempt);
                 match store.try_fetch(key) {
                     Ok(Some(source)) => {
-                        match XpdlDocument::parse_named(&source, key) {
+                        let parsed = {
+                            let _psp = trace::span("repo.parse");
+                            XpdlDocument::parse_named(&source, key)
+                        };
+                        match parsed {
                             Ok(doc) => {
                                 let doc = Arc::new(doc);
                                 if self.cache_enabled {
                                     self.cache.write().insert(key.to_string(), doc.clone());
                                 }
-                                MetricCounters::bump(&self.metrics.documents_loaded);
+                                self.metrics.documents_loaded.inc();
                                 return Ok(doc);
                             }
                             Err(error) => {
-                                MetricCounters::bump(&self.metrics.parse_errors);
+                                self.metrics.parse_errors.inc();
                                 if self.retry.should_retry_parse_error(attempt) {
-                                    MetricCounters::bump(&self.metrics.retries);
-                                    self.retry.sleep_after(key, attempt);
+                                    self.metrics.retries.inc();
+                                    self.backoff(key, attempt);
                                     continue;
                                 }
                                 // Persistently malformed: the descriptor
@@ -353,10 +364,10 @@ impl Repository {
                     // An authoritative miss: never retried, next store.
                     Ok(None) => break,
                     Err(error) => {
-                        MetricCounters::bump(&self.metrics.fetch_failures);
+                        self.metrics.fetch_failures.inc();
                         if self.retry.should_retry_store_error(&error, attempt) {
-                            MetricCounters::bump(&self.metrics.retries);
-                            self.retry.sleep_after(key, attempt);
+                            self.metrics.retries.inc();
+                            self.backoff(key, attempt);
                             continue;
                         }
                         exhausted = Some((store.describe(), attempt, error.to_string()));
@@ -380,6 +391,18 @@ impl Repository {
             self.negative.write().insert(key.to_string());
         }
         Err(self.not_found(key))
+    }
+
+    /// Sleep out the retry backoff for `key`, recording the wait in the
+    /// `repo.retry.wait_us` histogram and as a trace event.
+    fn backoff(&self, key: &str, attempt: u32) {
+        let delay = self.retry.delay_after(key, attempt);
+        let wait_us = delay.as_micros() as u64;
+        self.metrics.retry_wait_us.record(wait_us);
+        trace::event("repo.retry.wait").attr("attempt", attempt).attr("wait_us", wait_us);
+        if !delay.is_zero() {
+            std::thread::sleep(delay);
+        }
     }
 
     fn not_found(&self, key: &str) -> ResolveError {
@@ -450,6 +473,9 @@ impl Repository {
         key: &str,
         opts: &ResolveOptions,
     ) -> Result<ResolvedSet, ResolveError> {
+        let mut sp = trace::span("repo.resolve");
+        sp.record_attr("key", key);
+        sp.record_attr("jobs", opts.jobs);
         let mut docs: BTreeMap<String, Arc<XpdlDocument>> = BTreeMap::new();
         let mut missing = Vec::new();
         // Everything ever enqueued, so a key referenced from several
@@ -531,10 +557,14 @@ impl Repository {
         let mut slots: Vec<Option<Result<Arc<XpdlDocument>, ResolveError>>> =
             (0..frontier.len()).map(|_| None).collect();
         let cursor = AtomicUsize::new(0);
+        // Workers run on fresh threads with an empty span context; hand
+        // them the caller's span id so their loads stay in the tree.
+        let parent_span = trace::current_span_id();
         std::thread::scope(|s| {
             let outputs: Vec<_> = (0..workers)
                 .map(|_| {
                     s.spawn(|| {
+                        let _wsp = trace::span_with_parent("repo.worker", parent_span);
                         let mut out: Vec<(usize, Result<Arc<XpdlDocument>, ResolveError>)> =
                             Vec::new();
                         loop {
@@ -571,6 +601,8 @@ impl Repository {
         opts: &ResolveOptions,
     ) -> Vec<Result<ResolvedSet, ResolveError>> {
         use std::sync::atomic::{AtomicUsize, Ordering};
+        let mut sp = trace::span("repo.resolve_batch");
+        sp.record_attr("roots", keys.len());
         let workers = opts.jobs.max(1).min(keys.len());
         if workers <= 1 {
             return keys.iter().map(|k| self.resolve_with(k, opts)).collect();
@@ -579,12 +611,14 @@ impl Repository {
         let mut slots: Vec<Option<Result<ResolvedSet, ResolveError>>> =
             (0..keys.len()).map(|_| None).collect();
         let cursor = AtomicUsize::new(0);
+        let parent_span = trace::current_span_id();
         std::thread::scope(|s| {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     let inner = &inner;
                     let cursor = &cursor;
                     s.spawn(move || {
+                        let _wsp = trace::span_with_parent("repo.worker", parent_span);
                         let mut out: Vec<(usize, Result<ResolvedSet, ResolveError>)> = Vec::new();
                         loop {
                             let i = cursor.fetch_add(1, Ordering::Relaxed);

@@ -7,7 +7,7 @@
 //! handle each failure class:
 //!
 //! * **transient store errors** ([`StoreError::Unavailable`],
-//!   [`StoreError::Timeout`](crate::store::StoreError::Timeout)) are always
+//!   [`StoreError::Timeout`]) are always
 //!   retried up to [`RetryPolicy::max_attempts`];
 //! * **corrupted payloads** (fetched text that fails to parse) are
 //!   re-fetched when [`RetryPolicy::retry_parse_errors`] is set — a flaky

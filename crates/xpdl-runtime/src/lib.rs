@@ -1,3 +1,4 @@
+#![deny(missing_docs)]
 //! The XPDL runtime model and query API (paper §IV).
 //!
 //! The toolchain "builds a light-weight run-time data structure for the
@@ -6,7 +7,7 @@
 //! attributes, and evaluate derived-attribute analyses — enabling
 //! platform-aware dynamic optimizations such as conditional composition.
 //!
-//! * [`format`] — the versioned binary file format (string-interned flat
+//! * [`mod@format`] — the versioned binary file format (string-interned flat
 //!   tree, little-endian, built on `bytes`). Loading performs no XML
 //!   parsing, which is the point: startup cost is one buffer scan.
 //! * [`model`] — [`RuntimeModel`]: the flat tree with identifier and kind

@@ -3,7 +3,7 @@
 //! Historically this crate owned its own `Diagnostic` type carrying only an
 //! element path. Diagnostics are now unified across the toolchain in
 //! [`xpdl_core::diag`] — the shared type additionally carries a stable
-//! machine-readable code and a source [`xpdl_xml::Span`] (line:col), so
+//! machine-readable code and a source `xpdl_xml::Span` (line:col), so
 //! validation findings can be pinpointed in the originating descriptor.
 //! This module re-exports the shared type to keep the crate's public API
 //! stable.

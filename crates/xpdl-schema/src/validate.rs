@@ -14,6 +14,7 @@ use xpdl_expr::parse_expr;
 
 /// Validate a whole document against a schema.
 pub fn validate_document(doc: &XpdlDocument, schema: &Schema) -> Vec<Diagnostic> {
+    let mut sp = xpdl_obs::trace::span("schema.validate");
     let mut diags = Vec::new();
     walk(doc.root(), schema, &path_segment(doc.root()), &mut diags);
     // Identifier uniqueness is a document-level rule (paper §III-A).
@@ -24,6 +25,7 @@ pub fn validate_document(doc: &XpdlDocument, schema: &Schema) -> Vec<Diagnostic>
                 .with_span(doc.root().span),
         );
     }
+    sp.record_attr("diagnostics", diags.len());
     diags
 }
 

@@ -12,9 +12,12 @@ use crate::protocol::{
 };
 use crate::snapshot::{fingerprint_model, ServeSnapshot, SnapshotRegistry};
 use crate::stats::ServeStats;
+use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
+use xpdl_obs::{trace, Histogram, MetricsRegistry};
 use xpdl_repo::Repository;
 use xpdl_runtime::{estimate, format, RuntimeModel};
 
@@ -99,6 +102,9 @@ pub struct Engine {
     source: parking_lot::Mutex<ModelSource>,
     options: EngineOptions,
     shutdown: AtomicBool,
+    /// Per-method handler-time histograms (`serve.method.<name>.time_us`),
+    /// created lazily on a method's first request.
+    method_hist: parking_lot::Mutex<BTreeMap<&'static str, Arc<Histogram>>>,
 }
 
 impl Engine {
@@ -111,6 +117,7 @@ impl Engine {
             source: parking_lot::Mutex::new(source),
             options,
             shutdown: AtomicBool::new(false),
+            method_hist: parking_lot::Mutex::new(BTreeMap::new()),
         })
     }
 
@@ -146,7 +153,7 @@ impl Engine {
         let (model, desc) = match compiled {
             Ok(ok) => ok,
             Err(e) => {
-                self.stats.reload_failures.fetch_add(1, Ordering::Relaxed);
+                self.stats.reload_failures.inc();
                 return Err(ServeError::new(
                     codes::RELOAD_FAILED,
                     format!("reload failed, serving previous snapshot: {e}"),
@@ -165,17 +172,31 @@ impl Engine {
             source: desc,
             loaded_at: Instant::now(),
         });
-        self.stats.reloads.fetch_add(1, Ordering::Relaxed);
+        self.stats.reloads.inc();
         Ok((epoch, true))
     }
 
     /// Handle one request end to end, recording latency and outcome.
     pub fn handle(&self, req: &Request) -> Response {
+        let name = req.method.name();
+        let mut sp = trace::span("serve.request");
+        sp.record_attr("method", name);
+        sp.record_attr("id", req.id);
         let start = Instant::now();
         let result = self.dispatch(&req.method);
         let latency_us = start.elapsed().as_micros().min(u64::MAX as u128) as u64;
         self.stats.record(latency_us, result.is_err());
+        self.stats.handler_time_us.record(latency_us);
+        self.method_histogram(name).record(latency_us);
         Response { id: req.id, result }
+    }
+
+    /// The `serve.method.<name>.time_us` histogram, created on first use.
+    fn method_histogram(&self, name: &'static str) -> Arc<Histogram> {
+        let mut map = self.method_hist.lock();
+        Arc::clone(map.entry(name).or_insert_with(|| {
+            MetricsRegistry::global().histogram(&format!("serve.method.{name}.time_us"))
+        }))
     }
 
     /// Convenience: parse one request line and handle it. Parse errors
@@ -260,6 +281,7 @@ impl Engine {
                 Reply::Energy(estimate::estimate_static_energy(h.model(), *duration_s))
             }
             Method::Stats => Reply::Stats(self.stats.snapshot(self.registry.current_epoch())),
+            Method::Metrics => Reply::Metrics(MetricsRegistry::global().snapshot()),
             Method::Reload => {
                 let (epoch, changed) = self.reload()?;
                 Reply::Reloaded { epoch, changed }
@@ -383,7 +405,7 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
-        assert_eq!(e.stats().reloads.load(std::sync::atomic::Ordering::Relaxed), 0);
+        assert_eq!(e.stats().reloads.get(), 0);
     }
 
     #[test]
@@ -411,7 +433,7 @@ mod tests {
         assert_eq!(err.code, codes::RELOAD_FAILED);
         assert!(err.message.contains("S401") || err.message.contains("decode"), "{err}");
         assert_eq!(ok(&e, Method::NumCores), Reply::Count(2));
-        assert_eq!(e.stats().reload_failures.load(std::sync::atomic::Ordering::Relaxed), 1);
+        assert_eq!(e.stats().reload_failures.get(), 1);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -26,6 +26,14 @@
 //!   writer threads, a bounded worker pool, admission control before
 //!   queueing (`S420`), queue deadlines (`S421`), and SIGTERM-driven
 //!   clean shutdown.
+//!
+//! Observability: every request is wrapped in a `serve.request` tracing
+//! span, queue wait and handler time are recorded into histograms, and
+//! all counters register with the process-wide
+//! `xpdl_obs::MetricsRegistry` — queryable over the
+//! wire via the `metrics` method. See DESIGN.md §14.
+
+#![deny(missing_docs)]
 
 pub mod engine;
 pub mod protocol;

@@ -24,10 +24,26 @@
 //! same types are used by the daemon, the offline `xpdlc query` path and
 //! the bench client — so every protocol method is exercisable without a
 //! socket.
+//!
+//! # Example
+//!
+//! ```
+//! use xpdl_serve::{parse_request, parse_response, Method, Reply, Request, Response};
+//!
+//! let req = Request {
+//!     id: 7,
+//!     method: Method::GetAttr { ident: "gpu1".into(), attr: "type".into() },
+//! };
+//! assert_eq!(parse_request(&req.to_json()).unwrap(), req);
+//!
+//! let resp = Response::ok(7, Reply::Attr(Some("Nvidia_K20c".into())));
+//! assert_eq!(parse_response(&resp.to_json()).unwrap(), resp);
+//! ```
 
 use crate::stats::StatsSnapshot;
 use std::fmt;
 use xpdl_core::diag::json::{self, JsonValue};
+use xpdl_obs::{HistogramSnapshot, MetricsSnapshot};
 
 /// The protocol version spoken by this build. Requests with any other
 /// `"v"` are rejected with [`codes::BAD_VERSION`].
@@ -189,6 +205,10 @@ pub enum Method {
     },
     /// Server statistics (qps, latency percentiles, epoch, counters).
     Stats,
+    /// Full unified metrics-registry snapshot: every counter, gauge and
+    /// histogram registered anywhere in the process (repository, disk
+    /// cache, serving layer), aggregated by name.
+    Metrics,
     /// Force a hot reload from the model source.
     Reload,
     /// Ask the server to drain and exit (if enabled).
@@ -219,6 +239,7 @@ impl Method {
             Method::EstimateAcceleratorUse { .. } => "estimate_accelerator_use",
             Method::EstimateStaticEnergy { .. } => "estimate_static_energy",
             Method::Stats => "stats",
+            Method::Metrics => "metrics",
             Method::Reload => "reload",
             Method::Shutdown => "shutdown",
             Method::Sleep { .. } => "sleep",
@@ -306,6 +327,8 @@ pub enum Reply {
     Energy(f64),
     /// `stats` result.
     Stats(StatsSnapshot),
+    /// `metrics` result: the process-wide registry snapshot.
+    Metrics(MetricsSnapshot),
     /// `reload` result: the epoch now current, and whether it swapped.
     Reloaded {
         /// Epoch after the reload.
@@ -397,6 +420,7 @@ impl Request {
                 | Method::NumCudaDevices
                 | Method::TotalStaticPower
                 | Method::Stats
+                | Method::Metrics
                 | Method::Reload
                 | Method::Shutdown => {}
                 Method::Find { ident } => str_field(p, &mut first, "ident", ident),
@@ -549,6 +573,13 @@ impl Reply {
                 s.push_str("\"stats\",");
                 st.fields_to_json(&mut s);
             }
+            Reply::Metrics(m) => {
+                // Embed the snapshot's counters/gauges/histograms fields
+                // directly in the payload object (strip its outer braces).
+                let body = m.to_json();
+                s.push_str("\"metrics\",");
+                s.push_str(&body[1..body.len() - 1]);
+            }
             Reply::Reloaded { epoch, changed } => {
                 s.push_str(&format!("\"reloaded\",\"epoch\":{epoch},\"changed\":{changed}"))
             }
@@ -675,6 +706,7 @@ pub fn parse_request(line: &str) -> Result<Request, (Option<u64>, ServeError)> {
                 Method::EstimateStaticEnergy { duration_s: get_f64(params, "duration_s")? }
             }
             "stats" => Method::Stats,
+            "metrics" => Method::Metrics,
             "reload" => Method::Reload,
             "shutdown" => Method::Shutdown,
             "sleep" => Method::Sleep { ms: get_u64(params, "ms")? },
@@ -711,6 +743,46 @@ fn parse_node(obj: &Obj) -> Result<NodeInfo, String> {
         type_ref: opt_str(node, "type"),
         attrs,
     })
+}
+
+fn parse_metrics(obj: &Obj) -> Result<MetricsSnapshot, String> {
+    let entries = |k: &str| -> Result<&Obj, String> {
+        json::get(obj, k).and_then(JsonValue::as_object).ok_or(format!("missing object {k:?}"))
+    };
+    let int_map = |k: &str| -> Result<std::collections::BTreeMap<String, u64>, String> {
+        entries(k)?
+            .iter()
+            .map(|(name, v)| {
+                let n = v.as_number().ok_or(format!("{k}.{name} is not a number"))?;
+                Ok((name.clone(), n as u64))
+            })
+            .collect()
+    };
+    let mut histograms = std::collections::BTreeMap::new();
+    for (name, v) in entries("histograms")? {
+        let h = v.as_object().ok_or(format!("histogram {name:?} is not an object"))?;
+        let field = |k: &str| -> Result<u64, String> {
+            json::get(h, k)
+                .and_then(JsonValue::as_number)
+                .ok_or(format!("histogram {name:?} missing {k:?}"))
+                .map(|n| n as u64)
+        };
+        let mut buckets = Vec::new();
+        for pair in json::get(h, "buckets")
+            .and_then(JsonValue::as_array)
+            .ok_or(format!("histogram {name:?} missing buckets"))?
+        {
+            let bc = pair.as_array().filter(|a| a.len() == 2).ok_or("bucket is not a pair")?;
+            let idx = bc[0].as_number().ok_or("bucket index not a number")? as u64;
+            let count = bc[1].as_number().ok_or("bucket count not a number")? as u64;
+            buckets.push((idx.min(u8::MAX as u64) as u8, count));
+        }
+        histograms.insert(
+            name.clone(),
+            HistogramSnapshot { count: field("count")?, sum: field("sum")?, buckets },
+        );
+    }
+    Ok(MetricsSnapshot { counters: int_map("counters")?, gauges: int_map("gauges")?, histograms })
 }
 
 fn parse_reply(obj: &Obj) -> Result<Reply, String> {
@@ -765,6 +837,7 @@ fn parse_reply(obj: &Obj) -> Result<Reply, String> {
         }),
         "energy" => Reply::Energy(num("joules")?),
         "stats" => Reply::Stats(StatsSnapshot::from_json_fields(obj)?),
+        "metrics" => Reply::Metrics(parse_metrics(obj)?),
         "reloaded" => Reply::Reloaded {
             epoch: int("epoch")?,
             changed: json::get(obj, "changed")
@@ -815,6 +888,7 @@ mod tests {
             Method::Ping,
             Method::NumCores,
             Method::Stats,
+            Method::Metrics,
             Method::Reload,
             Method::Shutdown,
             Method::Find { ident: "gpu\"1\n".into() },
@@ -853,6 +927,24 @@ mod tests {
         }
         let err = Response::err(0, ServeError::new(codes::OVERLOADED, "busy"));
         assert_eq!(parse_response(&err.to_json()).unwrap(), err);
+    }
+
+    #[test]
+    fn metrics_reply_roundtrips() {
+        let mut snap = MetricsSnapshot::default();
+        snap.counters.insert("serve.requests".into(), 41);
+        snap.counters.insert("repo.cache.hits".into(), 7);
+        snap.gauges.insert("serve.inflight".into(), 3);
+        snap.histograms.insert(
+            "serve.handler.time_us".into(),
+            HistogramSnapshot { count: 5, sum: 900, buckets: vec![(6, 2), (8, 3)] },
+        );
+        let resp = Response::ok(11, Reply::Metrics(snap));
+        assert_eq!(parse_response(&resp.to_json()).unwrap(), resp);
+
+        // An empty registry still round-trips (all three maps empty).
+        let empty = Response::ok(12, Reply::Metrics(MetricsSnapshot::default()));
+        assert_eq!(parse_response(&empty.to_json()).unwrap(), empty);
     }
 
     #[test]

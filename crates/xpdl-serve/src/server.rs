@@ -182,7 +182,7 @@ fn accept_loop(
                 // Responses are small and latency-bound; without this,
                 // Nagle + delayed ACK adds ~40ms per round trip.
                 let _ = stream.set_nodelay(true);
-                engine.stats().connections.fetch_add(1, Ordering::Relaxed);
+                engine.stats().connections.inc();
                 let engine = Arc::clone(engine);
                 let stop = Arc::clone(stop);
                 let job_tx = job_tx.clone();
@@ -305,7 +305,7 @@ fn handle_wire_line(
             };
             if job_tx.send(job).is_err() {
                 // Worker pool gone (shutdown): undo the in-flight claim.
-                engine.stats().inflight.fetch_sub(1, Ordering::Release);
+                engine.stats().inflight.dec();
                 engine.stats().record(0, true);
                 send_response(
                     resp_tx,
@@ -314,7 +314,9 @@ fn handle_wire_line(
             }
         }
         Err(shed) => {
-            engine.stats().record(0, true);
+            // Shed at the door: rejected, never served — keep it out of
+            // the served-latency percentiles (see ServeStats docs).
+            engine.stats().record_rejected(0);
             send_response(resp_tx, &Response::err(request.id, shed));
         }
     }
@@ -342,10 +344,16 @@ fn worker_loop(
             Err(mpsc::RecvTimeoutError::Timeout) => continue,
             Err(mpsc::RecvTimeoutError::Disconnected) => break,
         };
+        let queue_wait = job.admitted_at.elapsed();
+        let wait_us = queue_wait.as_micros().min(u64::MAX as u128) as u64;
+        engine.stats().queue_wait_us.record(wait_us);
         let response = match deadline {
-            Some(d) if job.admitted_at.elapsed() > d => {
-                engine.stats().deadline_exceeded.fetch_add(1, Ordering::Relaxed);
-                engine.stats().record(0, true);
+            Some(d) if queue_wait > d => {
+                engine.stats().deadline_exceeded.inc();
+                // A queue-expired request was never served; recording it
+                // as a 0µs sample in the latency ring skewed p99 under
+                // shed. It goes to the reject histogram instead.
+                engine.stats().record_rejected(wait_us);
                 Response::err(
                     job.request.id,
                     ServeError::new(
@@ -357,7 +365,7 @@ fn worker_loop(
             _ => engine.handle(&job.request),
         };
         // The job held the in-flight slot transferred in handle_wire_line.
-        engine.stats().inflight.fetch_sub(1, Ordering::Release);
+        engine.stats().inflight.dec();
         send_response(&job.reply_to, &response);
     }
 }

@@ -17,6 +17,30 @@
 //! model compilation, and in-flight queries keep their `Arc` across any
 //! number of swaps: an old epoch's model is freed when its last query
 //! completes, never before.
+//!
+//! # Example
+//!
+//! ```
+//! use xpdl_serve::{ServeSnapshot, SnapshotRegistry};
+//!
+//! let doc = xpdl_core::XpdlDocument::parse_str(
+//!     r#"<system id="s"><core id="c"/></system>"#,
+//! ).unwrap();
+//! let registry = SnapshotRegistry::new(ServeSnapshot::initial(
+//!     xpdl_runtime::RuntimeModel::from_element(doc.root()),
+//!     "doc v1",
+//! ));
+//! let held = registry.load(); // a reader takes the epoch-0 snapshot
+//!
+//! // A hot reload installs epoch 1 without pausing that reader.
+//! let epoch = registry.install(ServeSnapshot::initial(
+//!     xpdl_runtime::RuntimeModel::from_element(doc.root()),
+//!     "doc v2",
+//! ));
+//! assert_eq!(epoch, 1);
+//! assert_eq!(registry.load().epoch, 1); // new readers see the new epoch
+//! assert_eq!(held.epoch, 0);            // the held snapshot stays valid
+//! ```
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;

@@ -1,16 +1,27 @@
-//! Server statistics: lock-free counters and a latency ring.
+//! Server statistics: registry-backed counters and a latency ring.
 //!
-//! Counters are plain relaxed atomics bumped on the hot path; latencies
-//! go into a fixed-size ring of `AtomicU64` microsecond samples (writers
-//! claim slots with a wrapping cursor, so concurrent workers never
-//! contend on a lock). Percentiles are computed on demand by copying the
-//! ring — an O(ring) cost paid only by the `stats` method, never by
-//! queries.
+//! Counters and gauges are [`xpdl_obs`] instruments owned by the
+//! [`ServeStats`] and registered into the process-wide
+//! `xpdl_obs::MetricsRegistry` under `serve.*` names
+//! (DESIGN.md §14), so the daemon reports through the same surface as the
+//! repository and cache layers. Served latencies additionally go into a
+//! fixed-size ring of `AtomicU64` microsecond samples (writers claim
+//! slots with a wrapping cursor, so concurrent workers never contend on a
+//! lock); percentiles are computed on demand by copying the ring — an
+//! O(ring) cost paid only by the `stats` method, never by queries.
+//!
+//! Rejected requests — shed by admission control (`S420`) or expired in
+//! the queue (`S421`) — are recorded via [`ServeStats::record_rejected`]
+//! into a *separate* histogram. They never enter the served-latency ring:
+//! a shed storm answering in ~0µs must not drag p99 down while the
+//! requests that actually ran are slow.
 
 use crate::protocol::ServeError;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 use xpdl_core::diag::json::{self, JsonValue};
+use xpdl_obs::{Counter, Gauge, Histogram, MetricsRegistry};
 
 /// Number of latency samples retained (a power of two).
 const RING: usize = 2048;
@@ -19,22 +30,33 @@ const RING: usize = 2048;
 #[derive(Debug)]
 pub struct ServeStats {
     started: Instant,
-    /// Requests that reached a handler (including error replies).
-    pub requests: AtomicU64,
+    /// Requests that reached a handler (including error replies and
+    /// rejects).
+    pub requests: Arc<Counter>,
     /// Requests answered with a protocol-level error.
-    pub errors: AtomicU64,
+    pub errors: Arc<Counter>,
     /// Requests refused by admission control (`S420`).
-    pub shed: AtomicU64,
+    pub shed: Arc<Counter>,
     /// Requests expired in the queue (`S421`).
-    pub deadline_exceeded: AtomicU64,
+    pub deadline_exceeded: Arc<Counter>,
+    /// Requests rejected before reaching a handler (`S420` + `S421`);
+    /// their latencies live in the reject histogram, not the served ring.
+    pub rejected: Arc<Counter>,
     /// Hot reloads that installed a new snapshot.
-    pub reloads: AtomicU64,
+    pub reloads: Arc<Counter>,
     /// Hot reload attempts that failed (old snapshot stayed live).
-    pub reload_failures: AtomicU64,
+    pub reload_failures: Arc<Counter>,
     /// Connections accepted since start.
-    pub connections: AtomicU64,
+    pub connections: Arc<Counter>,
     /// Requests currently admitted and not yet answered.
-    pub inflight: AtomicU64,
+    pub inflight: Arc<Gauge>,
+    /// Time requests spent queued before a worker picked them up, µs.
+    pub queue_wait_us: Arc<Histogram>,
+    /// Handler execution time (excluding queue wait), µs.
+    pub handler_time_us: Arc<Histogram>,
+    /// Age of rejected requests when refused, µs — the separate reject
+    /// window keeping shed storms out of the served percentiles.
+    pub reject_latency_us: Arc<Histogram>,
     latency_us: Box<[AtomicU64]>,
     cursor: AtomicUsize,
 }
@@ -46,18 +68,24 @@ impl Default for ServeStats {
 }
 
 impl ServeStats {
-    /// Fresh, zeroed stats anchored at "now".
+    /// Fresh, zeroed stats anchored at "now", registered under the
+    /// `serve.*` metric names.
     pub fn new() -> ServeStats {
+        let reg = MetricsRegistry::global();
         ServeStats {
             started: Instant::now(),
-            requests: AtomicU64::new(0),
-            errors: AtomicU64::new(0),
-            shed: AtomicU64::new(0),
-            deadline_exceeded: AtomicU64::new(0),
-            reloads: AtomicU64::new(0),
-            reload_failures: AtomicU64::new(0),
-            connections: AtomicU64::new(0),
-            inflight: AtomicU64::new(0),
+            requests: reg.counter("serve.requests"),
+            errors: reg.counter("serve.errors"),
+            shed: reg.counter("serve.shed"),
+            deadline_exceeded: reg.counter("serve.deadline_exceeded"),
+            rejected: reg.counter("serve.rejected"),
+            reloads: reg.counter("serve.reloads"),
+            reload_failures: reg.counter("serve.reload_failures"),
+            connections: reg.counter("serve.connections"),
+            inflight: reg.gauge("serve.inflight"),
+            queue_wait_us: reg.histogram("serve.queue.wait_us"),
+            handler_time_us: reg.histogram("serve.handler.time_us"),
+            reject_latency_us: reg.histogram("serve.reject.latency_us"),
             latency_us: (0..RING).map(|_| AtomicU64::new(u64::MAX)).collect(),
             cursor: AtomicUsize::new(0),
         }
@@ -65,13 +93,24 @@ impl ServeStats {
 
     /// Record one handled request and its latency.
     pub fn record(&self, latency_us: u64, is_error: bool) {
-        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.requests.inc();
         if is_error {
-            self.errors.fetch_add(1, Ordering::Relaxed);
+            self.errors.inc();
         }
         let slot = self.cursor.fetch_add(1, Ordering::Relaxed) & (RING - 1);
         // u64::MAX marks "never written"; clamp real samples below it.
         self.latency_us[slot].store(latency_us.min(u64::MAX - 1), Ordering::Relaxed);
+    }
+
+    /// Record one rejected request (`S420` shed / `S421` queue-deadline):
+    /// counted in `requests`/`errors` like any other answered request,
+    /// but its latency goes to the reject histogram instead of the
+    /// served-percentile ring.
+    pub fn record_rejected(&self, age_us: u64) {
+        self.requests.inc();
+        self.errors.inc();
+        self.rejected.inc();
+        self.reject_latency_us.record(age_us);
     }
 
     /// Point-in-time snapshot (percentiles over the retained ring).
@@ -91,24 +130,41 @@ impl ServeStats {
             samples[idx.min(samples.len() - 1)]
         };
         let uptime = self.started.elapsed();
-        let requests = self.requests.load(Ordering::Relaxed);
+        let requests = self.requests.get();
         let uptime_s = uptime.as_secs_f64().max(1e-9);
+        let mut reject_hist = xpdl_obs::metrics::HistogramSnapshot::empty();
+        {
+            // Merge this instance's reject histogram into a snapshot for
+            // the quantile bound.
+            let h = &self.reject_latency_us;
+            reject_hist.count = h.count();
+            reject_hist.sum = h.sum();
+            reject_hist.buckets = h
+                .bucket_counts()
+                .iter()
+                .enumerate()
+                .filter(|(_, &c)| c > 0)
+                .map(|(i, &c)| (i as u8, c))
+                .collect();
+        }
         StatsSnapshot {
             epoch,
             uptime_ms: uptime.as_millis() as u64,
             requests,
-            errors: self.errors.load(Ordering::Relaxed),
-            shed: self.shed.load(Ordering::Relaxed),
-            deadline_exceeded: self.deadline_exceeded.load(Ordering::Relaxed),
-            reloads: self.reloads.load(Ordering::Relaxed),
-            reload_failures: self.reload_failures.load(Ordering::Relaxed),
-            connections: self.connections.load(Ordering::Relaxed),
-            inflight: self.inflight.load(Ordering::Relaxed),
+            errors: self.errors.get(),
+            shed: self.shed.get(),
+            deadline_exceeded: self.deadline_exceeded.get(),
+            rejected: self.rejected.get(),
+            reloads: self.reloads.get(),
+            reload_failures: self.reload_failures.get(),
+            connections: self.connections.get(),
+            inflight: self.inflight.get(),
             qps: requests as f64 / uptime_s,
             p50_us: pct(0.50),
             p90_us: pct(0.90),
             p99_us: pct(0.99),
             max_us: samples.last().copied().unwrap_or(0),
+            reject_p99_us: reject_hist.quantile_upper_bound(0.99),
         }
     }
 }
@@ -129,6 +185,9 @@ pub struct StatsSnapshot {
     pub shed: u64,
     /// Requests expired in the queue.
     pub deadline_exceeded: u64,
+    /// Rejected requests (shed + queue-expired) kept out of the served
+    /// percentiles.
+    pub rejected: u64,
     /// Hot reloads that swapped the snapshot.
     pub reloads: u64,
     /// Failed reload attempts.
@@ -140,6 +199,7 @@ pub struct StatsSnapshot {
     /// Mean requests/second over the whole uptime.
     pub qps: f64,
     /// Median handler latency over the retained ring, microseconds.
+    /// Served requests only — rejects are windowed separately.
     pub p50_us: u64,
     /// 90th-percentile latency, microseconds.
     pub p90_us: u64,
@@ -147,6 +207,9 @@ pub struct StatsSnapshot {
     pub p99_us: u64,
     /// Worst retained latency, microseconds.
     pub max_us: u64,
+    /// Log2-bucket upper bound on the 99th-percentile age of rejected
+    /// requests, microseconds (0 when nothing was rejected).
+    pub reject_p99_us: u64,
 }
 
 impl StatsSnapshot {
@@ -156,15 +219,16 @@ impl StatsSnapshot {
         let qps = if self.qps.is_finite() { self.qps } else { 0.0 };
         out.push_str(&format!(
             "\"epoch\":{},\"uptime_ms\":{},\"requests\":{},\"errors\":{},\"shed\":{},\
-             \"deadline_exceeded\":{},\"reloads\":{},\"reload_failures\":{},\
+             \"deadline_exceeded\":{},\"rejected\":{},\"reloads\":{},\"reload_failures\":{},\
              \"connections\":{},\"inflight\":{},\"qps\":{},\"p50_us\":{},\"p90_us\":{},\
-             \"p99_us\":{},\"max_us\":{}",
+             \"p99_us\":{},\"max_us\":{},\"reject_p99_us\":{}",
             self.epoch,
             self.uptime_ms,
             self.requests,
             self.errors,
             self.shed,
             self.deadline_exceeded,
+            self.rejected,
             self.reloads,
             self.reload_failures,
             self.connections,
@@ -174,6 +238,7 @@ impl StatsSnapshot {
             self.p90_us,
             self.p99_us,
             self.max_us,
+            self.reject_p99_us,
         ));
     }
 
@@ -192,6 +257,11 @@ impl StatsSnapshot {
                 .map(|n| n as u64)
                 .ok_or(format!("missing stats field {k:?}"))
         };
+        // `rejected`/`reject_p99_us` default to 0 so snapshots emitted by
+        // pre-observability servers still parse.
+        let opt_int = |k: &str| -> u64 {
+            json::get(obj, k).and_then(JsonValue::as_number).map(|n| n as u64).unwrap_or(0)
+        };
         Ok(StatsSnapshot {
             epoch: int("epoch")?,
             uptime_ms: int("uptime_ms")?,
@@ -199,6 +269,7 @@ impl StatsSnapshot {
             errors: int("errors")?,
             shed: int("shed")?,
             deadline_exceeded: int("deadline_exceeded")?,
+            rejected: opt_int("rejected"),
             reloads: int("reloads")?,
             reload_failures: int("reload_failures")?,
             connections: int("connections")?,
@@ -210,6 +281,7 @@ impl StatsSnapshot {
             p90_us: int("p90_us")?,
             p99_us: int("p99_us")?,
             max_us: int("max_us")?,
+            reject_p99_us: opt_int("reject_p99_us"),
         })
     }
 
@@ -231,20 +303,11 @@ impl<'s> InflightPermit<'s> {
     /// Try to admit one request under `max` concurrent; on refusal the
     /// caller sheds with `S420` (overloaded).
     pub fn try_acquire(stats: &'s ServeStats, max: usize) -> Result<InflightPermit<'s>, ServeError> {
-        let mut cur = stats.inflight.load(Ordering::Relaxed);
-        loop {
-            if cur >= max as u64 {
-                stats.shed.fetch_add(1, Ordering::Relaxed);
-                return Err(ServeError::overloaded(cur as usize, max));
-            }
-            match stats.inflight.compare_exchange_weak(
-                cur,
-                cur + 1,
-                Ordering::AcqRel,
-                Ordering::Relaxed,
-            ) {
-                Ok(_) => return Ok(InflightPermit { stats }),
-                Err(actual) => cur = actual,
+        match stats.inflight.try_inc_below(max as u64) {
+            Ok(_) => Ok(InflightPermit { stats }),
+            Err(cur) => {
+                stats.shed.inc();
+                Err(ServeError::overloaded(cur as usize, max))
             }
         }
     }
@@ -252,7 +315,7 @@ impl<'s> InflightPermit<'s> {
 
 impl Drop for InflightPermit<'_> {
     fn drop(&mut self) {
-        self.stats.inflight.fetch_sub(1, Ordering::Release);
+        self.stats.inflight.dec();
     }
 }
 
@@ -290,13 +353,50 @@ mod tests {
     }
 
     #[test]
+    fn rejects_stay_out_of_served_percentiles() {
+        let s = ServeStats::new();
+        // A steady stream of genuinely slow served requests...
+        for _ in 0..100 {
+            s.record(5_000, false);
+        }
+        // ...and a shed storm of instant rejects (the old bug recorded
+        // these as 0µs samples in the same ring, dragging p99 to 0).
+        for _ in 0..10_000 {
+            s.record_rejected(3);
+        }
+        let snap = s.snapshot(0);
+        assert_eq!(snap.p50_us, 5_000, "served percentiles unpolluted");
+        assert_eq!(snap.p99_us, 5_000);
+        assert_eq!(snap.rejected, 10_000);
+        assert_eq!(snap.requests, 10_100);
+        assert_eq!(snap.errors, 10_000);
+        // Reject ages are tracked in their own histogram window.
+        assert!(snap.reject_p99_us >= 3 && snap.reject_p99_us <= 4, "{}", snap.reject_p99_us);
+        assert_eq!(s.reject_latency_us.count(), 10_000);
+    }
+
+    #[test]
     fn snapshot_roundtrips_through_json() {
         let s = ServeStats::new();
         s.record(42, false);
-        s.shed.fetch_add(3, Ordering::Relaxed);
+        s.record_rejected(9);
+        s.shed.add(3);
         let snap = s.snapshot(9);
         let back = StatsSnapshot::parse(&snap.to_json()).unwrap();
         assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn snapshot_without_reject_fields_still_parses() {
+        // A stats object from a pre-observability server.
+        let legacy = "{\"epoch\":1,\"uptime_ms\":2,\"requests\":3,\"errors\":0,\"shed\":0,\
+                      \"deadline_exceeded\":0,\"reloads\":0,\"reload_failures\":0,\
+                      \"connections\":1,\"inflight\":0,\"qps\":1.5,\"p50_us\":10,\
+                      \"p90_us\":20,\"p99_us\":30,\"max_us\":40}";
+        let snap = StatsSnapshot::parse(legacy).unwrap();
+        assert_eq!(snap.rejected, 0);
+        assert_eq!(snap.reject_p99_us, 0);
+        assert_eq!(snap.requests, 3);
     }
 
     #[test]
@@ -306,11 +406,11 @@ mod tests {
         let p2 = InflightPermit::try_acquire(&s, 2).unwrap();
         let refused = InflightPermit::try_acquire(&s, 2).unwrap_err();
         assert_eq!(refused.code, codes::OVERLOADED);
-        assert_eq!(s.shed.load(Ordering::Relaxed), 1);
+        assert_eq!(s.shed.get(), 1);
         drop(p1);
         let _p3 = InflightPermit::try_acquire(&s, 2).unwrap();
         drop(p2);
-        assert_eq!(s.inflight.load(Ordering::Relaxed), 1);
+        assert_eq!(s.inflight.get(), 1);
     }
 
     #[test]
@@ -319,5 +419,17 @@ mod tests {
         assert_eq!(snap.p50_us, 0);
         assert_eq!(snap.max_us, 0);
         assert_eq!(snap.requests, 0);
+        assert_eq!(snap.reject_p99_us, 0);
+    }
+
+    #[test]
+    fn stats_register_into_the_global_metrics_surface() {
+        let s = ServeStats::new();
+        s.record(10, false);
+        s.queue_wait_us.record(5);
+        let snap = MetricsRegistry::global().snapshot();
+        assert!(snap.counters["serve.requests"] >= 1, "{snap:?}");
+        assert!(snap.histograms.contains_key("serve.queue.wait_us"));
+        assert!(snap.gauges.contains_key("serve.inflight"));
     }
 }

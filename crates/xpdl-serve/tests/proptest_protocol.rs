@@ -3,6 +3,7 @@
 //! data level, and arbitrary junk lines never panic the parsers.
 
 use proptest::prelude::*;
+use xpdl_obs::{HistogramSnapshot, MetricsSnapshot};
 use xpdl_serve::protocol::{AccelInfo, NodeInfo, TransferInfo};
 use xpdl_serve::{parse_request, parse_response, Method, Reply, Request, Response, ServeError};
 
@@ -29,6 +30,7 @@ fn arb_method() -> impl Strategy<Value = Method> {
         Just(Method::NumCudaDevices),
         Just(Method::TotalStaticPower),
         Just(Method::Stats),
+        Just(Method::Metrics),
         Just(Method::Reload),
         Just(Method::Shutdown),
         arb_text().prop_map(|ident| Method::Find { ident }),
@@ -53,9 +55,27 @@ fn arb_method() -> impl Strategy<Value = Method> {
     ]
 }
 
+/// Metric names as they appear in practice: dotted lowercase segments,
+/// plus whatever arb_text throws in (escaping must hold for any name).
+fn arb_metric_name() -> impl Strategy<Value = String> {
+    prop_oneof![proptest::string::string_regex("[a-z_.]{1,24}").unwrap(), arb_text()]
+}
+
+fn arb_metrics() -> impl Strategy<Value = MetricsSnapshot> {
+    let hist = (arb_u53(), arb_u53(), proptest::collection::vec((0u8..=64, arb_u53()), 0..4))
+        .prop_map(|(count, sum, buckets)| HistogramSnapshot { count, sum, buckets });
+    (
+        proptest::collection::btree_map(arb_metric_name(), arb_u53(), 0..4),
+        proptest::collection::btree_map(arb_metric_name(), arb_u53(), 0..4),
+        proptest::collection::btree_map(arb_metric_name(), hist, 0..3),
+    )
+        .prop_map(|(counters, gauges, histograms)| MetricsSnapshot { counters, gauges, histograms })
+}
+
 fn arb_reply() -> impl Strategy<Value = Reply> {
     prop_oneof![
         Just(Reply::Pong),
+        arb_metrics().prop_map(Reply::Metrics),
         Just(Reply::ShuttingDown),
         arb_u53().prop_map(Reply::Count),
         arb_f64().prop_map(Reply::Power),

@@ -135,7 +135,7 @@ fn overload_sheds_instead_of_queueing() {
 
     // Give the reader threads a moment to admit both.
     let deadline = std::time::Instant::now() + Duration::from_secs(5);
-    while server.engine().stats().inflight.load(std::sync::atomic::Ordering::Relaxed) < 2 {
+    while server.engine().stats().inflight.get() < 2 {
         assert!(std::time::Instant::now() < deadline, "sleeps never admitted");
         std::thread::sleep(Duration::from_millis(5));
     }
@@ -153,7 +153,7 @@ fn overload_sheds_instead_of_queueing() {
     assert_eq!(sleeper.recv().result.unwrap(), Reply::Slept { ms: 600 });
     let resp = victim.call(r#"{"v":1,"id":4,"method":"ping"}"#);
     assert_eq!(resp.result.unwrap(), Reply::Pong);
-    assert!(server.engine().stats().shed.load(std::sync::atomic::Ordering::Relaxed) >= 1);
+    assert!(server.engine().stats().shed.get() >= 1);
 }
 
 #[test]
@@ -181,7 +181,7 @@ fn queued_requests_past_their_deadline_get_s421() {
     let err = by_id.remove(&2).unwrap().unwrap_err();
     assert_eq!(err.code, codes::DEADLINE_EXCEEDED);
     assert_eq!(
-        server.engine().stats().deadline_exceeded.load(std::sync::atomic::Ordering::Relaxed),
+        server.engine().stats().deadline_exceeded.get(),
         1
     );
 }
@@ -256,7 +256,7 @@ fn hot_reload_swaps_under_live_traffic_without_errors() {
     stop.store(true, std::sync::atomic::Ordering::Release);
     let total: u64 = clients.into_iter().map(|c| c.join().expect("client panicked")).sum();
     assert!(total > 0, "clients never got a query through");
-    assert_eq!(engine.stats().errors.load(std::sync::atomic::Ordering::Relaxed), 0);
+    assert_eq!(engine.stats().errors.get(), 0);
     assert_eq!(engine.registry().current_epoch(), 10);
     std::fs::remove_dir_all(&dir).unwrap();
 }

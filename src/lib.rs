@@ -27,6 +27,7 @@
 //! | [`pdl`] | `pdl-compat` | the PEPPHER PDL baseline + converter |
 //! | [`models`] | `xpdl-models` | the paper's listings + complete model library |
 //! | [`serve`] | `xpdl-serve` | model-serving daemon: JSON-lines protocol, hot snapshot swap, backpressure |
+//! | [`obs`] | `xpdl-obs` | observability substrate: tracing spans, metrics registry, profile export |
 //! | [`api`] | (generated) | typed element wrappers generated from the schema |
 //!
 //! ## Quickstart
@@ -61,6 +62,7 @@ pub use xpdl_expr as expr;
 pub use xpdl_hwsim as hwsim;
 pub use xpdl_mb as mb;
 pub use xpdl_models as models;
+pub use xpdl_obs as obs;
 pub use xpdl_power as power;
 pub use xpdl_repo as repo;
 pub use xpdl_runtime as runtime;

@@ -1,0 +1,91 @@
+//! End-to-end observability: running the pipeline (resolve → elaborate →
+//! validate) under tracing emits one well-nested span tree, and the JSON
+//! exporter preserves that nesting.
+
+use xpdl::core::diag::json::{self, JsonValue};
+use xpdl::obs::{export, trace};
+
+/// Walk parent links to keep only the records under `root` — the global
+/// collector is shared, so concurrent activity elsewhere must not leak
+/// into this test's tree.
+fn subtree_records(records: Vec<trace::Record>, root: u64) -> Vec<trace::Record> {
+    let parents: std::collections::HashMap<u64, u64> =
+        records.iter().map(|r| (r.id, r.parent)).collect();
+    records
+        .into_iter()
+        .filter(|r| {
+            let mut cur = r.id;
+            loop {
+                if cur == root {
+                    return true;
+                }
+                match parents.get(&cur) {
+                    Some(&p) if p != 0 && p != cur => cur = p,
+                    _ => return false,
+                }
+            }
+        })
+        .collect()
+}
+
+/// Depth-first check that every child's `[start, start+dur]` window sits
+/// inside its parent's, and collect the span names seen.
+fn check_nesting(node: &[(String, JsonValue)], names: &mut Vec<String>) {
+    let name = json::get(node, "name").and_then(JsonValue::as_str).expect("span has name");
+    names.push(name.to_string());
+    let start = json::get(node, "start_us").and_then(JsonValue::as_number).unwrap();
+    let dur = json::get(node, "dur_us").and_then(JsonValue::as_number).unwrap();
+    let end = start + dur;
+    for child in json::get(node, "children").and_then(JsonValue::as_array).unwrap() {
+        let child = child.as_object().expect("child is an object");
+        if json::get(child, "kind").and_then(JsonValue::as_str) == Some("span") {
+            let cs = json::get(child, "start_us").and_then(JsonValue::as_number).unwrap();
+            let cd = json::get(child, "dur_us").and_then(JsonValue::as_number).unwrap();
+            // Microsecond rounding can nudge a boundary by one tick.
+            assert!(cs + 1.0 >= start, "{name}: child starts before parent ({cs} < {start})");
+            assert!(cs + cd <= end + 1.0, "{name}: child outlives parent ({} > {end})", cs + cd);
+        }
+        check_nesting(child, names);
+    }
+}
+
+#[test]
+fn pipeline_emits_a_well_nested_span_tree() {
+    trace::set_enabled(true);
+    let root_id;
+    {
+        let sp = trace::span("obs_e2e.pipeline");
+        root_id = sp.id();
+        let repo = xpdl::models::paper_repository();
+        let set = repo.resolve_recursive("liu_gpu_server").expect("resolve");
+        let model = xpdl::elab::elaborate(&set).expect("elaborate");
+        assert!(model.is_clean());
+        let diags = xpdl::schema::validate_document(set.root(), &xpdl::schema::Schema::core());
+        assert!(diags.iter().all(|d| !d.is_error()), "{diags:?}");
+    }
+    trace::set_enabled(false);
+
+    let records = subtree_records(trace::global_collector().drain(), root_id);
+    let rendered = export::render_json(&records);
+
+    // The rendered tree must parse back as JSON and contain the three
+    // pipeline stages, nested under the one root we opened.
+    let parsed = json::parse(&rendered).expect("exporter output is valid JSON");
+    let spans = json::get(parsed.as_object().unwrap(), "spans")
+        .and_then(JsonValue::as_array)
+        .expect("spans array");
+    assert_eq!(spans.len(), 1, "exactly one root: {rendered}");
+    let root = spans[0].as_object().unwrap();
+    assert_eq!(json::get(root, "name").and_then(JsonValue::as_str), Some("obs_e2e.pipeline"));
+
+    let mut names = Vec::new();
+    check_nesting(root, &mut names);
+    for expected in ["repo.resolve", "repo.load", "repo.parse", "elab.elaborate", "elab.expand", "schema.validate"] {
+        assert!(names.iter().any(|n| n == expected), "missing span {expected:?} in {names:?}");
+    }
+    // Stage order under the root: resolve before elaborate before validate
+    // is not guaranteed by the exporter (children sort by start time), but
+    // resolve must start before elaborate since the pipeline is serial.
+    let pos = |what: &str| names.iter().position(|n| n == what).unwrap();
+    assert!(pos("repo.resolve") < pos("elab.elaborate"));
+}

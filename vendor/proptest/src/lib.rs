@@ -1,7 +1,7 @@
 //! Offline stand-in for the `proptest` crate.
 //!
 //! This workspace builds without a crates.io mirror, so `proptest` is
-//! vendored as a deterministic random-testing subset: the [`Strategy`]
+//! vendored as a deterministic random-testing subset: the [`Strategy`](strategy::Strategy)
 //! combinators, collection/option/string strategy constructors, and the
 //! [`proptest!`]/[`prop_oneof!`]/[`prop_assert!`] macros used by the test
 //! suites. Differences from the real crate:
