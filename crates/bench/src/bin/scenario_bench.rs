@@ -1,0 +1,486 @@
+//! Scenario-matrix benchmark harness over synthetic fleets — the perf
+//! trajectory gate of DESIGN.md §15.
+//!
+//! One invocation generates a deterministic fleet (`xpdl-fleetgen`),
+//! runs every scenario of the selected matrix against it, and appends a
+//! run record to `BENCH_scenarios.json` — so the file accumulates a
+//! *trajectory* across commits instead of overwriting a point sample.
+//! Scenarios (each a named lifecycle stress, DESIGN.md §15):
+//!
+//! - `query_storm`        read-heavy TCP query mix via `xpdl-serve`
+//! - `reload_churn`       hot snapshot swaps under concurrent queries
+//! - `cold_resolve_cold`  repo resolve + elaborate, disk cache cold
+//! - `cold_resolve_warm`  same, disk cache warm (no store fetches)
+//! - `offline_stale`      dead upstream, `Freshness::StaleOk` serving
+//! - `poisoned_keep_going` keep-going elaboration over a poisoned fleet
+//!
+//! ```text
+//! cargo run --release -p bench --bin scenario_bench -- [flags]
+//!   --seed N          fleet seed (default 42)
+//!   --matrix NAME     smoke | full (default smoke)
+//!   --shape SPEC      override the matrix fleet shape
+//!   --out FILE        trajectory file (default BENCH_scenarios.json)
+//!   --expect-clean    exit 1 if any scenario reports errors > 0
+//! ```
+
+use bench::record::{append_run, ExtraValue, RunRecord, ScenarioRecord};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use xpdl_fleetgen::{generate, Fleet, FleetShape};
+use xpdl_obs::{Histogram, HistogramSnapshot, MetricsRegistry};
+use xpdl_repo::{
+    CachingStore, DiskCache, FaultConfig, FaultInjectingStore, Freshness, Repository,
+    ResolveOptions,
+};
+use xpdl_serve::{parse_response, Engine, EngineOptions, ModelSource, Server, ServerOptions};
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+}
+
+/// Per-matrix sizing. `smoke` is the CI gate (seconds, not minutes);
+/// `full` is the local soak.
+struct Matrix {
+    name: &'static str,
+    shape: &'static str,
+    storm_threads: u64,
+    storm_requests: u64,
+    churn_swaps: u64,
+    churn_query_threads: u64,
+    reps: u64,
+}
+
+const SMOKE: Matrix = Matrix {
+    name: "smoke",
+    shape: "nodes=24,depth=6,chain=8,width=6,unknown=0.3",
+    storm_threads: 4,
+    storm_requests: 2400,
+    churn_swaps: 60,
+    churn_query_threads: 2,
+    reps: 5,
+};
+
+const FULL: Matrix = Matrix {
+    name: "full",
+    shape: "nodes=96,depth=8,chain=12,width=10,unknown=0.3",
+    storm_threads: 8,
+    storm_requests: 20_000,
+    churn_swaps: 200,
+    churn_query_threads: 4,
+    reps: 20,
+};
+
+/// Snapshot a local histogram through the registry machinery, so the
+/// percentiles come from the same `xpdl-obs` quantile code the daemon
+/// reports over its metrics RPC.
+fn snapshot_of(h: &Arc<Histogram>) -> HistogramSnapshot {
+    let reg = MetricsRegistry::new();
+    reg.register_histogram("scenario", h);
+    reg.snapshot().histograms.remove("scenario").unwrap_or_else(HistogramSnapshot::empty)
+}
+
+/// The ident-free read mix: valid against *any* fleet shape, weighted
+/// toward the cheap calls a runtime system issues in its inner loop.
+const STORM_MIX: &[&str] = &[
+    r#"{"v":1,"id":ID,"method":"num_cores"}"#,
+    r#"{"v":1,"id":ID,"method":"ping"}"#,
+    r#"{"v":1,"id":ID,"method":"model_info"}"#,
+    r#"{"v":1,"id":ID,"method":"num_cores"}"#,
+    r#"{"v":1,"id":ID,"method":"total_static_power"}"#,
+    r#"{"v":1,"id":ID,"method":"elements_of_kind","params":{"kind":"system"}}"#,
+    r#"{"v":1,"id":ID,"method":"num_cuda_devices"}"#,
+];
+
+/// `query_storm`: client threads hammer a real TCP server over the
+/// fleet's compiled model; every response is validated for id echo and
+/// protocol correctness.
+fn query_storm(fleet: &Fleet, m: &Matrix) -> ScenarioRecord {
+    let model = xpdl_fleetgen::elaborate_fleet(fleet).expect("elaborate fleet");
+    let rt = xpdl_runtime::RuntimeModel::from_element(&model.root);
+    let engine = Arc::new(
+        Engine::new(
+            ModelSource::Fixed(Box::new(rt)),
+            EngineOptions { allow_debug: false, allow_shutdown: false },
+        )
+        .expect("engine"),
+    );
+    let server = Server::start(
+        Arc::clone(&engine),
+        "127.0.0.1:0",
+        ServerOptions { workers: 4, max_inflight: 4096, ..Default::default() },
+    )
+    .expect("server");
+    let addr = server.local_addr().to_string();
+
+    let hist = Arc::new(Histogram::new());
+    let per_thread = m.storm_requests / m.storm_threads.max(1);
+    let wall = Instant::now();
+    let tallies: Vec<(u64, u64)> = (0..m.storm_threads)
+        .map(|t| {
+            let addr = addr.clone();
+            let hist = Arc::clone(&hist);
+            std::thread::spawn(move || {
+                let stream = TcpStream::connect(&addr).expect("connect");
+                stream.set_nodelay(true).ok();
+                let mut writer = stream.try_clone().expect("clone");
+                let mut reader = BufReader::new(stream);
+                let mut line = String::new();
+                let (mut ok, mut errors) = (0u64, 0u64);
+                for n in 0..per_thread {
+                    let id = t * 10_000_000 + n;
+                    let req =
+                        STORM_MIX[(n as usize) % STORM_MIX.len()].replace("ID", &id.to_string());
+                    let start = Instant::now();
+                    writer.write_all(req.as_bytes()).expect("send");
+                    writer.write_all(b"\n").expect("send");
+                    line.clear();
+                    reader.read_line(&mut line).expect("recv");
+                    hist.record(start.elapsed().as_micros() as u64);
+                    match parse_response(line.trim()) {
+                        Ok(resp) if resp.id == id && resp.result.is_ok() => ok += 1,
+                        _ => errors += 1,
+                    }
+                }
+                (ok, errors)
+            })
+        })
+        .map(|h| h.join().expect("client"))
+        .collect();
+    let wall_s = wall.elapsed().as_secs_f64();
+
+    // The server's own tally, over the wire like any client would get it.
+    let server_stats = {
+        let mut conn = TcpStream::connect(&addr).expect("stats connect");
+        conn.write_all(b"{\"v\":1,\"id\":1,\"method\":\"stats\"}\n").expect("stats send");
+        let mut line = String::new();
+        BufReader::new(conn).read_line(&mut line).expect("stats recv");
+        match parse_response(line.trim()) {
+            Ok(resp) => match resp.result {
+                Ok(xpdl_serve::Reply::Stats(s)) => Some(s),
+                _ => None,
+            },
+            Err(_) => None,
+        }
+    };
+    server.shutdown();
+    server.join();
+
+    let ok: u64 = tallies.iter().map(|t| t.0).sum();
+    let errors: u64 = tallies.iter().map(|t| t.1).sum();
+    let shed = server_stats.as_ref().map(|s| s.shed).unwrap_or(0);
+    let mut rec = ScenarioRecord::new("query_storm");
+    rec.set_latencies(&snapshot_of(&hist));
+    rec.qps = (ok + errors) as f64 / wall_s.max(1e-9);
+    rec.errors = errors + shed;
+    rec.put_extra("ok", ExtraValue::U64(ok));
+    rec.put_extra("shed", ExtraValue::U64(shed));
+    if let Some(s) = &server_stats {
+        rec.put_extra("server", ExtraValue::Raw(s.to_json()));
+    }
+    rec
+}
+
+/// `reload_churn`: hot-swap the served snapshot `churn_swaps` times
+/// while query threads run against the engine; epochs must be strictly
+/// monotone and no query may fail mid-swap.
+fn reload_churn(fleet: &Fleet, m: &Matrix, tmp: &std::path::Path) -> ScenarioRecord {
+    let model = xpdl_fleetgen::elaborate_fleet(fleet).expect("elaborate fleet");
+    let base_rt = xpdl_runtime::RuntimeModel::from_element(&model.root);
+    let mut variant = model.clone();
+    variant.root.set_attr("bench_generation", "1");
+    let variant_rt = xpdl_runtime::RuntimeModel::from_element(&variant.root);
+
+    let model_path = tmp.join("churn.xpdlrt");
+    let swap_path = tmp.join("churn.xpdlrt.next");
+    xpdl_runtime::format::save_file(&base_rt, &model_path).expect("write model");
+    let engine = Arc::new(
+        Engine::new(
+            ModelSource::File(model_path.clone()),
+            EngineOptions { allow_debug: false, allow_shutdown: false },
+        )
+        .expect("engine"),
+    );
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let query_errors = Arc::new(AtomicU64::new(0));
+    let queries = Arc::new(AtomicU64::new(0));
+    let hist = Arc::new(Histogram::new());
+    let workers: Vec<_> = (0..m.churn_query_threads)
+        .map(|t| {
+            let engine = Arc::clone(&engine);
+            let stop = Arc::clone(&stop);
+            let query_errors = Arc::clone(&query_errors);
+            let queries = Arc::clone(&queries);
+            let hist = Arc::clone(&hist);
+            std::thread::spawn(move || {
+                let mut n = 0u64;
+                while !stop.load(Ordering::Acquire) {
+                    let id = t * 10_000_000 + n;
+                    n += 1;
+                    let req =
+                        STORM_MIX[(n as usize) % STORM_MIX.len()].replace("ID", &id.to_string());
+                    let start = Instant::now();
+                    let resp = engine.handle_line(&req);
+                    hist.record(start.elapsed().as_micros() as u64);
+                    queries.fetch_add(1, Ordering::Relaxed);
+                    if resp.id != id || resp.result.is_err() {
+                        query_errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            })
+        })
+        .collect();
+
+    // Churn: alternate two fingerprint-distinct models via write-then-
+    // rename, reload, and demand a real swap with a strictly greater
+    // epoch every time.
+    let wall = Instant::now();
+    let mut last_epoch = engine.registry().current_epoch();
+    let mut churn_errors = 0u64;
+    for i in 0..m.churn_swaps {
+        let next = if i % 2 == 0 { &variant_rt } else { &base_rt };
+        xpdl_runtime::format::save_file(next, &swap_path).expect("write swap");
+        std::fs::rename(&swap_path, &model_path).expect("rename swap");
+        match engine.reload() {
+            Ok((epoch, swapped)) => {
+                if !swapped || epoch <= last_epoch {
+                    churn_errors += 1;
+                } else {
+                    last_epoch = epoch;
+                }
+            }
+            Err(_) => churn_errors += 1,
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let wall_s = wall.elapsed().as_secs_f64();
+    stop.store(true, Ordering::Release);
+    for w in workers {
+        w.join().expect("query thread");
+    }
+
+    let total_queries = queries.load(Ordering::Relaxed);
+    let mut rec = ScenarioRecord::new("reload_churn");
+    rec.set_latencies(&snapshot_of(&hist));
+    rec.qps = total_queries as f64 / wall_s.max(1e-9);
+    rec.errors = churn_errors + query_errors.load(Ordering::Relaxed);
+    rec.put_extra("swaps", ExtraValue::U64(m.churn_swaps));
+    rec.put_extra("final_epoch", ExtraValue::U64(last_epoch));
+    rec.put_extra("queries", ExtraValue::U64(total_queries));
+    rec
+}
+
+/// Build a repository whose only store is the fleet behind a disk cache.
+fn cached_repo(fleet: &Fleet, cache: &Arc<DiskCache>, freshness: Freshness) -> Repository {
+    Repository::new()
+        .with_store(CachingStore::new(fleet.store(), Arc::clone(cache), freshness).with_source_id("fleet"))
+}
+
+/// Time `reps` full resolve + elaborate passes, one fresh `Repository`
+/// each (so the in-memory parse cache never short-circuits the path
+/// under test), recording per-rep wall time.
+fn timed_resolves(
+    name: &str,
+    reps: u64,
+    mut make_repo: impl FnMut(u64) -> Repository,
+    key: &str,
+) -> ScenarioRecord {
+    let hist = Arc::new(Histogram::new());
+    let mut errors = 0u64;
+    let wall = Instant::now();
+    for rep in 0..reps {
+        let repo = make_repo(rep);
+        let start = Instant::now();
+        let ok = repo
+            .resolve_recursive(key)
+            .ok()
+            .and_then(|set| xpdl_elab::elaborate(&set).ok())
+            .is_some_and(|m| m.is_clean());
+        hist.record(start.elapsed().as_micros() as u64);
+        if !ok {
+            errors += 1;
+        }
+    }
+    let wall_s = wall.elapsed().as_secs_f64();
+    let mut rec = ScenarioRecord::new(name);
+    rec.set_latencies(&snapshot_of(&hist));
+    rec.qps = reps as f64 / wall_s.max(1e-9);
+    rec.errors = errors;
+    rec.put_extra("reps", ExtraValue::U64(reps));
+    rec
+}
+
+/// `cold_resolve_cold`: every rep starts from an empty disk cache.
+fn cold_resolve_cold(fleet: &Fleet, m: &Matrix, tmp: &std::path::Path) -> ScenarioRecord {
+    timed_resolves(
+        "cold_resolve_cold",
+        m.reps,
+        |rep| {
+            let cache = Arc::new(
+                DiskCache::open(tmp.join(format!("cold{rep}"))).expect("open cold cache"),
+            );
+            cached_repo(fleet, &cache, Freshness::Strict)
+        },
+        fleet.system_key(),
+    )
+}
+
+/// `cold_resolve_warm`: one shared warm disk cache; measured reps must
+/// be pure disk-hit resolves (the warming pass runs outside the timer).
+fn cold_resolve_warm(fleet: &Fleet, m: &Matrix, tmp: &std::path::Path) -> ScenarioRecord {
+    let cache = Arc::new(DiskCache::open(tmp.join("warm")).expect("open warm cache"));
+    cached_repo(fleet, &cache, Freshness::Strict)
+        .resolve_recursive(fleet.system_key())
+        .expect("warming resolve");
+    let mut rec = timed_resolves(
+        "cold_resolve_warm",
+        m.reps,
+        |_| cached_repo(fleet, &cache, Freshness::Strict),
+        fleet.system_key(),
+    );
+    rec.put_extra("disk_hits", ExtraValue::U64(cache.disk_hits()));
+    rec
+}
+
+/// `offline_stale`: warm the cache, kill the upstream (100% injected
+/// failures), and keep serving from the last good cached copies under
+/// `Freshness::StaleOk` — the degraded mode DESIGN.md §12 promises.
+fn offline_stale(fleet: &Fleet, m: &Matrix, tmp: &std::path::Path, seed: u64) -> ScenarioRecord {
+    let cache = Arc::new(DiskCache::open(tmp.join("offline")).expect("open offline cache"));
+    cached_repo(fleet, &cache, Freshness::Strict)
+        .resolve_recursive(fleet.system_key())
+        .expect("warming resolve");
+    let mut rec = timed_resolves(
+        "offline_stale",
+        m.reps,
+        |_| {
+            let dead = FaultInjectingStore::new(fleet.store(), FaultConfig::failures(1.0, seed));
+            Repository::new().with_store(
+                CachingStore::new(
+                    dead,
+                    Arc::clone(&cache),
+                    Freshness::StaleOk { max_age: Duration::from_secs(3600) },
+                )
+                .with_source_id("fleet"),
+            )
+        },
+        fleet.system_key(),
+    );
+    rec.put_extra("stale_served", ExtraValue::U64(cache.stale_served_session()));
+    rec
+}
+
+/// `poisoned_keep_going`: elaboration over a fleet with two families
+/// pointing at missing types must quarantine exactly the planned nodes
+/// and keep every healthy family expanded.
+fn poisoned_keep_going(fleet: &Fleet, m: &Matrix) -> ScenarioRecord {
+    const VICTIMS: usize = 2;
+    let poisoned = fleet.poisoned(VICTIMS);
+    let expected = poisoned.expected_poisoned(VICTIMS);
+    let hist = Arc::new(Histogram::new());
+    let mut errors = 0u64;
+    let reps = m.reps.min(5);
+    let wall = Instant::now();
+    for _ in 0..reps {
+        let repo = poisoned.repository();
+        let start = Instant::now();
+        let opts = ResolveOptions { allow_missing: true, ..Default::default() };
+        let eopts = xpdl_elab::ElabOptions { keep_going: true, ..Default::default() };
+        let quarantined = repo
+            .resolve_with(poisoned.system_key(), &opts)
+            .ok()
+            .and_then(|set| xpdl_elab::elaborate_with(&set, &eopts).ok())
+            .map(|model| model.poisoned.len());
+        hist.record(start.elapsed().as_micros() as u64);
+        if quarantined != Some(expected) {
+            errors += 1;
+        }
+    }
+    let wall_s = wall.elapsed().as_secs_f64();
+    let mut rec = ScenarioRecord::new("poisoned_keep_going");
+    rec.set_latencies(&snapshot_of(&hist));
+    rec.qps = reps as f64 / wall_s.max(1e-9);
+    rec.errors = errors;
+    rec.put_extra("reps", ExtraValue::U64(reps));
+    rec.put_extra("poisoned_nodes", ExtraValue::U64(expected as u64));
+    rec
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let seed: u64 = flag(&args, "--seed").and_then(|v| v.parse().ok()).unwrap_or(42);
+    let matrix_name = flag(&args, "--matrix").unwrap_or_else(|| "smoke".to_string());
+    let out_path = flag(&args, "--out").unwrap_or_else(|| "BENCH_scenarios.json".to_string());
+    let expect_clean = args.iter().any(|a| a == "--expect-clean");
+    let matrix = match matrix_name.as_str() {
+        "smoke" => &SMOKE,
+        "full" => &FULL,
+        other => {
+            eprintln!("unknown matrix '{other}' (expected smoke|full)");
+            std::process::exit(2);
+        }
+    };
+    let shape_spec = flag(&args, "--shape").unwrap_or_else(|| matrix.shape.to_string());
+    let shape = match FleetShape::parse(&shape_spec) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("bad --shape: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let fleet = generate(seed, &shape);
+    let checksum = format!("{:016x}", fleet.checksum());
+    println!(
+        "scenario_bench: matrix={} seed={seed} shape={shape} fleet={} docs, checksum {checksum}",
+        matrix.name,
+        fleet.docs().len()
+    );
+    let diags = xpdl_fleetgen::validate_fleet(&fleet);
+    assert!(diags.is_empty(), "generated fleet must validate clean: {diags:#?}");
+
+    let tmp = std::env::temp_dir().join(format!("scenario_bench_{}", std::process::id()));
+    std::fs::create_dir_all(&tmp).expect("tmp dir");
+
+    let scenarios = vec![
+        query_storm(&fleet, matrix),
+        reload_churn(&fleet, matrix, &tmp),
+        cold_resolve_cold(&fleet, matrix, &tmp),
+        cold_resolve_warm(&fleet, matrix, &tmp),
+        offline_stale(&fleet, matrix, &tmp, seed),
+        poisoned_keep_going(&fleet, matrix),
+    ];
+    let _ = std::fs::remove_dir_all(&tmp);
+
+    for rec in &scenarios {
+        println!(
+            "  {:<20} p50={}us p90={}us p99={}us qps={:.0} errors={}",
+            rec.name, rec.p50_us, rec.p90_us, rec.p99_us, rec.qps, rec.errors
+        );
+    }
+
+    let unix_time = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let dirty: Vec<String> =
+        scenarios.iter().filter(|r| r.errors > 0).map(|r| r.name.clone()).collect();
+    let run = RunRecord {
+        matrix: matrix.name.to_string(),
+        seed,
+        shape: shape.to_string(),
+        fleet_checksum: checksum,
+        unix_time,
+        scenarios,
+    };
+    append_run(&out_path, &run).expect("append run record");
+    println!("appended run to {out_path}");
+
+    if expect_clean && !dirty.is_empty() {
+        eprintln!("FAIL: expected a clean run, scenarios with errors: {}", dirty.join(", "));
+        std::process::exit(1);
+    }
+}

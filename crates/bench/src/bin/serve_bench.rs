@@ -19,6 +19,7 @@
 //!   --out FILE         result file (default BENCH_serve.json)
 //! ```
 
+use bench::record::{ExtraValue, ScenarioRecord};
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -243,21 +244,41 @@ fn main() {
     println!("server: {reloads} hot reloads, final epoch {epoch}");
     println!("metrics rpc: serve.requests={}", metrics_requests.unwrap_or(0));
 
-    let mut json = String::from("{");
-    json.push_str(&format!(
-        "\"threads\":{threads},\"requests\":{sent},\"ok\":{ok},\"errors\":{errors},\
-         \"wall_s\":{wall_s},\"qps\":{qps},\"client_p50_us\":{p50},\"client_p90_us\":{p90},\
-         \"client_p99_us\":{p99},\"client_max_us\":{max}"
-    ));
+    // Emit the shared scenario record schema (DESIGN.md §15). The
+    // mandatory fields come from an xpdl-obs histogram of the same
+    // client latencies; every pre-§15 top-level key is preserved as an
+    // extra so existing consumers keep parsing this file unchanged.
+    let hist = xpdl_obs::Histogram::new();
+    for &v in &lat {
+        hist.record(v);
+    }
+    let reg = xpdl_obs::MetricsRegistry::new();
+    let arc = std::sync::Arc::new(hist);
+    reg.register_histogram("serve_burst", &arc);
+    let snap = reg
+        .snapshot()
+        .histograms
+        .remove("serve_burst")
+        .unwrap_or_else(xpdl_obs::HistogramSnapshot::empty);
+    let mut rec = ScenarioRecord::new("serve_burst");
+    rec.set_latencies(&snap);
+    rec.qps = qps;
+    rec.errors = errors;
+    rec.put_extra("threads", ExtraValue::U64(threads));
+    rec.put_extra("requests", ExtraValue::U64(sent));
+    rec.put_extra("ok", ExtraValue::U64(ok));
+    rec.put_extra("wall_s", ExtraValue::F64(wall_s));
+    rec.put_extra("client_p50_us", ExtraValue::U64(p50));
+    rec.put_extra("client_p90_us", ExtraValue::U64(p90));
+    rec.put_extra("client_p99_us", ExtraValue::U64(p99));
+    rec.put_extra("client_max_us", ExtraValue::U64(max));
     if let Some(s) = &server_stats {
-        json.push_str(",\"server\":");
-        json.push_str(&s.to_json());
+        rec.put_extra("server", ExtraValue::Raw(s.to_json()));
     }
     if let Some(n) = metrics_requests {
-        json.push_str(&format!(",\"metrics_serve_requests\":{n}"));
+        rec.put_extra("metrics_serve_requests", ExtraValue::U64(n));
     }
-    json.push('}');
-    std::fs::write(&out_path, &json).expect("write results");
+    std::fs::write(&out_path, rec.to_json()).expect("write results");
     println!("wrote {out_path}");
 
     if expect_clean && (errors > 0 || shed > 0) {

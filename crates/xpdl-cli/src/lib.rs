@@ -18,6 +18,7 @@
 //! | `codegen [rust\|c]` | generate the query API from the core schema |
 //! | `uml [schema\|<key>]` | the UML view (PlantUML) of the metamodel or a composed model |
 //! | `export <dir>` | write the built-in library as `.xpdl` files (a local model search path) |
+//! | `fleetgen [--seed N] [--shape SPEC]` | generate a deterministic synthetic fleet (benchmark corpus) |
 //! | `keys` | list the built-in model library |
 //! | `cache stats\|verify\|gc\|clear` | manage the persistent model cache |
 //!
@@ -416,6 +417,64 @@ fn dispatch(args: &[String], out: &mut dyn std::io::Write) -> Result<ExitCode, B
                 n += 1;
             }
             writeln!(out, "exported {n} descriptors to {}", dir.display())?;
+            Ok(0)
+        }
+        "fleetgen" => {
+            let seed = parse_flag::<u64>(rest, "--seed")?.unwrap_or(42);
+            let shape = match rest.iter().position(|a| a == "--shape") {
+                Some(i) => {
+                    let spec = rest.get(i + 1).map(String::as_str).unwrap_or("");
+                    match xpdl_fleetgen::FleetShape::parse(spec) {
+                        Ok(s) => s,
+                        Err(e) => {
+                            writeln!(out, "bad --shape: {e}")?;
+                            return Ok(2);
+                        }
+                    }
+                }
+                None => xpdl_fleetgen::FleetShape::default(),
+            };
+            let fleet = xpdl_fleetgen::generate(seed, &shape);
+            writeln!(
+                out,
+                "fleet seed={seed} shape={shape}: {} descriptors, checksum {:016x}",
+                fleet.docs().len(),
+                fleet.checksum()
+            )?;
+            if has_flag(rest, "--check") {
+                let diags = xpdl_fleetgen::validate_fleet(&fleet);
+                for d in &diags {
+                    writeln!(out, "{d}")?;
+                }
+                match xpdl_fleetgen::elaborate_fleet(&fleet) {
+                    Ok(model) if model.is_clean() && diags.is_empty() => {
+                        writeln!(
+                            out,
+                            "check: clean ({} nodes, {} cores)",
+                            model.count_kind(xpdl_core::ElementKind::Node),
+                            model.count_kind(xpdl_core::ElementKind::Core)
+                        )?;
+                    }
+                    Ok(model) => {
+                        writeln!(
+                            out,
+                            "check: {} validation + {} elaboration diagnostics",
+                            diags.len(),
+                            model.diagnostics.len()
+                        )?;
+                        return Ok(1);
+                    }
+                    Err(e) => {
+                        writeln!(out, "check: elaboration failed: {e}")?;
+                        return Ok(1);
+                    }
+                }
+            }
+            if let Some(dir) = flag_value(rest, "--out") {
+                let dir = PathBuf::from(dir);
+                let n = fleet.write_dir(&dir)?;
+                writeln!(out, "wrote {n} descriptors to {}", dir.display())?;
+            }
             Ok(0)
         }
         "cache" => cache_command(rest, out),
@@ -852,6 +911,10 @@ fn write_usage(out: &mut dyn std::io::Write) -> std::io::Result<()> {
          \x20 codegen [rust|c]               generate the query API from the schema\n\
          \x20 uml [schema|<key>] [--max N]   PlantUML view of metamodel / composed model\n\
          \x20 export <dir>                   write the library as .xpdl files\n\
+         \x20 fleetgen [--seed N]            generate a deterministic synthetic fleet\n\
+         \x20   --shape SPEC                 nodes=N,depth=D,chain=C,width=W,unknown=F\n\
+         \x20   --out DIR                    write the fleet as .xpdl files (a --models dir)\n\
+         \x20   --check                      validate + elaborate; exit 1 unless clean\n\
          \x20 route <key> <from> <to> [B]    interconnect route + transfer estimate\n\
          \x20 diff <old.xpdl> <new.xpdl>     structural model diff\n\
          \x20 keys                           list built-in model library keys\n\

@@ -1,0 +1,122 @@
+#![deny(missing_docs)]
+//! Synthetic platform-fleet generation.
+//!
+//! The paper's deployment story pays off at fleet scale: thousands of
+//! heterogeneous node descriptors, deep group nesting, cross-file
+//! `extends=` chains, wide repositories, `?` entries awaiting
+//! microbenchmark bootstrap. Hand-curating such a corpus does not scale,
+//! so this crate *synthesizes* it from the metamodel: a seed and a
+//! [`FleetShape`] deterministically produce a complete descriptor
+//! library ([`Fleet`]) that parses, validates and elaborates cleanly —
+//! the corpus substrate for `scenario_bench` and the fleet test suites.
+//!
+//! Determinism contract: the same `(seed, shape)` pair produces a
+//! byte-identical library (equal [`Fleet::checksum`]) on every platform
+//! and run; different seeds produce structurally valid but distinct
+//! libraries.
+//!
+//! ```
+//! let shape = xpdl_fleetgen::FleetShape::parse("nodes=8,depth=3,chain=4,width=2").unwrap();
+//! let fleet = xpdl_fleetgen::generate(42, &shape);
+//! assert_eq!(fleet.checksum(), xpdl_fleetgen::generate(42, &shape).checksum());
+//! let model = xpdl_fleetgen::elaborate_fleet(&fleet).unwrap();
+//! assert!(model.is_clean());
+//! assert_eq!(model.count_kind(xpdl_core::ElementKind::Node), 8);
+//! ```
+
+pub mod gen;
+pub mod rng;
+pub mod shape;
+
+pub use gen::{generate, FamilyPlan, Fleet, SYSTEM_KEY};
+pub use shape::FleetShape;
+
+use xpdl_core::XpdlDocument;
+use xpdl_schema::{validate_document, Diagnostic, Schema};
+
+/// Parse and schema-validate every document of a fleet, returning all
+/// diagnostics (a clean fleet returns an empty vector — not even infos).
+pub fn validate_fleet(fleet: &Fleet) -> Vec<Diagnostic> {
+    let schema = Schema::core();
+    let mut diags = Vec::new();
+    for (key, src) in fleet.docs() {
+        match XpdlDocument::parse_named(src, key) {
+            Ok(doc) => diags.extend(validate_document(&doc, &schema)),
+            Err(e) => diags.push(e.to_diagnostic(key)),
+        }
+    }
+    diags
+}
+
+/// Resolve and elaborate a fleet through the standard pipeline
+/// (fail-fast, strict types) — the load every scenario starts from.
+pub fn elaborate_fleet(fleet: &Fleet) -> Result<xpdl_elab::Elaborated, String> {
+    let repo = fleet.repository();
+    let set = repo.resolve_recursive(fleet.system_key()).map_err(|e| e.to_string())?;
+    xpdl_elab::elaborate(&set).map_err(|e| e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xpdl_core::ElementKind;
+
+    #[test]
+    fn same_seed_same_bytes() {
+        let shape = FleetShape::parse("nodes=10,depth=5,chain=6,width=3").unwrap();
+        let a = generate(7, &shape);
+        let b = generate(7, &shape);
+        assert_eq!(a.docs(), b.docs());
+        assert_eq!(a.checksum(), b.checksum());
+    }
+
+    #[test]
+    fn different_seeds_differ_but_stay_valid() {
+        let shape = FleetShape::default();
+        let a = generate(1, &shape);
+        let b = generate(2, &shape);
+        assert_ne!(a.checksum(), b.checksum());
+        for fleet in [&a, &b] {
+            let diags = validate_fleet(fleet);
+            assert!(diags.is_empty(), "{diags:#?}");
+            let model = elaborate_fleet(fleet).unwrap();
+            assert!(model.is_clean(), "{:#?}", model.diagnostics);
+        }
+    }
+
+    #[test]
+    fn golden_counts_match_the_plan() {
+        let shape = FleetShape::parse("nodes=13,depth=6,chain=8,width=4,unknown=0.5").unwrap();
+        let fleet = generate(42, &shape);
+        let model = elaborate_fleet(&fleet).unwrap();
+        assert!(model.is_clean(), "{:#?}", model.diagnostics);
+        assert_eq!(model.count_kind(ElementKind::Node), fleet.expected_nodes());
+        assert_eq!(model.count_kind(ElementKind::Core), fleet.expected_cores());
+        assert_eq!(model.count_kind(ElementKind::Device), fleet.expected_devices());
+    }
+
+    #[test]
+    fn zero_chain_and_single_family_degenerate_shapes_work() {
+        for spec in ["nodes=1,depth=1,chain=0,width=1", "nodes=2,depth=2,chain=1,width=5"] {
+            let shape = FleetShape::parse(spec).unwrap();
+            let fleet = generate(3, &shape);
+            assert!(validate_fleet(&fleet).is_empty(), "{spec}");
+            let model = elaborate_fleet(&fleet).unwrap();
+            assert!(model.is_clean(), "{spec}: {:#?}", model.diagnostics);
+        }
+    }
+
+    #[test]
+    fn poisoned_fleet_quarantines_expected_nodes() {
+        let shape = FleetShape::parse("nodes=9,depth=3,chain=4,width=3").unwrap();
+        let fleet = generate(11, &shape).poisoned(2);
+        let repo = fleet.repository();
+        let opts = xpdl_repo::ResolveOptions { allow_missing: true, ..Default::default() };
+        let set = repo.resolve_with(fleet.system_key(), &opts).unwrap();
+        let eopts = xpdl_elab::ElabOptions { keep_going: true, ..Default::default() };
+        let model = xpdl_elab::elaborate_with(&set, &eopts).unwrap();
+        assert_eq!(model.poisoned.len(), fleet.expected_poisoned(2), "{:#?}", model.poisoned);
+        // The healthy families still expanded.
+        assert!(model.count_kind(ElementKind::Core) > 0);
+    }
+}

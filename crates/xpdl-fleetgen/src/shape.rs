@@ -1,0 +1,138 @@
+//! The fleet-shape specification: the five knobs that size a synthetic
+//! descriptor library, plus the `k=v,k=v` spec grammar used by
+//! `scenario_bench --shape` and `xpdlc fleetgen --shape`.
+
+use std::fmt;
+
+/// The shape of a synthetic fleet. See DESIGN.md §15 for the grammar and
+/// what each knob stresses.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetShape {
+    /// Total node count across the cluster (`nodes=`). Nodes are spread
+    /// over the component families as evenly as possible.
+    pub nodes: usize,
+    /// Group-nesting depth inside each CPU meta-model (`depth=`): the
+    /// innermost group holds the cores, every level above it is another
+    /// `<group>` wrapper the expander must walk.
+    pub depth: usize,
+    /// Length of the cross-file `extends=` chain (`chain=`): the device
+    /// family has `chain + 1` descriptors, each in its own document,
+    /// each extending the previous one.
+    pub chain: usize,
+    /// Number of distinct component families (`width=`): CPU models,
+    /// instruction sets, microbenchmark suites and software packages are
+    /// generated per family, so repository width grows with this knob.
+    pub width: usize,
+    /// Fraction of microbenchmarkable instruction energies left as the
+    /// `?` placeholder (`unknown=`, in `[0, 1]`).
+    pub unknown_density: f64,
+}
+
+impl Default for FleetShape {
+    fn default() -> Self {
+        FleetShape { nodes: 16, depth: 4, chain: 4, width: 4, unknown_density: 0.25 }
+    }
+}
+
+impl FleetShape {
+    /// Parse a `k=v,k=v` shape spec. Keys: `nodes`, `depth`, `chain`,
+    /// `width`, `unknown`. Missing keys keep their defaults; unknown keys
+    /// and malformed values are errors. Whitespace around entries is
+    /// ignored, so `"nodes=100, depth=6"` parses.
+    pub fn parse(spec: &str) -> Result<FleetShape, String> {
+        let mut shape = FleetShape::default();
+        for entry in spec.split(',') {
+            let entry = entry.trim();
+            if entry.is_empty() {
+                continue;
+            }
+            let (key, value) = entry
+                .split_once('=')
+                .ok_or_else(|| format!("shape entry '{entry}' is not of the form key=value"))?;
+            let (key, value) = (key.trim(), value.trim());
+            let bad = |what: &str| format!("shape key '{key}': {what}, got '{value}'");
+            match key {
+                "nodes" => shape.nodes = value.parse().map_err(|_| bad("expected a count"))?,
+                "depth" => shape.depth = value.parse().map_err(|_| bad("expected a count"))?,
+                "chain" => shape.chain = value.parse().map_err(|_| bad("expected a count"))?,
+                "width" => shape.width = value.parse().map_err(|_| bad("expected a count"))?,
+                "unknown" => {
+                    let f: f64 = value.parse().map_err(|_| bad("expected a fraction"))?;
+                    if !(0.0..=1.0).contains(&f) {
+                        return Err(bad("fraction must be in [0, 1]"));
+                    }
+                    shape.unknown_density = f;
+                }
+                other => return Err(format!("unknown shape key '{other}'")),
+            }
+        }
+        if shape.nodes == 0 {
+            return Err("shape: nodes must be at least 1".to_string());
+        }
+        if shape.depth == 0 {
+            return Err("shape: depth must be at least 1".to_string());
+        }
+        Ok(shape)
+    }
+
+    /// The number of component families actually generated: `width`
+    /// clamped so every family owns at least one node.
+    pub fn effective_width(&self) -> usize {
+        self.width.clamp(1, self.nodes)
+    }
+}
+
+impl fmt::Display for FleetShape {
+    /// Renders in the spec grammar, so `FleetShape::parse(&shape.to_string())`
+    /// round-trips.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "nodes={},depth={},chain={},width={},unknown={}",
+            self.nodes, self.depth, self.chain, self.width, self.unknown_density
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_full_spec() {
+        let s = FleetShape::parse("nodes=100, depth=6, chain=8, width=12, unknown=0.5").unwrap();
+        assert_eq!(s.nodes, 100);
+        assert_eq!(s.depth, 6);
+        assert_eq!(s.chain, 8);
+        assert_eq!(s.width, 12);
+        assert_eq!(s.unknown_density, 0.5);
+    }
+
+    #[test]
+    fn partial_spec_keeps_defaults() {
+        let s = FleetShape::parse("nodes=3").unwrap();
+        assert_eq!(s.nodes, 3);
+        assert_eq!(s.depth, FleetShape::default().depth);
+    }
+
+    #[test]
+    fn display_roundtrips() {
+        let s = FleetShape::parse("nodes=7,depth=2,chain=9,width=3,unknown=0.125").unwrap();
+        assert_eq!(FleetShape::parse(&s.to_string()).unwrap(), s);
+    }
+
+    #[test]
+    fn bad_specs_are_rejected() {
+        assert!(FleetShape::parse("nodes").is_err());
+        assert!(FleetShape::parse("turbo=9").is_err());
+        assert!(FleetShape::parse("unknown=1.5").is_err());
+        assert!(FleetShape::parse("nodes=0").is_err());
+        assert!(FleetShape::parse("depth=0").is_err());
+    }
+
+    #[test]
+    fn effective_width_clamps_to_nodes() {
+        let s = FleetShape::parse("nodes=3,width=10").unwrap();
+        assert_eq!(s.effective_width(), 3);
+    }
+}

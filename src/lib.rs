@@ -28,6 +28,7 @@
 //! | [`models`] | `xpdl-models` | the paper's listings + complete model library |
 //! | [`serve`] | `xpdl-serve` | model-serving daemon: JSON-lines protocol, hot snapshot swap, backpressure |
 //! | [`obs`] | `xpdl-obs` | observability substrate: tracing spans, metrics registry, profile export |
+//! | [`fleetgen`] | `xpdl-fleetgen` | deterministic synthetic platform-fleet generator (benchmark corpus) |
 //! | [`api`] | (generated) | typed element wrappers generated from the schema |
 //!
 //! ## Quickstart
@@ -59,6 +60,7 @@ pub use xpdl_composition as composition;
 pub use xpdl_core as core;
 pub use xpdl_elab as elab;
 pub use xpdl_expr as expr;
+pub use xpdl_fleetgen as fleetgen;
 pub use xpdl_hwsim as hwsim;
 pub use xpdl_mb as mb;
 pub use xpdl_models as models;

@@ -1,0 +1,130 @@
+//! Scenario regressions over generated fleets: the serving guarantees
+//! that `scenario_bench` measures, pinned as hard assertions so a
+//! regression fails the suite instead of just bending a trend line.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use xpdl::fleetgen::{generate, FleetShape};
+use xpdl::serve::{Engine, EngineOptions, ModelSource};
+
+/// Reload-heavy churn: ≥50 hot swaps under concurrent queries against a
+/// generated fleet. Every swap must install a strictly greater epoch,
+/// and no query may be dropped or errored mid-swap — the snapshot
+/// registry's whole reason to exist.
+#[test]
+fn reload_churn_drops_nothing_and_epochs_are_monotone() {
+    const SWAPS: u64 = 50;
+    let shape = FleetShape::parse("nodes=8,depth=4,chain=5,width=3").unwrap();
+    let fleet = generate(23, &shape);
+    let model = xpdl::fleetgen::elaborate_fleet(&fleet).unwrap();
+    let base_rt = xpdl::runtime::RuntimeModel::from_element(&model.root);
+    let mut variant = model.clone();
+    variant.root.set_attr("bench_generation", "1");
+    let variant_rt = xpdl::runtime::RuntimeModel::from_element(&variant.root);
+
+    let tmp = std::env::temp_dir().join(format!("fleet_churn_{}", std::process::id()));
+    std::fs::create_dir_all(&tmp).unwrap();
+    let model_path = tmp.join("m.xpdlrt");
+    let swap_path = tmp.join("m.xpdlrt.next");
+    xpdl::runtime::format::save_file(&base_rt, &model_path).unwrap();
+
+    let engine = Arc::new(
+        Engine::new(
+            ModelSource::File(model_path.clone()),
+            EngineOptions { allow_debug: false, allow_shutdown: false },
+        )
+        .unwrap(),
+    );
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let queries = Arc::new(AtomicU64::new(0));
+    let dropped = Arc::new(AtomicU64::new(0));
+    let workers: Vec<_> = (0..2u64)
+        .map(|t| {
+            let engine = Arc::clone(&engine);
+            let stop = Arc::clone(&stop);
+            let queries = Arc::clone(&queries);
+            let dropped = Arc::clone(&dropped);
+            std::thread::spawn(move || {
+                let mut n = 0u64;
+                while !stop.load(Ordering::Acquire) {
+                    let id = t * 10_000_000 + n;
+                    n += 1;
+                    let req = format!("{{\"v\":1,\"id\":{id},\"method\":\"num_cores\"}}");
+                    let resp = engine.handle_line(&req);
+                    queries.fetch_add(1, Ordering::Relaxed);
+                    if resp.id != id || resp.result.is_err() {
+                        dropped.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            })
+        })
+        .collect();
+
+    let mut last_epoch = engine.registry().current_epoch();
+    let mut epochs = Vec::with_capacity(SWAPS as usize);
+    for i in 0..SWAPS {
+        // Alternate two fingerprint-distinct models via write-then-rename
+        // so every reload is a real swap, never a no-op.
+        let next = if i % 2 == 0 { &variant_rt } else { &base_rt };
+        xpdl::runtime::format::save_file(next, &swap_path).unwrap();
+        std::fs::rename(&swap_path, &model_path).unwrap();
+        let (epoch, swapped) = engine.reload().expect("reload under churn");
+        assert!(swapped, "swap {i} was a no-op");
+        assert!(epoch > last_epoch, "epoch went {last_epoch} -> {epoch} at swap {i}");
+        last_epoch = epoch;
+        epochs.push(epoch);
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    stop.store(true, Ordering::Release);
+    for w in workers {
+        w.join().unwrap();
+    }
+    let _ = std::fs::remove_dir_all(&tmp);
+
+    assert!(epochs.windows(2).all(|w| w[0] < w[1]), "epochs not monotone: {epochs:?}");
+    assert_eq!(dropped.load(Ordering::Relaxed), 0, "queries dropped during churn");
+    assert!(
+        queries.load(Ordering::Relaxed) > 0,
+        "query threads never ran while swaps were happening"
+    );
+    assert_eq!(engine.stats().reloads.get(), SWAPS);
+}
+
+/// Offline degradation: with the upstream store dead, `StaleOk` keeps
+/// resolving the generated fleet from the warm disk cache.
+#[test]
+fn offline_stale_serves_a_generated_fleet_from_cache() {
+    use xpdl::repo::{
+        CachingStore, DiskCache, FaultConfig, FaultInjectingStore, Freshness, Repository,
+    };
+    let shape = FleetShape::parse("nodes=4,depth=3,chain=4,width=2").unwrap();
+    let fleet = generate(5, &shape);
+    let tmp = std::env::temp_dir().join(format!("fleet_offline_{}", std::process::id()));
+    let cache = Arc::new(DiskCache::open(&tmp).unwrap());
+
+    // Warm pass: upstream healthy, every descriptor lands in the cache.
+    let warm = Repository::new().with_store(
+        CachingStore::new(fleet.store(), Arc::clone(&cache), Freshness::Strict)
+            .with_source_id("fleet"),
+    );
+    warm.resolve_recursive(fleet.system_key()).unwrap();
+
+    // Degraded pass: upstream fails 100% of fetches; StaleOk serves the
+    // cached copies and elaboration still comes out clean.
+    let dead = FaultInjectingStore::new(fleet.store(), FaultConfig::failures(1.0, 9));
+    let offline = Repository::new().with_store(
+        CachingStore::new(
+            dead,
+            Arc::clone(&cache),
+            Freshness::StaleOk { max_age: Duration::from_secs(3600) },
+        )
+        .with_source_id("fleet"),
+    );
+    let set = offline.resolve_recursive(fleet.system_key()).unwrap();
+    let model = xpdl::elab::elaborate(&set).unwrap();
+    assert!(model.is_clean(), "{:#?}", model.diagnostics);
+    assert!(cache.stale_served_session() > 0, "nothing was served stale");
+    let _ = std::fs::remove_dir_all(&tmp);
+}

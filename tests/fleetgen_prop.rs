@@ -1,0 +1,82 @@
+//! Property tests for the synthetic fleet generator: the determinism
+//! contract (same seed + shape → byte-identical libraries) and the
+//! validity contract (any seed/shape → parses, validates and elaborates
+//! with zero diagnostics) over arbitrary seeds and shapes.
+
+use proptest::prelude::*;
+use xpdl::core::ElementKind;
+use xpdl::fleetgen::{elaborate_fleet, generate, validate_fleet, FleetShape};
+
+#[derive(Debug, Clone)]
+struct ArbShape {
+    nodes: usize,
+    depth: usize,
+    chain: usize,
+    width: usize,
+    unknown_pct: usize,
+}
+
+impl ArbShape {
+    fn to_shape(&self) -> FleetShape {
+        FleetShape::parse(&format!(
+            "nodes={},depth={},chain={},width={},unknown=0.{:02}",
+            self.nodes, self.depth, self.chain, self.width, self.unknown_pct
+        ))
+        .expect("generated spec parses")
+    }
+}
+
+fn arb_shape() -> impl Strategy<Value = ArbShape> {
+    (1usize..32, 1usize..8, 0usize..10, 1usize..6, 0usize..100).prop_map(
+        |(nodes, depth, chain, width, unknown_pct)| ArbShape {
+            nodes,
+            depth,
+            chain,
+            width,
+            unknown_pct,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn same_seed_and_shape_is_byte_identical(seed in 0u64..1_000_000, shape in arb_shape()) {
+        let shape = shape.to_shape();
+        let a = generate(seed, &shape);
+        let b = generate(seed, &shape);
+        prop_assert_eq!(a.checksum(), b.checksum());
+        prop_assert_eq!(a.docs(), b.docs());
+    }
+
+    #[test]
+    fn different_seeds_produce_distinct_but_valid_fleets(seed in 0u64..1_000_000, shape in arb_shape()) {
+        let shape = shape.to_shape();
+        let a = generate(seed, &shape);
+        let b = generate(seed.wrapping_add(1), &shape);
+        prop_assert_ne!(a.checksum(), b.checksum());
+        for fleet in [&a, &b] {
+            let diags = validate_fleet(fleet);
+            prop_assert!(diags.is_empty(), "diagnostics on a generated fleet: {:#?}", diags);
+        }
+    }
+
+    #[test]
+    fn every_generated_fleet_elaborates_clean(seed in 0u64..1_000_000, shape in arb_shape()) {
+        let shape = shape.to_shape();
+        let fleet = generate(seed, &shape);
+        let model = elaborate_fleet(&fleet).expect("elaboration");
+        prop_assert!(model.is_clean(), "{:#?}", model.diagnostics);
+        prop_assert_eq!(model.count_kind(ElementKind::Node), fleet.expected_nodes());
+        prop_assert_eq!(model.count_kind(ElementKind::Core), fleet.expected_cores());
+        prop_assert_eq!(model.count_kind(ElementKind::Device), fleet.expected_devices());
+    }
+
+    #[test]
+    fn shape_spec_round_trips_through_display(shape in arb_shape()) {
+        let shape = shape.to_shape();
+        let reparsed = FleetShape::parse(&shape.to_string()).expect("display parses");
+        prop_assert_eq!(shape, reparsed);
+    }
+}

@@ -166,3 +166,32 @@ fn cluster_runtime_roundtrip() {
     assert_eq!(back.num_cores(), rt.num_cores());
     assert_eq!(back.num_cores(), 4 * (8 + 13 * 192 + 15 * 192));
 }
+
+/// A synthesized fleet at deployment scale — extends chains 8 deep,
+/// groups nested 6 deep — flows through the whole pipeline and matches
+/// the golden summary pinned for seed 42 (the fleet generator's
+/// determinism contract makes these numbers stable forever).
+#[test]
+fn generated_fleet_matches_golden_summary() {
+    let shape = xpdl::fleetgen::FleetShape::parse("nodes=20,depth=6,chain=8,width=4,unknown=0.25")
+        .unwrap();
+    let fleet = xpdl::fleetgen::generate(42, &shape);
+    assert_eq!(format!("{:016x}", fleet.checksum()), "8207f4cc80af1a40");
+    assert_eq!(fleet.docs().len(), 27);
+    assert!(xpdl::fleetgen::validate_fleet(&fleet).is_empty());
+
+    let model = xpdl::fleetgen::elaborate_fleet(&fleet).unwrap();
+    assert!(model.is_clean(), "{:#?}", model.diagnostics);
+    assert_eq!(model.count_kind(ElementKind::Node), 20);
+    assert_eq!(model.count_kind(ElementKind::Core), 255);
+    assert_eq!(model.count_kind(ElementKind::Node), fleet.expected_nodes());
+    assert_eq!(model.count_kind(ElementKind::Core), fleet.expected_cores());
+    assert_eq!(model.count_kind(ElementKind::Device), fleet.expected_devices());
+
+    // The synthesized num_cores annotation agrees with the structure,
+    // and the model survives the runtime binary format.
+    let rt = RuntimeModel::from_element(&model.root);
+    assert_eq!(rt.num_cores() as usize, fleet.expected_cores());
+    let back = format::decode(&format::encode(&rt)).unwrap();
+    assert_eq!(back.len(), rt.len());
+}
