@@ -13,6 +13,8 @@
 //! - `cold_resolve_warm`  same, disk cache warm (no store fetches)
 //! - `offline_stale`      dead upstream, `Freshness::StaleOk` serving
 //! - `poisoned_keep_going` keep-going elaboration over a poisoned fleet
+//! - `cluster_failover`   3-node registry cluster; one node dies mid-run
+//!   and the `ClusterClient` must retry with zero client-visible errors
 //!
 //! ```text
 //! cargo run --release -p bench --bin scenario_bench -- [flags]
@@ -20,22 +22,26 @@
 //!   --matrix NAME     smoke | full (default smoke)
 //!   --shape SPEC      override the matrix fleet shape
 //!   --out FILE        trajectory file (default BENCH_scenarios.json)
+//!   --only NAME       run a single scenario from the matrix
 //!   --expect-clean    exit 1 if any scenario reports errors > 0
 //! ```
 
+use bench::net::{one_shot, LineConn};
 use bench::record::{append_run, ExtraValue, RunRecord, ScenarioRecord};
-use std::io::{BufRead, BufReader, Write};
-use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use xpdl_fleetgen::{generate, Fleet, FleetShape};
 use xpdl_obs::{Histogram, HistogramSnapshot, MetricsRegistry};
+use xpdl_registry::{NodeAgent, NodeConfig, NodeReport, RegistryOptions, RegistryServer};
 use xpdl_repo::{
     CachingStore, DiskCache, FaultConfig, FaultInjectingStore, Freshness, Repository,
     ResolveOptions,
 };
-use xpdl_serve::{parse_response, Engine, EngineOptions, ModelSource, Server, ServerOptions};
+use xpdl_serve::{
+    parse_response, ClusterClient, ClusterOptions, Engine, EngineOptions, Method, ModelSource,
+    Route, Server, ServerOptions,
+};
 
 fn flag(args: &[String], name: &str) -> Option<String> {
     args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
@@ -123,21 +129,16 @@ fn query_storm(fleet: &Fleet, m: &Matrix) -> ScenarioRecord {
             let addr = addr.clone();
             let hist = Arc::clone(&hist);
             std::thread::spawn(move || {
-                let stream = TcpStream::connect(&addr).expect("connect");
-                stream.set_nodelay(true).ok();
-                let mut writer = stream.try_clone().expect("clone");
-                let mut reader = BufReader::new(stream);
-                let mut line = String::new();
+                // Timeouts on every socket op (bench::net): a hung node
+                // fails this scenario loudly instead of wedging CI.
+                let mut conn = LineConn::connect(&addr).expect("storm client connect");
                 let (mut ok, mut errors) = (0u64, 0u64);
                 for n in 0..per_thread {
                     let id = t * 10_000_000 + n;
                     let req =
                         STORM_MIX[(n as usize) % STORM_MIX.len()].replace("ID", &id.to_string());
                     let start = Instant::now();
-                    writer.write_all(req.as_bytes()).expect("send");
-                    writer.write_all(b"\n").expect("send");
-                    line.clear();
-                    reader.read_line(&mut line).expect("recv");
+                    let line = conn.call(&req).expect("storm round trip").to_string();
                     hist.record(start.elapsed().as_micros() as u64);
                     match parse_response(line.trim()) {
                         Ok(resp) if resp.id == id && resp.result.is_ok() => ok += 1,
@@ -153,10 +154,8 @@ fn query_storm(fleet: &Fleet, m: &Matrix) -> ScenarioRecord {
 
     // The server's own tally, over the wire like any client would get it.
     let server_stats = {
-        let mut conn = TcpStream::connect(&addr).expect("stats connect");
-        conn.write_all(b"{\"v\":1,\"id\":1,\"method\":\"stats\"}\n").expect("stats send");
-        let mut line = String::new();
-        BufReader::new(conn).read_line(&mut line).expect("stats recv");
+        let line =
+            one_shot(&addr, r#"{"v":1,"id":1,"method":"stats"}"#).expect("stats round trip");
         match parse_response(line.trim()) {
             Ok(resp) => match resp.result {
                 Ok(xpdl_serve::Reply::Stats(s)) => Some(s),
@@ -409,12 +408,129 @@ fn poisoned_keep_going(fleet: &Fleet, m: &Matrix) -> ScenarioRecord {
     rec
 }
 
+/// `cluster_failover`: a 3-node registry cluster under `ClusterClient`
+/// traffic; one node is hard-killed mid-run (agent aborted, listener
+/// closed — SIGKILL semantics). Every request must still be answered by
+/// a surviving node: failed attempts are retried by the client, so any
+/// client-visible error counts against the scenario. Records overall
+/// latency plus the failover-path p99 (requests that needed >1 attempt).
+fn cluster_failover(fleet: &Fleet, m: &Matrix) -> ScenarioRecord {
+    let model = xpdl_fleetgen::elaborate_fleet(fleet).expect("elaborate fleet");
+    let rt = xpdl_runtime::RuntimeModel::from_element(&model.root);
+
+    let registry = RegistryServer::start(
+        "127.0.0.1:0",
+        RegistryOptions { sweep_interval: Duration::from_millis(20), ..Default::default() },
+    )
+    .expect("registry");
+    let reg_addr = registry.local_addr().to_string();
+
+    let mut nodes = Vec::new();
+    for i in 0..3 {
+        let engine = Arc::new(
+            Engine::new(
+                ModelSource::Fixed(Box::new(rt.clone())),
+                EngineOptions { allow_debug: false, allow_shutdown: false },
+            )
+            .expect("engine"),
+        );
+        let server = Server::start(
+            Arc::clone(&engine),
+            "127.0.0.1:0",
+            ServerOptions { workers: 2, max_inflight: 1024, ..Default::default() },
+        )
+        .expect("server");
+        let mut cfg =
+            NodeConfig::new(&reg_addr, format!("bench-node-{i}"), server.local_addr().to_string());
+        cfg.ttl = Duration::from_millis(250);
+        let health_engine = Arc::clone(&engine);
+        let agent = NodeAgent::start(
+            cfg,
+            Arc::new(move || NodeReport {
+                epoch: health_engine.registry().load().epoch,
+                fingerprint: format!("{:016x}", health_engine.registry().load().fingerprint),
+                inflight: health_engine.stats().inflight.get(),
+            }),
+            Arc::new(|_version: &str| {}),
+        );
+        nodes.push((server, agent));
+    }
+
+    let client = ClusterClient::new(
+        reg_addr.clone(),
+        ClusterOptions { table_max_age: Duration::from_millis(100), ..Default::default() },
+    );
+    // All three nodes must be routable before traffic starts.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while client.nodes().len() < 3 {
+        assert!(Instant::now() < deadline, "nodes never registered");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    let total = m.storm_requests.min(2_000);
+    let kill_at = total / 2;
+    let hist = Arc::new(Histogram::new());
+    let failover_hist = Arc::new(Histogram::new());
+    let (mut errors, mut failovers, mut degraded) = (0u64, 0u64, 0u64);
+    let mut victim = None;
+    let wall = Instant::now();
+    for n in 0..total {
+        if n == kill_at {
+            // SIGKILL semantics: the lease stays; the registry must
+            // discover the death by TTL expiry while the client fails
+            // over on connection errors.
+            let (server, agent) = nodes.remove(0);
+            agent.abort();
+            server.shutdown();
+            server.join();
+            victim = Some(n);
+        }
+        let start = Instant::now();
+        match client.call(Method::NumCores) {
+            Ok(routed) => {
+                let us = start.elapsed().as_micros() as u64;
+                hist.record(us);
+                if routed.attempts > 1 {
+                    failovers += 1;
+                    failover_hist.record(us);
+                }
+                if routed.route == Route::Fallback {
+                    degraded += 1;
+                }
+            }
+            Err(_) => errors += 1,
+        }
+    }
+    let wall_s = wall.elapsed().as_secs_f64();
+
+    for (server, agent) in nodes {
+        agent.shutdown();
+        server.shutdown();
+        server.join();
+    }
+    registry.shutdown();
+    registry.join();
+
+    let failover_snap = snapshot_of(&failover_hist);
+    let mut rec = ScenarioRecord::new("cluster_failover");
+    rec.set_latencies(&snapshot_of(&hist));
+    rec.qps = total as f64 / wall_s.max(1e-9);
+    rec.errors = errors + degraded; // in-process fallback never configured here
+    rec.put_extra("requests", ExtraValue::U64(total));
+    rec.put_extra("killed_at", ExtraValue::U64(victim.unwrap_or(0)));
+    rec.put_extra("failovers", ExtraValue::U64(failovers));
+    rec.put_extra("failover_p50_us", ExtraValue::U64(failover_snap.quantile_upper_bound(0.50)));
+    rec.put_extra("failover_p99_us", ExtraValue::U64(failover_snap.quantile_upper_bound(0.99)));
+    rec
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let seed: u64 = flag(&args, "--seed").and_then(|v| v.parse().ok()).unwrap_or(42);
     let matrix_name = flag(&args, "--matrix").unwrap_or_else(|| "smoke".to_string());
     let out_path = flag(&args, "--out").unwrap_or_else(|| "BENCH_scenarios.json".to_string());
     let expect_clean = args.iter().any(|a| a == "--expect-clean");
+    let only = flag(&args, "--only");
     let matrix = match matrix_name.as_str() {
         "smoke" => &SMOKE,
         "full" => &FULL,
@@ -445,14 +561,35 @@ fn main() {
     let tmp = std::env::temp_dir().join(format!("scenario_bench_{}", std::process::id()));
     std::fs::create_dir_all(&tmp).expect("tmp dir");
 
-    let scenarios = vec![
-        query_storm(&fleet, matrix),
-        reload_churn(&fleet, matrix, &tmp),
-        cold_resolve_cold(&fleet, matrix, &tmp),
-        cold_resolve_warm(&fleet, matrix, &tmp),
-        offline_stale(&fleet, matrix, &tmp, seed),
-        poisoned_keep_going(&fleet, matrix),
-    ];
+    // --only NAME restricts the run to one scenario (CI smoke jobs);
+    // the trajectory record still appends, carrying just that scenario.
+    let wanted = |name: &str| only.as_deref().is_none_or(|o| o == name);
+    let mut scenarios = Vec::new();
+    if wanted("query_storm") {
+        scenarios.push(query_storm(&fleet, matrix));
+    }
+    if wanted("reload_churn") {
+        scenarios.push(reload_churn(&fleet, matrix, &tmp));
+    }
+    if wanted("cold_resolve_cold") {
+        scenarios.push(cold_resolve_cold(&fleet, matrix, &tmp));
+    }
+    if wanted("cold_resolve_warm") {
+        scenarios.push(cold_resolve_warm(&fleet, matrix, &tmp));
+    }
+    if wanted("offline_stale") {
+        scenarios.push(offline_stale(&fleet, matrix, &tmp, seed));
+    }
+    if wanted("poisoned_keep_going") {
+        scenarios.push(poisoned_keep_going(&fleet, matrix));
+    }
+    if wanted("cluster_failover") {
+        scenarios.push(cluster_failover(&fleet, matrix));
+    }
+    if scenarios.is_empty() {
+        eprintln!("unknown scenario '{}' for --only", only.unwrap_or_default());
+        std::process::exit(2);
+    }
     let _ = std::fs::remove_dir_all(&tmp);
 
     for rec in &scenarios {

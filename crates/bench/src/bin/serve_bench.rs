@@ -19,9 +19,8 @@
 //!   --out FILE         result file (default BENCH_serve.json)
 //! ```
 
+use bench::net::{one_shot, LineConn};
 use bench::record::{ExtraValue, ScenarioRecord};
-use std::io::{BufRead, BufReader, Write};
-use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -59,21 +58,17 @@ struct ClientTally {
 fn client_thread(addr: &str, requests: u64, thread_id: u64) -> ClientTally {
     let mut tally =
         ClientTally { sent: 0, ok: 0, errors: 0, latencies_us: Vec::with_capacity(requests as usize) };
-    let stream = TcpStream::connect(addr).expect("connect");
-    stream.set_nodelay(true).ok();
-    let mut writer = stream.try_clone().expect("clone");
-    let mut reader = BufReader::new(stream);
-    let mut line = String::new();
+    // Hard timeouts on every socket op: a wedged server fails this run
+    // with a which-address-doing-what diagnostic instead of hanging CI.
+    let mut conn = LineConn::connect(addr).expect("bench client connect");
     for n in 0..requests {
         let id = thread_id * 10_000_000 + n;
         let template = MIX[(n as usize) % MIX.len()];
         let req = template.replace("ID", &id.to_string());
         let start = Instant::now();
-        writer.write_all(req.as_bytes()).expect("send");
-        writer.write_all(b"\n").expect("send");
+        conn.send_line(&req).expect("bench client send");
         tally.sent += 1;
-        line.clear();
-        reader.read_line(&mut line).expect("recv");
+        let line = conn.recv_line().expect("bench client recv").to_string();
         tally.latencies_us.push(start.elapsed().as_micros() as u64);
         match parse_response(line.trim()) {
             Ok(resp) => {
@@ -177,10 +172,8 @@ fn main() {
 
     // Pull the server's own view before shutdown.
     let server_stats = {
-        let mut conn = TcpStream::connect(&addr).expect("stats connect");
-        conn.write_all(b"{\"v\":1,\"id\":1,\"method\":\"stats\"}\n").expect("stats send");
-        let mut line = String::new();
-        BufReader::new(conn).read_line(&mut line).expect("stats recv");
+        let line =
+            one_shot(&addr, r#"{"v":1,"id":1,"method":"stats"}"#).expect("stats round trip");
         match parse_response(line.trim()) {
             Ok(resp) => match resp.result {
                 Ok(xpdl_serve::Reply::Stats(s)) => Some(s),
@@ -194,10 +187,8 @@ fn main() {
     // registers all its counters there, so a loaded server must report a
     // non-zero serve.requests total.
     let metrics_requests = {
-        let mut conn = TcpStream::connect(&addr).expect("metrics connect");
-        conn.write_all(b"{\"v\":1,\"id\":2,\"method\":\"metrics\"}\n").expect("metrics send");
-        let mut line = String::new();
-        BufReader::new(conn).read_line(&mut line).expect("metrics recv");
+        let line =
+            one_shot(&addr, r#"{"v":1,"id":2,"method":"metrics"}"#).expect("metrics round trip");
         match parse_response(line.trim()) {
             Ok(resp) => match resp.result {
                 Ok(xpdl_serve::Reply::Metrics(m)) => m.counters.get("serve.requests").copied(),

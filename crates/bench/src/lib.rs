@@ -3,6 +3,7 @@
 //! function here, so the binaries, the benches and the tests all agree.
 
 pub mod experiments;
+pub mod net;
 pub mod record;
 pub mod synth;
 

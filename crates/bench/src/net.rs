@@ -1,0 +1,188 @@
+//! Timeout-hardened TCP helpers for the bench clients.
+//!
+//! Every bench binary used to call bare `TcpStream::connect` and
+//! blocking `read_line` — a hung or half-dead server wedged the whole
+//! CI job with no diagnostic. [`LineConn`] gives the load generators
+//! the same discipline the serving stack itself uses: hard connect,
+//! read, and write timeouts on every socket, and errors that say which
+//! address failed, doing what, after how long.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+/// Default connect timeout for bench clients.
+pub const CONNECT_TIMEOUT: Duration = Duration::from_secs(5);
+/// Default per-line read/write timeout for bench clients. Generous —
+/// this is a liveness bound, not a latency assertion.
+pub const IO_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// A JSON-lines client connection with hard timeouts on every
+/// operation. Each I/O error is annotated with the peer address and the
+/// failing operation, so a wedged run dies with a diagnostic instead of
+/// hanging CI.
+pub struct LineConn {
+    addr: String,
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+    line: String,
+}
+
+impl std::fmt::Debug for LineConn {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LineConn").field("addr", &self.addr).finish()
+    }
+}
+
+impl LineConn {
+    /// Connect with the default bench timeouts.
+    pub fn connect(addr: &str) -> std::io::Result<LineConn> {
+        LineConn::connect_with(addr, CONNECT_TIMEOUT, IO_TIMEOUT)
+    }
+
+    /// Connect with explicit timeouts.
+    pub fn connect_with(
+        addr: &str,
+        connect_timeout: Duration,
+        io_timeout: Duration,
+    ) -> std::io::Result<LineConn> {
+        let sockaddr = addr
+            .to_socket_addrs()
+            .map_err(|e| annotate(addr, "resolve", e))?
+            .next()
+            .ok_or_else(|| {
+                std::io::Error::new(
+                    std::io::ErrorKind::AddrNotAvailable,
+                    format!("{addr}: resolves to no address"),
+                )
+            })?;
+        let stream = TcpStream::connect_timeout(&sockaddr, connect_timeout)
+            .map_err(|e| annotate(addr, "connect", e))?;
+        stream
+            .set_read_timeout(Some(io_timeout))
+            .and_then(|_| stream.set_write_timeout(Some(io_timeout)))
+            .and_then(|_| stream.set_nodelay(true))
+            .map_err(|e| annotate(addr, "socket options", e))?;
+        let writer = stream.try_clone().map_err(|e| annotate(addr, "clone", e))?;
+        Ok(LineConn {
+            addr: addr.to_string(),
+            writer,
+            reader: BufReader::new(stream),
+            line: String::new(),
+        })
+    }
+
+    /// The peer address this connection talks to.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Write one line (newline appended).
+    pub fn send_line(&mut self, line: &str) -> std::io::Result<()> {
+        self.writer
+            .write_all(line.as_bytes())
+            .and_then(|_| self.writer.write_all(b"\n"))
+            .map_err(|e| annotate(&self.addr, "send", e))
+    }
+
+    /// Read one line; EOF and timeouts are errors (the peer owed us a
+    /// response).
+    pub fn recv_line(&mut self) -> std::io::Result<&str> {
+        self.line.clear();
+        let started = Instant::now();
+        match self.reader.read_line(&mut self.line) {
+            Ok(0) => Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                format!("{}: connection closed while awaiting a response", self.addr),
+            )),
+            Ok(_) => Ok(self.line.trim()),
+            Err(e) if matches!(e.kind(), std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut) => {
+                Err(std::io::Error::new(
+                    std::io::ErrorKind::TimedOut,
+                    format!(
+                        "{}: no response within {:?} — server wedged?",
+                        self.addr,
+                        started.elapsed()
+                    ),
+                ))
+            }
+            Err(e) => Err(annotate(&self.addr, "recv", e)),
+        }
+    }
+
+    /// One request/response round trip.
+    pub fn call(&mut self, line: &str) -> std::io::Result<&str> {
+        self.send_line(line)?;
+        self.recv_line()
+    }
+}
+
+/// Connect, send one line, read one line, disconnect.
+pub fn one_shot(addr: &str, line: &str) -> std::io::Result<String> {
+    let mut conn = LineConn::connect(addr)?;
+    Ok(conn.call(line)?.to_string())
+}
+
+fn annotate(addr: &str, op: &str, e: std::io::Error) -> std::io::Error {
+    std::io::Error::new(e.kind(), format!("{addr}: {op}: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    #[test]
+    fn connect_refused_names_the_address() {
+        let err = LineConn::connect("127.0.0.1:1").unwrap_err();
+        assert!(err.to_string().contains("127.0.0.1:1"), "{err}");
+        assert!(err.to_string().contains("connect"), "{err}");
+    }
+
+    #[test]
+    fn recv_timeout_is_a_diagnostic_not_a_hang() {
+        // A listener that accepts and then never answers.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let hold = std::thread::spawn(move || listener.accept().map(|(s, _)| s));
+        let mut conn =
+            LineConn::connect_with(&addr, Duration::from_secs(2), Duration::from_millis(100))
+                .unwrap();
+        conn.send_line("hello").unwrap();
+        let err = conn.recv_line().unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::TimedOut, "{err}");
+        assert!(err.to_string().contains("no response within"), "{err}");
+        drop(hold.join().unwrap());
+    }
+
+    #[test]
+    fn eof_is_reported_as_closed_connection() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let closer = std::thread::spawn(move || {
+            let (s, _) = listener.accept().unwrap();
+            drop(s);
+        });
+        let mut conn = LineConn::connect(&addr).unwrap();
+        closer.join().unwrap();
+        let err = conn.recv_line().unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof, "{err}");
+    }
+
+    #[test]
+    fn round_trip_against_an_echo_server() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let echo = std::thread::spawn(move || {
+            let (s, _) = listener.accept().unwrap();
+            let mut reader = std::io::BufReader::new(s.try_clone().unwrap());
+            let mut w = s;
+            let mut line = String::new();
+            std::io::BufRead::read_line(&mut reader, &mut line).unwrap();
+            std::io::Write::write_all(&mut w, line.as_bytes()).unwrap();
+        });
+        let reply = one_shot(&addr, "ping").unwrap();
+        assert_eq!(reply, "ping");
+        echo.join().unwrap();
+    }
+}

@@ -14,6 +14,7 @@
 //! | `build <key> -o FILE` | write the runtime data structure file |
 //! | `query <file> <ident> [attr]` | runtime query API demo (`xpdl_init` + getters) |
 //! | `serve --model FILE \| --repo KEY` | the query API as a network service (JSON-lines daemon) |
+//! | `registry [announce]` | cluster membership daemon / push a model version to the fleet |
 //! | `bootstrap <key>` | generate drivers + run microbenchmarks on the simulator |
 //! | `codegen [rust\|c]` | generate the query API from the core schema |
 //! | `uml [schema\|<key>]` | the UML view (PlantUML) of the metamodel or a composed model |
@@ -38,6 +39,7 @@ use xpdl_repo::{
 };
 use xpdl_schema::{validate_document, Schema};
 
+mod registry;
 mod serve;
 
 /// Exit status of a command.
@@ -346,6 +348,7 @@ fn dispatch(args: &[String], out: &mut dyn std::io::Write) -> Result<ExitCode, B
         }
         "query" => serve::query_command(rest, out),
         "serve" => serve::serve_command(rest, out),
+        "registry" => registry::registry_command(rest, out),
         "bootstrap" => {
             let key = if rest.is_empty() { "x86_base_isa".to_string() } else { rest[0].clone() };
             bootstrap(&key, rest, out)
@@ -907,6 +910,15 @@ fn write_usage(out: &mut dyn std::io::Write) -> std::io::Result<()> {
          \x20   --reload-interval SECS       hot-reload the model every SECS; 0 disables (default 0)\n\
          \x20   --allow-remote-shutdown      permit the protocol 'shutdown' method\n\
          \x20   --allow-debug                permit debug methods ('sleep'; testing only)\n\
+         \x20   --registry HOST:PORT         join a cluster registry (heartbeat + push reload)\n\
+         \x20   --node-id NAME               stable cluster identity (default node-<pid>)\n\
+         \x20   --advertise HOST:PORT        address published to the cluster (default bound addr)\n\
+         \x20   --ttl-ms MS                  lease TTL; heartbeats at TTL/3 (default 1500)\n\
+         \x20   --drain-grace-ms MS          SIGTERM: answer S510 this long before closing (default 200)\n\
+         \x20 registry [--addr HOST:PORT]    cluster membership daemon (default 127.0.0.1:7434)\n\
+         \x20   --addr-file PATH             write the bound address (for --addr with port 0)\n\
+         \x20   --sweep-interval-ms MS       lease sweeper period (default 100)\n\
+         \x20 registry announce --addr A --version V   push a model version to all subscribed nodes\n\
          \x20 bootstrap [isa-key]            run microbenchmarks, fill '?' entries\n\
          \x20 codegen [rust|c]               generate the query API from the schema\n\
          \x20 uml [schema|<key>] [--max N]   PlantUML view of metamodel / composed model\n\

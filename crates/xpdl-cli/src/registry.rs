@@ -1,0 +1,80 @@
+//! `xpdlc registry`: the cluster-membership daemon.
+//!
+//! Runs an [`xpdl_registry::RegistryServer`] until SIGTERM/SIGINT. Serve
+//! nodes join with `xpdlc serve --registry HOST:PORT`; anything that
+//! publishes a new model version announces it here (see
+//! [`xpdl_registry::RegistryMethod::Announce`]) and every subscribed
+//! node reloads immediately — no polling interval.
+
+use crate::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+use xpdl_registry::{RegistryClient, RegistryMethod, RegistryOptions, RegistryReply, RegistryServer};
+use xpdl_serve::install_termination_handler;
+
+/// Set by SIGTERM/SIGINT; polled by the registry main loop.
+static TERM: AtomicBool = AtomicBool::new(false);
+
+/// `xpdlc registry [announce]`: run the daemon, or poke a running one.
+pub(crate) fn registry_command(
+    rest: &[String],
+    out: &mut dyn std::io::Write,
+) -> Result<ExitCode, Box<dyn std::error::Error>> {
+    // `xpdlc registry announce --addr X --version V` is the publisher's
+    // side of push invalidation: one RPC, every subscribed node reloads.
+    if rest.first().map(String::as_str) == Some("announce") {
+        return announce(&rest[1..], out);
+    }
+    let addr = crate::flag_value(rest, "--addr").unwrap_or_else(|| "127.0.0.1:7434".to_string());
+    let defaults = RegistryOptions::default();
+    let options = RegistryOptions {
+        sweep_interval: crate::parse_flag::<u64>(rest, "--sweep-interval-ms")?
+            .map(Duration::from_millis)
+            .unwrap_or(defaults.sweep_interval),
+        min_ttl: crate::parse_flag::<u64>(rest, "--min-ttl-ms")?
+            .map(Duration::from_millis)
+            .unwrap_or(defaults.min_ttl),
+        max_ttl: crate::parse_flag::<u64>(rest, "--max-ttl-ms")?
+            .map(Duration::from_millis)
+            .unwrap_or(defaults.max_ttl),
+        max_line_bytes: defaults.max_line_bytes,
+    };
+    let server = RegistryServer::start(&addr, options)?;
+    let bound = server.local_addr();
+    if let Some(path) = crate::flag_value(rest, "--addr-file") {
+        std::fs::write(&path, bound.to_string())?;
+    }
+    writeln!(out, "registry on {bound}")?;
+    install_termination_handler(&TERM);
+    while !TERM.load(Ordering::Acquire) {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    let live = server.state().live_nodes();
+    server.shutdown();
+    server.join();
+    writeln!(out, "registry shutdown: {live} live node(s)")?;
+    Ok(0)
+}
+
+fn announce(
+    rest: &[String],
+    out: &mut dyn std::io::Write,
+) -> Result<ExitCode, Box<dyn std::error::Error>> {
+    let usage = "registry announce --addr HOST:PORT --version V";
+    let Some(addr) = crate::flag_value(rest, "--addr") else {
+        writeln!(out, "usage: xpdlc {usage}")?;
+        return Ok(2);
+    };
+    let Some(version) = crate::flag_value(rest, "--version") else {
+        writeln!(out, "usage: xpdlc {usage}")?;
+        return Ok(2);
+    };
+    let client = RegistryClient::new(addr);
+    match client.call(RegistryMethod::Announce { version: version.clone() })? {
+        RegistryReply::Announced { subscribers } => {
+            writeln!(out, "announced '{version}' to {subscribers} subscriber(s)")?;
+            Ok(0)
+        }
+        other => Err(format!("unexpected registry reply: {other:?}").into()),
+    }
+}

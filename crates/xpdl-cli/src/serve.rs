@@ -11,6 +11,7 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
+use xpdl_registry::{NodeAgent, NodeConfig, NodeReport};
 use xpdl_serve::{
     install_termination_handler, spawn_reload_thread, Engine, EngineOptions, Method, ModelSource,
     Reply, Request, Server, ServerOptions,
@@ -92,11 +93,55 @@ pub(crate) fn serve_command(
     let reload_thread = (reload_secs > 0)
         .then(|| spawn_reload_thread(Arc::clone(&engine), Duration::from_secs(reload_secs)));
 
+    // Cluster membership: register with the registry, heartbeat at
+    // ttl/3, reload on pushed model-version announcements.
+    let agent = match crate::flag_value(rest, "--registry") {
+        Some(registry_addr) => {
+            let node = crate::flag_value(rest, "--node-id")
+                .unwrap_or_else(|| format!("node-{}", std::process::id()));
+            let advertise =
+                crate::flag_value(rest, "--advertise").unwrap_or_else(|| bound.to_string());
+            let ttl = Duration::from_millis(crate::parse_flag::<u64>(rest, "--ttl-ms")?.unwrap_or(1500));
+            let mut cfg = NodeConfig::new(registry_addr, node.clone(), advertise);
+            cfg.ttl = ttl;
+            let health_engine = Arc::clone(&engine);
+            let health = Arc::new(move || {
+                let snap = health_engine.registry().load();
+                NodeReport {
+                    epoch: snap.epoch,
+                    fingerprint: format!("{:016x}", snap.fingerprint),
+                    inflight: health_engine.stats().inflight.get(),
+                }
+            });
+            let reload_engine = Arc::clone(&engine);
+            let on_invalidate = Arc::new(move |_version: &str| {
+                // A fingerprint-unchanged reload is a no-op swap, so a
+                // redundant announcement costs one recompile, not an epoch.
+                let _ = reload_engine.reload();
+            });
+            writeln!(out, "joined registry {} as '{node}'", cfg.registry_addr)?;
+            Some(NodeAgent::start(cfg, health, on_invalidate))
+        }
+        None => None,
+    };
+    let drain_grace =
+        Duration::from_millis(crate::parse_flag::<u64>(rest, "--drain-grace-ms")?.unwrap_or(200));
+
     install_termination_handler(&TERM);
     while !TERM.load(Ordering::Acquire) && !engine.shutdown_requested() {
         std::thread::sleep(Duration::from_millis(50));
     }
 
+    // Drain sequence (ordering matters — DESIGN.md §16): leave the
+    // cluster first, so no new work is routed here; then answer S510
+    // ("draining") for the grace period so clients that already hold
+    // this address fail over instead of hitting a closed listener; only
+    // then stop accepting.
+    if let Some(agent) = agent {
+        agent.shutdown();
+        engine.set_draining(true);
+        std::thread::sleep(drain_grace);
+    }
     server.shutdown();
     server.join();
     if let Some(t) = reload_thread {

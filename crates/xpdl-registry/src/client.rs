@@ -1,0 +1,596 @@
+//! Registry clients: one-shot RPC ([`RegistryClient`]) and the node-side
+//! membership loop ([`NodeAgent`]).
+//!
+//! The agent is what a serving node runs: it registers, heartbeats at
+//! `ttl/3`, and keeps a subscriber connection open for push
+//! invalidations. Both loops self-heal — a connection error or an
+//! `S503` (unknown node: the lease expired, or the registry restarted
+//! and forgot everything) sends the agent back to the register state,
+//! with bounded exponential backoff and deterministic jitter via
+//! [`xpdl_repo::RetryPolicy`]. A registry restart therefore needs no
+//! operator action: surviving nodes re-register within one heartbeat
+//! interval plus backoff.
+//!
+//! The agent deliberately knows nothing about serving: it reports
+//! through a health callback and signals invalidations through an
+//! `on_invalidate` callback, so this crate never depends on
+//! `xpdl-serve` (the dependency points the other way).
+
+use crate::lease::NodeReport;
+use crate::protocol::{
+    codes, parse_event, parse_response, Event, RegistryError, RegistryMethod, RegistryReply,
+    Request,
+};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use xpdl_repo::RetryPolicy;
+
+/// Why a registry call failed, from the caller's side of the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientError {
+    /// Could not connect, or the connection broke mid-call.
+    Io(String),
+    /// The registry answered with a structured `S5xx` error.
+    Registry(RegistryError),
+    /// The registry answered something this client cannot parse.
+    Malformed(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "registry i/o: {e}"),
+            ClientError::Registry(e) => write!(f, "registry error: {e}"),
+            ClientError::Malformed(e) => write!(f, "malformed registry reply: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl ClientError {
+    /// Whether this failure means the lease is gone and the node must
+    /// re-register (as opposed to a transient I/O blip that a heartbeat
+    /// retry can ride out — though re-registering is always safe).
+    pub fn needs_reregister(&self) -> bool {
+        matches!(self, ClientError::Registry(e) if e.code == codes::UNKNOWN_NODE)
+    }
+}
+
+/// A blocking one-connection-per-call registry RPC client with hard
+/// connect and read timeouts. Registry calls are rare (heartbeats,
+/// routing-table refreshes), so connection reuse buys nothing and a
+/// fresh connection per call means a half-dead socket can never wedge
+/// the caller.
+#[derive(Debug, Clone)]
+pub struct RegistryClient {
+    addr: String,
+    connect_timeout: Duration,
+    io_timeout: Duration,
+    next_id: Arc<AtomicU64>,
+}
+
+impl RegistryClient {
+    /// A client for the registry at `addr` with default timeouts
+    /// (500 ms connect, 2 s read/write).
+    pub fn new(addr: impl Into<String>) -> RegistryClient {
+        RegistryClient::with_timeouts(
+            addr,
+            Duration::from_millis(500),
+            Duration::from_millis(2000),
+        )
+    }
+
+    /// A client with explicit connect and read/write timeouts.
+    pub fn with_timeouts(
+        addr: impl Into<String>,
+        connect_timeout: Duration,
+        io_timeout: Duration,
+    ) -> RegistryClient {
+        RegistryClient {
+            addr: addr.into(),
+            connect_timeout,
+            io_timeout,
+            next_id: Arc::new(AtomicU64::new(1)),
+        }
+    }
+
+    /// The registry address this client talks to.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    fn connect(&self) -> Result<TcpStream, ClientError> {
+        let sockaddr = self
+            .addr
+            .to_socket_addrs()
+            .map_err(|e| ClientError::Io(format!("resolve {}: {e}", self.addr)))?
+            .next()
+            .ok_or_else(|| ClientError::Io(format!("{} resolves to no address", self.addr)))?;
+        let stream = TcpStream::connect_timeout(&sockaddr, self.connect_timeout)
+            .map_err(|e| ClientError::Io(format!("connect {}: {e}", self.addr)))?;
+        stream
+            .set_read_timeout(Some(self.io_timeout))
+            .and_then(|_| stream.set_write_timeout(Some(self.io_timeout)))
+            .and_then(|_| stream.set_nodelay(true))
+            .map_err(|e| ClientError::Io(format!("socket options: {e}")))?;
+        Ok(stream)
+    }
+
+    /// Execute one method: connect, send, read one response, done.
+    pub fn call(&self, method: RegistryMethod) -> Result<RegistryReply, ClientError> {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let mut stream = self.connect()?;
+        let req = Request { id, method };
+        stream
+            .write_all(req.to_json().as_bytes())
+            .and_then(|_| stream.write_all(b"\n"))
+            .map_err(|e| ClientError::Io(format!("send: {e}")))?;
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        let n = reader.read_line(&mut line).map_err(|e| ClientError::Io(format!("read: {e}")))?;
+        if n == 0 {
+            return Err(ClientError::Io("registry closed the connection".to_string()));
+        }
+        let resp = parse_response(line.trim()).map_err(ClientError::Malformed)?;
+        resp.result.map_err(ClientError::Registry)
+    }
+
+    /// Fetch the live routing table.
+    pub fn nodes(&self) -> Result<(Vec<crate::protocol::NodeEntry>, Option<String>), ClientError> {
+        match self.call(RegistryMethod::Nodes)? {
+            RegistryReply::Nodes { nodes, version } => Ok((nodes, version)),
+            other => Err(ClientError::Malformed(format!("expected nodes reply, got {other:?}"))),
+        }
+    }
+
+    /// Announce a model version to the cluster.
+    pub fn announce(&self, version: &str) -> Result<u64, ClientError> {
+        match self.call(RegistryMethod::Announce { version: version.to_string() })? {
+            RegistryReply::Announced { subscribers } => Ok(subscribers),
+            other => {
+                Err(ClientError::Malformed(format!("expected announced reply, got {other:?}")))
+            }
+        }
+    }
+}
+
+/// How a [`NodeAgent`] identifies and times itself.
+#[derive(Debug, Clone)]
+pub struct NodeConfig {
+    /// Registry address (`host:port`).
+    pub registry_addr: String,
+    /// This node's stable identity.
+    pub node: String,
+    /// The address this node advertises for client traffic.
+    pub advertise_addr: String,
+    /// Requested lease TTL.
+    pub ttl: Duration,
+    /// Backoff policy for re-register/reconnect attempts.
+    pub retry: RetryPolicy,
+}
+
+impl NodeConfig {
+    /// A config with the default TTL (1500 ms) and retry policy.
+    pub fn new(
+        registry_addr: impl Into<String>,
+        node: impl Into<String>,
+        advertise_addr: impl Into<String>,
+    ) -> NodeConfig {
+        NodeConfig {
+            registry_addr: registry_addr.into(),
+            node: node.into(),
+            advertise_addr: advertise_addr.into(),
+            ttl: Duration::from_millis(1500),
+            retry: RetryPolicy { max_delay: Duration::from_millis(500), ..RetryPolicy::default() },
+        }
+    }
+}
+
+/// Reports the node's current serving state to the membership loop.
+pub type HealthFn = Arc<dyn Fn() -> NodeReport + Send + Sync>;
+/// Called with the announced version on every push invalidation.
+pub type InvalidateFn = Arc<dyn Fn(&str) + Send + Sync>;
+
+/// The node-side membership loop: register, heartbeat, subscribe,
+/// self-heal. See the module docs for the state machine.
+pub struct NodeAgent {
+    cfg: NodeConfig,
+    client: RegistryClient,
+    stop: Arc<AtomicBool>,
+    registered: Arc<AtomicBool>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for NodeAgent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NodeAgent")
+            .field("node", &self.cfg.node)
+            .field("registry", &self.cfg.registry_addr)
+            .finish()
+    }
+}
+
+impl NodeAgent {
+    /// Start the membership loop. Returns immediately; registration and
+    /// subscription proceed (and retry) on background threads.
+    pub fn start(cfg: NodeConfig, health: HealthFn, on_invalidate: InvalidateFn) -> NodeAgent {
+        let client = RegistryClient::with_timeouts(
+            cfg.registry_addr.clone(),
+            Duration::from_millis(500),
+            // Heartbeats must fail well inside the TTL so a slow registry
+            // read cannot silently eat the lease.
+            (cfg.ttl / 2).max(Duration::from_millis(250)),
+        );
+        let stop = Arc::new(AtomicBool::new(false));
+        let registered = Arc::new(AtomicBool::new(false));
+        let mut threads = Vec::new();
+
+        {
+            let cfg = cfg.clone();
+            let client = client.clone();
+            let stop = Arc::clone(&stop);
+            let registered = Arc::clone(&registered);
+            let health = Arc::clone(&health);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("xpdl-agent-hb-{}", cfg.node))
+                    .spawn(move || heartbeat_loop(&cfg, &client, &stop, &registered, &health))
+                    .expect("spawn heartbeat loop"),
+            );
+        }
+        {
+            let cfg = cfg.clone();
+            let stop = Arc::clone(&stop);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("xpdl-agent-sub-{}", cfg.node))
+                    .spawn(move || subscribe_loop(&cfg, &stop, &on_invalidate))
+                    .expect("spawn subscribe loop"),
+            );
+        }
+
+        NodeAgent { cfg, client, stop, registered, threads }
+    }
+
+    /// Whether the node currently holds (as far as it knows) a live lease.
+    pub fn is_registered(&self) -> bool {
+        self.registered.load(Ordering::Acquire)
+    }
+
+    /// This agent's configuration.
+    pub fn config(&self) -> &NodeConfig {
+        &self.cfg
+    }
+
+    /// Deregister from the registry **now**, before any local teardown.
+    /// This is the drain ordering fix: call it while the listener is
+    /// still accepting, so the routing table never points at a closed
+    /// port. Best-effort — an unreachable registry only means the lease
+    /// dies by TTL instead.
+    pub fn deregister(&self) -> Result<bool, ClientError> {
+        self.registered.store(false, Ordering::Release);
+        match self.client.call(RegistryMethod::Deregister { node: self.cfg.node.clone() })? {
+            RegistryReply::Deregistered { removed } => Ok(removed),
+            other => {
+                Err(ClientError::Malformed(format!("expected deregistered reply, got {other:?}")))
+            }
+        }
+    }
+
+    /// Graceful stop: deregister (best-effort), then stop the loops.
+    pub fn shutdown(mut self) {
+        let _ = self.deregister();
+        self.stop_threads();
+    }
+
+    /// Hard stop **without** deregistering: the loops die, the lease
+    /// stays, and the registry must discover the death by TTL expiry —
+    /// exactly what a SIGKILL looks like. For chaos tests.
+    pub fn abort(mut self) {
+        self.stop_threads();
+    }
+
+    fn stop_threads(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for NodeAgent {
+    fn drop(&mut self) {
+        self.stop_threads();
+    }
+}
+
+/// Sleep `total` in small steps, returning early (false) on stop.
+fn interruptible_sleep(stop: &AtomicBool, total: Duration) -> bool {
+    let step = Duration::from_millis(25);
+    let mut remaining = total;
+    while !remaining.is_zero() {
+        if stop.load(Ordering::Acquire) {
+            return false;
+        }
+        let chunk = remaining.min(step);
+        std::thread::sleep(chunk);
+        remaining -= chunk;
+    }
+    !stop.load(Ordering::Acquire)
+}
+
+fn heartbeat_loop(
+    cfg: &NodeConfig,
+    client: &RegistryClient,
+    stop: &AtomicBool,
+    registered: &AtomicBool,
+    health: &HealthFn,
+) {
+    let interval = (cfg.ttl / 3).max(Duration::from_millis(10));
+    let mut attempt: u32 = 0;
+    while !stop.load(Ordering::Acquire) {
+        if !registered.load(Ordering::Acquire) {
+            let report = health();
+            let res = client.call(RegistryMethod::Register {
+                node: cfg.node.clone(),
+                addr: cfg.advertise_addr.clone(),
+                epoch: report.epoch,
+                fingerprint: report.fingerprint.clone(),
+                inflight: report.inflight,
+                ttl_ms: cfg.ttl.as_millis() as u64,
+            });
+            match res {
+                Ok(_) => {
+                    registered.store(true, Ordering::Release);
+                    attempt = 0;
+                }
+                Err(_) => {
+                    // Registry down: back off (bounded, jittered) and try
+                    // again. The node keeps serving from its snapshot.
+                    attempt = attempt.saturating_add(1);
+                    let delay = cfg.retry.delay_after(&cfg.node, attempt.min(16));
+                    if !interruptible_sleep(stop, delay) {
+                        return;
+                    }
+                    continue;
+                }
+            }
+        }
+        if !interruptible_sleep(stop, interval) {
+            return;
+        }
+        let report = health();
+        let res = client.call(RegistryMethod::Heartbeat {
+            node: cfg.node.clone(),
+            epoch: report.epoch,
+            fingerprint: report.fingerprint.clone(),
+            inflight: report.inflight,
+        });
+        if let Err(e) = res {
+            // Lease gone (S503) or registry unreachable: next iteration
+            // re-registers. Re-registering is always safe (idempotent,
+            // generation-bumping), so both cases take the same path.
+            let _ = e;
+            registered.store(false, Ordering::Release);
+        }
+    }
+}
+
+fn subscribe_loop(cfg: &NodeConfig, stop: &AtomicBool, on_invalidate: &InvalidateFn) {
+    let mut last_version: Option<String> = None;
+    let mut attempt: u32 = 0;
+    'reconnect: while !stop.load(Ordering::Acquire) {
+        let stream = (|| -> Result<TcpStream, ClientError> {
+            let sockaddr = cfg
+                .registry_addr
+                .to_socket_addrs()
+                .map_err(|e| ClientError::Io(e.to_string()))?
+                .next()
+                .ok_or_else(|| ClientError::Io("no address".to_string()))?;
+            let s = TcpStream::connect_timeout(&sockaddr, Duration::from_millis(500))
+                .map_err(|e| ClientError::Io(e.to_string()))?;
+            // Short read timeout: the event stream is idle most of the
+            // time, and the loop must notice stop requests promptly.
+            s.set_read_timeout(Some(Duration::from_millis(200)))
+                .and_then(|_| s.set_write_timeout(Some(Duration::from_millis(500))))
+                .and_then(|_| s.set_nodelay(true))
+                .map_err(|e| ClientError::Io(e.to_string()))?;
+            Ok(s)
+        })();
+        let stream = match stream {
+            Ok(s) => s,
+            Err(_) => {
+                attempt = attempt.saturating_add(1);
+                let delay = cfg.retry.delay_after(&cfg.node, attempt.min(16));
+                if !interruptible_sleep(stop, delay) {
+                    return;
+                }
+                continue;
+            }
+        };
+        attempt = 0;
+        let req = Request {
+            id: 1,
+            method: RegistryMethod::Subscribe { node: cfg.node.clone() },
+        };
+        let mut write_half = match stream.try_clone() {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        if write_half
+            .write_all(req.to_json().as_bytes())
+            .and_then(|_| write_half.write_all(b"\n"))
+            .is_err()
+        {
+            continue;
+        }
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        loop {
+            if stop.load(Ordering::Acquire) {
+                return;
+            }
+            line.clear();
+            match reader.read_line(&mut line) {
+                Ok(0) => continue 'reconnect, // registry gone; reconnect
+                Ok(_) => {
+                    let trimmed = line.trim();
+                    if trimmed.is_empty() {
+                        continue;
+                    }
+                    match parse_event(trimmed) {
+                        Ok(Some(Event::Invalidate { version })) => {
+                            if last_version.as_deref() != Some(version.as_str()) {
+                                last_version = Some(version.clone());
+                                on_invalidate(&version);
+                            }
+                        }
+                        Ok(None) => {
+                            // The subscribe ack. If a version was announced
+                            // while we were disconnected (registry restart),
+                            // catch up from the echoed version.
+                            if let Ok(resp) = parse_response(trimmed) {
+                                if let Ok(RegistryReply::Subscribed { version: Some(v) }) =
+                                    resp.result
+                                {
+                                    if last_version.as_deref() != Some(v.as_str()) {
+                                        last_version = Some(v.clone());
+                                        on_invalidate(&v);
+                                    }
+                                }
+                            }
+                        }
+                        Err(_) => continue 'reconnect, // stream out of sync
+                    }
+                }
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    continue;
+                }
+                Err(_) => continue 'reconnect,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{RegistryOptions, RegistryServer};
+    use std::sync::atomic::AtomicU64 as TestCounter;
+
+    fn test_server(ttl_sweep_ms: u64) -> RegistryServer {
+        RegistryServer::start(
+            "127.0.0.1:0",
+            RegistryOptions {
+                sweep_interval: Duration::from_millis(ttl_sweep_ms),
+                ..Default::default()
+            },
+        )
+        .unwrap()
+    }
+
+    fn wait_until(deadline: Duration, mut cond: impl FnMut() -> bool) -> bool {
+        let start = std::time::Instant::now();
+        while start.elapsed() < deadline {
+            if cond() {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        cond()
+    }
+
+    #[test]
+    fn agent_registers_heartbeats_and_survives_registry_restart() {
+        let server = test_server(20);
+        let addr = server.local_addr().to_string();
+        let mut cfg = NodeConfig::new(addr.clone(), "n1", "127.0.0.1:7001");
+        cfg.ttl = Duration::from_millis(200);
+        let invalidations = Arc::new(TestCounter::new(0));
+        let inv = Arc::clone(&invalidations);
+        let agent = NodeAgent::start(
+            cfg,
+            Arc::new(|| NodeReport { epoch: 7, fingerprint: "f".into(), inflight: 0 }),
+            Arc::new(move |_v| {
+                inv.fetch_add(1, Ordering::Relaxed);
+            }),
+        );
+        let client = RegistryClient::new(addr.clone());
+        assert!(wait_until(Duration::from_secs(5), || {
+            client.nodes().map(|(n, _)| n.len() == 1).unwrap_or(false)
+        }));
+        // Push an invalidation through the subscriber connection.
+        assert!(wait_until(Duration::from_secs(5), || {
+            client.announce("v1").map(|subs| subs >= 1).unwrap_or(false)
+        }));
+        assert!(wait_until(Duration::from_secs(5), || {
+            invalidations.load(Ordering::Relaxed) >= 1
+        }));
+
+        // Kill the registry and restart on the same port: the agent must
+        // re-register without help.
+        let concrete = server.local_addr();
+        server.shutdown();
+        server.join();
+        // Rebind the same concrete port (retry covers TIME_WAIT hiccups).
+        let mut server2 = None;
+        assert!(wait_until(Duration::from_secs(5), || {
+            match RegistryServer::start(
+                &concrete.to_string(),
+                RegistryOptions { sweep_interval: Duration::from_millis(20), ..Default::default() },
+            ) {
+                Ok(s) => {
+                    server2 = Some(s);
+                    true
+                }
+                Err(_) => false,
+            }
+        }));
+        let server2 = server2.unwrap();
+        assert!(
+            wait_until(Duration::from_secs(10), || {
+                client.nodes().map(|(n, _)| n.len() == 1).unwrap_or(false)
+            }),
+            "agent did not re-register after registry restart"
+        );
+        agent.shutdown();
+        assert!(wait_until(Duration::from_secs(5), || {
+            client.nodes().map(|(n, _)| n.is_empty()).unwrap_or(false)
+        }));
+        server2.shutdown();
+        server2.join();
+    }
+
+    #[test]
+    fn aborted_agent_expires_by_ttl() {
+        let server = test_server(20);
+        let addr = server.local_addr().to_string();
+        let mut cfg = NodeConfig::new(addr.clone(), "doomed", "127.0.0.1:7002");
+        cfg.ttl = Duration::from_millis(150);
+        let agent = NodeAgent::start(
+            cfg,
+            Arc::new(NodeReport::default),
+            Arc::new(|_| {}),
+        );
+        let client = RegistryClient::new(addr);
+        assert!(wait_until(Duration::from_secs(5), || {
+            client.nodes().map(|(n, _)| n.len() == 1).unwrap_or(false)
+        }));
+        // abort() = SIGKILL semantics: no deregister. The lease must die
+        // by TTL, within 2×TTL of the abort.
+        agent.abort();
+        let gone = wait_until(Duration::from_millis(300), || {
+            client.nodes().map(|(n, _)| n.is_empty()).unwrap_or(false)
+        });
+        assert!(gone, "lease outlived 2x ttl after abort");
+        server.shutdown();
+        server.join();
+    }
+}

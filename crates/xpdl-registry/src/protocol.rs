@@ -1,0 +1,743 @@
+//! The registry's versioned JSON-lines wire protocol (`S5xx` codes).
+//!
+//! Shape and framing mirror the serve protocol (DESIGN.md §13): one
+//! newline-terminated JSON object per request and per response, with a
+//! client-chosen correlation `id`:
+//!
+//! ```text
+//! {"v":1,"id":3,"method":"register","params":{"node":"n1","addr":"10.0.0.7:7001",
+//!  "epoch":4,"fingerprint":"00c0ffee","inflight":0,"ttl_ms":1500}}
+//! {"v":1,"id":3,"ok":{"kind":"lease","generation":1,"ttl_ms":1500,"version":null}}
+//! ```
+//!
+//! Unlike the strictly request/response serve wire, a registry
+//! connection that has issued `subscribe` also receives unsolicited
+//! **event lines** — push invalidations carrying no `id`:
+//!
+//! ```text
+//! {"v":1,"event":{"kind":"invalidate","version":"fleet-v12"}}
+//! ```
+//!
+//! Subscribers must therefore dispatch each incoming line on the
+//! presence of `"event"` before treating it as a response; the
+//! [`parse_event`] / [`parse_response`] pair makes that a two-probe
+//! match. The full grammar is documented in DESIGN.md §16.
+//!
+//! # Example
+//!
+//! ```
+//! use xpdl_registry::protocol::{parse_request, Request, RegistryMethod};
+//!
+//! let req = Request { id: 3, method: RegistryMethod::Nodes };
+//! assert_eq!(parse_request(&req.to_json()).unwrap(), req);
+//! ```
+
+use std::fmt;
+use xpdl_core::diag::json::{self, JsonValue};
+
+/// The registry protocol version spoken by this build.
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// Stable error codes of the cluster/registry stage (`S5xx`), extending
+/// the `P0xx`/`V1xx`/`E2xx`/`R3xx`/`S4xx` taxonomy. `S510` (node is
+/// draining) is defined by the serve protocol — it is an error a *serve
+/// node* returns, not the registry — but is listed in DESIGN.md §16
+/// with the rest of the cluster codes.
+pub mod codes {
+    /// Request line is not valid registry-protocol JSON.
+    pub const BAD_REQUEST: &str = "S500";
+    /// Method name not part of this registry protocol version.
+    pub const UNKNOWN_METHOD: &str = "S501";
+    /// Method known, params missing or of the wrong type.
+    pub const INVALID_PARAMS: &str = "S502";
+    /// No live lease for the node (never registered, expired, or the
+    /// registry restarted) — the node must re-register.
+    pub const UNKNOWN_NODE: &str = "S503";
+    /// Unsupported `"v"` field.
+    pub const BAD_VERSION: &str = "S504";
+    /// Request line exceeds the registry's size cap.
+    pub const LINE_TOO_LONG: &str = "S505";
+}
+
+/// A structured registry error: stable `S5xx` code + message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegistryError {
+    /// One of the [`codes`] constants.
+    pub code: String,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.code, self.message)
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+impl RegistryError {
+    /// Build an error with an explicit code.
+    pub fn new(code: &str, message: impl Into<String>) -> RegistryError {
+        RegistryError { code: code.to_string(), message: message.into() }
+    }
+
+    pub(crate) fn bad_request(detail: impl fmt::Display) -> RegistryError {
+        RegistryError::new(codes::BAD_REQUEST, format!("malformed request: {detail}"))
+    }
+
+    pub(crate) fn invalid_params(detail: impl fmt::Display) -> RegistryError {
+        RegistryError::new(codes::INVALID_PARAMS, format!("invalid params: {detail}"))
+    }
+
+    /// The "re-register" signal sent to heartbeats without a live lease.
+    pub fn unknown_node(node: &str) -> RegistryError {
+        RegistryError::new(
+            codes::UNKNOWN_NODE,
+            format!("no live lease for node {node:?}; re-register"),
+        )
+    }
+}
+
+/// One registry request: correlation id + method with its parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Client-chosen correlation id, echoed verbatim in the response.
+    pub id: u64,
+    /// What to do.
+    pub method: RegistryMethod,
+}
+
+/// Every method of registry protocol version 1.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RegistryMethod {
+    /// Liveness check.
+    Ping,
+    /// Grant (or re-grant) a TTL lease for a serving node.
+    Register {
+        /// The node's stable self-chosen identity.
+        node: String,
+        /// Address clients should connect to (`host:port`).
+        addr: String,
+        /// Snapshot epoch the node currently serves.
+        epoch: u64,
+        /// Model fingerprint (hex) the node currently serves.
+        fingerprint: String,
+        /// Requests in flight on the node right now.
+        inflight: u64,
+        /// Requested lease TTL in milliseconds.
+        ttl_ms: u64,
+    },
+    /// Renew a lease and refresh the node's serving report.
+    Heartbeat {
+        /// The node's identity.
+        node: String,
+        /// Snapshot epoch the node currently serves.
+        epoch: u64,
+        /// Model fingerprint (hex) the node currently serves.
+        fingerprint: String,
+        /// Requests in flight on the node right now.
+        inflight: u64,
+    },
+    /// Drop a lease immediately (the node is draining).
+    Deregister {
+        /// The node's identity.
+        node: String,
+    },
+    /// The current routing table: all live leases.
+    Nodes,
+    /// Announce a new model version; pushed to every subscriber.
+    Announce {
+        /// Opaque version label (typically a model fingerprint).
+        version: String,
+    },
+    /// Turn this connection into a push-invalidation subscriber.
+    Subscribe {
+        /// The subscribing node's identity (for logs/metrics).
+        node: String,
+    },
+    /// Registry statistics.
+    Stats,
+}
+
+impl RegistryMethod {
+    /// The wire name of this method.
+    pub fn name(&self) -> &'static str {
+        match self {
+            RegistryMethod::Ping => "ping",
+            RegistryMethod::Register { .. } => "register",
+            RegistryMethod::Heartbeat { .. } => "heartbeat",
+            RegistryMethod::Deregister { .. } => "deregister",
+            RegistryMethod::Nodes => "nodes",
+            RegistryMethod::Announce { .. } => "announce",
+            RegistryMethod::Subscribe { .. } => "subscribe",
+            RegistryMethod::Stats => "stats",
+        }
+    }
+}
+
+/// One live routing-table entry, as carried by the `nodes` reply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeEntry {
+    /// Node identity.
+    pub node: String,
+    /// Address clients should connect to.
+    pub addr: String,
+    /// Snapshot epoch the node last reported.
+    pub epoch: u64,
+    /// Model fingerprint the node last reported.
+    pub fingerprint: String,
+    /// In-flight count the node last reported.
+    pub inflight: u64,
+    /// Lease generation (re-registrations increment it).
+    pub generation: u64,
+    /// Milliseconds since the lease was last renewed.
+    pub age_ms: u64,
+}
+
+/// The success payload of a registry response, tagged by `kind`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RegistryReply {
+    /// `ping` succeeded.
+    Pong,
+    /// `register` / `heartbeat` succeeded: the lease terms.
+    Lease {
+        /// Lease generation (restart detector).
+        generation: u64,
+        /// Granted TTL in milliseconds.
+        ttl_ms: u64,
+        /// The most recently announced model version, if any — lets a
+        /// late-joining node catch up without waiting for a push.
+        version: Option<String>,
+    },
+    /// `deregister` result.
+    Deregistered {
+        /// Whether the node held a lease to remove.
+        removed: bool,
+    },
+    /// `nodes` result: the live routing table.
+    Nodes {
+        /// Live leases in node-id order.
+        nodes: Vec<NodeEntry>,
+        /// The most recently announced model version, if any.
+        version: Option<String>,
+    },
+    /// `announce` result.
+    Announced {
+        /// Subscribers the invalidation was pushed to.
+        subscribers: u64,
+    },
+    /// `subscribe` acknowledged; event lines follow on this connection.
+    Subscribed {
+        /// The most recently announced model version, if any.
+        version: Option<String>,
+    },
+    /// `stats` result.
+    Stats {
+        /// Live leases right now.
+        nodes: u64,
+        /// Registrations granted since start.
+        registers: u64,
+        /// Heartbeats renewed since start.
+        heartbeats: u64,
+        /// Leases expired by the sweeper or lazy reaping since start.
+        expirations: u64,
+        /// Version announcements since start.
+        announcements: u64,
+        /// Milliseconds since the registry started.
+        uptime_ms: u64,
+    },
+}
+
+/// One registry response: echoed id + reply or structured error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// The request's correlation id (0 when the id was unreadable).
+    pub id: u64,
+    /// Outcome.
+    pub result: Result<RegistryReply, RegistryError>,
+}
+
+impl Response {
+    /// A success response.
+    pub fn ok(id: u64, reply: RegistryReply) -> Response {
+        Response { id, result: Ok(reply) }
+    }
+
+    /// An error response.
+    pub fn err(id: u64, error: RegistryError) -> Response {
+        Response { id, result: Err(error) }
+    }
+}
+
+/// An unsolicited push line sent to subscribed connections.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// A new model version was announced: reload now.
+    Invalidate {
+        /// The announced version label.
+        version: String,
+    },
+}
+
+// ---- serialization ----
+
+fn push_opt_str(out: &mut String, v: &Option<String>) {
+    match v {
+        Some(s) => json::escape_into(out, s),
+        None => out.push_str("null"),
+    }
+}
+
+impl Request {
+    /// Serialize to one JSON line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(96);
+        s.push_str(&format!("{{\"v\":{PROTOCOL_VERSION},\"id\":{},\"method\":", self.id));
+        json::escape_into(&mut s, self.method.name());
+        let mut params = String::new();
+        {
+            let p = &mut params;
+            let mut first = true;
+            let str_field = |p: &mut String, first: &mut bool, k: &str, v: &str| {
+                if !*first {
+                    p.push(',');
+                }
+                *first = false;
+                json::escape_into(p, k);
+                p.push(':');
+                json::escape_into(p, v);
+            };
+            let int_field = |p: &mut String, first: &mut bool, k: &str, v: u64| {
+                if !*first {
+                    p.push(',');
+                }
+                *first = false;
+                json::escape_into(p, k);
+                p.push_str(&format!(":{v}"));
+            };
+            match &self.method {
+                RegistryMethod::Ping | RegistryMethod::Nodes | RegistryMethod::Stats => {}
+                RegistryMethod::Register { node, addr, epoch, fingerprint, inflight, ttl_ms } => {
+                    str_field(p, &mut first, "node", node);
+                    str_field(p, &mut first, "addr", addr);
+                    int_field(p, &mut first, "epoch", *epoch);
+                    str_field(p, &mut first, "fingerprint", fingerprint);
+                    int_field(p, &mut first, "inflight", *inflight);
+                    int_field(p, &mut first, "ttl_ms", *ttl_ms);
+                }
+                RegistryMethod::Heartbeat { node, epoch, fingerprint, inflight } => {
+                    str_field(p, &mut first, "node", node);
+                    int_field(p, &mut first, "epoch", *epoch);
+                    str_field(p, &mut first, "fingerprint", fingerprint);
+                    int_field(p, &mut first, "inflight", *inflight);
+                }
+                RegistryMethod::Deregister { node } | RegistryMethod::Subscribe { node } => {
+                    str_field(p, &mut first, "node", node)
+                }
+                RegistryMethod::Announce { version } => {
+                    str_field(p, &mut first, "version", version)
+                }
+            }
+        }
+        if !params.is_empty() {
+            s.push_str(",\"params\":{");
+            s.push_str(&params);
+            s.push('}');
+        }
+        s.push('}');
+        s
+    }
+}
+
+impl RegistryReply {
+    fn payload_to_json(&self) -> String {
+        let mut s = String::with_capacity(64);
+        s.push_str("{\"kind\":");
+        match self {
+            RegistryReply::Pong => s.push_str("\"pong\""),
+            RegistryReply::Lease { generation, ttl_ms, version } => {
+                s.push_str(&format!(
+                    "\"lease\",\"generation\":{generation},\"ttl_ms\":{ttl_ms},\"version\":"
+                ));
+                push_opt_str(&mut s, version);
+            }
+            RegistryReply::Deregistered { removed } => {
+                s.push_str(&format!("\"deregistered\",\"removed\":{removed}"))
+            }
+            RegistryReply::Nodes { nodes, version } => {
+                s.push_str("\"nodes\",\"nodes\":[");
+                for (i, n) in nodes.iter().enumerate() {
+                    if i > 0 {
+                        s.push(',');
+                    }
+                    s.push_str("{\"node\":");
+                    json::escape_into(&mut s, &n.node);
+                    s.push_str(",\"addr\":");
+                    json::escape_into(&mut s, &n.addr);
+                    s.push_str(&format!(",\"epoch\":{},\"fingerprint\":", n.epoch));
+                    json::escape_into(&mut s, &n.fingerprint);
+                    s.push_str(&format!(
+                        ",\"inflight\":{},\"generation\":{},\"age_ms\":{}}}",
+                        n.inflight, n.generation, n.age_ms
+                    ));
+                }
+                s.push_str("],\"version\":");
+                push_opt_str(&mut s, version);
+            }
+            RegistryReply::Announced { subscribers } => {
+                s.push_str(&format!("\"announced\",\"subscribers\":{subscribers}"))
+            }
+            RegistryReply::Subscribed { version } => {
+                s.push_str("\"subscribed\",\"version\":");
+                push_opt_str(&mut s, version);
+            }
+            RegistryReply::Stats {
+                nodes,
+                registers,
+                heartbeats,
+                expirations,
+                announcements,
+                uptime_ms,
+            } => s.push_str(&format!(
+                "\"stats\",\"nodes\":{nodes},\"registers\":{registers},\
+                 \"heartbeats\":{heartbeats},\"expirations\":{expirations},\
+                 \"announcements\":{announcements},\"uptime_ms\":{uptime_ms}"
+            )),
+        }
+        s.push('}');
+        s
+    }
+}
+
+impl Response {
+    /// Serialize to one JSON line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(96);
+        s.push_str(&format!("{{\"v\":{PROTOCOL_VERSION},\"id\":{},", self.id));
+        match &self.result {
+            Ok(reply) => {
+                s.push_str("\"ok\":");
+                s.push_str(&reply.payload_to_json());
+            }
+            Err(e) => {
+                s.push_str("\"error\":{\"code\":");
+                json::escape_into(&mut s, &e.code);
+                s.push_str(",\"message\":");
+                json::escape_into(&mut s, &e.message);
+                s.push('}');
+            }
+        }
+        s.push('}');
+        s
+    }
+}
+
+impl Event {
+    /// Serialize to one JSON line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        match self {
+            Event::Invalidate { version } => {
+                let mut s = String::with_capacity(64);
+                s.push_str(&format!(
+                    "{{\"v\":{PROTOCOL_VERSION},\"event\":{{\"kind\":\"invalidate\",\"version\":"
+                ));
+                json::escape_into(&mut s, version);
+                s.push_str("}}");
+                s
+            }
+        }
+    }
+}
+
+// ---- parsing ----
+
+type Obj = [(String, JsonValue)];
+
+fn get_str(obj: &Obj, key: &str) -> Result<String, RegistryError> {
+    json::get(obj, key)
+        .and_then(JsonValue::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| RegistryError::invalid_params(format!("missing string field {key:?}")))
+}
+
+fn get_u64(obj: &Obj, key: &str) -> Result<u64, RegistryError> {
+    let n = json::get(obj, key)
+        .and_then(JsonValue::as_number)
+        .ok_or_else(|| RegistryError::invalid_params(format!("missing numeric field {key:?}")))?;
+    if n < 0.0 || n.fract() != 0.0 || n > (1u64 << 53) as f64 {
+        return Err(RegistryError::invalid_params(format!("field {key:?} is not a u53 integer")));
+    }
+    Ok(n as u64)
+}
+
+fn opt_str(obj: &Obj, key: &str) -> Option<String> {
+    json::get(obj, key).and_then(JsonValue::as_str).map(str::to_string)
+}
+
+/// Parse one request line. On error, the recovered correlation id (if
+/// any) rides along so the daemon can still address its error response.
+pub fn parse_request(line: &str) -> Result<Request, (Option<u64>, RegistryError)> {
+    let v = json::parse(line).map_err(|e| (None, RegistryError::bad_request(e)))?;
+    let obj = v
+        .as_object()
+        .ok_or_else(|| (None, RegistryError::bad_request("request is not a JSON object")))?;
+    let id = json::get(obj, "id")
+        .and_then(JsonValue::as_number)
+        .filter(|n| *n >= 0.0 && n.fract() == 0.0)
+        .map(|n| n as u64);
+    let fail = |e: RegistryError| (id, e);
+    let id_val =
+        id.ok_or_else(|| fail(RegistryError::bad_request("missing or non-integer \"id\"")))?;
+    let version = json::get(obj, "v").and_then(JsonValue::as_number);
+    if version != Some(PROTOCOL_VERSION as f64) {
+        return Err(fail(RegistryError::new(
+            codes::BAD_VERSION,
+            format!("unsupported registry protocol version (want {PROTOCOL_VERSION})"),
+        )));
+    }
+    let method_name = json::get(obj, "method")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| fail(RegistryError::bad_request("missing \"method\"")))?;
+    static EMPTY: &Obj = &[];
+    let params: &Obj = match json::get(obj, "params") {
+        None => EMPTY,
+        Some(p) => p
+            .as_object()
+            .ok_or_else(|| fail(RegistryError::invalid_params("\"params\" is not an object")))?,
+    };
+    let method = (|| -> Result<RegistryMethod, RegistryError> {
+        Ok(match method_name {
+            "ping" => RegistryMethod::Ping,
+            "register" => RegistryMethod::Register {
+                node: get_str(params, "node")?,
+                addr: get_str(params, "addr")?,
+                epoch: get_u64(params, "epoch")?,
+                fingerprint: get_str(params, "fingerprint")?,
+                inflight: get_u64(params, "inflight")?,
+                ttl_ms: get_u64(params, "ttl_ms")?,
+            },
+            "heartbeat" => RegistryMethod::Heartbeat {
+                node: get_str(params, "node")?,
+                epoch: get_u64(params, "epoch")?,
+                fingerprint: get_str(params, "fingerprint")?,
+                inflight: get_u64(params, "inflight")?,
+            },
+            "deregister" => RegistryMethod::Deregister { node: get_str(params, "node")? },
+            "nodes" => RegistryMethod::Nodes,
+            "announce" => RegistryMethod::Announce { version: get_str(params, "version")? },
+            "subscribe" => RegistryMethod::Subscribe { node: get_str(params, "node")? },
+            "stats" => RegistryMethod::Stats,
+            other => {
+                return Err(RegistryError::new(
+                    codes::UNKNOWN_METHOD,
+                    format!("unknown method {other:?}"),
+                ))
+            }
+        })
+    })()
+    .map_err(fail)?;
+    Ok(Request { id: id_val, method })
+}
+
+fn parse_reply(obj: &Obj) -> Result<RegistryReply, String> {
+    let int = |k: &str| -> Result<u64, String> {
+        json::get(obj, k)
+            .and_then(JsonValue::as_number)
+            .map(|n| n as u64)
+            .ok_or(format!("missing number {k:?}"))
+    };
+    let kind = opt_str(obj, "kind").ok_or("reply has no kind tag")?;
+    Ok(match kind.as_str() {
+        "pong" => RegistryReply::Pong,
+        "lease" => RegistryReply::Lease {
+            generation: int("generation")?,
+            ttl_ms: int("ttl_ms")?,
+            version: opt_str(obj, "version"),
+        },
+        "deregistered" => RegistryReply::Deregistered {
+            removed: json::get(obj, "removed")
+                .and_then(JsonValue::as_bool)
+                .ok_or("missing removed")?,
+        },
+        "nodes" => {
+            let mut nodes = Vec::new();
+            for v in json::get(obj, "nodes")
+                .and_then(JsonValue::as_array)
+                .ok_or("missing nodes array")?
+            {
+                let n = v.as_object().ok_or("node entry is not an object")?;
+                let nint = |k: &str| -> Result<u64, String> {
+                    json::get(n, k)
+                        .and_then(JsonValue::as_number)
+                        .map(|x| x as u64)
+                        .ok_or(format!("node entry missing {k:?}"))
+                };
+                nodes.push(NodeEntry {
+                    node: opt_str(n, "node").ok_or("node entry missing node")?,
+                    addr: opt_str(n, "addr").ok_or("node entry missing addr")?,
+                    epoch: nint("epoch")?,
+                    fingerprint: opt_str(n, "fingerprint").ok_or("node entry missing fingerprint")?,
+                    inflight: nint("inflight")?,
+                    generation: nint("generation")?,
+                    age_ms: nint("age_ms")?,
+                });
+            }
+            RegistryReply::Nodes { nodes, version: opt_str(obj, "version") }
+        }
+        "announced" => RegistryReply::Announced { subscribers: int("subscribers")? },
+        "subscribed" => RegistryReply::Subscribed { version: opt_str(obj, "version") },
+        "stats" => RegistryReply::Stats {
+            nodes: int("nodes")?,
+            registers: int("registers")?,
+            heartbeats: int("heartbeats")?,
+            expirations: int("expirations")?,
+            announcements: int("announcements")?,
+            uptime_ms: int("uptime_ms")?,
+        },
+        other => return Err(format!("unknown reply kind {other:?}")),
+    })
+}
+
+/// Parse one response line (the client side of the wire).
+pub fn parse_response(line: &str) -> Result<Response, String> {
+    let v = json::parse(line)?;
+    let obj = v.as_object().ok_or("response is not a JSON object")?;
+    let version = json::get(obj, "v").and_then(JsonValue::as_number);
+    if version != Some(PROTOCOL_VERSION as f64) {
+        return Err(format!("unsupported response version {version:?}"));
+    }
+    let id = json::get(obj, "id")
+        .and_then(JsonValue::as_number)
+        .filter(|n| *n >= 0.0 && n.fract() == 0.0)
+        .ok_or("missing response id")? as u64;
+    if let Some(err) = json::get(obj, "error") {
+        let err = err.as_object().ok_or("error is not an object")?;
+        return Ok(Response::err(
+            id,
+            RegistryError {
+                code: opt_str(err, "code").ok_or("missing error code")?,
+                message: opt_str(err, "message").ok_or("missing error message")?,
+            },
+        ));
+    }
+    let ok = json::get(obj, "ok")
+        .and_then(JsonValue::as_object)
+        .ok_or("response has neither ok nor error")?;
+    Ok(Response::ok(id, parse_reply(ok)?))
+}
+
+/// Probe a line for an unsolicited push event. `Ok(None)` means the line
+/// is not an event (likely a response — try [`parse_response`] next);
+/// `Err` means it claimed to be an event but was malformed.
+pub fn parse_event(line: &str) -> Result<Option<Event>, String> {
+    let v = json::parse(line)?;
+    let obj = v.as_object().ok_or("event line is not a JSON object")?;
+    let Some(ev) = json::get(obj, "event") else {
+        return Ok(None);
+    };
+    let ev = ev.as_object().ok_or("\"event\" is not an object")?;
+    match opt_str(ev, "kind").as_deref() {
+        Some("invalidate") => Ok(Some(Event::Invalidate {
+            version: opt_str(ev, "version").ok_or("invalidate event missing version")?,
+        })),
+        Some(other) => Err(format!("unknown event kind {other:?}")),
+        None => Err("event has no kind tag".to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrip() {
+        for method in [
+            RegistryMethod::Ping,
+            RegistryMethod::Nodes,
+            RegistryMethod::Stats,
+            RegistryMethod::Register {
+                node: "n\"1\n".into(),
+                addr: "127.0.0.1:7001".into(),
+                epoch: 4,
+                fingerprint: "00c0ffee".into(),
+                inflight: 2,
+                ttl_ms: 1500,
+            },
+            RegistryMethod::Heartbeat {
+                node: "n1".into(),
+                epoch: 5,
+                fingerprint: "cafe".into(),
+                inflight: 0,
+            },
+            RegistryMethod::Deregister { node: "n1".into() },
+            RegistryMethod::Announce { version: "fleet-v12".into() },
+            RegistryMethod::Subscribe { node: "n2".into() },
+        ] {
+            let req = Request { id: 7, method };
+            assert_eq!(parse_request(&req.to_json()).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        for reply in [
+            RegistryReply::Pong,
+            RegistryReply::Lease { generation: 3, ttl_ms: 1500, version: None },
+            RegistryReply::Lease { generation: 1, ttl_ms: 500, version: Some("v2".into()) },
+            RegistryReply::Deregistered { removed: true },
+            RegistryReply::Nodes { nodes: vec![], version: None },
+            RegistryReply::Nodes {
+                nodes: vec![NodeEntry {
+                    node: "n1".into(),
+                    addr: "127.0.0.1:7001".into(),
+                    epoch: 9,
+                    fingerprint: "beef".into(),
+                    inflight: 1,
+                    generation: 2,
+                    age_ms: 120,
+                }],
+                version: Some("fleet-v12".into()),
+            },
+            RegistryReply::Announced { subscribers: 3 },
+            RegistryReply::Subscribed { version: Some("v1".into()) },
+            RegistryReply::Stats {
+                nodes: 3,
+                registers: 5,
+                heartbeats: 40,
+                expirations: 2,
+                announcements: 1,
+                uptime_ms: 9000,
+            },
+        ] {
+            let resp = Response::ok(9, reply);
+            assert_eq!(parse_response(&resp.to_json()).unwrap(), resp);
+        }
+        let err = Response::err(0, RegistryError::unknown_node("n9"));
+        assert_eq!(parse_response(&err.to_json()).unwrap(), err);
+    }
+
+    #[test]
+    fn event_roundtrip_and_response_probe() {
+        let ev = Event::Invalidate { version: "fleet \"v12\"".into() };
+        assert_eq!(parse_event(&ev.to_json()).unwrap(), Some(ev));
+        // A response line probes as "not an event", never as an error.
+        let resp = Response::ok(1, RegistryReply::Pong).to_json();
+        assert_eq!(parse_event(&resp).unwrap(), None);
+    }
+
+    #[test]
+    fn bad_version_and_unknown_method_rejected() {
+        let (id, e) = parse_request("{\"v\":2,\"id\":4,\"method\":\"ping\"}").unwrap_err();
+        assert_eq!(id, Some(4));
+        assert_eq!(e.code, codes::BAD_VERSION);
+        let (id, e) = parse_request("{\"v\":1,\"id\":1,\"method\":\"frobnicate\"}").unwrap_err();
+        assert_eq!(id, Some(1));
+        assert_eq!(e.code, codes::UNKNOWN_METHOD);
+        let (_, e) = parse_request("{\"v\":1,\"id\":1,\"method\":\"register\"}").unwrap_err();
+        assert_eq!(e.code, codes::INVALID_PARAMS);
+        let (id, e) = parse_request("garbage").unwrap_err();
+        assert_eq!(id, None);
+        assert_eq!(e.code, codes::BAD_REQUEST);
+    }
+}

@@ -1,0 +1,709 @@
+//! The registry daemon: accept loop, per-connection handlers, lease
+//! sweeper, and subscriber push.
+//!
+//! Thread model: registry operations are table mutations measured in
+//! nanoseconds, so there is no worker pool — each connection gets one
+//! reader thread that executes requests inline plus one writer thread
+//! fed by an `mpsc` channel. The channel exists because a connection's
+//! socket has *two* producers once it subscribes: its own responses and
+//! push invalidations fanned out by whichever thread handled the
+//! `announce`. A sweeper thread expires stale leases every
+//! [`RegistryOptions::sweep_interval`], so a SIGKILLed node disappears
+//! from the routing table within `ttl + sweep_interval` even though it
+//! never said goodbye.
+//!
+//! All instruments register under `registry.*` in the global
+//! [`xpdl_obs`] metrics registry, and every handled request opens a
+//! `registry.request` span (free when tracing is disabled).
+
+use crate::lease::{HeartbeatOutcome, LeaseTable, NodeReport};
+use crate::protocol::{
+    codes, parse_request, Event, NodeEntry, RegistryError, RegistryMethod, RegistryReply, Request,
+    Response,
+};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use xpdl_obs::{Counter, Gauge, MetricsRegistry};
+
+/// Tuning knobs for [`RegistryServer::start`].
+#[derive(Debug, Clone)]
+pub struct RegistryOptions {
+    /// How often the sweeper scans for expired leases.
+    pub sweep_interval: Duration,
+    /// Lower clamp on requested lease TTLs.
+    pub min_ttl: Duration,
+    /// Upper clamp on requested lease TTLs.
+    pub max_ttl: Duration,
+    /// Longest accepted request line in bytes (`S505` beyond).
+    pub max_line_bytes: usize,
+}
+
+impl Default for RegistryOptions {
+    fn default() -> Self {
+        RegistryOptions {
+            sweep_interval: Duration::from_millis(100),
+            min_ttl: Duration::from_millis(50),
+            max_ttl: Duration::from_secs(60),
+            max_line_bytes: 64 * 1024,
+        }
+    }
+}
+
+/// `registry.*` instruments, registered into the process-wide metrics
+/// surface (DESIGN.md §14).
+#[derive(Debug)]
+pub struct RegistryStats {
+    /// Registrations granted (including re-registrations).
+    pub registers: Arc<Counter>,
+    /// Heartbeats renewed.
+    pub heartbeats: Arc<Counter>,
+    /// Leases expired (sweeper or lazy reaping).
+    pub expirations: Arc<Counter>,
+    /// Explicit deregistrations.
+    pub deregisters: Arc<Counter>,
+    /// Version announcements.
+    pub announcements: Arc<Counter>,
+    /// Push events delivered to subscribers.
+    pub pushes: Arc<Counter>,
+    /// Connections accepted.
+    pub connections: Arc<Counter>,
+    /// Requests answered with a protocol-level error.
+    pub errors: Arc<Counter>,
+    /// Live leases right now.
+    pub nodes: Arc<Gauge>,
+}
+
+impl Default for RegistryStats {
+    fn default() -> Self {
+        RegistryStats::new()
+    }
+}
+
+impl RegistryStats {
+    /// Fresh instruments registered under the `registry.*` names.
+    pub fn new() -> RegistryStats {
+        let reg = MetricsRegistry::global();
+        RegistryStats {
+            registers: reg.counter("registry.registers"),
+            heartbeats: reg.counter("registry.heartbeats"),
+            expirations: reg.counter("registry.expirations"),
+            deregisters: reg.counter("registry.deregisters"),
+            announcements: reg.counter("registry.announcements"),
+            pushes: reg.counter("registry.pushes"),
+            connections: reg.counter("registry.connections"),
+            errors: reg.counter("registry.errors"),
+            nodes: reg.gauge("registry.nodes"),
+        }
+    }
+}
+
+/// Shared daemon state: the lease table, the last announced version,
+/// and the push-subscriber fan-out list.
+///
+/// Public so in-process harnesses (scenario_bench, tests) can drive the
+/// same state machine the TCP daemon serves.
+pub struct RegistryState {
+    table: parking_lot::Mutex<LeaseTable>,
+    version: parking_lot::Mutex<Option<String>>,
+    subscribers: parking_lot::Mutex<Vec<(String, mpsc::Sender<String>)>>,
+    stats: RegistryStats,
+    started: Instant,
+    options: RegistryOptions,
+}
+
+impl std::fmt::Debug for RegistryState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RegistryState").field("nodes", &self.table.lock().len()).finish()
+    }
+}
+
+impl RegistryState {
+    /// Fresh state with the given options.
+    pub fn new(options: RegistryOptions) -> RegistryState {
+        RegistryState {
+            table: parking_lot::Mutex::new(LeaseTable::new()),
+            version: parking_lot::Mutex::new(None),
+            subscribers: parking_lot::Mutex::new(Vec::new()),
+            stats: RegistryStats::new(),
+            started: Instant::now(),
+            options,
+        }
+    }
+
+    /// The daemon's instruments.
+    pub fn stats(&self) -> &RegistryStats {
+        &self.stats
+    }
+
+    /// Execute one method against the state. `subscribe_tx` is the
+    /// calling connection's outbound line channel — only `subscribe`
+    /// uses it (in-process callers may pass a detached channel).
+    pub fn dispatch(
+        &self,
+        method: &RegistryMethod,
+        subscribe_tx: &mpsc::Sender<String>,
+    ) -> Result<RegistryReply, RegistryError> {
+        let mut span = xpdl_obs::span("registry.request");
+        span.record_attr("method", method.name());
+        let now = Instant::now();
+        match method {
+            RegistryMethod::Ping => Ok(RegistryReply::Pong),
+            RegistryMethod::Register { node, addr, epoch, fingerprint, inflight, ttl_ms } => {
+                let ttl = Duration::from_millis(*ttl_ms)
+                    .clamp(self.options.min_ttl, self.options.max_ttl);
+                let report =
+                    NodeReport { epoch: *epoch, fingerprint: fingerprint.clone(), inflight: *inflight };
+                let mut table = self.table.lock();
+                let generation = table.register(node, addr, &report, ttl, now);
+                self.stats.registers.inc();
+                self.stats.nodes.set(table.live(now).len() as u64);
+                Ok(RegistryReply::Lease {
+                    generation,
+                    ttl_ms: ttl.as_millis() as u64,
+                    version: self.version.lock().clone(),
+                })
+            }
+            RegistryMethod::Heartbeat { node, epoch, fingerprint, inflight } => {
+                let report =
+                    NodeReport { epoch: *epoch, fingerprint: fingerprint.clone(), inflight: *inflight };
+                let mut table = self.table.lock();
+                match table.heartbeat(node, &report, now) {
+                    HeartbeatOutcome::Renewed { generation } => {
+                        self.stats.heartbeats.inc();
+                        let ttl_ms = table
+                            .get(node)
+                            .map(|l| l.ttl.as_millis() as u64)
+                            .unwrap_or(0);
+                        Ok(RegistryReply::Lease {
+                            generation,
+                            ttl_ms,
+                            version: self.version.lock().clone(),
+                        })
+                    }
+                    HeartbeatOutcome::Unknown => {
+                        // The lease died between sweeps and was lazily
+                        // reaped by the heartbeat itself.
+                        self.stats.expirations.inc();
+                        self.stats.nodes.set(table.live(now).len() as u64);
+                        Err(RegistryError::unknown_node(node))
+                    }
+                }
+            }
+            RegistryMethod::Deregister { node } => {
+                let mut table = self.table.lock();
+                let removed = table.deregister(node);
+                if removed {
+                    self.stats.deregisters.inc();
+                }
+                self.stats.nodes.set(table.live(now).len() as u64);
+                Ok(RegistryReply::Deregistered { removed })
+            }
+            RegistryMethod::Nodes => {
+                let table = self.table.lock();
+                let nodes = table
+                    .live(now)
+                    .into_iter()
+                    .map(|l| NodeEntry {
+                        node: l.node.clone(),
+                        addr: l.addr.clone(),
+                        epoch: l.epoch,
+                        fingerprint: l.fingerprint.clone(),
+                        inflight: l.inflight,
+                        generation: l.generation,
+                        age_ms: l.age_ms(now),
+                    })
+                    .collect();
+                Ok(RegistryReply::Nodes { nodes, version: self.version.lock().clone() })
+            }
+            RegistryMethod::Announce { version } => {
+                *self.version.lock() = Some(version.clone());
+                self.stats.announcements.inc();
+                let line = Event::Invalidate { version: version.clone() }.to_json();
+                let mut subs = self.subscribers.lock();
+                // Push to every live subscriber; drop the ones whose
+                // connection has gone away (their channel is closed).
+                subs.retain(|(_, tx)| tx.send(line.clone()).is_ok());
+                let delivered = subs.len() as u64;
+                self.stats.pushes.add(delivered);
+                Ok(RegistryReply::Announced { subscribers: delivered })
+            }
+            RegistryMethod::Subscribe { node } => {
+                self.subscribers.lock().push((node.clone(), subscribe_tx.clone()));
+                Ok(RegistryReply::Subscribed { version: self.version.lock().clone() })
+            }
+            RegistryMethod::Stats => {
+                let table = self.table.lock();
+                Ok(RegistryReply::Stats {
+                    nodes: table.live(now).len() as u64,
+                    registers: self.stats.registers.get(),
+                    heartbeats: self.stats.heartbeats.get(),
+                    expirations: self.stats.expirations.get(),
+                    announcements: self.stats.announcements.get(),
+                    uptime_ms: self.started.elapsed().as_millis() as u64,
+                })
+            }
+        }
+    }
+
+    /// One sweeper pass: expire stale leases at `now`. Returns the
+    /// expired node ids.
+    pub fn sweep(&self, now: Instant) -> Vec<String> {
+        let mut table = self.table.lock();
+        let dead = table.sweep(now);
+        if !dead.is_empty() {
+            self.stats.expirations.add(dead.len() as u64);
+        }
+        self.stats.nodes.set(table.live(now).len() as u64);
+        dead
+    }
+
+    /// Number of live leases right now.
+    pub fn live_nodes(&self) -> usize {
+        self.table.lock().live(Instant::now()).len()
+    }
+}
+
+/// A running registry daemon. Dropping it (or [`RegistryServer::shutdown`]
+/// then [`RegistryServer::join`]) stops all threads.
+pub struct RegistryServer {
+    state: Arc<RegistryState>,
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for RegistryServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RegistryServer")
+            .field("addr", &self.addr)
+            .field("threads", &self.threads.len())
+            .finish()
+    }
+}
+
+impl RegistryServer {
+    /// Bind `addr` and start the daemon. Returns once the listener is
+    /// accepting; serving continues on background threads.
+    pub fn start(addr: &str, options: RegistryOptions) -> std::io::Result<RegistryServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+
+        let state = Arc::new(RegistryState::new(options.clone()));
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut threads = Vec::new();
+
+        {
+            let state = Arc::clone(&state);
+            let stop = Arc::clone(&stop);
+            let interval = options.sweep_interval;
+            threads.push(
+                std::thread::Builder::new()
+                    .name("xpdl-registry-sweep".to_string())
+                    .spawn(move || {
+                        while !stop.load(Ordering::Acquire) {
+                            std::thread::sleep(interval);
+                            state.sweep(Instant::now());
+                        }
+                    })
+                    .expect("spawn sweeper"),
+            );
+        }
+
+        {
+            let state = Arc::clone(&state);
+            let stop = Arc::clone(&stop);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("xpdl-registry-accept".to_string())
+                    .spawn(move || accept_loop(&listener, &state, &stop))
+                    .expect("spawn accept loop"),
+            );
+        }
+
+        Ok(RegistryServer { state, addr: local, stop, threads })
+    }
+
+    /// The address actually bound (resolves `:0` to the real port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared daemon state (for in-process harnesses and tests).
+    pub fn state(&self) -> &Arc<RegistryState> {
+        &self.state
+    }
+
+    /// Ask all daemon threads to wind down.
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::Release);
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn stopping(&self) -> bool {
+        self.stop.load(Ordering::Acquire)
+    }
+
+    /// Block until every daemon thread has exited.
+    pub fn join(mut self) {
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for RegistryServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, state: &Arc<RegistryState>, stop: &Arc<AtomicBool>) {
+    let mut conn_threads: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    loop {
+        if stop.load(Ordering::Acquire) {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let _ = stream.set_nodelay(true);
+                state.stats.connections.inc();
+                let state = Arc::clone(state);
+                let stop = Arc::clone(stop);
+                conn_threads.retain(|t| !t.is_finished());
+                conn_threads.push(
+                    std::thread::Builder::new()
+                        .name("xpdl-registry-conn".to_string())
+                        .spawn(move || connection_loop(stream, &state, &stop))
+                        .expect("spawn connection"),
+                );
+            }
+            // Registry clients are one-connection-per-call, so the
+            // accept poll is a direct latency floor on every RPC.
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(1)),
+        }
+    }
+    for t in conn_threads {
+        let _ = t.join();
+    }
+}
+
+fn connection_loop(stream: TcpStream, state: &Arc<RegistryState>, stop: &Arc<AtomicBool>) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    let write_half = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+
+    let (line_tx, line_rx) = mpsc::channel::<String>();
+    // `line_tx` clones outlive this connection when it subscribes (the
+    // fan-out list in `RegistryState` keeps one), so the writer cannot
+    // rely on channel disconnection alone to stop — `done` is the
+    // reader's explicit teardown signal.
+    let done = Arc::new(AtomicBool::new(false));
+    let writer = {
+        let done = Arc::clone(&done);
+        std::thread::Builder::new()
+            .name("xpdl-registry-write".to_string())
+            .spawn(move || writer_loop(write_half, &line_rx, &done))
+            .expect("spawn writer")
+    };
+
+    let cap = state.options.max_line_bytes;
+    let mut reader = BufReader::new(stream);
+    let mut acc: Vec<u8> = Vec::new();
+    loop {
+        if stop.load(Ordering::Acquire) {
+            break;
+        }
+        match read_line_capped(&mut reader, &mut acc, cap) {
+            Ok(LineRead::Eof) => break,
+            Ok(LineRead::Line) => {
+                let line = String::from_utf8_lossy(&acc).into_owned();
+                acc.clear();
+                let trimmed = line.trim();
+                if trimmed.is_empty() {
+                    continue;
+                }
+                let response = match parse_request(trimmed) {
+                    Ok(Request { id, method }) => match state.dispatch(&method, &line_tx) {
+                        Ok(reply) => Response::ok(id, reply),
+                        Err(e) => {
+                            state.stats.errors.inc();
+                            Response::err(id, e)
+                        }
+                    },
+                    Err((id, e)) => {
+                        state.stats.errors.inc();
+                        Response::err(id.unwrap_or(0), e)
+                    }
+                };
+                if line_tx.send(response.to_json()).is_err() {
+                    break; // writer gone: the peer hung up
+                }
+            }
+            Err(LineError::TooLong) => {
+                state.stats.errors.inc();
+                let err = RegistryError::new(
+                    codes::LINE_TOO_LONG,
+                    format!("request line exceeds {cap} bytes"),
+                );
+                let _ = line_tx.send(Response::err(0, err).to_json());
+                break; // framing is lost; drop the connection
+            }
+            Err(LineError::Io(e))
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(LineError::Io(_)) => break,
+        }
+    }
+    drop(line_tx);
+    done.store(true, Ordering::Release);
+    let _ = writer.join();
+}
+
+fn writer_loop(mut stream: TcpStream, rx: &mpsc::Receiver<String>, done: &AtomicBool) {
+    loop {
+        let line = match rx.recv_timeout(Duration::from_millis(50)) {
+            Ok(line) => line,
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                if done.load(Ordering::Acquire) {
+                    return;
+                }
+                continue;
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => return,
+        };
+        if stream.write_all(line.as_bytes()).is_err() || stream.write_all(b"\n").is_err() {
+            return;
+        }
+        let _ = stream.flush();
+    }
+}
+
+enum LineError {
+    TooLong,
+    Io(std::io::Error),
+}
+
+enum LineRead {
+    Line,
+    Eof,
+}
+
+/// Read into `acc` until a newline with a hard byte cap, resuming the
+/// same partial line across read timeouts (same discipline as the serve
+/// daemon — see DESIGN.md §13).
+fn read_line_capped(
+    reader: &mut BufReader<TcpStream>,
+    acc: &mut Vec<u8>,
+    cap: usize,
+) -> Result<LineRead, LineError> {
+    loop {
+        let available = match reader.fill_buf() {
+            Ok(b) => b,
+            Err(e) => return Err(LineError::Io(e)),
+        };
+        if available.is_empty() {
+            return Ok(LineRead::Eof);
+        }
+        match available.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                acc.extend_from_slice(&available[..pos]);
+                reader.consume(pos + 1);
+                if acc.len() > cap {
+                    return Err(LineError::TooLong);
+                }
+                return Ok(LineRead::Line);
+            }
+            None => {
+                let n = available.len();
+                acc.extend_from_slice(available);
+                reader.consume(n);
+                if acc.len() > cap {
+                    return Err(LineError::TooLong);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn detached() -> mpsc::Sender<String> {
+        mpsc::channel().0
+    }
+
+    fn register(state: &RegistryState, node: &str, addr: &str, ttl_ms: u64) -> RegistryReply {
+        state
+            .dispatch(
+                &RegistryMethod::Register {
+                    node: node.into(),
+                    addr: addr.into(),
+                    epoch: 1,
+                    fingerprint: "f".into(),
+                    inflight: 0,
+                    ttl_ms,
+                },
+                &detached(),
+            )
+            .unwrap()
+    }
+
+    #[test]
+    fn register_heartbeat_nodes_deregister() {
+        let state = RegistryState::new(RegistryOptions::default());
+        let lease = register(&state, "n1", "127.0.0.1:7001", 1000);
+        assert!(matches!(lease, RegistryReply::Lease { generation: 1, ttl_ms: 1000, .. }));
+        let hb = state
+            .dispatch(
+                &RegistryMethod::Heartbeat {
+                    node: "n1".into(),
+                    epoch: 2,
+                    fingerprint: "g".into(),
+                    inflight: 3,
+                },
+                &detached(),
+            )
+            .unwrap();
+        assert!(matches!(hb, RegistryReply::Lease { generation: 1, .. }));
+        match state.dispatch(&RegistryMethod::Nodes, &detached()).unwrap() {
+            RegistryReply::Nodes { nodes, .. } => {
+                assert_eq!(nodes.len(), 1);
+                assert_eq!(nodes[0].epoch, 2);
+                assert_eq!(nodes[0].inflight, 3);
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+        match state.dispatch(&RegistryMethod::Deregister { node: "n1".into() }, &detached()) {
+            Ok(RegistryReply::Deregistered { removed }) => assert!(removed),
+            other => panic!("unexpected reply {other:?}"),
+        }
+        assert_eq!(state.live_nodes(), 0);
+    }
+
+    #[test]
+    fn heartbeat_without_lease_is_unknown_node() {
+        let state = RegistryState::new(RegistryOptions::default());
+        let err = state
+            .dispatch(
+                &RegistryMethod::Heartbeat {
+                    node: "ghost".into(),
+                    epoch: 0,
+                    fingerprint: String::new(),
+                    inflight: 0,
+                },
+                &detached(),
+            )
+            .unwrap_err();
+        assert_eq!(err.code, codes::UNKNOWN_NODE);
+    }
+
+    #[test]
+    fn ttl_clamped_to_options() {
+        let state = RegistryState::new(RegistryOptions {
+            min_ttl: Duration::from_millis(100),
+            max_ttl: Duration::from_millis(1000),
+            ..RegistryOptions::default()
+        });
+        match register(&state, "n1", "a", 5) {
+            RegistryReply::Lease { ttl_ms, .. } => assert_eq!(ttl_ms, 100),
+            other => panic!("unexpected reply {other:?}"),
+        }
+        match register(&state, "n2", "b", 90_000) {
+            RegistryReply::Lease { ttl_ms, .. } => assert_eq!(ttl_ms, 1000),
+            other => panic!("unexpected reply {other:?}"),
+        }
+    }
+
+    #[test]
+    fn announce_pushes_to_subscribers_and_prunes_dead() {
+        let state = RegistryState::new(RegistryOptions::default());
+        let (live_tx, live_rx) = mpsc::channel::<String>();
+        state.dispatch(&RegistryMethod::Subscribe { node: "n1".into() }, &live_tx).unwrap();
+        // A subscriber whose connection has gone away.
+        let (dead_tx, dead_rx) = mpsc::channel::<String>();
+        state.dispatch(&RegistryMethod::Subscribe { node: "n2".into() }, &dead_tx).unwrap();
+        drop(dead_rx);
+        match state
+            .dispatch(&RegistryMethod::Announce { version: "v7".into() }, &detached())
+            .unwrap()
+        {
+            RegistryReply::Announced { subscribers } => assert_eq!(subscribers, 1),
+            other => panic!("unexpected reply {other:?}"),
+        }
+        let line = live_rx.try_recv().unwrap();
+        assert_eq!(
+            crate::protocol::parse_event(&line).unwrap(),
+            Some(Event::Invalidate { version: "v7".into() })
+        );
+        // Late subscribers catch up via the version echoed on subscribe.
+        let (tx, _rx) = mpsc::channel::<String>();
+        match state.dispatch(&RegistryMethod::Subscribe { node: "n3".into() }, &tx).unwrap() {
+            RegistryReply::Subscribed { version } => assert_eq!(version.as_deref(), Some("v7")),
+            other => panic!("unexpected reply {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tcp_end_to_end_register_and_nodes() {
+        let server = RegistryServer::start(
+            "127.0.0.1:0",
+            RegistryOptions { sweep_interval: Duration::from_millis(20), ..Default::default() },
+        )
+        .unwrap();
+        let addr = server.local_addr();
+        let stream = TcpStream::connect(addr).unwrap();
+        stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut send = |req: &Request| -> Response {
+            let mut s = stream.try_clone().unwrap();
+            s.write_all(req.to_json().as_bytes()).unwrap();
+            s.write_all(b"\n").unwrap();
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            crate::protocol::parse_response(line.trim()).unwrap()
+        };
+        let resp = send(&Request {
+            id: 1,
+            method: RegistryMethod::Register {
+                node: "n1".into(),
+                addr: "127.0.0.1:7001".into(),
+                epoch: 0,
+                fingerprint: "f".into(),
+                inflight: 0,
+                ttl_ms: 100,
+            },
+        });
+        assert!(matches!(resp.result, Ok(RegistryReply::Lease { generation: 1, .. })));
+        let resp = send(&Request { id: 2, method: RegistryMethod::Nodes });
+        match resp.result {
+            Ok(RegistryReply::Nodes { nodes, .. }) => assert_eq!(nodes.len(), 1),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Let the lease expire; the sweeper empties the routing table.
+        std::thread::sleep(Duration::from_millis(250));
+        let resp = send(&Request { id: 3, method: RegistryMethod::Nodes });
+        match resp.result {
+            Ok(RegistryReply::Nodes { nodes, .. }) => assert!(nodes.is_empty()),
+            other => panic!("unexpected {other:?}"),
+        }
+        server.shutdown();
+        server.join();
+    }
+}

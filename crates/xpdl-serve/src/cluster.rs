@@ -1,0 +1,462 @@
+//! The fleet-aware client: routing, failover, degradation.
+//!
+//! [`ClusterClient`] is what an application links instead of a raw
+//! socket when the model is served by a fleet. Each call walks the
+//! degradation ladder (DESIGN.md §16):
+//!
+//! 1. **Registry routing** — fetch the live node table from
+//!    `xpdl-registry` (cached up to
+//!    [`ClusterOptions::table_max_age`]), round-robin across nodes.
+//! 2. **Failover** — a connect/read timeout, broken connection, or any
+//!    `S5xx` reply (draining node, lease races) moves the request to
+//!    the next live node and forces a table refresh. Retries are
+//!    bounded by the [`RetryPolicy`] with deterministic jitter.
+//! 3. **Stale routing table** — if the registry itself is unreachable,
+//!    the last-known table keeps routing (nodes usually outlive a
+//!    registry restart).
+//! 4. **Local fallback** — when no node answers at all, an optional
+//!    local [`Engine`] serves the query from whatever it can compile —
+//!    typically a repository stack over the disk cache with
+//!    `Freshness::StaleOk`, so an isolated client still answers from
+//!    its warm-start tier.
+//!
+//! Every request carries hard connect and read timeouts; a hung node
+//! costs one timeout, never a wedged caller. Counters register under
+//! `serve.cluster.*`.
+
+use crate::engine::Engine;
+use crate::protocol::{parse_response, Method, Reply, Request, ServeError};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use xpdl_obs::{Counter, MetricsRegistry};
+use xpdl_registry::{NodeEntry, RegistryClient};
+use xpdl_repo::RetryPolicy;
+
+/// Tuning knobs for [`ClusterClient`].
+#[derive(Debug, Clone)]
+pub struct ClusterOptions {
+    /// Per-request TCP connect timeout.
+    pub connect_timeout: Duration,
+    /// Per-request read/write timeout.
+    pub io_timeout: Duration,
+    /// How long a fetched routing table keeps routing before the next
+    /// call refreshes it (failures always force a refresh).
+    pub table_max_age: Duration,
+    /// Attempt budget and backoff between failover rounds.
+    pub retry: RetryPolicy,
+}
+
+impl Default for ClusterOptions {
+    fn default() -> Self {
+        ClusterOptions {
+            connect_timeout: Duration::from_millis(300),
+            io_timeout: Duration::from_millis(2000),
+            table_max_age: Duration::from_millis(500),
+            retry: RetryPolicy {
+                max_attempts: 4,
+                base_delay: Duration::from_millis(5),
+                max_delay: Duration::from_millis(100),
+                ..RetryPolicy::default()
+            },
+        }
+    }
+}
+
+/// Where a call was ultimately answered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Route {
+    /// Served by the fleet node at this address.
+    Node(String),
+    /// Served by the local fallback engine (the cluster was unreachable).
+    Fallback,
+}
+
+/// A successful cluster call: the reply plus how it got there.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Routed {
+    /// The protocol reply.
+    pub reply: Reply,
+    /// Which node (or the fallback) answered.
+    pub route: Route,
+    /// Total node attempts made, including the successful one. 1 means
+    /// no failover happened.
+    pub attempts: u32,
+}
+
+/// Why a cluster call failed for good.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClusterError {
+    /// Every route — registry, cached table, fallback — was exhausted.
+    NoLiveNodes {
+        /// The last transport-level failure seen.
+        detail: String,
+        /// Node attempts made before giving up.
+        attempts: u32,
+    },
+    /// A node answered with a non-failover protocol error (bad params,
+    /// unknown method, ...) — retrying elsewhere cannot change it.
+    Serve(ServeError),
+}
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterError::NoLiveNodes { detail, attempts } => {
+                write!(f, "no live nodes after {attempts} attempts: {detail}")
+            }
+            ClusterError::Serve(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+struct CachedTable {
+    nodes: Vec<NodeEntry>,
+    fetched_at: Instant,
+}
+
+/// A failover-aware client for a fleet of `xpdl-serve` nodes.
+pub struct ClusterClient {
+    registry: RegistryClient,
+    options: ClusterOptions,
+    table: parking_lot::Mutex<Option<CachedTable>>,
+    cursor: AtomicUsize,
+    next_id: AtomicU64,
+    fallback: Option<Arc<Engine>>,
+    requests: Arc<Counter>,
+    failovers: Arc<Counter>,
+    refreshes: Arc<Counter>,
+    degraded: Arc<Counter>,
+    exhausted: Arc<Counter>,
+}
+
+impl std::fmt::Debug for ClusterClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClusterClient")
+            .field("registry", &self.registry.addr())
+            .field("fallback", &self.fallback.is_some())
+            .finish()
+    }
+}
+
+impl ClusterClient {
+    /// A client routing through the registry at `registry_addr`.
+    pub fn new(registry_addr: impl Into<String>, options: ClusterOptions) -> ClusterClient {
+        let reg = MetricsRegistry::global();
+        ClusterClient {
+            registry: RegistryClient::with_timeouts(
+                registry_addr,
+                options.connect_timeout,
+                options.io_timeout,
+            ),
+            options,
+            table: parking_lot::Mutex::new(None),
+            cursor: AtomicUsize::new(0),
+            next_id: AtomicU64::new(1),
+            fallback: None,
+            requests: reg.counter("serve.cluster.requests"),
+            failovers: reg.counter("serve.cluster.failovers"),
+            refreshes: reg.counter("serve.cluster.refreshes"),
+            degraded: reg.counter("serve.cluster.degraded"),
+            exhausted: reg.counter("serve.cluster.exhausted"),
+        }
+    }
+
+    /// Attach a local fallback engine — the bottom of the degradation
+    /// ladder. Build it from a repository stack over the disk cache with
+    /// `Freshness::StaleOk` (or `OfflineOnly`) so an isolated client
+    /// serves possibly-stale answers instead of failing.
+    pub fn with_fallback(mut self, engine: Arc<Engine>) -> ClusterClient {
+        self.fallback = Some(engine);
+        self
+    }
+
+    /// The current routing table (refreshing if stale), for inspection.
+    pub fn nodes(&self) -> Vec<NodeEntry> {
+        self.routing_table(false)
+    }
+
+    /// Execute one method somewhere in the fleet. See the module docs
+    /// for the exact ladder.
+    pub fn call(&self, method: Method) -> Result<Routed, ClusterError> {
+        self.requests.inc();
+        let key = method.name();
+        let rounds = self.options.retry.max_attempts.max(1);
+        let mut attempts: u32 = 0;
+        let mut last_detail = String::from("routing table is empty");
+        let mut force_refresh = false;
+        for round in 1..=rounds {
+            let nodes = self.routing_table(force_refresh);
+            force_refresh = true; // any failure below invalidates routing
+            // One try per distinct node this round, starting after the
+            // last-used slot (round robin).
+            for _ in 0..nodes.len() {
+                let idx = self.cursor.fetch_add(1, Ordering::Relaxed) % nodes.len();
+                let node = &nodes[idx];
+                attempts += 1;
+                match self.call_node(&node.addr, &method) {
+                    Ok(reply) => {
+                        return Ok(Routed { reply, route: Route::Node(node.addr.clone()), attempts })
+                    }
+                    Err(NodeError::Transport(detail)) => {
+                        self.failovers.inc();
+                        last_detail = format!("{}: {detail}", node.addr);
+                    }
+                    Err(NodeError::Failover(e)) => {
+                        // S5xx: the node is draining or cluster-unhappy;
+                        // the answer may exist on the next node.
+                        self.failovers.inc();
+                        last_detail = format!("{}: {e}", node.addr);
+                    }
+                    Err(NodeError::Fatal(e)) => return Err(ClusterError::Serve(e)),
+                }
+            }
+            if round < rounds {
+                self.options.retry.sleep_after(key, round);
+            }
+        }
+        // Ladder bottom: the local fallback engine, if any.
+        if let Some(engine) = &self.fallback {
+            self.degraded.inc();
+            let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+            let resp = engine.handle(&Request { id, method });
+            return match resp.result {
+                Ok(reply) => Ok(Routed { reply, route: Route::Fallback, attempts }),
+                Err(e) => Err(ClusterError::Serve(e)),
+            };
+        }
+        self.exhausted.inc();
+        Err(ClusterError::NoLiveNodes { detail: last_detail, attempts })
+    }
+
+    /// Fetch (or reuse) the routing table. On registry failure the
+    /// last-known table keeps routing — rung 3 of the ladder.
+    fn routing_table(&self, force_refresh: bool) -> Vec<NodeEntry> {
+        {
+            let cache = self.table.lock();
+            if let Some(t) = cache.as_ref() {
+                if !force_refresh
+                    && !t.nodes.is_empty()
+                    && t.fetched_at.elapsed() <= self.options.table_max_age
+                {
+                    return t.nodes.clone();
+                }
+            }
+        }
+        match self.registry.nodes() {
+            Ok((nodes, _version)) => {
+                self.refreshes.inc();
+                let mut cache = self.table.lock();
+                *cache = Some(CachedTable { nodes: nodes.clone(), fetched_at: Instant::now() });
+                nodes
+            }
+            Err(_) => {
+                // Registry down: route on whatever we knew last.
+                let cache = self.table.lock();
+                cache.as_ref().map(|t| t.nodes.clone()).unwrap_or_default()
+            }
+        }
+    }
+
+    fn call_node(&self, addr: &str, method: &Method) -> Result<Reply, NodeError> {
+        let sockaddr = addr
+            .to_socket_addrs()
+            .map_err(|e| NodeError::Transport(format!("resolve: {e}")))?
+            .next()
+            .ok_or_else(|| NodeError::Transport("resolves to no address".to_string()))?;
+        let stream = TcpStream::connect_timeout(&sockaddr, self.options.connect_timeout)
+            .map_err(|e| NodeError::Transport(format!("connect: {e}")))?;
+        stream
+            .set_read_timeout(Some(self.options.io_timeout))
+            .and_then(|_| stream.set_write_timeout(Some(self.options.io_timeout)))
+            .and_then(|_| stream.set_nodelay(true))
+            .map_err(|e| NodeError::Transport(format!("socket options: {e}")))?;
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let req = Request { id, method: method.clone() };
+        let mut write_half = stream
+            .try_clone()
+            .map_err(|e| NodeError::Transport(format!("clone: {e}")))?;
+        write_half
+            .write_all(req.to_json().as_bytes())
+            .and_then(|_| write_half.write_all(b"\n"))
+            .map_err(|e| NodeError::Transport(format!("send: {e}")))?;
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        let n = reader
+            .read_line(&mut line)
+            .map_err(|e| NodeError::Transport(format!("read: {e}")))?;
+        if n == 0 {
+            return Err(NodeError::Transport("node closed the connection".to_string()));
+        }
+        let resp = parse_response(line.trim())
+            .map_err(|e| NodeError::Transport(format!("malformed reply: {e}")))?;
+        match resp.result {
+            Ok(reply) => Ok(reply),
+            // Any S5xx (draining, cluster-level) is failover-able; every
+            // other code is the same answer on every node.
+            Err(e) if e.code.starts_with("S5") => Err(NodeError::Failover(e)),
+            Err(e) => Err(NodeError::Fatal(e)),
+        }
+    }
+}
+
+enum NodeError {
+    /// Connect/read/write failed or timed out: try the next node.
+    Transport(String),
+    /// The node answered an `S5xx`: try the next node.
+    Failover(ServeError),
+    /// A definitive protocol error: retrying elsewhere cannot help.
+    Fatal(ServeError),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{EngineOptions, ModelSource};
+    use crate::server::{Server, ServerOptions};
+    use xpdl_registry::{RegistryMethod, RegistryOptions, RegistryServer};
+    use xpdl_runtime::RuntimeModel;
+
+    fn fixed_engine(cores: usize) -> Arc<Engine> {
+        let mut xml = String::from(r#"<system id="s"><cpu id="c">"#);
+        for i in 0..cores {
+            xml.push_str(&format!(r#"<core id="k{i}"/>"#));
+        }
+        xml.push_str("</cpu></system>");
+        let doc = xpdl_core::XpdlDocument::parse_str(&xml).unwrap();
+        let model = RuntimeModel::from_element(doc.root());
+        Arc::new(
+            Engine::new(ModelSource::Fixed(Box::new(model)), EngineOptions::default()).unwrap(),
+        )
+    }
+
+    fn start_node(engine: Arc<Engine>) -> Server {
+        Server::start(engine, "127.0.0.1:0", ServerOptions::default()).unwrap()
+    }
+
+    fn register(reg_addr: &str, node: &str, addr: &str, ttl_ms: u64) {
+        let client = RegistryClient::new(reg_addr.to_string());
+        client
+            .call(RegistryMethod::Register {
+                node: node.into(),
+                addr: addr.into(),
+                epoch: 0,
+                fingerprint: "f".into(),
+                inflight: 0,
+                ttl_ms,
+            })
+            .unwrap();
+    }
+
+    fn registry() -> RegistryServer {
+        RegistryServer::start(
+            "127.0.0.1:0",
+            RegistryOptions {
+                sweep_interval: Duration::from_millis(20),
+                ..Default::default()
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn routes_round_robin_and_fails_over_on_dead_node() {
+        let reg = registry();
+        let reg_addr = reg.local_addr().to_string();
+        let a = start_node(fixed_engine(2));
+        let b = start_node(fixed_engine(2));
+        register(&reg_addr, "a", &a.local_addr().to_string(), 60_000);
+        register(&reg_addr, "b", &b.local_addr().to_string(), 60_000);
+        let client = ClusterClient::new(reg_addr.clone(), ClusterOptions::default());
+        for _ in 0..4 {
+            let routed = client.call(Method::NumCores).unwrap();
+            assert_eq!(routed.reply, Reply::Count(2));
+            assert_eq!(routed.attempts, 1);
+        }
+        // Kill node b but leave its (long-ttl) lease in the table: calls
+        // landing on the dead address must fail over to node a.
+        let b_addr = b.local_addr().to_string();
+        b.shutdown();
+        b.join();
+        for _ in 0..4 {
+            let routed = client.call(Method::NumCores).unwrap();
+            assert_eq!(routed.reply, Reply::Count(2));
+            assert!(matches!(&routed.route, Route::Node(addr) if *addr != b_addr));
+        }
+        reg.shutdown();
+        reg.join();
+    }
+
+    #[test]
+    fn draining_node_is_skipped_via_s510() {
+        let reg = registry();
+        let reg_addr = reg.local_addr().to_string();
+        let draining = fixed_engine(2);
+        let healthy = fixed_engine(2);
+        let a = start_node(Arc::clone(&draining));
+        let b = start_node(healthy);
+        register(&reg_addr, "a", &a.local_addr().to_string(), 60_000);
+        register(&reg_addr, "b", &b.local_addr().to_string(), 60_000);
+        draining.set_draining(true);
+        let b_addr = b.local_addr().to_string();
+        let client = ClusterClient::new(reg_addr, ClusterOptions::default());
+        for _ in 0..4 {
+            let routed = client.call(Method::NumCores).unwrap();
+            assert_eq!(routed.reply, Reply::Count(2));
+            assert_eq!(routed.route, Route::Node(b_addr.clone()));
+        }
+        reg.shutdown();
+        reg.join();
+    }
+
+    #[test]
+    fn degrades_to_local_fallback_when_everything_is_down() {
+        // Registry address nobody listens on; no nodes; fallback engine.
+        let client = ClusterClient::new(
+            "127.0.0.1:1", // reserved port, connection refused instantly
+            ClusterOptions {
+                retry: RetryPolicy { max_attempts: 2, ..RetryPolicy::default() },
+                ..ClusterOptions::default()
+            },
+        )
+        .with_fallback(fixed_engine(3));
+        let routed = client.call(Method::NumCores).unwrap();
+        assert_eq!(routed.reply, Reply::Count(3));
+        assert_eq!(routed.route, Route::Fallback);
+    }
+
+    #[test]
+    fn no_nodes_and_no_fallback_is_an_explicit_error() {
+        let client = ClusterClient::new(
+            "127.0.0.1:1",
+            ClusterOptions {
+                retry: RetryPolicy { max_attempts: 2, ..RetryPolicy::default() },
+                ..ClusterOptions::default()
+            },
+        );
+        match client.call(Method::Ping) {
+            Err(ClusterError::NoLiveNodes { .. }) => {}
+            other => panic!("expected NoLiveNodes, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fatal_errors_do_not_fail_over() {
+        let reg = registry();
+        let reg_addr = reg.local_addr().to_string();
+        let a = start_node(fixed_engine(1));
+        register(&reg_addr, "a", &a.local_addr().to_string(), 60_000);
+        let client = ClusterClient::new(reg_addr, ClusterOptions::default());
+        // `sleep` is a debug method, disabled by default: S430, fatal.
+        match client.call(Method::Sleep { ms: 1 }) {
+            Err(ClusterError::Serve(e)) => assert_eq!(e.code, crate::protocol::codes::DEBUG_DISABLED),
+            other => panic!("expected fatal serve error, got {other:?}"),
+        }
+        reg.shutdown();
+        reg.join();
+    }
+}

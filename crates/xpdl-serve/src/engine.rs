@@ -102,6 +102,12 @@ pub struct Engine {
     source: parking_lot::Mutex<ModelSource>,
     options: EngineOptions,
     shutdown: AtomicBool,
+    /// Drain mode: queries answer `S510` while control/introspection
+    /// methods keep working. Set by the SIGTERM drain sequence *after*
+    /// the node deregisters from the cluster registry, so a client that
+    /// raced the deregistration gets a fail-over-able error instead of
+    /// a hung or reset connection.
+    draining: AtomicBool,
     /// Per-method handler-time histograms (`serve.method.<name>.time_us`),
     /// created lazily on a method's first request.
     method_hist: parking_lot::Mutex<BTreeMap<&'static str, Arc<Histogram>>>,
@@ -117,6 +123,7 @@ impl Engine {
             source: parking_lot::Mutex::new(source),
             options,
             shutdown: AtomicBool::new(false),
+            draining: AtomicBool::new(false),
             method_hist: parking_lot::Mutex::new(BTreeMap::new()),
         })
     }
@@ -139,6 +146,18 @@ impl Engine {
     /// Ask the engine (and any server wrapping it) to stop.
     pub fn request_shutdown(&self) {
         self.shutdown.store(true, Ordering::Release);
+    }
+
+    /// Whether the engine is in drain mode (queries answer `S510`).
+    pub fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::Acquire)
+    }
+
+    /// Enter (or leave) drain mode. While draining, query methods are
+    /// refused with `S510` so cluster clients fail over; `ping`,
+    /// `health`, `stats`, `metrics` and `shutdown` still answer.
+    pub fn set_draining(&self, draining: bool) {
+        self.draining.store(draining, Ordering::Release);
     }
 
     /// Recompile from the source and swap if the content changed.
@@ -213,12 +232,33 @@ impl Engine {
     }
 
     fn dispatch(&self, method: &Method) -> Result<Reply, ServeError> {
+        // While draining, only liveness/control methods answer; anything
+        // touching the model is bounced with a fail-over-able S5xx.
+        let control = matches!(
+            method,
+            Method::Ping | Method::Health | Method::Stats | Method::Metrics | Method::Shutdown
+        );
+        if !control && self.is_draining() {
+            return Err(ServeError::new(
+                codes::DRAINING,
+                "node is draining for shutdown; retry on another node",
+            ));
+        }
         // Every query runs against one snapshot taken here — a reload
         // mid-request cannot mix two models inside one answer.
         let snap = self.registry.load();
         let h = &snap.handle;
         Ok(match method {
             Method::Ping => Reply::Pong,
+            Method::Health => {
+                self.stats.health_checks.inc();
+                Reply::Health {
+                    epoch: snap.epoch,
+                    fingerprint: format!("{:016x}", snap.fingerprint),
+                    inflight: self.stats.inflight.get(),
+                    draining: self.is_draining(),
+                }
+            }
             Method::ModelInfo => {
                 let root = h.root();
                 Reply::ModelInfo {
@@ -435,6 +475,47 @@ mod tests {
         assert_eq!(ok(&e, Method::NumCores), Reply::Count(2));
         assert_eq!(e.stats().reload_failures.get(), 1);
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn health_reports_epoch_fingerprint_inflight() {
+        let e = fixed_engine();
+        match ok(&e, Method::Health) {
+            Reply::Health { epoch, fingerprint, inflight, draining } => {
+                assert_eq!(epoch, 0);
+                assert_eq!(fingerprint.len(), 16);
+                assert_eq!(inflight, 0);
+                assert!(!draining);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(e.stats().health_checks.get(), 1);
+    }
+
+    #[test]
+    fn draining_bounces_queries_but_answers_control() {
+        let e = fixed_engine();
+        e.set_draining(true);
+        let err =
+            e.handle(&Request { id: 1, method: Method::NumCores }).result.unwrap_err();
+        assert_eq!(err.code, codes::DRAINING);
+        let err = e
+            .handle(&Request { id: 2, method: Method::Find { ident: "g".into() } })
+            .result
+            .unwrap_err();
+        assert_eq!(err.code, codes::DRAINING);
+        let err = e.handle(&Request { id: 3, method: Method::Reload }).result.unwrap_err();
+        assert_eq!(err.code, codes::DRAINING);
+        // Control surface stays up for monitoring and the drain itself.
+        assert_eq!(ok(&e, Method::Ping), Reply::Pong);
+        match ok(&e, Method::Health) {
+            Reply::Health { draining, .. } => assert!(draining),
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(ok(&e, Method::Stats), Reply::Stats(_)));
+        // Leaving drain mode restores the query surface.
+        e.set_draining(false);
+        assert_eq!(ok(&e, Method::NumCores), Reply::Count(2));
     }
 
     #[test]

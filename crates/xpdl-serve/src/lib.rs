@@ -26,6 +26,10 @@
 //!   writer threads, a bounded worker pool, admission control before
 //!   queueing (`S420`), queue deadlines (`S421`), and SIGTERM-driven
 //!   clean shutdown.
+//! - [`cluster`] — the fleet-aware client: routing table from
+//!   `xpdl-registry`, per-request timeouts, automatic failover on
+//!   connection errors and `S5xx`, and degradation to a local fallback
+//!   engine when the whole cluster is unreachable (DESIGN.md §16).
 //!
 //! Observability: every request is wrapped in a `serve.request` tracing
 //! span, queue wait and handler time are recorded into histograms, and
@@ -35,12 +39,14 @@
 
 #![deny(missing_docs)]
 
+pub mod cluster;
 pub mod engine;
 pub mod protocol;
 pub mod server;
 pub mod snapshot;
 pub mod stats;
 
+pub use cluster::{ClusterClient, ClusterError, ClusterOptions, Route, Routed};
 pub use engine::{Engine, EngineOptions, ModelSource};
 pub use protocol::{
     codes, parse_request, parse_response, Method, Reply, Request, Response, ServeError,

@@ -80,6 +80,11 @@ pub mod codes {
     pub const SHUTDOWN_DISABLED: &str = "S431";
     /// A requested hot reload failed; the old snapshot stays live.
     pub const RELOAD_FAILED: &str = "S440";
+    /// The node is draining (deregistered, finishing in-flight work):
+    /// queries are refused so cluster clients fail over to a live node.
+    /// `S51x` is the cluster-visible range — `ClusterClient` treats any
+    /// `S5`-prefixed code as "try the next node".
+    pub const DRAINING: &str = "S510";
 }
 
 /// A structured protocol error: stable code + human-readable message.
@@ -141,6 +146,11 @@ pub struct Request {
 pub enum Method {
     /// Liveness check.
     Ping,
+    /// Serving health: epoch, model fingerprint, in-flight count,
+    /// draining flag. Cheaper than `stats` (no ring scan) and richer
+    /// than inferring liveness from connect success — the registry and
+    /// bench harness probe this.
+    Health,
     /// Snapshot metadata: epoch, node count, source, fingerprint.
     ModelInfo,
     /// `xpdl_find`: look up an element by identifier.
@@ -226,6 +236,7 @@ impl Method {
     pub fn name(&self) -> &'static str {
         match self {
             Method::Ping => "ping",
+            Method::Health => "health",
             Method::ModelInfo => "model_info",
             Method::Find { .. } => "find",
             Method::GetAttr { .. } => "get_attr",
@@ -285,6 +296,17 @@ pub struct AccelInfo {
 pub enum Reply {
     /// `ping` succeeded.
     Pong,
+    /// `health` result: the node's liveness card.
+    Health {
+        /// Snapshot epoch currently served.
+        epoch: u64,
+        /// FNV-1a fingerprint of the served model, hex.
+        fingerprint: String,
+        /// Requests admitted and not yet answered.
+        inflight: u64,
+        /// Whether the node is draining (queries answer `S510`).
+        draining: bool,
+    },
     /// Snapshot metadata.
     ModelInfo {
         /// Snapshot epoch (increments on every hot reload that swaps).
@@ -415,6 +437,7 @@ impl Request {
             };
             match &self.method {
                 Method::Ping
+                | Method::Health
                 | Method::ModelInfo
                 | Method::NumCores
                 | Method::NumCudaDevices
@@ -476,6 +499,11 @@ impl Reply {
         s.push_str("\"kind\":");
         match self {
             Reply::Pong => s.push_str("\"pong\""),
+            Reply::Health { epoch, fingerprint, inflight, draining } => {
+                s.push_str(&format!("\"health\",\"epoch\":{epoch},\"fingerprint\":"));
+                json::escape_into(&mut s, fingerprint);
+                s.push_str(&format!(",\"inflight\":{inflight},\"draining\":{draining}"));
+            }
             Reply::ModelInfo { epoch, nodes, root_kind, root_ident, source, fingerprint } => {
                 s.push_str(&format!("\"model_info\",\"epoch\":{epoch},\"nodes\":{nodes},\"root_kind\":"));
                 json::escape_into(&mut s, root_kind);
@@ -676,6 +704,7 @@ pub fn parse_request(line: &str) -> Result<Request, (Option<u64>, ServeError)> {
     let method = (|| -> Result<Method, ServeError> {
         Ok(match method_name {
             "ping" => Method::Ping,
+            "health" => Method::Health,
             "model_info" => Method::ModelInfo,
             "find" => Method::Find { ident: get_str(params, "ident")? },
             "get_attr" => Method::GetAttr {
@@ -796,6 +825,14 @@ fn parse_reply(obj: &Obj) -> Result<Reply, String> {
     let kind = opt_str(obj, "kind").ok_or("reply has no kind tag")?;
     Ok(match kind.as_str() {
         "pong" => Reply::Pong,
+        "health" => Reply::Health {
+            epoch: int("epoch")?,
+            fingerprint: opt_str(obj, "fingerprint").ok_or("missing fingerprint")?,
+            inflight: int("inflight")?,
+            draining: json::get(obj, "draining")
+                .and_then(JsonValue::as_bool)
+                .ok_or("missing draining")?,
+        },
         "model_info" => Reply::ModelInfo {
             epoch: int("epoch")?,
             nodes: int("nodes")?,
@@ -886,6 +923,7 @@ mod tests {
     fn request_roundtrip_simple() {
         for method in [
             Method::Ping,
+            Method::Health,
             Method::NumCores,
             Method::Stats,
             Method::Metrics,
@@ -907,6 +945,12 @@ mod tests {
     fn response_roundtrip_simple() {
         for reply in [
             Reply::Pong,
+            Reply::Health {
+                epoch: 5,
+                fingerprint: "00c0ffee".into(),
+                inflight: 3,
+                draining: true,
+            },
             Reply::Attr(None),
             Reply::Attr(Some("K20c".into())),
             Reply::Number(Some(2.5)),

@@ -195,10 +195,13 @@ fn accept_loop(
                         .expect("spawn connection"),
                 );
             }
+            // 1 ms poll: clients that open a connection per call (the
+            // cluster failover path) pay half this interval on every
+            // request, so the accept poll is a direct latency floor.
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(10));
+                std::thread::sleep(Duration::from_millis(1));
             }
-            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+            Err(_) => std::thread::sleep(Duration::from_millis(1)),
         }
     }
     for t in conn_threads {

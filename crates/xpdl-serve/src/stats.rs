@@ -48,6 +48,8 @@ pub struct ServeStats {
     pub reload_failures: Arc<Counter>,
     /// Connections accepted since start.
     pub connections: Arc<Counter>,
+    /// `health` probes answered (registry agents, bench harness).
+    pub health_checks: Arc<Counter>,
     /// Requests currently admitted and not yet answered.
     pub inflight: Arc<Gauge>,
     /// Time requests spent queued before a worker picked them up, µs.
@@ -82,6 +84,7 @@ impl ServeStats {
             reloads: reg.counter("serve.reloads"),
             reload_failures: reg.counter("serve.reload_failures"),
             connections: reg.counter("serve.connections"),
+            health_checks: reg.counter("serve.health_checks"),
             inflight: reg.gauge("serve.inflight"),
             queue_wait_us: reg.histogram("serve.queue.wait_us"),
             handler_time_us: reg.histogram("serve.handler.time_us"),
@@ -158,6 +161,7 @@ impl ServeStats {
             reloads: self.reloads.get(),
             reload_failures: self.reload_failures.get(),
             connections: self.connections.get(),
+            health_checks: self.health_checks.get(),
             inflight: self.inflight.get(),
             qps: requests as f64 / uptime_s,
             p50_us: pct(0.50),
@@ -194,6 +198,8 @@ pub struct StatsSnapshot {
     pub reload_failures: u64,
     /// Connections accepted.
     pub connections: u64,
+    /// `health` probes answered.
+    pub health_checks: u64,
     /// Requests in flight right now.
     pub inflight: u64,
     /// Mean requests/second over the whole uptime.
@@ -220,8 +226,8 @@ impl StatsSnapshot {
         out.push_str(&format!(
             "\"epoch\":{},\"uptime_ms\":{},\"requests\":{},\"errors\":{},\"shed\":{},\
              \"deadline_exceeded\":{},\"rejected\":{},\"reloads\":{},\"reload_failures\":{},\
-             \"connections\":{},\"inflight\":{},\"qps\":{},\"p50_us\":{},\"p90_us\":{},\
-             \"p99_us\":{},\"max_us\":{},\"reject_p99_us\":{}",
+             \"connections\":{},\"health_checks\":{},\"inflight\":{},\"qps\":{},\"p50_us\":{},\
+             \"p90_us\":{},\"p99_us\":{},\"max_us\":{},\"reject_p99_us\":{}",
             self.epoch,
             self.uptime_ms,
             self.requests,
@@ -232,6 +238,7 @@ impl StatsSnapshot {
             self.reloads,
             self.reload_failures,
             self.connections,
+            self.health_checks,
             self.inflight,
             qps,
             self.p50_us,
@@ -257,8 +264,8 @@ impl StatsSnapshot {
                 .map(|n| n as u64)
                 .ok_or(format!("missing stats field {k:?}"))
         };
-        // `rejected`/`reject_p99_us` default to 0 so snapshots emitted by
-        // pre-observability servers still parse.
+        // `rejected`/`reject_p99_us`/`health_checks` default to 0 so
+        // snapshots emitted by older servers still parse.
         let opt_int = |k: &str| -> u64 {
             json::get(obj, k).and_then(JsonValue::as_number).map(|n| n as u64).unwrap_or(0)
         };
@@ -273,6 +280,7 @@ impl StatsSnapshot {
             reloads: int("reloads")?,
             reload_failures: int("reload_failures")?,
             connections: int("connections")?,
+            health_checks: opt_int("health_checks"),
             inflight: int("inflight")?,
             qps: json::get(obj, "qps")
                 .and_then(JsonValue::as_number)
@@ -396,6 +404,7 @@ mod tests {
         let snap = StatsSnapshot::parse(legacy).unwrap();
         assert_eq!(snap.rejected, 0);
         assert_eq!(snap.reject_p99_us, 0);
+        assert_eq!(snap.health_checks, 0);
         assert_eq!(snap.requests, 3);
     }
 

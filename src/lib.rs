@@ -27,6 +27,7 @@
 //! | [`pdl`] | `pdl-compat` | the PEPPHER PDL baseline + converter |
 //! | [`models`] | `xpdl-models` | the paper's listings + complete model library |
 //! | [`serve`] | `xpdl-serve` | model-serving daemon: JSON-lines protocol, hot snapshot swap, backpressure |
+//! | [`registry`] | `xpdl-registry` | cluster membership: TTL heartbeat leases, push model invalidation |
 //! | [`obs`] | `xpdl-obs` | observability substrate: tracing spans, metrics registry, profile export |
 //! | [`fleetgen`] | `xpdl-fleetgen` | deterministic synthetic platform-fleet generator (benchmark corpus) |
 //! | [`api`] | (generated) | typed element wrappers generated from the schema |
@@ -66,6 +67,7 @@ pub use xpdl_mb as mb;
 pub use xpdl_models as models;
 pub use xpdl_obs as obs;
 pub use xpdl_power as power;
+pub use xpdl_registry as registry;
 pub use xpdl_repo as repo;
 pub use xpdl_runtime as runtime;
 pub use xpdl_schema as schema;
