@@ -140,7 +140,7 @@ fn main() {
     let mut id = 0u64;
     let serve = measure("serve_p50", iters.max(3000), span_ns, || {
         id += 1;
-        let req = Request { id, method: mix[(id as usize) % mix.len()].clone() };
+        let req = Request::new(id, mix[(id as usize) % mix.len()].clone());
         match engine.handle(&req).result {
             Ok(_) => {}
             Err(e) => panic!("request failed: {e}"),

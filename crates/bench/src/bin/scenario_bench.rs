@@ -15,6 +15,9 @@
 //! - `poisoned_keep_going` keep-going elaboration over a poisoned fleet
 //! - `cluster_failover`   3-node registry cluster; one node dies mid-run
 //!   and the `ClusterClient` must retry with zero client-visible errors
+//! - `shard_rebalance`    3-node *sharded* fleet (R=2); one node is
+//!   hard-killed mid-storm — every key must stay answerable and every
+//!   key's replica count must return to R after the ring heals
 //!
 //! ```text
 //! cargo run --release -p bench --bin scenario_bench -- [flags]
@@ -33,14 +36,17 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 use xpdl_fleetgen::{generate, Fleet, FleetShape};
 use xpdl_obs::{Histogram, HistogramSnapshot, MetricsRegistry};
-use xpdl_registry::{NodeAgent, NodeConfig, NodeReport, RegistryOptions, RegistryServer};
+use xpdl_registry::{
+    NodeAgent, NodeConfig, NodeReport, RegistryClient, RegistryOptions, RegistryServer, RingFn,
+};
 use xpdl_repo::{
     CachingStore, DiskCache, FaultConfig, FaultInjectingStore, Freshness, Repository,
     ResolveOptions,
 };
 use xpdl_serve::{
-    parse_response, ClusterClient, ClusterOptions, Engine, EngineOptions, Method, ModelSource,
-    Route, Server, ServerOptions,
+    codes, parse_response, ClusterClient, ClusterOptions, Engine, EngineOptions, Method,
+    ModelSource, Rebalancer, Reply, Request, Route, ServeError, Server, ServerOptions,
+    ShardManager,
 };
 
 fn flag(args: &[String], name: &str) -> Option<String> {
@@ -519,8 +525,217 @@ fn cluster_failover(fleet: &Fleet, m: &Matrix) -> ScenarioRecord {
     rec.put_extra("requests", ExtraValue::U64(total));
     rec.put_extra("killed_at", ExtraValue::U64(victim.unwrap_or(0)));
     rec.put_extra("failovers", ExtraValue::U64(failovers));
-    rec.put_extra("failover_p50_us", ExtraValue::U64(failover_snap.quantile_upper_bound(0.50)));
-    rec.put_extra("failover_p99_us", ExtraValue::U64(failover_snap.quantile_upper_bound(0.99)));
+    rec.put_extra("failover_p50_us", ExtraValue::U64(failover_snap.quantile(0.50)));
+    rec.put_extra("failover_p99_us", ExtraValue::U64(failover_snap.quantile(0.99)));
+    rec
+}
+
+/// One sharded serving node for `shard_rebalance`: engine + shard
+/// manager over the paper library, rebalancer, and registry agent whose
+/// ring callback applies pushed partitions immediately.
+struct ShardNode {
+    server: Server,
+    agent: NodeAgent,
+    rebalancer: Arc<Rebalancer>,
+    addr: String,
+}
+
+fn start_shard_node(i: usize, reg_addr: &str, universe: &[String], ttl: Duration) -> ShardNode {
+    let node_id = format!("shard-node-{i}");
+    let repo = Arc::new(xpdl_models::paper_repository());
+    let compile: xpdl_serve::ShardCompileFn = Box::new(move |key: &str| {
+        let set = repo.resolve_recursive(key).map_err(|e| {
+            ServeError::new(codes::COMPILE_FAILED, format!("resolve '{key}': {e}"))
+        })?;
+        let model = xpdl_elab::elaborate(&set).map_err(|e| {
+            ServeError::new(codes::COMPILE_FAILED, format!("elaborate '{key}': {e}"))
+        })?;
+        Ok((xpdl_runtime::RuntimeModel::from_element(&model.root), format!("repo:{key}")))
+    });
+    // The default (unsharded) snapshot never answers shard traffic; any
+    // compilable model will do as the placeholder.
+    let (placeholder, _) = ModelSource::Repo {
+        key: universe[0].clone(),
+        repo: Box::new(xpdl_models::paper_repository()),
+    }
+    .compile()
+    .expect("placeholder model");
+    let engine = Arc::new(
+        Engine::new(
+            ModelSource::Fixed(Box::new(placeholder)),
+            EngineOptions { allow_debug: false, allow_shutdown: false },
+        )
+        .expect("engine"),
+    );
+    let mgr = Arc::new(ShardManager::new(node_id.clone(), universe.to_vec(), compile));
+    engine.set_shard_manager(Arc::clone(&mgr));
+    let server = Server::start(
+        Arc::clone(&engine),
+        "127.0.0.1:0",
+        ServerOptions { workers: 2, max_inflight: 1024, ..Default::default() },
+    )
+    .expect("server");
+    let addr = server.local_addr().to_string();
+    let mut cfg = NodeConfig::new(reg_addr, node_id, addr.clone());
+    cfg.ttl = ttl;
+    let rebalancer = Arc::new(Rebalancer::spawn(
+        Arc::clone(&mgr),
+        RegistryClient::new(reg_addr.to_string()),
+        Duration::from_millis(50),
+    ));
+    let ring_mgr = Arc::clone(&mgr);
+    let ring_reb = Arc::clone(&rebalancer);
+    let on_ring: RingFn = Arc::new(move |info| {
+        if ring_mgr.apply_ring(info) {
+            ring_reb.kick();
+        }
+    });
+    let health_engine = Arc::clone(&engine);
+    let agent = NodeAgent::start_with_ring(
+        cfg,
+        Arc::new(move || NodeReport {
+            epoch: health_engine.registry().load().epoch,
+            fingerprint: format!("{:016x}", health_engine.registry().load().fingerprint),
+            inflight: health_engine.stats().inflight.get(),
+        }),
+        Arc::new(|_version: &str| {}),
+        Some(on_ring),
+    );
+    ShardNode { server, agent, rebalancer, addr }
+}
+
+/// The keys a node currently serves, per its over-the-wire `shards`
+/// reply (what peers and the chaos suite count replicas with).
+fn served_keys(addr: &str) -> Vec<String> {
+    let line = match one_shot(addr, &Request::new(1, Method::Shards).to_json()) {
+        Ok(line) => line.to_string(),
+        Err(_) => return Vec::new(),
+    };
+    match parse_response(line.trim()).map(|r| r.result) {
+        Ok(Ok(Reply::Shards { owned, .. })) => owned,
+        _ => Vec::new(),
+    }
+}
+
+/// `shard_rebalance`: the self-healing invariant of DESIGN.md §17. A
+/// 3-node sharded fleet (replication 2) takes per-key `ClusterClient`
+/// traffic over the whole shard universe; one node is hard-killed
+/// mid-storm (agent aborted, listener closed — SIGKILL semantics). Every
+/// request must still be answered (S511/connect failures are retried at
+/// the other replicas, so any client-visible error counts against the
+/// scenario), and after the ring heals every key must again be served by
+/// exactly R live replicas with no handoff residue.
+fn shard_rebalance(m: &Matrix) -> ScenarioRecord {
+    const R: usize = 2;
+    let ttl = Duration::from_millis(250);
+    let universe: Vec<String> =
+        xpdl_models::LIBRARY_KEYS.iter().map(|k| k.to_string()).collect();
+
+    let registry = RegistryServer::start(
+        "127.0.0.1:0",
+        RegistryOptions {
+            sweep_interval: Duration::from_millis(20),
+            replication: R,
+            ..Default::default()
+        },
+    )
+    .expect("registry");
+    let reg_addr = registry.local_addr().to_string();
+
+    let mut nodes: Vec<ShardNode> =
+        (0..3).map(|i| start_shard_node(i, &reg_addr, &universe, ttl)).collect();
+
+    let client = ClusterClient::new(
+        reg_addr.clone(),
+        ClusterOptions { table_max_age: Duration::from_millis(100), ..Default::default() },
+    );
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while client.nodes().len() < 3 {
+        assert!(Instant::now() < deadline, "shard nodes never registered");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    // Warm every key once outside the timer (first touch compiles).
+    for key in &universe {
+        client.call_for_key(key, Method::NumCores).expect("warming call");
+    }
+
+    let total = m.storm_requests.min(2_000);
+    let kill_at = total / 2;
+    let hist = Arc::new(Histogram::new());
+    let (mut errors, mut failovers, mut degraded) = (0u64, 0u64, 0u64);
+    let mut kill_time = None;
+    let wall = Instant::now();
+    for n in 0..total {
+        if n == kill_at {
+            // SIGKILL semantics: no deregistration, no drain — the
+            // registry discovers the death by TTL expiry and republishes
+            // the ring; the survivors pull the victim's keys.
+            let victim = nodes.remove(0);
+            victim.agent.abort();
+            drop(victim.rebalancer);
+            victim.server.shutdown();
+            victim.server.join();
+            kill_time = Some(Instant::now());
+        }
+        let key = &universe[(n as usize) % universe.len()];
+        let start = Instant::now();
+        match client.call_for_key(key, Method::NumCores) {
+            Ok(routed) => {
+                hist.record(start.elapsed().as_micros() as u64);
+                if routed.attempts > 1 {
+                    failovers += 1;
+                }
+                if routed.route == Route::Fallback {
+                    degraded += 1;
+                }
+            }
+            Err(_) => errors += 1,
+        }
+    }
+    let wall_s = wall.elapsed().as_secs_f64();
+    let kill_time = kill_time.expect("kill point inside the storm");
+
+    // Self-healing gate: every key back to exactly R live replicas, no
+    // handoff residue. The 2xTTL budget runs from the kill; the poll
+    // window extends it only by whatever the storm tail already used.
+    let heal_deadline =
+        std::cmp::max(kill_time + 2 * ttl, Instant::now() + 2 * ttl);
+    let mut converge_ms = None;
+    while Instant::now() < heal_deadline {
+        let served: Vec<Vec<String>> = nodes.iter().map(|n| served_keys(&n.addr)).collect();
+        let healed = universe.iter().all(|key| {
+            served.iter().filter(|owned| owned.iter().any(|k| k == key)).count() == R
+        });
+        if healed {
+            converge_ms = Some(kill_time.elapsed().as_millis() as u64);
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let unhealed = if converge_ms.is_some() { 0 } else { universe.len() as u64 };
+
+    for node in nodes {
+        node.agent.shutdown();
+        drop(node.rebalancer);
+        node.server.shutdown();
+        node.server.join();
+    }
+    registry.shutdown();
+    registry.join();
+
+    let mut rec = ScenarioRecord::new("shard_rebalance");
+    rec.set_latencies(&snapshot_of(&hist));
+    rec.qps = total as f64 / wall_s.max(1e-9);
+    // Degraded (in-process fallback) answers and a fleet that never
+    // heals both count as scenario failures.
+    rec.errors = errors + degraded + unhealed;
+    rec.put_extra("requests", ExtraValue::U64(total));
+    rec.put_extra("killed_at", ExtraValue::U64(kill_at));
+    rec.put_extra("failovers", ExtraValue::U64(failovers));
+    rec.put_extra("replication", ExtraValue::U64(R as u64));
+    rec.put_extra("shard_keys", ExtraValue::U64(universe.len() as u64));
+    rec.put_extra("converge_ms", ExtraValue::U64(converge_ms.unwrap_or(0)));
+    rec.put_extra("healed", ExtraValue::U64(u64::from(converge_ms.is_some())));
     rec
 }
 
@@ -585,6 +800,9 @@ fn main() {
     }
     if wanted("cluster_failover") {
         scenarios.push(cluster_failover(&fleet, matrix));
+    }
+    if wanted("shard_rebalance") {
+        scenarios.push(shard_rebalance(matrix));
     }
     if scenarios.is_empty() {
         eprintln!("unknown scenario '{}' for --only", only.unwrap_or_default());

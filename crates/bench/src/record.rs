@@ -70,10 +70,13 @@ impl ScenarioRecord {
     }
 
     /// Fill the percentile fields from an observability histogram.
+    /// Sub-bucket interpolation, not bucket ceilings — a log2 ceiling
+    /// quantized every percentile in `[32768, 65535]` to 65535µs, which
+    /// made `cold_resolve_*`/`offline_stale` look identically slow.
     pub fn set_latencies(&mut self, h: &HistogramSnapshot) {
-        self.p50_us = h.quantile_upper_bound(0.50);
-        self.p90_us = h.quantile_upper_bound(0.90);
-        self.p99_us = h.quantile_upper_bound(0.99);
+        self.p50_us = h.quantile(0.50);
+        self.p90_us = h.quantile(0.90);
+        self.p99_us = h.quantile(0.99);
     }
 
     /// Attach an extra field. Reserved (mandatory-schema) keys are
@@ -272,6 +275,8 @@ mod tests {
         let mut r = ScenarioRecord::new("t");
         r.set_latencies(&snap);
         assert!(r.p50_us >= 2 && r.p50_us <= 4, "{}", r.p50_us);
-        assert!(r.p99_us >= 1000, "{}", r.p99_us);
+        // Interpolated within 1000's bucket [512,1023] — not quantized
+        // to the 1023 ceiling.
+        assert!(r.p99_us >= 512 && r.p99_us <= 1023, "{}", r.p99_us);
     }
 }

@@ -915,10 +915,18 @@ fn write_usage(out: &mut dyn std::io::Write) -> std::io::Result<()> {
          \x20   --advertise HOST:PORT        address published to the cluster (default bound addr)\n\
          \x20   --ttl-ms MS                  lease TTL; heartbeats at TTL/3 (default 1500)\n\
          \x20   --drain-grace-ms MS          SIGTERM: answer S510 this long before closing (default 200)\n\
+         \x20   --shards                     shard the model universe across the cluster ring\n\
+         \x20   --shard-keys K1,K2           shard-key universe (default: the built-in library keys)\n\
+         \x20   --rebalance-interval-ms MS   self-healing rebalance tick (default 500)\n\
          \x20 registry [--addr HOST:PORT]    cluster membership daemon (default 127.0.0.1:7434)\n\
          \x20   --addr-file PATH             write the bound address (for --addr with port 0)\n\
          \x20   --sweep-interval-ms MS       lease sweeper period (default 100)\n\
+         \x20   --replication N              ring replicas per shard key (default 2)\n\
+         \x20   --vnodes N                   ring virtual nodes per member (default 32)\n\
          \x20 registry announce --addr A --version V   push a model version to all subscribed nodes\n\
+         \x20 registry status --addr A       routing table, leases, ring epoch, per-node shard counts\n\
+         \x20   --diag-format text|json      status output format (json is stable)\n\
+         \x20 registry ring --nodes A,B,C    print the deterministic ring for a membership (CI check)\n\
          \x20 bootstrap [isa-key]            run microbenchmarks, fill '?' entries\n\
          \x20 codegen [rust|c]               generate the query API from the schema\n\
          \x20 uml [schema|<key>] [--max N]   PlantUML view of metamodel / composed model\n\

@@ -1,29 +1,44 @@
-//! `xpdlc registry`: the cluster-membership daemon.
+//! `xpdlc registry`: the cluster-membership daemon and its operator tools.
 //!
 //! Runs an [`xpdl_registry::RegistryServer`] until SIGTERM/SIGINT. Serve
 //! nodes join with `xpdlc serve --registry HOST:PORT`; anything that
 //! publishes a new model version announces it here (see
 //! [`xpdl_registry::RegistryMethod::Announce`]) and every subscribed
 //! node reloads immediately — no polling interval.
+//!
+//! Operator subcommands:
+//!
+//! * `registry announce` — push a model version to all subscribed nodes.
+//! * `registry status` — dump the live routing table, lease deadlines,
+//!   ring epoch, and per-node shard counts (text or `--diag-format=json`).
+//! * `registry ring` — print the deterministic ring for a given
+//!   membership, for offline inspection and the CI determinism check
+//!   (same lease table → byte-identical output on any two processes).
 
 use crate::ExitCode;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
-use xpdl_registry::{RegistryClient, RegistryMethod, RegistryOptions, RegistryReply, RegistryServer};
+use xpdl_registry::{
+    HashRing, RegistryClient, RegistryMethod, RegistryOptions, RegistryReply, RegistryServer,
+    DEFAULT_REPLICATION, DEFAULT_VNODES,
+};
 use xpdl_serve::install_termination_handler;
 
 /// Set by SIGTERM/SIGINT; polled by the registry main loop.
 static TERM: AtomicBool = AtomicBool::new(false);
 
-/// `xpdlc registry [announce]`: run the daemon, or poke a running one.
+/// `xpdlc registry [announce|status|ring]`: run the daemon, or poke one.
 pub(crate) fn registry_command(
     rest: &[String],
     out: &mut dyn std::io::Write,
 ) -> Result<ExitCode, Box<dyn std::error::Error>> {
     // `xpdlc registry announce --addr X --version V` is the publisher's
     // side of push invalidation: one RPC, every subscribed node reloads.
-    if rest.first().map(String::as_str) == Some("announce") {
-        return announce(&rest[1..], out);
+    match rest.first().map(String::as_str) {
+        Some("announce") => return announce(&rest[1..], out),
+        Some("status") => return status(&rest[1..], out),
+        Some("ring") => return ring(&rest[1..], out),
+        _ => {}
     }
     let addr = crate::flag_value(rest, "--addr").unwrap_or_else(|| "127.0.0.1:7434".to_string());
     let defaults = RegistryOptions::default();
@@ -38,6 +53,10 @@ pub(crate) fn registry_command(
             .map(Duration::from_millis)
             .unwrap_or(defaults.max_ttl),
         max_line_bytes: defaults.max_line_bytes,
+        replication: crate::parse_flag::<usize>(rest, "--replication")?
+            .unwrap_or(DEFAULT_REPLICATION)
+            .max(1),
+        vnodes: crate::parse_flag::<usize>(rest, "--vnodes")?.unwrap_or(DEFAULT_VNODES).max(1),
     };
     let server = RegistryServer::start(&addr, options)?;
     let bound = server.local_addr();
@@ -77,4 +96,168 @@ fn announce(
         }
         other => Err(format!("unexpected registry reply: {other:?}").into()),
     }
+}
+
+/// The shard-key universe used for per-node shard counts: `--shard-keys`
+/// CSV when given, the built-in model-library systems otherwise.
+fn shard_universe(rest: &[String]) -> Vec<String> {
+    match crate::flag_value(rest, "--shard-keys") {
+        Some(csv) => {
+            csv.split(',').map(str::trim).filter(|s| !s.is_empty()).map(String::from).collect()
+        }
+        None => xpdl_models::LIBRARY_KEYS.iter().map(|k| k.to_string()).collect(),
+    }
+}
+
+/// Minimal JSON string escaping for the status dump (node ids and
+/// versions are operator-chosen and must not break the output).
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn status(
+    rest: &[String],
+    out: &mut dyn std::io::Write,
+) -> Result<ExitCode, Box<dyn std::error::Error>> {
+    let usage = "registry status --addr HOST:PORT [--diag-format text|json] [--shard-keys K1,K2]";
+    let Some(addr) = crate::flag_value(rest, "--addr") else {
+        writeln!(out, "usage: xpdlc {usage}")?;
+        return Ok(2);
+    };
+    let format = crate::flag_value(rest, "--diag-format").unwrap_or_else(|| "text".to_string());
+    if format != "text" && format != "json" {
+        writeln!(out, "unknown --diag-format '{format}' (text|json)")?;
+        return Ok(2);
+    }
+    let st = RegistryClient::new(addr).status()?;
+    let universe = shard_universe(rest);
+    // Per-node shard counts, computed client-side from the same ring the
+    // fleet routes on — the registry stays a pure membership service.
+    let ring = st.ring.as_ref().map(xpdl_registry::RingInfo::ring);
+    let shard_count = |node: &str| -> u64 {
+        match &ring {
+            None => 0,
+            Some(r) => universe.iter().filter(|k| r.owns(node, k)).count() as u64,
+        }
+    };
+    if format == "json" {
+        let mut s = String::from("{\"nodes\":[");
+        for (i, n) in st.nodes.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"node\":{},\"addr\":{},\"epoch\":{},\"fingerprint\":{},\"inflight\":{},\
+                 \"generation\":{},\"age_ms\":{},\"ttl_ms\":{},\"lease_remaining_ms\":{},\
+                 \"shards\":{}}}",
+                esc(&n.node),
+                esc(&n.addr),
+                n.epoch,
+                esc(&n.fingerprint),
+                n.inflight,
+                n.generation,
+                n.age_ms,
+                n.ttl_ms,
+                n.ttl_ms.saturating_sub(n.age_ms),
+                shard_count(&n.node),
+            ));
+        }
+        s.push_str("],\"ring\":");
+        match &st.ring {
+            None => s.push_str("null"),
+            Some(r) => s.push_str(&format!(
+                "{{\"epoch\":{},\"replication\":{},\"vnodes\":{},\"members\":{}}}",
+                esc(&r.epoch_hex()),
+                r.replication,
+                r.vnodes,
+                r.nodes.len(),
+            )),
+        }
+        s.push_str(",\"version\":");
+        match &st.version {
+            None => s.push_str("null"),
+            Some(v) => s.push_str(&esc(v)),
+        }
+        s.push_str(&format!(
+            ",\"uptime_ms\":{},\"shard_universe\":{}}}",
+            st.uptime_ms,
+            universe.len()
+        ));
+        writeln!(out, "{s}")?;
+        return Ok(0);
+    }
+    writeln!(out, "registry uptime: {} ms", st.uptime_ms)?;
+    writeln!(out, "announced version: {}", st.version.as_deref().unwrap_or("(none)"))?;
+    match &st.ring {
+        None => writeln!(out, "ring: (empty — no live nodes)")?,
+        Some(r) => writeln!(
+            out,
+            "ring: epoch={} replication={} vnodes={} members={}",
+            r.epoch_hex(),
+            r.replication,
+            r.vnodes,
+            r.nodes.len()
+        )?,
+    }
+    writeln!(out, "nodes: {}", st.nodes.len())?;
+    for n in &st.nodes {
+        writeln!(
+            out,
+            "  {} {} epoch={} inflight={} gen={} lease={}ms/{}ms shards={}/{}",
+            n.node,
+            n.addr,
+            n.epoch,
+            n.inflight,
+            n.generation,
+            n.ttl_ms.saturating_sub(n.age_ms),
+            n.ttl_ms,
+            shard_count(&n.node),
+            universe.len(),
+        )?;
+    }
+    Ok(0)
+}
+
+fn ring(
+    rest: &[String],
+    out: &mut dyn std::io::Write,
+) -> Result<ExitCode, Box<dyn std::error::Error>> {
+    let usage = "registry ring --nodes A,B,C [--replication N] [--vnodes N] [--shard-keys K1,K2]";
+    let Some(nodes_csv) = crate::flag_value(rest, "--nodes") else {
+        writeln!(out, "usage: xpdlc {usage}")?;
+        return Ok(2);
+    };
+    let nodes: Vec<String> =
+        nodes_csv.split(',').map(str::trim).filter(|s| !s.is_empty()).map(String::from).collect();
+    if nodes.is_empty() {
+        writeln!(out, "usage: xpdlc {usage}")?;
+        return Ok(2);
+    }
+    let replication =
+        crate::parse_flag::<usize>(rest, "--replication")?.unwrap_or(DEFAULT_REPLICATION).max(1);
+    let vnodes = crate::parse_flag::<usize>(rest, "--vnodes")?.unwrap_or(DEFAULT_VNODES).max(1);
+    let ring = HashRing::build(&nodes, replication, vnodes);
+    // `describe()` is the canonical byte-stable dump: CI runs this twice
+    // (separate processes) and diffs — any nondeterminism in ring
+    // construction fails the build.
+    write!(out, "{}", ring.describe())?;
+    for key in shard_universe(rest) {
+        let owners: Vec<&str> = ring.replicas(&key);
+        writeln!(out, "key {key} -> {}", owners.join(","))?;
+    }
+    Ok(0)
 }

@@ -11,10 +11,10 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
-use xpdl_registry::{NodeAgent, NodeConfig, NodeReport};
+use xpdl_registry::{NodeAgent, NodeConfig, NodeReport, RegistryClient, RingFn};
 use xpdl_serve::{
-    install_termination_handler, spawn_reload_thread, Engine, EngineOptions, Method, ModelSource,
-    Reply, Request, Server, ServerOptions,
+    codes, install_termination_handler, spawn_reload_thread, Engine, EngineOptions, Method,
+    ModelSource, Rebalancer, Reply, Request, ServeError, Server, ServerOptions, ShardManager,
 };
 
 /// Set by SIGTERM/SIGINT; polled by the `serve` main loop.
@@ -93,16 +93,50 @@ pub(crate) fn serve_command(
     let reload_thread = (reload_secs > 0)
         .then(|| spawn_reload_thread(Arc::clone(&engine), Duration::from_secs(reload_secs)));
 
+    // Sharded serving (DESIGN.md §17): the node compiles only the keys
+    // the consistent-hash ring assigns it, answers S511 with a routing
+    // hint for the rest, and self-heals on membership changes. Without
+    // `--registry` there is no ring, so a standalone `--shards` node is
+    // simply a multi-model server over the whole universe.
+    let node = crate::flag_value(rest, "--node-id")
+        .unwrap_or_else(|| format!("node-{}", std::process::id()));
+    let shard_mgr = if crate::has_flag(rest, "--shards") {
+        let universe: Vec<String> = match crate::flag_value(rest, "--shard-keys") {
+            Some(csv) => csv
+                .split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .map(String::from)
+                .collect(),
+            None => xpdl_models::LIBRARY_KEYS.iter().map(|k| k.to_string()).collect(),
+        };
+        let repo = Arc::new(crate::repository_with(rest, None)?);
+        let compile = Box::new(move |key: &str| -> Result<_, ServeError> {
+            let set = repo.resolve_recursive(key).map_err(|e| {
+                ServeError::new(codes::COMPILE_FAILED, format!("resolve '{key}': {e}"))
+            })?;
+            let model = xpdl_elab::elaborate(&set).map_err(|e| {
+                ServeError::new(codes::COMPILE_FAILED, format!("elaborate '{key}': {e}"))
+            })?;
+            Ok((xpdl_runtime::RuntimeModel::from_element(&model.root), format!("repo:{key}")))
+        });
+        let mgr = Arc::new(ShardManager::new(node.clone(), universe, compile));
+        engine.set_shard_manager(Arc::clone(&mgr));
+        writeln!(out, "sharding enabled: {} key(s) in universe", mgr.universe().len())?;
+        Some(mgr)
+    } else {
+        None
+    };
+
     // Cluster membership: register with the registry, heartbeat at
-    // ttl/3, reload on pushed model-version announcements.
-    let agent = match crate::flag_value(rest, "--registry") {
+    // ttl/3, reload on pushed model-version announcements. A sharded
+    // node additionally watches ring pushes and runs the rebalancer.
+    let (agent, rebalancer) = match crate::flag_value(rest, "--registry") {
         Some(registry_addr) => {
-            let node = crate::flag_value(rest, "--node-id")
-                .unwrap_or_else(|| format!("node-{}", std::process::id()));
             let advertise =
                 crate::flag_value(rest, "--advertise").unwrap_or_else(|| bound.to_string());
             let ttl = Duration::from_millis(crate::parse_flag::<u64>(rest, "--ttl-ms")?.unwrap_or(1500));
-            let mut cfg = NodeConfig::new(registry_addr, node.clone(), advertise);
+            let mut cfg = NodeConfig::new(registry_addr.clone(), node.clone(), advertise);
             cfg.ttl = ttl;
             let health_engine = Arc::clone(&engine);
             let health = Arc::new(move || {
@@ -119,10 +153,34 @@ pub(crate) fn serve_command(
                 // redundant announcement costs one recompile, not an epoch.
                 let _ = reload_engine.reload();
             });
+            let (on_ring, rebalancer) = match &shard_mgr {
+                Some(mgr) => {
+                    let interval = Duration::from_millis(
+                        crate::parse_flag::<u64>(rest, "--rebalance-interval-ms")?.unwrap_or(500),
+                    );
+                    let reb = Arc::new(Rebalancer::spawn(
+                        Arc::clone(mgr),
+                        RegistryClient::new(registry_addr.clone()),
+                        interval,
+                    ));
+                    let ring_mgr = Arc::clone(mgr);
+                    let ring_reb = Arc::clone(&reb);
+                    // A pushed ring epoch re-partitions immediately: apply
+                    // the new ownership, then wake the rebalancer so pulls
+                    // and handoff acks happen now, not at the next tick.
+                    let on_ring: RingFn = Arc::new(move |info| {
+                        if ring_mgr.apply_ring(info) {
+                            ring_reb.kick();
+                        }
+                    });
+                    (Some(on_ring), Some(reb))
+                }
+                None => (None, None),
+            };
             writeln!(out, "joined registry {} as '{node}'", cfg.registry_addr)?;
-            Some(NodeAgent::start(cfg, health, on_invalidate))
+            (Some(NodeAgent::start_with_ring(cfg, health, on_invalidate, on_ring)), rebalancer)
         }
-        None => None,
+        None => (None, None),
     };
     let drain_grace =
         Duration::from_millis(crate::parse_flag::<u64>(rest, "--drain-grace-ms")?.unwrap_or(200));
@@ -139,6 +197,10 @@ pub(crate) fn serve_command(
     // then stop accepting.
     if let Some(agent) = agent {
         agent.shutdown();
+        // Stop pulling shards before draining: the rebalancer must not
+        // adopt new keys on a node that is leaving. Shards probes still
+        // answer through the grace period so successors can ack handoff.
+        drop(rebalancer);
         engine.set_draining(true);
         std::thread::sleep(drain_grace);
     }
@@ -184,7 +246,7 @@ pub(crate) fn query_command(
         return Ok(if resp.result.is_ok() { 0 } else { 1 });
     }
 
-    let ask = |method: Method| engine.handle(&Request { id: 0, method }).result;
+    let ask = |method: Method| engine.handle(&Request::new(0, method)).result;
     match (positional.get(1), positional.get(2)) {
         (None, _) => {
             if let Ok(Reply::ModelInfo { root_kind, .. }) = ask(Method::ModelInfo) {

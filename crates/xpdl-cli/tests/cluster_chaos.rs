@@ -13,6 +13,10 @@
 //!   swap to a strictly greater epoch, pushed, not polled;
 //! * SIGTERM one node — it must deregister *before* closing its
 //!   listener (the drain ordering fix) and exit cleanly.
+//! * SIGKILL one node of a *sharded* fleet (N=3, R=2) mid-storm — every
+//!   key must stay answerable during the handoff and, within 2×TTL,
+//!   every key must again be served by exactly R live replicas
+//!   (DESIGN.md §17 rebalance invariant).
 //!
 //! Throughout, queries may be *retried* (failovers are counted) but
 //! never *dropped*: any `ClusterClient::call` error fails the test.
@@ -80,17 +84,53 @@ fn node_health(addr: &str) -> Option<(u64, String, bool)> {
     }
 }
 
+/// One `shards` RPC straight at a node: the owned-and-loaded keys it
+/// currently serves (what replica counts are measured with).
+fn node_owned(addr: &str) -> Vec<String> {
+    let Ok(sockaddr) = addr.parse() else { return Vec::new() };
+    let Ok(stream) = TcpStream::connect_timeout(&sockaddr, Duration::from_millis(500)) else {
+        return Vec::new();
+    };
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+    let Ok(mut w) = stream.try_clone() else { return Vec::new() };
+    if w.write_all(b"{\"v\":1,\"id\":1,\"method\":\"shards\"}\n").is_err() {
+        return Vec::new();
+    }
+    let mut line = String::new();
+    if BufReader::new(stream).read_line(&mut line).is_err() {
+        return Vec::new();
+    }
+    match parse_response(line.trim()).map(|r| r.result) {
+        Ok(Ok(Reply::Shards { owned, .. })) => owned,
+        _ => Vec::new(),
+    }
+}
+
 struct Cluster {
     tmp: PathBuf,
     registry: Option<Child>,
     registry_addr: String,
     nodes: Vec<(String, Child, String)>, // (node id, process, advertised addr)
     model_path: PathBuf,
+    /// Spawn nodes with `--shards` (and the registry with a replicated
+    /// ring) — the sharded-fleet chaos variant.
+    sharded: bool,
 }
 
 impl Cluster {
     /// Compile a model file, start a registry and `n` serve nodes.
     fn launch(tag: &str, n: usize) -> Cluster {
+        Cluster::launch_with(tag, n, false)
+    }
+
+    /// A sharded fleet: registry with replication 2, nodes in `--shards`
+    /// mode over the built-in library universe.
+    fn launch_sharded(tag: &str, n: usize) -> Cluster {
+        Cluster::launch_with(tag, n, true)
+    }
+
+    fn launch_with(tag: &str, n: usize, sharded: bool) -> Cluster {
         let tmp = std::env::temp_dir().join(format!("xpdlc_chaos_{tag}_{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&tmp);
         std::fs::create_dir_all(&tmp).expect("tmp dir");
@@ -101,18 +141,19 @@ impl Cluster {
         xpdl_runtime::format::save_file(&rt, &model_path).expect("write model");
 
         let reg_file = tmp.join("registry.addr");
-        let mut registry = xpdlc()
-            .args([
-                "registry",
-                "--addr",
-                "127.0.0.1:0",
-                "--addr-file",
-                reg_file.to_str().unwrap(),
-                "--sweep-interval-ms",
-                "20",
-            ])
-            .spawn()
-            .expect("spawn registry");
+        let mut reg_args = vec![
+            "registry".to_string(),
+            "--addr".to_string(),
+            "127.0.0.1:0".to_string(),
+            "--addr-file".to_string(),
+            reg_file.to_str().unwrap().to_string(),
+            "--sweep-interval-ms".to_string(),
+            "20".to_string(),
+        ];
+        if sharded {
+            reg_args.extend(["--replication".to_string(), "2".to_string()]);
+        }
+        let mut registry = xpdlc().args(&reg_args).spawn().expect("spawn registry");
         let registry_addr = wait_addr(&reg_file, &mut registry, "registry");
 
         let mut cluster = Cluster {
@@ -121,6 +162,7 @@ impl Cluster {
             registry_addr,
             nodes: Vec::new(),
             model_path,
+            sharded,
         };
         for i in 0..n {
             cluster.spawn_node(&format!("chaos-{tag}-{i}"));
@@ -131,26 +173,31 @@ impl Cluster {
     fn spawn_node(&mut self, node_id: &str) {
         let addr_file = self.tmp.join(format!("{node_id}.addr"));
         let _ = std::fs::remove_file(&addr_file);
-        let mut child = xpdlc()
-            .args([
-                "serve",
-                "--model",
-                self.model_path.to_str().unwrap(),
-                "--addr",
-                "127.0.0.1:0",
-                "--addr-file",
-                addr_file.to_str().unwrap(),
-                "--registry",
-                &self.registry_addr,
-                "--node-id",
-                node_id,
-                "--ttl-ms",
-                &NODE_TTL_MS.to_string(),
-                "--drain-grace-ms",
-                "150",
-            ])
-            .spawn()
-            .expect("spawn serve node");
+        let mut args = vec![
+            "serve".to_string(),
+            "--model".to_string(),
+            self.model_path.to_str().unwrap().to_string(),
+            "--addr".to_string(),
+            "127.0.0.1:0".to_string(),
+            "--addr-file".to_string(),
+            addr_file.to_str().unwrap().to_string(),
+            "--registry".to_string(),
+            self.registry_addr.clone(),
+            "--node-id".to_string(),
+            node_id.to_string(),
+            "--ttl-ms".to_string(),
+            NODE_TTL_MS.to_string(),
+            "--drain-grace-ms".to_string(),
+            "150".to_string(),
+        ];
+        if self.sharded {
+            args.extend([
+                "--shards".to_string(),
+                "--rebalance-interval-ms".to_string(),
+                "100".to_string(),
+            ]);
+        }
+        let mut child = xpdlc().args(&args).spawn().expect("spawn serve node");
         let addr = wait_addr(&addr_file, &mut child, node_id);
         self.nodes.push((node_id.to_string(), child, addr));
     }
@@ -217,6 +264,44 @@ impl Traffic {
         Traffic { stop, ok, dropped, failovers, handle: Some(handle) }
     }
 
+    /// Per-key traffic for a sharded fleet: cycle the whole shard
+    /// universe so every key is continuously probed for answerability.
+    fn start_sharded(client: Arc<ClusterClient>, keys: Vec<String>) -> Traffic {
+        let stop = Arc::new(AtomicBool::new(false));
+        let ok = Arc::new(AtomicU64::new(0));
+        let dropped = Arc::new(AtomicU64::new(0));
+        let failovers = Arc::new(AtomicU64::new(0));
+        let handle = {
+            let (stop, ok, dropped, failovers) =
+                (Arc::clone(&stop), Arc::clone(&ok), Arc::clone(&dropped), Arc::clone(&failovers));
+            std::thread::spawn(move || {
+                let mut n = 0usize;
+                while !stop.load(Ordering::Acquire) {
+                    let key = &keys[n % keys.len()];
+                    n += 1;
+                    match client.call_for_key(key, Method::NumCores) {
+                        Ok(routed) => {
+                            assert!(
+                                matches!(routed.reply, Reply::Count(_)),
+                                "unexpected reply for '{key}': {:?}",
+                                routed.reply
+                            );
+                            ok.fetch_add(1, Ordering::Relaxed);
+                            if routed.attempts > 1 {
+                                failovers.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        Err(_) => {
+                            dropped.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+            })
+        };
+        Traffic { stop, ok, dropped, failovers, handle: Some(handle) }
+    }
+
     fn finish(mut self) -> (u64, u64, u64) {
         self.stop.store(true, Ordering::Release);
         if let Some(h) = self.handle.take() {
@@ -240,7 +325,7 @@ fn cluster_client(registry_addr: &str) -> Arc<ClusterClient> {
 /// Registry-side membership, bypassing the `ClusterClient` cache (which
 /// deliberately serves stale tables while the registry is down).
 fn registered_addrs(reg: &RegistryClient) -> Vec<String> {
-    reg.nodes().map(|(nodes, _)| nodes.into_iter().map(|n| n.addr).collect()).unwrap_or_default()
+    reg.nodes().map(|(nodes, _, _)| nodes.into_iter().map(|n| n.addr).collect()).unwrap_or_default()
 }
 
 #[test]
@@ -371,6 +456,97 @@ fn chaos_sigkill_node_registry_restart_and_push_reload() {
     assert_eq!(dropped, 0, "queries were dropped (retries are allowed, drops are not)");
     assert!(ok > 100, "too little traffic to trust the run ({ok} ok)");
     // The SIGKILL mid-run must have forced at least one failover.
+    assert!(failovers > 0, "expected failovers after SIGKILL, saw none");
+
+    cluster.teardown();
+}
+
+#[test]
+fn chaos_sigkill_in_sharded_fleet_heals_to_full_replication() {
+    const R: usize = 2;
+    let mut cluster = Cluster::launch_sharded("shard", 3);
+    let reg_client = RegistryClient::new(cluster.registry_addr.clone());
+    let client = cluster_client(&cluster.registry_addr);
+    wait_until("3 sharded nodes registered", Duration::from_secs(30), || {
+        registered_addrs(&reg_client).len() == 3
+    });
+
+    let keys: Vec<String> = xpdl_models::LIBRARY_KEYS.iter().map(|k| k.to_string()).collect();
+    // Warm every key once (the first touch compiles on the owner) and
+    // wait for the initial partition to settle: each key loaded on
+    // exactly R of the three nodes.
+    for key in &keys {
+        client.call_for_key(key, Method::NumCores).expect("warming call");
+    }
+    wait_until("initial partition reaches R replicas", Duration::from_secs(30), || {
+        let served: Vec<Vec<String>> =
+            cluster.nodes.iter().map(|(_, _, addr)| node_owned(addr)).collect();
+        keys.iter().all(|k| served.iter().filter(|o| o.contains(k)).count() == R)
+    });
+
+    let traffic = Traffic::start_sharded(Arc::clone(&client), keys.clone());
+    wait_until("sharded traffic flowing", Duration::from_secs(10), || {
+        traffic.ok.load(Ordering::Relaxed) > 20
+    });
+
+    // --- SIGKILL one node mid-storm. Its keys lose one replica; the
+    // ring must heal them back to R on the survivors within 2×TTL of
+    // the lease expiring, with zero dropped queries throughout. ---
+    let (_, mut victim, victim_addr) = cluster.nodes.remove(0);
+    victim.kill().expect("sigkill shard node");
+    victim.wait().expect("reap shard node");
+    let killed_at = Instant::now();
+    wait_until("killed node leaves the table", Duration::from_millis(2 * NODE_TTL_MS), || {
+        !registered_addrs(&reg_client).contains(&victim_addr)
+    });
+    let expired_at = Instant::now();
+    wait_until("every key back to R replicas", Duration::from_millis(2 * NODE_TTL_MS), || {
+        let served: Vec<Vec<String>> =
+            cluster.nodes.iter().map(|(_, _, addr)| node_owned(addr)).collect();
+        keys.iter().all(|k| served.iter().filter(|o| o.contains(k)).count() == R)
+    });
+    assert!(
+        expired_at.elapsed() <= Duration::from_millis(2 * NODE_TTL_MS),
+        "re-replication outlived 2x TTL after lease expiry: {:?}",
+        expired_at.elapsed()
+    );
+    println!(
+        "healed to R={R} replicas {}ms after SIGKILL",
+        killed_at.elapsed().as_millis()
+    );
+
+    // --- `registry status` agrees: two live nodes, each owning the
+    // whole universe on the R=2 ring (the operator's view of §17). ---
+    let status = Command::new(env!("CARGO_BIN_EXE_xpdlc"))
+        .args(["registry", "status", "--addr", &cluster.registry_addr, "--diag-format", "json"])
+        .output()
+        .expect("registry status");
+    assert!(status.status.success(), "registry status failed");
+    let parsed = xpdl_core::diag::json::parse(
+        std::str::from_utf8(&status.stdout).expect("utf8 status").trim(),
+    )
+    .expect("status json");
+    let obj = parsed.as_object().expect("status object");
+    let status_nodes = xpdl_core::diag::json::get(obj, "nodes")
+        .and_then(|v| v.as_array())
+        .expect("status nodes");
+    assert_eq!(status_nodes.len(), 2, "status must list exactly the survivors");
+    for n in status_nodes {
+        let n = n.as_object().expect("node object");
+        let shards = xpdl_core::diag::json::get(n, "shards")
+            .and_then(|v| v.as_number())
+            .expect("shard count");
+        assert_eq!(shards as usize, keys.len(), "with 2 nodes and R=2, each owns every key");
+    }
+
+    // Steady state on the healed fleet, then the zero-drop gate.
+    let settled = traffic.ok.load(Ordering::Relaxed) + 200;
+    wait_until("steady-state traffic after resharding", Duration::from_secs(15), || {
+        traffic.ok.load(Ordering::Relaxed) > settled
+    });
+    let (ok, dropped, failovers) = traffic.finish();
+    assert_eq!(dropped, 0, "sharded queries were dropped during rebalance");
+    assert!(ok > 100, "too little traffic to trust the run ({ok} ok)");
     assert!(failovers > 0, "expected failovers after SIGKILL, saw none");
 
     cluster.teardown();

@@ -347,6 +347,38 @@ impl HistogramSnapshot {
         self.buckets.last().map(|&(i, _)| Histogram::bucket_bounds(i as usize).1).unwrap_or(0)
     }
 
+    /// Estimated quantile with sub-bucket rank interpolation (0 when
+    /// empty).
+    ///
+    /// [`quantile_upper_bound`](Self::quantile_upper_bound) collapses
+    /// every sample in a bucket to the bucket's top — in a wide log2
+    /// bucket like `[32768, 65535]` that quantizes any p50 to 65535,
+    /// a 2× overstatement. This estimator instead assumes samples are
+    /// uniformly spread across the bucket's value range and places the
+    /// rank proportionally within it, cutting the worst-case error to
+    /// half a bucket with no change to the recording path or the
+    /// `(u8 index, count)` wire format.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((self.count as f64) * q.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for &(i, c) in &self.buckets {
+            if seen + c >= rank {
+                let (lo, hi) = Histogram::bucket_bounds(i as usize);
+                // The rank-th sample is the `into`-th of `c` samples in
+                // this bucket; treat each as the midpoint of its 1/c
+                // slice of the bucket's range.
+                let into = rank - seen;
+                let frac = (into as f64 - 0.5) / c as f64;
+                return lo + (((hi - lo) as f64) * frac).round() as u64;
+            }
+            seen += c;
+        }
+        self.buckets.last().map(|&(i, _)| Histogram::bucket_bounds(i as usize).1).unwrap_or(0)
+    }
+
     /// Mean sample value (0 when empty).
     pub fn mean(&self) -> f64 {
         if self.count == 0 {
@@ -407,7 +439,7 @@ impl MetricsSnapshot {
 
 impl fmt::Display for MetricsSnapshot {
     /// One aligned line per instrument; histograms show count, mean, and
-    /// log2-quantile upper bounds.
+    /// interpolated quantile estimates.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let width = self
             .counters
@@ -426,11 +458,11 @@ impl fmt::Display for MetricsSnapshot {
         for (k, h) in &self.histograms {
             writeln!(
                 f,
-                "{k:<width$}  count={} mean={:.1} p50<={} p99<={}",
+                "{k:<width$}  count={} mean={:.1} p50~{} p99~{}",
                 h.count,
                 h.mean(),
-                h.quantile_upper_bound(0.50),
-                h.quantile_upper_bound(0.99),
+                h.quantile(0.50),
+                h.quantile(0.99),
             )?;
         }
         Ok(())
@@ -487,6 +519,42 @@ mod tests {
     }
 
     #[test]
+    fn interpolated_quantile_beats_the_bucket_ceiling() {
+        // 1000 samples uniform over [30000, 60000): they straddle the
+        // [16384,32767] and [32768,65535] buckets. The upper bound
+        // quantizes p50 to 65535; interpolation must land near the true
+        // median of ~45000 (within half a bucket).
+        let h = Histogram::new();
+        for k in 0..1000u64 {
+            h.record(30_000 + k * 30);
+        }
+        let mut snap = HistogramSnapshot::empty();
+        snap.merge_from(&h);
+        assert_eq!(snap.quantile_upper_bound(0.50), 65_535);
+        let p50 = snap.quantile(0.50);
+        assert!((40_000..=52_000).contains(&p50), "interpolated p50 {p50}");
+        // Monotone in q, and the extremes stay inside the data's buckets.
+        let p10 = snap.quantile(0.10);
+        let p99 = snap.quantile(0.99);
+        assert!(p10 <= p50 && p50 <= p99, "{p10} {p50} {p99}");
+        assert!(p10 >= 16_384 && p99 <= 65_535);
+        // A single-sample bucket reports its midpoint, not its ceiling.
+        let one = Histogram::new();
+        one.record(40_000);
+        let mut s1 = HistogramSnapshot::empty();
+        s1.merge_from(&one);
+        let est = s1.quantile(0.50);
+        assert!((32_768..=65_535).contains(&est) && est != 65_535, "{est}");
+        // Empty and zero-only histograms stay at 0.
+        assert_eq!(HistogramSnapshot::empty().quantile(0.5), 0);
+        let z = Histogram::new();
+        z.record(0);
+        let mut sz = HistogramSnapshot::empty();
+        sz.merge_from(&z);
+        assert_eq!(sz.quantile(0.99), 0);
+    }
+
+    #[test]
     fn registry_sums_same_name_instances_and_prunes_dead() {
         let reg = MetricsRegistry::new();
         let a = reg.counter("x.hits");
@@ -529,6 +597,8 @@ mod tests {
         assert!(json.contains("\"c.lat_us\":{\"count\":2,\"sum\":303,\"buckets\":[[2,1],[9,1]]}"), "{json}");
         let text = snap.to_string();
         assert!(text.contains("b.count"), "{text}");
-        assert!(text.contains("p99<=511"), "{text}");
+        // 300 is the only sample in its bucket [256,511]: interpolation
+        // reports the bucket midpoint 256 + 0.5·255 ≈ 384, not 511.
+        assert!(text.contains("p99~384"), "{text}");
     }
 }

@@ -18,13 +18,14 @@
 
 use crate::lease::NodeReport;
 use crate::protocol::{
-    codes, parse_event, parse_response, Event, RegistryError, RegistryMethod, RegistryReply,
-    Request,
+    codes, parse_event, parse_response, ClusterStatus, Event, RegistryError, RegistryMethod,
+    RegistryReply, Request,
 };
+use crate::ring::RingInfo;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 use xpdl_repo::RetryPolicy;
 
@@ -59,6 +60,11 @@ impl ClientError {
         matches!(self, ClientError::Registry(e) if e.code == codes::UNKNOWN_NODE)
     }
 }
+
+/// What [`RegistryClient::nodes`] returns: the live routing table, the
+/// last announced model version (if any), and the shard ring computed
+/// over the table (if the registry is ring-enabled).
+pub type NodesView = (Vec<crate::protocol::NodeEntry>, Option<String>, Option<RingInfo>);
 
 /// A blocking one-connection-per-call registry RPC client with hard
 /// connect and read timeouts. Registry calls are rare (heartbeats,
@@ -139,11 +145,20 @@ impl RegistryClient {
         resp.result.map_err(ClientError::Registry)
     }
 
-    /// Fetch the live routing table.
-    pub fn nodes(&self) -> Result<(Vec<crate::protocol::NodeEntry>, Option<String>), ClientError> {
+    /// Fetch the live routing table plus the shard ring over it.
+    pub fn nodes(&self) -> Result<NodesView, ClientError> {
         match self.call(RegistryMethod::Nodes)? {
-            RegistryReply::Nodes { nodes, version } => Ok((nodes, version)),
+            RegistryReply::Nodes { nodes, version, ring } => Ok((nodes, version, ring)),
             other => Err(ClientError::Malformed(format!("expected nodes reply, got {other:?}"))),
+        }
+    }
+
+    /// Fetch the full cluster status (routing table with lease
+    /// deadlines, ring, last version, uptime).
+    pub fn status(&self) -> Result<ClusterStatus, ClientError> {
+        match self.call(RegistryMethod::Status)? {
+            RegistryReply::Status(status) => Ok(status),
+            other => Err(ClientError::Malformed(format!("expected status reply, got {other:?}"))),
         }
     }
 
@@ -194,6 +209,9 @@ impl NodeConfig {
 pub type HealthFn = Arc<dyn Fn() -> NodeReport + Send + Sync>;
 /// Called with the announced version on every push invalidation.
 pub type InvalidateFn = Arc<dyn Fn(&str) + Send + Sync>;
+/// Called with the new shard ring whenever its epoch changes — from a
+/// `ring` push event or from the ring echoed on a lease grant/renewal.
+pub type RingFn = Arc<dyn Fn(&RingInfo) + Send + Sync>;
 
 /// The node-side membership loop: register, heartbeat, subscribe,
 /// self-heal. See the module docs for the state machine.
@@ -218,6 +236,19 @@ impl NodeAgent {
     /// Start the membership loop. Returns immediately; registration and
     /// subscription proceed (and retry) on background threads.
     pub fn start(cfg: NodeConfig, health: HealthFn, on_invalidate: InvalidateFn) -> NodeAgent {
+        NodeAgent::start_with_ring(cfg, health, on_invalidate, None)
+    }
+
+    /// [`start`](Self::start) plus a shard-ring callback. The callback
+    /// fires (deduplicated by ring epoch) from both channels a node can
+    /// learn the ring on: the lease echoed by register/heartbeat and
+    /// push `ring` events on the subscriber connection.
+    pub fn start_with_ring(
+        cfg: NodeConfig,
+        health: HealthFn,
+        on_invalidate: InvalidateFn,
+        on_ring: Option<RingFn>,
+    ) -> NodeAgent {
         let client = RegistryClient::with_timeouts(
             cfg.registry_addr.clone(),
             Duration::from_millis(500),
@@ -227,6 +258,10 @@ impl NodeAgent {
         );
         let stop = Arc::new(AtomicBool::new(false));
         let registered = Arc::new(AtomicBool::new(false));
+        // Shared across both loops: rings arrive on the heartbeat reply
+        // AND the subscribe stream, and the consumer contract is that
+        // `on_ring` never fires twice for the same epoch.
+        let last_ring = Arc::new(Mutex::new(None::<u64>));
         let mut threads = Vec::new();
 
         {
@@ -235,10 +270,22 @@ impl NodeAgent {
             let stop = Arc::clone(&stop);
             let registered = Arc::clone(&registered);
             let health = Arc::clone(&health);
+            let on_ring = on_ring.clone();
+            let last_ring = Arc::clone(&last_ring);
             threads.push(
                 std::thread::Builder::new()
                     .name(format!("xpdl-agent-hb-{}", cfg.node))
-                    .spawn(move || heartbeat_loop(&cfg, &client, &stop, &registered, &health))
+                    .spawn(move || {
+                        heartbeat_loop(
+                            &cfg,
+                            &client,
+                            &stop,
+                            &registered,
+                            &health,
+                            &on_ring,
+                            &last_ring,
+                        )
+                    })
                     .expect("spawn heartbeat loop"),
             );
         }
@@ -248,7 +295,9 @@ impl NodeAgent {
             threads.push(
                 std::thread::Builder::new()
                     .name(format!("xpdl-agent-sub-{}", cfg.node))
-                    .spawn(move || subscribe_loop(&cfg, &stop, &on_invalidate))
+                    .spawn(move || {
+                        subscribe_loop(&cfg, &stop, &on_invalidate, &on_ring, &last_ring)
+                    })
                     .expect("spawn subscribe loop"),
             );
         }
@@ -323,12 +372,30 @@ fn interruptible_sleep(stop: &AtomicBool, total: Duration) -> bool {
     !stop.load(Ordering::Acquire)
 }
 
+/// Fire `on_ring` iff the ring's epoch differs from the last one the
+/// agent delivered. The dedup state is shared between the heartbeat
+/// and subscribe loops (both can see the same ring — one via the
+/// lease reply, one via the push stream), and the callback runs under
+/// the lock so deliveries are also serialized: consumers never see
+/// the same epoch twice or two rings interleaved.
+fn notify_ring(on_ring: &Option<RingFn>, last: &Mutex<Option<u64>>, ring: &RingInfo) {
+    if let Some(cb) = on_ring {
+        let mut last = last.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        if *last != Some(ring.epoch) {
+            *last = Some(ring.epoch);
+            cb(ring);
+        }
+    }
+}
+
 fn heartbeat_loop(
     cfg: &NodeConfig,
     client: &RegistryClient,
     stop: &AtomicBool,
     registered: &AtomicBool,
     health: &HealthFn,
+    on_ring: &Option<RingFn>,
+    last_ring: &Mutex<Option<u64>>,
 ) {
     let interval = (cfg.ttl / 3).max(Duration::from_millis(10));
     let mut attempt: u32 = 0;
@@ -344,9 +411,12 @@ fn heartbeat_loop(
                 ttl_ms: cfg.ttl.as_millis() as u64,
             });
             match res {
-                Ok(_) => {
+                Ok(reply) => {
                     registered.store(true, Ordering::Release);
                     attempt = 0;
+                    if let RegistryReply::Lease { ring: Some(ring), .. } = &reply {
+                        notify_ring(on_ring, last_ring, ring);
+                    }
                 }
                 Err(_) => {
                     // Registry down: back off (bounded, jittered) and try
@@ -370,17 +440,29 @@ fn heartbeat_loop(
             fingerprint: report.fingerprint.clone(),
             inflight: report.inflight,
         });
-        if let Err(e) = res {
-            // Lease gone (S503) or registry unreachable: next iteration
-            // re-registers. Re-registering is always safe (idempotent,
-            // generation-bumping), so both cases take the same path.
-            let _ = e;
-            registered.store(false, Ordering::Release);
+        match res {
+            Ok(RegistryReply::Lease { ring: Some(ring), .. }) => {
+                notify_ring(on_ring, last_ring, &ring);
+            }
+            Ok(_) => {}
+            Err(e) => {
+                // Lease gone (S503) or registry unreachable: next iteration
+                // re-registers. Re-registering is always safe (idempotent,
+                // generation-bumping), so both cases take the same path.
+                let _ = e;
+                registered.store(false, Ordering::Release);
+            }
         }
     }
 }
 
-fn subscribe_loop(cfg: &NodeConfig, stop: &AtomicBool, on_invalidate: &InvalidateFn) {
+fn subscribe_loop(
+    cfg: &NodeConfig,
+    stop: &AtomicBool,
+    on_invalidate: &InvalidateFn,
+    on_ring: &Option<RingFn>,
+    last_ring: &Mutex<Option<u64>>,
+) {
     let mut last_version: Option<String> = None;
     let mut attempt: u32 = 0;
     'reconnect: while !stop.load(Ordering::Acquire) {
@@ -448,6 +530,9 @@ fn subscribe_loop(cfg: &NodeConfig, stop: &AtomicBool, on_invalidate: &Invalidat
                                 last_version = Some(version.clone());
                                 on_invalidate(&version);
                             }
+                        }
+                        Ok(Some(Event::Ring { ring })) => {
+                            notify_ring(on_ring, last_ring, &ring);
                         }
                         Ok(None) => {
                             // The subscribe ack. If a version was announced
@@ -524,7 +609,7 @@ mod tests {
         );
         let client = RegistryClient::new(addr.clone());
         assert!(wait_until(Duration::from_secs(5), || {
-            client.nodes().map(|(n, _)| n.len() == 1).unwrap_or(false)
+            client.nodes().map(|(n, _, _)| n.len() == 1).unwrap_or(false)
         }));
         // Push an invalidation through the subscriber connection.
         assert!(wait_until(Duration::from_secs(5), || {
@@ -556,16 +641,64 @@ mod tests {
         let server2 = server2.unwrap();
         assert!(
             wait_until(Duration::from_secs(10), || {
-                client.nodes().map(|(n, _)| n.len() == 1).unwrap_or(false)
+                client.nodes().map(|(n, _, _)| n.len() == 1).unwrap_or(false)
             }),
             "agent did not re-register after registry restart"
         );
         agent.shutdown();
         assert!(wait_until(Duration::from_secs(5), || {
-            client.nodes().map(|(n, _)| n.is_empty()).unwrap_or(false)
+            client.nodes().map(|(n, _, _)| n.is_empty()).unwrap_or(false)
         }));
         server2.shutdown();
         server2.join();
+    }
+
+    #[test]
+    fn agent_sees_ring_changes_from_lease_and_push() {
+        let server = test_server(20);
+        let addr = server.local_addr().to_string();
+        let mut cfg = NodeConfig::new(addr.clone(), "r1", "127.0.0.1:7003");
+        cfg.ttl = Duration::from_millis(200);
+        let rings: Arc<parking_lot::Mutex<Vec<crate::ring::RingInfo>>> =
+            Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let sink = Arc::clone(&rings);
+        let agent = NodeAgent::start_with_ring(
+            cfg,
+            Arc::new(NodeReport::default),
+            Arc::new(|_| {}),
+            Some(Arc::new(move |ring: &crate::ring::RingInfo| {
+                sink.lock().push(ring.clone());
+            })),
+        );
+        // Registration itself produces the first ring (just this node).
+        assert!(wait_until(Duration::from_secs(5), || !rings.lock().is_empty()));
+        assert_eq!(rings.lock()[0].nodes, vec!["r1".to_string()]);
+        // A second member joins out-of-band: the agent must learn the new
+        // ring (via push event or the next heartbeat's lease echo).
+        let client = RegistryClient::new(addr);
+        client
+            .call(RegistryMethod::Register {
+                node: "r2".into(),
+                addr: "127.0.0.1:7004".into(),
+                epoch: 0,
+                fingerprint: "f".into(),
+                inflight: 0,
+                ttl_ms: 60_000,
+            })
+            .unwrap();
+        assert!(wait_until(Duration::from_secs(5), || {
+            rings.lock().last().map(|r| r.nodes.len() == 2).unwrap_or(false)
+        }));
+        // Epoch-deduplicated: every delivered ring differs from its
+        // predecessor.
+        let seen = rings.lock();
+        for pair in seen.windows(2) {
+            assert_ne!(pair[0].epoch, pair[1].epoch);
+        }
+        drop(seen);
+        agent.shutdown();
+        server.shutdown();
+        server.join();
     }
 
     #[test]
@@ -581,13 +714,13 @@ mod tests {
         );
         let client = RegistryClient::new(addr);
         assert!(wait_until(Duration::from_secs(5), || {
-            client.nodes().map(|(n, _)| n.len() == 1).unwrap_or(false)
+            client.nodes().map(|(n, _, _)| n.len() == 1).unwrap_or(false)
         }));
         // abort() = SIGKILL semantics: no deregister. The lease must die
         // by TTL, within 2×TTL of the abort.
         agent.abort();
         let gone = wait_until(Duration::from_millis(300), || {
-            client.nodes().map(|(n, _)| n.is_empty()).unwrap_or(false)
+            client.nodes().map(|(n, _, _)| n.is_empty()).unwrap_or(false)
         });
         assert!(gone, "lease outlived 2x ttl after abort");
         server.shutdown();

@@ -25,12 +25,14 @@
 pub mod client;
 pub mod lease;
 pub mod protocol;
+pub mod ring;
 pub mod server;
 
-pub use client::{ClientError, HealthFn, InvalidateFn, NodeAgent, NodeConfig, RegistryClient};
+pub use client::{ClientError, HealthFn, InvalidateFn, NodeAgent, NodeConfig, RegistryClient, RingFn};
 pub use lease::{HeartbeatOutcome, Lease, LeaseTable, NodeReport};
 pub use protocol::{
-    parse_event, parse_request, parse_response, Event, NodeEntry, RegistryError, RegistryMethod,
-    RegistryReply, Request, Response, PROTOCOL_VERSION,
+    parse_event, parse_request, parse_response, ClusterStatus, Event, NodeEntry, RegistryError,
+    RegistryMethod, RegistryReply, Request, Response, PROTOCOL_VERSION,
 };
+pub use ring::{fnv1a, parse_epoch_hex, HashRing, RingInfo, DEFAULT_REPLICATION, DEFAULT_VNODES};
 pub use server::{RegistryOptions, RegistryServer, RegistryState, RegistryStats};

@@ -32,6 +32,7 @@
 //! assert_eq!(parse_request(&req.to_json()).unwrap(), req);
 //! ```
 
+use crate::ring::{parse_epoch_hex, RingInfo};
 use std::fmt;
 use xpdl_core::diag::json::{self, JsonValue};
 
@@ -158,6 +159,9 @@ pub enum RegistryMethod {
     },
     /// Registry statistics.
     Stats,
+    /// Full cluster status: routing table with lease deadlines, the
+    /// current shard ring, last announced version, uptime.
+    Status,
 }
 
 impl RegistryMethod {
@@ -172,6 +176,7 @@ impl RegistryMethod {
             RegistryMethod::Announce { .. } => "announce",
             RegistryMethod::Subscribe { .. } => "subscribe",
             RegistryMethod::Stats => "stats",
+            RegistryMethod::Status => "status",
         }
     }
 }
@@ -193,6 +198,22 @@ pub struct NodeEntry {
     pub generation: u64,
     /// Milliseconds since the lease was last renewed.
     pub age_ms: u64,
+    /// The lease's granted TTL in milliseconds — `ttl_ms - age_ms` is
+    /// the time left until the sweeper reaps it.
+    pub ttl_ms: u64,
+}
+
+/// The `status` reply body: the operator's one-call cluster view.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterStatus {
+    /// Live leases in node-id order (with deadlines via `ttl_ms`).
+    pub nodes: Vec<NodeEntry>,
+    /// The shard ring over that membership (`None` when empty).
+    pub ring: Option<RingInfo>,
+    /// The most recently announced model version, if any.
+    pub version: Option<String>,
+    /// Milliseconds since the registry started.
+    pub uptime_ms: u64,
 }
 
 /// The success payload of a registry response, tagged by `kind`.
@@ -209,6 +230,9 @@ pub enum RegistryReply {
         /// The most recently announced model version, if any — lets a
         /// late-joining node catch up without waiting for a push.
         version: Option<String>,
+        /// The current shard ring — lets the node recompute its shard
+        /// set on every lease grant/renewal without a second round trip.
+        ring: Option<RingInfo>,
     },
     /// `deregister` result.
     Deregistered {
@@ -221,6 +245,9 @@ pub enum RegistryReply {
         nodes: Vec<NodeEntry>,
         /// The most recently announced model version, if any.
         version: Option<String>,
+        /// The shard ring over that membership, so clients route
+        /// shard-aware from the table they already fetch.
+        ring: Option<RingInfo>,
     },
     /// `announce` result.
     Announced {
@@ -247,6 +274,8 @@ pub enum RegistryReply {
         /// Milliseconds since the registry started.
         uptime_ms: u64,
     },
+    /// `status` result.
+    Status(ClusterStatus),
 }
 
 /// One registry response: echoed id + reply or structured error.
@@ -278,6 +307,12 @@ pub enum Event {
         /// The announced version label.
         version: String,
     },
+    /// Cluster membership changed: this is the new shard ring. Every
+    /// subscribed node recomputes its shard set and starts a rebalance.
+    Ring {
+        /// The ring over the new membership.
+        ring: RingInfo,
+    },
 }
 
 // ---- serialization ----
@@ -287,6 +322,52 @@ fn push_opt_str(out: &mut String, v: &Option<String>) {
         Some(s) => json::escape_into(out, s),
         None => out.push_str("null"),
     }
+}
+
+/// Ring epochs are 64-bit hashes, but wire numbers are capped at 2^53 —
+/// the epoch travels as a 16-digit hex string.
+fn push_ring(out: &mut String, ring: &RingInfo) {
+    out.push_str("{\"epoch\":");
+    json::escape_into(out, &ring.epoch_hex());
+    out.push_str(&format!(",\"replication\":{},\"vnodes\":{},\"nodes\":[", ring.replication, ring.vnodes));
+    for (i, n) in ring.nodes.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        json::escape_into(out, n);
+    }
+    out.push_str("]}");
+}
+
+fn push_opt_ring(out: &mut String, ring: &Option<RingInfo>) {
+    match ring {
+        Some(r) => push_ring(out, r),
+        None => out.push_str("null"),
+    }
+}
+
+fn push_node_entry(s: &mut String, n: &NodeEntry) {
+    s.push_str("{\"node\":");
+    json::escape_into(s, &n.node);
+    s.push_str(",\"addr\":");
+    json::escape_into(s, &n.addr);
+    s.push_str(&format!(",\"epoch\":{},\"fingerprint\":", n.epoch));
+    json::escape_into(s, &n.fingerprint);
+    s.push_str(&format!(
+        ",\"inflight\":{},\"generation\":{},\"age_ms\":{},\"ttl_ms\":{}}}",
+        n.inflight, n.generation, n.age_ms, n.ttl_ms
+    ));
+}
+
+fn push_node_entries(s: &mut String, nodes: &[NodeEntry]) {
+    s.push('[');
+    for (i, n) in nodes.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        push_node_entry(s, n);
+    }
+    s.push(']');
 }
 
 impl Request {
@@ -317,7 +398,10 @@ impl Request {
                 p.push_str(&format!(":{v}"));
             };
             match &self.method {
-                RegistryMethod::Ping | RegistryMethod::Nodes | RegistryMethod::Stats => {}
+                RegistryMethod::Ping
+                | RegistryMethod::Nodes
+                | RegistryMethod::Stats
+                | RegistryMethod::Status => {}
                 RegistryMethod::Register { node, addr, epoch, fingerprint, inflight, ttl_ms } => {
                     str_field(p, &mut first, "node", node);
                     str_field(p, &mut first, "addr", addr);
@@ -356,34 +440,24 @@ impl RegistryReply {
         s.push_str("{\"kind\":");
         match self {
             RegistryReply::Pong => s.push_str("\"pong\""),
-            RegistryReply::Lease { generation, ttl_ms, version } => {
+            RegistryReply::Lease { generation, ttl_ms, version, ring } => {
                 s.push_str(&format!(
                     "\"lease\",\"generation\":{generation},\"ttl_ms\":{ttl_ms},\"version\":"
                 ));
                 push_opt_str(&mut s, version);
+                s.push_str(",\"ring\":");
+                push_opt_ring(&mut s, ring);
             }
             RegistryReply::Deregistered { removed } => {
                 s.push_str(&format!("\"deregistered\",\"removed\":{removed}"))
             }
-            RegistryReply::Nodes { nodes, version } => {
-                s.push_str("\"nodes\",\"nodes\":[");
-                for (i, n) in nodes.iter().enumerate() {
-                    if i > 0 {
-                        s.push(',');
-                    }
-                    s.push_str("{\"node\":");
-                    json::escape_into(&mut s, &n.node);
-                    s.push_str(",\"addr\":");
-                    json::escape_into(&mut s, &n.addr);
-                    s.push_str(&format!(",\"epoch\":{},\"fingerprint\":", n.epoch));
-                    json::escape_into(&mut s, &n.fingerprint);
-                    s.push_str(&format!(
-                        ",\"inflight\":{},\"generation\":{},\"age_ms\":{}}}",
-                        n.inflight, n.generation, n.age_ms
-                    ));
-                }
-                s.push_str("],\"version\":");
+            RegistryReply::Nodes { nodes, version, ring } => {
+                s.push_str("\"nodes\",\"nodes\":");
+                push_node_entries(&mut s, nodes);
+                s.push_str(",\"version\":");
                 push_opt_str(&mut s, version);
+                s.push_str(",\"ring\":");
+                push_opt_ring(&mut s, ring);
             }
             RegistryReply::Announced { subscribers } => {
                 s.push_str(&format!("\"announced\",\"subscribers\":{subscribers}"))
@@ -404,6 +478,15 @@ impl RegistryReply {
                  \"heartbeats\":{heartbeats},\"expirations\":{expirations},\
                  \"announcements\":{announcements},\"uptime_ms\":{uptime_ms}"
             )),
+            RegistryReply::Status(status) => {
+                s.push_str("\"status\",\"nodes\":");
+                push_node_entries(&mut s, &status.nodes);
+                s.push_str(",\"ring\":");
+                push_opt_ring(&mut s, &status.ring);
+                s.push_str(",\"version\":");
+                push_opt_str(&mut s, &status.version);
+                s.push_str(&format!(",\"uptime_ms\":{}", status.uptime_ms));
+            }
         }
         s.push('}');
         s
@@ -446,6 +529,15 @@ impl Event {
                 s.push_str("}}");
                 s
             }
+            Event::Ring { ring } => {
+                let mut s = String::with_capacity(128);
+                s.push_str(&format!(
+                    "{{\"v\":{PROTOCOL_VERSION},\"event\":{{\"kind\":\"ring\",\"ring\":"
+                ));
+                push_ring(&mut s, ring);
+                s.push_str("}}");
+                s
+            }
         }
     }
 }
@@ -473,6 +565,34 @@ fn get_u64(obj: &Obj, key: &str) -> Result<u64, RegistryError> {
 
 fn opt_str(obj: &Obj, key: &str) -> Option<String> {
     json::get(obj, key).and_then(JsonValue::as_str).map(str::to_string)
+}
+
+/// Parse an optional `"ring"` object (absent or `null` → `None`).
+fn parse_opt_ring(obj: &Obj, key: &str) -> Result<Option<RingInfo>, String> {
+    let Some(v) = json::get(obj, key) else {
+        return Ok(None);
+    };
+    if matches!(v, JsonValue::Null) {
+        return Ok(None);
+    }
+    let r = v.as_object().ok_or(format!("{key:?} is not an object"))?;
+    parse_ring_obj(r).map(Some)
+}
+
+fn parse_ring_obj(r: &Obj) -> Result<RingInfo, String> {
+    let epoch_hex = opt_str(r, "epoch").ok_or("ring missing epoch")?;
+    let epoch = parse_epoch_hex(&epoch_hex).ok_or("ring epoch is not 16-digit hex")?;
+    let num = |k: &str| -> Result<u64, String> {
+        json::get(r, k)
+            .and_then(JsonValue::as_number)
+            .map(|n| n as u64)
+            .ok_or(format!("ring missing number {k:?}"))
+    };
+    let mut nodes = Vec::new();
+    for v in json::get(r, "nodes").and_then(JsonValue::as_array).ok_or("ring missing nodes")? {
+        nodes.push(v.as_str().ok_or("ring node is not a string")?.to_string());
+    }
+    Ok(RingInfo { epoch, replication: num("replication")?, vnodes: num("vnodes")?, nodes })
 }
 
 /// Parse one request line. On error, the recovered correlation id (if
@@ -528,6 +648,7 @@ pub fn parse_request(line: &str) -> Result<Request, (Option<u64>, RegistryError)
             "announce" => RegistryMethod::Announce { version: get_str(params, "version")? },
             "subscribe" => RegistryMethod::Subscribe { node: get_str(params, "node")? },
             "stats" => RegistryMethod::Stats,
+            "status" => RegistryMethod::Status,
             other => {
                 return Err(RegistryError::new(
                     codes::UNKNOWN_METHOD,
@@ -554,37 +675,18 @@ fn parse_reply(obj: &Obj) -> Result<RegistryReply, String> {
             generation: int("generation")?,
             ttl_ms: int("ttl_ms")?,
             version: opt_str(obj, "version"),
+            ring: parse_opt_ring(obj, "ring")?,
         },
         "deregistered" => RegistryReply::Deregistered {
             removed: json::get(obj, "removed")
                 .and_then(JsonValue::as_bool)
                 .ok_or("missing removed")?,
         },
-        "nodes" => {
-            let mut nodes = Vec::new();
-            for v in json::get(obj, "nodes")
-                .and_then(JsonValue::as_array)
-                .ok_or("missing nodes array")?
-            {
-                let n = v.as_object().ok_or("node entry is not an object")?;
-                let nint = |k: &str| -> Result<u64, String> {
-                    json::get(n, k)
-                        .and_then(JsonValue::as_number)
-                        .map(|x| x as u64)
-                        .ok_or(format!("node entry missing {k:?}"))
-                };
-                nodes.push(NodeEntry {
-                    node: opt_str(n, "node").ok_or("node entry missing node")?,
-                    addr: opt_str(n, "addr").ok_or("node entry missing addr")?,
-                    epoch: nint("epoch")?,
-                    fingerprint: opt_str(n, "fingerprint").ok_or("node entry missing fingerprint")?,
-                    inflight: nint("inflight")?,
-                    generation: nint("generation")?,
-                    age_ms: nint("age_ms")?,
-                });
-            }
-            RegistryReply::Nodes { nodes, version: opt_str(obj, "version") }
-        }
+        "nodes" => RegistryReply::Nodes {
+            nodes: parse_node_entries(obj)?,
+            version: opt_str(obj, "version"),
+            ring: parse_opt_ring(obj, "ring")?,
+        },
         "announced" => RegistryReply::Announced { subscribers: int("subscribers")? },
         "subscribed" => RegistryReply::Subscribed { version: opt_str(obj, "version") },
         "stats" => RegistryReply::Stats {
@@ -595,8 +697,38 @@ fn parse_reply(obj: &Obj) -> Result<RegistryReply, String> {
             announcements: int("announcements")?,
             uptime_ms: int("uptime_ms")?,
         },
+        "status" => RegistryReply::Status(ClusterStatus {
+            nodes: parse_node_entries(obj)?,
+            ring: parse_opt_ring(obj, "ring")?,
+            version: opt_str(obj, "version"),
+            uptime_ms: int("uptime_ms")?,
+        }),
         other => return Err(format!("unknown reply kind {other:?}")),
     })
+}
+
+fn parse_node_entries(obj: &Obj) -> Result<Vec<NodeEntry>, String> {
+    let mut nodes = Vec::new();
+    for v in json::get(obj, "nodes").and_then(JsonValue::as_array).ok_or("missing nodes array")? {
+        let n = v.as_object().ok_or("node entry is not an object")?;
+        let nint = |k: &str| -> Result<u64, String> {
+            json::get(n, k)
+                .and_then(JsonValue::as_number)
+                .map(|x| x as u64)
+                .ok_or(format!("node entry missing {k:?}"))
+        };
+        nodes.push(NodeEntry {
+            node: opt_str(n, "node").ok_or("node entry missing node")?,
+            addr: opt_str(n, "addr").ok_or("node entry missing addr")?,
+            epoch: nint("epoch")?,
+            fingerprint: opt_str(n, "fingerprint").ok_or("node entry missing fingerprint")?,
+            inflight: nint("inflight")?,
+            generation: nint("generation")?,
+            age_ms: nint("age_ms")?,
+            ttl_ms: nint("ttl_ms")?,
+        });
+    }
+    Ok(nodes)
 }
 
 /// Parse one response line (the client side of the wire).
@@ -641,6 +773,12 @@ pub fn parse_event(line: &str) -> Result<Option<Event>, String> {
         Some("invalidate") => Ok(Some(Event::Invalidate {
             version: opt_str(ev, "version").ok_or("invalidate event missing version")?,
         })),
+        Some("ring") => {
+            let r = json::get(ev, "ring")
+                .and_then(JsonValue::as_object)
+                .ok_or("ring event missing ring object")?;
+            Ok(Some(Event::Ring { ring: parse_ring_obj(r)? }))
+        }
         Some(other) => Err(format!("unknown event kind {other:?}")),
         None => Err("event has no kind tag".to_string()),
     }
@@ -673,31 +811,47 @@ mod tests {
             RegistryMethod::Deregister { node: "n1".into() },
             RegistryMethod::Announce { version: "fleet-v12".into() },
             RegistryMethod::Subscribe { node: "n2".into() },
+            RegistryMethod::Status,
         ] {
             let req = Request { id: 7, method };
             assert_eq!(parse_request(&req.to_json()).unwrap(), req);
         }
     }
 
+    fn sample_entry() -> NodeEntry {
+        NodeEntry {
+            node: "n1".into(),
+            addr: "127.0.0.1:7001".into(),
+            epoch: 9,
+            fingerprint: "beef".into(),
+            inflight: 1,
+            generation: 2,
+            age_ms: 120,
+            ttl_ms: 1500,
+        }
+    }
+
+    fn sample_ring() -> RingInfo {
+        RingInfo::compute(&["n1".to_string(), "n2".to_string()], 2, 32)
+    }
+
     #[test]
     fn response_roundtrip() {
         for reply in [
             RegistryReply::Pong,
-            RegistryReply::Lease { generation: 3, ttl_ms: 1500, version: None },
-            RegistryReply::Lease { generation: 1, ttl_ms: 500, version: Some("v2".into()) },
+            RegistryReply::Lease { generation: 3, ttl_ms: 1500, version: None, ring: None },
+            RegistryReply::Lease {
+                generation: 1,
+                ttl_ms: 500,
+                version: Some("v2".into()),
+                ring: Some(sample_ring()),
+            },
             RegistryReply::Deregistered { removed: true },
-            RegistryReply::Nodes { nodes: vec![], version: None },
+            RegistryReply::Nodes { nodes: vec![], version: None, ring: None },
             RegistryReply::Nodes {
-                nodes: vec![NodeEntry {
-                    node: "n1".into(),
-                    addr: "127.0.0.1:7001".into(),
-                    epoch: 9,
-                    fingerprint: "beef".into(),
-                    inflight: 1,
-                    generation: 2,
-                    age_ms: 120,
-                }],
+                nodes: vec![sample_entry()],
                 version: Some("fleet-v12".into()),
+                ring: Some(sample_ring()),
             },
             RegistryReply::Announced { subscribers: 3 },
             RegistryReply::Subscribed { version: Some("v1".into()) },
@@ -709,6 +863,12 @@ mod tests {
                 announcements: 1,
                 uptime_ms: 9000,
             },
+            RegistryReply::Status(ClusterStatus {
+                nodes: vec![sample_entry()],
+                ring: Some(sample_ring()),
+                version: None,
+                uptime_ms: 42,
+            }),
         ] {
             let resp = Response::ok(9, reply);
             assert_eq!(parse_response(&resp.to_json()).unwrap(), resp);
@@ -721,9 +881,25 @@ mod tests {
     fn event_roundtrip_and_response_probe() {
         let ev = Event::Invalidate { version: "fleet \"v12\"".into() };
         assert_eq!(parse_event(&ev.to_json()).unwrap(), Some(ev));
+        let ev = Event::Ring { ring: sample_ring() };
+        assert_eq!(parse_event(&ev.to_json()).unwrap(), Some(ev));
         // A response line probes as "not an event", never as an error.
         let resp = Response::ok(1, RegistryReply::Pong).to_json();
         assert_eq!(parse_event(&resp).unwrap(), None);
+    }
+
+    #[test]
+    fn ring_epoch_survives_the_wire_unclamped() {
+        // A full 64-bit epoch (> 2^53) must round-trip exactly — this is
+        // why the epoch travels as hex, not a JSON number.
+        let mut ring = sample_ring();
+        ring.epoch = u64::MAX - 3;
+        let resp =
+            Response::ok(1, RegistryReply::Lease { generation: 1, ttl_ms: 100, version: None, ring: Some(ring.clone()) });
+        match parse_response(&resp.to_json()).unwrap().result.unwrap() {
+            RegistryReply::Lease { ring: Some(parsed), .. } => assert_eq!(parsed.epoch, u64::MAX - 3),
+            other => panic!("unexpected reply {other:?}"),
+        }
     }
 
     #[test]

@@ -18,9 +18,10 @@
 
 use crate::lease::{HeartbeatOutcome, LeaseTable, NodeReport};
 use crate::protocol::{
-    codes, parse_request, Event, NodeEntry, RegistryError, RegistryMethod, RegistryReply, Request,
-    Response,
+    codes, parse_request, ClusterStatus, Event, NodeEntry, RegistryError, RegistryMethod,
+    RegistryReply, Request, Response,
 };
+use crate::ring::{RingInfo, DEFAULT_REPLICATION, DEFAULT_VNODES};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -40,6 +41,11 @@ pub struct RegistryOptions {
     pub max_ttl: Duration,
     /// Longest accepted request line in bytes (`S505` beyond).
     pub max_line_bytes: usize,
+    /// Replication factor of the shard ring computed over the live
+    /// membership: every model key is owned by this many nodes.
+    pub replication: usize,
+    /// Virtual points per node in the shard ring.
+    pub vnodes: usize,
 }
 
 impl Default for RegistryOptions {
@@ -49,6 +55,8 @@ impl Default for RegistryOptions {
             min_ttl: Duration::from_millis(50),
             max_ttl: Duration::from_secs(60),
             max_line_bytes: 64 * 1024,
+            replication: DEFAULT_REPLICATION,
+            vnodes: DEFAULT_VNODES,
         }
     }
 }
@@ -73,6 +81,8 @@ pub struct RegistryStats {
     pub connections: Arc<Counter>,
     /// Requests answered with a protocol-level error.
     pub errors: Arc<Counter>,
+    /// Shard-ring epoch changes (membership edits that moved ownership).
+    pub ring_changes: Arc<Counter>,
     /// Live leases right now.
     pub nodes: Arc<Gauge>,
 }
@@ -96,6 +106,7 @@ impl RegistryStats {
             pushes: reg.counter("registry.pushes"),
             connections: reg.counter("registry.connections"),
             errors: reg.counter("registry.errors"),
+            ring_changes: reg.counter("registry.ring_changes"),
             nodes: reg.gauge("registry.nodes"),
         }
     }
@@ -110,6 +121,8 @@ pub struct RegistryState {
     table: parking_lot::Mutex<LeaseTable>,
     version: parking_lot::Mutex<Option<String>>,
     subscribers: parking_lot::Mutex<Vec<(String, mpsc::Sender<String>)>>,
+    /// Epoch of the last ring published (None before the first member).
+    ring_epoch: parking_lot::Mutex<Option<u64>>,
     stats: RegistryStats,
     started: Instant,
     options: RegistryOptions,
@@ -128,6 +141,7 @@ impl RegistryState {
             table: parking_lot::Mutex::new(LeaseTable::new()),
             version: parking_lot::Mutex::new(None),
             subscribers: parking_lot::Mutex::new(Vec::new()),
+            ring_epoch: parking_lot::Mutex::new(None),
             stats: RegistryStats::new(),
             started: Instant::now(),
             options,
@@ -157,14 +171,20 @@ impl RegistryState {
                     .clamp(self.options.min_ttl, self.options.max_ttl);
                 let report =
                     NodeReport { epoch: *epoch, fingerprint: fingerprint.clone(), inflight: *inflight };
-                let mut table = self.table.lock();
-                let generation = table.register(node, addr, &report, ttl, now);
-                self.stats.registers.inc();
-                self.stats.nodes.set(table.live(now).len() as u64);
+                let (generation, members) = {
+                    let mut table = self.table.lock();
+                    let generation = table.register(node, addr, &report, ttl, now);
+                    self.stats.registers.inc();
+                    self.stats.nodes.set(table.live(now).len() as u64);
+                    (generation, Self::live_ids(&table, now))
+                };
+                let ring = self.ring_of(members);
+                self.publish_ring(&ring);
                 Ok(RegistryReply::Lease {
                     generation,
                     ttl_ms: ttl.as_millis() as u64,
                     version: self.version.lock().clone(),
+                    ring,
                 })
             }
             RegistryMethod::Heartbeat { node, epoch, fingerprint, inflight } => {
@@ -178,10 +198,13 @@ impl RegistryState {
                             .get(node)
                             .map(|l| l.ttl.as_millis() as u64)
                             .unwrap_or(0);
+                        let members = Self::live_ids(&table, now);
+                        drop(table);
                         Ok(RegistryReply::Lease {
                             generation,
                             ttl_ms,
                             version: self.version.lock().clone(),
+                            ring: self.ring_of(members),
                         })
                     }
                     HeartbeatOutcome::Unknown => {
@@ -189,35 +212,38 @@ impl RegistryState {
                         // reaped by the heartbeat itself.
                         self.stats.expirations.inc();
                         self.stats.nodes.set(table.live(now).len() as u64);
+                        let members = Self::live_ids(&table, now);
+                        drop(table);
+                        self.publish_ring(&self.ring_of(members));
                         Err(RegistryError::unknown_node(node))
                     }
                 }
             }
             RegistryMethod::Deregister { node } => {
-                let mut table = self.table.lock();
-                let removed = table.deregister(node);
+                let (removed, members) = {
+                    let mut table = self.table.lock();
+                    let removed = table.deregister(node);
+                    if removed {
+                        self.stats.deregisters.inc();
+                    }
+                    self.stats.nodes.set(table.live(now).len() as u64);
+                    (removed, Self::live_ids(&table, now))
+                };
                 if removed {
-                    self.stats.deregisters.inc();
+                    self.publish_ring(&self.ring_of(members));
                 }
-                self.stats.nodes.set(table.live(now).len() as u64);
                 Ok(RegistryReply::Deregistered { removed })
             }
             RegistryMethod::Nodes => {
-                let table = self.table.lock();
-                let nodes = table
-                    .live(now)
-                    .into_iter()
-                    .map(|l| NodeEntry {
-                        node: l.node.clone(),
-                        addr: l.addr.clone(),
-                        epoch: l.epoch,
-                        fingerprint: l.fingerprint.clone(),
-                        inflight: l.inflight,
-                        generation: l.generation,
-                        age_ms: l.age_ms(now),
-                    })
-                    .collect();
-                Ok(RegistryReply::Nodes { nodes, version: self.version.lock().clone() })
+                let (nodes, members) = {
+                    let table = self.table.lock();
+                    (Self::entries(&table, now), Self::live_ids(&table, now))
+                };
+                Ok(RegistryReply::Nodes {
+                    nodes,
+                    version: self.version.lock().clone(),
+                    ring: self.ring_of(members),
+                })
             }
             RegistryMethod::Announce { version } => {
                 *self.version.lock() = Some(version.clone());
@@ -246,18 +272,96 @@ impl RegistryState {
                     uptime_ms: self.started.elapsed().as_millis() as u64,
                 })
             }
+            RegistryMethod::Status => {
+                let (nodes, members) = {
+                    let table = self.table.lock();
+                    (Self::entries(&table, now), Self::live_ids(&table, now))
+                };
+                Ok(RegistryReply::Status(ClusterStatus {
+                    nodes,
+                    ring: self.ring_of(members),
+                    version: self.version.lock().clone(),
+                    uptime_ms: self.started.elapsed().as_millis() as u64,
+                }))
+            }
+        }
+    }
+
+    fn live_ids(table: &LeaseTable, now: Instant) -> Vec<String> {
+        table.live(now).into_iter().map(|l| l.node.clone()).collect()
+    }
+
+    fn entries(table: &LeaseTable, now: Instant) -> Vec<NodeEntry> {
+        table
+            .live(now)
+            .into_iter()
+            .map(|l| NodeEntry {
+                node: l.node.clone(),
+                addr: l.addr.clone(),
+                epoch: l.epoch,
+                fingerprint: l.fingerprint.clone(),
+                inflight: l.inflight,
+                generation: l.generation,
+                age_ms: l.age_ms(now),
+                ttl_ms: l.ttl.as_millis() as u64,
+            })
+            .collect()
+    }
+
+    /// The ring over a member set (`None` for an empty fleet).
+    fn ring_of(&self, members: Vec<String>) -> Option<RingInfo> {
+        if members.is_empty() {
+            None
+        } else {
+            Some(RingInfo::compute(&members, self.options.replication, self.options.vnodes))
+        }
+    }
+
+    /// The current shard ring over the live membership.
+    pub fn current_ring(&self) -> Option<RingInfo> {
+        let now = Instant::now();
+        let members = Self::live_ids(&self.table.lock(), now);
+        self.ring_of(members)
+    }
+
+    /// Push a `ring` event to every subscriber iff the epoch moved since
+    /// the last publication. Callers must NOT hold the table lock (the
+    /// subscriber lock is always taken without it, same as `announce`).
+    fn publish_ring(&self, ring: &Option<RingInfo>) {
+        let epoch = ring.as_ref().map(|r| r.epoch);
+        {
+            let mut last = self.ring_epoch.lock();
+            if *last == epoch {
+                return;
+            }
+            *last = epoch;
+        }
+        self.stats.ring_changes.inc();
+        if let Some(ring) = ring {
+            let line = Event::Ring { ring: ring.clone() }.to_json();
+            let mut subs = self.subscribers.lock();
+            subs.retain(|(_, tx)| tx.send(line.clone()).is_ok());
+            self.stats.pushes.add(subs.len() as u64);
         }
     }
 
     /// One sweeper pass: expire stale leases at `now`. Returns the
-    /// expired node ids.
+    /// expired node ids. An expiry shrinks the membership, so the new
+    /// shard ring is pushed to subscribers — this is what starts the
+    /// self-healing rebalance after a SIGKILL.
     pub fn sweep(&self, now: Instant) -> Vec<String> {
-        let mut table = self.table.lock();
-        let dead = table.sweep(now);
+        let (dead, members) = {
+            let mut table = self.table.lock();
+            let dead = table.sweep(now);
+            if !dead.is_empty() {
+                self.stats.expirations.add(dead.len() as u64);
+            }
+            self.stats.nodes.set(table.live(now).len() as u64);
+            (dead, Self::live_ids(&table, now))
+        };
         if !dead.is_empty() {
-            self.stats.expirations.add(dead.len() as u64);
+            self.publish_ring(&self.ring_of(members));
         }
-        self.stats.nodes.set(table.live(now).len() as u64);
         dead
     }
 
@@ -658,6 +762,67 @@ mod tests {
             RegistryReply::Subscribed { version } => assert_eq!(version.as_deref(), Some("v7")),
             other => panic!("unexpected reply {other:?}"),
         }
+    }
+
+    #[test]
+    fn lease_and_status_carry_the_ring_and_membership_changes_push_it() {
+        let state = RegistryState::new(RegistryOptions::default());
+        let (tx, rx) = mpsc::channel::<String>();
+        state.dispatch(&RegistryMethod::Subscribe { node: "watcher".into() }, &tx).unwrap();
+        match register(&state, "n1", "a", 1000) {
+            RegistryReply::Lease { ring: Some(r), .. } => {
+                assert_eq!(r.nodes, vec!["n1".to_string()]);
+                assert_eq!(r.replication, DEFAULT_REPLICATION as u64);
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+        // First member → a ring event.
+        let line = rx.try_recv().unwrap();
+        assert!(matches!(
+            crate::protocol::parse_event(&line).unwrap(),
+            Some(Event::Ring { .. })
+        ));
+        register(&state, "n2", "b", 1000);
+        match crate::protocol::parse_event(&rx.try_recv().unwrap()).unwrap() {
+            Some(Event::Ring { ring }) => {
+                assert_eq!(ring.nodes, vec!["n1".to_string(), "n2".to_string()])
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
+        // Re-registering an existing member does not move the ring.
+        register(&state, "n2", "b", 1000);
+        assert!(rx.try_recv().is_err());
+        // Deregistration shrinks the membership → another push.
+        state.dispatch(&RegistryMethod::Deregister { node: "n2".into() }, &detached()).unwrap();
+        match crate::protocol::parse_event(&rx.try_recv().unwrap()).unwrap() {
+            Some(Event::Ring { ring }) => assert_eq!(ring.nodes, vec!["n1".to_string()]),
+            other => panic!("unexpected event {other:?}"),
+        }
+        // `status` reports the table with lease deadlines plus the ring.
+        match state.dispatch(&RegistryMethod::Status, &detached()).unwrap() {
+            RegistryReply::Status(st) => {
+                assert_eq!(st.nodes.len(), 1);
+                assert_eq!(st.nodes[0].ttl_ms, 1000);
+                assert_eq!(st.ring.unwrap().nodes, vec!["n1".to_string()]);
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sweep_expiry_publishes_the_new_ring() {
+        let state = RegistryState::new(RegistryOptions::default());
+        register(&state, "doomed", "a", 100);
+        register(&state, "survivor", "b", 60_000);
+        let (tx, rx) = mpsc::channel::<String>();
+        state.dispatch(&RegistryMethod::Subscribe { node: "watcher".into() }, &tx).unwrap();
+        let dead = state.sweep(Instant::now() + Duration::from_millis(200));
+        assert_eq!(dead, vec!["doomed".to_string()]);
+        match crate::protocol::parse_event(&rx.try_recv().unwrap()).unwrap() {
+            Some(Event::Ring { ring }) => assert_eq!(ring.nodes, vec!["survivor".to_string()]),
+            other => panic!("unexpected event {other:?}"),
+        }
+        assert_eq!(state.current_ring().unwrap().nodes, vec!["survivor".to_string()]);
     }
 
     #[test]

@@ -7,6 +7,10 @@
 //! 1. **Registry routing** — fetch the live node table from
 //!    `xpdl-registry` (cached up to
 //!    [`ClusterOptions::table_max_age`]), round-robin across nodes.
+//!    On sharded fleets, [`ClusterClient::call_for_key`] hashes the
+//!    model key on the same ring the registry published and tries the
+//!    key's owner replicas first, in ring order — a non-owner answers
+//!    `S511 NOT_OWNER`, which fails over like any other `S5xx`.
 //! 2. **Failover** — a connect/read timeout, broken connection, or any
 //!    `S5xx` reply (draining node, lease races) moves the request to
 //!    the next live node and forces a table refresh. Retries are
@@ -32,7 +36,7 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use xpdl_obs::{Counter, MetricsRegistry};
-use xpdl_registry::{NodeEntry, RegistryClient};
+use xpdl_registry::{HashRing, NodeEntry, RegistryClient};
 use xpdl_repo::RetryPolicy;
 
 /// Tuning knobs for [`ClusterClient`].
@@ -116,6 +120,7 @@ impl std::error::Error for ClusterError {}
 
 struct CachedTable {
     nodes: Vec<NodeEntry>,
+    ring: Option<HashRing>,
     fetched_at: Instant,
 }
 
@@ -177,12 +182,34 @@ impl ClusterClient {
 
     /// The current routing table (refreshing if stale), for inspection.
     pub fn nodes(&self) -> Vec<NodeEntry> {
-        self.routing_table(false)
+        self.routing_table(false).0
+    }
+
+    /// The shard ring the registry last published, if the fleet has one.
+    pub fn ring(&self) -> Option<HashRing> {
+        self.routing_table(false).1
     }
 
     /// Execute one method somewhere in the fleet. See the module docs
     /// for the exact ladder.
     pub fn call(&self, method: Method) -> Result<Routed, ClusterError> {
+        self.call_inner(method, None)
+    }
+
+    /// Execute one method against the owners of a sharded model key.
+    ///
+    /// The key is hashed on the registry's ring; its `R` owner replicas
+    /// are tried first in ring order, then every other node (a handoff
+    /// predecessor may still hold the key), then the normal degradation
+    /// ladder. The request carries the key so an owner answers from
+    /// that shard's snapshot and a non-owner replies `S511 NOT_OWNER`
+    /// (failover-able like any `S5xx`). Without a ring this behaves
+    /// like [`call`](Self::call) with the key attached.
+    pub fn call_for_key(&self, shard_key: &str, method: Method) -> Result<Routed, ClusterError> {
+        self.call_inner(method, Some(shard_key))
+    }
+
+    fn call_inner(&self, method: Method, shard_key: Option<&str>) -> Result<Routed, ClusterError> {
         self.requests.inc();
         let key = method.name();
         let rounds = self.options.retry.max_attempts.max(1);
@@ -190,15 +217,15 @@ impl ClusterClient {
         let mut last_detail = String::from("routing table is empty");
         let mut force_refresh = false;
         for round in 1..=rounds {
-            let nodes = self.routing_table(force_refresh);
+            let (nodes, ring) = self.routing_table(force_refresh);
             force_refresh = true; // any failure below invalidates routing
-            // One try per distinct node this round, starting after the
-            // last-used slot (round robin).
-            for _ in 0..nodes.len() {
-                let idx = self.cursor.fetch_add(1, Ordering::Relaxed) % nodes.len();
+            // One try per distinct node this round: the shard's owner
+            // replicas first (ring order), then the rest starting after
+            // the last-used slot (round robin).
+            for idx in self.node_order(&nodes, ring.as_ref(), shard_key) {
                 let node = &nodes[idx];
                 attempts += 1;
-                match self.call_node(&node.addr, &method) {
+                match self.call_node(&node.addr, &method, shard_key) {
                     Ok(reply) => {
                         return Ok(Routed { reply, route: Route::Node(node.addr.clone()), attempts })
                     }
@@ -223,7 +250,8 @@ impl ClusterClient {
         if let Some(engine) = &self.fallback {
             self.degraded.inc();
             let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-            let resp = engine.handle(&Request { id, method });
+            let resp =
+                engine.handle(&Request { id, method, shard_key: shard_key.map(str::to_string) });
             return match resp.result {
                 Ok(reply) => Ok(Routed { reply, route: Route::Fallback, attempts }),
                 Err(e) => Err(ClusterError::Serve(e)),
@@ -233,9 +261,37 @@ impl ClusterClient {
         Err(ClusterError::NoLiveNodes { detail: last_detail, attempts })
     }
 
-    /// Fetch (or reuse) the routing table. On registry failure the
-    /// last-known table keeps routing — rung 3 of the ladder.
-    fn routing_table(&self, force_refresh: bool) -> Vec<NodeEntry> {
+    /// Owner replicas first (ring order), then everyone else starting
+    /// after the round-robin cursor. Without a ring or a shard key this
+    /// degenerates to plain round robin.
+    fn node_order(&self, nodes: &[NodeEntry], ring: Option<&HashRing>, key: Option<&str>) -> Vec<usize> {
+        let mut order: Vec<usize> = Vec::with_capacity(nodes.len());
+        if let (Some(ring), Some(key)) = (ring, key) {
+            for owner in ring.replicas(key) {
+                if let Some(i) = nodes.iter().position(|n| n.node == owner) {
+                    if !order.contains(&i) {
+                        order.push(i);
+                    }
+                }
+            }
+        }
+        if !nodes.is_empty() {
+            let start = self.cursor.fetch_add(1, Ordering::Relaxed);
+            for k in 0..nodes.len() {
+                let i = (start.wrapping_add(k)) % nodes.len();
+                if !order.contains(&i) {
+                    order.push(i);
+                }
+            }
+        }
+        order
+    }
+
+    /// Fetch (or reuse) the routing table and its shard ring. On any
+    /// registry failure — unreachable, or reachable but erroring (e.g.
+    /// `S503` mid-rotation) — the last-known table keeps routing: one
+    /// failed refresh per call, then rung 3, never a retry spin.
+    fn routing_table(&self, force_refresh: bool) -> (Vec<NodeEntry>, Option<HashRing>) {
         {
             let cache = self.table.lock();
             if let Some(t) = cache.as_ref() {
@@ -243,26 +299,36 @@ impl ClusterClient {
                     && !t.nodes.is_empty()
                     && t.fetched_at.elapsed() <= self.options.table_max_age
                 {
-                    return t.nodes.clone();
+                    return (t.nodes.clone(), t.ring.clone());
                 }
             }
         }
         match self.registry.nodes() {
-            Ok((nodes, _version)) => {
+            Ok((nodes, _version, ring)) => {
                 self.refreshes.inc();
+                let ring = ring.map(|r| r.ring());
                 let mut cache = self.table.lock();
-                *cache = Some(CachedTable { nodes: nodes.clone(), fetched_at: Instant::now() });
-                nodes
+                *cache = Some(CachedTable {
+                    nodes: nodes.clone(),
+                    ring: ring.clone(),
+                    fetched_at: Instant::now(),
+                });
+                (nodes, ring)
             }
             Err(_) => {
-                // Registry down: route on whatever we knew last.
+                // Registry down or unhappy: route on whatever we knew last.
                 let cache = self.table.lock();
-                cache.as_ref().map(|t| t.nodes.clone()).unwrap_or_default()
+                cache.as_ref().map(|t| (t.nodes.clone(), t.ring.clone())).unwrap_or_default()
             }
         }
     }
 
-    fn call_node(&self, addr: &str, method: &Method) -> Result<Reply, NodeError> {
+    fn call_node(
+        &self,
+        addr: &str,
+        method: &Method,
+        shard_key: Option<&str>,
+    ) -> Result<Reply, NodeError> {
         let sockaddr = addr
             .to_socket_addrs()
             .map_err(|e| NodeError::Transport(format!("resolve: {e}")))?
@@ -276,7 +342,7 @@ impl ClusterClient {
             .and_then(|_| stream.set_nodelay(true))
             .map_err(|e| NodeError::Transport(format!("socket options: {e}")))?;
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        let req = Request { id, method: method.clone() };
+        let req = Request { id, method: method.clone(), shard_key: shard_key.map(str::to_string) };
         let mut write_half = stream
             .try_clone()
             .map_err(|e| NodeError::Transport(format!("clone: {e}")))?;
@@ -442,6 +508,121 @@ mod tests {
             Err(ClusterError::NoLiveNodes { .. }) => {}
             other => panic!("expected NoLiveNodes, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn stale_table_rung_survives_a_registry_that_errors_mid_rotation() {
+        // Partial registry outage: the registry stays reachable but
+        // answers every `nodes` after the first with S503 (e.g. it is
+        // mid-rotation and does not know our generation). The client
+        // must refresh once per call, fall back to the cached table,
+        // and keep routing — not spin against the registry.
+        use std::io::Write as _;
+        use std::net::TcpListener;
+        use xpdl_registry::{
+            protocol::codes as reg_codes, RegistryError, RegistryReply,
+            Response as RegistryResponse,
+        };
+
+        let node = start_node(fixed_engine(2));
+        let node_addr = node.local_addr().to_string();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let fake_addr = listener.local_addr().unwrap().to_string();
+        let served = Arc::new(AtomicUsize::new(0));
+        let served_in_thread = Arc::clone(&served);
+        let fake = std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                let Ok(stream) = stream else { break };
+                let mut reader = BufReader::new(stream.try_clone().unwrap());
+                let mut line = String::new();
+                if reader.read_line(&mut line).unwrap_or(0) == 0 {
+                    continue;
+                }
+                let n = served_in_thread.fetch_add(1, Ordering::SeqCst);
+                let resp = if n == 0 {
+                    RegistryResponse::ok(
+                        1,
+                        RegistryReply::Nodes {
+                            nodes: vec![NodeEntry {
+                                node: "a".into(),
+                                addr: node_addr.clone(),
+                                epoch: 0,
+                                fingerprint: "f".into(),
+                                inflight: 0,
+                                generation: 1,
+                                age_ms: 0,
+                                ttl_ms: 60_000,
+                            }],
+                            version: None,
+                            ring: None,
+                        },
+                    )
+                } else {
+                    RegistryResponse::err(
+                        1,
+                        RegistryError::new(reg_codes::UNKNOWN_NODE, "unknown generation"),
+                    )
+                };
+                let mut w = stream;
+                let _ = w.write_all(resp.to_json().as_bytes()).and_then(|_| w.write_all(b"\n"));
+                if n >= 8 {
+                    break; // runaway guard: a spinning client would get here
+                }
+            }
+        });
+
+        let client = ClusterClient::new(
+            fake_addr,
+            ClusterOptions {
+                table_max_age: Duration::ZERO, // every call wants a refresh
+                ..ClusterOptions::default()
+            },
+        );
+        // First call: real table fetched and cached.
+        let routed = client.call(Method::NumCores).unwrap();
+        assert_eq!(routed.reply, Reply::Count(2));
+        assert_eq!(routed.attempts, 1);
+        // Registry now answers S503. Each call refreshes exactly once,
+        // falls to the cached table, and still routes in one attempt.
+        for _ in 0..3 {
+            let routed = client.call(Method::NumCores).unwrap();
+            assert_eq!(routed.reply, Reply::Count(2));
+            assert_eq!(routed.attempts, 1);
+        }
+        // 1 good fetch + exactly one failed refresh per degraded call.
+        assert_eq!(served.load(Ordering::SeqCst), 4);
+        drop(client);
+        node.shutdown();
+        node.join();
+        drop(fake); // detach: the acceptor exits with the process
+    }
+
+    #[test]
+    fn shard_key_routes_to_ring_owners_first() {
+        let reg = registry();
+        let reg_addr = reg.local_addr().to_string();
+        let a = start_node(fixed_engine(2));
+        let b = start_node(fixed_engine(2));
+        register(&reg_addr, "a", &a.local_addr().to_string(), 60_000);
+        register(&reg_addr, "b", &b.local_addr().to_string(), 60_000);
+        let client = ClusterClient::new(reg_addr, ClusterOptions::default());
+        let ring = client.ring().expect("registry publishes a ring");
+        // R=2 over two nodes: both own every key, primary first. The
+        // client must hit the primary owner on attempt 1 every time,
+        // regardless of the round-robin cursor.
+        for key in ["edge", "hpc", "mobile", "rack-42"] {
+            let primary = ring.replicas(key)[0].to_string();
+            let expect = if primary == "a" { &a } else { &b };
+            let expect_addr = expect.local_addr().to_string();
+            for _ in 0..3 {
+                let routed = client.call_for_key(key, Method::NumCores).unwrap();
+                assert_eq!(routed.reply, Reply::Count(2));
+                assert_eq!(routed.attempts, 1);
+                assert_eq!(routed.route, Route::Node(expect_addr.clone()));
+            }
+        }
+        reg.shutdown();
+        reg.join();
     }
 
     #[test]

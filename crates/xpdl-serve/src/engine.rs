@@ -10,6 +10,7 @@
 use crate::protocol::{
     codes, AccelInfo, Method, NodeInfo, Reply, Request, Response, ServeError, TransferInfo,
 };
+use crate::shard::ShardManager;
 use crate::snapshot::{fingerprint_model, ServeSnapshot, SnapshotRegistry};
 use crate::stats::ServeStats;
 use std::collections::BTreeMap;
@@ -111,6 +112,10 @@ pub struct Engine {
     /// Per-method handler-time histograms (`serve.method.<name>.time_us`),
     /// created lazily on a method's first request.
     method_hist: parking_lot::Mutex<BTreeMap<&'static str, Arc<Histogram>>>,
+    /// Shard state for sharded fleets (`None` on single-model nodes).
+    /// Requests carrying a shard key answer from the shard's snapshot
+    /// instead of the primary [`SnapshotRegistry`].
+    shards: parking_lot::Mutex<Option<Arc<ShardManager>>>,
 }
 
 impl Engine {
@@ -125,7 +130,19 @@ impl Engine {
             shutdown: AtomicBool::new(false),
             draining: AtomicBool::new(false),
             method_hist: parking_lot::Mutex::new(BTreeMap::new()),
+            shards: parking_lot::Mutex::new(None),
         })
+    }
+
+    /// Enable sharded serving: requests with a shard key now resolve
+    /// through `mgr`, and the `shards` method reports its state.
+    pub fn set_shard_manager(&self, mgr: Arc<ShardManager>) {
+        *self.shards.lock() = Some(mgr);
+    }
+
+    /// The shard manager, if sharding is enabled.
+    pub fn shard_manager(&self) -> Option<Arc<ShardManager>> {
+        self.shards.lock().clone()
     }
 
     /// The snapshot registry (for tests and direct snapshot access).
@@ -202,7 +219,7 @@ impl Engine {
         sp.record_attr("method", name);
         sp.record_attr("id", req.id);
         let start = Instant::now();
-        let result = self.dispatch(&req.method);
+        let result = self.dispatch(req);
         let latency_us = start.elapsed().as_micros().min(u64::MAX as u128) as u64;
         self.stats.record(latency_us, result.is_err());
         self.stats.handler_time_us.record(latency_us);
@@ -231,12 +248,20 @@ impl Engine {
         }
     }
 
-    fn dispatch(&self, method: &Method) -> Result<Reply, ServeError> {
+    fn dispatch(&self, req: &Request) -> Result<Reply, ServeError> {
+        let method = &req.method;
         // While draining, only liveness/control methods answer; anything
         // touching the model is bounced with a fail-over-able S5xx.
+        // `shards` stays up too: a draining predecessor must keep
+        // answering ownership probes so its successors can take over.
         let control = matches!(
             method,
-            Method::Ping | Method::Health | Method::Stats | Method::Metrics | Method::Shutdown
+            Method::Ping
+                | Method::Health
+                | Method::Stats
+                | Method::Metrics
+                | Method::Shutdown
+                | Method::Shards
         );
         if !control && self.is_draining() {
             return Err(ServeError::new(
@@ -245,8 +270,16 @@ impl Engine {
             ));
         }
         // Every query runs against one snapshot taken here — a reload
-        // mid-request cannot mix two models inside one answer.
-        let snap = self.registry.load();
+        // mid-request cannot mix two models inside one answer. A shard
+        // key selects that shard's snapshot on sharded nodes; unsharded
+        // nodes treat the key as advisory and serve their primary model.
+        let snap = match &req.shard_key {
+            Some(key) if !control => match self.shard_manager() {
+                Some(mgr) => mgr.snapshot_for(key)?,
+                None => self.registry.load(),
+            },
+            _ => self.registry.load(),
+        };
         let h = &snap.handle;
         Ok(match method {
             Method::Ping => Reply::Pong,
@@ -346,6 +379,15 @@ impl Engine {
                 std::thread::sleep(std::time::Duration::from_millis((*ms).min(10_000)));
                 Reply::Slept { ms: *ms }
             }
+            Method::Shards => match self.shard_manager() {
+                Some(mgr) => mgr.shard_info(),
+                None => Reply::Shards {
+                    enabled: false,
+                    ring_epoch: None,
+                    owned: Vec::new(),
+                    handoff: Vec::new(),
+                },
+            },
         })
     }
 }
@@ -379,7 +421,7 @@ mod tests {
     }
 
     fn ok(engine: &Engine, method: Method) -> Reply {
-        engine.handle(&Request { id: 1, method }).result.unwrap()
+        engine.handle(&Request::new(1, method)).result.unwrap()
     }
 
     #[test]
@@ -497,14 +539,14 @@ mod tests {
         let e = fixed_engine();
         e.set_draining(true);
         let err =
-            e.handle(&Request { id: 1, method: Method::NumCores }).result.unwrap_err();
+            e.handle(&Request::new(1, Method::NumCores)).result.unwrap_err();
         assert_eq!(err.code, codes::DRAINING);
         let err = e
-            .handle(&Request { id: 2, method: Method::Find { ident: "g".into() } })
+            .handle(&Request::new(2, Method::Find { ident: "g".into() }))
             .result
             .unwrap_err();
         assert_eq!(err.code, codes::DRAINING);
-        let err = e.handle(&Request { id: 3, method: Method::Reload }).result.unwrap_err();
+        let err = e.handle(&Request::new(3, Method::Reload)).result.unwrap_err();
         assert_eq!(err.code, codes::DRAINING);
         // Control surface stays up for monitoring and the drain itself.
         assert_eq!(ok(&e, Method::Ping), Reply::Pong);
@@ -527,9 +569,9 @@ mod tests {
             EngineOptions { allow_debug: false, allow_shutdown: false },
         )
         .unwrap();
-        let err = e.handle(&Request { id: 1, method: Method::Sleep { ms: 1 } }).result.unwrap_err();
+        let err = e.handle(&Request::new(1, Method::Sleep { ms: 1 })).result.unwrap_err();
         assert_eq!(err.code, codes::DEBUG_DISABLED);
-        let err = e.handle(&Request { id: 1, method: Method::Shutdown }).result.unwrap_err();
+        let err = e.handle(&Request::new(1, Method::Shutdown)).result.unwrap_err();
         assert_eq!(err.code, codes::SHUTDOWN_DISABLED);
         assert!(!e.shutdown_requested());
     }

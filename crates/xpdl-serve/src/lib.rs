@@ -43,11 +43,13 @@ pub mod cluster;
 pub mod engine;
 pub mod protocol;
 pub mod server;
+pub mod shard;
 pub mod snapshot;
 pub mod stats;
 
 pub use cluster::{ClusterClient, ClusterError, ClusterOptions, Route, Routed};
 pub use engine::{Engine, EngineOptions, ModelSource};
+pub use shard::{Rebalancer, ShardCompileFn, ShardManager};
 pub use protocol::{
     codes, parse_request, parse_response, Method, Reply, Request, Response, ServeError,
     PROTOCOL_VERSION,

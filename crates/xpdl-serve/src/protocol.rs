@@ -30,10 +30,7 @@
 //! ```
 //! use xpdl_serve::{parse_request, parse_response, Method, Reply, Request, Response};
 //!
-//! let req = Request {
-//!     id: 7,
-//!     method: Method::GetAttr { ident: "gpu1".into(), attr: "type".into() },
-//! };
+//! let req = Request::new(7, Method::GetAttr { ident: "gpu1".into(), attr: "type".into() });
 //! assert_eq!(parse_request(&req.to_json()).unwrap(), req);
 //!
 //! let resp = Response::ok(7, Reply::Attr(Some("Nvidia_K20c".into())));
@@ -85,6 +82,10 @@ pub mod codes {
     /// `S51x` is the cluster-visible range — `ClusterClient` treats any
     /// `S5`-prefixed code as "try the next node".
     pub const DRAINING: &str = "S510";
+    /// Sharded request for a model key this node does not own under the
+    /// current ring. The message carries a routing hint (the owner node
+    /// ids); being `S5`-prefixed, clients fail over to the next replica.
+    pub const NOT_OWNER: &str = "S511";
 }
 
 /// A structured protocol error: stable code + human-readable message.
@@ -138,6 +139,23 @@ pub struct Request {
     pub id: u64,
     /// What to do.
     pub method: Method,
+    /// The model key this query addresses, for sharded fleets (wire
+    /// field `"shard"`). A sharded node answers from that key's snapshot
+    /// — or `S511 NOT_OWNER` if the ring assigns the key elsewhere.
+    /// `None` (the default) queries the node's own primary model.
+    pub shard_key: Option<String>,
+}
+
+impl Request {
+    /// A request against the node's primary model (no shard key).
+    pub fn new(id: u64, method: Method) -> Request {
+        Request { id, method, shard_key: None }
+    }
+
+    /// A request addressed to a sharded model key.
+    pub fn for_shard(id: u64, method: Method, key: impl Into<String>) -> Request {
+        Request { id, method, shard_key: Some(key.into()) }
+    }
 }
 
 /// Every method of protocol version 1 — the full XPDLRT query surface
@@ -229,6 +247,10 @@ pub enum Method {
         /// How long to sleep.
         ms: u64,
     },
+    /// This node's shard view: ring epoch, keys loaded and owned, keys
+    /// still served during handoff. Peers poll this to ack ownership
+    /// before a predecessor drops a shard.
+    Shards,
 }
 
 impl Method {
@@ -254,6 +276,7 @@ impl Method {
             Method::Reload => "reload",
             Method::Shutdown => "shutdown",
             Method::Sleep { .. } => "sleep",
+            Method::Shards => "shards",
         }
     }
 }
@@ -365,6 +388,19 @@ pub enum Reply {
         /// How long the worker was held.
         ms: u64,
     },
+    /// `shards` result: this node's shard view.
+    Shards {
+        /// Whether sharding is enabled on this node at all.
+        enabled: bool,
+        /// Ring epoch the node last applied, as 16-digit hex (`None`
+        /// before the first ring arrives).
+        ring_epoch: Option<String>,
+        /// Keys loaded and owned under the current ring (sorted).
+        owned: Vec<String>,
+        /// Keys no longer owned but still served pending successor
+        /// acknowledgement (sorted).
+        handoff: Vec<String>,
+    },
 }
 
 /// One response: echoed id + reply or structured error.
@@ -413,6 +449,10 @@ impl Request {
         let mut s = String::with_capacity(96);
         s.push_str(&format!("{{\"v\":{PROTOCOL_VERSION},\"id\":{},\"method\":", self.id));
         json::escape_into(&mut s, self.method.name());
+        if let Some(key) = &self.shard_key {
+            s.push_str(",\"shard\":");
+            json::escape_into(&mut s, key);
+        }
         let mut params = String::new();
         {
             let p = &mut params;
@@ -445,7 +485,8 @@ impl Request {
                 | Method::Stats
                 | Method::Metrics
                 | Method::Reload
-                | Method::Shutdown => {}
+                | Method::Shutdown
+                | Method::Shards => {}
                 Method::Find { ident } => str_field(p, &mut first, "ident", ident),
                 Method::GetAttr { ident, attr } | Method::GetNumber { ident, attr } => {
                     str_field(p, &mut first, "ident", ident);
@@ -613,6 +654,24 @@ impl Reply {
             }
             Reply::ShuttingDown => s.push_str("\"shutting_down\""),
             Reply::Slept { ms } => s.push_str(&format!("\"slept\",\"ms\":{ms}")),
+            Reply::Shards { enabled, ring_epoch, owned, handoff } => {
+                s.push_str(&format!("\"shards\",\"enabled\":{enabled},\"ring_epoch\":"));
+                push_opt_str(&mut s, ring_epoch);
+                let list = |s: &mut String, k: &str, keys: &[String]| {
+                    s.push(',');
+                    json::escape_into(s, k);
+                    s.push_str(":[");
+                    for (i, key) in keys.iter().enumerate() {
+                        if i > 0 {
+                            s.push(',');
+                        }
+                        json::escape_into(s, key);
+                    }
+                    s.push(']');
+                };
+                list(&mut s, "owned", owned);
+                list(&mut s, "handoff", handoff);
+            }
         }
         s.push('}');
         s
@@ -739,6 +798,7 @@ pub fn parse_request(line: &str) -> Result<Request, (Option<u64>, ServeError)> {
             "reload" => Method::Reload,
             "shutdown" => Method::Shutdown,
             "sleep" => Method::Sleep { ms: get_u64(params, "ms")? },
+            "shards" => Method::Shards,
             other => {
                 return Err(ServeError::new(
                     codes::UNKNOWN_METHOD,
@@ -748,7 +808,15 @@ pub fn parse_request(line: &str) -> Result<Request, (Option<u64>, ServeError)> {
         })
     })()
     .map_err(fail)?;
-    Ok(Request { id: id_val, method })
+    let shard_key = match json::get(obj, "shard") {
+        None | Some(JsonValue::Null) => None,
+        Some(v) => Some(
+            v.as_str()
+                .map(str::to_string)
+                .ok_or_else(|| fail(ServeError::bad_request("\"shard\" is not a string")))?,
+        ),
+    };
+    Ok(Request { id: id_val, method, shard_key })
 }
 
 fn opt_str(obj: &Obj, key: &str) -> Option<String> {
@@ -883,6 +951,24 @@ fn parse_reply(obj: &Obj) -> Result<Reply, String> {
         },
         "shutting_down" => Reply::ShuttingDown,
         "slept" => Reply::Slept { ms: int("ms")? },
+        "shards" => {
+            let list = |k: &str| -> Result<Vec<String>, String> {
+                json::get(obj, k)
+                    .and_then(JsonValue::as_array)
+                    .ok_or(format!("missing {k}"))?
+                    .iter()
+                    .map(|v| v.as_str().map(str::to_string).ok_or("shard key not a string".into()))
+                    .collect()
+            };
+            Reply::Shards {
+                enabled: json::get(obj, "enabled")
+                    .and_then(JsonValue::as_bool)
+                    .ok_or("missing enabled")?,
+                ring_epoch: opt_str(obj, "ring_epoch"),
+                owned: list("owned")?,
+                handoff: list("handoff")?,
+            }
+        }
         other => return Err(format!("unknown reply kind {other:?}")),
     })
 }
@@ -934,10 +1020,50 @@ mod tests {
             Method::EstimateTransfer { link: "l".into(), bytes: 1 << 52 },
             Method::EstimateStaticEnergy { duration_s: 1.5e-3 },
             Method::Sleep { ms: 25 },
+            Method::Shards,
         ] {
-            let req = Request { id: 7, method };
+            let req = Request::new(7, method);
             let parsed = parse_request(&req.to_json()).unwrap();
             assert_eq!(parsed, req);
+        }
+    }
+
+    #[test]
+    fn shard_key_rides_along_and_rejects_non_strings() {
+        let req = Request::for_shard(9, Method::NumCores, "fleet/gpu\"7");
+        let line = req.to_json();
+        assert!(line.contains("\"shard\":"));
+        assert_eq!(parse_request(&line).unwrap(), req);
+        // Absent and null both mean "primary model".
+        let bare = parse_request("{\"v\":1,\"id\":1,\"method\":\"ping\"}").unwrap();
+        assert_eq!(bare.shard_key, None);
+        let null =
+            parse_request("{\"v\":1,\"id\":1,\"method\":\"ping\",\"shard\":null}").unwrap();
+        assert_eq!(null.shard_key, None);
+        let (id, e) =
+            parse_request("{\"v\":1,\"id\":3,\"method\":\"ping\",\"shard\":42}").unwrap_err();
+        assert_eq!(id, Some(3));
+        assert_eq!(e.code, codes::BAD_REQUEST);
+    }
+
+    #[test]
+    fn shards_reply_roundtrips() {
+        for reply in [
+            Reply::Shards {
+                enabled: false,
+                ring_epoch: None,
+                owned: vec![],
+                handoff: vec![],
+            },
+            Reply::Shards {
+                enabled: true,
+                ring_epoch: Some("00deadbeef00f00d".into()),
+                owned: vec!["edge".into(), "hpc\"x".into()],
+                handoff: vec!["mobile".into()],
+            },
+        ] {
+            let resp = Response::ok(4, reply);
+            assert_eq!(parse_response(&resp.to_json()).unwrap(), resp);
         }
     }
 

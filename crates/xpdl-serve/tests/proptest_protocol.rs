@@ -125,7 +125,7 @@ proptest! {
 
     #[test]
     fn request_roundtrips(id in arb_u53(), method in arb_method()) {
-        let req = Request { id, method };
+        let req = Request::new(id, method);
         let line = req.to_json();
         prop_assert!(!line.contains('\n'), "framing: {line:?}");
         let back = parse_request(&line).map_err(|(_, e)| e.to_string())?;
