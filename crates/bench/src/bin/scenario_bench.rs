@@ -18,6 +18,10 @@
 //! - `shard_rebalance`    3-node *sharded* fleet (R=2); one node is
 //!   hard-killed mid-storm — every key must stay answerable and every
 //!   key's replica count must return to R after the ring heals
+//! - `calibration_sweep`  the paper's closed loop: a pinned fleet with
+//!   `?` energy entries is served by a 3-node cluster, calibrated on
+//!   disk (`xpdl-calib`), announced through the registry — and every
+//!   node must hot-swap to the calibrated model with zero `?` left
 //!
 //! ```text
 //! cargo run --release -p bench --bin scenario_bench -- [flags]
@@ -40,7 +44,7 @@ use xpdl_registry::{
     NodeAgent, NodeConfig, NodeReport, RegistryClient, RegistryOptions, RegistryServer, RingFn,
 };
 use xpdl_repo::{
-    CachingStore, DiskCache, FaultConfig, FaultInjectingStore, Freshness, Repository,
+    CachingStore, DirStore, DiskCache, FaultConfig, FaultInjectingStore, Freshness, Repository,
     ResolveOptions,
 };
 use xpdl_serve::{
@@ -739,6 +743,176 @@ fn shard_rebalance(m: &Matrix) -> ScenarioRecord {
     rec
 }
 
+/// `calibration_sweep`: the paper's §IV→§V loop end to end. A pinned
+/// fleet (every family ISA carries known-count `?` entries) is published
+/// to a library directory and served by a 3-node cluster whose
+/// `on_invalidate` hook reloads from that directory. The sweep must:
+/// calibrate every placeholder on disk, announce the new version through
+/// the registry, and drive all three nodes to a strictly greater snapshot
+/// epoch — with zero `energy="?"` left and a byte-deterministic
+/// `optimize` report over the calibrated table.
+fn calibration_sweep(tmp: &std::path::Path, seed: u64) -> ScenarioRecord {
+    let shape = FleetShape::parse("nodes=6,depth=3,chain=3,width=2,pinned=3")
+        .expect("pinned fleet shape");
+    let fleet = generate(seed, &shape);
+    let expected = fleet.expected_placeholders().unwrap_or(0) as u64;
+    let dir = tmp.join("calib_fleet");
+    fleet.write_dir(&dir).expect("write fleet library");
+    let mut errors = 0u64;
+
+    let registry = RegistryServer::start(
+        "127.0.0.1:0",
+        RegistryOptions { sweep_interval: Duration::from_millis(20), ..Default::default() },
+    )
+    .expect("registry");
+    let reg_addr = registry.local_addr().to_string();
+
+    let mut nodes = Vec::new();
+    for i in 0..3 {
+        // No parse cache: a reload must see the patched descriptors on
+        // disk, not the copies it resolved at startup.
+        let repo = Repository::new().with_store(DirStore::new(&dir)).without_cache();
+        let engine = Arc::new(
+            Engine::new(
+                ModelSource::Repo { key: fleet.system_key().to_string(), repo: Box::new(repo) },
+                EngineOptions { allow_debug: false, allow_shutdown: false },
+            )
+            .expect("engine over uncalibrated fleet"),
+        );
+        let server = Server::start(
+            Arc::clone(&engine),
+            "127.0.0.1:0",
+            ServerOptions { workers: 2, max_inflight: 1024, ..Default::default() },
+        )
+        .expect("server");
+        let mut cfg =
+            NodeConfig::new(&reg_addr, format!("calib-node-{i}"), server.local_addr().to_string());
+        cfg.ttl = Duration::from_millis(250);
+        let health_engine = Arc::clone(&engine);
+        let reload_engine = Arc::clone(&engine);
+        let agent = NodeAgent::start(
+            cfg,
+            Arc::new(move || NodeReport {
+                epoch: health_engine.registry().load().epoch,
+                fingerprint: format!("{:016x}", health_engine.registry().load().fingerprint),
+                inflight: health_engine.stats().inflight.get(),
+            }),
+            // The push-invalidation path under test: an announced version
+            // makes the node recompile from the (now patched) library.
+            Arc::new(move |_version: &str| {
+                let _ = reload_engine.reload();
+            }),
+        );
+        nodes.push((engine, server, agent));
+    }
+
+    let client = ClusterClient::new(
+        reg_addr.clone(),
+        ClusterOptions { table_max_age: Duration::from_millis(100), ..Default::default() },
+    );
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while client.nodes().len() < 3 {
+        assert!(Instant::now() < deadline, "calib nodes never registered");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let pre_epochs: Vec<u64> = nodes.iter().map(|(e, _, _)| e.registry().load().epoch).collect();
+
+    // The sweep itself: plan, measure, write back atomically.
+    let opts = xpdl_calib::CalibOptions { seed, ..Default::default() };
+    let hist = Arc::new(Histogram::new());
+    let wall = Instant::now();
+    let swept = xpdl_calib::calibrate_dir(
+        &dir,
+        &xpdl_calib::default_fsm(),
+        xpdl_calib::DEFAULT_INITIAL_STATE,
+        &opts,
+    );
+    let wall_s = wall.elapsed().as_secs_f64();
+    let (filled, version, subscribers) = match &swept {
+        Ok((outcome, summary)) => {
+            for u in &outcome.units {
+                hist.record(u.elapsed.as_micros() as u64);
+            }
+            if !outcome.complete() || outcome.filled as u64 != expected {
+                errors += 1;
+            }
+            if summary.remaining_placeholders != 0 {
+                errors += 1;
+            }
+            let subs = xpdl_calib::announce_version(&reg_addr, &summary.version).unwrap_or(0);
+            (outcome.filled as u64, summary.version.clone(), subs)
+        }
+        Err(e) => {
+            eprintln!("calibration_sweep: sweep failed: {e}");
+            errors += 1;
+            (0, String::new(), 0)
+        }
+    };
+    // Nothing may survive as a placeholder in the published library.
+    let leftover = xpdl_calib::placeholders_in_dir(&dir).unwrap_or(usize::MAX) as u64;
+    errors += leftover.min(1);
+
+    // Every node must hot-swap to a strictly greater epoch — the
+    // invalidation push, not this loop, triggers the reloads.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let mut swapped = 0u64;
+    while Instant::now() < deadline {
+        swapped = nodes
+            .iter()
+            .zip(&pre_epochs)
+            .filter(|((e, _, _), pre)| e.registry().load().epoch > **pre)
+            .count() as u64;
+        if swapped == 3 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    errors += 3 - swapped;
+
+    // The optimization stage the loop feeds (paper §V): identical inputs
+    // must price identically — the CI golden check depends on it.
+    let mut optimize_deterministic = 0u64;
+    if let Ok((outcome, _)) = &swept {
+        if let Some(unit) = outcome.units.first() {
+            let fsm = xpdl_calib::default_fsm();
+            let reports: Vec<String> = (0..2)
+                .filter_map(|_| {
+                    xpdl_calib::optimize_model(
+                        &unit.table,
+                        &fsm,
+                        xpdl_calib::DEFAULT_INITIAL_STATE,
+                    )
+                    .ok()
+                    .map(|r| r.to_json())
+                })
+                .collect();
+            optimize_deterministic = u64::from(reports.len() == 2 && reports[0] == reports[1]);
+        }
+    }
+    errors += 1 - optimize_deterministic;
+
+    for (_, server, agent) in nodes {
+        agent.shutdown();
+        server.shutdown();
+        server.join();
+    }
+    registry.shutdown();
+    registry.join();
+
+    let mut rec = ScenarioRecord::new("calibration_sweep");
+    rec.set_latencies(&snapshot_of(&hist));
+    rec.qps = filled as f64 / wall_s.max(1e-9);
+    rec.errors = errors;
+    rec.put_extra("placeholders_before", ExtraValue::U64(expected));
+    rec.put_extra("filled", ExtraValue::U64(filled));
+    rec.put_extra("placeholders_after", ExtraValue::U64(leftover));
+    rec.put_extra("version", ExtraValue::Str(version));
+    rec.put_extra("announced_subscribers", ExtraValue::U64(subscribers));
+    rec.put_extra("swapped_nodes", ExtraValue::U64(swapped));
+    rec.put_extra("optimize_deterministic", ExtraValue::U64(optimize_deterministic));
+    rec
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let seed: u64 = flag(&args, "--seed").and_then(|v| v.parse().ok()).unwrap_or(42);
@@ -803,6 +977,9 @@ fn main() {
     }
     if wanted("shard_rebalance") {
         scenarios.push(shard_rebalance(matrix));
+    }
+    if wanted("calibration_sweep") {
+        scenarios.push(calibration_sweep(&tmp, seed));
     }
     if scenarios.is_empty() {
         eprintln!("unknown scenario '{}' for --only", only.unwrap_or_default());

@@ -1,0 +1,97 @@
+//! Fleet-wide energy-model calibration (the paper's §IV bootstrap loop,
+//! closed at fleet scale).
+//!
+//! "With these specifications, the processor's energy model can be
+//! bootstrapped at system deployment time automatically" — `xpdl-mb`
+//! implements that loop for *one* table against *one* machine. This crate
+//! runs it across a whole descriptor library and feeds the results back
+//! into the serving path:
+//!
+//! * [`plan`] — scan a library (in-memory doc list or an on-disk
+//!   directory) for instruction-energy tables with `?` entries, pair each
+//!   with its microbenchmark suite, and group them into per-table work
+//!   units.
+//! * [`exec`] — execute the plan with bounded parallelism, per-unit
+//!   driver timeouts (diagnosed as `M605`), and seeded determinism: each
+//!   unit's simulated machine is seeded by `seed ^ fnv1a64(doc key)`, so
+//!   results are independent of scheduling order.
+//! * [`writeback`] — re-render each calibrated table as a descriptor,
+//!   publish it into the library directory with the repository's
+//!   atomic-write discipline, and `announce` the new model version through
+//!   `xpdl-registry` so live `xpdl-serve` nodes hot-swap.
+//! * [`optimize`] — the consumers the calibrated numbers exist for: the
+//!   DVFS/sleep-state schedule search (§V) and the SpMV
+//!   variant-selection case study (§II), with deterministic text/JSON
+//!   reports.
+
+pub mod exec;
+pub mod optimize;
+pub mod plan;
+pub mod writeback;
+
+use std::fmt;
+
+pub use exec::{default_fsm, run_plan, CalibOptions, CalibrationOutcome, UnitOutcome, DEFAULT_INITIAL_STATE};
+pub use optimize::{optimize_model, OptimizeReport};
+pub use plan::{plan_dir, plan_library, CalibrationPlan, PlanDiag, WorkUnit};
+pub use writeback::{calibrate_dir, patch_dir, placeholders_in_dir, render_instructions, PatchSummary};
+
+/// Stable C-series diagnostic codes for calibration planning/publication
+/// failures (the executor reuses `xpdl-mb`'s M-series for per-instruction
+/// measurement failures).
+pub mod codes {
+    /// A pending table's `mb=` suite reference resolves to no
+    /// `microbenchmarks` document in the library.
+    pub const NO_SUITE: &str = "C700";
+    /// A pending table was found nested inside a larger document; only
+    /// root-level `instructions` documents can be written back.
+    pub const NESTED_TABLE: &str = "C701";
+    /// A pending table carries no `mb=` suite reference at all.
+    pub const NO_SUITE_REF: &str = "C702";
+}
+
+/// Errors from planning, write-back or publication.
+#[derive(Debug)]
+pub enum CalibError {
+    /// Filesystem access failed.
+    Io {
+        /// The path involved.
+        path: String,
+        /// The underlying error.
+        detail: String,
+    },
+    /// A descriptor failed to parse or model-build.
+    Parse {
+        /// The document key.
+        key: String,
+        /// What went wrong.
+        detail: String,
+    },
+    /// Publication through the registry failed.
+    Registry(String),
+    /// Optimization over a table/FSM pair is impossible (un-calibrated
+    /// entries, no runnable state, ...).
+    Optimize(String),
+}
+
+impl fmt::Display for CalibError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CalibError::Io { path, detail } => write!(f, "io error at {path}: {detail}"),
+            CalibError::Parse { key, detail } => write!(f, "bad descriptor '{key}': {detail}"),
+            CalibError::Registry(d) => write!(f, "registry publication failed: {d}"),
+            CalibError::Optimize(d) => write!(f, "optimization impossible: {d}"),
+        }
+    }
+}
+
+impl std::error::Error for CalibError {}
+
+/// Announce a freshly published model version to a registry so serving
+/// nodes invalidate and reload. Returns the number of subscribers
+/// notified.
+pub fn announce_version(registry_addr: &str, version: &str) -> Result<u64, CalibError> {
+    xpdl_registry::RegistryClient::new(registry_addr)
+        .announce(version)
+        .map_err(|e| CalibError::Registry(format!("{e:?}")))
+}

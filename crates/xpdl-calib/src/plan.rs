@@ -1,0 +1,297 @@
+//! Calibration planning: find every `?` entry in a descriptor library and
+//! group the work into per-table units.
+//!
+//! The planner is pure — it reads descriptors and produces a
+//! [`CalibrationPlan`]; nothing is measured or written. That split keeps
+//! `xpdlc calibrate --dry-run`-style introspection cheap and makes the
+//! executor testable against hand-built plans.
+
+use crate::{codes, CalibError};
+use std::collections::BTreeMap;
+use std::path::Path;
+use xpdl_core::{ElementKind, XpdlDocument};
+use xpdl_mb::MicrobenchmarkSuite;
+use xpdl_power::InstructionEnergyTable;
+
+/// One unit of calibration work: a pending instruction-energy table, the
+/// document it lives in, and the suite that can measure it.
+#[derive(Debug, Clone)]
+pub struct WorkUnit {
+    /// Key of the descriptor document holding the table (the write-back
+    /// target).
+    pub doc_key: String,
+    /// The parsed table, with its `?` entries still pending.
+    pub table: InstructionEnergyTable,
+    /// The microbenchmark suite referenced by the table's `mb=`.
+    pub suite: MicrobenchmarkSuite,
+    /// The pending instruction names, in table order.
+    pub pending: Vec<String>,
+}
+
+/// A table the planner found but cannot calibrate, with a stable C-series
+/// code saying why.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanDiag {
+    /// The C-series code (see [`crate::codes`]).
+    pub code: &'static str,
+    /// Key of the document the table was found in.
+    pub doc_key: String,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+impl std::fmt::Display for PlanDiag {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} [{}]: {}", self.code, self.doc_key, self.detail)
+    }
+}
+
+/// What a library scan found.
+#[derive(Debug, Clone, Default)]
+pub struct CalibrationPlan {
+    /// Calibratable units, sorted by document key.
+    pub units: Vec<WorkUnit>,
+    /// Tables that cannot be calibrated, with reasons.
+    pub diags: Vec<PlanDiag>,
+    /// Documents scanned.
+    pub scanned_docs: usize,
+    /// Total `?` entries across all units (excludes diagnosed tables).
+    pub total_pending: usize,
+}
+
+impl CalibrationPlan {
+    /// Whether there is nothing to do *and* nothing undiagnosable.
+    pub fn is_clean(&self) -> bool {
+        self.units.is_empty() && self.diags.is_empty()
+    }
+}
+
+/// Scan an in-memory `(key, descriptor)` library for pending tables.
+///
+/// Documents that fail to parse are reported as [`CalibError::Parse`]
+/// immediately — a fleet library is generated or validated upstream, so a
+/// malformed document is a caller bug, not a per-table diagnostic.
+pub fn plan_library(docs: &[(String, String)]) -> Result<CalibrationPlan, CalibError> {
+    let mut parsed: Vec<(String, XpdlDocument)> = Vec::with_capacity(docs.len());
+    for (key, text) in docs {
+        let doc = XpdlDocument::parse_named(text, key).map_err(|e| CalibError::Parse {
+            key: key.clone(),
+            detail: e.to_string(),
+        })?;
+        parsed.push((key.clone(), doc));
+    }
+
+    // Index every microbenchmark suite in the library by id, wherever it
+    // appears (root or nested).
+    let mut suites: BTreeMap<String, MicrobenchmarkSuite> = BTreeMap::new();
+    for (key, doc) in &parsed {
+        for el in doc.root().descendants().filter(|e| e.kind == ElementKind::Microbenchmarks) {
+            let suite = MicrobenchmarkSuite::from_element(el).map_err(|e| CalibError::Parse {
+                key: key.clone(),
+                detail: e.to_string(),
+            })?;
+            suites.insert(suite.id.clone(), suite);
+        }
+    }
+
+    let mut plan = CalibrationPlan { scanned_docs: parsed.len(), ..CalibrationPlan::default() };
+    for (key, doc) in &parsed {
+        for el in doc.root().descendants().filter(|e| e.kind == ElementKind::Instructions) {
+            let table = InstructionEnergyTable::from_element(el).map_err(|e| CalibError::Parse {
+                key: key.clone(),
+                detail: e.to_string(),
+            })?;
+            let pending: Vec<String> = table.pending().iter().map(|s| s.to_string()).collect();
+            if pending.is_empty() {
+                continue;
+            }
+            if !std::ptr::eq(el, doc.root()) {
+                plan.diags.push(PlanDiag {
+                    code: codes::NESTED_TABLE,
+                    doc_key: key.clone(),
+                    detail: format!(
+                        "table '{}' has {} pending entries but is nested; write-back needs a root-level instructions document",
+                        table.name,
+                        pending.len()
+                    ),
+                });
+                continue;
+            }
+            let Some(suite_ref) = table.suite_mb.clone() else {
+                plan.diags.push(PlanDiag {
+                    code: codes::NO_SUITE_REF,
+                    doc_key: key.clone(),
+                    detail: format!("table '{}' has pending entries but no mb= suite reference", table.name),
+                });
+                continue;
+            };
+            let Some(suite) = suites.get(&suite_ref) else {
+                plan.diags.push(PlanDiag {
+                    code: codes::NO_SUITE,
+                    doc_key: key.clone(),
+                    detail: format!("suite '{suite_ref}' referenced by table '{}' not found in library", table.name),
+                });
+                continue;
+            };
+            plan.total_pending += pending.len();
+            plan.units.push(WorkUnit {
+                doc_key: key.clone(),
+                table,
+                suite: suite.clone(),
+                pending,
+            });
+        }
+    }
+    plan.units.sort_by(|a, b| a.doc_key.cmp(&b.doc_key));
+    Ok(plan)
+}
+
+/// Scan a published library directory (`<key>.xpdl` files, as written by
+/// `Fleet::write_dir` and served by `DirStore`) for pending tables.
+pub fn plan_dir(dir: &Path) -> Result<CalibrationPlan, CalibError> {
+    plan_library(&read_dir_docs(dir)?)
+}
+
+/// Read every `<key>.xpdl` document of a library directory, sorted by key.
+pub(crate) fn read_dir_docs(dir: &Path) -> Result<Vec<(String, String)>, CalibError> {
+    let io = |e: std::io::Error| CalibError::Io { path: dir.display().to_string(), detail: e.to_string() };
+    let mut docs = Vec::new();
+    for entry in std::fs::read_dir(dir).map_err(io)? {
+        let path = entry.map_err(io)?.path();
+        if path.extension().and_then(|e| e.to_str()) != Some("xpdl") {
+            continue;
+        }
+        let Some(key) = path.file_stem().and_then(|s| s.to_str()).map(str::to_string) else {
+            continue;
+        };
+        let text = std::fs::read_to_string(&path).map_err(|e| CalibError::Io {
+            path: path.display().to_string(),
+            detail: e.to_string(),
+        })?;
+        docs.push((key, text));
+    }
+    docs.sort_by(|a, b| a.0.cmp(&b.0));
+    Ok(docs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lib(docs: &[(&str, &str)]) -> Vec<(String, String)> {
+        docs.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect()
+    }
+
+    const SUITE: &str = r#"<microbenchmarks id="mb1" instruction_set="isa" path="/opt/mb" command="run.sh">
+  <microbenchmark id="fadd1" type="fadd" file="fadd.c"/>
+</microbenchmarks>"#;
+
+    #[test]
+    fn pending_root_table_with_suite_becomes_a_unit() {
+        let docs = lib(&[
+            ("isa", r#"<instructions name="isa" mb="mb1"><inst name="fadd" energy="?" energy_unit="pJ" mb="fadd1"/><inst name="add" energy="7" energy_unit="pJ"/></instructions>"#),
+            ("mb1", SUITE),
+        ]);
+        let plan = plan_library(&docs).unwrap();
+        assert_eq!(plan.scanned_docs, 2);
+        assert_eq!(plan.units.len(), 1);
+        assert!(plan.diags.is_empty());
+        assert_eq!(plan.total_pending, 1);
+        let u = &plan.units[0];
+        assert_eq!(u.doc_key, "isa");
+        assert_eq!(u.pending, vec!["fadd".to_string()]);
+        assert_eq!(u.suite.id, "mb1");
+    }
+
+    #[test]
+    fn fully_specified_tables_produce_no_work() {
+        let docs = lib(&[(
+            "isa",
+            r#"<instructions name="isa"><inst name="add" energy="7" energy_unit="pJ"/></instructions>"#,
+        )]);
+        let plan = plan_library(&docs).unwrap();
+        assert!(plan.is_clean());
+        assert_eq!(plan.total_pending, 0);
+    }
+
+    #[test]
+    fn missing_suite_is_diagnosed_not_dropped() {
+        let docs = lib(&[(
+            "isa",
+            r#"<instructions name="isa" mb="ghost"><inst name="fadd" energy="?" energy_unit="pJ"/></instructions>"#,
+        )]);
+        let plan = plan_library(&docs).unwrap();
+        assert!(plan.units.is_empty());
+        assert_eq!(plan.diags.len(), 1);
+        assert_eq!(plan.diags[0].code, codes::NO_SUITE);
+        assert!(plan.diags[0].detail.contains("ghost"), "{}", plan.diags[0]);
+    }
+
+    #[test]
+    fn missing_suite_ref_is_diagnosed() {
+        let docs = lib(&[(
+            "isa",
+            r#"<instructions name="isa"><inst name="fadd" energy="?" energy_unit="pJ"/></instructions>"#,
+        )]);
+        let plan = plan_library(&docs).unwrap();
+        assert_eq!(plan.diags.len(), 1);
+        assert_eq!(plan.diags[0].code, codes::NO_SUITE_REF);
+    }
+
+    #[test]
+    fn nested_pending_table_is_diagnosed() {
+        let docs = lib(&[
+            (
+                "cpu",
+                r#"<cpu name="c"><instructions name="isa" mb="mb1"><inst name="fadd" energy="?" energy_unit="pJ"/></instructions></cpu>"#,
+            ),
+            ("mb1", SUITE),
+        ]);
+        let plan = plan_library(&docs).unwrap();
+        assert!(plan.units.is_empty());
+        assert_eq!(plan.diags.len(), 1);
+        assert_eq!(plan.diags[0].code, codes::NESTED_TABLE);
+    }
+
+    #[test]
+    fn units_come_out_sorted_by_doc_key() {
+        let isa = |n: &str| {
+            format!(
+                r#"<instructions name="{n}" mb="mb1"><inst name="fadd" energy="?" energy_unit="pJ"/></instructions>"#
+            )
+        };
+        let docs: Vec<(String, String)> = vec![
+            ("z_isa".to_string(), isa("z")),
+            ("a_isa".to_string(), isa("a")),
+            ("mb1".to_string(), SUITE.to_string()),
+        ];
+        let plan = plan_library(&docs).unwrap();
+        let keys: Vec<&str> = plan.units.iter().map(|u| u.doc_key.as_str()).collect();
+        assert_eq!(keys, ["a_isa", "z_isa"]);
+        assert_eq!(plan.total_pending, 2);
+    }
+
+    #[test]
+    fn malformed_document_is_a_hard_error() {
+        let docs = lib(&[("bad", "<instructions name=oops")]);
+        assert!(matches!(plan_library(&docs), Err(CalibError::Parse { .. })));
+    }
+
+    #[test]
+    fn plan_dir_round_trips_a_written_library() {
+        let dir = std::env::temp_dir().join(format!("xpdl_calib_plan_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            dir.join("isa.xpdl"),
+            r#"<instructions name="isa" mb="mb1"><inst name="fadd" energy="?" energy_unit="pJ"/></instructions>"#,
+        )
+        .unwrap();
+        std::fs::write(dir.join("mb1.xpdl"), SUITE).unwrap();
+        std::fs::write(dir.join("notes.txt"), "ignored").unwrap();
+        let plan = plan_dir(&dir).unwrap();
+        assert_eq!(plan.scanned_docs, 2);
+        assert_eq!(plan.units.len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,62 @@
+//! End-to-end: generate a synthetic fleet with pinned `?` placeholders,
+//! calibrate the published library on disk, and check the patched
+//! descriptors still resolve and elaborate cleanly.
+
+use xpdl_calib::{calibrate_dir, default_fsm, plan_dir, CalibOptions, DEFAULT_INITIAL_STATE};
+use xpdl_fleetgen::FleetShape;
+use xpdl_repo::{DirStore, Repository};
+
+fn temp_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("xpdl_calib_e2e_{name}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn pinned_fleet_calibrates_to_zero_placeholders() {
+    let shape = FleetShape::parse("nodes=6,depth=3,chain=3,width=2,pinned=3").unwrap();
+    let fleet = xpdl_fleetgen::generate(42, &shape);
+    let expected = fleet.expected_placeholders().unwrap();
+    assert_eq!(fleet.placeholder_count(), expected);
+
+    let dir = temp_dir("fleet");
+    fleet.write_dir(&dir).unwrap();
+
+    let plan = plan_dir(&dir).unwrap();
+    assert_eq!(plan.units.len(), 2, "one unit per family ISA");
+    assert!(plan.diags.is_empty(), "{:?}", plan.diags);
+    assert_eq!(plan.total_pending, expected);
+
+    let opts = CalibOptions { seed: 42, ..CalibOptions::default() };
+    let (outcome, summary) =
+        calibrate_dir(&dir, &default_fsm(), DEFAULT_INITIAL_STATE, &opts).unwrap();
+    assert!(outcome.complete(), "diags: {:?}", outcome.diags());
+    assert_eq!(outcome.filled, expected);
+    assert_eq!(summary.remaining_placeholders, 0);
+    assert_eq!(summary.patched.len(), 2);
+
+    // The patched library still resolves and elaborates cleanly.
+    let repo = Repository::new().with_store(DirStore::new(&dir));
+    let set = repo.resolve_recursive(fleet.system_key()).unwrap();
+    let model = xpdl_elab::elaborate(&set).unwrap();
+    assert!(model.is_clean(), "{:?}", model.diagnostics);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn calibration_version_is_reproducible_per_seed() {
+    let shape = FleetShape::parse("nodes=4,depth=3,chain=3,width=2,pinned=2").unwrap();
+    let version_for = |name: &str, calib_seed: u64| {
+        let dir = temp_dir(name);
+        xpdl_fleetgen::generate(7, &shape).write_dir(&dir).unwrap();
+        let opts = CalibOptions { seed: calib_seed, jobs: 8, ..CalibOptions::default() };
+        let (_, summary) =
+            calibrate_dir(&dir, &default_fsm(), DEFAULT_INITIAL_STATE, &opts).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+        summary.version
+    };
+    assert_eq!(version_for("rep_a", 5), version_for("rep_b", 5));
+    assert_ne!(version_for("rep_c", 5), version_for("rep_d", 6));
+}

@@ -16,6 +16,8 @@
 //! | `serve --model FILE \| --repo KEY` | the query API as a network service (JSON-lines daemon) |
 //! | `registry [announce]` | cluster membership daemon / push a model version to the fleet |
 //! | `bootstrap <key>` | generate drivers + run microbenchmarks on the simulator |
+//! | `calibrate --dir DIR` | fleet calibration sweep: fill every `?` in a model library |
+//! | `optimize [--isa KEY]` | DVFS/sleep schedule search + SpMV variant selection |
 //! | `codegen [rust\|c]` | generate the query API from the core schema |
 //! | `uml [schema\|<key>]` | the UML view (PlantUML) of the metamodel or a composed model |
 //! | `export <dir>` | write the built-in library as `.xpdl` files (a local model search path) |
@@ -39,6 +41,7 @@ use xpdl_repo::{
 };
 use xpdl_schema::{validate_document, Schema};
 
+mod calib;
 mod registry;
 mod serve;
 
@@ -206,6 +209,8 @@ fn root_span_name(cmd: Option<&str>) -> &'static str {
         Some("route") => "cli.route",
         Some("uml") => "cli.uml",
         Some("bootstrap") => "cli.bootstrap",
+        Some("calibrate") => "cli.calibrate",
+        Some("optimize") => "cli.optimize",
         _ => "cli.run",
     }
 }
@@ -353,6 +358,8 @@ fn dispatch(args: &[String], out: &mut dyn std::io::Write) -> Result<ExitCode, B
             let key = if rest.is_empty() { "x86_base_isa".to_string() } else { rest[0].clone() };
             bootstrap(&key, rest, out)
         }
+        "calibrate" => calib::calibrate_command(rest, out),
+        "optimize" => calib::optimize_command(rest, out),
         "diff" => {
             let a = arg_at(rest, 0, "diff <old.xpdl> <new.xpdl>")?;
             let b = arg_at(rest, 1, "diff <old.xpdl> <new.xpdl>")?;
@@ -928,6 +935,16 @@ fn write_usage(out: &mut dyn std::io::Write) -> std::io::Result<()> {
          \x20   --diag-format text|json      status output format (json is stable)\n\
          \x20 registry ring --nodes A,B,C    print the deterministic ring for a membership (CI check)\n\
          \x20 bootstrap [isa-key]            run microbenchmarks, fill '?' entries\n\
+         \x20 calibrate --dir DIR            calibrate a model library: fill every '?', publish atomically\n\
+         \x20   --seed N --jobs N            deterministic sweep seed / worker pool size\n\
+         \x20   --repetitions N              measurement repetitions per state (default 5)\n\
+         \x20   --timeout-ms MS              per-driver budget; 0 abandons every unit (default 10000)\n\
+         \x20   --dry-run                    print the plan (units, pending, diags) without patching\n\
+         \x20   --registry HOST:PORT         announce the new model version after a clean sweep\n\
+         \x20   --diag-format text|json      report format (json is stable)\n\
+         \x20 optimize [--isa KEY]           DVFS/sleep schedule search + SpMV variant selection\n\
+         \x20   --seed N                     calibration seed for pending '?' entries\n\
+         \x20   --diag-format text|json      report format (json is stable, byte-deterministic)\n\
          \x20 codegen [rust|c]               generate the query API from the schema\n\
          \x20 uml [schema|<key>] [--max N]   PlantUML view of metamodel / composed model\n\
          \x20 export <dir>                   write the library as .xpdl files\n\

@@ -102,7 +102,10 @@ pub fn generate(seed: u64, shape: &FleetShape) -> Fleet {
         let node_count = shape.nodes / width + usize::from(w < shape.nodes % width);
         let (cpu_doc, cores_per_cpu) = gen_cpu(seed, w, shape.depth);
         docs.push((format!("fg_cpu_{w}"), cpu_doc));
-        docs.push((format!("fg_isa_{w}"), gen_isa(seed, w, shape.unknown_density)));
+        docs.push((
+            format!("fg_isa_{w}"),
+            gen_isa(seed, w, shape.unknown_density, shape.unknown_pinned),
+        ));
         docs.push((format!("fg_mb_{w}"), gen_mb_suite(w)));
         docs.push((
             format!("fg_sw_{w}"),
@@ -177,12 +180,37 @@ fn gen_cpu(seed: u64, w: usize, depth: usize) -> (String, usize) {
 
 /// One instruction-energy model; `density` of the entries stay `?`
 /// microbenchmark targets (each pointing at its suite entry, the
-/// library's `x86_base_isa` idiom).
-fn gen_isa(seed: u64, w: usize, density: f64) -> String {
+/// library's `x86_base_isa` idiom). With `pinned` set, exactly
+/// `min(pinned, ops)` entries are `?`, the ops chosen by a deterministic
+/// shuffle of the doc RNG — the calibration scenarios' guaranteed-work
+/// contract. The unpinned path draws the RNG in the exact legacy order,
+/// so existing golden checksums are unaffected.
+fn gen_isa(seed: u64, w: usize, density: f64, pinned: Option<usize>) -> String {
     let mut rng = doc_rng(seed, &format!("fg_isa_{w}"));
+    // With pinning, a deterministic Fisher-Yates shuffle picks which ops
+    // stay `?`; without it, each op draws its own Bernoulli — in the
+    // *exact* legacy draw order (decide, then maybe draw the energy), so
+    // pre-pinning checksums are byte-stable.
+    let mask: Option<Vec<bool>> = pinned.map(|n| {
+        let n = n.min(OPS.len());
+        let mut idx: Vec<usize> = (0..OPS.len()).collect();
+        for i in (1..idx.len()).rev() {
+            let j = rng.range(0, i as u64) as usize;
+            idx.swap(i, j);
+        }
+        let mut mask = vec![false; OPS.len()];
+        for &i in idx.iter().take(n) {
+            mask[i] = true;
+        }
+        mask
+    });
     let mut s = format!("<instructions name=\"fg_isa_{w}\" mb=\"fg_mb_{w}\">\n");
-    for op in OPS {
-        if rng.chance(density) {
+    for (i, op) in OPS.iter().enumerate() {
+        let unknown = match &mask {
+            Some(m) => m[i],
+            None => rng.chance(density),
+        };
+        if unknown {
             let _ = writeln!(s, "  <inst name=\"{op}\" energy=\"?\" energy_unit=\"pJ\" mb=\"{op}1\"/>");
         } else {
             let _ = writeln!(
@@ -315,6 +343,21 @@ impl Fleet {
     /// Total accelerator devices after expansion.
     pub fn expected_devices(&self) -> usize {
         self.families.iter().filter(|f| f.has_device).map(|f| f.node_count).sum()
+    }
+
+    /// `?` placeholder entries actually present in the generated library
+    /// (counted over the document bytes — what a calibrator will find).
+    pub fn placeholder_count(&self) -> usize {
+        self.docs.iter().map(|(_, v)| v.matches("energy=\"?\"").count()).sum()
+    }
+
+    /// The placeholder count a *pinned* shape guarantees:
+    /// `effective_width × min(pinned, ops)`. `None` for density shapes,
+    /// where the count is seed-dependent.
+    pub fn expected_placeholders(&self) -> Option<usize> {
+        self.shape
+            .unknown_pinned
+            .map(|n| self.shape.effective_width() * n.min(OPS.len()))
     }
 
     /// A copy of the fleet with the first `victims` families' CPU

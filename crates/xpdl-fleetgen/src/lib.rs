@@ -107,6 +107,27 @@ mod tests {
     }
 
     #[test]
+    fn pinned_shapes_guarantee_exact_placeholder_counts() {
+        // The calibration-scenario contract: `pinned=` fixes the `?`
+        // count per ISA doc regardless of seed, and the fleet still
+        // validates and elaborates clean.
+        let shape = FleetShape::parse("nodes=9,depth=3,chain=4,width=3,pinned=3").unwrap();
+        for seed in [1u64, 42, 9999] {
+            let fleet = generate(seed, &shape);
+            assert_eq!(fleet.expected_placeholders(), Some(9), "seed {seed}");
+            assert_eq!(fleet.placeholder_count(), 9, "seed {seed}");
+            assert!(validate_fleet(&fleet).is_empty());
+            assert!(elaborate_fleet(&fleet).unwrap().is_clean());
+        }
+        // Pinning caps at the op vocabulary.
+        let all = FleetShape::parse("nodes=2,width=2,pinned=99").unwrap();
+        let fleet = generate(5, &all);
+        assert_eq!(fleet.expected_placeholders(), Some(fleet.placeholder_count()));
+        // Density shapes have no guaranteed count.
+        assert_eq!(generate(5, &FleetShape::default()).expected_placeholders(), None);
+    }
+
+    #[test]
     fn poisoned_fleet_quarantines_expected_nodes() {
         let shape = FleetShape::parse("nodes=9,depth=3,chain=4,width=3").unwrap();
         let fleet = generate(11, &shape).poisoned(2);

@@ -26,19 +26,32 @@ pub struct FleetShape {
     /// Fraction of microbenchmarkable instruction energies left as the
     /// `?` placeholder (`unknown=`, in `[0, 1]`).
     pub unknown_density: f64,
+    /// Exact `?` placeholder count per instruction-set document
+    /// (`pinned=`). When set it overrides `unknown_density`: every ISA
+    /// doc carries exactly `min(pinned, ops)` placeholders, chosen
+    /// deterministically from the doc RNG — so calibration scenarios get
+    /// a known amount of work regardless of seed.
+    pub unknown_pinned: Option<usize>,
 }
 
 impl Default for FleetShape {
     fn default() -> Self {
-        FleetShape { nodes: 16, depth: 4, chain: 4, width: 4, unknown_density: 0.25 }
+        FleetShape {
+            nodes: 16,
+            depth: 4,
+            chain: 4,
+            width: 4,
+            unknown_density: 0.25,
+            unknown_pinned: None,
+        }
     }
 }
 
 impl FleetShape {
     /// Parse a `k=v,k=v` shape spec. Keys: `nodes`, `depth`, `chain`,
-    /// `width`, `unknown`. Missing keys keep their defaults; unknown keys
-    /// and malformed values are errors. Whitespace around entries is
-    /// ignored, so `"nodes=100, depth=6"` parses.
+    /// `width`, `unknown`, `pinned`. Missing keys keep their defaults;
+    /// unknown keys and malformed values are errors. Whitespace around
+    /// entries is ignored, so `"nodes=100, depth=6"` parses.
     pub fn parse(spec: &str) -> Result<FleetShape, String> {
         let mut shape = FleetShape::default();
         for entry in spec.split(',') {
@@ -62,6 +75,10 @@ impl FleetShape {
                         return Err(bad("fraction must be in [0, 1]"));
                     }
                     shape.unknown_density = f;
+                }
+                "pinned" => {
+                    shape.unknown_pinned =
+                        Some(value.parse().map_err(|_| bad("expected a count"))?);
                 }
                 other => return Err(format!("unknown shape key '{other}'")),
             }
@@ -90,7 +107,11 @@ impl fmt::Display for FleetShape {
             f,
             "nodes={},depth={},chain={},width={},unknown={}",
             self.nodes, self.depth, self.chain, self.width, self.unknown_density
-        )
+        )?;
+        if let Some(p) = self.unknown_pinned {
+            write!(f, ",pinned={p}")?;
+        }
+        Ok(())
     }
 }
 
@@ -134,5 +155,17 @@ mod tests {
     fn effective_width_clamps_to_nodes() {
         let s = FleetShape::parse("nodes=3,width=10").unwrap();
         assert_eq!(s.effective_width(), 3);
+    }
+
+    #[test]
+    fn pinned_parses_and_roundtrips() {
+        let s = FleetShape::parse("nodes=5,pinned=3").unwrap();
+        assert_eq!(s.unknown_pinned, Some(3));
+        assert_eq!(FleetShape::parse(&s.to_string()).unwrap(), s);
+        // Absent by default, and absent from the unpinned Display form.
+        let d = FleetShape::default();
+        assert_eq!(d.unknown_pinned, None);
+        assert!(!d.to_string().contains("pinned"));
+        assert!(FleetShape::parse("pinned=x").is_err());
     }
 }

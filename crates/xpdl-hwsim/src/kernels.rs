@@ -47,6 +47,26 @@ pub enum SpmvVariant {
     CpuCsr,
 }
 
+impl SpmvVariant {
+    /// Every variant, in the stable order selection reports use.
+    pub const ALL: [SpmvVariant; 2] = [SpmvVariant::CpuDense, SpmvVariant::CpuCsr];
+
+    /// The stable name used in conditional-composition descriptors and
+    /// `xpdlc optimize` reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SpmvVariant::CpuDense => "spmv_dense",
+            SpmvVariant::CpuCsr => "spmv_csr",
+        }
+    }
+}
+
+impl std::fmt::Display for SpmvVariant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// Instruction mix for a CPU SpMV variant.
 pub fn spmv_stream(spec: &KernelSpec, variant: SpmvVariant) -> Vec<(&'static str, u64)> {
     let n = spec.n as u64;

@@ -3,8 +3,45 @@
 
 use crate::executor::{measure_instruction, MeasureConfig};
 use crate::suite::MicrobenchmarkSuite;
+use std::fmt;
 use xpdl_hwsim::SimMachine;
 use xpdl_power::InstructionEnergyTable;
+
+/// Stable M-series diagnostic codes for bootstrap/calibration failures.
+/// An incomplete bootstrap must say *why* per instruction — silent
+/// `complete() == false` is not actionable at fleet scale.
+pub mod codes {
+    /// A pending instruction has no benchmark entry in the suite.
+    pub const NO_SUITE_ENTRY: &str = "M600";
+    /// The suite carries no benchmark entries at all.
+    pub const EMPTY_SUITE: &str = "M601";
+    /// The machine refused a DVFS state switch mid-measurement.
+    pub const STATE_REJECTED: &str = "M602";
+    /// The measurement driver ran but produced no statistics.
+    pub const MEASURE_FAILED: &str = "M603";
+    /// The machine's FSM has no runnable (frequency > 0) state.
+    pub const NO_ACTIVE_STATES: &str = "M604";
+    /// A calibration work unit exceeded its per-driver timeout
+    /// (emitted by `xpdl-calib`, never by the in-process loop here).
+    pub const DRIVER_TIMEOUT: &str = "M605";
+}
+
+/// One skipped instruction with its stable diagnostic code.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BootstrapDiag {
+    /// The M-series code (see [`codes`]).
+    pub code: &'static str,
+    /// The instruction that stayed `?`.
+    pub instruction: String,
+    /// Human-readable detail (state name, suite id, ...).
+    pub detail: String,
+}
+
+impl fmt::Display for BootstrapDiag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} '{}': {}", self.code, self.instruction, self.detail)
+    }
+}
 
 /// What the bootstrap did.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -14,6 +51,8 @@ pub struct BootstrapReport {
     /// Instructions that could not be measured (no benchmark entry, or the
     /// machine refused to run).
     pub skipped: Vec<String>,
+    /// One diagnostic per skipped instruction, same order as `skipped`.
+    pub diags: Vec<BootstrapDiag>,
     /// Total microbenchmark runs executed.
     pub total_runs: u32,
 }
@@ -22,6 +61,15 @@ impl BootstrapReport {
     /// Whether everything pending was filled.
     pub fn complete(&self) -> bool {
         self.skipped.is_empty()
+    }
+
+    fn skip(&mut self, code: &'static str, instruction: String, detail: impl Into<String>) {
+        self.diags.push(BootstrapDiag {
+            code,
+            instruction: instruction.clone(),
+            detail: detail.into(),
+        });
+        self.skipped.push(instruction);
     }
 }
 
@@ -53,15 +101,35 @@ pub fn bootstrap_energy_table(
     let pending: Vec<String> = table.pending().iter().map(|s| s.to_string()).collect();
     for inst in pending {
         let Some(entry) = suite.entry_for_instruction(&inst) else {
-            report.skipped.push(inst);
+            if suite.entries.is_empty() {
+                report.skip(codes::EMPTY_SUITE, inst, format!("suite '{}' has no entries", suite.id));
+            } else {
+                report.skip(
+                    codes::NO_SUITE_ENTRY,
+                    inst,
+                    format!("no benchmark entry in suite '{}'", suite.id),
+                );
+            }
             continue;
         };
+        if states.is_empty() {
+            report.skip(
+                codes::NO_ACTIVE_STATES,
+                inst,
+                format!("FSM '{}' has no runnable state", machine.fsm.name),
+            );
+            continue;
+        }
         let reps = if repetitions > 0 { repetitions } else { entry.repetitions };
         let mut points: Vec<(f64, f64)> = Vec::with_capacity(states.len());
-        let mut failed = false;
+        let mut failure: Option<BootstrapDiag> = None;
         for (state, freq) in &states {
             if machine.set_core_state(0, state).is_none() {
-                failed = true;
+                failure = Some(BootstrapDiag {
+                    code: codes::STATE_REJECTED,
+                    instruction: inst.clone(),
+                    detail: format!("machine refused switch to state '{state}'"),
+                });
                 break;
             }
             let cfg = MeasureConfig { repetitions: reps, ..Default::default() };
@@ -71,13 +139,24 @@ pub fn bootstrap_energy_table(
                     points.push((*freq, stats.median_j.max(0.0)));
                 }
                 None => {
-                    failed = true;
+                    failure = Some(BootstrapDiag {
+                        code: codes::MEASURE_FAILED,
+                        instruction: inst.clone(),
+                        detail: format!(
+                            "driver '{}' produced no stats at state '{state}' ({reps} reps)",
+                            entry.id
+                        ),
+                    });
                     break;
                 }
             }
         }
-        if failed || points.is_empty() {
-            report.skipped.push(inst);
+        if let Some(diag) = failure {
+            report.skip(diag.code, inst, diag.detail);
+            continue;
+        }
+        if points.is_empty() {
+            report.skip(codes::MEASURE_FAILED, inst, "no measurement points collected");
             continue;
         }
         let n = points.len();
@@ -201,6 +280,72 @@ mod tests {
         assert_eq!(report.skipped, vec!["vgather"]);
         assert!(!report.complete());
         assert_eq!(t.pending(), vec!["vgather"]);
+        // The skip is loud: a stable code names the missing entry.
+        assert_eq!(report.diags.len(), 1);
+        assert_eq!(report.diags[0].code, codes::NO_SUITE_ENTRY);
+        assert_eq!(report.diags[0].instruction, "vgather");
+        assert!(report.diags[0].to_string().contains("M600"), "{}", report.diags[0]);
+    }
+
+    #[test]
+    fn empty_suite_reported_with_stable_code() {
+        let doc = XpdlDocument::parse_str(
+            r#"<microbenchmarks id="empty" instruction_set="x86_base_isa" path="." command="mb.sh"/>"#,
+        )
+        .unwrap();
+        let empty = MicrobenchmarkSuite::from_element(doc.root()).unwrap();
+        let mut t = table();
+        let mut m = machine();
+        let report = bootstrap_energy_table(&mut t, &empty, &mut m, 1);
+        assert!(!report.complete());
+        assert_eq!(report.skipped.len(), 2);
+        assert!(report.diags.iter().all(|d| d.code == codes::EMPTY_SUITE), "{:?}", report.diags);
+        assert_eq!(report.total_runs, 0);
+    }
+
+    #[test]
+    fn failing_driver_reported_with_stable_code() {
+        // repetitions="0" on the entry (and 0 passed through) makes the
+        // executor reject the run — the driver-failure path.
+        let doc = XpdlDocument::parse_str(
+            r#"<microbenchmarks id="mb_bad" instruction_set="x86_base_isa" path="." command="mb.sh">
+                 <microbenchmark id="fa1" type="fadd" file="fadd.c" repetitions="0"/>
+                 <microbenchmark id="fm1" type="fmul" file="fmul.c"/>
+               </microbenchmarks>"#,
+        )
+        .unwrap();
+        let bad = MicrobenchmarkSuite::from_element(doc.root()).unwrap();
+        let mut t = table();
+        let mut m = machine();
+        let report = bootstrap_energy_table(&mut t, &bad, &mut m, 0);
+        // Partial fill: fmul (default reps) lands, fadd fails loudly.
+        assert!(!report.complete());
+        assert_eq!(report.filled.len(), 1);
+        assert_eq!(report.filled[0].0, "fmul");
+        assert_eq!(report.skipped, vec!["fadd"]);
+        assert_eq!(report.diags.len(), 1);
+        assert_eq!(report.diags[0].code, codes::MEASURE_FAILED);
+        assert!(report.diags[0].detail.contains("fa1"), "{}", report.diags[0].detail);
+        // The partially-filled table still has exactly the failed entry pending.
+        assert_eq!(t.pending(), vec!["fadd"]);
+    }
+
+    #[test]
+    fn every_skip_carries_a_diag() {
+        let doc = XpdlDocument::parse_str(
+            r#"<instructions name="isa">
+                 <inst name="vgather" energy="?" energy_unit="pJ"/>
+                 <inst name="vscatter" energy="?" energy_unit="pJ"/>
+               </instructions>"#,
+        )
+        .unwrap();
+        let mut t = InstructionEnergyTable::from_element(doc.root()).unwrap();
+        let mut m = machine();
+        let report = bootstrap_energy_table(&mut t, &suite(), &mut m, 1);
+        assert_eq!(report.skipped.len(), report.diags.len());
+        for (s, d) in report.skipped.iter().zip(&report.diags) {
+            assert_eq!(s, &d.instruction);
+        }
     }
 
     #[test]

@@ -23,7 +23,7 @@ pub mod driver;
 pub mod executor;
 pub mod suite;
 
-pub use bootstrap::{bootstrap_energy_table, BootstrapReport};
+pub use bootstrap::{bootstrap_energy_table, BootstrapDiag, BootstrapReport};
 pub use driver::{generate_benchmark_source, generate_meter_header, generate_run_script, DriverLanguage};
 pub use executor::{measure_instruction, MeasureConfig, MeasureStats};
 pub use suite::{BenchmarkEntry, MicrobenchmarkSuite, SuiteError};

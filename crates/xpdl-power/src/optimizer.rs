@@ -85,6 +85,12 @@ impl<'m> DvfsOptimizer<'m> {
     }
 
     /// Evaluate every state (sorted by energy ascending, infeasible last).
+    ///
+    /// The sort is a *total* order — `total_cmp` on energy, then the
+    /// state name — so equal-energy ties break deterministically (the
+    /// lexicographically smaller name wins) and NaN energies sort after
+    /// every real value instead of panicking. `xpdlc optimize` output is
+    /// byte-reproducible because of this.
     pub fn evaluate_all(&self, w: &Workload) -> Vec<DvfsChoice> {
         let mut choices: Vec<DvfsChoice> = self
             .fsm
@@ -95,7 +101,8 @@ impl<'m> DvfsOptimizer<'m> {
         choices.sort_by(|a, b| {
             b.feasible
                 .cmp(&a.feasible)
-                .then(a.energy_j.partial_cmp(&b.energy_j).expect("finite energies"))
+                .then(a.energy_j.total_cmp(&b.energy_j))
+                .then_with(|| a.state.cmp(&b.state))
         });
         choices
     }
@@ -144,7 +151,9 @@ impl<'m> DvfsOptimizer<'m> {
     }
 
     /// Best choice across all run states, both with plain idling and with
-    /// every candidate sleep state for the tail.
+    /// every candidate sleep state for the tail. Ties break like
+    /// [`DvfsOptimizer::evaluate_all`]: equal energies pick the
+    /// lexicographically smaller state name, NaN candidates never win.
     pub fn best_with_sleep(&self, w: &Workload) -> Option<DvfsChoice> {
         let mut candidates: Vec<DvfsChoice> = self.evaluate_all(w);
         for run in &self.fsm.states {
@@ -158,8 +167,8 @@ impl<'m> DvfsOptimizer<'m> {
         }
         candidates
             .into_iter()
-            .filter(|c| c.feasible)
-            .min_by(|a, b| a.energy_j.partial_cmp(&b.energy_j).expect("finite energies"))
+            .filter(|c| c.feasible && !c.energy_j.is_nan())
+            .min_by(|a, b| a.energy_j.total_cmp(&b.energy_j).then_with(|| a.state.cmp(&b.state)))
     }
 }
 

@@ -118,6 +118,72 @@ proptest! {
     }
 
     #[test]
+    fn best_is_deterministic_and_nan_free(fsm in arb_fsm(), cycles in 1e8f64..1e10, deadline_mult in 1.0f64..4.0, idle in 0.1f64..20.0) {
+        if fsm.check_complete().is_err() {
+            return Ok(());
+        }
+        let opt = DvfsOptimizer::new(&fsm, &fsm.states[0].name).unwrap();
+        let t_min = cycles / fsm.fastest().unwrap().frequency_hz;
+        let w = Workload { cycles, deadline_s: t_min * deadline_mult, idle_power_w: idle };
+        // Byte-reproducibility: two independent evaluations agree exactly.
+        prop_assert_eq!(opt.best(&w), opt.best(&w));
+        prop_assert_eq!(opt.best_with_sleep(&w), opt.best_with_sleep(&w));
+        if let Some(best) = opt.best(&w) {
+            prop_assert!(!best.energy_j.is_nan());
+            // Tie-break contract: among equal-energy feasible states the
+            // lexicographically smallest name wins.
+            for s in &fsm.states {
+                if let Some(c) = opt.evaluate(&s.name, &w) {
+                    if c.feasible && c.energy_j == best.energy_j {
+                        prop_assert!(best.state <= c.state, "{} vs {}", best.state, c.state);
+                    }
+                }
+            }
+        }
+        if let Some(bs) = opt.best_with_sleep(&w) {
+            prop_assert!(!bs.energy_j.is_nan());
+        }
+    }
+
+    #[test]
+    fn exact_ties_pick_the_smallest_name(cycles in 1e8f64..1e9, idle in 1.0f64..8.0, order in 0usize..4) {
+        // Four byte-identical run states plus two identical sleep states:
+        // every candidate energy ties exactly, so only the tie-break rule
+        // decides — and it must decide the same way regardless of the
+        // declaration order the FSM happened to have.
+        let run = |n: &str| PowerState { name: n.into(), frequency_hz: 1.5e9, power_w: 10.0 };
+        let mut names = ["X1", "X2", "X3", "X4"];
+        names.rotate_left(order);
+        let mut states: Vec<PowerState> = names.iter().map(|n| run(n)).collect();
+        states.push(PowerState { name: "S1".into(), frequency_hz: 0.0, power_w: 0.2 });
+        states.push(PowerState { name: "S2".into(), frequency_hz: 0.0, power_w: 0.2 });
+        let all: Vec<String> = states.iter().map(|s| s.name.clone()).collect();
+        let mut transitions = Vec::new();
+        for a in &all {
+            for b in &all {
+                if a != b {
+                    transitions.push(Transition {
+                        head: a.clone(),
+                        tail: b.clone(),
+                        time_s: 0.0,
+                        energy_j: 0.0,
+                    });
+                }
+            }
+        }
+        let fsm = PowerStateMachine { name: "tie".into(), domain: None, states, transitions };
+        let opt = DvfsOptimizer::new(&fsm, "X3").unwrap();
+        let w = Workload { cycles, deadline_s: cycles / 1.5e9 * 3.0, idle_power_w: idle };
+        let best = opt.best(&w).expect("feasible");
+        prop_assert_eq!(&best.state, "X1");
+        let bs = opt.best_with_sleep(&w).expect("feasible");
+        // All run states tie and both sleep states tie: the winner is the
+        // lexicographically smallest feasible candidate label.
+        prop_assert_eq!(&bs.state, "X1+S1");
+        prop_assert_eq!(opt.best_with_sleep(&w), Some(bs));
+    }
+
+    #[test]
     fn interpolation_stays_within_hull(points in proptest::collection::btree_map(1u64..40, 1u64..1000, 2..6), query in 1u64..40) {
         // Build a table from sorted (freq, energy) points; interpolation at
         // any query must stay within [min, max] of the energies.

@@ -246,6 +246,15 @@ impl RegistryState {
                 })
             }
             RegistryMethod::Announce { version } => {
+                // An empty version would poison the subscribe catch-up
+                // (late subscribers would "catch up" to nothing) — the
+                // calibration publisher must always name the new epoch.
+                if version.is_empty() {
+                    return Err(RegistryError::new(
+                        codes::INVALID_PARAMS,
+                        "announce requires a non-empty version",
+                    ));
+                }
                 *self.version.lock() = Some(version.clone());
                 self.stats.announcements.inc();
                 let line = Event::Invalidate { version: version.clone() }.to_json();
@@ -760,6 +769,22 @@ mod tests {
         let (tx, _rx) = mpsc::channel::<String>();
         match state.dispatch(&RegistryMethod::Subscribe { node: "n3".into() }, &tx).unwrap() {
             RegistryReply::Subscribed { version } => assert_eq!(version.as_deref(), Some("v7")),
+            other => panic!("unexpected reply {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_announce_rejected_without_touching_state() {
+        let state = RegistryState::new(RegistryOptions::default());
+        state.dispatch(&RegistryMethod::Announce { version: "v1".into() }, &detached()).unwrap();
+        let err = state
+            .dispatch(&RegistryMethod::Announce { version: String::new() }, &detached())
+            .unwrap_err();
+        assert_eq!(err.code, codes::INVALID_PARAMS);
+        // The last good version survives for subscriber catch-up.
+        let (tx, _rx) = mpsc::channel::<String>();
+        match state.dispatch(&RegistryMethod::Subscribe { node: "n9".into() }, &tx).unwrap() {
+            RegistryReply::Subscribed { version } => assert_eq!(version.as_deref(), Some("v1")),
             other => panic!("unexpected reply {other:?}"),
         }
     }

@@ -333,7 +333,11 @@ static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
 /// Write `bytes` to `dest` atomically: temp file in the same directory,
 /// fsync, rename, then fsync the directory so the rename itself is
 /// durable. A crash at any point leaves either the old or the new file.
-fn atomic_write(dest: &Path, bytes: &[u8]) -> Result<(), CacheError> {
+///
+/// Public because the calibration write-back (`xpdl-calib`) publishes
+/// patched descriptors with exactly this discipline — a reader (or a
+/// serving node's reload) never sees a torn descriptor.
+pub fn atomic_write(dest: &Path, bytes: &[u8]) -> Result<(), CacheError> {
     let dir = dest.parent().ok_or_else(|| io_err(dest, "no parent directory"))?;
     let tmp = dir.join(format!(
         ".tmp.{}.{}",

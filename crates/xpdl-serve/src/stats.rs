@@ -138,7 +138,7 @@ impl ServeStats {
         let mut reject_hist = xpdl_obs::metrics::HistogramSnapshot::empty();
         {
             // Merge this instance's reject histogram into a snapshot for
-            // the quantile bound.
+            // the interpolated quantile.
             let h = &self.reject_latency_us;
             reject_hist.count = h.count();
             reject_hist.sum = h.sum();
@@ -168,7 +168,7 @@ impl ServeStats {
             p90_us: pct(0.90),
             p99_us: pct(0.99),
             max_us: samples.last().copied().unwrap_or(0),
-            reject_p99_us: reject_hist.quantile_upper_bound(0.99),
+            reject_p99_us: reject_hist.quantile(0.99),
         }
     }
 }

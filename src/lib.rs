@@ -30,6 +30,7 @@
 //! | [`registry`] | `xpdl-registry` | cluster membership: TTL heartbeat leases, push model invalidation |
 //! | [`obs`] | `xpdl-obs` | observability substrate: tracing spans, metrics registry, profile export |
 //! | [`fleetgen`] | `xpdl-fleetgen` | deterministic synthetic platform-fleet generator (benchmark corpus) |
+//! | [`calib`] | `xpdl-calib` | fleet-wide calibration: plan `?` entries, run microbenchmarks, write back & publish |
 //! | [`api`] | (generated) | typed element wrappers generated from the schema |
 //!
 //! ## Quickstart
@@ -56,6 +57,7 @@
 //! ```
 
 pub use pdl_compat as pdl;
+pub use xpdl_calib as calib;
 pub use xpdl_codegen as codegen;
 pub use xpdl_composition as composition;
 pub use xpdl_core as core;
