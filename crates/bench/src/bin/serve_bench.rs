@@ -15,16 +15,20 @@
 //!   --threads N        client threads (default 8)
 //!   --requests M       total requests across all threads (default 10000)
 //!   --reload-ms MS     in-process mode: rewrite the model every MS (default 50)
+//!   --encoding E       wire encoding: json (default) or binary (docs/WIRE.md)
 //!   --expect-clean     exit 1 unless zero errors and zero shed
-//!   --out FILE         result file (default BENCH_serve.json)
+//!   --out FILE         result file (default BENCH_serve.json; appended
+//!                      as an array when it already holds a record)
 //! ```
 
-use bench::net::{one_shot, LineConn};
+use bench::net::{one_shot, BinConn, LineConn};
 use bench::record::{ExtraValue, ScenarioRecord};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-use xpdl_serve::{parse_response, Engine, EngineOptions, ModelSource, Server, ServerOptions};
+use xpdl_serve::{
+    parse_response, Engine, EngineOptions, Method, ModelSource, Request, Server, ServerOptions,
+};
 
 fn flag(args: &[String], name: &str) -> Option<String> {
     args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
@@ -45,6 +49,24 @@ const MIX: &[&str] = &[
     r#"{"v":1,"id":ID,"method":"num_cuda_devices"}"#,
     r#"{"v":1,"id":ID,"method":"total_static_power"}"#,
 ];
+
+/// The same mix as [`MIX`] as typed methods, for the binary encoding.
+/// Index-aligned with the JSON templates so the two runs are comparable
+/// request for request.
+fn mix_method(n: usize) -> Method {
+    match n % MIX.len() {
+        0 => Method::NumCores,
+        1 => Method::Find { ident: "gpu1".into() },
+        2 => Method::GetAttr { ident: "gpu1".into(), attr: "id".into() },
+        3 => Method::NumCores,
+        4 => Method::GetNumber { ident: "connection1".into(), attr: "max_bandwidth".into() },
+        5 => Method::ElementsOfKind { kind: "core".into() },
+        6 => Method::EstimateTransfer { link: "connection1".into(), bytes: 1_048_576 },
+        7 => Method::ModelInfo,
+        8 => Method::NumCudaDevices,
+        _ => Method::TotalStaticPower,
+    }
+}
 
 struct ClientTally {
     sent: u64,
@@ -85,6 +107,29 @@ fn client_thread(addr: &str, requests: u64, thread_id: u64) -> ClientTally {
     tally
 }
 
+/// The binary-encoding twin of [`client_thread`]: same mix, same
+/// validation, typed frames over a negotiated [`BinConn`].
+fn binary_client_thread(addr: &str, requests: u64, thread_id: u64) -> ClientTally {
+    let mut tally =
+        ClientTally { sent: 0, ok: 0, errors: 0, latencies_us: Vec::with_capacity(requests as usize) };
+    let mut conn = BinConn::connect(addr).expect("bench client connect (binary)");
+    for n in 0..requests {
+        let id = thread_id * 10_000_000 + n;
+        let req = Request::new(id, mix_method(n as usize));
+        let start = Instant::now();
+        tally.sent += 1;
+        let resp = conn.call(&req).expect("bench client call (binary)");
+        tally.latencies_us.push(start.elapsed().as_micros() as u64);
+        assert_eq!(resp.id, id, "response correlated to the wrong request");
+        if resp.result.is_ok() {
+            tally.ok += 1;
+        } else {
+            tally.errors += 1;
+        }
+    }
+    tally
+}
+
 fn percentile(sorted: &[u64], p: f64) -> u64 {
     if sorted.is_empty() {
         return 0;
@@ -101,6 +146,15 @@ fn main() {
     let expect_clean = args.iter().any(|a| a == "--expect-clean");
     let out_path = flag(&args, "--out").unwrap_or_else(|| "BENCH_serve.json".to_string());
     let external = flag(&args, "--addr");
+    let encoding = flag(&args, "--encoding").unwrap_or_else(|| "json".to_string());
+    let binary = match encoding.as_str() {
+        "binary" => true,
+        "json" => false,
+        other => {
+            eprintln!("unknown --encoding {other:?}; expected json or binary");
+            std::process::exit(2);
+        }
+    };
 
     // In-process mode: compile the paper's GPU server model to a temp
     // file and serve it, so the bench exercises the same file-reload
@@ -159,12 +213,18 @@ fn main() {
     };
 
     let per_thread = total / threads.max(1);
-    println!("serve_bench: {threads} threads x {per_thread} requests -> {addr}");
+    println!("serve_bench: {threads} threads x {per_thread} requests ({encoding}) -> {addr}");
     let wall = Instant::now();
     let handles: Vec<_> = (0..threads)
         .map(|t| {
             let addr = addr.clone();
-            std::thread::spawn(move || client_thread(&addr, per_thread, t))
+            std::thread::spawn(move || {
+                if binary {
+                    binary_client_thread(&addr, per_thread, t)
+                } else {
+                    client_thread(&addr, per_thread, t)
+                }
+            })
         })
         .collect();
     let tallies: Vec<ClientTally> = handles.into_iter().map(|h| h.join().expect("client")).collect();
@@ -255,6 +315,7 @@ fn main() {
     rec.set_latencies(&snap);
     rec.qps = qps;
     rec.errors = errors;
+    rec.put_extra("encoding", ExtraValue::Str(encoding.clone()));
     rec.put_extra("threads", ExtraValue::U64(threads));
     rec.put_extra("requests", ExtraValue::U64(sent));
     rec.put_extra("ok", ExtraValue::U64(ok));
@@ -269,7 +330,24 @@ fn main() {
     if let Some(n) = metrics_requests {
         rec.put_extra("metrics_serve_requests", ExtraValue::U64(n));
     }
-    std::fs::write(&out_path, rec.to_json()).expect("write results");
+    // Append-as-array: a second run (e.g. the other encoding) joins the
+    // first record in a JSON array instead of overwriting it, so one CI
+    // job can record the json/binary pair side by side in one file.
+    let new_json = rec.to_json();
+    let combined = match std::fs::read_to_string(&out_path) {
+        Ok(prev) => {
+            let prev = prev.trim();
+            if prev.is_empty() {
+                new_json
+            } else if let Some(list) = prev.strip_suffix(']') {
+                format!("{list},{new_json}]")
+            } else {
+                format!("[{prev},{new_json}]")
+            }
+        }
+        Err(_) => new_json,
+    };
+    std::fs::write(&out_path, combined).expect("write results");
     println!("wrote {out_path}");
 
     if expect_clean && (errors > 0 || shed > 0) {

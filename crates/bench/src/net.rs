@@ -5,11 +5,15 @@
 //! CI job with no diagnostic. [`LineConn`] gives the load generators
 //! the same discipline the serving stack itself uses: hard connect,
 //! read, and write timeouts on every socket, and errors that say which
-//! address failed, doing what, after how long.
+//! address failed, doing what, after how long. [`BinConn`] is its
+//! binary-encoding sibling: it negotiates the frame protocol with a
+//! `hello` at connect time and then speaks typed requests/responses.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::{Duration, Instant};
+use xpdl_serve::codec::{self, StrDecoder, StrEncoder};
+use xpdl_serve::{parse_response, Reply, Request, Response};
 
 /// Default connect timeout for bench clients.
 pub const CONNECT_TIMEOUT: Duration = Duration::from_secs(5);
@@ -121,6 +125,77 @@ impl LineConn {
 pub fn one_shot(addr: &str, line: &str) -> std::io::Result<String> {
     let mut conn = LineConn::connect(addr)?;
     Ok(conn.call(line)?.to_string())
+}
+
+/// A binary-encoding client connection (`docs/WIRE.md`): negotiates with
+/// a JSON `hello` at connect time, then exchanges length-prefixed frames
+/// with persistent per-direction intern tables. Same timeout discipline
+/// as [`LineConn`].
+pub struct BinConn {
+    addr: String,
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+    enc: StrEncoder,
+    dec: StrDecoder,
+}
+
+impl std::fmt::Debug for BinConn {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BinConn").field("addr", &self.addr).finish()
+    }
+}
+
+impl BinConn {
+    /// Connect with the default bench timeouts and negotiate the binary
+    /// encoding. Fails (rather than silently degrading) when the server
+    /// does not switch — a bench that asked for binary must measure it.
+    pub fn connect(addr: &str) -> std::io::Result<BinConn> {
+        let mut line = LineConn::connect(addr)?;
+        let hello = codec::client_hello(0).to_json();
+        let ack_line = line.call(&hello)?.to_string();
+        let ack = parse_response(ack_line.trim()).map_err(|e| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("{addr}: malformed hello ack: {e}"),
+            )
+        })?;
+        match ack.result {
+            Ok(Reply::Hello { encoding }) if encoding == codec::BINARY => {}
+            other => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("{addr}: server did not negotiate binary: {other:?}"),
+                ))
+            }
+        }
+        let LineConn { addr, writer, reader, .. } = line;
+        Ok(BinConn { addr, writer, reader, enc: StrEncoder::new(), dec: StrDecoder::new() })
+    }
+
+    /// The peer address this connection talks to.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// One request/response round trip in binary frames.
+    pub fn call(&mut self, req: &Request) -> std::io::Result<Response> {
+        let frame = codec::encode_request(req, &mut self.enc);
+        self.writer.write_all(&frame).map_err(|e| annotate(&self.addr, "send", e))?;
+        let body = codec::read_frame(&mut self.reader, codec::MAX_RESPONSE_FRAME)
+            .map_err(|e| annotate(&self.addr, "recv", e))?
+            .ok_or_else(|| {
+                std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    format!("{}: connection closed while awaiting a response", self.addr),
+                )
+            })?;
+        codec::decode_response(&body, &mut self.dec).map_err(|e| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("{}: malformed response frame: {e}", self.addr),
+            )
+        })
+    }
 }
 
 fn annotate(addr: &str, op: &str, e: std::io::Error) -> std::io::Error {

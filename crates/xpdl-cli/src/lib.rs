@@ -908,6 +908,7 @@ fn write_usage(out: &mut dyn std::io::Write) -> std::io::Result<()> {
          \x20 build <key> -o <file>          write the runtime data structure\n\
          \x20 query <file|key> [id [at]]     runtime query API (.xpdlrt file or library key)\n\
          \x20   --rpc JSON                   feed one raw protocol request line, print raw response\n\
+         \x20   --encoding json|binary       --rpc wire encoding; binary round-trips the frame codec\n\
          \x20 serve --model F|--repo KEY     TCP model-serving daemon (JSON-lines protocol)\n\
          \x20   --addr HOST:PORT             listen address (default 127.0.0.1:7433; :0 = ephemeral)\n\
          \x20   --addr-file PATH             write the bound address (for --addr with port 0)\n\

@@ -14,7 +14,8 @@ use std::time::Duration;
 use xpdl_registry::{NodeAgent, NodeConfig, NodeReport, RegistryClient, RingFn};
 use xpdl_serve::{
     codes, install_termination_handler, spawn_reload_thread, Engine, EngineOptions, Method,
-    ModelSource, Rebalancer, Reply, Request, ServeError, Server, ServerOptions, ShardManager,
+    ModelSource, Rebalancer, Reply, Request, Response, ServeError, Server, ServerOptions,
+    ShardManager,
 };
 
 /// Set by SIGTERM/SIGINT; polled by the `serve` main loop.
@@ -224,12 +225,15 @@ pub(crate) fn serve_command(
 /// file or a library key, then optionally an identifier and an attribute.
 /// `--rpc '<json>'` bypasses the friendly output and feeds one raw
 /// protocol line through the engine, printing the raw response — the
-/// same bytes a TCP client would receive.
+/// same bytes a TCP client would receive. `--encoding binary` routes the
+/// request and the response through the binary codec (`docs/WIRE.md`)
+/// instead — the frames a negotiated binary connection would carry —
+/// and prints the frame sizes plus the decoded response as JSON.
 pub(crate) fn query_command(
     rest: &[String],
     out: &mut dyn std::io::Write,
 ) -> Result<ExitCode, Box<dyn std::error::Error>> {
-    let usage = "query <file.xpdlrt|key> [ident [attr]] [--rpc JSON]";
+    let usage = "query <file.xpdlrt|key> [ident [attr]] [--rpc JSON [--encoding json|binary]]";
     let positional: Vec<&String> = rest.iter().take_while(|a| !a.starts_with("--")).collect();
     let Some(target) = positional.first() else {
         return Err(format!("usage: xpdlc {usage}").into());
@@ -241,12 +245,63 @@ pub(crate) fn query_command(
     )?;
 
     if let Some(raw) = crate::flag_value(rest, "--rpc") {
-        let resp = engine.handle_line(&raw);
+        let encoding =
+            crate::flag_value(rest, "--encoding").unwrap_or_else(|| "json".to_string());
+        let resp = match encoding.as_str() {
+            "json" => engine.handle_line(&raw),
+            "binary" => rpc_via_binary_codec(&engine, &raw, out)?,
+            other => {
+                return Err(
+                    format!("unknown --encoding {other:?}; expected json or binary").into()
+                )
+            }
+        };
         writeln!(out, "{}", resp.to_json())?;
         return Ok(if resp.result.is_ok() { 0 } else { 1 });
     }
 
     let ask = |method: Method| engine.handle(&Request::new(0, method)).result;
+    run_friendly_query(&engine, &positional, out, &ask)
+}
+
+/// Serve one `--rpc` line through the binary codec: parse the JSON
+/// request, encode it to a frame, decode it back, handle, and round-trip
+/// the response the same way. Any divergence between the two encodings
+/// would surface right here as a decode error or a changed reply.
+fn rpc_via_binary_codec(
+    engine: &Engine,
+    raw: &str,
+    out: &mut dyn std::io::Write,
+) -> Result<Response, Box<dyn std::error::Error>> {
+    use xpdl_serve::codec::{self, StrDecoder, StrEncoder};
+    let req = match xpdl_serve::parse_request(raw) {
+        Ok(r) => r,
+        Err((id, e)) => return Ok(Response::err(id.unwrap_or(0), e)),
+    };
+    let frame = codec::encode_request(&req, &mut StrEncoder::new());
+    let decoded = match codec::decode_request(&frame[4..], &mut StrDecoder::new()) {
+        Ok(r) => r,
+        Err((id, e)) => return Ok(Response::err(id.unwrap_or(0), e)),
+    };
+    let resp = engine.handle(&decoded);
+    let resp_frame = codec::encode_response(&resp, &mut StrEncoder::new());
+    writeln!(
+        out,
+        "binary: request frame {} bytes, response frame {} bytes",
+        frame.len(),
+        resp_frame.len()
+    )?;
+    codec::decode_response(&resp_frame[4..], &mut StrDecoder::new())
+        .map_err(|e| format!("response frame failed to decode: {e}").into())
+}
+
+/// The human-readable (non `--rpc`) query output.
+fn run_friendly_query(
+    _engine: &Engine,
+    positional: &[&String],
+    out: &mut dyn std::io::Write,
+    ask: &dyn Fn(Method) -> Result<Reply, ServeError>,
+) -> Result<ExitCode, Box<dyn std::error::Error>> {
     match (positional.get(1), positional.get(2)) {
         (None, _) => {
             if let Ok(Reply::ModelInfo { root_kind, .. }) = ask(Method::ModelInfo) {

@@ -22,13 +22,20 @@
 //! * [`ident`] — identifier conversion (`power_state_machine` →
 //!   `PowerStateMachine`, attribute names → `get_*` getters) with keyword
 //!   escaping.
+//! * [`plan`] — the runtime flavour of generation: compiles a loaded
+//!   [`xpdl_runtime::RuntimeModel`] into [`plan::CompiledGetters`],
+//!   pre-resolved index tables (ident → node, attr arenas, parsed
+//!   numerics, per-kind element lists, precomputed analyses) so the serve
+//!   hot path is an index lookup plus bounds check instead of a tree walk.
 
 pub mod c_gen;
 pub mod ident;
+pub mod plan;
 pub mod rust_gen;
 pub mod uml;
 
 pub use c_gen::generate_c_header;
 pub use ident::{camel_case, getter_name, sanitize_snake};
+pub use plan::CompiledGetters;
 pub use rust_gen::generate_rust_api;
 pub use uml::{model_to_plantuml, schema_to_plantuml};

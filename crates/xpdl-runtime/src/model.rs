@@ -80,6 +80,24 @@ impl RuntimeModel {
         self.nodes.len()
     }
 
+    /// The interned string table. Kinds, identifiers, type references and
+    /// attribute keys/values all index into this one shared table; the
+    /// id-level accessors on [`NodeRef`] return indices into it. Compiled
+    /// query plans (xpdl-codegen) snapshot this table at install time.
+    pub fn strings(&self) -> &[String] {
+        &self.strings
+    }
+
+    /// Node by flat index, if in range. Indices are stable for the
+    /// lifetime of one model (document order, root at 0).
+    pub fn node_at(&self, idx: u32) -> Option<NodeRef<'_>> {
+        if (idx as usize) < self.nodes.len() {
+            Some(NodeRef { model: self, idx })
+        } else {
+            None
+        }
+    }
+
     /// Whether the model is empty.
     pub fn is_empty(&self) -> bool {
         self.nodes.is_empty()
@@ -232,6 +250,26 @@ impl<'m> NodeRef<'m> {
     /// Kind/tag string (`m.get_kind()`).
     pub fn kind(&self) -> &'m str {
         self.s(self.node().kind)
+    }
+
+    /// Kind/tag as an index into [`RuntimeModel::strings`].
+    pub fn kind_id(&self) -> u32 {
+        self.node().kind
+    }
+
+    /// Identifier as a string-table index, if any.
+    pub fn ident_id(&self) -> Option<u32> {
+        self.node().ident
+    }
+
+    /// `type=` reference as a string-table index, if any.
+    pub fn type_ref_id(&self) -> Option<u32> {
+        self.node().type_ref
+    }
+
+    /// Attribute (key, value) string-table index pairs in document order.
+    pub fn attr_ids(&self) -> &'m [(u32, u32)] {
+        &self.node().attrs
     }
 
     /// Identifier (`m.get_id()`), if any.

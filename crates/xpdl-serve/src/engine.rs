@@ -201,13 +201,8 @@ impl Engine {
         if fingerprint == current.fingerprint {
             return Ok((current.epoch, false));
         }
-        let epoch = self.registry.install(ServeSnapshot {
-            epoch: 0, // assigned by install
-            handle: xpdl_runtime::XpdlHandle::from_model(model),
-            fingerprint,
-            source: desc,
-            loaded_at: Instant::now(),
-        });
+        let epoch =
+            self.registry.install(ServeSnapshot::with_fingerprint(model, fingerprint, desc));
         self.stats.reloads.inc();
         Ok((epoch, true))
     }
@@ -262,6 +257,7 @@ impl Engine {
                 | Method::Metrics
                 | Method::Shutdown
                 | Method::Shards
+                | Method::Hello { .. }
         );
         if !control && self.is_draining() {
             return Err(ServeError::new(
@@ -281,6 +277,10 @@ impl Engine {
             _ => self.registry.load(),
         };
         let h = &snap.handle;
+        // The query getters below serve from the snapshot's compiled
+        // plans (index lookups); `h` remains for the estimators and for
+        // introspection over the raw model.
+        let p = &snap.plans;
         Ok(match method {
             Method::Ping => Reply::Pong,
             Method::Health => {
@@ -303,28 +303,28 @@ impl Engine {
                     fingerprint: format!("{:016x}", snap.fingerprint),
                 }
             }
-            Method::Find { ident } => Reply::Node(h.find(ident).map(|n| NodeInfo {
-                kind: n.kind().to_string(),
-                ident: n.ident().map(str::to_string),
-                type_ref: n.type_ref().map(str::to_string),
-                attrs: n.attrs().map(|(k, v)| (k.to_string(), v.to_string())).collect(),
+            Method::Find { ident } => Reply::Node(p.find(ident).map(|n| NodeInfo {
+                kind: p.node_kind(n).to_string(),
+                ident: p.node_ident(n).map(str::to_string),
+                type_ref: p.node_type_ref(n).map(str::to_string),
+                attrs: p.node_attrs(n).map(|(k, v)| (k.to_string(), v.to_string())).collect(),
             })),
             Method::GetAttr { ident, attr } => {
-                Reply::Attr(h.get_attr(ident, attr).map(str::to_string))
+                Reply::Attr(p.get_attr(ident, attr).map(str::to_string))
             }
-            Method::GetNumber { ident, attr } => Reply::Number(h.get_number(ident, attr)),
+            Method::GetNumber { ident, attr } => Reply::Number(p.get_number(ident, attr)),
             Method::ElementsOfKind { kind } => {
-                let nodes = h.elements_of_kind(kind);
+                let (idents, count) = p.elements_of_kind(kind);
                 Reply::Idents {
-                    idents: nodes.iter().filter_map(|n| n.ident()).map(str::to_string).collect(),
-                    count: nodes.len() as u64,
+                    idents: idents.into_iter().map(str::to_string).collect(),
+                    count,
                 }
             }
-            Method::NumCores => Reply::Count(h.num_cores() as u64),
-            Method::NumCudaDevices => Reply::Count(h.num_cuda_devices() as u64),
-            Method::TotalStaticPower => Reply::Power(h.total_static_power_w()),
+            Method::NumCores => Reply::Count(p.num_cores()),
+            Method::NumCudaDevices => Reply::Count(p.num_cuda_devices()),
+            Method::TotalStaticPower => Reply::Power(p.total_static_power_w()),
             Method::HasInstalled { prefix } => {
-                Reply::Flag(h.has_installed(|t| t.starts_with(prefix.as_str())))
+                Reply::Flag(p.has_installed(|t| t.starts_with(prefix.as_str())))
             }
             Method::EstimateTransfer { link, bytes } => Reply::Transfer(
                 estimate::estimate_transfer(h.model(), link, *bytes).map(|e| TransferInfo {
@@ -387,6 +387,22 @@ impl Engine {
                     owned: Vec::new(),
                     handoff: Vec::new(),
                 },
+            },
+            // Negotiation: pick the first offered encoding this build
+            // speaks. The connection-level switch is the server loop's
+            // job (it must happen between frames); through the direct
+            // engine path (`xpdlc query`) the answer is advisory.
+            Method::Hello { encodings } => match crate::codec::negotiate(encodings) {
+                Some(enc) => Reply::Hello { encoding: enc.name().to_string() },
+                None => {
+                    return Err(ServeError::new(
+                        codes::INVALID_PARAMS,
+                        format!(
+                            "no mutually supported encoding (server speaks {})",
+                            crate::codec::SUPPORTED_ENCODINGS.join(", ")
+                        ),
+                    ))
+                }
             },
         })
     }

@@ -13,6 +13,10 @@
 //! - [`protocol`] — wire types: [`Request`]/[`Response`], the `S4xx`
 //!   serving error codes, parser and serializers over the vendored JSON
 //!   module (no serde).
+//! - [`codec`] — the negotiated binary fast path: length-prefixed
+//!   `[u32 len][u8 method][payload]` frames with per-connection interned
+//!   string ids, entered by a `hello` handshake and falling back to
+//!   JSON-lines in both directions (spec: `docs/WIRE.md`).
 //! - [`snapshot`] — the epoch-based [`SnapshotRegistry`]: readers take an
 //!   `Arc` snapshot with one atomic load and never block on a reload;
 //!   the reload path compiles off to the side and installs atomically.
@@ -40,6 +44,7 @@
 #![deny(missing_docs)]
 
 pub mod cluster;
+pub mod codec;
 pub mod engine;
 pub mod protocol;
 pub mod server;
@@ -48,6 +53,7 @@ pub mod snapshot;
 pub mod stats;
 
 pub use cluster::{ClusterClient, ClusterError, ClusterOptions, Route, Routed};
+pub use codec::Encoding;
 pub use engine::{Engine, EngineOptions, ModelSource};
 pub use shard::{Rebalancer, ShardCompileFn, ShardManager};
 pub use protocol::{

@@ -36,6 +36,45 @@
 //! let resp = Response::ok(7, Reply::Attr(Some("Nvidia_K20c".into())));
 //! assert_eq!(parse_response(&resp.to_json()).unwrap(), resp);
 //! ```
+//!
+//! # Hello negotiation
+//!
+//! JSON-lines is only the *default* encoding. A client may open with a
+//! `hello` listing the encodings it speaks, most preferred first; the
+//! server answers with the one it picked (in the pre-switch encoding) and
+//! the connection then switches. `hello` must be the first request on the
+//! connection; old servers answer it with `S411` and the client simply
+//! stays on JSON-lines. The binary framing itself lives in
+//! [`codec`](crate::codec) and is specified in `docs/WIRE.md`.
+//!
+//! ```
+//! use xpdl_serve::codec::{negotiate, Encoding};
+//! use xpdl_serve::{parse_request, parse_response, Method, Reply, Request, Response};
+//!
+//! // Client → server, as the first line on the connection:
+//! let hello = Request::new(0, Method::Hello {
+//!     encodings: vec!["binary".into(), "json".into()],
+//! });
+//! assert_eq!(
+//!     hello.to_json(),
+//!     r#"{"v":1,"id":0,"method":"hello","params":{"encodings":["binary","json"]}}"#,
+//! );
+//!
+//! // Server side: pick the first mutually supported encoding.
+//! let Method::Hello { encodings } = &parse_request(&hello.to_json()).unwrap().method else {
+//!     unreachable!()
+//! };
+//! let chosen = negotiate(encodings).unwrap();
+//! assert_eq!(chosen, Encoding::Binary);
+//!
+//! // Server → client, still on the old encoding; frames after this one
+//! // are binary.
+//! let ack = Response::ok(0, Reply::Hello { encoding: chosen.name().into() });
+//! assert_eq!(ack.to_json(), r#"{"v":1,"id":0,"ok":{"kind":"hello","encoding":"binary"}}"#);
+//!
+//! // A client offering nothing the server speaks gets no switch.
+//! assert_eq!(negotiate(&["msgpack".to_string()]), None);
+//! ```
 
 use crate::stats::StatsSnapshot;
 use std::fmt;
@@ -65,6 +104,10 @@ pub mod codes {
     pub const BAD_VERSION: &str = "S413";
     /// Request line exceeds the server's size cap.
     pub const LINE_TOO_LONG: &str = "S414";
+    /// Malformed binary frame (truncated, trailing bytes, bad string
+    /// ref, unknown method code). Framing is lost after this, so the
+    /// server sends the error and closes the connection.
+    pub const BAD_FRAME: &str = "S415";
     /// Load shed: the admission controller refused the request.
     pub const OVERLOADED: &str = "S420";
     /// The request sat in the queue past its deadline.
@@ -118,6 +161,10 @@ impl ServeError {
 
     pub(crate) fn bad_request(detail: impl fmt::Display) -> ServeError {
         ServeError::new(codes::BAD_REQUEST, format!("malformed request: {detail}"))
+    }
+
+    pub(crate) fn bad_frame(detail: impl fmt::Display) -> ServeError {
+        ServeError::new(codes::BAD_FRAME, format!("malformed frame: {detail}"))
     }
 
     pub(crate) fn invalid_params(detail: impl fmt::Display) -> ServeError {
@@ -251,6 +298,19 @@ pub enum Method {
     /// still served during handoff. Peers poll this to ack ownership
     /// before a predecessor drops a shard.
     Shards,
+    /// Encoding negotiation. Must be the **first** request on a
+    /// connection (`S412` otherwise): the client lists the wire encodings
+    /// it speaks in preference order, the server answers
+    /// [`Reply::Hello`] with the one it picked, and the connection
+    /// switches to that encoding for every subsequent frame. A client
+    /// that never sends `hello` stays on JSON-lines; a server that does
+    /// not know the method answers `S411` and the client falls back to
+    /// JSON-lines — both directions stay compatible. See `docs/WIRE.md`.
+    Hello {
+        /// Encoding names the client supports, most preferred first
+        /// (`"binary"`, `"json"`).
+        encodings: Vec<String>,
+    },
 }
 
 impl Method {
@@ -277,6 +337,7 @@ impl Method {
             Method::Shutdown => "shutdown",
             Method::Sleep { .. } => "sleep",
             Method::Shards => "shards",
+            Method::Hello { .. } => "hello",
         }
     }
 }
@@ -401,6 +462,13 @@ pub enum Reply {
         /// acknowledgement (sorted).
         handoff: Vec<String>,
     },
+    /// `hello` result: the encoding the server picked. The acknowledgement
+    /// itself is sent in the connection's *current* encoding; every frame
+    /// after it uses the chosen one.
+    Hello {
+        /// The negotiated encoding name (`"binary"` or `"json"`).
+        encoding: String,
+    },
 }
 
 /// One response: echoed id + reply or structured error.
@@ -521,6 +589,17 @@ impl Request {
                     raw_field(p, &mut first, "duration_s", &buf);
                 }
                 Method::Sleep { ms } => raw_field(p, &mut first, "ms", &ms.to_string()),
+                Method::Hello { encodings } => {
+                    let mut arr = String::from("[");
+                    for (i, enc) in encodings.iter().enumerate() {
+                        if i > 0 {
+                            arr.push(',');
+                        }
+                        json::escape_into(&mut arr, enc);
+                    }
+                    arr.push(']');
+                    raw_field(p, &mut first, "encodings", &arr);
+                }
             }
         }
         if !params.is_empty() {
@@ -672,6 +751,10 @@ impl Reply {
                 list(&mut s, "owned", owned);
                 list(&mut s, "handoff", handoff);
             }
+            Reply::Hello { encoding } => {
+                s.push_str("\"hello\",\"encoding\":");
+                json::escape_into(&mut s, encoding);
+            }
         }
         s.push('}');
         s
@@ -799,6 +882,20 @@ pub fn parse_request(line: &str) -> Result<Request, (Option<u64>, ServeError)> {
             "shutdown" => Method::Shutdown,
             "sleep" => Method::Sleep { ms: get_u64(params, "ms")? },
             "shards" => Method::Shards,
+            "hello" => Method::Hello {
+                encodings: json::get(params, "encodings")
+                    .and_then(JsonValue::as_array)
+                    .ok_or_else(|| {
+                        ServeError::invalid_params("missing array field \"encodings\"")
+                    })?
+                    .iter()
+                    .map(|v| {
+                        v.as_str().map(str::to_string).ok_or_else(|| {
+                            ServeError::invalid_params("\"encodings\" entry is not a string")
+                        })
+                    })
+                    .collect::<Result<Vec<_>, _>>()?,
+            },
             other => {
                 return Err(ServeError::new(
                     codes::UNKNOWN_METHOD,
@@ -842,7 +939,7 @@ fn parse_node(obj: &Obj) -> Result<NodeInfo, String> {
     })
 }
 
-fn parse_metrics(obj: &Obj) -> Result<MetricsSnapshot, String> {
+pub(crate) fn parse_metrics(obj: &Obj) -> Result<MetricsSnapshot, String> {
     let entries = |k: &str| -> Result<&Obj, String> {
         json::get(obj, k).and_then(JsonValue::as_object).ok_or(format!("missing object {k:?}"))
     };
@@ -968,6 +1065,9 @@ fn parse_reply(obj: &Obj) -> Result<Reply, String> {
                 owned: list("owned")?,
                 handoff: list("handoff")?,
             }
+        }
+        "hello" => {
+            Reply::Hello { encoding: opt_str(obj, "encoding").ok_or("missing encoding")? }
         }
         other => return Err(format!("unknown reply kind {other:?}")),
     })

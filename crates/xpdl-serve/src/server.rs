@@ -8,17 +8,30 @@
 //! from one client may complete out of order — the protocol's `id`
 //! correlation is what makes that safe.
 //!
-//! Admission control happens *before* a request is enqueued: if the
-//! in-flight gauge is at `max_inflight` the request is shed immediately
-//! with `S420` rather than queued behind work the server cannot finish
-//! in time. Admitted requests carry their arrival instant; a worker that
-//! dequeues one past its deadline answers `S421` without touching the
-//! model. Load is therefore bounded in both depth (permits) and time
-//! (deadline), and overload degrades into fast, explicit errors instead
-//! of unbounded queueing.
+//! Every connection starts in JSON-lines; a `hello` as the very first
+//! message may switch it to the binary framing of [`crate::codec`]
+//! (spec: `docs/WIRE.md`). Binary connections take an inline fast path:
+//! the reader thread executes cheap methods directly against the engine
+//! and writes the response frame itself, skipping two thread hops and
+//! the worker queue. Only methods that block or rebuild the model
+//! (`sleep`, `reload`, `shutdown`) still travel through the worker pool,
+//! which is also where every JSON request runs — the JSON path is
+//! byte-for-byte the pre-negotiation behavior. The socket's write half
+//! sits behind a mutex shared by the writer thread and the reader's
+//! inline path, so interleaved frames never tear.
+//!
+//! Admission control happens *before* a request is enqueued or executed
+//! inline: if the in-flight gauge is at `max_inflight` the request is
+//! shed immediately with `S420` rather than queued behind work the
+//! server cannot finish in time. Admitted requests carry their arrival
+//! instant; a worker that dequeues one past its deadline answers `S421`
+//! without touching the model. Load is therefore bounded in both depth
+//! (permits) and time (deadline), and overload degrades into fast,
+//! explicit errors instead of unbounded queueing.
 
+use crate::codec::{self, Encoding, StrDecoder, StrEncoder};
 use crate::engine::Engine;
-use crate::protocol::{codes, parse_request, Request, Response, ServeError};
+use crate::protocol::{codes, parse_request, Method, Reply, Request, Response, ServeError};
 use crate::stats::InflightPermit;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -37,7 +50,8 @@ pub struct ServerOptions {
     /// Per-request deadline measured from admission; exceeded in queue →
     /// `S421`. `None` disables queue deadlines.
     pub deadline: Option<Duration>,
-    /// Longest accepted request line in bytes (`S414` beyond).
+    /// Longest accepted request line — or binary frame body — in bytes
+    /// (`S414` beyond).
     pub max_line_bytes: usize,
 }
 
@@ -52,11 +66,20 @@ impl Default for ServerOptions {
     }
 }
 
+/// The socket's write half. The per-connection writer thread and the
+/// reader's binary inline path both write through this lock, so frames
+/// from the two paths interleave whole, never torn.
+type WriteHalf = Arc<parking_lot::Mutex<TcpStream>>;
+
 /// One admitted request travelling to the worker pool.
 struct Job {
     request: Request,
     admitted_at: Instant,
-    reply_to: mpsc::Sender<String>,
+    /// Encoding the response must be serialized in. Fixed at admission:
+    /// a connection's encoding can only change on its first message, and
+    /// by then no job from it can be in flight.
+    enc: Encoding,
+    reply_to: mpsc::Sender<Vec<u8>>,
 }
 
 /// A running daemon. Dropping it (or calling [`Server::shutdown`] and
@@ -209,8 +232,25 @@ fn accept_loop(
     }
 }
 
-/// Serve one connection: read lines, admit, enqueue; a paired writer
-/// thread streams responses back as workers finish them.
+/// Per-connection wire state owned by the reader thread.
+struct ConnState {
+    /// Current encoding; starts JSON, switched at most once by `hello`.
+    enc: Encoding,
+    /// Whether any message (even an unparseable one) has been received.
+    /// `hello` may only negotiate while this is false — after any other
+    /// traffic a response could still be queued behind the writer thread,
+    /// and switching encodings under it would corrupt the stream.
+    saw_traffic: bool,
+    /// Request-direction intern table (client-driven defines).
+    req_strings: StrDecoder,
+    /// Response-direction intern table. Reader-thread exclusive: inline
+    /// responses intern through it; worker responses are encoded
+    /// inline-only so they never touch (or depend on) this table.
+    resp_strings: StrEncoder,
+}
+
+/// Serve one connection: read lines or frames, admit, execute inline or
+/// enqueue; a paired writer thread streams worker responses back.
 fn connection_loop(
     stream: TcpStream,
     engine: &Arc<Engine>,
@@ -221,53 +261,59 @@ fn connection_loop(
     // Read timeout so the reader notices shutdown even on an idle
     // connection; WouldBlock/TimedOut just re-checks the flag.
     let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
-    let write_half = match stream.try_clone() {
-        Ok(s) => s,
+    let write_half: WriteHalf = match stream.try_clone() {
+        Ok(s) => Arc::new(parking_lot::Mutex::new(s)),
         Err(_) => return,
     };
 
-    let (resp_tx, resp_rx) = mpsc::channel::<String>();
-    let writer = std::thread::Builder::new()
-        .name("xpdl-serve-write".to_string())
-        .spawn(move || writer_loop(write_half, &resp_rx))
-        .expect("spawn writer");
+    let (resp_tx, resp_rx) = mpsc::channel::<Vec<u8>>();
+    let writer = {
+        let write_half = Arc::clone(&write_half);
+        std::thread::Builder::new()
+            .name("xpdl-serve-write".to_string())
+            .spawn(move || writer_loop(&write_half, &resp_rx))
+            .expect("spawn writer")
+    };
 
+    let mut conn = ConnState {
+        enc: Encoding::Json,
+        saw_traffic: false,
+        req_strings: StrDecoder::new(),
+        resp_strings: StrEncoder::new(),
+    };
     let mut reader = BufReader::new(stream);
-    // Partial-line accumulator. It persists across read timeouts so a
-    // line split by TCP segmentation (or a slow sender) is reassembled
-    // rather than truncated at the first `WouldBlock`.
+    // Partial-message accumulator. It persists across read timeouts so a
+    // line or frame split by TCP segmentation (or a slow sender) is
+    // reassembled rather than truncated at the first `WouldBlock`.
     let mut acc: Vec<u8> = Vec::new();
     loop {
         if stop.load(Ordering::Acquire) || engine.shutdown_requested() {
             break;
         }
-        match read_line_capped(&mut reader, &mut acc, options.max_line_bytes) {
-            Ok(LineRead::Eof) => break, // client closed
-            Ok(LineRead::Line) => {
-                let line = String::from_utf8_lossy(&acc).into_owned();
-                acc.clear();
-                let trimmed = line.trim();
-                if trimmed.is_empty() {
-                    continue;
-                }
-                handle_wire_line(trimmed, engine, options, job_tx, &resp_tx);
-            }
-            Err(LineError::TooLong) => {
-                engine.stats().record(0, true);
-                let err = ServeError::new(
-                    codes::LINE_TOO_LONG,
-                    format!("request line exceeds {} bytes", options.max_line_bytes),
-                );
-                send_response(&resp_tx, &Response::err(0, err));
-                break; // framing is lost; drop the connection
-            }
-            Err(LineError::Io(e))
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                continue;
-            }
-            Err(LineError::Io(_)) => break,
+        let keep_going = match conn.enc {
+            Encoding::Json => json_read_step(
+                &mut reader,
+                &mut acc,
+                &mut conn,
+                engine,
+                options,
+                job_tx,
+                &resp_tx,
+                &write_half,
+            ),
+            Encoding::Binary => binary_read_step(
+                &mut reader,
+                &mut acc,
+                &mut conn,
+                engine,
+                options,
+                job_tx,
+                &resp_tx,
+                &write_half,
+            ),
+        };
+        if !keep_going {
+            break;
         }
     }
     // Closing resp_tx lets the writer drain pending responses and exit.
@@ -275,22 +321,236 @@ fn connection_loop(
     let _ = writer.join();
 }
 
-/// Parse, admit, and enqueue one wire line (or answer its error inline).
-fn handle_wire_line(
-    line: &str,
+/// One JSON-lines read iteration. Returns false when the connection is
+/// done.
+#[allow(clippy::too_many_arguments)]
+fn json_read_step(
+    reader: &mut BufReader<TcpStream>,
+    acc: &mut Vec<u8>,
+    conn: &mut ConnState,
     engine: &Arc<Engine>,
     options: &ServerOptions,
     job_tx: &mpsc::Sender<Job>,
-    resp_tx: &mpsc::Sender<String>,
-) {
-    let request = match parse_request(line) {
-        Ok(r) => r,
-        Err((id, e)) => {
+    resp_tx: &mpsc::Sender<Vec<u8>>,
+    write_half: &WriteHalf,
+) -> bool {
+    match read_line_capped(reader, acc, options.max_line_bytes) {
+        Ok(LineRead::Eof) => false, // client closed
+        Ok(LineRead::Line) => {
+            let line = String::from_utf8_lossy(acc).into_owned();
+            acc.clear();
+            let trimmed = line.trim();
+            if trimmed.is_empty() {
+                return true;
+            }
+            let request = match parse_request(trimmed) {
+                Ok(r) => r,
+                Err((id, e)) => {
+                    conn.saw_traffic = true;
+                    engine.stats().record(0, true);
+                    let _ = resp_tx.send(json_bytes(&Response::err(id.unwrap_or(0), e)));
+                    return true;
+                }
+            };
+            if matches!(request.method, Method::Hello { .. }) {
+                handle_hello(&request, conn, engine, resp_tx, write_half);
+                return true;
+            }
+            conn.saw_traffic = true;
+            admit_and_enqueue(request, Encoding::Json, engine, options, job_tx, resp_tx);
+            true
+        }
+        Err(LineError::TooLong) => {
             engine.stats().record(0, true);
-            send_response(resp_tx, &Response::err(id.unwrap_or(0), e));
+            let err = ServeError::new(
+                codes::LINE_TOO_LONG,
+                format!("request line exceeds {} bytes", options.max_line_bytes),
+            );
+            let _ = resp_tx.send(json_bytes(&Response::err(0, err)));
+            false // framing is lost; drop the connection
+        }
+        Err(LineError::Io(e))
+            if e.kind() == std::io::ErrorKind::WouldBlock
+                || e.kind() == std::io::ErrorKind::TimedOut =>
+        {
+            true
+        }
+        Err(LineError::Io(_)) => false,
+    }
+}
+
+/// One binary-frame read iteration. Returns false when the connection is
+/// done. Cheap methods run inline on this (reader) thread — no queue, no
+/// thread hop; only blocking/model-rebuilding methods go to the workers.
+#[allow(clippy::too_many_arguments)]
+fn binary_read_step(
+    reader: &mut BufReader<TcpStream>,
+    acc: &mut Vec<u8>,
+    conn: &mut ConnState,
+    engine: &Arc<Engine>,
+    options: &ServerOptions,
+    job_tx: &mpsc::Sender<Job>,
+    resp_tx: &mpsc::Sender<Vec<u8>>,
+    write_half: &WriteHalf,
+) -> bool {
+    match read_frame_capped(reader, acc, options.max_line_bytes) {
+        Ok(FrameRead::Eof) => false, // client closed (partial frames drop with it)
+        Ok(FrameRead::Frame) => {
+            let decoded = codec::decode_request(&acc[4..], &mut conn.req_strings);
+            acc.clear();
+            conn.saw_traffic = true;
+            match decoded {
+                Ok(request) => match request.method {
+                    // A second hello can never renegotiate (saw_traffic
+                    // is already true); answered for the error message.
+                    Method::Hello { .. } => {
+                        handle_hello(&request, conn, engine, resp_tx, write_half);
+                        true
+                    }
+                    // Blocking or model-rebuilding: keep off the reader.
+                    Method::Sleep { .. } | Method::Reload | Method::Shutdown => {
+                        admit_and_enqueue(
+                            request,
+                            Encoding::Binary,
+                            engine,
+                            options,
+                            job_tx,
+                            resp_tx,
+                        );
+                        true
+                    }
+                    _ => inline_execute(&request, conn, engine, options, write_half),
+                },
+                Err((id, e)) => {
+                    engine.stats().record(0, true);
+                    // S412 (well-framed, bad params) keeps the connection;
+                    // S415 means framing is lost — report, then close.
+                    let fatal = e.code == codes::BAD_FRAME;
+                    let sent =
+                        write_inline(&Response::err(id.unwrap_or(0), e), conn, write_half);
+                    sent && !fatal
+                }
+            }
+        }
+        Err(FrameError::TooLong(len)) => {
+            engine.stats().record(0, true);
+            let err = ServeError::new(
+                codes::LINE_TOO_LONG,
+                format!("frame of {len} bytes exceeds {} byte cap", options.max_line_bytes),
+            );
+            let _ = write_inline(&Response::err(0, err), conn, write_half);
+            false
+        }
+        Err(FrameError::Io(e))
+            if e.kind() == std::io::ErrorKind::WouldBlock
+                || e.kind() == std::io::ErrorKind::TimedOut =>
+        {
+            true
+        }
+        Err(FrameError::Io(_)) => false,
+    }
+}
+
+/// Handle a `hello`. Negotiation is only allowed as the connection's
+/// first message: by then nothing can be queued behind the writer
+/// thread, so the ack (always in the pre-switch encoding) can be written
+/// directly under the write lock and every later frame is guaranteed to
+/// land after it. After any traffic, `hello` answers `S412` and the
+/// encoding stays put.
+fn handle_hello(
+    request: &Request,
+    conn: &mut ConnState,
+    engine: &Arc<Engine>,
+    resp_tx: &mpsc::Sender<Vec<u8>>,
+    write_half: &WriteHalf,
+) {
+    if conn.saw_traffic {
+        engine.stats().record(0, true);
+        let err =
+            ServeError::invalid_params("hello must be the first request on a connection");
+        let resp = Response::err(request.id, err);
+        match conn.enc {
+            Encoding::Json => {
+                let _ = resp_tx.send(json_bytes(&resp));
+            }
+            Encoding::Binary => {
+                let _ = write_inline(&resp, conn, write_half);
+            }
+        }
+        return;
+    }
+    conn.saw_traffic = true;
+    // First message: the engine negotiates (S412 when no overlap). The
+    // ack goes out in the *current* encoding — JSON, since a switch can
+    // only have happened here.
+    let resp = engine.handle(request);
+    {
+        let mut w = write_half.lock();
+        if w.write_all(&json_bytes(&resp)).is_err() {
             return;
         }
+        let _ = w.flush();
+    }
+    if let Ok(Reply::Hello { encoding }) = &resp.result {
+        if encoding == codec::BINARY {
+            conn.enc = Encoding::Binary;
+        }
+    }
+}
+
+/// Execute one request on the reader thread (binary fast path): admit,
+/// run, encode with the connection's interning table, write under the
+/// shared lock. Returns false when the socket is gone.
+fn inline_execute(
+    request: &Request,
+    conn: &mut ConnState,
+    engine: &Arc<Engine>,
+    options: &ServerOptions,
+    write_half: &WriteHalf,
+) -> bool {
+    let resp = match InflightPermit::try_acquire(engine.stats(), options.max_inflight) {
+        Ok(permit) => {
+            // Inline execution never queues; the zero keeps the
+            // queue-wait histogram honest about what this path skips.
+            engine.stats().queue_wait_us.record(0);
+            let resp = engine.handle(request);
+            drop(permit);
+            resp
+        }
+        Err(shed) => {
+            // Shed at the door: rejected, never served — keep it out of
+            // the served-latency percentiles (see ServeStats docs).
+            engine.stats().record_rejected(0);
+            Response::err(request.id, shed)
+        }
     };
+    write_inline(&resp, conn, write_half)
+}
+
+/// Encode a response with the reader-owned interning table and write it
+/// under the shared lock. Reader-thread only — interleaving with
+/// worker-produced inline-only frames is safe because only this thread
+/// ever *defines* string ids, in the order it writes them.
+fn write_inline(resp: &Response, conn: &mut ConnState, write_half: &WriteHalf) -> bool {
+    let frame = codec::encode_response(resp, &mut conn.resp_strings);
+    let mut w = write_half.lock();
+    if w.write_all(&frame).is_err() {
+        return false;
+    }
+    let _ = w.flush();
+    true
+}
+
+/// Admit and enqueue one parsed request for the worker pool (or answer
+/// its shed/shutdown error in the connection's encoding).
+fn admit_and_enqueue(
+    request: Request,
+    enc: Encoding,
+    engine: &Arc<Engine>,
+    options: &ServerOptions,
+    job_tx: &mpsc::Sender<Job>,
+    resp_tx: &mpsc::Sender<Vec<u8>>,
+) {
     // Admission control: refuse before queueing. The permit is consumed
     // here and re-acquired conceptually by the worker via the job itself —
     // we keep it simple by shedding on the gauge and letting the worker's
@@ -304,23 +564,26 @@ fn handle_wire_line(
             let job = Job {
                 request,
                 admitted_at: Instant::now(),
+                enc,
                 reply_to: resp_tx.clone(),
             };
             if job_tx.send(job).is_err() {
                 // Worker pool gone (shutdown): undo the in-flight claim.
                 engine.stats().inflight.dec();
                 engine.stats().record(0, true);
-                send_response(
-                    resp_tx,
-                    &Response::err(0, ServeError::new(codes::SHUTTING_DOWN, "server is stopping")),
+                let resp = Response::err(
+                    0,
+                    ServeError::new(codes::SHUTTING_DOWN, "server is stopping"),
                 );
+                let _ = resp_tx.send(encode_for(&resp, enc));
             }
         }
         Err(shed) => {
             // Shed at the door: rejected, never served — keep it out of
             // the served-latency percentiles (see ServeStats docs).
             engine.stats().record_rejected(0);
-            send_response(resp_tx, &Response::err(request.id, shed));
+            let resp = Response::err(request.id, shed);
+            let _ = resp_tx.send(encode_for(&resp, enc));
         }
     }
 }
@@ -367,24 +630,41 @@ fn worker_loop(
             }
             _ => engine.handle(&job.request),
         };
-        // The job held the in-flight slot transferred in handle_wire_line.
+        // The job held the in-flight slot transferred in admit_and_enqueue.
         engine.stats().inflight.dec();
-        send_response(&job.reply_to, &response);
+        let _ = job.reply_to.send(encode_for(&response, job.enc));
     }
 }
 
-/// Writer: serialize responses onto the socket in completion order.
-fn writer_loop(mut stream: TcpStream, resp_rx: &mpsc::Receiver<String>) {
-    while let Ok(line) = resp_rx.recv() {
-        if stream.write_all(line.as_bytes()).is_err() || stream.write_all(b"\n").is_err() {
+/// Writer: serialize responses onto the socket in completion order. The
+/// shared lock keeps worker frames whole against the reader's inline
+/// binary writes.
+fn writer_loop(stream: &WriteHalf, resp_rx: &mpsc::Receiver<Vec<u8>>) {
+    while let Ok(bytes) = resp_rx.recv() {
+        let mut s = stream.lock();
+        if s.write_all(&bytes).is_err() {
             return; // client gone; drain silently via channel close
         }
-        let _ = stream.flush();
+        let _ = s.flush();
     }
 }
 
-fn send_response(tx: &mpsc::Sender<String>, resp: &Response) {
-    let _ = tx.send(resp.to_json());
+/// A response as JSON-lines wire bytes (newline included).
+fn json_bytes(resp: &Response) -> Vec<u8> {
+    let mut out = resp.to_json().into_bytes();
+    out.push(b'\n');
+    out
+}
+
+/// Serialize a response in the given encoding, off the reader thread.
+/// Binary frames from here never intern (see [`StrEncoder::inline_only`]),
+/// so they are valid against the client's decoder regardless of how they
+/// interleave with the reader's interned frames.
+fn encode_for(resp: &Response, enc: Encoding) -> Vec<u8> {
+    match enc {
+        Encoding::Json => json_bytes(resp),
+        Encoding::Binary => codec::encode_response(resp, &mut StrEncoder::inline_only()),
+    }
 }
 
 enum LineError {
@@ -437,6 +717,57 @@ fn read_line_capped(
                 }
             }
         }
+    }
+}
+
+enum FrameError {
+    /// The frame declares a body longer than the cap.
+    TooLong(usize),
+    Io(std::io::Error),
+}
+
+enum FrameRead {
+    /// A complete frame (length prefix *included*) landed in `acc`; the
+    /// body is `acc[4..]`.
+    Frame,
+    /// The peer closed the connection.
+    Eof,
+}
+
+/// Read one binary frame into `acc` (prefix plus body). Mirrors
+/// [`read_line_capped`]: on a read timeout the bytes consumed so far
+/// stay in `acc` and the next call resumes the same frame; an oversized
+/// declared length fails before buffering the body.
+fn read_frame_capped(
+    reader: &mut BufReader<TcpStream>,
+    acc: &mut Vec<u8>,
+    cap: usize,
+) -> Result<FrameRead, FrameError> {
+    loop {
+        let target = if acc.len() >= 4 {
+            let len = u32::from_le_bytes(acc[..4].try_into().expect("4 bytes")) as usize;
+            if len > cap {
+                return Err(FrameError::TooLong(len));
+            }
+            4 + len
+        } else {
+            4
+        };
+        if acc.len() >= 4 && acc.len() == target {
+            return Ok(FrameRead::Frame);
+        }
+        let available = match reader.fill_buf() {
+            Ok(b) => b,
+            Err(e) => return Err(FrameError::Io(e)),
+        };
+        if available.is_empty() {
+            // EOF: a partial frame is not a valid message — drop it with
+            // the connection, as the line path drops dangling partials.
+            return Ok(FrameRead::Eof);
+        }
+        let n = (target - acc.len()).min(available.len());
+        acc.extend_from_slice(&available[..n]);
+        reader.consume(n);
     }
 }
 

@@ -45,6 +45,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
+use xpdl_codegen::plan::CompiledGetters;
 use xpdl_runtime::{format, RuntimeModel, XpdlHandle};
 
 /// Ring size (power of two). A reader would have to stall for this many
@@ -65,18 +66,38 @@ pub struct ServeSnapshot {
     pub source: String,
     /// When this snapshot was installed.
     pub loaded_at: Instant,
+    /// Compiled query plans over this snapshot's model: per-snapshot
+    /// string table plus pre-resolved index tables, built once at
+    /// install time (see `xpdl_codegen::plan`). The query hot path
+    /// serves from these; the `handle` walk stays for estimators and
+    /// introspection.
+    pub plans: Arc<CompiledGetters>,
 }
 
 impl ServeSnapshot {
     /// Build the epoch-0 snapshot from a compiled model.
     pub fn initial(model: RuntimeModel, source: impl Into<String>) -> ServeSnapshot {
         let fingerprint = fingerprint_model(&model);
+        ServeSnapshot::with_fingerprint(model, fingerprint, source)
+    }
+
+    /// Build a snapshot from a model whose fingerprint is already known
+    /// (the reload path fingerprints first to detect no-op swaps). The
+    /// epoch is a placeholder until [`SnapshotRegistry::install`]
+    /// assigns the real one.
+    pub fn with_fingerprint(
+        model: RuntimeModel,
+        fingerprint: u64,
+        source: impl Into<String>,
+    ) -> ServeSnapshot {
+        let plans = Arc::new(CompiledGetters::compile(&model));
         ServeSnapshot {
             epoch: 0,
             handle: XpdlHandle::from_model(model),
             fingerprint,
             source: source.into(),
             loaded_at: Instant::now(),
+            plans,
         }
     }
 }
